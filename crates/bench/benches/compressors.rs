@@ -1,0 +1,42 @@
+//! Compressor-step microbenchmarks: the per-iteration worker-side cost of
+//! each method's update construction on a 1M-parameter model — DGS's
+//! SAMomentum vs DGC's correction+masking vs plain gradient dropping.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dgs_core::compress::{
+    Compressor, DenseCompressor, DgcCompressor, GradientDroppingCompressor,
+    SaMomentumCompressor, StepCtx,
+};
+use dgs_sparsify::Partition;
+
+fn bench_compressors(c: &mut Criterion) {
+    let dim = 1_000_000;
+    let part = Partition::from_layer_sizes(
+        (0..20).map(|i| (format!("layer{i}"), dim / 20)).collect::<Vec<_>>(),
+    );
+    let grad: Vec<f32> =
+        (0..dim).map(|i| ((i as f64 * 0.7391).sin() * 2.0) as f32).collect();
+    let ctx = StepCtx { lr: 0.1, ratio: 0.01 };
+
+    let mut group = c.benchmark_group("compressor_step_1M");
+    group.bench_function("dense_asgd", |b| {
+        let mut comp = DenseCompressor;
+        b.iter(|| comp.compress(black_box(&grad), &part, ctx))
+    });
+    group.bench_function("gradient_dropping", |b| {
+        let mut comp = GradientDroppingCompressor::new(dim);
+        b.iter(|| comp.compress(black_box(&grad), &part, ctx))
+    });
+    group.bench_function("dgc", |b| {
+        let mut comp = DgcCompressor::new(dim, 0.7, 5.0);
+        b.iter(|| comp.compress(black_box(&grad), &part, ctx))
+    });
+    group.bench_function("samomentum", |b| {
+        let mut comp = SaMomentumCompressor::new(dim, 0.7);
+        b.iter(|| comp.compress(black_box(&grad), &part, ctx))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Compute-substrate microbenchmarks: the tensor kernels that stand in for
+//! the paper's CUDA backend — matmul and conv2d forward/backward at the
+//! sizes the experiment models actually use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use dgs_tensor::matmul::matmul_slices;
+use dgs_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b_m: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                matmul_slices(black_box(&a), black_box(&b_m), &mut out, n, n, n);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let spec = Conv2dSpec { in_channels: 8, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let x = Tensor::randn([16, 8, 12, 12], 1.0, 1);
+    let w = Tensor::randn([spec.weight_len()], 0.5, 2).into_vec();
+    let bias = vec![0.0f32; 16];
+
+    c.bench_function("conv2d_forward_16x8x12x12", |b| {
+        b.iter(|| conv2d_forward(black_box(&x), &w, &bias, &spec))
+    });
+
+    let y = conv2d_forward(&x, &w, &bias, &spec);
+    let dy = Tensor::full(y.shape().clone(), 1.0);
+    c.bench_function("conv2d_backward_16x8x12x12", |b| {
+        b.iter(|| conv2d_backward(black_box(&x), &w, &dy, &spec, true))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv);
+criterion_main!(benches);

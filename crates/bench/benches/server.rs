@@ -1,0 +1,75 @@
+//! Parameter-server microbenchmarks: the per-update cost of
+//! model-difference tracking (`M ← M − g`, `G = M − v_k`, secondary
+//! compression) as model size and worker count grow — the §5.6 server-side
+//! scalability story.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_core::protocol::{UpMsg, UpPayload};
+use dgs_core::server::{Downlink, MdtServer};
+use dgs_sparsify::{Partition, SparseUpdate};
+
+fn sparse_up(part: &Partition, dim: usize, seed: usize, ratio: f64) -> UpMsg {
+    let flat: Vec<f32> = (0..dim)
+        .map(|i| (((i * 31 + seed * 17) as f64 * 0.7391).sin() * 2.0) as f32)
+        .collect();
+    UpMsg {
+        payload: UpPayload::Sparse(SparseUpdate::from_topk(&flat, part, ratio)),
+        train_loss: 0.0,
+    }
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdt_handle_update");
+    for &dim in &[100_000usize, 1_000_000] {
+        let part = Partition::from_layer_sizes(
+            (0..20).map(|i| (format!("layer{i}"), dim / 20)).collect::<Vec<_>>(),
+        );
+        let up = sparse_up(&part, dim, 1, 0.01);
+        group.bench_with_input(BenchmarkId::new("no_secondary", dim), &dim, |b, _| {
+            let mut server = MdtServer::new(
+                vec![0.0; dim],
+                part.clone(),
+                4,
+                Downlink::ModelDifference { secondary_ratio: None },
+            );
+            let mut w = 0usize;
+            b.iter(|| {
+                let reply = server.handle_update(w % 4, black_box(&up));
+                w += 1;
+                reply
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("secondary_1pct", dim), &dim, |b, _| {
+            let mut server = MdtServer::new(
+                vec![0.0; dim],
+                part.clone(),
+                4,
+                Downlink::ModelDifference { secondary_ratio: Some(0.01) },
+            );
+            let mut w = 0usize;
+            b.iter(|| {
+                let reply = server.handle_update(w % 4, black_box(&up));
+                w += 1;
+                reply
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense_asgd", dim), &dim, |b, _| {
+            let dense = UpMsg {
+                payload: UpPayload::Dense(vec![0.001; dim]),
+                train_loss: 0.0,
+            };
+            let mut server =
+                MdtServer::new(vec![0.0; dim], part.clone(), 4, Downlink::DenseModel);
+            let mut w = 0usize;
+            b.iter(|| {
+                let reply = server.handle_update(w % 4, black_box(&dense));
+                w += 1;
+                reply
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

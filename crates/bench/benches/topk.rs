@@ -1,0 +1,46 @@
+//! Top-k selection microbenchmarks: exact selection vs sampled threshold
+//! estimation across tensor sizes — the per-iteration cost the paper's
+//! worker pays before every transmission.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_sparsify::{hierarchical_threshold, sampled_threshold, topk_indices, topk_threshold};
+
+fn synth(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.7391).sin() * 2.0 + (i as f64 * 0.113).cos();
+            (x * x * x) as f32
+        })
+        .collect()
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_indices");
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let data = synth(n);
+        let k = (n / 100).max(1); // R = 1%
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| topk_indices(black_box(&data), black_box(k)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("threshold");
+    for &n in &[100_000usize, 1_000_000] {
+        let data = synth(n);
+        let k = n / 100;
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| topk_threshold(black_box(&data), black_box(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_1pct", n), &n, |b, _| {
+            b.iter(|| sampled_threshold(black_box(&data), black_box(k), n / 100, 42))
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &n, |b, _| {
+            b.iter(|| hierarchical_threshold(black_box(&data), black_box(k), n / 100, 0.1, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Difficulty calibration sweep for the experiment presets.
+use dgs_core::config::{LrSchedule, TrainConfig};
+use dgs_core::method::Method;
+use dgs_core::trainer::single::train_msgd;
+use dgs_core::trainer::threaded::train_async;
+use dgs_nn::data::{Dataset, SyntheticVision};
+use dgs_nn::models::resnet_lite;
+use std::sync::Arc;
+
+fn main() {
+    let a: Vec<String> = std::env::args().skip(1).collect();
+    let noise: f32 = a.first().and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let classes: usize = a.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let epochs: usize = a.get(2).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let lr: f32 = a.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.08);
+    let ratio: f64 = a.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let workers: usize = a.get(5).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let momentum: f32 = a.get(6).and_then(|s| s.parse().ok()).unwrap_or(0.7);
+    let hw = 12;
+    let seed = 20200817u64;
+    let data = SyntheticVision::new(2048, 3, hw, classes, noise, seed);
+    let val: Arc<dyn Dataset> = Arc::new(data.validation(512));
+    let train: Arc<dyn Dataset> = Arc::new(data);
+    let build = move || resnet_lite(3, hw, classes, 6, seed);
+
+    for method in Method::ALL {
+        let mut cfg = TrainConfig::paper_default(method, workers, epochs);
+        cfg.batch_per_worker = 16;
+        cfg.lr = LrSchedule::paper_default(lr, epochs);
+        cfg.seed = seed;
+        cfg.evals = 3;
+        cfg.sparsity_ratio = ratio;
+        cfg.momentum = momentum;
+        if let Ok(clip) = std::env::var("CLIP") { cfg.clip_norm = clip.parse().unwrap(); }
+        if let Ok(wu) = std::env::var("WARMUP") { cfg.warmup_epochs = wu.parse().unwrap(); }
+        let t = std::time::Instant::now();
+        let res = if method == Method::Msgd {
+            train_msgd(build(), Arc::clone(&train), Arc::clone(&val), &cfg)
+        } else {
+            train_async(&cfg, &build, Arc::clone(&train), Arc::clone(&val))
+        };
+        println!("noise={noise} cls={classes} lr={lr} R={ratio} w={workers} m={momentum}: {:<10} acc {:.2}% stale {:.1} ({:.0}s)",
+            method.name(), 100.0*res.final_acc, res.mean_staleness, t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,138 @@
+//! Terminal line plots for training curves.
+//!
+//! The harness runs on headless machines, so figures are rendered as ASCII
+//! charts alongside the CSV/JSON artefacts: good enough to eyeball the
+//! crossovers the paper's figures show without leaving the terminal.
+
+/// One named data series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Renders an ASCII line chart of the given series.
+///
+/// Each series is drawn with its own glyph (`*`, `o`, `+`, …); the legend
+/// maps glyphs to labels. Returns the rendered multi-line string.
+pub fn ascii_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.max(16);
+    let height = height.max(6);
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("== {title} ==\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // Later series overwrite earlier ones at collisions; the legend
+            // disambiguates trends, not individual pixels.
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{y_label} ({y_min:.3} .. {y_max:.3})\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{x_label} ({x_min:.3} .. {x_max:.3})\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let s = vec![
+            Series::new("up", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            Series::new("down", vec![(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]),
+        ];
+        let chart = ascii_chart("Demo", "epoch", "loss", &s, 40, 10);
+        assert!(chart.contains("== Demo =="));
+        assert!(chart.contains("loss (0.000 .. 2.000)"));
+        assert!(chart.contains("epoch (0.000 .. 2.000)"));
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+        // The rising series occupies the top-right corner region.
+        let lines: Vec<&str> = chart.lines().collect();
+        let first_grid = lines[2];
+        assert!(first_grid.contains('*') || first_grid.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let chart = ascii_chart("Empty", "x", "y", &[], 30, 8);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = vec![Series::new("flat", vec![(1.0, 5.0), (1.0, 5.0)])];
+        let chart = ascii_chart("Flat", "x", "y", &s, 20, 6);
+        assert!(chart.contains("Flat"));
+    }
+
+    #[test]
+    fn glyph_positions_follow_data() {
+        // A single point at the minimum lands bottom-left; at max, top-right.
+        let s = vec![Series::new("pt", vec![(0.0, 0.0), (10.0, 10.0)])];
+        let chart = ascii_chart("Corners", "x", "y", &s, 21, 7);
+        let grid: Vec<&str> =
+            chart.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(grid.len(), 7);
+        // Top row has the max point at the far right.
+        assert_eq!(grid[0].chars().last(), Some('*'));
+        // Bottom row has the min point right after the border.
+        assert_eq!(grid[6].chars().nth(1), Some('*'));
+    }
+}

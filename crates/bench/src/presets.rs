@@ -1,0 +1,209 @@
+//! Workload presets: the CIFAR-10 and ImageNet stand-ins at experiment
+//! scale, each paired with the model the experiment trains.
+//!
+//! Two knobs control runtime:
+//!
+//! * [`WorkloadKind`] — `CifarLike` (10-class synthetic vision) or
+//!   `ImagenetLike` (more classes, bigger samples), matching the paper's
+//!   small/large dataset pair; plus a `Blobs` fast path for smoke runs.
+//! * [`Scale`] — `Quick` (seconds per run, for CI and `--quick`) or `Full`
+//!   (the default experiment scale).
+//!
+//! Learning-curve experiments (Figs. 2-4, Table 2) use the residual CNN so
+//! per-layer Top-k sees the heterogeneous layer mix of ResNet-18; the
+//! many-run sweeps (Table 3, Figs. 5-6) use an MLP on the same synthetic
+//! vision data to keep dozens of full training runs affordable on CPU —
+//! DESIGN.md records this substitution.
+
+use dgs_nn::data::{Dataset, GaussianBlobs, SyntheticVision};
+use dgs_nn::model::Network;
+use dgs_nn::models::{mlp, mlp_on_images, resnet_lite};
+use std::sync::Arc;
+
+/// Which dataset/task family an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// 30-class synthetic vision — the CIFAR-10 stand-in (class count
+    /// raised above CIFAR's 10 to reach the paper's budget-limited
+    /// difficulty regime at our reduced sample budget; see DESIGN.md).
+    CifarLike,
+    /// 60-class, larger synthetic vision — the ImageNet stand-in
+    /// (preserving the "relatively larger" relation, see DESIGN.md).
+    ImagenetLike,
+    /// Gaussian blobs — fast smoke-test workload.
+    Blobs,
+}
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per training run; for `--quick` and tests.
+    Quick,
+    /// The default experiment scale (minutes per figure).
+    Full,
+}
+
+/// Which model family to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The ResNet-18 stand-in (residual CNN).
+    ResNetLite,
+    /// An MLP over flattened pixels, for the many-run sweeps.
+    Mlp,
+}
+
+/// A fully specified workload: datasets plus a deterministic model builder.
+pub struct Workload {
+    /// Human-readable name used in table captions and file names.
+    pub name: String,
+    /// Training split.
+    pub train: Arc<dyn Dataset>,
+    /// Held-out validation split (same task, fresh samples).
+    pub val: Arc<dyn Dataset>,
+    builder: Arc<dyn Fn() -> Network + Send + Sync>,
+    /// Suggested epoch budget at this scale.
+    pub epochs: usize,
+    /// Suggested base learning rate.
+    pub base_lr: f32,
+}
+
+impl Workload {
+    /// Builds a preset workload.
+    pub fn new(kind: WorkloadKind, model: ModelKind, scale: Scale, seed: u64) -> Self {
+        match kind {
+            WorkloadKind::CifarLike => {
+                // Calibrated so single-node MSGD lands ~95% within budget
+                // and the async methods spread below it (the paper's
+                // budget-limited regime); see EXPERIMENTS.md §Calibration.
+                let (train_len, val_len, epochs) = match scale {
+                    Scale::Quick => (512, 256, 4),
+                    Scale::Full => (2048, 512, 10),
+                };
+                let hw = 12;
+                let data = SyntheticVision::new(train_len, 3, hw, 30, 2.5, seed);
+                let val = Arc::new(data.validation(val_len));
+                let train = Arc::new(data);
+                let builder: Arc<dyn Fn() -> Network + Send + Sync> = match model {
+                    ModelKind::ResNetLite => {
+                        Arc::new(move || resnet_lite(3, hw, 30, 6, seed))
+                    }
+                    ModelKind::Mlp => {
+                        Arc::new(move || mlp_on_images(3, hw, &[128, 64], 30, seed))
+                    }
+                };
+                Workload {
+                    name: format!("cifar-like/{}", model_name(model)),
+                    train,
+                    val,
+                    builder,
+                    epochs,
+                    base_lr: 0.2,
+                }
+            }
+            WorkloadKind::ImagenetLike => {
+                let (train_len, val_len, epochs) = match scale {
+                    Scale::Quick => (512, 256, 4),
+                    Scale::Full => (3072, 768, 10),
+                };
+                let hw = 16;
+                let classes = 60;
+                let data = SyntheticVision::new(train_len, 3, hw, classes, 2.5, seed);
+                let val = Arc::new(data.validation(val_len));
+                let train = Arc::new(data);
+                let builder: Arc<dyn Fn() -> Network + Send + Sync> = match model {
+                    ModelKind::ResNetLite => {
+                        Arc::new(move || resnet_lite(3, hw, classes, 8, seed))
+                    }
+                    ModelKind::Mlp => {
+                        Arc::new(move || mlp_on_images(3, hw, &[256, 128], classes, seed))
+                    }
+                };
+                Workload {
+                    name: format!("imagenet-like/{}", model_name(model)),
+                    train,
+                    val,
+                    builder,
+                    epochs,
+                    base_lr: 0.15,
+                }
+            }
+            WorkloadKind::Blobs => {
+                let (train_len, val_len, epochs) = match scale {
+                    Scale::Quick => (256, 128, 4),
+                    Scale::Full => (1024, 256, 8),
+                };
+                let data = GaussianBlobs::new(train_len, 16, 5, 0.4, seed);
+                let val = Arc::new(data.validation(val_len));
+                let train = Arc::new(data);
+                let builder: Arc<dyn Fn() -> Network + Send + Sync> =
+                    Arc::new(move || mlp(16, &[64, 32], 5, seed));
+                Workload {
+                    name: "blobs/mlp".to_string(),
+                    train,
+                    val,
+                    builder,
+                    epochs,
+                    base_lr: 0.05,
+                }
+            }
+        }
+    }
+
+    /// Invokes the model builder (deterministic: every call returns an
+    /// identically initialised network).
+    pub fn build_model(&self) -> Network {
+        (self.builder)()
+    }
+
+    /// Runs `f` with the builder in the `&dyn Fn` shape the trainers take.
+    pub fn with_builder<R>(&self, f: impl FnOnce(&(dyn Fn() -> Network + Sync)) -> R) -> R {
+        let b = &self.builder;
+        let closure = move || b();
+        f(&closure)
+    }
+
+    /// Number of parameters of the preset model.
+    pub fn num_params(&self) -> usize {
+        self.build_model().num_params()
+    }
+}
+
+fn model_name(model: ModelKind) -> &'static str {
+    match model {
+        ModelKind::ResNetLite => "resnet-lite",
+        ModelKind::Mlp => "mlp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_are_deterministic() {
+        let w = Workload::new(WorkloadKind::Blobs, ModelKind::Mlp, Scale::Quick, 7);
+        let a = w.build_model();
+        let b = w.build_model();
+        assert_eq!(a.params().data(), b.params().data());
+        assert!(!w.train.is_empty());
+        assert!(!w.val.is_empty());
+        assert_eq!(w.train.num_classes(), w.val.num_classes());
+    }
+
+    #[test]
+    fn imagenet_like_is_larger_than_cifar_like() {
+        let c = Workload::new(WorkloadKind::CifarLike, ModelKind::ResNetLite, Scale::Quick, 1);
+        let i =
+            Workload::new(WorkloadKind::ImagenetLike, ModelKind::ResNetLite, Scale::Quick, 1);
+        assert!(i.train.num_classes() > c.train.num_classes());
+        assert!(i.train.sample_shape().numel() > c.train.sample_shape().numel());
+        assert!(i.num_params() > c.num_params());
+    }
+
+    #[test]
+    fn with_builder_usable_by_trainers() {
+        let w = Workload::new(WorkloadKind::Blobs, ModelKind::Mlp, Scale::Quick, 3);
+        let n = w.with_builder(|b| b().num_params());
+        assert_eq!(n, w.num_params());
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text aligned tables for the experiment harness output.
+
+/// A simple column-aligned table with a title, rendered to stdout and to
+/// strings for EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Shorter rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats an accuracy in the paper's percent style (e.g. `92.91%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats a signed accuracy delta (e.g. `-0.17%` / `+0.24%`).
+pub fn pct_delta(x: f64) -> String {
+    format!("{:+.2}%", 100.0 * x)
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes_human(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // Columns align: "value" starts at the same offset in all rows.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), col);
+        assert_eq!(lines[4].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new("x", &["a", "b", "c"]);
+        t.row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.9291), "92.91%");
+        assert_eq!(pct_delta(-0.0017), "-0.17%");
+        assert_eq!(pct_delta(0.0024), "+0.24%");
+        assert_eq!(bytes_human(512), "512 B");
+        assert_eq!(bytes_human(2048), "2.00 KiB");
+        assert_eq!(bytes_human(3 * 1024 * 1024), "3.00 MiB");
+    }
+}

@@ -1,0 +1,143 @@
+//! Training-curve records and run results, serialisable for EXPERIMENTS.md.
+
+use crate::config::TrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point along a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Logical epoch at this point (1-based at the point of evaluation).
+    pub epoch: usize,
+    /// Server updates applied so far.
+    pub updates: u64,
+    /// Mean training loss since the previous point.
+    pub train_loss: f64,
+    /// Validation cross-entropy loss.
+    pub val_loss: f64,
+    /// Validation top-1 accuracy in `[0, 1]`.
+    pub val_acc: f64,
+    /// Virtual seconds elapsed (DES runs; 0 for thread runs).
+    pub virtual_time: f64,
+    /// Cumulative uplink bytes.
+    pub bytes_up: u64,
+    /// Cumulative downlink bytes.
+    pub bytes_down: u64,
+}
+
+/// Outcome of one full training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The configuration that produced this run.
+    pub config: TrainConfig,
+    /// Evaluation points in chronological order.
+    pub curve: Vec<CurvePoint>,
+    /// Final validation top-1 accuracy.
+    pub final_acc: f64,
+    /// Final validation loss.
+    pub final_loss: f64,
+    /// Total uplink bytes.
+    pub bytes_up: u64,
+    /// Total downlink bytes.
+    pub bytes_down: u64,
+    /// Total virtual time (DES runs; 0 otherwise).
+    pub virtual_time: f64,
+    /// Host wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Mean observed gradient staleness.
+    pub mean_staleness: f64,
+    /// Maximum observed gradient staleness.
+    pub max_staleness: u64,
+    /// Server memory: bytes of per-worker tracking state (`Σ v_k`).
+    pub server_tracking_bytes: usize,
+    /// Worker memory: auxiliary bytes per worker (residual/velocity).
+    pub worker_aux_bytes: usize,
+}
+
+impl RunResult {
+    /// The method's display name.
+    pub fn method_name(&self) -> &'static str {
+        self.config.method.name()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// First virtual time at which training loss dropped to `target`, if
+    /// ever (Fig. 5's time-to-loss metric).
+    pub fn time_to_loss(&self, target: f64) -> Option<f64> {
+        self.curve.iter().find(|p| p.train_loss <= target).map(|p| p.virtual_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+
+    fn dummy_result() -> RunResult {
+        let config = TrainConfig::paper_default(Method::Dgs, 4, 3);
+        let curve = vec![
+            CurvePoint {
+                epoch: 1,
+                updates: 10,
+                train_loss: 2.0,
+                val_loss: 2.1,
+                val_acc: 0.3,
+                virtual_time: 1.0,
+                bytes_up: 100,
+                bytes_down: 150,
+            },
+            CurvePoint {
+                epoch: 2,
+                updates: 20,
+                train_loss: 1.0,
+                val_loss: 1.2,
+                val_acc: 0.6,
+                virtual_time: 2.0,
+                bytes_up: 200,
+                bytes_down: 300,
+            },
+        ];
+        RunResult {
+            config,
+            curve,
+            final_acc: 0.6,
+            final_loss: 1.2,
+            bytes_up: 200,
+            bytes_down: 300,
+            virtual_time: 2.0,
+            wall_secs: 0.5,
+            mean_staleness: 1.5,
+            max_staleness: 3,
+            server_tracking_bytes: 1024,
+            worker_aux_bytes: 256,
+        }
+    }
+
+    #[test]
+    fn time_to_loss_finds_first_crossing() {
+        let r = dummy_result();
+        assert_eq!(r.time_to_loss(2.5), Some(1.0));
+        assert_eq!(r.time_to_loss(1.5), Some(2.0));
+        assert_eq!(r.time_to_loss(0.5), None);
+    }
+
+    #[test]
+    fn totals() {
+        let r = dummy_result();
+        assert_eq!(r.total_bytes(), 500);
+        assert_eq!(r.method_name(), "DGS");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = dummy_result();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.final_acc, r.final_acc);
+        assert_eq!(back.curve.len(), 2);
+        assert_eq!(back.config.method, Method::Dgs);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # dgs-core
+//!
+//! The paper's contribution: **Dual-Way Gradient Sparsification (DGS)** for
+//! asynchronous parameter-server training, plus every baseline it is
+//! evaluated against.
+//!
+//! * [`protocol`] — the worker↔server messages with byte-exact wire sizes.
+//! * [`config`] — experiment configuration ([`TrainConfig`]), learning-rate
+//!   schedules, DGC warm-up ramps.
+//! * [`method`] — the five training methods and their technique matrix
+//!   (paper Table 5).
+//! * [`compress`] — worker-side update construction: dense (ASGD), Top-k
+//!   with residual accumulation (GD-async, Alg. 1), DGC's momentum
+//!   correction + factor masking, and **SAMomentum** (DGS, Alg. 3 /
+//!   Eq. 14-16).
+//! * [`server`] — the **Model-Difference-Tracking** server (Alg. 2 /
+//!   Eq. 1-6): update accumulator `M`, per-worker delivered vectors `v_k`,
+//!   difference `G = M − v_k`, optional secondary compression, plus the
+//!   dense-model downlink that vanilla ASGD uses.
+//! * [`worker`] — a training worker: model + data loader + compressor,
+//!   usable by both execution engines.
+//! * [`trainer`] — orchestration: single-node MSGD, the real-thread
+//!   asynchronous cluster, and the deterministic DES cluster.
+//! * [`curves`] — training-curve records serialised for EXPERIMENTS.md.
+//! * [`memory`] — §5.6.2 memory accounting.
+
+pub mod compress;
+pub mod config;
+pub mod curves;
+pub mod memory;
+pub mod method;
+pub mod protocol;
+pub mod server;
+pub mod trainer;
+pub mod worker;
+
+pub use config::{LrSchedule, TrainConfig};
+pub use curves::{CurvePoint, RunResult};
+pub use method::Method;
+pub use protocol::{DownMsg, UpMsg};
+pub use server::MdtServer;
+pub use worker::TrainWorker;

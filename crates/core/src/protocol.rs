@@ -1,0 +1,129 @@
+//! Worker↔server messages with byte-exact wire sizes.
+//!
+//! Wire sizes drive both the traffic statistics and the DES transfer times,
+//! so they follow the encodings exactly: dense vectors cost `4·n` bytes
+//! plus a small header, sparse updates cost what
+//! [`SparseUpdate::wire_bytes`](dgs_sparsify::SparseUpdate::wire_bytes)
+//! reports (4 bytes of header plus 8 per nonzero). Metadata that a real
+//! deployment would not transmit (the scalar training loss used for curve
+//! plotting) is excluded from the byte counts.
+
+use dgs_sparsify::{SparseUpdate, TernaryUpdate};
+
+/// Fixed per-message framing overhead (message type + worker id + length).
+pub const HEADER_BYTES: usize = 12;
+
+/// Payload of a worker→server message: the worker's (learning-rate-scaled)
+/// model update for this iteration.
+#[derive(Debug, Clone)]
+pub enum UpPayload {
+    /// Dense update — vanilla ASGD.
+    Dense(Vec<f32>),
+    /// Sparse Top-k update — GD-async / DGC-async / DGS.
+    Sparse(SparseUpdate),
+    /// Ternary-quantized sparse update — the DGS × TernGrad combination
+    /// the paper lists as future work (§6).
+    TernarySparse(TernaryUpdate),
+}
+
+impl UpPayload {
+    /// Exact bytes this payload occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            UpPayload::Dense(v) => HEADER_BYTES + 4 * v.len(),
+            UpPayload::Sparse(s) => HEADER_BYTES + s.wire_bytes(),
+            UpPayload::TernarySparse(t) => HEADER_BYTES + t.wire_bytes(),
+        }
+    }
+
+    /// Number of update coordinates carried.
+    pub fn nnz(&self) -> usize {
+        match self {
+            UpPayload::Dense(v) => v.len(),
+            UpPayload::Sparse(s) => s.nnz(),
+            UpPayload::TernarySparse(t) => t.nnz(),
+        }
+    }
+}
+
+/// A worker→server message.
+#[derive(Debug, Clone)]
+pub struct UpMsg {
+    /// The model update.
+    pub payload: UpPayload,
+    /// Minibatch training loss — metadata for curves, not wire-counted.
+    pub train_loss: f64,
+}
+
+impl UpMsg {
+    /// Exact bytes on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.wire_bytes()
+    }
+}
+
+/// A server→worker message.
+#[derive(Debug, Clone)]
+pub enum DownMsg {
+    /// The entire global model, dense — vanilla ASGD's downlink.
+    DenseModel(Vec<f32>),
+    /// The model difference `G = M − v_k`, sparse-encoded — the
+    /// model-difference-tracking downlink (with or without secondary
+    /// compression).
+    SparseDiff(SparseUpdate),
+}
+
+impl DownMsg {
+    /// Exact bytes on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            DownMsg::DenseModel(v) => HEADER_BYTES + 4 * v.len(),
+            DownMsg::SparseDiff(s) => HEADER_BYTES + s.wire_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_sparsify::Partition;
+
+    #[test]
+    fn dense_up_bytes() {
+        let up = UpMsg { payload: UpPayload::Dense(vec![0.0; 100]), train_loss: 1.0 };
+        assert_eq!(up.wire_bytes(), HEADER_BYTES + 400);
+        assert_eq!(up.payload.nnz(), 100);
+    }
+
+    #[test]
+    fn sparse_up_bytes_match_encoder() {
+        let flat: Vec<f32> = (0..50).map(|i| i as f32 - 25.0).collect();
+        let part = Partition::single(50);
+        let s = SparseUpdate::from_topk(&flat, &part, 0.1);
+        let expect = HEADER_BYTES + s.wire_bytes();
+        let up = UpMsg { payload: UpPayload::Sparse(s), train_loss: 0.0 };
+        assert_eq!(up.wire_bytes(), expect);
+    }
+
+    #[test]
+    fn down_variants_bytes() {
+        let dense = DownMsg::DenseModel(vec![0.0; 10]);
+        assert_eq!(dense.wire_bytes(), HEADER_BYTES + 40);
+        let part = Partition::single(10);
+        let sparse =
+            DownMsg::SparseDiff(SparseUpdate::from_nonzero(&[0.0; 10], &part));
+        // Empty sparse diff: update header (4) + one empty chunk (4).
+        assert_eq!(sparse.wire_bytes(), HEADER_BYTES + 8);
+    }
+
+    #[test]
+    fn sparse_down_smaller_than_dense_for_sparse_content() {
+        let mut flat = vec![0.0f32; 1000];
+        flat[3] = 1.0;
+        flat[500] = -2.0;
+        let part = Partition::single(1000);
+        let sparse = DownMsg::SparseDiff(SparseUpdate::from_nonzero(&flat, &part));
+        let dense = DownMsg::DenseModel(flat);
+        assert!(sparse.wire_bytes() < dense.wire_bytes() / 10);
+    }
+}

@@ -1,0 +1,599 @@
+//! The Model-Difference-Tracking parameter server (paper Alg. 2, Eq. 1-6).
+//!
+//! The server never stores the global model directly; it keeps
+//!
+//! * `M_t` — the accumulation of all applied updates (`θ_t = θ_0 + M_t`,
+//!   Eq. 2), updated as `M ← M − g` on every received update (Eq. 1);
+//! * `v_k` — per worker, the accumulation of everything already *sent* to
+//!   worker `k`, so the downlink payload is the difference
+//!   `G_{k} = M − v_k` (Eq. 3).
+//!
+//! Without secondary compression the full difference goes out and
+//! `v_k ← v_k + G` lands exactly on `M` (Eq. 3); with secondary compression
+//! only the per-layer Top-k of `G` goes out and `v_k` advances by just that
+//! part (Eq. 6), leaving the remainder implicitly accumulated server-side.
+//!
+//! The crucial tracking property: the server updates `v_k` with the *same*
+//! elementwise scatter-adds the worker applies to its local model, so
+//! `θ_0 + v_k` reproduces the worker's model to within a single f32
+//! rounding step — the server always knows what every worker holds, which
+//! is what makes the difference meaningful under asynchrony.
+
+use crate::method::Method;
+use crate::protocol::{DownMsg, UpMsg, UpPayload};
+use dgs_psim::StalenessStats;
+use dgs_sparsify::{k_for_ratio, Partition, SparseUpdate, SparseVec};
+
+/// Staleness mitigation applied by the server when folding updates into
+/// `M` — a gap-aware damping in the spirit of Barkai et al. (cited by the
+/// paper as its momentum-ASGD reference): an update whose staleness is `s`
+/// is scaled by `1/(1+s)^alpha`, so badly stale gradients move the model
+/// less. `alpha = 0` disables it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalenessDamping {
+    /// Damping exponent; 0 disables, 1 is full gap-aware scaling.
+    pub alpha: f64,
+}
+
+impl StalenessDamping {
+    /// No damping (the paper's plain ASGD/DGS behaviour).
+    pub fn off() -> Self {
+        StalenessDamping { alpha: 0.0 }
+    }
+
+    /// The scale applied to an update of staleness `s`.
+    pub fn scale(&self, staleness: u64) -> f32 {
+        if self.alpha == 0.0 {
+            1.0
+        } else {
+            (1.0 / (1.0 + staleness as f64).powf(self.alpha)) as f32
+        }
+    }
+}
+
+impl Default for StalenessDamping {
+    fn default() -> Self {
+        StalenessDamping::off()
+    }
+}
+
+/// Downlink behaviour of the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Downlink {
+    /// Ship the whole dense model every round (vanilla ASGD).
+    DenseModel,
+    /// Ship the sparse model difference `G = M − v_k` (MDT).
+    ModelDifference {
+        /// Apply per-layer Top-k to `G` before sending (Alg. 2 lines 5-11).
+        secondary_ratio: Option<f64>,
+    },
+}
+
+impl Downlink {
+    /// The downlink the paper pairs with each method.
+    pub fn for_method(method: Method, secondary: Option<f64>) -> Self {
+        match method {
+            Method::Msgd => panic!("MSGD trains single-node; no server involved"),
+            Method::Asgd => Downlink::DenseModel,
+            _ => Downlink::ModelDifference { secondary_ratio: secondary },
+        }
+    }
+}
+
+/// The parameter server.
+pub struct MdtServer {
+    theta0: Vec<f32>,
+    /// `M_t`: accumulated updates; global model = `θ_0 + M`.
+    m: Vec<f32>,
+    /// `v_k`: per-worker accumulated deliveries; worker k's model =
+    /// `θ_0 + v_k` (exactly, see module docs).
+    v: Vec<Vec<f32>>,
+    partition: Partition,
+    downlink: Downlink,
+    /// Server timestamp `t`: number of updates applied.
+    t: u64,
+    /// `prev(k)`: timestamp of the last update delivered to worker k.
+    prev: Vec<u64>,
+    staleness: StalenessStats,
+    damping: StalenessDamping,
+}
+
+impl MdtServer {
+    /// Creates a server for `workers` workers from the initial model.
+    pub fn new(theta0: Vec<f32>, partition: Partition, workers: usize, downlink: Downlink) -> Self {
+        partition.check_covers(&theta0);
+        let dim = theta0.len();
+        let v = match downlink {
+            // Dense-model downlink needs no per-worker tracking.
+            Downlink::DenseModel => Vec::new(),
+            Downlink::ModelDifference { .. } => vec![vec![0.0f32; dim]; workers],
+        };
+        MdtServer {
+            theta0,
+            m: vec![0.0; dim],
+            v,
+            partition,
+            downlink,
+            t: 0,
+            prev: vec![0; workers],
+            staleness: StalenessStats::new(),
+            damping: StalenessDamping::off(),
+        }
+    }
+
+    /// Enables gap-aware staleness damping (see [`StalenessDamping`]).
+    pub fn set_damping(&mut self, damping: StalenessDamping) {
+        self.damping = damping;
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Current server timestamp `t` (updates applied so far).
+    pub fn timestamp(&self) -> u64 {
+        self.t
+    }
+
+    /// The current global model `θ_t = θ_0 + M_t`.
+    pub fn current_model(&self) -> Vec<f32> {
+        self.theta0.iter().zip(self.m.iter()).map(|(&a, &b)| a + b).collect()
+    }
+
+    /// The update accumulator `M_t` (for tests).
+    pub fn m(&self) -> &[f32] {
+        &self.m
+    }
+
+    /// Worker `k`'s delivery accumulator `v_k` (for tests). Panics for the
+    /// dense-model downlink, which keeps none.
+    pub fn v(&self, worker: usize) -> &[f32] {
+        &self.v[worker]
+    }
+
+    /// Observed staleness statistics.
+    pub fn staleness(&self) -> &StalenessStats {
+        &self.staleness
+    }
+
+    /// Processes one worker update and produces the reply — the body of the
+    /// paper's Alg. 2 receive loop.
+    pub fn handle_update(&mut self, worker: usize, up: &UpMsg) -> DownMsg {
+        let staleness = self.t - self.prev[worker];
+        let scale = self.damping.scale(staleness);
+        // M_{t+1} = M_t − scale·g (Eq. 1; scale = 1 without damping).
+        // Updates arrive lr-scaled.
+        match &up.payload {
+            UpPayload::Dense(g) => {
+                assert_eq!(g.len(), self.m.len(), "dense update size");
+                for (m, &gi) in self.m.iter_mut().zip(g.iter()) {
+                    *m -= scale * gi;
+                }
+            }
+            UpPayload::Sparse(s) => {
+                s.apply_add(&mut self.m, &self.partition, -scale);
+            }
+            UpPayload::TernarySparse(t) => {
+                t.dequantize().apply_add(&mut self.m, &self.partition, -scale);
+            }
+        }
+        self.t += 1;
+        self.staleness.record(staleness);
+        self.prev[worker] = self.t;
+
+        match self.downlink {
+            Downlink::DenseModel => DownMsg::DenseModel(self.current_model()),
+            Downlink::ModelDifference { secondary_ratio } => {
+                let reply = self.make_diff(worker, secondary_ratio);
+                DownMsg::SparseDiff(reply)
+            }
+        }
+    }
+
+    /// Builds `G = M − v_k`, optionally secondary-compressed, and advances
+    /// `v_k` by exactly what is sent.
+    fn make_diff(&mut self, worker: usize, secondary_ratio: Option<f64>) -> SparseUpdate {
+        let vk = &mut self.v[worker];
+        let mut chunks = Vec::with_capacity(self.partition.num_segments());
+        for si in 0..self.partition.num_segments() {
+            let range = self.partition.segments()[si].range();
+            let m_seg = &self.m[range.clone()];
+            let v_seg = &mut vk[range];
+            // Dense per-layer difference.
+            let diff: Vec<f32> =
+                m_seg.iter().zip(v_seg.iter()).map(|(&m, &v)| m - v).collect();
+            let sv = match secondary_ratio {
+                None => SparseVec::from_nonzero(&diff),
+                Some(ratio) => {
+                    let nnz_all = diff.iter().filter(|&&d| d != 0.0).count();
+                    let k = k_for_ratio(diff.len(), ratio);
+                    if nnz_all <= k {
+                        // Already sparser than the budget: send everything.
+                        SparseVec::from_nonzero(&diff)
+                    } else {
+                        SparseVec::from_topk(&diff, k)
+                    }
+                }
+            };
+            // v_k ← v_k + G with the same scatter-adds the worker performs,
+            // keeping θ_0 + v_k bitwise equal to the worker model.
+            sv.apply_add(v_seg, 1.0);
+            chunks.push(sv);
+        }
+        SparseUpdate { chunks }
+    }
+
+    /// §5.6.2 memory accounting: bytes of per-worker tracking state
+    /// (`Σ_k |v_k|`) plus the accumulator `M`.
+    pub fn memory_report(&self) -> ServerMemoryReport {
+        let f = std::mem::size_of::<f32>();
+        ServerMemoryReport {
+            model_bytes: self.m.len() * f,
+            tracking_bytes: self.v.iter().map(|v| v.len() * f).sum(),
+            workers: self.prev.len(),
+        }
+    }
+}
+
+/// A serialisable snapshot of the server's entire state, for
+/// checkpoint/restore (fault tolerance a production PS deployment needs;
+/// the paper's algorithms are otherwise memoryless beyond `M` and `v_k`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServerCheckpoint {
+    /// Initial model `θ_0`.
+    pub theta0: Vec<f32>,
+    /// Update accumulator `M_t`.
+    pub m: Vec<f32>,
+    /// Per-worker delivery accumulators `v_k`.
+    pub v: Vec<Vec<f32>>,
+    /// Server timestamp `t`.
+    pub t: u64,
+    /// `prev(k)` timestamps.
+    pub prev: Vec<u64>,
+}
+
+impl MdtServer {
+    /// Captures the full server state (everything needed to resume).
+    pub fn checkpoint(&self) -> ServerCheckpoint {
+        ServerCheckpoint {
+            theta0: self.theta0.clone(),
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+            prev: self.prev.clone(),
+        }
+    }
+
+    /// Rebuilds a server from a checkpoint. The downlink mode and
+    /// partition must match the original configuration; staleness
+    /// statistics restart from empty (they are diagnostics, not state).
+    pub fn restore(
+        ckpt: ServerCheckpoint,
+        partition: Partition,
+        downlink: Downlink,
+    ) -> Self {
+        partition.check_covers(&ckpt.theta0);
+        assert_eq!(ckpt.m.len(), ckpt.theta0.len(), "checkpoint M size");
+        if let Downlink::ModelDifference { .. } = downlink {
+            assert_eq!(ckpt.v.len(), ckpt.prev.len(), "checkpoint v/prev size");
+        }
+        MdtServer {
+            theta0: ckpt.theta0,
+            m: ckpt.m,
+            v: ckpt.v,
+            partition,
+            downlink,
+            t: ckpt.t,
+            prev: ckpt.prev,
+            staleness: StalenessStats::new(),
+            damping: StalenessDamping::off(),
+        }
+    }
+}
+
+/// Server-side memory breakdown (paper §5.6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerMemoryReport {
+    /// Bytes of the update accumulator `M` (≈ one model).
+    pub model_bytes: usize,
+    /// Bytes of all `v_k` vectors (= workers × model for MDT, 0 for ASGD).
+    pub tracking_bytes: usize,
+    /// Number of workers tracked.
+    pub workers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part2() -> Partition {
+        Partition::from_layer_sizes([("a", 3), ("b", 3)])
+    }
+
+    fn sparse_up(part: &Partition, flat: &[f32]) -> UpMsg {
+        UpMsg {
+            payload: UpPayload::Sparse(SparseUpdate::from_nonzero(flat, part)),
+            train_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn dense_downlink_ships_model() {
+        let theta0 = vec![1.0f32; 6];
+        let mut s = MdtServer::new(theta0, part2(), 2, Downlink::DenseModel);
+        let up = UpMsg { payload: UpPayload::Dense(vec![0.5; 6]), train_loss: 0.0 };
+        let reply = s.handle_update(0, &up);
+        match reply {
+            DownMsg::DenseModel(model) => {
+                assert!(model.iter().all(|&x| (x - 0.5).abs() < 1e-6));
+            }
+            _ => panic!("expected dense model"),
+        }
+        assert_eq!(s.timestamp(), 1);
+    }
+
+    #[test]
+    fn mdt_equals_asgd_without_secondary() {
+        // Invariant 1 / Eq. 5: after receiving G, a worker's model (θ0 +
+        // applied Gs) equals the server's current model.
+        let part = part2();
+        let theta0 = vec![2.0f32, -1.0, 0.0, 3.0, 0.5, -0.5];
+        let mut s = MdtServer::new(
+            theta0.clone(),
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: None },
+        );
+        let mut worker_model = theta0.clone();
+        // Interleave updates from two workers; track worker 0's model.
+        for step in 0..10 {
+            // Worker 1 pushes an update we never see the reply of (stale!).
+            let mut other = vec![0.0f32; 6];
+            other[step % 6] = 0.3;
+            s.handle_update(1, &sparse_up(&part, &other));
+            // Worker 0 pushes and applies its reply.
+            let mut mine = vec![0.0f32; 6];
+            mine[(step * 2) % 6] = -0.2;
+            let reply = s.handle_update(0, &sparse_up(&part, &mine));
+            if let DownMsg::SparseDiff(g) = reply {
+                g.apply_add(&mut worker_model, &part, 1.0);
+            }
+            // Exactness: worker model == server model after each receive.
+            let server_model = s.current_model();
+            for i in 0..6 {
+                assert!(
+                    (worker_model[i] - server_model[i]).abs() < 1e-5,
+                    "step {step} coord {i}: worker {} vs server {}",
+                    worker_model[i],
+                    server_model[i]
+                );
+            }
+            // v_0 tracks worker model − θ0 (same additions, so any
+            // discrepancy is only the float error of the θ0 subtraction).
+            for i in 0..6 {
+                assert!(
+                    (s.v(0)[i] - (worker_model[i] - theta0[i])).abs() < 1e-5,
+                    "v tracking broken at {i}"
+                );
+            }
+        }
+        assert_eq!(s.timestamp(), 20);
+    }
+
+    #[test]
+    fn v_bookkeeping_without_secondary_lands_on_m() {
+        // Invariant 2: v_k == M after every non-secondary send.
+        let part = part2();
+        let mut s = MdtServer::new(
+            vec![0.0; 6],
+            part.clone(),
+            1,
+            Downlink::ModelDifference { secondary_ratio: None },
+        );
+        for step in 0..5 {
+            let mut g = vec![0.0f32; 6];
+            g[step % 6] = 1.0 + step as f32;
+            s.handle_update(0, &sparse_up(&part, &g));
+            for i in 0..6 {
+                assert!(
+                    (s.v(0)[i] - s.m()[i]).abs() < 1e-6,
+                    "v and M diverge at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn secondary_compression_bounds_reply_size() {
+        let part = Partition::single(100);
+        let mut s = MdtServer::new(
+            vec![0.0; 100],
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: Some(0.05) },
+        );
+        // Worker 1 floods the model with many updates.
+        for step in 0..30 {
+            let mut g = vec![0.0f32; 100];
+            for j in 0..10 {
+                g[(step * 7 + j * 3) % 100] = 0.1 * (j + 1) as f32;
+            }
+            s.handle_update(1, &sparse_up(&part, &g));
+        }
+        // Worker 0's next reply must carry at most k = 5 values even though
+        // M − v_0 has far more nonzeros.
+        let reply = s.handle_update(0, &sparse_up(&part, &[0.0; 100]));
+        match reply {
+            DownMsg::SparseDiff(g) => assert!(g.nnz() <= 5, "nnz {}", g.nnz()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn secondary_compression_residual_eventually_delivered() {
+        // The held-back difference is implicitly accumulated and keeps
+        // flowing: after enough quiet rounds the worker catches up with M.
+        let part = Partition::single(20);
+        let mut s = MdtServer::new(
+            vec![0.0; 20],
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: Some(0.1) }, // k=2
+        );
+        let mut big = vec![0.0f32; 20];
+        for (i, b) in big.iter_mut().enumerate() {
+            *b = (i + 1) as f32;
+        }
+        s.handle_update(1, &sparse_up(&part, &big));
+        // Worker 0 receives k=2 coords per round; after 10 quiet rounds the
+        // whole difference must have been delivered.
+        let mut worker_model = vec![0.0f32; 20];
+        for _ in 0..10 {
+            let reply = s.handle_update(0, &sparse_up(&part, &[0.0; 20]));
+            if let DownMsg::SparseDiff(g) = reply {
+                g.apply_add(&mut worker_model, &part, 1.0);
+            }
+        }
+        let server_model = s.current_model();
+        for i in 0..20 {
+            assert!(
+                (worker_model[i] - server_model[i]).abs() < 1e-5,
+                "coord {i} not caught up: {} vs {}",
+                worker_model[i],
+                server_model[i]
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_recorded() {
+        let part = part2();
+        let mut s = MdtServer::new(
+            vec![0.0; 6],
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: None },
+        );
+        let up = sparse_up(&part, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        s.handle_update(0, &up); // staleness 0
+        s.handle_update(1, &up); // staleness 1 (missed worker 0's update)
+        s.handle_update(0, &up); // staleness 1 (missed worker 1's update)
+        assert_eq!(s.staleness().count(), 3);
+        assert_eq!(s.staleness().max(), 1);
+        assert!((s.staleness().mean() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_report_scales_with_workers() {
+        let part = Partition::single(1000);
+        let mdt = MdtServer::new(
+            vec![0.0; 1000],
+            part.clone(),
+            8,
+            Downlink::ModelDifference { secondary_ratio: None },
+        );
+        let rep = mdt.memory_report();
+        assert_eq!(rep.model_bytes, 4000);
+        assert_eq!(rep.tracking_bytes, 8 * 4000);
+        let asgd = MdtServer::new(vec![0.0; 1000], part, 8, Downlink::DenseModel);
+        assert_eq!(asgd.memory_report().tracking_bytes, 0);
+    }
+
+    #[test]
+    fn downlink_factory() {
+        assert_eq!(Downlink::for_method(Method::Asgd, None), Downlink::DenseModel);
+        assert_eq!(
+            Downlink::for_method(Method::Dgs, Some(0.01)),
+            Downlink::ModelDifference { secondary_ratio: Some(0.01) }
+        );
+        assert_eq!(
+            Downlink::for_method(Method::GdAsync, None),
+            Downlink::ModelDifference { secondary_ratio: None }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "single-node")]
+    fn downlink_rejects_msgd() {
+        Downlink::for_method(Method::Msgd, None);
+    }
+
+    #[test]
+    fn damping_scales_by_staleness() {
+        assert_eq!(StalenessDamping::off().scale(100), 1.0);
+        let d = StalenessDamping { alpha: 1.0 };
+        assert_eq!(d.scale(0), 1.0);
+        assert!((d.scale(1) - 0.5).abs() < 1e-6);
+        assert!((d.scale(3) - 0.25).abs() < 1e-6);
+        let soft = StalenessDamping { alpha: 0.5 };
+        assert!(soft.scale(3) > d.scale(3));
+    }
+
+    #[test]
+    fn damped_server_applies_scaled_updates() {
+        let part = part2();
+        let mut s = MdtServer::new(
+            vec![0.0; 6],
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: None },
+        );
+        s.set_damping(StalenessDamping { alpha: 1.0 });
+        let mut g = vec![0.0f32; 6];
+        g[0] = 1.0;
+        // Worker 0's first update: staleness 0, full scale.
+        s.handle_update(0, &sparse_up(&part, &g));
+        assert!((s.m()[0] + 1.0).abs() < 1e-6);
+        // Worker 1's first update arrives at t=1 with prev=0: staleness 1,
+        // applied at half scale.
+        let mut g2 = vec![0.0f32; 6];
+        g2[1] = 1.0;
+        s.handle_update(1, &sparse_up(&part, &g2));
+        assert!((s.m()[1] + 0.5).abs() < 1e-6, "damped update: {}", s.m()[1]);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let part = part2();
+        let downlink = Downlink::ModelDifference { secondary_ratio: None };
+        let mut a = MdtServer::new(vec![1.0; 6], part.clone(), 2, downlink);
+        // Some traffic.
+        for step in 0..7 {
+            let mut g = vec![0.0f32; 6];
+            g[step % 6] = 0.5;
+            a.handle_update(step % 2, &sparse_up(&part, &g));
+        }
+        // Snapshot, serialise, restore.
+        let json = serde_json::to_string(&a.checkpoint()).unwrap();
+        let ckpt: ServerCheckpoint = serde_json::from_str(&json).unwrap();
+        let mut b = MdtServer::restore(ckpt, part.clone(), downlink);
+        assert_eq!(a.timestamp(), b.timestamp());
+        assert_eq!(a.current_model(), b.current_model());
+        // Both servers process the same subsequent update identically.
+        let mut g = vec![0.0f32; 6];
+        g[3] = -0.25;
+        let up = sparse_up(&part, &g);
+        let ra = a.handle_update(1, &up);
+        let rb = b.handle_update(1, &up);
+        match (ra, rb) {
+            (DownMsg::SparseDiff(da), DownMsg::SparseDiff(db)) => assert_eq!(da, db),
+            _ => panic!("expected sparse diffs"),
+        }
+        assert_eq!(a.current_model(), b.current_model());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint M size")]
+    fn restore_rejects_mismatched_checkpoint() {
+        let part = part2();
+        let ckpt = ServerCheckpoint {
+            theta0: vec![0.0; 6],
+            m: vec![0.0; 5],
+            v: vec![],
+            t: 0,
+            prev: vec![],
+        };
+        MdtServer::restore(ckpt, part, Downlink::DenseModel);
+    }
+}

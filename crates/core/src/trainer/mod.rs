@@ -1,0 +1,28 @@
+//! Training orchestration over the three execution modes.
+//!
+//! * [`single`] — single-node momentum SGD (the paper's MSGD baseline).
+//! * [`threaded`] — real-thread asynchronous parameter-server training
+//!   (accuracy experiments: Figs. 2-4, Tables 2-4).
+//! * [`des`] — deterministic discrete-event simulation with a modelled
+//!   network (wall-clock experiments: Figs. 5-6).
+//! * [`sync`] — synchronous SSGD with an explicit barrier and straggler
+//!   model (the paper's motivating comparison, §1).
+//!
+//! All three produce the same [`RunResult`](crate::curves::RunResult) so
+//! the experiment harness and plots treat them uniformly.
+
+pub mod des;
+pub mod single;
+pub mod sync;
+pub mod threaded;
+
+pub use des::{train_des, train_des_stragglers, DesParams, ServerCostModel};
+pub use single::train_msgd;
+pub use sync::{train_ssgd, SyncCompression};
+pub use threaded::train_async;
+
+use dgs_nn::model::Network;
+
+/// Builds a fresh, identically initialised model. All participants of a run
+/// call this with the same captured seed so they agree on `θ_0`.
+pub type ModelBuilder<'a> = &'a (dyn Fn() -> Network + Sync);

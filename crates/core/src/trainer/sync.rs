@@ -1,0 +1,365 @@
+//! Synchronous data-parallel SGD (SSGD) — the training mode the paper's
+//! introduction argues *against*, included so the motivation is
+//! reproducible: under worker lag the barrier makes every round as slow as
+//! the slowest worker, which is exactly what ASGD/DGS remove.
+//!
+//! Two compression variants:
+//!
+//! * [`SyncCompression::Dense`] — classic synchronous momentum SGD: the
+//!   server averages dense `η∇` from all workers and applies one momentum
+//!   update (paper Eq. 7).
+//! * [`SyncCompression::TopK`] — synchronous Gradient Dropping (Aji &
+//!   Heafield): each worker keeps a residual, sends its per-layer Top-k,
+//!   the server averages the sparse updates. This is the *original*
+//!   setting of GD/DGC before the paper ports them to asynchrony.
+//!
+//! Virtual time models the synchronisation barrier explicitly: each round
+//! costs `max_k(compute_k)` plus the (shared-NIC serialised) gather and
+//! broadcast transfer times plus aggregation. Worker lag is injected via
+//! [`StragglerModel`].
+
+use crate::compress::{Compressor, GradientDroppingCompressor, StepCtx};
+use crate::config::TrainConfig;
+use crate::curves::{CurvePoint, RunResult};
+use crate::protocol::{UpPayload, HEADER_BYTES};
+use crate::trainer::des::DesParams;
+use crate::trainer::ModelBuilder;
+use dgs_nn::data::Dataset;
+use dgs_nn::loader::BatchLoader;
+use dgs_nn::metrics::evaluate;
+use dgs_psim::StragglerModel;
+use dgs_tensor::rng::derive_seed;
+use std::sync::Arc;
+
+/// Uplink compression used by the synchronous trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncCompression {
+    /// Dense gradient exchange (classic SSGD).
+    Dense,
+    /// Per-layer Top-k with residual accumulation (synchronous GD).
+    TopK {
+        /// Keep ratio (e.g. 0.01 for 99% sparsity).
+        ratio: f64,
+    },
+}
+
+/// Trains synchronously: every round, all workers compute a gradient on
+/// the *same* model, the server aggregates, everyone advances together.
+///
+/// Uses `cfg` for batch size, epochs, learning rate, momentum, and seed;
+/// `cfg.method` is ignored (this trainer *is* the method). Virtual time
+/// uses `params`'s network/compute models plus the straggler model.
+pub fn train_ssgd(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: Arc<dyn Dataset>,
+    val: Arc<dyn Dataset>,
+    compression: SyncCompression,
+    params: DesParams,
+    stragglers: &StragglerModel,
+) -> RunResult {
+    let start = std::time::Instant::now();
+    let workers = cfg.workers.max(1);
+    let dataset_len = train.len();
+    // Match the async budget: total samples = epochs × dataset_len.
+    let rounds = cfg.iters_per_worker(dataset_len);
+    let eval_every = (rounds / cfg.evals.max(1)).max(1);
+
+    // One model per worker is unnecessary in sync mode: everyone holds the
+    // same parameters. Keep one global model plus per-worker loaders and
+    // (for Top-k) per-worker residual compressors.
+    let mut net = build_model();
+    let dim = net.num_params();
+    let partition = net.params().partition().clone();
+    let mut loaders: Vec<BatchLoader> = (0..workers)
+        .map(|k| {
+            BatchLoader::new(
+                Arc::clone(&train),
+                cfg.batch_per_worker,
+                derive_seed(cfg.seed, 1000 + k as u64),
+            )
+        })
+        .collect();
+    let mut topk_state: Vec<GradientDroppingCompressor> = match compression {
+        SyncCompression::Dense => Vec::new(),
+        SyncCompression::TopK { .. } => {
+            (0..workers).map(|_| GradientDroppingCompressor::new(dim)).collect()
+        }
+    };
+
+    let mut velocity = vec![0.0f32; dim];
+    let momentum = cfg.momentum;
+    let flops_per_iter = net.flops_per_sample() as f64 * cfg.batch_per_worker as f64;
+    let base_compute = flops_per_iter / (params.worker_gflops * 1e9);
+
+    let mut vtime = 0.0f64;
+    let mut bytes_up = 0u64;
+    let mut bytes_down = 0u64;
+    let mut curve = Vec::new();
+    let mut loss_sum = 0.0f64;
+    let mut loss_n = 0u64;
+
+    for round in 0..rounds {
+        let epoch = cfg.epoch_of_iter(round, dataset_len);
+        let lr = cfg.lr.lr_at(epoch);
+
+        // Gather phase: every worker computes on the same model.
+        let mut agg = vec![0.0f32; dim];
+        let mut round_up_bytes = 0usize;
+        let mut max_compute = 0.0f64;
+        for k in 0..workers {
+            let (x, labels) = loaders[k].next_batch();
+            let (loss, _) = net.train_step(x, &labels);
+            loss_sum += loss;
+            loss_n += 1;
+            max_compute = max_compute
+                .max(base_compute * stragglers.multiplier(k, round as u64));
+            match compression {
+                SyncCompression::Dense => {
+                    for (a, &g) in agg.iter_mut().zip(net.params().grad().iter()) {
+                        *a += lr * g;
+                    }
+                    round_up_bytes += HEADER_BYTES + 4 * dim;
+                }
+                SyncCompression::TopK { ratio } => {
+                    let payload = topk_state[k].compress(
+                        net.params().grad(),
+                        &partition,
+                        StepCtx { lr, ratio },
+                    );
+                    if let UpPayload::Sparse(update) = payload {
+                        round_up_bytes += HEADER_BYTES + update.wire_bytes();
+                        update.apply_add(&mut agg, &partition, 1.0);
+                    }
+                }
+            }
+        }
+        let inv_n = 1.0 / workers as f32;
+
+        // Apply phase: one global update.
+        match compression {
+            SyncCompression::Dense => {
+                let data = net.params_mut().data_mut();
+                for ((p, u), &g) in data.iter_mut().zip(velocity.iter_mut()).zip(agg.iter())
+                {
+                    *u = momentum * *u + g * inv_n;
+                    *p -= *u;
+                }
+            }
+            SyncCompression::TopK { .. } => {
+                // Synchronous GD applies the averaged sparse update without
+                // momentum (Aji & Heafield).
+                let data = net.params_mut().data_mut();
+                for (p, &g) in data.iter_mut().zip(agg.iter()) {
+                    *p -= g * inv_n;
+                }
+            }
+        }
+
+        // Broadcast phase: in MDT terms the sync server ships the averaged
+        // update (sparse methods: union of contributions) to everyone.
+        let down_per_worker = match compression {
+            SyncCompression::Dense => HEADER_BYTES + 4 * dim,
+            SyncCompression::TopK { .. } => {
+                let nnz = agg.iter().filter(|&&v| v != 0.0).count();
+                HEADER_BYTES + 4 + 8 * nnz
+            }
+        };
+        bytes_up += round_up_bytes as u64;
+        bytes_down += (down_per_worker * workers) as u64;
+
+        // Barrier timing: slowest compute, then serialised gather and
+        // broadcast on the shared server NIC, then aggregation.
+        let gather_time: f64 = if params.shared_server_link {
+            (round_up_bytes as f64 * 8.0) / params.network.bandwidth_bps
+                + params.network.latency_s
+        } else {
+            ((round_up_bytes as f64 / workers as f64) * 8.0)
+                / params.network.bandwidth_bps
+                + params.network.latency_s
+        };
+        let broadcast_time: f64 = if params.shared_server_link {
+            ((down_per_worker * workers) as f64 * 8.0) / params.network.bandwidth_bps
+                + params.network.latency_s
+        } else {
+            (down_per_worker as f64 * 8.0) / params.network.bandwidth_bps
+                + params.network.latency_s
+        };
+        vtime += max_compute
+            + gather_time
+            + params.server_cost.time_for(dim)
+            + broadcast_time;
+
+        if (round + 1) % eval_every == 0 || round + 1 == rounds {
+            let res = evaluate(&mut net, val.as_ref(), cfg.eval_batch);
+            curve.push(CurvePoint {
+                epoch: epoch + 1,
+                updates: (round + 1) as u64,
+                train_loss: if loss_n > 0 { loss_sum / loss_n as f64 } else { 0.0 },
+                val_loss: res.loss,
+                val_acc: res.top1,
+                virtual_time: vtime,
+                bytes_up,
+                bytes_down,
+            });
+            loss_sum = 0.0;
+            loss_n = 0;
+        }
+    }
+
+    let last = curve.last().copied();
+    RunResult {
+        config: cfg.clone(),
+        final_acc: last.map(|p| p.val_acc).unwrap_or(0.0),
+        final_loss: last.map(|p| p.val_loss).unwrap_or(0.0),
+        bytes_up,
+        bytes_down,
+        virtual_time: vtime,
+        wall_secs: start.elapsed().as_secs_f64(),
+        mean_staleness: 0.0, // synchronous: no stale gradients by construction
+        max_staleness: 0,
+        server_tracking_bytes: 0,
+        worker_aux_bytes: match compression {
+            SyncCompression::Dense => 0,
+            SyncCompression::TopK { .. } => dim * 4,
+        },
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LrSchedule;
+    use crate::method::Method;
+    use dgs_nn::data::GaussianBlobs;
+    use dgs_nn::models::mlp;
+
+    fn datasets() -> (Arc<dyn Dataset>, Arc<dyn Dataset>) {
+        let blobs = GaussianBlobs::new(192, 8, 4, 0.3, 3);
+        let val = Arc::new(blobs.validation(96));
+        (Arc::new(blobs), val)
+    }
+
+    fn cfg(workers: usize) -> TrainConfig {
+        let mut c = TrainConfig::paper_default(Method::Msgd, 1, 6);
+        c.workers = workers;
+        c.batch_per_worker = 8;
+        c.lr = LrSchedule::paper_default(0.05, 6);
+        c.momentum = 0.5;
+        c.seed = 9;
+        c.evals = 3;
+        c
+    }
+
+    fn build() -> dgs_nn::model::Network {
+        mlp(8, &[24], 4, 11)
+    }
+
+    #[test]
+    fn ssgd_dense_learns() {
+        let (train, val) = datasets();
+        let res = train_ssgd(
+            &cfg(4),
+            &build,
+            train,
+            val,
+            SyncCompression::Dense,
+            DesParams::ten_gbps(),
+            &StragglerModel::none(),
+        );
+        assert!(res.final_acc > 0.85, "acc {}", res.final_acc);
+        assert_eq!(res.mean_staleness, 0.0);
+        assert!(res.virtual_time > 0.0);
+    }
+
+    #[test]
+    fn ssgd_topk_learns_and_sends_less() {
+        let (train, val) = datasets();
+        let dense = train_ssgd(
+            &cfg(4),
+            &build,
+            Arc::clone(&train),
+            Arc::clone(&val),
+            SyncCompression::Dense,
+            DesParams::ten_gbps(),
+            &StragglerModel::none(),
+        );
+        let sparse = train_ssgd(
+            &cfg(4),
+            &build,
+            train,
+            val,
+            SyncCompression::TopK { ratio: 0.1 },
+            DesParams::ten_gbps(),
+            &StragglerModel::none(),
+        );
+        assert!(sparse.final_acc > 0.75, "acc {}", sparse.final_acc);
+        assert!(
+            sparse.bytes_up * 3 < dense.bytes_up,
+            "Top-k should shrink uplink: {} vs {}",
+            sparse.bytes_up,
+            dense.bytes_up
+        );
+    }
+
+    #[test]
+    fn straggler_slows_sync_rounds() {
+        let (train, val) = datasets();
+        // Compute-bound regime (slow workers, fast network) so the barrier
+        // cost is visible; transfer-bound regimes dilute the straggler.
+        let params = DesParams {
+            network: dgs_psim::NetworkModel::infinite(),
+            worker_gflops: 0.05,
+            ..DesParams::ten_gbps()
+        };
+        let fair = train_ssgd(
+            &cfg(4),
+            &build,
+            Arc::clone(&train),
+            Arc::clone(&val),
+            SyncCompression::Dense,
+            params,
+            &StragglerModel::none(),
+        );
+        let lagged = train_ssgd(
+            &cfg(4),
+            &build,
+            train,
+            val,
+            SyncCompression::Dense,
+            params,
+            &StragglerModel::one_slow(8.0),
+        );
+        // One 8x straggler inflates the barrier every round.
+        assert!(
+            lagged.virtual_time > 2.0 * fair.virtual_time,
+            "straggler should dominate the barrier: {} vs {}",
+            lagged.virtual_time,
+            fair.virtual_time
+        );
+        // Accuracy is unaffected (synchronisation hides lag, costs time).
+        assert!((lagged.final_acc - fair.final_acc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssgd_deterministic() {
+        let run = || {
+            let (train, val) = datasets();
+            train_ssgd(
+                &cfg(3),
+                &build,
+                train,
+                val,
+                SyncCompression::TopK { ratio: 0.2 },
+                DesParams::one_gbps(),
+                &StragglerModel::jitter(0.2, 5),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_acc, b.final_acc);
+        assert_eq!(a.virtual_time, b.virtual_time);
+        assert_eq!(a.bytes_up, b.bytes_up);
+    }
+}

@@ -1,0 +1,309 @@
+//! Additional activation layers: Tanh, Sigmoid, LeakyReLU, and 2-D average
+//! pooling. These extend the substrate beyond the ReLU-only networks the
+//! headline experiments use, so downstream users can build the
+//! architectures they need.
+
+use crate::layer::Layer;
+use dgs_tensor::{Shape, Tensor};
+
+macro_rules! pointwise_layer {
+    ($(#[$doc:meta])* $name:ident, $fwd:expr, $bwd:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            label: String,
+            cached_input: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the layer.
+            pub fn new(label: impl Into<String>) -> Self {
+                $name { label: label.into(), cached_input: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn name(&self) -> &str {
+                &self.label
+            }
+
+            fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+                Vec::new()
+            }
+
+            fn init_params(&self, _params: &mut [f32], _seed: u64) {}
+
+            fn output_shape(&self, input: &Shape) -> Shape {
+                input.clone()
+            }
+
+            fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+                let mut y = x.clone();
+                let f: fn(f32) -> f32 = $fwd;
+                y.map_inplace(f);
+                self.cached_input = Some(x);
+                y
+            }
+
+            fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+                let x = self
+                    .cached_input
+                    .take()
+                    .expect("activation backward without forward");
+                let mut dx = dy;
+                let df: fn(f32) -> f32 = $bwd;
+                for (d, &xi) in dx.data_mut().iter_mut().zip(x.data().iter()) {
+                    *d *= df(xi);
+                }
+                dx
+            }
+
+            fn flops(&self, input: &Shape) -> u64 {
+                input.numel() as u64 * 4
+            }
+        }
+    };
+}
+
+pointwise_layer!(
+    /// Hyperbolic tangent activation.
+    Tanh,
+    |v| v.tanh(),
+    |v| {
+        let t = v.tanh();
+        1.0 - t * t
+    }
+);
+
+pointwise_layer!(
+    /// Logistic sigmoid activation.
+    Sigmoid,
+    |v| 1.0 / (1.0 + (-v).exp()),
+    |v| {
+        let s = 1.0 / (1.0 + (-v).exp());
+        s * (1.0 - s)
+    }
+);
+
+pointwise_layer!(
+    /// Leaky ReLU with slope 0.01 on the negative side.
+    LeakyReLU,
+    |v| if v > 0.0 { v } else { 0.01 * v },
+    |v| if v > 0.0 { 1.0 } else { 0.01 }
+);
+
+/// Average pooling with window == stride over NCHW tensors.
+pub struct AvgPool2d {
+    label: String,
+    window: usize,
+    cached_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given square window.
+    pub fn new(label: impl Into<String>, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        AvgPool2d { label: label.into(), window, cached_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    fn init_params(&self, _params: &mut [f32], _seed: u64) {}
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let (n, c, h, w) = input.as_nchw();
+        assert!(
+            h.is_multiple_of(self.window) && w.is_multiple_of(self.window),
+            "avgpool window {} must divide input {h}x{w}",
+            self.window
+        );
+        Shape::from([n, c, h / self.window, w / self.window])
+    }
+
+    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        let out_shape = self.output_shape(x.shape());
+        let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
+        let mut y = Tensor::zeros(out_shape);
+        let win = self.window;
+        let inv = 1.0 / (win * win) as f32;
+        {
+            let xd = x.data();
+            let yd = y.data_mut();
+            for i in 0..n {
+                for ch in 0..c {
+                    let in_base = (i * c + ch) * h * w;
+                    let out_base = (i * c + ch) * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0f32;
+                            for ky in 0..win {
+                                for kx in 0..win {
+                                    acc += xd[in_base + (oy * win + ky) * w + ox * win + kx];
+                                }
+                            }
+                            yd[out_base + oy * ow + ox] = acc * inv;
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_shape = Some(x.shape().clone());
+        y
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+        let shape = self.cached_shape.take().expect("avgpool backward without forward");
+        let (n, c, h, w) = shape.as_nchw();
+        let win = self.window;
+        let (oh, ow) = (h / win, w / win);
+        let inv = 1.0 / (win * win) as f32;
+        let mut dx = Tensor::zeros(shape);
+        {
+            let dxd = dx.data_mut();
+            let dyd = dy.data();
+            for i in 0..n {
+                for ch in 0..c {
+                    let in_base = (i * c + ch) * h * w;
+                    let out_base = (i * c + ch) * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = dyd[out_base + oy * ow + ox] * inv;
+                            for ky in 0..win {
+                                for kx in 0..win {
+                                    dxd[in_base + (oy * win + ky) * w + ox * win + kx] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        input.numel() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check_pointwise(layer: &mut dyn Layer, range: (f32, f32)) {
+        let x = Tensor::rand_uniform([2, 6], range.0, range.1, 7);
+        let y = layer.forward(&[], x.clone());
+        let dx = layer.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0));
+        let eps = 1e-3f32;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp = layer.forward(&[], xp).sum();
+            layer.backward(&[], &mut [], Tensor::zeros(y.shape().clone()));
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lm = layer.forward(&[], xm).sum();
+            layer.backward(&[], &mut [], Tensor::zeros(y.shape().clone()));
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-2 * num.abs().max(1.0),
+                "{}[{i}]: numerical {num} vs analytic {}",
+                layer.name(),
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tanh_gradients() {
+        grad_check_pointwise(&mut Tanh::new("tanh"), (-2.0, 2.0));
+    }
+
+    #[test]
+    fn sigmoid_gradients() {
+        grad_check_pointwise(&mut Sigmoid::new("sigmoid"), (-3.0, 3.0));
+    }
+
+    #[test]
+    fn leaky_relu_gradients() {
+        // Stay away from the kink at 0.
+        grad_check_pointwise(&mut LeakyReLU::new("lrelu"), (0.1, 2.0));
+        grad_check_pointwise(&mut LeakyReLU::new("lrelu"), (-2.0, -0.1));
+    }
+
+    #[test]
+    fn tanh_bounds() {
+        let mut t = Tanh::new("tanh");
+        let x = Tensor::from_vec([3], vec![-100.0, 0.0, 100.0]).unwrap();
+        let y = t.forward(&[], x);
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+        assert_eq!(y.data()[1], 0.0);
+        assert!((y.data()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let mut s = Sigmoid::new("sig");
+        let y = s.forward(&[], Tensor::zeros([4]));
+        assert!(y.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avgpool_forward_known() {
+        let mut p = AvgPool2d::new("avg", 2);
+        let x = Tensor::from_vec(
+            [1, 1, 2, 2],
+            vec![1.0, 2.0, 3.0, 6.0],
+        )
+        .unwrap();
+        let y = p.forward(&[], x);
+        assert_eq!(y.data(), &[3.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_uniform() {
+        let mut p = AvgPool2d::new("avg", 2);
+        let x = Tensor::randn([2, 3, 4, 4], 1.0, 5);
+        let y = p.forward(&[], x.clone());
+        let dx = p.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0));
+        // Every input position receives 1/4 of a unit gradient.
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avgpool_adjoint_identity() {
+        let mut p = AvgPool2d::new("avg", 2);
+        let x = Tensor::randn([1, 2, 4, 4], 1.0, 9);
+        let y = p.forward(&[], x.clone());
+        let dy = Tensor::randn(y.shape().clone(), 1.0, 10);
+        let dx = p.backward(&[], &mut [], dy.clone());
+        let lhs: f64 = y
+            .data()
+            .iter()
+            .zip(dy.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(dx.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn avgpool_rejects_nondivisible() {
+        let mut p = AvgPool2d::new("avg", 3);
+        p.forward(&[], Tensor::zeros([1, 1, 4, 4]));
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic data augmentation for image datasets.
+//!
+//! [`Augmented`] wraps any NCHW-shaped [`Dataset`] and applies
+//! label-preserving transforms — horizontal flip and additive pixel jitter
+//! — keyed by `(seed, index)`, so augmentation stays a pure function and
+//! every engine/replay sees identical samples. Virtual repetition
+//! (`repeat`) enlarges the index space so one pass covers several distinct
+//! augmented views of each underlying sample.
+
+use crate::data::Dataset;
+use dgs_tensor::rng::{sample_standard_normal, seeded};
+use dgs_tensor::Shape;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A deterministic augmentation wrapper over an image dataset.
+pub struct Augmented {
+    inner: Arc<dyn Dataset>,
+    repeat: usize,
+    flip_p: f64,
+    jitter_std: f32,
+    seed: u64,
+}
+
+impl Augmented {
+    /// Wraps `inner` (which must yield rank-3 `C×H×W` samples).
+    ///
+    /// * `repeat` — virtual dataset enlargement factor (≥ 1).
+    /// * `flip_p` — probability of a horizontal flip per view.
+    /// * `jitter_std` — std-dev of additive Gaussian pixel jitter.
+    pub fn new(
+        inner: Arc<dyn Dataset>,
+        repeat: usize,
+        flip_p: f64,
+        jitter_std: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(repeat >= 1, "repeat must be at least 1");
+        assert!((0.0..=1.0).contains(&flip_p), "flip_p must be a probability");
+        assert_eq!(
+            inner.sample_shape().rank(),
+            3,
+            "Augmented needs C×H×W samples"
+        );
+        Augmented { inner, repeat, flip_p, jitter_std, seed }
+    }
+}
+
+impl Dataset for Augmented {
+    fn len(&self) -> usize {
+        self.inner.len() * self.repeat
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.inner.sample_shape()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn fill(&self, index: usize, out: &mut [f32]) -> usize {
+        let base = index % self.inner.len();
+        let view = index / self.inner.len();
+        let label = self.inner.fill(base, out);
+        // View 0 is the raw sample so the un-augmented data stays reachable.
+        if view == 0 {
+            return label;
+        }
+        let mut rng = seeded(
+            self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        let dims = self.sample_shape();
+        let (c, h, w) = (dims.dim(0), dims.dim(1), dims.dim(2));
+        if rng.gen::<f64>() < self.flip_p {
+            for ch in 0..c {
+                for y in 0..h {
+                    let row = &mut out[(ch * h + y) * w..(ch * h + y + 1) * w];
+                    row.reverse();
+                }
+            }
+        }
+        if self.jitter_std > 0.0 {
+            for v in out.iter_mut() {
+                *v += self.jitter_std * sample_standard_normal(&mut rng);
+            }
+        }
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticVision;
+
+    fn base() -> Arc<dyn Dataset> {
+        Arc::new(SyntheticVision::new(16, 2, 6, 4, 0.3, 5))
+    }
+
+    #[test]
+    fn repeat_enlarges_and_preserves_labels() {
+        let inner = base();
+        let aug = Augmented::new(Arc::clone(&inner), 3, 0.5, 0.1, 9);
+        assert_eq!(aug.len(), 48);
+        assert_eq!(aug.num_classes(), inner.num_classes());
+        let n = aug.sample_shape().numel();
+        let mut a = vec![0.0f32; n];
+        let mut b = vec![0.0f32; n];
+        for i in 0..16 {
+            let la = aug.fill(i, &mut a); // view 0 == raw
+            let lb = inner.fill(i, &mut b);
+            assert_eq!(la, lb);
+            assert_eq!(a, b, "view 0 must be the raw sample");
+            // Later views keep the label but change the pixels.
+            let lv = aug.fill(i + 16, &mut b);
+            assert_eq!(lv, la);
+            assert_ne!(a, b, "augmented view must differ");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_index() {
+        let aug = Augmented::new(base(), 2, 0.5, 0.2, 3);
+        let n = aug.sample_shape().numel();
+        let mut a = vec![0.0f32; n];
+        let mut b = vec![0.0f32; n];
+        aug.fill(20, &mut a);
+        aug.fill(20, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flip_only_reverses_rows() {
+        // flip_p = 1, jitter 0: the augmented view is exactly the mirror.
+        let inner = base();
+        let aug = Augmented::new(Arc::clone(&inner), 2, 1.0, 0.0, 7);
+        let dims = aug.sample_shape();
+        let (c, h, w) = (dims.dim(0), dims.dim(1), dims.dim(2));
+        let n = dims.numel();
+        let mut raw = vec![0.0f32; n];
+        let mut flipped = vec![0.0f32; n];
+        inner.fill(4, &mut raw);
+        aug.fill(4 + 16, &mut flipped);
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    assert_eq!(
+                        flipped[(ch * h + y) * w + x],
+                        raw[(ch * h + y) * w + (w - 1 - x)],
+                        "mirror mismatch at ({ch},{y},{x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "C×H×W")]
+    fn rejects_flat_datasets() {
+        let flat: Arc<dyn Dataset> =
+            Arc::new(crate::data::GaussianBlobs::new(8, 4, 2, 0.3, 1));
+        Augmented::new(flat, 2, 0.5, 0.1, 1);
+    }
+}

@@ -1,0 +1,790 @@
+//! The [`Layer`] trait and concrete layers with manual backward passes.
+//!
+//! Each layer declares its parameter sub-segments at construction time; the
+//! [`Network`](crate::model::Network) builder lays them out consecutively in
+//! one flat [`ParamSet`](crate::param::ParamSet). During forward/backward a
+//! layer receives only *its own* slice of the flat data and gradient
+//! vectors, so layers are independent of global layout.
+
+use dgs_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use dgs_tensor::matmul::{matmul_a_bt, matmul_at_b, matmul_slices};
+use dgs_tensor::ops::{relu, relu_backward};
+use dgs_tensor::pool::{
+    global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward,
+    MaxPoolSpec,
+};
+use dgs_tensor::rng::{fill_normal, seeded};
+use dgs_tensor::{Shape, Tensor};
+
+/// A differentiable network layer with externally owned parameters.
+///
+/// Contract: `forward` caches whatever `backward` needs; `backward` must be
+/// called at most once per `forward`, with `dy` matching the last output
+/// shape, and *accumulates* into its gradient slice (callers zero the flat
+/// grad vector once per step).
+pub trait Layer: Send {
+    /// Diagnostic name, also used to label partition segments.
+    fn name(&self) -> &str;
+
+    /// `(suffix, len)` of each parameter segment, e.g. `[("weight", 64),
+    /// ("bias", 8)]`. Empty for parameter-free layers.
+    fn param_sizes(&self) -> Vec<(&'static str, usize)>;
+
+    /// Writes initial parameter values into this layer's flat slice.
+    fn init_params(&self, params: &mut [f32], seed: u64);
+
+    /// Shape of the output for a given input shape (batch included).
+    fn output_shape(&self, input: &Shape) -> Shape;
+
+    /// Forward pass; `params` is this layer's slice of the flat vector.
+    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor;
+
+    /// Backward pass; accumulates into `grad` (this layer's slice) and
+    /// returns the gradient w.r.t. the layer input.
+    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor;
+
+    /// Estimated multiply-accumulate count for a forward+backward pass at
+    /// batch size `batch`; feeds the DES compute-time model.
+    fn flops(&self, input: &Shape) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer: `y = x·Wᵀ + b` with `W: out×in` (row-major).
+pub struct Linear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates an `in_features → out_features` linear layer.
+    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
+        Linear { name: name.into(), in_features, out_features, cached_input: None }
+    }
+
+    fn weight_len(&self) -> usize {
+        self.in_features * self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        vec![("weight", self.weight_len()), ("bias", self.out_features)]
+    }
+
+    fn init_params(&self, params: &mut [f32], seed: u64) {
+        // Kaiming-style: std = sqrt(2 / fan_in); biases zero.
+        let std = (2.0 / self.in_features as f32).sqrt();
+        let (w, b) = params.split_at_mut(self.weight_len());
+        let mut rng = seeded(seed);
+        fill_normal(&mut rng, w, 0.0, std);
+        b.fill(0.0);
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let (n, d) = input.as_matrix();
+        assert_eq!(d, self.in_features, "linear {} input dim", self.name);
+        Shape::from([n, self.out_features])
+    }
+
+    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+        let (n, d) = x.shape().as_matrix();
+        assert_eq!(d, self.in_features, "linear {} input dim", self.name);
+        let w = &params[..self.weight_len()];
+        let b = &params[self.weight_len()..];
+        // y = x (n×in) · Wᵀ (in×out); W stored out×in so use A·Bᵀ.
+        let w_t = Tensor::from_vec([self.out_features, self.in_features], w.to_vec()).unwrap();
+        let mut y = matmul_a_bt(&x, &w_t);
+        for row in y.data_mut().chunks_mut(self.out_features) {
+            for (v, &bi) in row.iter_mut().zip(b.iter()) {
+                *v += bi;
+            }
+        }
+        let _ = n;
+        self.cached_input = Some(x);
+        y
+    }
+
+    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("linear backward without forward");
+        let w = &params[..self.weight_len()];
+        // dW = dYᵀ·X  (out×n · n×in): use Aᵀ·B with A = dY stored n×out.
+        let dw = matmul_at_b(&dy, &x);
+        let (gw, gb) = grad.split_at_mut(self.weight_len());
+        for (g, &v) in gw.iter_mut().zip(dw.data().iter()) {
+            *g += v;
+        }
+        let (n, _) = dy.shape().as_matrix();
+        for r in 0..n {
+            let row = &dy.data()[r * self.out_features..(r + 1) * self.out_features];
+            for (g, &v) in gb.iter_mut().zip(row.iter()) {
+                *g += v;
+            }
+        }
+        // dX = dY (n×out) · W (out×in)
+        let mut dx = Tensor::zeros([n, self.in_features]);
+        matmul_slices(dy.data(), w, dx.data_mut(), n, self.out_features, self.in_features);
+        dx
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        let (n, _) = input.as_matrix();
+        // forward + two backward matmuls.
+        (6 * n * self.in_features * self.out_features) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution layer over NCHW tensors (square kernel).
+pub struct Conv2d {
+    name: String,
+    spec: Conv2dSpec,
+    with_bias: bool,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        with_bias: bool,
+    ) -> Self {
+        Conv2d {
+            name: name.into(),
+            spec: Conv2dSpec { in_channels, out_channels, kernel, stride, padding },
+            with_bias,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        let mut v = vec![("weight", self.spec.weight_len())];
+        if self.with_bias {
+            v.push(("bias", self.spec.out_channels));
+        }
+        v
+    }
+
+    fn init_params(&self, params: &mut [f32], seed: u64) {
+        let fan_in = self.spec.in_channels * self.spec.kernel * self.spec.kernel;
+        let std = (2.0 / fan_in as f32).sqrt();
+        let wl = self.spec.weight_len();
+        let mut rng = seeded(seed);
+        fill_normal(&mut rng, &mut params[..wl], 0.0, std);
+        if self.with_bias {
+            params[wl..].fill(0.0);
+        }
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let (n, c, h, w) = input.as_nchw();
+        assert_eq!(c, self.spec.in_channels, "conv {} input channels", self.name);
+        let (oh, ow) = self.spec.out_hw(h, w);
+        Shape::from([n, self.spec.out_channels, oh, ow])
+    }
+
+    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+        let wl = self.spec.weight_len();
+        let (w, b) = params.split_at(wl);
+        let y = conv2d_forward(&x, w, if self.with_bias { b } else { &[] }, &self.spec);
+        self.cached_input = Some(x);
+        y
+    }
+
+    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("conv backward without forward");
+        let wl = self.spec.weight_len();
+        let w = &params[..wl];
+        let grads = conv2d_backward(&x, w, &dy, &self.spec, self.with_bias);
+        let (gw, gb) = grad.split_at_mut(wl);
+        for (g, &v) in gw.iter_mut().zip(grads.dweight.iter()) {
+            *g += v;
+        }
+        for (g, &v) in gb.iter_mut().zip(grads.dbias.iter()) {
+            *g += v;
+        }
+        grads.dx
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        let (n, _, h, w) = input.as_nchw();
+        3 * self.spec.flops(n, h, w)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Elementwise ReLU.
+pub struct ReLU {
+    name: String,
+    cached_input: Option<Tensor>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReLU { name: name.into(), cached_input: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    fn init_params(&self, _params: &mut [f32], _seed: u64) {}
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        input.clone()
+    }
+
+    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+        let y = relu(&x);
+        self.cached_input = Some(x);
+        y
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("relu backward without forward");
+        relu_backward(&x, &dy)
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        input.numel() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChannelNorm (BatchNorm that always uses batch statistics)
+// ---------------------------------------------------------------------------
+
+/// Per-channel normalisation with learnable scale/shift.
+///
+/// Normalises every channel by the mean/variance of the *current batch*
+/// (BatchNorm's training behaviour) in both train and eval. This keeps the
+/// model a pure function of its parameters — required for the server-side
+/// model reconstruction `θ_t = θ_0 + M_t` — see the crate docs.
+pub struct ChannelNorm {
+    name: String,
+    channels: usize,
+    eps: f32,
+    // Caches for backward.
+    cached: Option<NormCache>,
+}
+
+struct NormCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Shape,
+}
+
+impl ChannelNorm {
+    /// Creates a normalisation layer over `channels` channels of an NCHW
+    /// tensor (or the feature dim of an N×C tensor).
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        ChannelNorm { name: name.into(), channels, eps: 1e-5, cached: None }
+    }
+
+    /// For each channel, the list of flat element offsets is implied by the
+    /// layout; this iterates `(channel, flat_index)` pairs.
+    fn for_each_channel(
+        shape: &Shape,
+        channels: usize,
+        mut f: impl FnMut(usize, usize),
+    ) {
+        match shape.rank() {
+            2 => {
+                let (n, c) = shape.as_matrix();
+                assert_eq!(c, channels);
+                for i in 0..n {
+                    for ch in 0..c {
+                        f(ch, i * c + ch);
+                    }
+                }
+            }
+            4 => {
+                let (n, c, h, w) = shape.as_nchw();
+                assert_eq!(c, channels);
+                for i in 0..n {
+                    for ch in 0..c {
+                        let base = (i * c + ch) * h * w;
+                        for p in 0..h * w {
+                            f(ch, base + p);
+                        }
+                    }
+                }
+            }
+            r => panic!("ChannelNorm supports rank 2 or 4 inputs, got rank {r}"),
+        }
+    }
+
+    fn counts_per_channel(shape: &Shape, channels: usize) -> f32 {
+        (shape.numel() / channels) as f32
+    }
+}
+
+impl Layer for ChannelNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        vec![("gamma", self.channels), ("beta", self.channels)]
+    }
+
+    fn init_params(&self, params: &mut [f32], _seed: u64) {
+        let (g, b) = params.split_at_mut(self.channels);
+        g.fill(1.0);
+        b.fill(0.0);
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        input.clone()
+    }
+
+    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+        let c = self.channels;
+        let (gamma, beta) = params.split_at(c);
+        let count = Self::counts_per_channel(x.shape(), c);
+        let mut mean = vec![0.0f32; c];
+        Self::for_each_channel(x.shape(), c, |ch, i| mean[ch] += x.data()[i]);
+        for m in mean.iter_mut() {
+            *m /= count;
+        }
+        let mut var = vec![0.0f32; c];
+        Self::for_each_channel(x.shape(), c, |ch, i| {
+            let d = x.data()[i] - mean[ch];
+            var[ch] += d * d;
+        });
+        let inv_std: Vec<f32> =
+            var.iter().map(|&v| 1.0 / (v / count + self.eps).sqrt()).collect();
+        let mut x_hat = x.clone();
+        let shape = x.shape().clone();
+        {
+            let xh = x_hat.data_mut();
+            Self::for_each_channel(&shape, c, |ch, i| {
+                xh[i] = (xh[i] - mean[ch]) * inv_std[ch];
+            });
+        }
+        let mut y = x_hat.clone();
+        {
+            let yd = y.data_mut();
+            Self::for_each_channel(&shape, c, |ch, i| {
+                yd[i] = yd[i] * gamma[ch] + beta[ch];
+            });
+        }
+        self.cached = Some(NormCache { x_hat, inv_std, input_shape: shape });
+        y
+    }
+
+    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+        let cache = self.cached.take().expect("norm backward without forward");
+        let c = self.channels;
+        let gamma = &params[..c];
+        let count = Self::counts_per_channel(&cache.input_shape, c);
+
+        // Parameter grads.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        Self::for_each_channel(&cache.input_shape, c, |ch, i| {
+            dgamma[ch] += dy.data()[i] * cache.x_hat.data()[i];
+            dbeta[ch] += dy.data()[i];
+        });
+        let (gg, gb) = grad.split_at_mut(c);
+        for (g, &v) in gg.iter_mut().zip(dgamma.iter()) {
+            *g += v;
+        }
+        for (g, &v) in gb.iter_mut().zip(dbeta.iter()) {
+            *g += v;
+        }
+
+        // Input grad (standard batch-norm backward):
+        // dx = (γ·inv_std/count) · (count·dy − Σdy − x̂·Σ(dy·x̂))
+        let mut dx = Tensor::zeros(cache.input_shape.clone());
+        {
+            let dxd = dx.data_mut();
+            Self::for_each_channel(&cache.input_shape, c, |ch, i| {
+                let g = gamma[ch] * cache.inv_std[ch] / count;
+                dxd[i] = g
+                    * (count * dy.data()[i]
+                        - dbeta[ch]
+                        - cache.x_hat.data()[i] * dgamma[ch]);
+            });
+        }
+        dx
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        (input.numel() * 8) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d / GlobalAvgPool / Flatten
+// ---------------------------------------------------------------------------
+
+/// Max pooling with window == stride.
+pub struct MaxPool2d {
+    name: String,
+    spec: MaxPoolSpec,
+    cached: Option<(Shape, Vec<u32>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given square window.
+    pub fn new(name: impl Into<String>, window: usize) -> Self {
+        MaxPool2d { name: name.into(), spec: MaxPoolSpec { window }, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    fn init_params(&self, _params: &mut [f32], _seed: u64) {}
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let (n, c, h, w) = input.as_nchw();
+        let (oh, ow) = self.spec.out_hw(h, w);
+        Shape::from([n, c, oh, ow])
+    }
+
+    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+        let out = maxpool2d_forward(&x, &self.spec);
+        self.cached = Some((x.shape().clone(), out.argmax));
+        out.y
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+        let (shape, argmax) = self.cached.take().expect("pool backward without forward");
+        maxpool2d_backward(&shape, &argmax, &dy)
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        input.numel() as u64
+    }
+}
+
+/// Global average pooling `N×C×H×W → N×C`.
+pub struct GlobalAvgPool {
+    name: String,
+    cached_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool { name: name.into(), cached_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    fn init_params(&self, _params: &mut [f32], _seed: u64) {}
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let (n, c, _, _) = input.as_nchw();
+        Shape::from([n, c])
+    }
+
+    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+        let y = global_avg_pool_forward(&x);
+        self.cached_shape = Some(x.shape().clone());
+        y
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+        let shape = self.cached_shape.take().expect("gap backward without forward");
+        global_avg_pool_backward(&shape, &dy)
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        input.numel() as u64
+    }
+}
+
+/// Flattens `N×C×H×W → N×(C·H·W)`.
+pub struct Flatten {
+    name: String,
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten { name: name.into(), cached_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_sizes(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    fn init_params(&self, _params: &mut [f32], _seed: u64) {}
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let n = input.dim(0);
+        Shape::from([n, input.numel() / n])
+    }
+
+    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+        let shape = x.shape().clone();
+        let n = shape.dim(0);
+        let flat = shape.numel() / n;
+        self.cached_shape = Some(shape);
+        x.reshape([n, flat]).unwrap()
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+        let shape = self.cached_shape.take().expect("flatten backward without forward");
+        dy.reshape(shape).unwrap()
+    }
+
+    fn flops(&self, _input: &Shape) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_tensor::assert_slice_approx_eq;
+
+    fn alloc_params(layer: &dyn Layer, seed: u64) -> Vec<f32> {
+        let n: usize = layer.param_sizes().iter().map(|&(_, l)| l).sum();
+        let mut p = vec![0.0f32; n];
+        layer.init_params(&mut p, seed);
+        p
+    }
+
+    /// Numerical-vs-analytic gradient check driving a layer through a
+    /// sum-of-outputs loss.
+    fn grad_check(layer: &mut dyn Layer, x: &Tensor, params: &[f32], tol: f32) {
+        let y = layer.forward(params, x.clone());
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let mut grad = vec![0.0f32; params.len()];
+        let dx = layer.backward(params, &mut grad, dy);
+        let eps = 1e-2f32;
+
+        // Parameter gradients on a sample of coordinates.
+        let sample: Vec<usize> = if params.is_empty() {
+            vec![]
+        } else {
+            vec![0, params.len() / 2, params.len() - 1]
+        };
+        for &pi in &sample {
+            let mut pp = params.to_vec();
+            pp[pi] += eps;
+            let lp = layer.forward(&pp, x.clone()).sum();
+            layer.backward(&pp, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let mut pm = params.to_vec();
+            pm[pi] -= eps;
+            let lm = layer.forward(&pm, x.clone()).sum();
+            layer.backward(&pm, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - grad[pi]).abs() <= tol * num.abs().max(1.0),
+                "param grad [{pi}] numerical {num} vs analytic {}",
+                grad[pi]
+            );
+        }
+        // Input gradients on a sample of coordinates.
+        for &xi in &[0usize, x.numel() / 2, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let lp = layer.forward(params, xp).sum();
+            layer.backward(params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let lm = layer.forward(params, xm).sum();
+            layer.backward(params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - dx.data()[xi]).abs() <= tol * num.abs().max(1.0),
+                "input grad [{xi}] numerical {num} vs analytic {}",
+                dx.data()[xi]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_forward_known_values() {
+        let mut l = Linear::new("fc", 2, 3);
+        // W = [[1,0],[0,1],[1,1]], b = [0.5, -0.5, 0]
+        let params = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5, 0.0];
+        let x = Tensor::from_vec([1, 2], vec![2.0, 3.0]).unwrap();
+        let y = l.forward(&params, x);
+        assert_slice_approx_eq(y.data(), &[2.5, 2.5, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn linear_grad_check() {
+        let mut l = Linear::new("fc", 5, 4);
+        let params = alloc_params(&l, 1);
+        let x = Tensor::randn([3, 5], 1.0, 2);
+        grad_check(&mut l, &x, &params, 2e-2);
+    }
+
+    #[test]
+    fn linear_grad_accumulates() {
+        let mut l = Linear::new("fc", 2, 2);
+        let params = alloc_params(&l, 1);
+        let x = Tensor::randn([2, 2], 1.0, 3);
+        let mut grad = vec![0.0f32; params.len()];
+        let y = l.forward(&params, x.clone());
+        l.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0));
+        let first = grad.clone();
+        let y = l.forward(&params, x);
+        l.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0));
+        for (a, b) in grad.iter().zip(first.iter()) {
+            assert!((a - 2.0 * b).abs() < 1e-5, "grad should double: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_layer_grad_check() {
+        let mut l = Conv2d::new("conv", 2, 3, 3, 1, 1, true);
+        let params = alloc_params(&l, 4);
+        let x = Tensor::randn([2, 2, 5, 5], 1.0, 5);
+        grad_check(&mut l, &x, &params, 3e-2);
+    }
+
+    #[test]
+    fn relu_layer_roundtrip() {
+        let mut l = ReLU::new("relu");
+        let x = Tensor::from_vec([1, 4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let y = l.forward(&[], x);
+        assert_slice_approx_eq(y.data(), &[0.0, 2.0, 0.0, 4.0], 1e-6);
+        let dx = l.backward(&[], &mut [], Tensor::full([1, 4], 1.0));
+        assert_slice_approx_eq(dx.data(), &[0.0, 1.0, 0.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn channelnorm_normalises() {
+        let mut l = ChannelNorm::new("norm", 2);
+        let params = alloc_params(&l, 0);
+        let x = Tensor::randn([8, 2], 3.0, 6);
+        let y = l.forward(&params, x);
+        // Each channel of the output should have ~zero mean, ~unit variance.
+        for ch in 0..2 {
+            let vals: Vec<f32> = (0..8).map(|i| y.data()[i * 2 + ch]).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 8.0;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn channelnorm_grad_check_2d() {
+        let mut l = ChannelNorm::new("norm", 3);
+        let mut params = alloc_params(&l, 0);
+        // Non-trivial gamma/beta so parameter grads are exercised.
+        params.copy_from_slice(&[1.5, 0.5, 2.0, 0.1, -0.2, 0.3]);
+        let x = Tensor::randn([6, 3], 1.0, 7);
+        grad_check(&mut l, &x, &params, 3e-2);
+    }
+
+    #[test]
+    fn channelnorm_grad_check_4d() {
+        let mut l = ChannelNorm::new("norm", 2);
+        let params = alloc_params(&l, 0);
+        let x = Tensor::randn([2, 2, 3, 3], 1.0, 8);
+        grad_check(&mut l, &x, &params, 3e-2);
+    }
+
+    #[test]
+    fn maxpool_layer_shapes() {
+        let mut l = MaxPool2d::new("pool", 2);
+        let x = Tensor::randn([2, 3, 8, 8], 1.0, 9);
+        assert_eq!(l.output_shape(x.shape()).dims(), &[2, 3, 4, 4]);
+        let y = l.forward(&[], x.clone());
+        assert_eq!(y.shape().dims(), &[2, 3, 4, 4]);
+        let dx = l.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0));
+        assert_eq!(dx.shape(), x.shape());
+        // Each 2x2 window routes exactly one gradient.
+        let total: f64 = dx.sum();
+        assert!((total - (2 * 3 * 4 * 4) as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gap_and_flatten_shapes() {
+        let mut g = GlobalAvgPool::new("gap");
+        let x = Tensor::randn([2, 5, 4, 4], 1.0, 10);
+        let y = g.forward(&[], x.clone());
+        assert_eq!(y.shape().dims(), &[2, 5]);
+        let dx = g.backward(&[], &mut [], Tensor::full([2, 5], 1.0));
+        assert_eq!(dx.shape(), x.shape());
+
+        let mut f = Flatten::new("flat");
+        let y = f.forward(&[], x.clone());
+        assert_eq!(y.shape().dims(), &[2, 80]);
+        let dx = f.backward(&[], &mut [], y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let l = Linear::new("fc", 10, 10);
+        let mut a = vec![0.0f32; 110];
+        let mut b = vec![0.0f32; 110];
+        l.init_params(&mut a, 42);
+        l.init_params(&mut b, 42);
+        assert_eq!(a, b);
+        l.init_params(&mut b, 43);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flops_nonzero_for_compute_layers() {
+        let l = Linear::new("fc", 8, 8);
+        assert!(l.flops(&Shape::from([4, 8])) > 0);
+        let c = Conv2d::new("conv", 3, 8, 3, 1, 1, true);
+        assert!(c.flops(&Shape::from([4, 3, 16, 16])) > 0);
+    }
+}

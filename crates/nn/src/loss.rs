@@ -1,0 +1,117 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use dgs_tensor::ops::log_softmax_rows;
+use dgs_tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch of logits, plus the gradient
+/// w.r.t. the logits.
+///
+/// `logits` is `[batch, classes]`, `labels[i] < classes`. The gradient is
+/// `(softmax(logits) − onehot) / batch`, so downstream SGD steps see the
+/// *mean* gradient regardless of batch size.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    let (batch, classes) = logits.shape().as_matrix();
+    assert_eq!(batch, labels.len(), "labels/batch mismatch");
+    let log_probs = log_softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut dlogits = log_probs.clone();
+    let inv_batch = 1.0 / batch as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range ({classes} classes)");
+        let row = &mut dlogits.data_mut()[r * classes..(r + 1) * classes];
+        loss -= row[label] as f64;
+        for v in row.iter_mut() {
+            *v = v.exp() * inv_batch; // softmax / batch
+        }
+        row[label] -= inv_batch;
+    }
+    (loss / batch as f64, dlogits)
+}
+
+/// Number of rows whose argmax equals the label.
+pub fn top1_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    logits
+        .argmax_rows()
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count()
+}
+
+/// Top-1 accuracy in `[0, 1]`.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    top1_correct(logits, labels) as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_of_uniform_logits_is_log_classes() {
+        let logits = Tensor::zeros([4, 10]);
+        let labels = vec![0, 3, 5, 9];
+        let (loss, _) = softmax_cross_entropy(&logits, &labels);
+        assert!((loss - (10.0f64).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let mut logits = Tensor::zeros([2, 3]);
+        logits.data_mut()[0] = 20.0; // row 0 -> class 0
+        logits.data_mut()[3 + 2] = 20.0; // row 1 -> class 2
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 2]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let logits = Tensor::randn([3, 4], 1.0, 9);
+        let labels = vec![1, 0, 3];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-2f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
+                / (2.0 * eps as f64);
+            assert!(
+                (num as f32 - grad.data()[i]).abs() < 1e-3,
+                "dlogits[{i}]: {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::randn([5, 7], 2.0, 10);
+        let labels = vec![0, 1, 2, 3, 4];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        for r in 0..5 {
+            let s: f32 = grad.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits =
+            Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert_eq!(top1_correct(&logits, &[0, 1, 1]), 2);
+        assert!((top1_accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(top1_accuracy(&Tensor::zeros([0, 2]), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        softmax_cross_entropy(&Tensor::zeros([1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,275 @@
+//! First-order optimizers over flat parameter vectors.
+//!
+//! The distributed trainers implement their update rules inline (they *are*
+//! the object of study), but a release-grade NN library also needs plain
+//! single-node optimizers. All of them operate on `(params, grads)` slices
+//! so they compose with [`ParamSet`](crate::param::ParamSet) directly.
+
+/// A stateful first-order optimizer.
+pub trait Optimizer: Send {
+    /// Applies one update step given the current gradients.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Updates the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Plain SGD: `θ ← θ − η∇`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, weight_decay: 0.0 }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, &g) in params.iter_mut().zip(grads.iter()) {
+            *p -= self.lr * (g + self.weight_decay * *p);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Heavy-ball momentum SGD (the paper's MSGD): `u ← m·u + η∇`, `θ ← θ − u`.
+/// With `nesterov`, the lookahead variant: `θ ← θ − (m·u + η∇)` after the
+/// velocity update.
+#[derive(Debug, Clone)]
+pub struct MomentumSgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    nesterov: bool,
+    velocity: Vec<f32>,
+}
+
+impl MomentumSgd {
+    /// Creates momentum SGD for `dim` parameters.
+    pub fn new(dim: usize, lr: f32, momentum: f32) -> Self {
+        MomentumSgd { lr, momentum, weight_decay: 0.0, nesterov: false, velocity: vec![0.0; dim] }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Enables Nesterov lookahead.
+    pub fn nesterov(mut self) -> Self {
+        self.nesterov = true;
+        self
+    }
+
+    /// The velocity buffer (for tests).
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+}
+
+impl Optimizer for MomentumSgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        assert_eq!(params.len(), self.velocity.len());
+        for ((p, u), &g) in params.iter_mut().zip(self.velocity.iter_mut()).zip(grads.iter())
+        {
+            let g = g + self.weight_decay * *p;
+            *u = self.momentum * *u + self.lr * g;
+            if self.nesterov {
+                *p -= self.momentum * *u + self.lr * g;
+            } else {
+                *p -= *u;
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba): bias-corrected first/second-moment adaptive steps.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults (β₁ 0.9, β₂ 0.999, ε 1e-8).
+    pub fn new(dim: usize, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Overrides the moment coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Adds (coupled) L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, m), v), &g) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+            .zip(grads.iter())
+        {
+            let g = g + self.weight_decay * *p;
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = Σ (x_i − target_i)² with gradient 2(x − target).
+    fn optimise(opt: &mut dyn Optimizer, steps: usize) -> Vec<f32> {
+        let target = [1.0f32, -2.0, 0.5, 3.0];
+        let mut x = vec![0.0f32; 4];
+        for _ in 0..steps {
+            let grads: Vec<f32> =
+                x.iter().zip(target.iter()).map(|(&xi, &t)| 2.0 * (xi - t)).collect();
+            opt.step(&mut x, &grads);
+        }
+        x.iter().zip(target.iter()).map(|(&xi, &t)| (xi - t).abs()).collect()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let err = optimise(&mut opt, 200);
+        assert!(err.iter().all(|&e| e < 1e-3), "{err:?}");
+    }
+
+    #[test]
+    fn momentum_converges_faster_than_sgd() {
+        let mut sgd = Sgd::new(0.02);
+        let mut mom = MomentumSgd::new(4, 0.02, 0.9);
+        let err_sgd: f32 = optimise(&mut sgd, 50).iter().sum();
+        let err_mom: f32 = optimise(&mut mom, 50).iter().sum();
+        assert!(
+            err_mom < err_sgd,
+            "momentum should accelerate: {err_mom} vs {err_sgd}"
+        );
+    }
+
+    #[test]
+    fn nesterov_converges() {
+        let mut opt = MomentumSgd::new(4, 0.02, 0.9).nesterov();
+        let err = optimise(&mut opt, 200);
+        assert!(err.iter().all(|&e| e < 1e-2), "{err:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(4, 0.3);
+        let err = optimise(&mut opt, 300);
+        assert!(err.iter().all(|&e| e < 1e-2), "{err:?}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        // With a zero task gradient, decay shrinks parameters geometrically.
+        let mut opt = Sgd::new(0.1).with_weight_decay(1.0);
+        let mut x = vec![1.0f32; 3];
+        let grads = vec![0.0f32; 3];
+        for _ in 0..10 {
+            opt.step(&mut x, &grads);
+        }
+        assert!(x.iter().all(|&v| v > 0.0 && v < 0.5), "{x:?}");
+    }
+
+    #[test]
+    fn lr_schedule_hooks() {
+        let mut opt = Adam::new(2, 0.1);
+        assert_eq!(opt.lr(), 0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+        let mut m = MomentumSgd::new(2, 0.1, 0.5);
+        m.set_lr(0.2);
+        assert_eq!(m.lr(), 0.2);
+    }
+
+    #[test]
+    fn momentum_matches_msgd_recurrence() {
+        // One step by hand: u = m·0 + η·g; θ = θ0 − u.
+        let mut opt = MomentumSgd::new(2, 0.1, 0.7);
+        let mut x = vec![1.0f32, 2.0];
+        opt.step(&mut x, &[1.0, -1.0]);
+        assert!((x[0] - 0.9).abs() < 1e-6);
+        assert!((x[1] - 2.1).abs() < 1e-6);
+        assert!((opt.velocity()[0] - 0.1).abs() < 1e-6);
+        // Second step folds in the decayed velocity.
+        opt.step(&mut x, &[1.0, -1.0]);
+        assert!((opt.velocity()[0] - (0.7 * 0.1 + 0.1)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the cluster engines: conservation laws and
+//! timing monotonicity of the discrete-event simulator, and exactly-once
+//! delivery in the thread engine, for arbitrary cluster geometries.
+
+use dgs_psim::des::{run_des, DesNetwork, DesServer, DesWorker};
+use dgs_psim::thread_engine::{run_cluster, ServerLogic, WorkerLogic};
+use dgs_psim::NetworkModel;
+use proptest::prelude::*;
+
+struct PropServer {
+    proc_time: f64,
+    reply_bytes: usize,
+    arrivals: Vec<f64>,
+}
+
+impl DesServer for PropServer {
+    type Up = ();
+    type Down = ();
+
+    fn handle(&mut self, _w: usize, _s: u64, vtime: f64, _up: ()) -> ((), usize, f64) {
+        self.arrivals.push(vtime);
+        ((), self.reply_bytes, self.proc_time)
+    }
+}
+
+struct PropWorker {
+    compute: f64,
+    bytes: usize,
+    applied: usize,
+}
+
+impl DesWorker for PropWorker {
+    type Up = ();
+    type Down = ();
+
+    fn compute(&mut self) -> ((), usize, f64) {
+        ((), self.bytes, self.compute)
+    }
+
+    fn apply(&mut self, _d: ()) {
+        self.applied += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every DES run processes exactly workers × iters iterations, counts
+    /// bytes exactly, serves arrivals in nondecreasing virtual time, and
+    /// accumulates server-busy time = iterations × proc.
+    #[test]
+    fn des_conservation(
+        workers in 1usize..8,
+        iters in 0usize..12,
+        compute_ms in 1u32..50,
+        proc_us in 0u32..500,
+        bytes in 0usize..10_000,
+        shared in proptest::bool::ANY,
+    ) {
+        let mut server = PropServer {
+            proc_time: proc_us as f64 * 1e-6,
+            reply_bytes: bytes / 2,
+            arrivals: Vec::new(),
+        };
+        let mut ws: Vec<PropWorker> = (0..workers)
+            .map(|_| PropWorker { compute: compute_ms as f64 * 1e-3, bytes, applied: 0 })
+            .collect();
+        let net = if shared {
+            DesNetwork::shared(NetworkModel::one_gbps())
+        } else {
+            DesNetwork::per_worker(NetworkModel::one_gbps())
+        };
+        let report = run_des(&mut server, &mut ws, iters, net);
+        prop_assert_eq!(report.iterations, (workers * iters) as u64);
+        prop_assert_eq!(report.bytes_up, (workers * iters * bytes) as u64);
+        prop_assert_eq!(report.bytes_down, (workers * iters * (bytes / 2)) as u64);
+        prop_assert!(ws.iter().all(|w| w.applied == iters));
+        prop_assert!(
+            server.arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "server arrivals out of order"
+        );
+        let expect_busy = report.iterations as f64 * proc_us as f64 * 1e-6;
+        prop_assert!((report.server_busy - expect_busy).abs() < 1e-9);
+        if iters > 0 && workers > 0 {
+            // Total time at least one full round trip.
+            let min_rt = compute_ms as f64 * 1e-3;
+            prop_assert!(report.total_time >= min_rt * iters as f64 * 0.999);
+        }
+    }
+
+    /// Shared-NIC runs are never faster than per-worker-link runs of the
+    /// same workload.
+    #[test]
+    fn shared_never_faster(
+        workers in 1usize..6,
+        iters in 1usize..8,
+        bytes in 100usize..50_000,
+    ) {
+        let mk = || PropServer { proc_time: 0.0, reply_bytes: bytes, arrivals: Vec::new() };
+        let mk_w = |n: usize| -> Vec<PropWorker> {
+            (0..n).map(|_| PropWorker { compute: 1e-4, bytes, applied: 0 }).collect()
+        };
+        let net = NetworkModel::new(0.01, 10.0);
+        let mut s1 = mk();
+        let mut w1 = mk_w(workers);
+        let shared = run_des(&mut s1, &mut w1, iters, DesNetwork::shared(net));
+        let mut s2 = mk();
+        let mut w2 = mk_w(workers);
+        let private = run_des(&mut s2, &mut w2, iters, DesNetwork::per_worker(net));
+        prop_assert!(
+            shared.total_time >= private.total_time - 1e-12,
+            "sharing cannot speed things up: {} vs {}",
+            shared.total_time,
+            private.total_time
+        );
+    }
+
+    /// Thread engine: exactly-once processing for arbitrary geometries.
+    #[test]
+    fn thread_engine_exactly_once(workers in 1usize..6, iters in 0usize..20) {
+        struct CountServer {
+            per_worker: Vec<u64>,
+        }
+        impl ServerLogic for CountServer {
+            type Request = usize;
+            type Reply = usize;
+            fn handle(&mut self, worker: usize, _seq: u64, req: usize) -> usize {
+                self.per_worker[worker] += 1;
+                req + 1
+            }
+            fn request_bytes(_: &usize) -> usize { 8 }
+            fn reply_bytes(_: &usize) -> usize { 8 }
+        }
+        struct EchoWorker {
+            sent: usize,
+            received: usize,
+        }
+        impl WorkerLogic for EchoWorker {
+            type Request = usize;
+            type Reply = usize;
+            fn step(&mut self, iter: usize) -> usize {
+                self.sent += 1;
+                iter
+            }
+            fn apply(&mut self, reply: usize) {
+                self.received = reply;
+            }
+        }
+        let server = CountServer { per_worker: vec![0; workers] };
+        let ws: Vec<EchoWorker> =
+            (0..workers).map(|_| EchoWorker { sent: 0, received: 0 }).collect();
+        let report = run_cluster(server, ws, iters);
+        prop_assert!(report.server.per_worker.iter().all(|&c| c == iters as u64));
+        prop_assert!(report.workers.iter().all(|w| w.sent == iters));
+        prop_assert_eq!(report.traffic.msgs_up, (workers * iters) as u64);
+        prop_assert_eq!(report.traffic.msgs_down, (workers * iters) as u64);
+        if iters > 0 {
+            // Last reply echoes the final iteration index + 1.
+            prop_assert!(report.workers.iter().all(|w| w.received == iters));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # dgs-sparsify
+//!
+//! Gradient sparsification primitives for the DGS reproduction:
+//!
+//! * [`partition`] — [`Partition`]: maps a flat parameter vector onto the
+//!   per-layer segments the paper sparsifies independently ("iterate over
+//!   every layer", Alg. 1/3).
+//! * [`topk`] — exact and sampled Top-k threshold/index selection over a
+//!   segment, plus the mask/gather/scatter helpers the worker algorithms
+//!   are built from (`sparsify()` / `unsparsify()` in the paper's notation).
+//! * [`coo`] — the COO wire format (`encode()` / `decode()` in the paper):
+//!   index+value pairs packed into [`bytes::Bytes`], with exact byte-size
+//!   accounting used by the network simulator.
+//! * [`quant`] — TernGrad-style ternary quantization of sparse payloads
+//!   (the paper's future-work combination, §6).
+//! * [`random_drop`] — unbiased random coordinate dropping (Wangni et al.),
+//!   the other compression family the paper names for combination.
+//! * [`stats`] — compression-ratio accounting.
+//!
+//! The crate is deliberately independent of the tensor/NN crates: everything
+//! operates on `&[f32]` segments so the same code path serves worker-side
+//! gradient sparsification, server-side secondary compression, and tests.
+
+pub mod coo;
+pub mod partition;
+pub mod quant;
+pub mod random_drop;
+pub mod stats;
+pub mod topk;
+
+pub use coo::{SparseUpdate, SparseVec};
+pub use partition::{Partition, Segment};
+pub use quant::{TernaryUpdate, TernaryVec};
+pub use random_drop::{random_unbiased_sparsify, random_unbiased_update};
+pub use stats::CompressionStats;
+pub use topk::{
+    gather, hierarchical_threshold, sampled_threshold, scale_all_except, scatter_add,
+    topk_indices, topk_threshold, zero_at,
+};
+
+/// Computes the Top-k element count for a segment of `len` values at
+/// sparsification ratio `ratio` (`ratio = 0.01` keeps the top 1%).
+///
+/// Always keeps at least one element of a non-empty segment so that every
+/// layer makes progress, mirroring the paper's per-layer thresholding (a
+/// layer whose R% rounds to zero would otherwise never be updated).
+pub fn k_for_ratio(len: usize, ratio: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let k = (len as f64 * ratio).ceil() as usize;
+    k.clamp(1, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_for_ratio_bounds() {
+        assert_eq!(k_for_ratio(0, 0.01), 0);
+        assert_eq!(k_for_ratio(1, 0.01), 1);
+        assert_eq!(k_for_ratio(100, 0.01), 1);
+        assert_eq!(k_for_ratio(1000, 0.01), 10);
+        assert_eq!(k_for_ratio(150, 0.01), 2); // ceil(1.5)
+        assert_eq!(k_for_ratio(10, 1.0), 10);
+        assert_eq!(k_for_ratio(10, 2.0), 10); // clamped to len
+    }
+}

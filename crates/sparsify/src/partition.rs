@@ -1,0 +1,136 @@
+//! Layer partitions over flat parameter vectors.
+//!
+//! Every model in the reproduction exposes its parameters as one flat
+//! `Vec<f32>`; a [`Partition`] records where each layer's parameters live in
+//! that vector. The paper's algorithms sparsify *per layer* ("for j = 0..J"),
+//! so the partition is threaded through every sparsification call.
+
+use serde::{Deserialize, Serialize};
+
+/// One named contiguous segment of the flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Human-readable layer/parameter name (e.g. `"conv1.weight"`).
+    pub name: String,
+    /// Start offset in the flat vector.
+    pub offset: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl Segment {
+    /// The half-open range `[offset, offset + len)` this segment covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// An ordered, gap-free partition of `[0, total_len)` into layer segments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    segments: Vec<Segment>,
+    total_len: usize,
+}
+
+impl Partition {
+    /// Builds a partition from `(name, len)` pairs laid out consecutively.
+    pub fn from_layer_sizes<S: Into<String>>(sizes: impl IntoIterator<Item = (S, usize)>) -> Self {
+        let mut segments = Vec::new();
+        let mut offset = 0usize;
+        for (name, len) in sizes {
+            segments.push(Segment { name: name.into(), offset, len });
+            offset += len;
+        }
+        Partition { segments, total_len: offset }
+    }
+
+    /// A single-segment partition covering the whole vector; used when
+    /// per-layer structure is irrelevant (e.g. microbenchmarks).
+    pub fn single(len: usize) -> Self {
+        Partition::from_layer_sizes([("all", len)])
+    }
+
+    /// The layer segments, in flat-vector order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments (layers).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total flat-vector length covered.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Borrows the sub-slice of `flat` belonging to segment `i`.
+    pub fn slice<'a>(&self, flat: &'a [f32], i: usize) -> &'a [f32] {
+        &flat[self.segments[i].range()]
+    }
+
+    /// Mutably borrows the sub-slice of `flat` belonging to segment `i`.
+    pub fn slice_mut<'a>(&self, flat: &'a mut [f32], i: usize) -> &'a mut [f32] {
+        &mut flat[self.segments[i].range()]
+    }
+
+    /// Verifies the partition covers `flat` exactly. Panics otherwise; used
+    /// as a debug assertion at trainer boundaries.
+    pub fn check_covers(&self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.total_len,
+            "partition covers {} elements but vector has {}",
+            self.total_len,
+            flat.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_consecutive() {
+        let p = Partition::from_layer_sizes([("a", 3), ("b", 5), ("c", 2)]);
+        assert_eq!(p.num_segments(), 3);
+        assert_eq!(p.total_len(), 10);
+        assert_eq!(p.segments()[0].range(), 0..3);
+        assert_eq!(p.segments()[1].range(), 3..8);
+        assert_eq!(p.segments()[2].range(), 8..10);
+        assert_eq!(p.segments()[1].name, "b");
+    }
+
+    #[test]
+    fn slicing() {
+        let p = Partition::from_layer_sizes([("a", 2), ("b", 3)]);
+        let mut v = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.slice(&v, 0), &[0.0, 1.0]);
+        assert_eq!(p.slice(&v, 1), &[2.0, 3.0, 4.0]);
+        p.slice_mut(&mut v, 1)[0] = 9.0;
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    fn single_partition() {
+        let p = Partition::single(7);
+        assert_eq!(p.num_segments(), 1);
+        assert_eq!(p.total_len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition covers")]
+    fn check_covers_rejects_mismatch() {
+        Partition::single(3).check_covers(&[0.0; 4]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::from_layer_sizes(Vec::<(&str, usize)>::new());
+        assert_eq!(p.total_len(), 0);
+        assert_eq!(p.num_segments(), 0);
+        p.check_covers(&[]);
+    }
+}

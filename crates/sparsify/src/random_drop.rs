@@ -1,0 +1,156 @@
+//! Unbiased random coordinate dropping (Wangni et al., 2018) — the second
+//! compression family the paper names for future combination with DGS.
+//!
+//! Instead of keeping the Top-k by magnitude (biased towards large values,
+//! compensated by residuals/momentum), each coordinate `i` is kept with
+//! probability `p_i ∝ |v_i|` (capped at 1) and rescaled by `1/p_i`, making
+//! the sparsified vector an *unbiased* estimator of the input:
+//! `E[sparsify(v)] = v`. The expected kept count is controlled by the
+//! target ratio.
+
+use crate::coo::SparseVec;
+use crate::partition::Partition;
+use crate::SparseUpdate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probability-proportional-to-magnitude sparsification of one segment.
+///
+/// Keeps coordinate `i` with probability `p_i = min(1, λ|v_i|)` where `λ`
+/// is chosen so that `Σ p_i ≈ target_ratio · n`, and stores `v_i / p_i`
+/// for the kept coordinates. Deterministic per `(seg, seed)`.
+pub fn random_unbiased_sparsify(seg: &[f32], target_ratio: f64, seed: u64) -> SparseVec {
+    let n = seg.len();
+    if n == 0 {
+        return SparseVec::default();
+    }
+    let budget = (target_ratio * n as f64).max(1.0);
+    let abs_sum: f64 = seg.iter().map(|v| v.abs() as f64).sum();
+    if abs_sum == 0.0 {
+        return SparseVec::default();
+    }
+    // First-order λ; a couple of fixed-point refinements handle the
+    // min(1, ·) cap for heavy-tailed segments.
+    let mut lambda = budget / abs_sum;
+    for _ in 0..4 {
+        let expected: f64 =
+            seg.iter().map(|v| (lambda * v.abs() as f64).min(1.0)).sum();
+        if expected <= 0.0 {
+            break;
+        }
+        lambda *= budget / expected;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for (i, &v) in seg.iter().enumerate() {
+        let p = (lambda * v.abs() as f64).min(1.0);
+        if p > 0.0 && (rng.gen::<f64>() < p) {
+            idx.push(i as u32);
+            val.push((v as f64 / p) as f32);
+        }
+    }
+    SparseVec { idx, val }
+}
+
+/// Per-layer unbiased random dropping over a flat vector.
+pub fn random_unbiased_update(
+    flat: &[f32],
+    part: &Partition,
+    target_ratio: f64,
+    seed: u64,
+) -> SparseUpdate {
+    part.check_covers(flat);
+    let chunks = (0..part.num_segments())
+        .map(|i| {
+            random_unbiased_sparsify(
+                part.slice(flat, i),
+                target_ratio,
+                seed.wrapping_add(i as u64),
+            )
+        })
+        .collect();
+    SparseUpdate { chunks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_zero_segments() {
+        assert_eq!(random_unbiased_sparsify(&[], 0.1, 1).nnz(), 0);
+        assert_eq!(random_unbiased_sparsify(&[0.0; 16], 0.1, 1).nnz(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seg: Vec<f32> = (0..64).map(|i| ((i * 13) % 17) as f32 - 8.0).collect();
+        let a = random_unbiased_sparsify(&seg, 0.2, 5);
+        let b = random_unbiased_sparsify(&seg, 0.2, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_count_matches_budget() {
+        let seg: Vec<f32> = (0..1000).map(|i| ((i * 37) % 100) as f32 * 0.1 + 0.1).collect();
+        let target = 0.1;
+        let trials = 200;
+        let total: usize = (0..trials)
+            .map(|s| random_unbiased_sparsify(&seg, target, s).nnz())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let budget = target * seg.len() as f64;
+        assert!(
+            (mean - budget).abs() < 0.15 * budget,
+            "mean kept {mean} vs budget {budget}"
+        );
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let seg = [2.0f32, -1.0, 0.25, 4.0, -0.5, 0.1, 0.0, 3.0];
+        let trials = 6000;
+        let mut acc = vec![0.0f64; seg.len()];
+        for s in 0..trials {
+            let sv = random_unbiased_sparsify(&seg, 0.4, s);
+            let dense = sv.to_dense(seg.len());
+            for (a, &v) in acc.iter_mut().zip(dense.iter()) {
+                *a += v as f64;
+            }
+        }
+        for (i, (&v, &a)) in seg.iter().zip(acc.iter()).enumerate() {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - v as f64).abs() < 0.12 * (v.abs() as f64).max(0.5),
+                "coord {i}: mean {mean} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn certainly_kept_values_not_rescaled() {
+        // A hugely dominant coordinate gets p ≈ 1 and must be transmitted
+        // at (essentially) face value — within the λ refinement's slack.
+        let seg = [1000.0f32, 0.001, 0.001, 0.001];
+        let sv = random_unbiased_sparsify(&seg, 0.25, 9);
+        let dense = sv.to_dense(4);
+        assert!(
+            (dense[0] - 1000.0).abs() < 0.5,
+            "dominant coordinate distorted: {}",
+            dense[0]
+        );
+    }
+
+    #[test]
+    fn per_layer_update_covers_partition() {
+        let part = Partition::from_layer_sizes([("a", 50), ("b", 50)]);
+        let flat: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let up = random_unbiased_update(&flat, &part, 0.2, 3);
+        assert_eq!(up.chunks.len(), 2);
+        // Indices stay local to each segment.
+        for chunk in &up.chunks {
+            assert!(chunk.idx.iter().all(|&i| i < 50));
+        }
+    }
+}

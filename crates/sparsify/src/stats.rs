@@ -1,0 +1,78 @@
+//! Compression-ratio accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte counts for one compressed transfer (or an aggregate of many).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Bytes the dense representation would have occupied.
+    pub dense_bytes: usize,
+    /// Bytes actually produced by the encoder.
+    pub compressed_bytes: usize,
+}
+
+impl CompressionStats {
+    /// Creates stats from a dense/compressed byte pair.
+    pub fn new(dense_bytes: usize, compressed_bytes: usize) -> Self {
+        CompressionStats { dense_bytes, compressed_bytes }
+    }
+
+    /// Compression ratio `dense / compressed`; `inf` when compressed is 0,
+    /// 1.0 for the degenerate empty transfer.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            if self.dense_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.dense_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Accumulates another transfer into this aggregate.
+    pub fn accumulate(&mut self, other: &CompressionStats) {
+        self.dense_bytes += other.dense_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+    }
+}
+
+impl std::fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} -> {} bytes ({:.1}x)",
+            self.dense_bytes,
+            self.compressed_bytes,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_cases() {
+        assert_eq!(CompressionStats::new(100, 25).ratio(), 4.0);
+        assert_eq!(CompressionStats::new(0, 0).ratio(), 1.0);
+        assert!(CompressionStats::new(10, 0).ratio().is_infinite());
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = CompressionStats::new(100, 10);
+        a.accumulate(&CompressionStats::new(50, 40));
+        assert_eq!(a.dense_bytes, 150);
+        assert_eq!(a.compressed_bytes, 50);
+        assert_eq!(a.ratio(), 3.0);
+    }
+
+    #[test]
+    fn display_contains_ratio() {
+        let s = CompressionStats::new(100, 25).to_string();
+        assert!(s.contains("4.0x"), "{s}");
+    }
+}

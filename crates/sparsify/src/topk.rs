@@ -1,0 +1,296 @@
+//! Top-k selection and mask manipulation over flat segments.
+//!
+//! These are the building blocks of the paper's `sparsify()` /
+//! `unsparsify()` operations: select the k largest-magnitude coordinates of
+//! a segment, gather them for transmission, and manipulate the remainder
+//! (zero it for residual schemes, rescale it for SAMomentum).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns the indices of the `k` largest-magnitude values of `seg`,
+/// in ascending index order.
+///
+/// Exact selection via `select_nth_unstable_by` (average O(n)); ties are
+/// broken arbitrarily but the result always contains exactly
+/// `min(k, seg.len())` distinct indices.
+pub fn topk_indices(seg: &[f32], k: usize) -> Vec<u32> {
+    let n = seg.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == n {
+        return (0..n as u32).collect();
+    }
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    // Partition so the first k indices hold the k largest magnitudes.
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        let ma = seg[a as usize].abs();
+        let mb = seg[b as usize].abs();
+        mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Returns the magnitude of the k-th largest |value| — the paper's `thr`.
+///
+/// `seg` must be non-empty and `1 <= k <= seg.len()`.
+pub fn topk_threshold(seg: &[f32], k: usize) -> f32 {
+    assert!(!seg.is_empty() && k >= 1 && k <= seg.len(), "topk_threshold bounds");
+    let mut mags: Vec<f32> = seg.iter().map(|v| v.abs()).collect();
+    let idx = k - 1;
+    mags.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    mags[idx]
+}
+
+/// Estimates the Top-k threshold from a random sample of the segment, the
+/// strategy DGC uses to avoid a full selection on very large tensors.
+///
+/// Samples `sample` coordinates (with replacement) and returns the value at
+/// the same *quantile* within the sample. For `sample >= seg.len()` this
+/// falls back to the exact threshold.
+pub fn sampled_threshold(seg: &[f32], k: usize, sample: usize, seed: u64) -> f32 {
+    let n = seg.len();
+    assert!(n > 0 && k >= 1 && k <= n, "sampled_threshold bounds");
+    if sample >= n {
+        return topk_threshold(seg, k);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mags: Vec<f32> = (0..sample).map(|_| seg[rng.gen_range(0..n)].abs()).collect();
+    // Quantile position equivalent to k-of-n within the sample.
+    let pos = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
+    let pos = pos.clamp(1, sample);
+    mags.select_nth_unstable_by(pos - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    mags[pos - 1]
+}
+
+/// Hierarchical threshold selection — the refinement loop the DGC paper
+/// uses on very large tensors: estimate a threshold from a sample, count
+/// how many coordinates it actually keeps, and adjust until the kept count
+/// is within `tolerance` (relative) of the requested `k` or the iteration
+/// budget runs out. Far cheaper than exact selection when `seg` is large,
+/// far more accurate than a single sampled estimate.
+pub fn hierarchical_threshold(
+    seg: &[f32],
+    k: usize,
+    sample: usize,
+    tolerance: f64,
+    seed: u64,
+) -> f32 {
+    let n = seg.len();
+    assert!(n > 0 && k >= 1 && k <= n, "hierarchical_threshold bounds");
+    if sample >= n {
+        return topk_threshold(seg, k);
+    }
+    let mut thr = sampled_threshold(seg, k, sample, seed);
+    let lo_target = ((1.0 - tolerance) * k as f64).floor() as usize;
+    let hi_target = ((1.0 + tolerance) * k as f64).ceil() as usize;
+    for _ in 0..8 {
+        let kept = seg.iter().filter(|v| v.abs() >= thr).count();
+        if kept >= lo_target.max(1) && kept <= hi_target {
+            break;
+        }
+        // Multiplicative update: too many kept → raise the bar, too few →
+        // lower it, proportionally to the miss.
+        let ratio = (kept.max(1) as f64 / k as f64).powf(0.5);
+        thr *= ratio as f32;
+        if thr == 0.0 {
+            break;
+        }
+    }
+    thr
+}
+
+/// Gathers `seg[idx]` for each index (the values to transmit).
+pub fn gather(seg: &[f32], idx: &[u32]) -> Vec<f32> {
+    idx.iter().map(|&i| seg[i as usize]).collect()
+}
+
+/// Zeroes `seg[idx]` for each index (drop transmitted values from the
+/// residual, Alg. 1 line 11).
+pub fn zero_at(seg: &mut [f32], idx: &[u32]) {
+    for &i in idx {
+        seg[i as usize] = 0.0;
+    }
+}
+
+/// Scales every coordinate *except* the given (sorted) indices by `factor`
+/// — SAMomentum's `u += (1/m − 1)·u ⊙ ¬Mask` (Alg. 3 line 11).
+///
+/// `idx` must be sorted ascending (as produced by [`topk_indices`]).
+pub fn scale_all_except(seg: &mut [f32], idx_sorted: &[u32], factor: f32) {
+    let mut next = idx_sorted.iter().copied().peekable();
+    for (i, v) in seg.iter_mut().enumerate() {
+        if next.peek() == Some(&(i as u32)) {
+            next.next();
+        } else {
+            *v *= factor;
+        }
+    }
+}
+
+/// Adds `val[j]` into `out[idx[j]]`, optionally scaled — the receive-side
+/// `SGD(θ, decode(G))` application.
+pub fn scatter_add(out: &mut [f32], idx: &[u32], val: &[f32], scale: f32) {
+    debug_assert_eq!(idx.len(), val.len());
+    for (&i, &v) in idx.iter().zip(val.iter()) {
+        out[i as usize] += scale * v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_picks_largest_magnitudes() {
+        let seg = [0.1, -5.0, 2.0, 0.0, -3.0, 4.0];
+        let idx = topk_indices(&seg, 3);
+        assert_eq!(idx, vec![1, 4, 5]); // |-5|, |-3|, |4|
+    }
+
+    #[test]
+    fn topk_edge_cases() {
+        assert!(topk_indices(&[], 3).is_empty());
+        assert!(topk_indices(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(topk_indices(&[1.0, 2.0], 5), vec![0, 1]);
+        assert_eq!(topk_indices(&[7.0], 1), vec![0]);
+    }
+
+    #[test]
+    fn topk_all_equal_values() {
+        let seg = [1.0f32; 10];
+        let idx = topk_indices(&seg, 4);
+        assert_eq!(idx.len(), 4);
+        // Distinct and in range.
+        let mut d = idx.clone();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn threshold_is_kth_magnitude() {
+        let seg = [0.5, -4.0, 3.0, 1.0, -2.0];
+        assert_eq!(topk_threshold(&seg, 1), 4.0);
+        assert_eq!(topk_threshold(&seg, 2), 3.0);
+        assert_eq!(topk_threshold(&seg, 5), 0.5);
+    }
+
+    #[test]
+    fn threshold_consistent_with_indices() {
+        let seg: Vec<f32> = (0..100).map(|i| ((i * 37 % 100) as f32) - 50.0).collect();
+        let k = 10;
+        let thr = topk_threshold(&seg, k);
+        let idx = topk_indices(&seg, k);
+        // All selected magnitudes >= thr; all unselected <= thr.
+        for (i, &v) in seg.iter().enumerate() {
+            if idx.contains(&(i as u32)) {
+                assert!(v.abs() >= thr);
+            } else {
+                assert!(v.abs() <= thr);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_threshold_close_to_exact() {
+        let seg: Vec<f32> = (0..10_000)
+            .map(|i| {
+                let x = (i as f32 * 0.7919).sin() * 3.0;
+                x * x * x // heavy-ish tail
+            })
+            .collect();
+        let k = 100;
+        let exact = topk_threshold(&seg, k);
+        let est = sampled_threshold(&seg, k, 2000, 42);
+        // Sampled estimate within a factor-2 band is plenty for DGC-style use.
+        assert!(est > exact * 0.5 && est < exact * 2.0, "est {est} exact {exact}");
+    }
+
+    #[test]
+    fn sampled_threshold_exact_fallback() {
+        let seg = [1.0, -2.0, 3.0];
+        assert_eq!(sampled_threshold(&seg, 2, 100, 1), topk_threshold(&seg, 2));
+    }
+
+    #[test]
+    fn hierarchical_threshold_converges_near_k() {
+        let seg: Vec<f32> = (0..50_000)
+            .map(|i| {
+                let x = (i as f64 * 0.7391).sin() * 2.0;
+                (x * x * x) as f32
+            })
+            .collect();
+        let k = 500;
+        let thr = hierarchical_threshold(&seg, k, 1000, 0.1, 7);
+        let kept = seg.iter().filter(|v| v.abs() >= thr).count();
+        assert!(
+            kept as f64 >= 0.8 * k as f64 && kept as f64 <= 1.3 * k as f64,
+            "kept {kept} for k {k}"
+        );
+        // Tighter than the raw sampled estimate on the same budget.
+        let raw = sampled_threshold(&seg, k, 1000, 7);
+        let raw_kept = seg.iter().filter(|v| v.abs() >= raw).count();
+        let miss = |c: usize| ((c as f64 - k as f64) / k as f64).abs();
+        assert!(
+            miss(kept) <= miss(raw_kept) + 1e-9,
+            "refined {kept} should be no worse than raw {raw_kept}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_threshold_exact_fallback() {
+        let seg = [3.0f32, -1.0, 2.0, 0.5];
+        assert_eq!(
+            hierarchical_threshold(&seg, 2, 100, 0.1, 1),
+            topk_threshold(&seg, 2)
+        );
+    }
+
+    #[test]
+    fn gather_zero_scatter_roundtrip() {
+        let mut seg = vec![1.0, -2.0, 3.0, -4.0, 5.0];
+        let idx = topk_indices(&seg, 2);
+        assert_eq!(idx, vec![3, 4]);
+        let vals = gather(&seg, &idx);
+        assert_eq!(vals, vec![-4.0, 5.0]);
+        zero_at(&mut seg, &idx);
+        assert_eq!(seg, vec![1.0, -2.0, 3.0, 0.0, 0.0]);
+        scatter_add(&mut seg, &idx, &vals, 1.0);
+        assert_eq!(seg, vec![1.0, -2.0, 3.0, -4.0, 5.0]);
+    }
+
+    #[test]
+    fn scatter_add_scaled() {
+        let mut out = vec![0.0; 4];
+        scatter_add(&mut out, &[1, 3], &[2.0, -1.0], -0.5);
+        assert_eq!(out, vec![0.0, -1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn scale_all_except_sorted() {
+        let mut seg = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        scale_all_except(&mut seg, &[1, 3], 10.0);
+        assert_eq!(seg, vec![10.0, 2.0, 30.0, 4.0, 50.0]);
+    }
+
+    #[test]
+    fn scale_all_except_empty_mask_scales_everything() {
+        let mut seg = vec![1.0, 2.0];
+        scale_all_except(&mut seg, &[], 2.0);
+        assert_eq!(seg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn scale_all_except_full_mask_is_noop() {
+        let mut seg = vec![1.0, 2.0];
+        scale_all_except(&mut seg, &[0, 1], 100.0);
+        assert_eq!(seg, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,401 @@
+//! 2-D convolution via im2col / col2im.
+//!
+//! Layout is NCHW. The forward pass lowers each image to a
+//! `(C·KH·KW) × (OH·OW)` column matrix and multiplies by the
+//! `(OC) × (C·KH·KW)` weight matrix; the backward pass reverses both steps.
+//! This is the standard CPU strategy and keeps all the heavy lifting inside
+//! the rayon-parallel matmul kernels.
+
+use crate::matmul::{matmul_a_bt_slices, matmul_at_b_slices, matmul_slices};
+use crate::{Shape, Tensor};
+use rayon::prelude::*;
+
+/// Convolution geometry (square kernels, symmetric stride/padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height/width.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h×w` input. Panics if the geometry
+    /// produces a non-positive output extent.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
+        let ow = (w + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of weight parameters (`OC·C·KH·KW`).
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Multiply-accumulate count for one forward pass over a batch of `n`
+    /// `h×w` images; used by the DES compute-time model.
+    pub fn flops(&self, n: usize, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        2 * (n * self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel)
+            as u64
+    }
+}
+
+/// Lowers one `C×H×W` image into a `(C·K·K) × (OH·OW)` column matrix.
+fn im2col_single(
+    img: &[f32],
+    cols: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let row_len = oh * ow;
+    let pad = spec.padding as isize;
+    for ch in 0..c {
+        let img_ch = &img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k * k + ky * k + kx) * row_len;
+                for oy in 0..oh {
+                    let iy = oy as isize * spec.stride as isize + ky as isize - pad;
+                    let out_base = row + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        cols[out_base..out_base + ow].fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = ox as isize * spec.stride as isize + kx as isize - pad;
+                        cols[out_base + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            img_ch[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a `(C·K·K) × (OH·OW)` column-gradient matrix back onto an image
+/// gradient (the adjoint of [`im2col_single`]).
+fn col2im_single(
+    cols: &[f32],
+    img: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let row_len = oh * ow;
+    let pad = spec.padding as isize;
+    for ch in 0..c {
+        let img_ch = &mut img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k * k + ky * k + kx) * row_len;
+                for oy in 0..oh {
+                    let iy = oy as isize * spec.stride as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = ox as isize * spec.stride as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img_ch[iy * w + ix as usize] += cols[row + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward.
+///
+/// * `x`: `N×C×H×W` input.
+/// * `weight`: flat `OC×(C·K·K)` kernel bank.
+/// * `bias`: `OC` biases (may be empty for no bias).
+///
+/// Returns the `N×OC×OH×OW` output.
+pub fn conv2d_forward(x: &Tensor, weight: &[f32], bias: &[f32], spec: &Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = x.shape().as_nchw();
+    assert_eq!(c, spec.in_channels, "conv2d input channels");
+    assert_eq!(weight.len(), spec.weight_len(), "conv2d weight length");
+    let (oh, ow) = spec.out_hw(h, w);
+    let col_rows = c * spec.kernel * spec.kernel;
+    let col_len = oh * ow;
+    let mut y = Tensor::zeros(Shape::from([n, spec.out_channels, oh, ow]));
+    let in_img = c * h * w;
+    let out_img = spec.out_channels * oh * ow;
+    let x_data = x.data();
+    y.data_mut()
+        .par_chunks_mut(out_img)
+        .enumerate()
+        .for_each(|(i, y_img)| {
+            let mut cols = vec![0.0f32; col_rows * col_len];
+            im2col_single(&x_data[i * in_img..(i + 1) * in_img], &mut cols, c, h, w, spec);
+            matmul_slices(weight, &cols, y_img, spec.out_channels, col_rows, col_len);
+            if !bias.is_empty() {
+                for oc in 0..spec.out_channels {
+                    let b = bias[oc];
+                    for v in &mut y_img[oc * col_len..(oc + 1) * col_len] {
+                        *v += b;
+                    }
+                }
+            }
+        });
+    y
+}
+
+/// Gradients produced by [`conv2d_backward`].
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `N×C×H×W`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the flat weight bank.
+    pub dweight: Vec<f32>,
+    /// Gradient w.r.t. the biases (empty if no bias was used).
+    pub dbias: Vec<f32>,
+}
+
+/// Convolution backward: given `dy` (`N×OC×OH×OW`), the forward input and
+/// weights, produces input/weight/bias gradients.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &[f32],
+    dy: &Tensor,
+    spec: &Conv2dSpec,
+    with_bias: bool,
+) -> Conv2dGrads {
+    let (n, c, h, w) = x.shape().as_nchw();
+    let (n2, oc, oh, ow) = dy.shape().as_nchw();
+    assert_eq!(n, n2, "conv2d_backward batch");
+    assert_eq!(oc, spec.out_channels, "conv2d_backward channels");
+    let col_rows = c * spec.kernel * spec.kernel;
+    let col_len = oh * ow;
+    let in_img = c * h * w;
+    let out_img = oc * col_len;
+    let x_data = x.data();
+    let dy_data = dy.data();
+
+    let mut dx = Tensor::zeros(x.shape().clone());
+
+    // Per-image partial weight grads are reduced sequentially afterwards so
+    // the summation order (and thus the result) is deterministic.
+    let per_image: Vec<(Vec<f32>, Vec<f32>)> = {
+        let dx_chunks: Vec<&mut [f32]> = dx.data_mut().chunks_mut(in_img).collect();
+        dx_chunks
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, dx_img)| {
+                let mut cols = vec![0.0f32; col_rows * col_len];
+                im2col_single(&x_data[i * in_img..(i + 1) * in_img], &mut cols, c, h, w, spec);
+                let dy_img = &dy_data[i * out_img..(i + 1) * out_img];
+                // dW += dY (oc x col_len) · colsᵀ (col_len x col_rows)
+                let mut dw = vec![0.0f32; oc * col_rows];
+                matmul_a_bt_slices(dy_img, &cols, &mut dw, oc, col_len, col_rows);
+                // dcols = Wᵀ (col_rows x oc) · dY (oc x col_len)
+                let mut dcols = vec![0.0f32; col_rows * col_len];
+                matmul_at_b_slices(weight, dy_img, &mut dcols, col_rows, oc, col_len);
+                dx_img.fill(0.0);
+                col2im_single(&dcols, dx_img, c, h, w, spec);
+                let db = if with_bias {
+                    (0..oc)
+                        .map(|o| dy_img[o * col_len..(o + 1) * col_len].iter().sum())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (dw, db)
+            })
+            .collect()
+    };
+
+    let mut dweight = vec![0.0f32; spec.weight_len()];
+    let mut dbias = vec![0.0f32; if with_bias { oc } else { 0 }];
+    for (dw, db) in &per_image {
+        for (a, &b) in dweight.iter_mut().zip(dw.iter()) {
+            *a += b;
+        }
+        for (a, &b) in dbias.iter_mut().zip(db.iter()) {
+            *a += b;
+        }
+    }
+
+    Conv2dGrads { dx, dweight, dbias }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_approx_eq;
+
+    fn spec(cin: usize, cout: usize, k: usize, s: usize, p: usize) -> Conv2dSpec {
+        Conv2dSpec { in_channels: cin, out_channels: cout, kernel: k, stride: s, padding: p }
+    }
+
+    /// Direct (quadruple-loop) convolution for cross-checking.
+    fn naive_conv(x: &Tensor, w: &[f32], b: &[f32], sp: &Conv2dSpec) -> Tensor {
+        let (n, c, h, ww) = x.shape().as_nchw();
+        let (oh, ow) = sp.out_hw(h, ww);
+        let mut y = Tensor::zeros([n, sp.out_channels, oh, ow]);
+        for i in 0..n {
+            for oc in 0..sp.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = if b.is_empty() { 0.0 } else { b[oc] };
+                        for ch in 0..c {
+                            for ky in 0..sp.kernel {
+                                for kx in 0..sp.kernel {
+                                    let iy = (oy * sp.stride + ky) as isize - sp.padding as isize;
+                                    let ix = (ox * sp.stride + kx) as isize - sp.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= ww as isize {
+                                        continue;
+                                    }
+                                    let xv = x.at(&[i, ch, iy as usize, ix as usize]);
+                                    let wv = w[oc * c * sp.kernel * sp.kernel
+                                        + ch * sp.kernel * sp.kernel
+                                        + ky * sp.kernel
+                                        + kx];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        *y.at_mut(&[i, oc, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn out_hw_geometry() {
+        assert_eq!(spec(3, 8, 3, 1, 1).out_hw(32, 32), (32, 32));
+        assert_eq!(spec(3, 8, 3, 2, 1).out_hw(32, 32), (16, 16));
+        assert_eq!(spec(3, 8, 1, 1, 0).out_hw(7, 5), (7, 5));
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        for &(cin, cout, k, s, p, h, w) in
+            &[(1, 1, 1, 1, 0, 4, 4), (2, 3, 3, 1, 1, 6, 5), (3, 4, 3, 2, 1, 8, 8), (2, 2, 5, 1, 2, 7, 7)]
+        {
+            let sp = spec(cin, cout, k, s, p);
+            let x = Tensor::randn([2, cin, h, w], 1.0, 42);
+            let wt = Tensor::randn([sp.weight_len()], 0.5, 43).into_vec();
+            let b = Tensor::randn([cout], 0.1, 44).into_vec();
+            let y = conv2d_forward(&x, &wt, &b, &sp);
+            let y_ref = naive_conv(&x, &wt, &b, &sp);
+            assert_slice_approx_eq(y.data(), y_ref.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_no_bias() {
+        let sp = spec(1, 2, 3, 1, 1);
+        let x = Tensor::randn([1, 1, 5, 5], 1.0, 7);
+        let wt = Tensor::randn([sp.weight_len()], 0.5, 8).into_vec();
+        let y = conv2d_forward(&x, &wt, &[], &sp);
+        let y_ref = naive_conv(&x, &wt, &[], &sp);
+        assert_slice_approx_eq(y.data(), y_ref.data(), 1e-4);
+    }
+
+    /// Numerical gradient check of the full backward pass.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let sp = spec(2, 3, 3, 1, 1);
+        let x = Tensor::randn([2, 2, 5, 5], 1.0, 100);
+        let wt = Tensor::randn([sp.weight_len()], 0.5, 101).into_vec();
+        let b = Tensor::randn([3], 0.1, 102).into_vec();
+        // Loss = sum(conv(x)) so dy = ones.
+        let y = conv2d_forward(&x, &wt, &b, &sp);
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let grads = conv2d_backward(&x, &wt, &dy, &sp, true);
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, wt: &[f32], b: &[f32]| -> f64 {
+            conv2d_forward(x, wt, b, &sp).sum()
+        };
+        // Check a sample of weight coordinates.
+        for &wi in &[0usize, 5, 17, sp.weight_len() - 1] {
+            let mut wp = wt.clone();
+            wp[wi] += eps;
+            let mut wm = wt.clone();
+            wm[wi] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps as f64);
+            assert!(
+                (num - grads.dweight[wi] as f64).abs() < 2e-2 * num.abs().max(1.0),
+                "dweight[{wi}]: numerical {num} vs analytic {}",
+                grads.dweight[wi]
+            );
+        }
+        // Check a sample of input coordinates.
+        for &xi in &[0usize, 13, 49, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let num = (loss(&xp, &wt, &b) - loss(&xm, &wt, &b)) / (2.0 * eps as f64);
+            assert!(
+                (num - grads.dx.data()[xi] as f64).abs() < 2e-2 * num.abs().max(1.0),
+                "dx[{xi}]: numerical {num} vs analytic {}",
+                grads.dx.data()[xi]
+            );
+        }
+        // Bias gradient of sum-loss is the number of output pixels per channel.
+        let (oh, ow) = sp.out_hw(5, 5);
+        for &g in &grads.dbias {
+            assert!((g - (2 * oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_strided() {
+        let sp = spec(1, 2, 3, 2, 1);
+        let x = Tensor::randn([1, 1, 8, 8], 1.0, 200);
+        let wt = Tensor::randn([sp.weight_len()], 0.5, 201).into_vec();
+        let y = conv2d_forward(&x, &wt, &[], &sp);
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let grads = conv2d_backward(&x, &wt, &dy, &sp, false);
+        assert!(grads.dbias.is_empty());
+        let eps = 1e-2f32;
+        for &xi in &[0usize, 31, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let num = (conv2d_forward(&xp, &wt, &[], &sp).sum()
+                - conv2d_forward(&xm, &wt, &[], &sp).sum())
+                / (2.0 * eps as f64);
+            assert!(
+                (num - grads.dx.data()[xi] as f64).abs() < 2e-2 * num.abs().max(1.0),
+                "dx[{xi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn flops_positive_and_scales_with_batch() {
+        let sp = spec(3, 8, 3, 1, 1);
+        let f1 = sp.flops(1, 16, 16);
+        let f4 = sp.flops(4, 16, 16);
+        assert!(f1 > 0);
+        assert_eq!(f4, 4 * f1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Blocked, rayon-parallel matrix multiplication.
+//!
+//! Three entry points cover every backprop need without materialising
+//! transposes:
+//!
+//! * [`matmul`]      — `C = A (M×K) · B (K×N)`
+//! * [`matmul_at_b`] — `C = Aᵀ (M×K stored K×M) · B`, used for weight grads
+//! * [`matmul_a_bt`] — `C = A · Bᵀ (N×K stored)`, used for input grads
+//!
+//! The kernels parallelise over row blocks with rayon; within a row the
+//! accumulation order is fixed, so results are deterministic.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Minimum number of output elements before the kernels bother with rayon.
+/// Below this the spawn overhead dominates for the small layers in tests.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `C = A·B` where `a` is `m×k` and `b` is `k×n`, all row-major flat slices.
+pub fn matmul_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul: lhs size");
+    assert_eq!(b.len(), k * n, "matmul: rhs size");
+    assert_eq!(c.len(), m * n, "matmul: out size");
+    let body = |(row_idx, c_row): (usize, &mut [f32])| {
+        c_row.fill(0.0);
+        let a_row = &a[row_idx * k..(row_idx + 1) * k];
+        // ikj loop order: stream through b rows, accumulate into the c row.
+        for (p, &a_v) in a_row.iter().enumerate() {
+            if a_v == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_v * b_v;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `C = Aᵀ·B` where `a` is stored `k×m` (so `Aᵀ` is `m×k`) and `b` is `k×n`.
+///
+/// This computes, for every output `(i, j)`: `Σ_p a[p, i] * b[p, j]`.
+pub fn matmul_at_b_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "matmul_at_b: lhs size");
+    assert_eq!(b.len(), k * n, "matmul_at_b: rhs size");
+    assert_eq!(c.len(), m * n, "matmul_at_b: out size");
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        c_row.fill(0.0);
+        for p in 0..k {
+            let a_v = a[p * m + i];
+            if a_v == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_v * b_v;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `C = A·Bᵀ` where `a` is `m×k` and `b` is stored `n×k` (so `Bᵀ` is `k×n`).
+///
+/// This computes, for every output `(i, j)`: `Σ_p a[i, p] * b[j, p]` — a dot
+/// product of two contiguous rows, which vectorises well.
+pub fn matmul_a_bt_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_a_bt: lhs size");
+    assert_eq!(b.len(), n * k, "matmul_a_bt: rhs size");
+    assert_eq!(c.len(), m * n, "matmul_a_bt: out size");
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *c_v = acc;
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `C = A·B` over [`Tensor`]s. Panics on rank/shape mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    matmul_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// `C = Aᵀ·B` over [`Tensor`]s (`a` stored `k×m`).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul_at_b inner dims: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    matmul_at_b_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// `C = A·Bᵀ` over [`Tensor`]s (`b` stored `n×k`).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (n, k2) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul_a_bt inner dims: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    matmul_a_bt_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_approx_eq;
+    use crate::rng::seeded;
+    use rand::Rng;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = seeded(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // 3x2
+        let mut c = vec![0.0; 4];
+        matmul_slices(&a, &b, &mut c, 2, 3, 2);
+        assert_slice_approx_eq(&c, &[58.0, 64.0, 139.0, 154.0], 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 9, 23), (64, 32, 48)] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            matmul_slices(&a, &b, &mut c, m, k, n);
+            assert_slice_approx_eq(&c, &naive(&a, &b, m, k, n), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_large_uses_parallel_path() {
+        // 160*160 = 25_600 > PAR_THRESHOLD, exercising the rayon branch.
+        let (m, k, n) = (160, 40, 160);
+        let a = rand_vec(m * k, 3);
+        let b = rand_vec(k * n, 4);
+        let mut c = vec![0.0; m * n];
+        matmul_slices(&a, &b, &mut c, m, k, n);
+        assert_slice_approx_eq(&c, &naive(&a, &b, m, k, n), 1e-3);
+    }
+
+    #[test]
+    fn at_b_matches_transposed_naive() {
+        let (m, k, n) = (6, 11, 4);
+        let a_t = rand_vec(k * m, 5); // stored kxm
+        let b = rand_vec(k * n, 6);
+        // Build A (mxk) explicitly.
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        matmul_at_b_slices(&a_t, &b, &mut c, m, k, n);
+        assert_slice_approx_eq(&c, &naive(&a, &b, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_transposed_naive() {
+        let (m, k, n) = (5, 9, 8);
+        let a = rand_vec(m * k, 7);
+        let b_t = rand_vec(n * k, 8); // stored nxk
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = b_t[j * k + p];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        matmul_a_bt_slices(&a, &b_t, &mut c, m, k, n);
+        assert_slice_approx_eq(&c, &naive(&a, &b, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn tensor_wrappers() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(matmul(&a, &b).data(), b.data());
+        // identity stored transposed is still identity
+        assert_eq!(matmul_at_b(&a, &b).data(), b.data());
+        let id2 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(matmul_a_bt(&b, &id2).data(), b.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        // m == 0 produces an empty output without panicking.
+        let mut c: Vec<f32> = vec![];
+        matmul_slices(&[], &[1.0, 2.0], &mut c, 0, 1, 2);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Activation and softmax kernels with their backward passes.
+
+use crate::Tensor;
+
+/// ReLU forward: `y = max(x, 0)`.
+pub fn relu(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    y.map_inplace(|v| v.max(0.0));
+    y
+}
+
+/// ReLU backward: `dx = dy ⊙ [x > 0]`.
+///
+/// Uses the *forward input* for the gate so that exact zeros pass no
+/// gradient, matching the conventional subgradient choice.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape(), "relu_backward shape mismatch");
+    let mut dx = dy.clone();
+    for (d, &xi) in dx.data_mut().iter_mut().zip(x.data().iter()) {
+        if xi <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+/// Row-wise softmax of a rank-2 tensor, numerically stabilised by the
+/// row max.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (rows, cols) = x.shape().as_matrix();
+    let mut y = x.clone();
+    for r in 0..rows {
+        let row = &mut y.data_mut()[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    y
+}
+
+/// Row-wise log-softmax (stabilised); used by the cross-entropy loss.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let (rows, cols) = x.shape().as_matrix();
+    let mut y = x.clone();
+    for r in 0..rows {
+        let row = &mut y.data_mut()[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_approx_eq;
+
+    #[test]
+    fn relu_forward_backward() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
+        let y = relu(&x);
+        assert_slice_approx_eq(y.data(), &[0.0, 0.0, 0.5, 2.0], 1e-6);
+        let dy = Tensor::full([4], 1.0);
+        let dx = relu_backward(&x, &dy);
+        assert_slice_approx_eq(dx.data(), &[0.0, 0.0, 1.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]).unwrap();
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(y.data()[2] > y.data()[1]);
+        assert!(y.data()[1] > y.data()[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Tensor::from_vec([1, 3], vec![1000.0, 1001.0, 1002.0]).unwrap();
+        let y = softmax_rows(&x);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let s: f32 = y.data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = Tensor::from_vec([2, 4], vec![0.1, -0.2, 0.7, 1.3, 2.0, 2.0, 2.0, 2.0])
+            .unwrap();
+        let p = softmax_rows(&x);
+        let lp = log_softmax_rows(&x);
+        for (a, b) in p.data().iter().zip(lp.data().iter()) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+        // Uniform row: log(1/4)
+        assert!((lp.data()[4] - (0.25f32).ln()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Pooling layers: 2×2-style max pooling and global average pooling.
+
+use crate::{Shape, Tensor};
+
+/// Max-pool geometry (square window, stride = window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPoolSpec {
+    /// Pooling window height/width (also the stride).
+    pub window: usize,
+}
+
+impl MaxPoolSpec {
+    /// Output spatial size; requires the window to divide the input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h.is_multiple_of(self.window) && w.is_multiple_of(self.window),
+            "maxpool window {} must divide input {}x{}",
+            self.window,
+            h,
+            w
+        );
+        (h / self.window, w / self.window)
+    }
+}
+
+/// Result of a max-pool forward pass: output plus the winning indices
+/// (flat index into the input) needed by the backward pass.
+pub struct MaxPoolOut {
+    /// Pooled output, `N×C×OH×OW`.
+    pub y: Tensor,
+    /// For each output element, the flat input index of its maximum.
+    pub argmax: Vec<u32>,
+}
+
+/// Max-pool forward over an NCHW tensor.
+pub fn maxpool2d_forward(x: &Tensor, spec: &MaxPoolSpec) -> MaxPoolOut {
+    let (n, c, h, w) = x.shape().as_nchw();
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut y = Tensor::zeros(Shape::from([n, c, oh, ow]));
+    let mut argmax = vec![0u32; n * c * oh * ow];
+    let xd = x.data();
+    let yd = y.data_mut();
+    let win = spec.window;
+    for i in 0..n {
+        for ch in 0..c {
+            let in_base = (i * c + ch) * h * w;
+            let out_base = (i * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..win {
+                        for kx in 0..win {
+                            let iy = oy * win + ky;
+                            let ix = ox * win + kx;
+                            let idx = in_base + iy * w + ix;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    yd[out_base + oy * ow + ox] = best;
+                    argmax[out_base + oy * ow + ox] = best_idx as u32;
+                }
+            }
+        }
+    }
+    MaxPoolOut { y, argmax }
+}
+
+/// Max-pool backward: routes each output gradient to its argmax input.
+pub fn maxpool2d_backward(input_shape: &Shape, argmax: &[u32], dy: &Tensor) -> Tensor {
+    let mut dx = Tensor::zeros(input_shape.clone());
+    let dxd = dx.data_mut();
+    for (&idx, &g) in argmax.iter().zip(dy.data().iter()) {
+        dxd[idx as usize] += g;
+    }
+    dx
+}
+
+/// Global average pooling: `N×C×H×W → N×C`.
+pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().as_nchw();
+    let area = (h * w) as f32;
+    let mut y = Tensor::zeros(Shape::from([n, c]));
+    let xd = x.data();
+    let yd = y.data_mut();
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let s: f32 = xd[base..base + h * w].iter().sum();
+            yd[i * c + ch] = s / area;
+        }
+    }
+    y
+}
+
+/// Global average pooling backward: spreads each `N×C` gradient uniformly
+/// over the `H×W` plane.
+pub fn global_avg_pool_backward(input_shape: &Shape, dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = input_shape.as_nchw();
+    let inv_area = 1.0 / (h * w) as f32;
+    let mut dx = Tensor::zeros(input_shape.clone());
+    let dxd = dx.data_mut();
+    let dyd = dy.data();
+    for i in 0..n {
+        for ch in 0..c {
+            let g = dyd[i * c + ch] * inv_area;
+            let base = (i * c + ch) * h * w;
+            for v in &mut dxd[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_approx_eq;
+
+    #[test]
+    fn maxpool_forward_simple() {
+        // 1x1x4x4 image with known 2x2 maxima.
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.0, //
+                -3.0, -4.0, 0.5, 0.0,
+            ],
+        )
+        .unwrap();
+        let out = maxpool2d_forward(&x, &MaxPoolSpec { window: 2 });
+        assert_slice_approx_eq(out.y.data(), &[4.0, 8.0, -1.0, 0.5], 1e-6);
+        assert_eq!(out.argmax, vec![5, 7, 8, 14]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(
+            [1, 1, 2, 2],
+            vec![1.0, 9.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let out = maxpool2d_forward(&x, &MaxPoolSpec { window: 2 });
+        let dy = Tensor::from_vec([1, 1, 1, 1], vec![2.5]).unwrap();
+        let dx = maxpool2d_backward(x.shape(), &out.argmax, &dy);
+        assert_slice_approx_eq(dx.data(), &[0.0, 2.5, 0.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn maxpool_numerical_gradient() {
+        let x = Tensor::randn([2, 3, 4, 4], 1.0, 55);
+        let spec = MaxPoolSpec { window: 2 };
+        let out = maxpool2d_forward(&x, &spec);
+        let dy = Tensor::full(out.y.shape().clone(), 1.0);
+        let dx = maxpool2d_backward(x.shape(), &out.argmax, &dy);
+        let eps = 1e-3f32;
+        for &xi in &[0usize, 10, 47, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let num = (maxpool2d_forward(&xp, &spec).y.sum()
+                - maxpool2d_forward(&xm, &spec).y.sum())
+                / (2.0 * eps as f64);
+            assert!(
+                (num - dx.data()[xi] as f64).abs() < 1e-2,
+                "dx[{xi}]: {num} vs {}",
+                dx.data()[xi]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn maxpool_rejects_nondivisible() {
+        let x = Tensor::zeros([1, 1, 5, 4]);
+        maxpool2d_forward(&x, &MaxPoolSpec { window: 2 });
+    }
+
+    #[test]
+    fn gap_forward_backward() {
+        let x = Tensor::from_vec(
+            [1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap();
+        let y = global_avg_pool_forward(&x);
+        assert_slice_approx_eq(y.data(), &[2.5, 25.0], 1e-6);
+        let dy = Tensor::from_vec([1, 2], vec![4.0, 8.0]).unwrap();
+        let dx = global_avg_pool_backward(x.shape(), &dy);
+        assert_slice_approx_eq(
+            dx.data(),
+            &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn gap_gradient_is_exact_adjoint() {
+        // <GAP(x), dy> == <x, GAPᵀ(dy)> for random inputs.
+        let x = Tensor::randn([3, 4, 5, 5], 1.0, 77);
+        let dy = Tensor::randn([3, 4], 1.0, 78);
+        let y = global_avg_pool_forward(&x);
+        let dx = global_avg_pool_backward(x.shape(), &dy);
+        let lhs: f64 = y
+            .data()
+            .iter()
+            .zip(dy.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(dx.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0));
+    }
+}

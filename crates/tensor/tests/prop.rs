@@ -1,0 +1,151 @@
+//! Property-based tests for the tensor kernels: algebraic identities that
+//! must hold for arbitrary inputs.
+
+use dgs_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use dgs_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use dgs_tensor::ops::{log_softmax_rows, softmax_rows};
+use dgs_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor2(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::randn([rows, cols], 1.0, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_associative(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, p in 1usize..8, seed in 0u64..100,
+    ) {
+        let a = tensor2(m, k, seed);
+        let b = tensor2(k, n, seed + 1);
+        let c = tensor2(n, p, seed + 2);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        for (x, y) in left.data().iter().zip(right.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3 * y.abs().max(1.0));
+        }
+    }
+
+    /// The transposed kernels agree with explicit transposition:
+    /// matmul_at_b(Aᵀ-storage, B) == A·B and matmul_a_bt(A, Bᵀ-storage) == A·B.
+    #[test]
+    fn transposed_kernels_consistent(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7, seed in 0u64..100,
+    ) {
+        let a = tensor2(m, k, seed);
+        let b = tensor2(k, n, seed + 9);
+        let reference = matmul(&a, &b);
+        // Build Aᵀ stored k×m.
+        let mut a_t = Tensor::zeros([k, m]);
+        for i in 0..m {
+            for j in 0..k {
+                *a_t.at_mut(&[j, i]) = a.at(&[i, j]);
+            }
+        }
+        let via_at = matmul_at_b(&a_t, &b);
+        // Build Bᵀ stored n×k.
+        let mut b_t = Tensor::zeros([n, k]);
+        for i in 0..k {
+            for j in 0..n {
+                *b_t.at_mut(&[j, i]) = b.at(&[i, j]);
+            }
+        }
+        let via_bt = matmul_a_bt(&a, &b_t);
+        for ((x, y), z) in reference
+            .data()
+            .iter()
+            .zip(via_at.data().iter())
+            .zip(via_bt.data().iter())
+        {
+            prop_assert!((x - y).abs() < 1e-4 * x.abs().max(1.0));
+            prop_assert!((x - z).abs() < 1e-4 * x.abs().max(1.0));
+        }
+    }
+
+    /// Convolution is linear in the input: conv(x1 + x2) == conv(x1) + conv(x2)
+    /// (bias-free).
+    #[test]
+    fn conv_linear_in_input(seed in 0u64..50) {
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let w = Tensor::randn([spec.weight_len()], 0.5, seed).into_vec();
+        let x1 = Tensor::randn([1, 2, 5, 5], 1.0, seed + 1);
+        let x2 = Tensor::randn([1, 2, 5, 5], 1.0, seed + 2);
+        let mut x_sum = x1.clone();
+        x_sum.add_assign(&x2);
+        let y_sum = conv2d_forward(&x_sum, &w, &[], &spec);
+        let mut y1 = conv2d_forward(&x1, &w, &[], &spec);
+        let y2 = conv2d_forward(&x2, &w, &[], &spec);
+        y1.add_assign(&y2);
+        for (a, b) in y_sum.data().iter().zip(y1.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-3 * b.abs().max(1.0));
+        }
+    }
+
+    /// Conv backward is the exact adjoint of forward:
+    /// <conv(x), dy> == <x, conv_backward(dy).dx> for bias-free convs.
+    #[test]
+    fn conv_backward_is_adjoint(seed in 0u64..50) {
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 2, kernel: 3, stride: 2, padding: 1 };
+        let w = Tensor::randn([spec.weight_len()], 0.5, seed).into_vec();
+        let x = Tensor::randn([2, 2, 6, 6], 1.0, seed + 3);
+        let y = conv2d_forward(&x, &w, &[], &spec);
+        let dy = Tensor::randn(y.shape().clone(), 1.0, seed + 4);
+        let grads = conv2d_backward(&x, &w, &dy, &spec, false);
+        let lhs: f64 = y
+            .data()
+            .iter()
+            .zip(dy.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(grads.dx.data().iter())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "adjoint identity violated: {} vs {}", lhs, rhs
+        );
+    }
+
+    /// Softmax rows are probability distributions, invariant to row-wise
+    /// constant shifts, and consistent with log-softmax.
+    #[test]
+    fn softmax_properties(rows in 1usize..6, cols in 2usize..8, shift in -5.0f32..5.0, seed in 0u64..100) {
+        let x = tensor2(rows, cols, seed);
+        let p = softmax_rows(&x);
+        for r in 0..rows {
+            let row = &p.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let mut shifted = x.clone();
+        shifted.map_inplace(|v| v + shift);
+        let p2 = softmax_rows(&shifted);
+        for (a, b) in p.data().iter().zip(p2.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        let lp = log_softmax_rows(&x);
+        for (a, b) in p.data().iter().zip(lp.data().iter()) {
+            prop_assert!((a.ln() - b).abs() < 1e-3);
+        }
+    }
+
+    /// axpy then axpy with the negated coefficient restores the input.
+    #[test]
+    fn axpy_inverse(n in 1usize..64, alpha in -3.0f32..3.0, seed in 0u64..100) {
+        let mut y = Tensor::randn([n], 1.0, seed);
+        let y0 = y.clone();
+        let x = Tensor::randn([n], 1.0, seed + 7);
+        y.axpy(alpha, &x);
+        y.axpy(-alpha, &x);
+        for (a, b) in y.data().iter().zip(y0.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4 * b.abs().max(1.0));
+        }
+    }
+}

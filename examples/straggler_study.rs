@@ -1,0 +1,88 @@
+//! Straggler study: the paper's §1 motivation made runnable.
+//!
+//! Synchronous SGD pays the barrier cost of the slowest worker every round;
+//! asynchronous training lets fast workers absorb the slack. This example
+//! sweeps a single straggler's slowdown and compares SSGD (dense and
+//! synchronous gradient dropping) with ASGD and DGS on the deterministic
+//! virtual-time simulator.
+//!
+//! ```text
+//! cargo run --release --example straggler_study
+//! ```
+
+use dgs::core::config::{LrSchedule, TrainConfig};
+use dgs::core::method::Method;
+use dgs::core::trainer::des::{train_des_stragglers, DesParams};
+use dgs::core::trainer::sync::{train_ssgd, SyncCompression};
+use dgs::nn::data::{Dataset, SyntheticVision};
+use dgs::nn::models::mlp_on_images;
+use dgs::psim::StragglerModel;
+use std::sync::Arc;
+
+fn main() {
+    let seed = 3u64;
+    let workers = 8;
+    let epochs = 6;
+    let data = SyntheticVision::new(1024, 3, 12, 20, 2.2, seed);
+    let val: Arc<dyn Dataset> = Arc::new(data.validation(256));
+    let train: Arc<dyn Dataset> = Arc::new(data);
+    let build = move || mlp_on_images(3, 12, &[128, 64], 20, seed);
+    // Compute-bound regime so worker lag, not bandwidth, is the variable.
+    let params = DesParams { worker_gflops: 1.0, ..DesParams::ten_gbps() };
+
+    let base_cfg = || {
+        let mut cfg = TrainConfig::paper_default(Method::Dgs, workers, epochs);
+        cfg.batch_per_worker = 16;
+        cfg.lr = LrSchedule::paper_default(0.2, epochs);
+        cfg.momentum = 0.3;
+        cfg.sparsity_ratio = 0.05;
+        cfg.clip_norm = 0.0;
+        cfg.seed = seed;
+        cfg.evals = 2;
+        cfg
+    };
+
+    println!("{workers} workers, one straggler slowed k-fold (virtual seconds)\n");
+    println!(
+        "{:>8}  {:>12} {:>12} {:>12} {:>12}",
+        "slowdown", "SSGD-dense", "SSGD-topk", "ASGD", "DGS"
+    );
+    for slowdown in [1.0f64, 2.0, 4.0, 8.0] {
+        let lag = if slowdown > 1.0 {
+            StragglerModel::one_slow(slowdown)
+        } else {
+            StragglerModel::none()
+        };
+        let mut row = vec![format!("{slowdown:>7}x")];
+        for compression in [SyncCompression::Dense, SyncCompression::TopK { ratio: 0.05 }] {
+            let mut cfg = base_cfg();
+            cfg.method = Method::Msgd; // cfg.method is ignored by train_ssgd
+            let res = train_ssgd(
+                &cfg,
+                &build,
+                Arc::clone(&train),
+                Arc::clone(&val),
+                compression,
+                params,
+                &lag,
+            );
+            row.push(format!("{:>11.2}s", res.virtual_time));
+        }
+        for method in [Method::Asgd, Method::Dgs] {
+            let mut cfg = base_cfg();
+            cfg.method = method;
+            let res = train_des_stragglers(
+                &cfg,
+                &build,
+                Arc::clone(&train),
+                Arc::clone(&val),
+                params,
+                &lag,
+            );
+            row.push(format!("{:>11.2}s", res.virtual_time));
+        }
+        println!("{}", row.join("  "));
+    }
+    println!("\nSynchronous rounds stretch with the straggler; asynchronous totals barely move");
+    println!("because the seven healthy workers absorb the slack (total-budget scheduling).");
+}

@@ -1,0 +1,318 @@
+//! `dgs-cli` — run a DGS training configuration from a JSON file.
+//!
+//! ```text
+//! dgs-cli run <config.json> [--out results.json]
+//! dgs-cli init > config.json          # print an annotated default config
+//! dgs-cli methods                     # list methods + technique matrix
+//! ```
+//!
+//! The config file selects a synthetic workload, a model, a training
+//! method, and an engine; see [`CliConfig`] for every field. Example:
+//!
+//! ```json
+//! {
+//!   "workload": { "kind": "vision", "samples": 1024, "classes": 20,
+//!                 "hw": 12, "channels": 3, "noise": 2.2, "val_samples": 256 },
+//!   "model": { "kind": "resnet_lite", "width": 6, "hidden": [128, 64] },
+//!   "train": { "method": "dgs", "workers": 4, "batch_per_worker": 16,
+//!               "epochs": 8, "lr": 0.2, "momentum": 0.3,
+//!               "sparsity_ratio": 0.05, "secondary_compression": false,
+//!               "quantize_uplink": false, "seed": 42 },
+//!   "engine": { "kind": "threads" }
+//! }
+//! ```
+
+use dgs::core::config::{LrSchedule, TrainConfig};
+use dgs::core::curves::RunResult;
+use dgs::core::method::Method;
+use dgs::core::trainer::des::{train_des, DesParams};
+use dgs::core::trainer::single::train_msgd;
+use dgs::core::trainer::threaded::train_async;
+use dgs::nn::data::{Dataset, GaussianBlobs, SyntheticVision};
+use dgs::nn::models::{mlp, mlp_on_images, resnet_lite, tiny_cnn};
+use dgs::psim::NetworkModel;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Workload section of the config file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WorkloadConfig {
+    /// `"vision"` (synthetic images) or `"blobs"` (Gaussian clusters).
+    kind: String,
+    samples: usize,
+    val_samples: usize,
+    classes: usize,
+    #[serde(default = "default_hw")]
+    hw: usize,
+    #[serde(default = "default_channels")]
+    channels: usize,
+    #[serde(default = "default_noise")]
+    noise: f32,
+    #[serde(default = "default_dim")]
+    dim: usize,
+}
+
+fn default_hw() -> usize {
+    12
+}
+fn default_channels() -> usize {
+    3
+}
+fn default_noise() -> f32 {
+    2.2
+}
+fn default_dim() -> usize {
+    16
+}
+
+/// Model section of the config file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ModelConfig {
+    /// `"resnet_lite"`, `"tiny_cnn"`, `"mlp"`, or `"mlp_on_images"`.
+    kind: String,
+    #[serde(default = "default_width")]
+    width: usize,
+    #[serde(default = "default_hidden")]
+    hidden: Vec<usize>,
+}
+
+fn default_width() -> usize {
+    6
+}
+fn default_hidden() -> Vec<usize> {
+    vec![128, 64]
+}
+
+/// Training section of the config file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrainSection {
+    /// `"msgd"`, `"asgd"`, `"gd-async"`, `"dgc-async"`, or `"dgs"`.
+    method: String,
+    workers: usize,
+    batch_per_worker: usize,
+    epochs: usize,
+    lr: f32,
+    momentum: f32,
+    #[serde(default = "default_ratio")]
+    sparsity_ratio: f64,
+    #[serde(default)]
+    secondary_compression: bool,
+    #[serde(default)]
+    quantize_uplink: bool,
+    #[serde(default = "default_seed")]
+    seed: u64,
+}
+
+fn default_ratio() -> f64 {
+    0.05
+}
+fn default_seed() -> u64 {
+    42
+}
+
+/// Engine section of the config file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EngineConfig {
+    /// `"threads"` (real async threads) or `"des"` (virtual-time simulator).
+    kind: String,
+    #[serde(default = "default_bandwidth")]
+    bandwidth_gbps: f64,
+    #[serde(default = "default_gflops")]
+    worker_gflops: f64,
+}
+
+fn default_bandwidth() -> f64 {
+    10.0
+}
+fn default_gflops() -> f64 {
+    5.0
+}
+
+/// Top-level config file format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CliConfig {
+    workload: WorkloadConfig,
+    model: ModelConfig,
+    train: TrainSection,
+    engine: EngineConfig,
+}
+
+impl CliConfig {
+    fn example() -> Self {
+        CliConfig {
+            workload: WorkloadConfig {
+                kind: "vision".into(),
+                samples: 1024,
+                val_samples: 256,
+                classes: 20,
+                hw: 12,
+                channels: 3,
+                noise: 2.2,
+                dim: 16,
+            },
+            model: ModelConfig {
+                kind: "resnet_lite".into(),
+                width: 6,
+                hidden: vec![128, 64],
+            },
+            train: TrainSection {
+                method: "dgs".into(),
+                workers: 4,
+                batch_per_worker: 16,
+                epochs: 8,
+                lr: 0.2,
+                momentum: 0.3,
+                sparsity_ratio: 0.05,
+                secondary_compression: false,
+                quantize_uplink: false,
+                seed: 42,
+            },
+            engine: EngineConfig {
+                kind: "threads".into(),
+                bandwidth_gbps: 10.0,
+                worker_gflops: 5.0,
+            },
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dgs-cli: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("init") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&CliConfig::example()).unwrap()
+            );
+        }
+        Some("methods") => {
+            println!(
+                "{:<10} {:<18} {:<12} {:<12} residuals",
+                "method", "sparsification", "momentum", "correction"
+            );
+            for m in Method::ALL {
+                let t = m.techniques();
+                println!(
+                    "{:<10} {:<18} {:<12} {:<12} {}",
+                    t.method,
+                    t.sparsification,
+                    t.momentum,
+                    if t.momentum_correction { "yes" } else { "no" },
+                    if t.residual_accumulation { "yes" } else { "no" }
+                );
+            }
+        }
+        Some("run") => {
+            let path = args.get(1).unwrap_or_else(|| fail("usage: dgs-cli run <config.json> [--out results.json]"));
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let config: CliConfig = serde_json::from_str(&text)
+                .unwrap_or_else(|e| fail(&format!("invalid config: {e}")));
+            let result = run(&config);
+            print_summary(&result);
+            if let Some(out) = out {
+                std::fs::write(&out, serde_json::to_string_pretty(&result).unwrap())
+                    .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+                println!("wrote {out}");
+            }
+        }
+        _ => fail("usage: dgs-cli <run|init|methods>"),
+    }
+}
+
+fn run(config: &CliConfig) -> RunResult {
+    let seed = config.train.seed;
+    let w = &config.workload;
+    let (train_ds, val_ds): (Arc<dyn Dataset>, Arc<dyn Dataset>) =
+        match w.kind.as_str() {
+            "vision" => {
+                let data = SyntheticVision::new(
+                    w.samples, w.channels, w.hw, w.classes, w.noise, seed,
+                );
+                let val = Arc::new(data.validation(w.val_samples));
+                (Arc::new(data), val)
+            }
+            "blobs" => {
+                let data = GaussianBlobs::new(w.samples, w.dim, w.classes, w.noise, seed);
+                let val = Arc::new(data.validation(w.val_samples));
+                (Arc::new(data), val)
+            }
+            other => fail(&format!("unknown workload kind '{other}'")),
+        };
+
+    let m = config.model.clone();
+    let wk = w.clone();
+    let builder = move || match m.kind.as_str() {
+        "resnet_lite" => resnet_lite(wk.channels, wk.hw, wk.classes, m.width, seed),
+        "tiny_cnn" => tiny_cnn(wk.channels, wk.hw, wk.classes, m.width, seed),
+        "mlp_on_images" => mlp_on_images(wk.channels, wk.hw, &m.hidden, wk.classes, seed),
+        "mlp" => mlp(wk.dim, &m.hidden, wk.classes, seed),
+        other => fail(&format!("unknown model kind '{other}'")),
+    };
+
+    let method: Method = config
+        .train
+        .method
+        .parse()
+        .unwrap_or_else(|e: String| fail(&e));
+    let mut cfg = TrainConfig::paper_default(method, config.train.workers, config.train.epochs);
+    cfg.batch_per_worker = config.train.batch_per_worker;
+    cfg.lr = LrSchedule::paper_default(config.train.lr, config.train.epochs);
+    cfg.momentum = config.train.momentum;
+    cfg.sparsity_ratio = config.train.sparsity_ratio;
+    cfg.secondary_compression = config.train.secondary_compression;
+    cfg.quantize_uplink = config.train.quantize_uplink;
+    cfg.clip_norm = 0.0;
+    cfg.seed = seed;
+    cfg.evals = config.train.epochs;
+
+    if method == Method::Msgd {
+        return train_msgd(builder(), train_ds, val_ds, &cfg);
+    }
+    match config.engine.kind.as_str() {
+        "threads" => train_async(&cfg, &builder, train_ds, val_ds),
+        "des" => {
+            let params = DesParams {
+                network: NetworkModel::new(config.engine.bandwidth_gbps, 50.0),
+                worker_gflops: config.engine.worker_gflops,
+                ..DesParams::ten_gbps()
+            };
+            train_des(&cfg, &builder, train_ds, val_ds, params)
+        }
+        other => fail(&format!("unknown engine kind '{other}'")),
+    }
+}
+
+fn print_summary(result: &RunResult) {
+    println!("method           : {}", result.method_name());
+    println!("final top-1      : {:.2}%", 100.0 * result.final_acc);
+    println!("final val loss   : {:.4}", result.final_loss);
+    println!("uplink bytes     : {}", result.bytes_up);
+    println!("downlink bytes   : {}", result.bytes_down);
+    println!("mean staleness   : {:.2}", result.mean_staleness);
+    if result.virtual_time > 0.0 {
+        println!("virtual time     : {:.2}s", result.virtual_time);
+    }
+    println!("host wall time   : {:.2}s", result.wall_secs);
+    println!();
+    println!("epoch  updates  val-acc   train-loss");
+    for p in &result.curve {
+        println!(
+            "{:>5}  {:>7}  {:>6.2}%   {:.4}",
+            p.epoch,
+            p.updates,
+            100.0 * p.val_acc,
+            p.train_loss
+        );
+    }
+}

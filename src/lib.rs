@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # dgs — Dual-Way Gradient Sparsification
+//!
+//! Facade crate for the DGS reproduction (Yan et al., ICPP 2020). Re-exports
+//! the workspace crates so downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense f32 tensor kernels (the compute substrate).
+//! * [`nn`] — minimal neural-network library with manual backprop.
+//! * [`sparsify`] — Top-k sparsification and COO wire encoding.
+//! * [`psim`] — parameter-server cluster simulation (threads + DES).
+//! * [`core`] — the paper's contribution: model-difference tracking,
+//!   SAMomentum, and the baseline asynchronous optimizers.
+//!
+//! See `examples/quickstart.rs` for a two-minute tour.
+
+pub use dgs_core as core;
+pub use dgs_nn as nn;
+pub use dgs_psim as psim;
+pub use dgs_sparsify as sparsify;
+pub use dgs_tensor as tensor;

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `dgs-cli` binary: config parsing, training
+//! round-trips, and the JSON results artefact.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dgs-cli"))
+}
+
+fn quick_config(method: &str, engine: &str) -> String {
+    format!(
+        r#"{{
+  "workload": {{ "kind": "blobs", "samples": 128, "val_samples": 64,
+                 "classes": 3, "dim": 8, "noise": 0.4 }},
+  "model": {{ "kind": "mlp", "hidden": [16] }},
+  "train": {{ "method": "{method}", "workers": 2, "batch_per_worker": 8,
+              "epochs": 3, "lr": 0.05, "momentum": 0.4,
+              "sparsity_ratio": 0.1, "seed": 7 }},
+  "engine": {{ "kind": "{engine}" }}
+}}"#
+    )
+}
+
+#[test]
+fn init_emits_valid_config() {
+    let out = cli().arg("init").output().expect("run dgs-cli init");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("init output is JSON");
+    assert_eq!(parsed["train"]["method"], "dgs");
+    assert!(parsed["workload"]["samples"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn methods_lists_all_five() {
+    let out = cli().arg("methods").output().expect("run dgs-cli methods");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["MSGD", "ASGD", "GD-async", "DGC-async", "DGS"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    assert!(text.contains("SAMomentum"));
+}
+
+#[test]
+fn run_trains_and_writes_results() {
+    let dir = std::env::temp_dir().join("dgs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    let out_path = dir.join("out.json");
+    std::fs::write(&cfg_path, quick_config("dgs", "threads")).unwrap();
+
+    let out = cli()
+        .arg("run")
+        .arg(&cfg_path)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("run dgs-cli run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final top-1"), "{text}");
+
+    let result: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert!(result["final_acc"].as_f64().unwrap() > 0.3);
+    assert!(result["curve"].as_array().unwrap().len() >= 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_supports_des_engine() {
+    let dir = std::env::temp_dir().join("dgs_cli_des_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(&cfg_path, quick_config("asgd", "des")).unwrap();
+    let out = cli().arg("run").arg(&cfg_path).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("virtual time"), "DES runs report virtual time:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_config() {
+    let dir = std::env::temp_dir().join("dgs_cli_bad_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(&cfg_path, "{ not json").unwrap();
+    let out = cli().arg("run").arg(&cfg_path).output().expect("run");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_unknown_subcommand() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+}

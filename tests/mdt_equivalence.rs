@@ -1,0 +1,172 @@
+//! Integration test for the paper's Eq. (5): model-difference tracking
+//! without sparsification is *exactly* vanilla ASGD.
+//!
+//! Drives the real server and real training workers (real models, real
+//! gradients) in a deterministic round-robin and checks that the MDT path
+//! (sparse diff downlink, Top-k ratio 1.0 so nothing is dropped) produces
+//! the same trajectory as the dense-model ASGD path.
+
+use dgs::core::config::{LrSchedule, TrainConfig};
+use dgs::core::method::Method;
+use dgs::core::server::{Downlink, MdtServer};
+use dgs::core::worker::TrainWorker;
+use dgs::nn::data::{Dataset, GaussianBlobs};
+use dgs::nn::models::mlp;
+use std::sync::Arc;
+
+fn make_cfg(method: Method) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_default(method, 2, 4);
+    cfg.batch_per_worker = 8;
+    cfg.lr = LrSchedule::constant(0.05);
+    cfg.sparsity_ratio = 1.0; // keep everything: pure MDT, no dropping
+    cfg.seed = 99;
+    cfg
+}
+
+fn run_round_robin(method: Method, downlink: Downlink, steps: usize) -> Vec<f32> {
+    let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 1);
+    let train: Arc<dyn Dataset> = Arc::new(blobs);
+    let cfg = make_cfg(method);
+    let build = || mlp(8, &[16], 4, 7);
+    let net0 = build();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let mut server = MdtServer::new(theta0, partition, 2, downlink);
+    let mut workers: Vec<TrainWorker> = (0..2)
+        .map(|k| TrainWorker::new(k, build(), Arc::clone(&train), cfg.clone(), 10.0))
+        .collect();
+    for t in 0..steps {
+        let k = t % 2;
+        let up = workers[k].local_step();
+        let reply = server.handle_update(k, &up);
+        workers[k].apply_reply(reply);
+    }
+    server.current_model()
+}
+
+#[test]
+fn mdt_without_sparsification_equals_asgd() {
+    // GD-async at ratio 1.0 sends the entire η∇ every step (its residual
+    // is always fully flushed), so the only difference from ASGD is the
+    // downlink representation: model difference vs whole model. Eq. (5)
+    // says the trajectories coincide.
+    let steps = 40;
+    let asgd = run_round_robin(Method::Asgd, Downlink::DenseModel, steps);
+    let mdt = run_round_robin(
+        Method::GdAsync,
+        Downlink::ModelDifference { secondary_ratio: None },
+        steps,
+    );
+    assert_eq!(asgd.len(), mdt.len());
+    let mut max_diff = 0.0f32;
+    for (a, b) in asgd.iter().zip(mdt.iter()) {
+        max_diff = max_diff.max((a - b).abs());
+    }
+    assert!(
+        max_diff < 1e-4,
+        "Eq. 5 violated: max parameter difference {max_diff}"
+    );
+}
+
+#[test]
+fn worker_and_server_agree_after_every_receive() {
+    // Through a real training sequence, θ0 + v_k must reproduce the
+    // worker's local model (the tracking property the downlink relies on).
+    let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 2);
+    let train: Arc<dyn Dataset> = Arc::new(blobs);
+    let mut cfg = make_cfg(Method::Dgs);
+    cfg.sparsity_ratio = 0.1; // genuinely sparse this time
+    let build = || mlp(8, &[16], 4, 3);
+    let net0 = build();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let mut server = MdtServer::new(
+        theta0.clone(),
+        partition,
+        2,
+        Downlink::ModelDifference { secondary_ratio: None },
+    );
+    let mut workers: Vec<TrainWorker> = (0..2)
+        .map(|k| TrainWorker::new(k, build(), Arc::clone(&train), cfg.clone(), 10.0))
+        .collect();
+    for t in 0..30 {
+        let k = t % 2;
+        let up = workers[k].local_step();
+        let reply = server.handle_update(k, &up);
+        workers[k].apply_reply(reply);
+        // After a receive with no secondary compression the worker holds
+        // the server's current model (Eq. 5) …
+        let server_model = server.current_model();
+        for (i, (&w, &s)) in
+            workers[k].model_params().iter().zip(server_model.iter()).enumerate()
+        {
+            assert!(
+                (w - s).abs() < 1e-4,
+                "step {t}: worker {k} coord {i} drifted: {w} vs {s}"
+            );
+        }
+        // … and θ0 + v_k tracks it exactly.
+        for (i, (&w, (&t0, &v))) in workers[k]
+            .model_params()
+            .iter()
+            .zip(theta0.iter().zip(server.v(k).iter()))
+            .enumerate()
+        {
+            assert!(
+                (w - (t0 + v)).abs() < 1e-4,
+                "v tracking broken at step {t} coord {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn secondary_compression_converges_to_server_model_when_quiet() {
+    // With secondary compression the worker lags the server, but once the
+    // other workers go quiet the repeated Top-k diffs must deliver
+    // everything (implicit server-side residual accumulation).
+    let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 4);
+    let train: Arc<dyn Dataset> = Arc::new(blobs);
+    let mut cfg = make_cfg(Method::Dgs);
+    cfg.sparsity_ratio = 0.05;
+    let build = || mlp(8, &[16], 4, 5);
+    let net0 = build();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let mut server = MdtServer::new(
+        theta0,
+        partition.clone(),
+        2,
+        Downlink::ModelDifference { secondary_ratio: Some(0.05) },
+    );
+    let mut workers: Vec<TrainWorker> = (0..2)
+        .map(|k| TrainWorker::new(k, build(), Arc::clone(&train), cfg.clone(), 10.0))
+        .collect();
+    // Worker 1 trains for a while; worker 0 only occasionally syncs.
+    for _ in 0..40 {
+        let up = workers[1].local_step();
+        let reply = server.handle_update(1, &up);
+        workers[1].apply_reply(reply);
+    }
+    // Now worker 0 pings with zero-ish updates until it catches up. Top-k
+    // per layer delivers a bounded number of coordinates per round, so
+    // bound the rounds generously.
+    let dim = partition.total_len();
+    for _ in 0..400 {
+        let up = workers[0].local_step();
+        let reply = server.handle_update(0, &up);
+        workers[0].apply_reply(reply);
+    }
+    let server_model = server.current_model();
+    let mut lag = 0.0f32;
+    for (&w, &s) in workers[0].model_params().iter().zip(server_model.iter()) {
+        lag = lag.max((w - s).abs());
+    }
+    // Worker 0 keeps training too, so exact equality never holds — but the
+    // lag must be small relative to the parameter scale, not divergent.
+    let scale = server_model.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    assert!(
+        lag < 0.2 * scale.max(1.0),
+        "worker 0 failed to catch up: lag {lag}, scale {scale}, dim {dim}"
+    );
+}

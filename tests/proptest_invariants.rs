@@ -1,0 +1,250 @@
+//! Property-based tests of the reproduction's core invariants
+//! (DESIGN.md §5), driven by proptest across random inputs.
+
+use dgs::core::compress::{
+    Compressor, DgcCompressor, GradientDroppingCompressor, SaMomentumCompressor, StepCtx,
+};
+use dgs::core::protocol::{DownMsg, UpMsg, UpPayload};
+use dgs::core::server::{Downlink, MdtServer};
+use dgs::sparsify::{
+    k_for_ratio, random_unbiased_sparsify, topk_indices, topk_threshold, Partition,
+    SparseUpdate, TernaryUpdate,
+};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    /// Top-k always returns exactly min(k, n) distinct, sorted indices,
+    /// and every kept magnitude dominates every dropped magnitude.
+    #[test]
+    fn topk_selects_dominating_set(values in small_vec(64), k in 0usize..80) {
+        let idx = topk_indices(&values, k);
+        let expected = k.min(values.len());
+        prop_assert_eq!(idx.len(), expected);
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        if expected > 0 && expected < values.len() {
+            let thr = topk_threshold(&values, expected);
+            for (i, v) in values.iter().enumerate() {
+                if idx.contains(&(i as u32)) {
+                    prop_assert!(v.abs() >= thr);
+                } else {
+                    prop_assert!(v.abs() <= thr);
+                }
+            }
+        }
+    }
+
+    /// COO encode/decode round-trips losslessly and the advertised wire
+    /// size is exact.
+    #[test]
+    fn coo_roundtrip(values in small_vec(48), ratio in 0.01f64..1.0) {
+        let part = Partition::from_layer_sizes([("a", 16), ("b", 32)]);
+        let up = SparseUpdate::from_topk(&values, &part, ratio);
+        let encoded = up.encode();
+        prop_assert_eq!(encoded.len(), up.wire_bytes());
+        let decoded = SparseUpdate::decode(encoded).expect("decode");
+        prop_assert_eq!(decoded, up);
+    }
+
+    /// k_for_ratio is monotone in both arguments and clamped to [1, len]
+    /// for non-empty inputs.
+    #[test]
+    fn k_for_ratio_monotone(len in 1usize..10_000, ratio in 0.0001f64..1.0) {
+        let k = k_for_ratio(len, ratio);
+        prop_assert!(k >= 1 && k <= len);
+        prop_assert!(k_for_ratio(len, (ratio * 2.0).min(1.0)) >= k);
+        prop_assert!(k_for_ratio(len * 2, ratio) >= k);
+    }
+
+    /// Gradient-dropping conservation: at every step, transmitted mass plus
+    /// residual equals the total accumulated η∇ (no gradient is ever lost).
+    #[test]
+    fn gd_conserves_gradient_mass(
+        grads in proptest::collection::vec(small_vec(24), 1..12),
+        lr in 0.01f32..0.5,
+        ratio in 0.05f64..0.9,
+    ) {
+        let dim = 24;
+        let part = Partition::from_layer_sizes([("a", 8), ("b", 16)]);
+        let mut comp = GradientDroppingCompressor::new(dim);
+        let mut total = vec![0.0f64; dim];
+        let mut sent = vec![0.0f64; dim];
+        for grad in &grads {
+            for (t, &g) in total.iter_mut().zip(grad.iter()) {
+                *t += (lr * g) as f64;
+            }
+            let up = comp.compress(grad, &part, StepCtx { lr, ratio });
+            if let UpPayload::Sparse(s) = up {
+                let dense = s.to_dense(&part);
+                for (acc, &v) in sent.iter_mut().zip(dense.iter()) {
+                    *acc += v as f64;
+                }
+            }
+            for i in 0..dim {
+                let held = comp.residual()[i] as f64;
+                prop_assert!(
+                    (total[i] - sent[i] - held).abs() < 1e-3,
+                    "conservation broken at coord {}: total {} sent {} held {}",
+                    i, total[i], sent[i], held
+                );
+            }
+        }
+    }
+
+    /// SAMomentum at ratio 1.0 is bit-for-bit plain momentum (Eq. 16, T=1).
+    #[test]
+    fn samomentum_dense_limit(
+        grads in proptest::collection::vec(small_vec(8), 1..10),
+        m in 0.1f32..0.95,
+        lr in 0.01f32..0.5,
+    ) {
+        let part = Partition::single(8);
+        let mut comp = SaMomentumCompressor::new(8, m);
+        let mut u_ref = [0.0f32; 8];
+        for grad in &grads {
+            for (u, &g) in u_ref.iter_mut().zip(grad.iter()) {
+                *u = m * *u + lr * g;
+            }
+            let up = comp.compress(grad, &part, StepCtx { lr, ratio: 1.0 });
+            if let UpPayload::Sparse(s) = up {
+                let dense = s.to_dense(&part);
+                for (a, b) in dense.iter().zip(u_ref.iter()) {
+                    prop_assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    /// SAMomentum telescoping (Eq. 16): for a coordinate never selected,
+    /// the stored velocity follows u += (lr/m)·g per step, so the value it
+    /// would transmit after T quiet steps is m·u_c + lr·Σg.
+    #[test]
+    fn samomentum_telescopes(
+        quiet_grads in proptest::collection::vec(-0.01f32..0.01, 1..20),
+        m in 0.2f32..0.9,
+    ) {
+        let lr = 0.1f32;
+        let part = Partition::single(2);
+        let mut comp = SaMomentumCompressor::new(2, m);
+        // Coordinate 0 dominates, k = 1 keeps selecting it.
+        comp.compress(&[1000.0, 0.001], &part, StepCtx { lr, ratio: 0.5 });
+        let u_start = comp.velocity()[1];
+        let mut sum = 0.0f32;
+        for &g in &quiet_grads {
+            comp.compress(&[1000.0, g], &part, StepCtx { lr, ratio: 0.5 });
+            sum += g;
+        }
+        let next_sent = m * comp.velocity()[1];
+        let telescoped = m * u_start + lr * sum;
+        prop_assert!(
+            (next_sent - telescoped).abs() < 1e-4 * telescoped.abs().max(1.0),
+            "Eq. 16: {} vs {}", next_sent, telescoped
+        );
+    }
+
+    /// DGC factor masking: after every step the sent coordinates are zero
+    /// in both velocity and residual.
+    #[test]
+    fn dgc_factor_masking(
+        grads in proptest::collection::vec(small_vec(16), 1..8),
+        m in 0.1f32..0.95,
+    ) {
+        let part = Partition::single(16);
+        let mut comp = DgcCompressor::new(16, m, 0.0);
+        for grad in &grads {
+            let up = comp.compress(grad, &part, StepCtx { lr: 0.1, ratio: 0.25 });
+            if let UpPayload::Sparse(s) = up {
+                for &i in &s.chunks[0].idx {
+                    prop_assert_eq!(comp.velocity()[i as usize], 0.0);
+                    prop_assert_eq!(comp.residual()[i as usize], 0.0);
+                }
+            }
+        }
+    }
+
+    /// Ternary wire format: encode/decode round-trips for arbitrary inputs,
+    /// sizes are exact, and dequantized values carry the right signs.
+    #[test]
+    fn ternary_roundtrip(values in small_vec(40), seed in 0u64..1000) {
+        let part = Partition::from_layer_sizes([("a", 16), ("b", 24)]);
+        let up = SparseUpdate::from_topk(&values, &part, 0.4);
+        let q = TernaryUpdate::quantize(&up, seed);
+        let encoded = q.encode();
+        prop_assert_eq!(encoded.len(), q.wire_bytes());
+        let decoded = TernaryUpdate::decode(encoded).expect("decode");
+        prop_assert_eq!(&decoded, &q);
+        // Dequantized values: same indices subset, magnitudes equal the
+        // per-chunk scale, signs match the originals.
+        let dense_in = up.to_dense(&part);
+        let dq = decoded.dequantize();
+        for (ci, chunk) in dq.chunks.iter().enumerate() {
+            let offset = part.segments()[ci].offset;
+            for (&i, &v) in chunk.idx.iter().zip(chunk.val.iter()) {
+                let orig = dense_in[offset + i as usize];
+                prop_assert!(orig != 0.0, "quantizer kept a zero coordinate");
+                prop_assert_eq!(v > 0.0, orig > 0.0, "sign preserved");
+            }
+        }
+    }
+
+    /// Random unbiased dropping: kept values are the originals rescaled by
+    /// 1/p >= 1, so magnitudes never shrink.
+    #[test]
+    fn random_drop_never_shrinks_magnitudes(values in small_vec(60), seed in 0u64..1000) {
+        let sv = random_unbiased_sparsify(&values, 0.3, seed);
+        for (&i, &v) in sv.idx.iter().zip(sv.val.iter()) {
+            let orig = values[i as usize];
+            prop_assert!(orig != 0.0);
+            prop_assert_eq!(v > 0.0, orig > 0.0, "sign preserved");
+            prop_assert!(
+                v.abs() >= orig.abs() * 0.999,
+                "rescale by 1/p must not shrink: {} vs {}", v, orig
+            );
+        }
+    }
+
+    /// MDT bookkeeping under random interleavings: v_k equals the sum of
+    /// everything sent to k, and with no secondary compression every reply
+    /// leaves the recipient's implied model equal to the server model.
+    #[test]
+    fn mdt_random_interleaving(
+        schedule in proptest::collection::vec(0usize..3, 1..40),
+        seed_vals in small_vec(12),
+    ) {
+        let part = Partition::from_layer_sizes([("a", 4), ("b", 8)]);
+        let theta0 = seed_vals.clone();
+        let mut server = MdtServer::new(
+            theta0.clone(),
+            part.clone(),
+            3,
+            Downlink::ModelDifference { secondary_ratio: None },
+        );
+        let mut worker_models = vec![theta0.clone(); 3];
+        for (step, &k) in schedule.iter().enumerate() {
+            let mut g = vec![0.0f32; 12];
+            g[(step * 5 + k) % 12] = 0.1 + (step % 7) as f32 * 0.05;
+            let up = UpMsg {
+                payload: UpPayload::Sparse(SparseUpdate::from_nonzero(&g, &part)),
+                train_loss: 0.0,
+            };
+            let reply = server.handle_update(k, &up);
+            if let DownMsg::SparseDiff(diff) = reply {
+                diff.apply_add(&mut worker_models[k], &part, 1.0);
+            }
+            let sm = server.current_model();
+            for i in 0..12 {
+                prop_assert!(
+                    (worker_models[k][i] - sm[i]).abs() < 1e-4,
+                    "worker {} coord {} diverged at step {}", k, i, step
+                );
+                prop_assert!(
+                    (server.v(k)[i] - (worker_models[k][i] - theta0[i])).abs() < 1e-4,
+                    "v bookkeeping broken"
+                );
+            }
+        }
+    }
+}
