@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dgs_core::compress::{
-    Compressor, DenseCompressor, DgcCompressor, GradientDroppingCompressor,
-    SaMomentumCompressor, StepCtx,
+    Compressor, DenseCompressor, DgcCompressor, GradientDroppingCompressor, SaMomentumCompressor,
+    StepCtx,
 };
 use dgs_sparsify::Partition;
 
@@ -14,8 +14,7 @@ fn bench_compressors(c: &mut Criterion) {
     let part = Partition::from_layer_sizes(
         (0..20).map(|i| (format!("layer{i}"), dim / 20)).collect::<Vec<_>>(),
     );
-    let grad: Vec<f32> =
-        (0..dim).map(|i| ((i as f64 * 0.7391).sin() * 2.0) as f32).collect();
+    let grad: Vec<f32> = (0..dim).map(|i| ((i as f64 * 0.7391).sin() * 2.0) as f32).collect();
     let ctx = StepCtx { lr: 0.1, ratio: 0.01 };
 
     let mut group = c.benchmark_group("compressor_step_1M");

@@ -5,13 +5,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgs_core::protocol::{UpMsg, UpPayload};
-use dgs_core::server::{Downlink, MdtServer};
+use dgs_core::server::{DiffStrategy, Downlink, MdtServer};
 use dgs_sparsify::{Partition, SparseUpdate};
 
 fn sparse_up(part: &Partition, dim: usize, seed: usize, ratio: f64) -> UpMsg {
-    let flat: Vec<f32> = (0..dim)
-        .map(|i| (((i * 31 + seed * 17) as f64 * 0.7391).sin() * 2.0) as f32)
-        .collect();
+    let flat: Vec<f32> =
+        (0..dim).map(|i| (((i * 31 + seed * 17) as f64 * 0.7391).sin() * 2.0) as f32).collect();
     UpMsg {
         payload: UpPayload::Sparse(SparseUpdate::from_topk(&flat, part, ratio)),
         train_loss: 0.0,
@@ -54,12 +53,8 @@ fn bench_server(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("dense_asgd", dim), &dim, |b, _| {
-            let dense = UpMsg {
-                payload: UpPayload::Dense(vec![0.001; dim]),
-                train_loss: 0.0,
-            };
-            let mut server =
-                MdtServer::new(vec![0.0; dim], part.clone(), 4, Downlink::DenseModel);
+            let dense = UpMsg { payload: UpPayload::Dense(vec![0.001; dim]), train_loss: 0.0 };
+            let mut server = MdtServer::new(vec![0.0; dim], part.clone(), 4, Downlink::DenseModel);
             let mut w = 0usize;
             b.iter(|| {
                 let reply = server.handle_update(w % 4, black_box(&dense));
@@ -71,5 +66,95 @@ fn bench_server(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_server);
+/// Builds a step's uplink with a controlled index layout. `uniform`
+/// scatters the support at a fixed stride across each segment (worst case
+/// for merge gather locality); `clustered` packs it into a shifting window
+/// at 50% density (gradient mass concentrated in a few rows — what Top-k
+/// selection actually produces on embedding/attention layers).
+fn synth_up(part: &Partition, dim: usize, step: usize, ratio: f64, clustered: bool) -> UpMsg {
+    let mut flat = vec![0.0f32; dim];
+    for seg in part.segments() {
+        let nnz = ((seg.len as f64 * ratio).ceil() as usize).max(1);
+        let fill = |j: usize| (((step * 31 + j * 13) as f64 * 0.7391).sin() * 2.0) as f32 + 0.1;
+        if clustered {
+            let window = nnz * 2;
+            let start = (step * 7919) % (seg.len - window);
+            for j in 0..nnz {
+                flat[seg.offset + start + j * 2] = fill(j);
+            }
+        } else {
+            let stride = seg.len / nnz;
+            let start = (step * 7919 + seg.offset) % stride;
+            for j in 0..nnz {
+                flat[seg.offset + start + j * stride] = fill(j);
+            }
+        }
+    }
+    UpMsg { payload: UpPayload::Sparse(SparseUpdate::from_nonzero(&flat, part)), train_loss: 0.0 }
+}
+
+/// Log-merge vs dense-scan downlink construction (`DESIGN.md` §"Server hot
+/// path") across worker counts, staleness distributions, uplink layouts,
+/// and secondary-compression settings. Baseline numbers are recorded in
+/// `BENCH_server.json` at the repo root.
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("downlink_strategy");
+    group.sample_size(20);
+    let dim = 1_000_000usize;
+    let part = Partition::from_layer_sizes(
+        (0..20).map(|i| (format!("layer{i}"), dim / 20)).collect::<Vec<_>>(),
+    );
+    for (layout, clustered) in [("uniform", false), ("clustered", true)] {
+        // Distinct supports per step so the log sees realistic churn.
+        let updates: Vec<UpMsg> =
+            (0..64).map(|s| synth_up(&part, dim, s, 0.01, clustered)).collect();
+        for (sec_name, secondary) in [("no_secondary", None), ("secondary_1pct", Some(0.01))] {
+            for &workers in &[4usize, 16] {
+                // round_robin: every cursor is `workers` updates old (uniform
+                // mild staleness). straggler: one worker pulls every 32nd
+                // update, so its merge spans a long log suffix (heavy-tailed
+                // staleness).
+                for (sched, straggler) in [("round_robin", false), ("straggler", true)] {
+                    for (name, strategy) in [
+                        ("log_merge", DiffStrategy::LogMerge),
+                        ("dense_scan", DiffStrategy::DenseScan),
+                    ] {
+                        let id = BenchmarkId::new(
+                            format!("{name}_{sched}_{sec_name}_{layout}"),
+                            workers,
+                        );
+                        group.bench_with_input(id, &workers, |b, &workers| {
+                            let mut server = MdtServer::new(
+                                vec![0.0; dim],
+                                part.clone(),
+                                workers,
+                                Downlink::ModelDifference { secondary_ratio: secondary },
+                            );
+                            server.set_diff_strategy(strategy);
+                            let mut step = 0usize;
+                            b.iter(|| {
+                                let w = if straggler {
+                                    if step % 32 == 31 {
+                                        workers - 1
+                                    } else {
+                                        step % (workers - 1)
+                                    }
+                                } else {
+                                    step % workers
+                                };
+                                let reply = server
+                                    .handle_update(w, black_box(&updates[step % updates.len()]));
+                                step += 1;
+                                reply
+                            })
+                        });
+                    }
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server, bench_strategies);
 criterion_main!(benches);

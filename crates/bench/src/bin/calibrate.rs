@@ -31,8 +31,12 @@ fn main() {
         cfg.evals = 3;
         cfg.sparsity_ratio = ratio;
         cfg.momentum = momentum;
-        if let Ok(clip) = std::env::var("CLIP") { cfg.clip_norm = clip.parse().unwrap(); }
-        if let Ok(wu) = std::env::var("WARMUP") { cfg.warmup_epochs = wu.parse().unwrap(); }
+        if let Ok(clip) = std::env::var("CLIP") {
+            cfg.clip_norm = clip.parse().unwrap();
+        }
+        if let Ok(wu) = std::env::var("WARMUP") {
+            cfg.warmup_epochs = wu.parse().unwrap();
+        }
         let t = std::time::Instant::now();
         let res = if method == Method::Msgd {
             train_msgd(build(), Arc::clone(&train), Arc::clone(&val), &cfg)

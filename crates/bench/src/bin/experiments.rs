@@ -127,9 +127,7 @@ fn run(cfg: &TrainConfig, wl: &Workload) -> RunResult {
     if cfg.method == Method::Msgd {
         train_msgd(wl.build_model(), Arc::clone(&wl.train), Arc::clone(&wl.val), cfg)
     } else {
-        wl.with_builder(|b| {
-            train_async(cfg, b, Arc::clone(&wl.train), Arc::clone(&wl.val))
-        })
+        wl.with_builder(|b| train_async(cfg, b, Arc::clone(&wl.train), Arc::clone(&wl.val)))
     }
 }
 
@@ -188,12 +186,11 @@ fn learning_curves(
         results.push(res);
     }
     // Curve table: one row per epoch with every method's val accuracy.
-    let header: Vec<String> =
-        std::iter::once("epoch".to_string())
-            .chain(results.iter().flat_map(|r| {
-                [format!("{} acc", r.method_name()), format!("{} loss", r.method_name())]
-            }))
-            .collect();
+    let header: Vec<String> = std::iter::once("epoch".to_string())
+        .chain(results.iter().flat_map(|r| {
+            [format!("{} acc", r.method_name()), format!("{} loss", r.method_name())]
+        }))
+        .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(caption, &header_refs);
     let max_points = results.iter().map(|r| r.curve.len()).max().unwrap_or(0);
@@ -222,11 +219,7 @@ fn learning_curves(
         .map(|r| {
             Series::new(
                 r.method_name(),
-                r.curve
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| ((i + 1) as f64, p.val_acc))
-                    .collect(),
+                r.curve.iter().enumerate().map(|(i, p)| ((i + 1) as f64, p.val_acc)).collect(),
             )
         })
         .collect();
@@ -352,8 +345,7 @@ fn scaling_table(
         "-".into(),
         "0.0".into(),
     ]);
-    let mut rows: Vec<(usize, String, f64, f64)> =
-        vec![(1, "MSGD".into(), msgd.final_acc, 0.0)];
+    let mut rows: Vec<(usize, String, f64, f64)> = vec![(1, "MSGD".into(), msgd.final_acc, 0.0)];
     for &workers in worker_counts {
         for method in Method::ASYNC {
             let cfg = config_for(method, workers, &wl, batch);
@@ -619,10 +611,8 @@ fn ablation_secondary(scale: Scale) {
             let mut cfg = config_for(Method::Dgs, workers, &wl, 8);
             cfg.secondary_compression = secondary;
             cfg.evals = 4;
-            let params = DesParams {
-                network: NetworkModel::new(gbps, 50.0),
-                ..DesParams::ten_gbps()
-            };
+            let params =
+                DesParams { network: NetworkModel::new(gbps, 50.0), ..DesParams::ten_gbps() };
             let res = run_des_on(&cfg, &wl, params);
             println!(
                 "  [ablation-secondary] {bw_name} secondary={secondary}: {:.2}s, {} down, acc {}",
@@ -637,7 +627,13 @@ fn ablation_secondary(scale: Scale) {
                 bytes_human(res.bytes_down),
                 pct(res.final_acc),
             ]);
-            rows.push((bw_name.to_string(), secondary, res.virtual_time, res.bytes_down, res.final_acc));
+            rows.push((
+                bw_name.to_string(),
+                secondary,
+                res.virtual_time,
+                res.bytes_down,
+                res.final_acc,
+            ));
         }
     }
     table.print();
@@ -659,11 +655,7 @@ fn ablation_momentum(scale: Scale) {
         cfg.momentum = m;
         let res = run(&cfg, &wl);
         println!("  [ablation-momentum] m={m}: acc {}", pct(res.final_acc));
-        table.row(vec![
-            format!("{m}"),
-            pct(res.final_acc),
-            format!("{:.4}", res.final_loss),
-        ]);
+        table.row(vec![format!("{m}"), pct(res.final_acc), format!("{:.4}", res.final_loss)]);
         rows.push((m, res.final_acc, res.final_loss));
     }
     table.print();
@@ -716,9 +708,7 @@ fn summary() {
         }
     }
     // Speedups: (bandwidth, method, workers, time, speedup).
-    if let Some(rows) =
-        dgs_bench::read_json::<Vec<(String, String, usize, f64, f64)>>("fig6")
-    {
+    if let Some(rows) = dgs_bench::read_json::<Vec<(String, String, usize, f64, f64)>>("fig6") {
         let mut table = Table::new(
             "fig6 — throughput speedups",
             &["bandwidth", "method", "workers", "speedup"],
@@ -870,14 +860,11 @@ fn ablation_compression(scale: Scale) {
     let mut rows = Vec::new();
     let variants: Vec<(String, TrainConfig)> = vec![
         ("DGS".into(), config_for(Method::Dgs, workers, &wl, 16)),
-        (
-            "DGS + ternary uplink".into(),
-            {
-                let mut c = config_for(Method::Dgs, workers, &wl, 16);
-                c.quantize_uplink = true;
-                c
-            },
-        ),
+        ("DGS + ternary uplink".into(), {
+            let mut c = config_for(Method::Dgs, workers, &wl, 16);
+            c.quantize_uplink = true;
+            c
+        }),
         ("GD-async".into(), config_for(Method::GdAsync, workers, &wl, 16)),
         ("ASGD".into(), config_for(Method::Asgd, workers, &wl, 16)),
     ];

@@ -42,11 +42,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
 }
 
 /// Writes a CSV file under `results/<name>.csv` from a header and rows.
-pub fn write_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));

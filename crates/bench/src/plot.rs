@@ -35,8 +35,7 @@ pub fn ascii_chart(
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let width = width.max(16);
     let height = height.max(6);
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     if all.is_empty() {
         return format!("== {title} ==\n(no data)\n");
     }
@@ -127,8 +126,7 @@ mod tests {
         // A single point at the minimum lands bottom-left; at max, top-right.
         let s = vec![Series::new("pt", vec![(0.0, 0.0), (10.0, 10.0)])];
         let chart = ascii_chart("Corners", "x", "y", &s, 21, 7);
-        let grid: Vec<&str> =
-            chart.lines().filter(|l| l.starts_with('|')).collect();
+        let grid: Vec<&str> = chart.lines().filter(|l| l.starts_with('|')).collect();
         assert_eq!(grid.len(), 7);
         // Top row has the max point at the far right.
         assert_eq!(grid[0].chars().last(), Some('*'));

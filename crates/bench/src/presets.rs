@@ -84,12 +84,8 @@ impl Workload {
                 let val = Arc::new(data.validation(val_len));
                 let train = Arc::new(data);
                 let builder: Arc<dyn Fn() -> Network + Send + Sync> = match model {
-                    ModelKind::ResNetLite => {
-                        Arc::new(move || resnet_lite(3, hw, 30, 6, seed))
-                    }
-                    ModelKind::Mlp => {
-                        Arc::new(move || mlp_on_images(3, hw, &[128, 64], 30, seed))
-                    }
+                    ModelKind::ResNetLite => Arc::new(move || resnet_lite(3, hw, 30, 6, seed)),
+                    ModelKind::Mlp => Arc::new(move || mlp_on_images(3, hw, &[128, 64], 30, seed)),
                 };
                 Workload {
                     name: format!("cifar-like/{}", model_name(model)),
@@ -111,9 +107,7 @@ impl Workload {
                 let val = Arc::new(data.validation(val_len));
                 let train = Arc::new(data);
                 let builder: Arc<dyn Fn() -> Network + Send + Sync> = match model {
-                    ModelKind::ResNetLite => {
-                        Arc::new(move || resnet_lite(3, hw, classes, 8, seed))
-                    }
+                    ModelKind::ResNetLite => Arc::new(move || resnet_lite(3, hw, classes, 8, seed)),
                     ModelKind::Mlp => {
                         Arc::new(move || mlp_on_images(3, hw, &[256, 128], classes, seed))
                     }
@@ -193,8 +187,7 @@ mod tests {
     #[test]
     fn imagenet_like_is_larger_than_cifar_like() {
         let c = Workload::new(WorkloadKind::CifarLike, ModelKind::ResNetLite, Scale::Quick, 1);
-        let i =
-            Workload::new(WorkloadKind::ImagenetLike, ModelKind::ResNetLite, Scale::Quick, 1);
+        let i = Workload::new(WorkloadKind::ImagenetLike, ModelKind::ResNetLite, Scale::Quick, 1);
         assert!(i.train.num_classes() > c.train.num_classes());
         assert!(i.train.sample_shape().numel() > c.train.sample_shape().numel());
         assert!(i.num_params() > c.num_params());

@@ -133,12 +133,7 @@ pub struct DgcCompressor {
 impl DgcCompressor {
     /// Creates the compressor for `dim` parameters.
     pub fn new(dim: usize, momentum: f32, clip_norm: f32) -> Self {
-        DgcCompressor {
-            velocity: vec![0.0; dim],
-            residual: vec![0.0; dim],
-            momentum,
-            clip_norm,
-        }
+        DgcCompressor { velocity: vec![0.0; dim], residual: vec![0.0; dim], momentum, clip_norm }
     }
 
     /// The velocity buffer, for tests.
@@ -163,8 +158,7 @@ impl Compressor for DgcCompressor {
                 scale *= self.clip_norm / norm;
             }
         }
-        for ((u, r), &g) in
-            self.velocity.iter_mut().zip(self.residual.iter_mut()).zip(grad.iter())
+        for ((u, r), &g) in self.velocity.iter_mut().zip(self.residual.iter_mut()).zip(grad.iter())
         {
             *u = self.momentum * *u + scale * g;
             *r += *u;
@@ -348,8 +342,7 @@ mod tests {
         let mut total = [0.0f64; 8];
         let mut sent = [0.0f64; 8];
         for step in 0..20 {
-            let grad: Vec<f32> =
-                (0..8).map(|i| ((i + step) as f32 * 0.37).sin()).collect();
+            let grad: Vec<f32> = (0..8).map(|i| ((i + step) as f32 * 0.37).sin()).collect();
             for (t, &g) in total.iter_mut().zip(grad.iter()) {
                 *t += 0.1 * g as f64;
             }
@@ -497,8 +490,8 @@ mod tests {
         // u1_start + η·Σ∇ · (1/m)^0 scaled… Simplest exact claim:
         let next_sent = m * c.velocity()[1];
         let telescoped = u1_start + lr * grad_sum / m * 1.0; // see note
-        // Derivation: u_{i+1} = (m·u_i + η g_i)/m = u_i + (η/m) g_i, so
-        // u_stored = u1_start + (η/m)·Σ∇ and m·u_stored = m·u1_start + η·Σ∇.
+                                                             // Derivation: u_{i+1} = (m·u_i + η g_i)/m = u_i + (η/m) g_i, so
+                                                             // u_stored = u1_start + (η/m)·Σ∇ and m·u_stored = m·u1_start + η·Σ∇.
         assert!(
             (c.velocity()[1] - (u1_start + lr / m * grad_sum)).abs() < 1e-5,
             "closed form violated"

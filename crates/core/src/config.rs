@@ -96,6 +96,16 @@ pub struct TrainConfig {
     /// `1/(1+staleness)^alpha`.
     #[serde(default)]
     pub staleness_damping: f64,
+    /// Server update-log budget in total logged coordinates, bounding the
+    /// O(nnz) downlink construction's memory (see `DESIGN.md` §"Server hot
+    /// path"); 0 = automatic (one logged coordinate per model parameter).
+    #[serde(default)]
+    pub server_log_nnz: usize,
+    /// Force the reference O(dim) dense-scan downlink construction instead
+    /// of the update-log merge. Debug/benchmark switch: the payloads are
+    /// bitwise identical either way.
+    #[serde(default)]
+    pub server_dense_scan: bool,
     /// DGC gradient-clipping threshold on the global gradient norm
     /// (0 disables clipping). Only DGC-async uses it.
     pub clip_norm: f32,
@@ -125,6 +135,8 @@ impl TrainConfig {
             secondary_compression: false,
             quantize_uplink: false,
             staleness_damping: 0.0,
+            server_log_nnz: 0,
+            server_dense_scan: false,
             clip_norm: if method == Method::DgcAsync { 5.0 } else { 0.0 },
             warmup_epochs: if method == Method::DgcAsync { 4 } else { 0 },
             seed: 42,
@@ -213,6 +225,20 @@ mod tests {
         assert_eq!(cfg.epoch_of_iter(99, ds), 4);
         // Clamped at the last epoch even past the end.
         assert_eq!(cfg.epoch_of_iter(1000, ds), 4);
+    }
+
+    #[test]
+    fn server_fields_default_off_and_deserialize_when_absent() {
+        let cfg = TrainConfig::paper_default(Method::Dgs, 4, 10);
+        assert_eq!(cfg.server_log_nnz, 0);
+        assert!(!cfg.server_dense_scan);
+        // Older serialized configs (without the server fields) still load.
+        let mut json: serde_json::Value = serde_json::to_value(&cfg).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("server_log_nnz");
+        obj.remove("server_dense_scan");
+        let back: TrainConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

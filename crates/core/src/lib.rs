@@ -19,6 +19,8 @@
 //!   Eq. 1-6): update accumulator `M`, per-worker delivered vectors `v_k`,
 //!   difference `G = M − v_k`, optional secondary compression, plus the
 //!   dense-model downlink that vanilla ASGD uses.
+//! * [`update_log`] — the bounded applied-update log behind the server's
+//!   O(nnz) downlink construction (see `DESIGN.md` §"Server hot path").
 //! * [`worker`] — a training worker: model + data loader + compressor,
 //!   usable by both execution engines.
 //! * [`trainer`] — orchestration: single-node MSGD, the real-thread
@@ -34,6 +36,7 @@ pub mod method;
 pub mod protocol;
 pub mod server;
 pub mod trainer;
+pub mod update_log;
 pub mod worker;
 
 pub use config::{LrSchedule, TrainConfig};

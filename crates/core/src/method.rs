@@ -34,8 +34,7 @@ impl Method {
         [Method::Msgd, Method::Asgd, Method::GdAsync, Method::DgcAsync, Method::Dgs];
 
     /// The asynchronous methods (everything but the single-node baseline).
-    pub const ASYNC: [Method; 4] =
-        [Method::Asgd, Method::GdAsync, Method::DgcAsync, Method::Dgs];
+    pub const ASYNC: [Method; 4] = [Method::Asgd, Method::GdAsync, Method::DgcAsync, Method::Dgs];
 
     /// Display name matching the paper's tables.
     pub fn name(&self) -> &'static str {

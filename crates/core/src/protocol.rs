@@ -9,6 +9,7 @@
 //! plotting) is excluded from the byte counts.
 
 use dgs_sparsify::{SparseUpdate, TernaryUpdate};
+use std::sync::Arc;
 
 /// Fixed per-message framing overhead (message type + worker id + length).
 pub const HEADER_BYTES: usize = 12;
@@ -65,8 +66,11 @@ impl UpMsg {
 /// A server→worker message.
 #[derive(Debug, Clone)]
 pub enum DownMsg {
-    /// The entire global model, dense — vanilla ASGD's downlink.
-    DenseModel(Vec<f32>),
+    /// The entire global model, dense — vanilla ASGD's downlink. Shared
+    /// (`Arc`) so the server replies with a refcount bump instead of an
+    /// O(dim) clone per round; wire accounting still charges the full
+    /// dense payload.
+    DenseModel(Arc<Vec<f32>>),
     /// The model difference `G = M − v_k`, sparse-encoded — the
     /// model-difference-tracking downlink (with or without secondary
     /// compression).
@@ -107,11 +111,10 @@ mod tests {
 
     #[test]
     fn down_variants_bytes() {
-        let dense = DownMsg::DenseModel(vec![0.0; 10]);
+        let dense = DownMsg::DenseModel(Arc::new(vec![0.0; 10]));
         assert_eq!(dense.wire_bytes(), HEADER_BYTES + 40);
         let part = Partition::single(10);
-        let sparse =
-            DownMsg::SparseDiff(SparseUpdate::from_nonzero(&[0.0; 10], &part));
+        let sparse = DownMsg::SparseDiff(SparseUpdate::from_nonzero(&[0.0; 10], &part));
         // Empty sparse diff: update header (4) + one empty chunk (4).
         assert_eq!(sparse.wire_bytes(), HEADER_BYTES + 8);
     }
@@ -123,7 +126,7 @@ mod tests {
         flat[500] = -2.0;
         let part = Partition::single(1000);
         let sparse = DownMsg::SparseDiff(SparseUpdate::from_nonzero(&flat, &part));
-        let dense = DownMsg::DenseModel(flat);
+        let dense = DownMsg::DenseModel(Arc::new(flat));
         assert!(sparse.wire_bytes() < dense.wire_bytes() / 10);
     }
 }

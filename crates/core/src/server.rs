@@ -18,11 +18,42 @@
 //! `θ_0 + v_k` reproduces the worker's model to within a single f32
 //! rounding step — the server always knows what every worker holds, which
 //! is what makes the difference meaningful under asynchrony.
+//!
+//! # Hot path: O(nnz) downlink construction
+//!
+//! `G = M − v_k` is sparse — it is the sum of the few sparse updates applied
+//! since worker `k`'s last pull — so reconstructing it with a dense scan of
+//! `M` and `v_k` (O(W·dim) per round across W workers) wastes almost all of
+//! its work. The server instead keeps an [`UpdateLog`] of the coordinates
+//! each applied update touched, plus a per-worker *dirty set* `pending[k]`
+//! (coordinates where `M` and `v_k` still differ as of the worker's cursor
+//! — secondary compression holds values back indefinitely, so "touched
+//! since the cursor" alone is not a superset of the diff's support).
+//! [`MdtServer::make_diff`] then visits only
+//! `pending[k] ∪ touched-since-prev[k]` coordinates, computing each value
+//! as the same `m[i] − v[i]` subtraction the dense scan performs — which is
+//! why the two strategies ([`DiffStrategy`]) produce bitwise-identical
+//! payloads. When a straggler's cursor has fallen off the bounded log the
+//! server falls back to the dense scan for that one reply (graceful
+//! degradation, never a wrong answer) and rebuilds the dirty set in the
+//! process. See `DESIGN.md` §"Server hot path".
 
 use crate::method::Method;
 use crate::protocol::{DownMsg, UpMsg, UpPayload};
+use crate::update_log::UpdateLog;
 use dgs_psim::StalenessStats;
+use dgs_sparsify::merge::{
+    diff_pairs_at, retain_dirty, scatter_pairs, scatter_track_dirty, send_all_at, send_all_dense,
+    send_topk_dense, sort_dedup, sort_dedup_bitmap, topk_pairs,
+};
 use dgs_sparsify::{k_for_ratio, Partition, SparseUpdate, SparseVec};
+use dgs_tensor::BufferPool;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Below this many model coordinates the per-segment reply construction
+/// runs sequentially — same threshold idiom as `dgs_tensor::matmul`.
+const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// Staleness mitigation applied by the server when folding updates into
 /// `M` — a gap-aware damping in the spirit of Barkai et al. (cited by the
@@ -80,6 +111,18 @@ impl Downlink {
     }
 }
 
+/// How `make_diff` reconstructs `G = M − v_k`. Both strategies produce
+/// bitwise-identical payloads; they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStrategy {
+    /// Reference O(dim) scan of `M` and `v_k` per reply.
+    DenseScan,
+    /// O(nnz since last pull) merge of the applied-update log with the
+    /// worker's dirty set; falls back to [`DiffStrategy::DenseScan`] per
+    /// reply when the log no longer covers the worker's cursor.
+    LogMerge,
+}
+
 /// The parameter server.
 pub struct MdtServer {
     theta0: Vec<f32>,
@@ -96,6 +139,36 @@ pub struct MdtServer {
     prev: Vec<u64>,
     staleness: StalenessStats,
     damping: StalenessDamping,
+    /// Diff construction strategy (MDT downlink only).
+    strategy: DiffStrategy,
+    /// Coordinates touched by each applied sparse update, bounded.
+    log: UpdateLog,
+    /// Per-worker dirty set: sorted global coordinates where `M − v_k` was
+    /// nonzero as of the worker's cursor. Invariant after every reply to
+    /// `k`: `support(M − v_k) ⊆ pending[k] ∪ touched-since-prev[k]`.
+    pending: Vec<Vec<u32>>,
+    /// Incrementally maintained `θ_0 + M` for the dense-model downlink —
+    /// O(nnz) per update instead of an O(dim) clone per reply. `Arc` so a
+    /// reply is a refcount bump; `Arc::make_mut` clones only while a
+    /// worker still holds the previous snapshot.
+    model_cache: Option<Arc<Vec<f32>>>,
+    /// Recycled scratch for candidate index lists.
+    scratch: BufferPool<u32>,
+    /// Zeroed-at-rest bitmap over the coordinate domain, used to merge
+    /// candidate runs in O(n) instead of comparison-sorting them
+    /// (`dim/8` bytes; empty for the dense-model downlink).
+    mask: Vec<u64>,
+    /// Per-worker: is `pending[k]` a trustworthy dirty-set superset? A
+    /// degenerate dense fallback that skips tracking clears this; the log
+    /// path requires it and the next tracked scan re-establishes it.
+    pending_valid: Vec<bool>,
+    /// Per-worker: should the next dense fallback under secondary
+    /// compression pay the O(nnz) dirty pass to rebuild `pending[k]`?
+    /// Density hysteresis (off above `dim/8` nonzeros, see
+    /// [`MdtServer::make_diff_dense`]) keeps the degenerate regime — where
+    /// the guard would reject the rebuilt set anyway — at pure dense-scan
+    /// cost. Small models (`dim < PAR_THRESHOLD`) always track.
+    retrack: Vec<bool>,
 }
 
 impl MdtServer {
@@ -103,10 +176,25 @@ impl MdtServer {
     pub fn new(theta0: Vec<f32>, partition: Partition, workers: usize, downlink: Downlink) -> Self {
         partition.check_covers(&theta0);
         let dim = theta0.len();
-        let v = match downlink {
+        let (v, pending, log, model_cache, mask) = match downlink {
             // Dense-model downlink needs no per-worker tracking.
-            Downlink::DenseModel => Vec::new(),
-            Downlink::ModelDifference { .. } => vec![vec![0.0f32; dim]; workers],
+            Downlink::DenseModel => (
+                Vec::new(),
+                Vec::new(),
+                UpdateLog::new(0),
+                Some(Arc::new(theta0.clone())),
+                Vec::new(),
+            ),
+            Downlink::ModelDifference { .. } => (
+                vec![vec![0.0f32; dim]; workers],
+                vec![Vec::new(); workers],
+                // Default budget: one logged index per model coordinate, so
+                // the log never outweighs a u32 model replica and a full
+                // merge never costs more than the dense scan it replaces.
+                UpdateLog::new(dim),
+                None,
+                vec![0u64; dim.div_ceil(64)],
+            ),
         };
         MdtServer {
             theta0,
@@ -118,12 +206,54 @@ impl MdtServer {
             prev: vec![0; workers],
             staleness: StalenessStats::new(),
             damping: StalenessDamping::off(),
+            strategy: DiffStrategy::LogMerge,
+            log,
+            pending,
+            model_cache,
+            scratch: BufferPool::default(),
+            mask,
+            pending_valid: vec![true; workers],
+            retrack: vec![true; workers],
         }
     }
 
     /// Enables gap-aware staleness damping (see [`StalenessDamping`]).
     pub fn set_damping(&mut self, damping: StalenessDamping) {
         self.damping = damping;
+    }
+
+    /// Selects how `G = M − v_k` is reconstructed (default:
+    /// [`DiffStrategy::LogMerge`]). Switching to the log strategy mid-run
+    /// invalidates the log up to the current timestamp: dense-scan mode
+    /// does not maintain dirty sets, so every worker takes one dense
+    /// fallback to rebuild its set before being log-served again.
+    pub fn set_diff_strategy(&mut self, strategy: DiffStrategy) {
+        if self.strategy == DiffStrategy::DenseScan && strategy == DiffStrategy::LogMerge {
+            self.log.forget_through(self.t.saturating_add(1));
+            // Dense-scan mode left the dirty sets stale; distrust them
+            // until the forced fallback rebuilds each one.
+            self.pending_valid.fill(false);
+            self.retrack.fill(true);
+        }
+        self.strategy = strategy;
+    }
+
+    /// The active diff strategy.
+    pub fn diff_strategy(&self) -> DiffStrategy {
+        self.strategy
+    }
+
+    /// Replaces the update-log budget, counted in total logged indices
+    /// (`0` restores the automatic default of one index per coordinate).
+    /// Safe at any time: the new log starts empty with everything up to
+    /// the current timestamp declared lost, which the intact dirty sets
+    /// make sound (workers behind the current timestamp take one dense
+    /// fallback).
+    pub fn set_log_capacity(&mut self, capacity: usize) {
+        let cap = if capacity == 0 { self.dim() } else { capacity };
+        let mut log = UpdateLog::new(cap);
+        log.forget_through(self.t);
+        self.log = log;
     }
 
     /// Number of parameters.
@@ -138,7 +268,12 @@ impl MdtServer {
 
     /// The current global model `θ_t = θ_0 + M_t`.
     pub fn current_model(&self) -> Vec<f32> {
-        self.theta0.iter().zip(self.m.iter()).map(|(&a, &b)| a + b).collect()
+        match &self.model_cache {
+            // Dense downlink: the incrementally maintained model, so evals
+            // see exactly what replies ship.
+            Some(cache) => cache.as_ref().clone(),
+            None => self.theta0.iter().zip(self.m.iter()).map(|(&a, &b)| a + b).collect(),
+        }
     }
 
     /// The update accumulator `M_t` (for tests).
@@ -160,8 +295,12 @@ impl MdtServer {
     /// Processes one worker update and produces the reply — the body of the
     /// paper's Alg. 2 receive loop.
     pub fn handle_update(&mut self, worker: usize, up: &UpMsg) -> DownMsg {
-        let staleness = self.t - self.prev[worker];
+        let since = self.prev[worker];
+        let staleness = self.t - since;
         let scale = self.damping.scale(staleness);
+        let track_log = matches!(self.downlink, Downlink::ModelDifference { .. })
+            && self.strategy == DiffStrategy::LogMerge;
+        let t_next = self.t + 1;
         // M_{t+1} = M_t − scale·g (Eq. 1; scale = 1 without damping).
         // Updates arrive lr-scaled.
         match &up.payload {
@@ -170,70 +309,319 @@ impl MdtServer {
                 for (m, &gi) in self.m.iter_mut().zip(g.iter()) {
                     *m -= scale * gi;
                 }
+                if let Some(cache) = &mut self.model_cache {
+                    for (c, &gi) in Arc::make_mut(cache).iter_mut().zip(g.iter()) {
+                        *c -= scale * gi;
+                    }
+                }
+                if track_log {
+                    // A dense update touches everything; cursors older than
+                    // it cannot be log-served.
+                    self.log.mark_dense(t_next);
+                }
             }
-            UpPayload::Sparse(s) => {
-                s.apply_add(&mut self.m, &self.partition, -scale);
-            }
+            UpPayload::Sparse(s) => self.apply_sparse(s, scale, track_log, t_next),
             UpPayload::TernarySparse(t) => {
-                t.dequantize().apply_add(&mut self.m, &self.partition, -scale);
+                self.apply_sparse(&t.dequantize(), scale, track_log, t_next)
             }
         }
-        self.t += 1;
+        self.t = t_next;
         self.staleness.record(staleness);
         self.prev[worker] = self.t;
 
         match self.downlink {
-            Downlink::DenseModel => DownMsg::DenseModel(self.current_model()),
+            Downlink::DenseModel => {
+                DownMsg::DenseModel(Arc::clone(self.model_cache.as_ref().expect("dense cache")))
+            }
             Downlink::ModelDifference { secondary_ratio } => {
-                let reply = self.make_diff(worker, secondary_ratio);
-                DownMsg::SparseDiff(reply)
+                DownMsg::SparseDiff(self.make_diff(worker, since, secondary_ratio))
             }
         }
     }
 
+    /// Applies a sparse update to `M` (and the dense-model cache when one
+    /// is kept) and logs the touched coordinates.
+    fn apply_sparse(&mut self, s: &SparseUpdate, scale: f32, track_log: bool, t_next: u64) {
+        s.apply_add(&mut self.m, &self.partition, -scale);
+        if let Some(cache) = &mut self.model_cache {
+            s.apply_add(Arc::make_mut(cache), &self.partition, -scale);
+        }
+        if track_log {
+            let mut touched = self.log.begin();
+            for (chunk, seg) in s.chunks.iter().zip(self.partition.segments()) {
+                let off = seg.offset as u32;
+                touched.extend(chunk.idx.iter().map(|&i| off + i));
+            }
+            self.log.record(t_next, touched);
+        }
+    }
+
     /// Builds `G = M − v_k`, optionally secondary-compressed, and advances
-    /// `v_k` by exactly what is sent.
-    fn make_diff(&mut self, worker: usize, secondary_ratio: Option<f64>) -> SparseUpdate {
-        let vk = &mut self.v[worker];
-        let mut chunks = Vec::with_capacity(self.partition.num_segments());
-        for si in 0..self.partition.num_segments() {
-            let range = self.partition.segments()[si].range();
-            let m_seg = &self.m[range.clone()];
-            let v_seg = &mut vk[range];
-            // Dense per-layer difference.
-            let diff: Vec<f32> =
-                m_seg.iter().zip(v_seg.iter()).map(|(&m, &v)| m - v).collect();
-            let sv = match secondary_ratio {
-                None => SparseVec::from_nonzero(&diff),
-                Some(ratio) => {
-                    let nnz_all = diff.iter().filter(|&&d| d != 0.0).count();
-                    let k = k_for_ratio(diff.len(), ratio);
-                    if nnz_all <= k {
-                        // Already sparser than the budget: send everything.
-                        SparseVec::from_nonzero(&diff)
-                    } else {
-                        SparseVec::from_topk(&diff, k)
-                    }
+    /// `v_k` by exactly what is sent. `since` is the worker's cursor at the
+    /// time its update arrived. Strategy dispatch: the log merge serves any
+    /// cursor the log still covers; everything else takes the dense scan.
+    fn make_diff(
+        &mut self,
+        worker: usize,
+        since: u64,
+        secondary_ratio: Option<f64>,
+    ) -> SparseUpdate {
+        if self.strategy == DiffStrategy::LogMerge
+            && self.pending_valid[worker]
+            && self.log.covers(since)
+        {
+            self.make_diff_log(worker, since, secondary_ratio)
+        } else {
+            self.make_diff_dense(worker, secondary_ratio)
+        }
+    }
+
+    /// O(nnz since last pull): visit only `pending[k] ∪ touched(since..t]`.
+    /// By the dirty-set invariant that set is a superset of
+    /// `support(M − v_k)`, and every emitted value is the same
+    /// `m[i] − v[i]` subtraction the dense scan performs, so the payload is
+    /// bitwise identical to [`MdtServer::make_diff_dense`]'s.
+    fn make_diff_log(
+        &mut self,
+        worker: usize,
+        since: u64,
+        secondary_ratio: Option<f64>,
+    ) -> SparseUpdate {
+        // Degenerate-merge guard: under heavy secondary compression the
+        // undelivered dirty set can grow toward `dim`, at which point
+        // merging the candidates costs more than the reference scan
+        // (O(C) merge + gather traffic vs O(dim) streaming). Both paths
+        // emit bitwise-identical payloads, so take the cheaper one — sized
+        // from lengths alone, before copying a single candidate.
+        if self.pending[worker].len() + self.log.count_since(since) > self.m.len() / 4 {
+            return self.make_diff_dense(worker, secondary_ratio);
+        }
+        let mut cand = self.scratch.acquire();
+        cand.extend_from_slice(&self.pending[worker]);
+        self.log.collect_since(since, &mut cand);
+        // Candidates are a concatenation of sorted runs (dirty set + log
+        // entries); past a few thousand entries the domain bitmap merges
+        // them ~10× faster than a comparison sort (and ~2× faster than a
+        // K-way merge of the runs — the min-of-K head scan is too branchy).
+        if cand.len() >= 2048 {
+            sort_dedup_bitmap(&mut cand, &mut self.mask);
+        } else {
+            sort_dedup(&mut cand);
+        }
+
+        // Per-segment candidate ranges, then map global → segment-local
+        // indices in place (no per-segment allocation).
+        let segments = self.partition.segments();
+        let mut bounds = Vec::with_capacity(segments.len());
+        let mut start = 0usize;
+        for seg in segments {
+            let end = seg.offset + seg.len;
+            let cut = start + cand[start..].partition_point(|&g| (g as usize) < end);
+            bounds.push((start, cut));
+            start = cut;
+        }
+        for (seg, &(a, b)) in segments.iter().zip(&bounds) {
+            let off = seg.offset as u32;
+            for g in &mut cand[a..b] {
+                *g -= off;
+            }
+        }
+
+        let m = &self.m;
+        let mut jobs: Vec<(usize, &mut [f32], &[u32])> = Vec::with_capacity(segments.len());
+        let mut rest: &mut [f32] = &mut self.v[worker];
+        for (si, seg) in segments.iter().enumerate() {
+            let (v_seg, tail) = rest.split_at_mut(seg.len);
+            rest = tail;
+            let (a, b) = bounds[si];
+            jobs.push((si, v_seg, &cand[a..b]));
+        }
+        let run = |(si, v_seg, c_seg): (usize, &mut [f32], &[u32])| {
+            let seg = &segments[si];
+            let m_seg = &m[seg.range()];
+            let (sv, mut dirty) = match secondary_ratio {
+                // No Top-k: everything goes out — one fused pass.
+                None => {
+                    let mut dirty = Vec::new();
+                    let (idx, val) = send_all_at(m_seg, v_seg, c_seg, &mut dirty);
+                    (SparseVec { idx, val }, dirty)
+                }
+                Some(r) => {
+                    let k = k_for_ratio(m_seg.len(), r);
+                    let (idx, val) = diff_pairs_at(m_seg, v_seg, c_seg);
+                    send_segment(m_seg, v_seg, idx, val, k, true)
                 }
             };
-            // v_k ← v_k + G with the same scatter-adds the worker performs,
-            // keeping θ_0 + v_k bitwise equal to the worker model.
-            sv.apply_add(v_seg, 1.0);
+            let off = seg.offset as u32;
+            for g in &mut dirty {
+                *g += off;
+            }
+            (sv, dirty)
+        };
+        let results: Vec<(SparseVec, Vec<u32>)> = if cand.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+            jobs.into_par_iter().map(run).collect()
+        } else {
+            jobs.into_iter().map(run).collect()
+        };
+
+        let mut chunks = Vec::with_capacity(results.len());
+        let mut pending = Vec::new();
+        for (sv, dirty) in results {
+            pending.extend_from_slice(&dirty);
             chunks.push(sv);
+        }
+        self.scratch.release(std::mem::replace(&mut self.pending[worker], pending));
+        self.scratch.release(cand);
+        SparseUpdate { chunks }
+    }
+
+    /// Reference O(dim) scan — also the fallback that re-establishes the
+    /// dirty-set invariant when a straggler's cursor fell off the log.
+    ///
+    /// Tracking policy under the log strategy: the no-secondary pass always
+    /// rebuilds `pending[k]` (the residue check is fused into the scan and
+    /// effectively free), but under secondary compression the dirty pass is
+    /// a separate O(nnz) walk, so it is skipped while the worker's diff
+    /// density sits in the degenerate regime where the merge guard would
+    /// reject the rebuilt set anyway (`retrack` hysteresis: tracking resumes
+    /// once nnz drops to `dim/8`, below the guard's `dim/4`). Small models
+    /// always track — the absolute cost is negligible and it keeps the log
+    /// path live for small-dimension tests.
+    fn make_diff_dense(&mut self, worker: usize, secondary_ratio: Option<f64>) -> SparseUpdate {
+        let log_mode = self.strategy == DiffStrategy::LogMerge;
+        let small = self.m.len() < PAR_THRESHOLD;
+        let track = log_mode && (secondary_ratio.is_none() || small || self.retrack[worker]);
+        let segments = self.partition.segments();
+        let m = &self.m;
+        let mut jobs: Vec<(usize, &mut [f32])> = Vec::with_capacity(segments.len());
+        let mut rest: &mut [f32] = &mut self.v[worker];
+        for (si, seg) in segments.iter().enumerate() {
+            let (v_seg, tail) = rest.split_at_mut(seg.len);
+            rest = tail;
+            jobs.push((si, v_seg));
+        }
+        let run = |(si, v_seg): (usize, &mut [f32])| {
+            let seg = &segments[si];
+            let m_seg = &m[seg.range()];
+            let (sv, mut dirty, nnz) = match secondary_ratio {
+                None => {
+                    let mut dirty = Vec::new();
+                    let (idx, val) = send_all_dense(m_seg, v_seg, &mut dirty);
+                    if !track {
+                        dirty.clear();
+                    }
+                    let nnz = idx.len();
+                    (SparseVec { idx, val }, dirty, nnz)
+                }
+                Some(r) => {
+                    // Dense-diff Top-k: selecting on the materialised diff
+                    // buffer skips the (index, value) pair vectors that the
+                    // candidate-restricted path needs — under secondary
+                    // compression the diff here is nearly dense, and pair
+                    // materialisation would dominate.
+                    let k = k_for_ratio(m_seg.len(), r);
+                    let mut dirty = Vec::new();
+                    let (idx, val, nnz) = send_topk_dense(m_seg, v_seg, k, track, &mut dirty);
+                    (SparseVec { idx, val }, dirty, nnz)
+                }
+            };
+            let off = seg.offset as u32;
+            for g in &mut dirty {
+                *g += off;
+            }
+            (sv, dirty, nnz)
+        };
+        let results: Vec<(SparseVec, Vec<u32>, usize)> =
+            if m.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+                jobs.into_par_iter().map(run).collect()
+            } else {
+                jobs.into_iter().map(run).collect()
+            };
+
+        let mut chunks = Vec::with_capacity(results.len());
+        let mut nnz_total = 0usize;
+        if track {
+            let mut pending = Vec::new();
+            for (sv, dirty, nnz) in results {
+                nnz_total += nnz;
+                pending.extend_from_slice(&dirty);
+                chunks.push(sv);
+            }
+            self.scratch.release(std::mem::replace(&mut self.pending[worker], pending));
+        } else {
+            for (sv, _, nnz) in results {
+                nnz_total += nnz;
+                chunks.push(sv);
+            }
+        }
+        if log_mode {
+            self.pending_valid[worker] = track;
+            if !track {
+                // The stale set would only mislead a future merge; return
+                // its buffer to the pool.
+                self.scratch.release(std::mem::take(&mut self.pending[worker]));
+            }
+            // Hysteresis: resume paying the dirty pass once the observed
+            // density clears the guard threshold with margin.
+            self.retrack[worker] = small || nnz_total <= self.m.len() / 8;
         }
         SparseUpdate { chunks }
     }
 
     /// §5.6.2 memory accounting: bytes of per-worker tracking state
-    /// (`Σ_k |v_k|`) plus the accumulator `M`.
+    /// (`Σ_k |v_k|`) plus the accumulator `M`, and the hot-path additions
+    /// (update log, dirty sets, dense-model cache).
     pub fn memory_report(&self) -> ServerMemoryReport {
         let f = std::mem::size_of::<f32>();
+        let u = std::mem::size_of::<u32>();
         ServerMemoryReport {
             model_bytes: self.m.len() * f,
             tracking_bytes: self.v.iter().map(|v| v.len() * f).sum(),
+            log_bytes: self.log.bytes() + self.mask.len() * std::mem::size_of::<u64>(),
+            pending_bytes: self.pending.iter().map(|p| p.capacity() * u).sum(),
+            cache_bytes: self.model_cache.as_ref().map_or(0, |c| c.len() * f),
             workers: self.prev.len(),
         }
     }
+}
+
+/// Applies secondary Top-k to the nonzero diff pairs of one segment,
+/// advances `v_seg` by exactly what is sent, and (when `track_dirty`)
+/// recomputes the segment's dirty set: held-back pairs keep their nonzero
+/// difference and stay dirty without another memory pass, while sent
+/// coordinates are rescanned because f32 rounding can leave a one-ulp
+/// remainder.
+///
+/// Shared by both [`DiffStrategy`] paths: this single selection/advance
+/// code path is what makes their payloads bitwise identical.
+fn send_segment(
+    m_seg: &[f32],
+    v_seg: &mut [f32],
+    all_idx: Vec<u32>,
+    all_val: Vec<f32>,
+    k: usize,
+    track_dirty: bool,
+) -> (SparseVec, Vec<u32>) {
+    let mut dirty = Vec::new();
+    // Secondary compression bites only when the diff is denser than the
+    // budget (Alg. 2 lines 5-11); at or under budget everything goes.
+    let sv = if all_idx.len() > k {
+        let (idx, val) = topk_pairs(&all_idx, &all_val, k);
+        if track_dirty {
+            scatter_track_dirty(m_seg, v_seg, &idx, &val, &all_idx, &mut dirty);
+        } else {
+            scatter_pairs(v_seg, &idx, &val);
+        }
+        SparseVec { idx, val }
+    } else {
+        if track_dirty {
+            scatter_track_dirty(m_seg, v_seg, &all_idx, &all_val, &all_idx, &mut dirty);
+        } else {
+            scatter_pairs(v_seg, &all_idx, &all_val);
+        }
+        SparseVec { idx: all_idx, val: all_val }
+    };
+    (sv, dirty)
 }
 
 /// A serialisable snapshot of the server's entire state, for
@@ -254,7 +642,9 @@ pub struct ServerCheckpoint {
 }
 
 impl MdtServer {
-    /// Captures the full server state (everything needed to resume).
+    /// Captures the full server state (everything needed to resume — the
+    /// update log and dirty sets are rebuildable caches and stay out of
+    /// the format).
     pub fn checkpoint(&self) -> ServerCheckpoint {
         ServerCheckpoint {
             theta0: self.theta0.clone(),
@@ -268,16 +658,38 @@ impl MdtServer {
     /// Rebuilds a server from a checkpoint. The downlink mode and
     /// partition must match the original configuration; staleness
     /// statistics restart from empty (they are diagnostics, not state).
-    pub fn restore(
-        ckpt: ServerCheckpoint,
-        partition: Partition,
-        downlink: Downlink,
-    ) -> Self {
+    ///
+    /// The update log restarts empty with everything up to the snapshot
+    /// timestamp declared lost; the dirty sets are recomputed exactly from
+    /// `M − v_k` (one O(W·dim) scan, cold path), so the restored server's
+    /// replies stay bitwise identical to the uninterrupted run.
+    pub fn restore(ckpt: ServerCheckpoint, partition: Partition, downlink: Downlink) -> Self {
         partition.check_covers(&ckpt.theta0);
         assert_eq!(ckpt.m.len(), ckpt.theta0.len(), "checkpoint M size");
         if let Downlink::ModelDifference { .. } = downlink {
             assert_eq!(ckpt.v.len(), ckpt.prev.len(), "checkpoint v/prev size");
         }
+        let dim = ckpt.theta0.len();
+        let model_cache = match downlink {
+            Downlink::DenseModel => Some(Arc::new(
+                ckpt.theta0.iter().zip(ckpt.m.iter()).map(|(&a, &b)| a + b).collect::<Vec<f32>>(),
+            )),
+            Downlink::ModelDifference { .. } => None,
+        };
+        let mut log = UpdateLog::new(if model_cache.is_some() { 0 } else { dim });
+        log.forget_through(ckpt.t);
+        let mask = if model_cache.is_some() { Vec::new() } else { vec![0u64; dim.div_ceil(64)] };
+        let workers = ckpt.prev.len();
+        let all: Vec<u32> = (0..dim as u32).collect();
+        let pending = ckpt
+            .v
+            .iter()
+            .map(|vk| {
+                let mut p = Vec::new();
+                retain_dirty(&ckpt.m, vk, &all, &mut p);
+                p
+            })
+            .collect();
         MdtServer {
             theta0: ckpt.theta0,
             m: ckpt.m,
@@ -288,6 +700,14 @@ impl MdtServer {
             prev: ckpt.prev,
             staleness: StalenessStats::new(),
             damping: StalenessDamping::off(),
+            strategy: DiffStrategy::LogMerge,
+            log,
+            pending,
+            model_cache,
+            scratch: BufferPool::default(),
+            mask,
+            pending_valid: vec![true; workers],
+            retrack: vec![true; workers],
         }
     }
 }
@@ -299,6 +719,16 @@ pub struct ServerMemoryReport {
     pub model_bytes: usize,
     /// Bytes of all `v_k` vectors (= workers × model for MDT, 0 for ASGD).
     pub tracking_bytes: usize,
+    /// Bytes retained by the applied-update log (≤ capacity × 4 plus
+    /// per-entry headers; capacity defaults to one index per coordinate)
+    /// and its candidate-merge bitmap (`dim/8`).
+    pub log_bytes: usize,
+    /// Bytes of the per-worker dirty sets (bounded by the live diff
+    /// supports, typically ≪ one model).
+    pub pending_bytes: usize,
+    /// Bytes of the dense-model reply cache (one model for ASGD, 0 for
+    /// MDT).
+    pub cache_bytes: usize,
     /// Number of workers tracked.
     pub workers: usize,
 }
@@ -331,6 +761,34 @@ mod tests {
             _ => panic!("expected dense model"),
         }
         assert_eq!(s.timestamp(), 1);
+    }
+
+    #[test]
+    fn dense_downlink_cache_tracks_current_model() {
+        // The pooled dense reply must stay in lockstep with the reference
+        // θ_0 + M across sparse and dense updates.
+        let part = part2();
+        let mut s = MdtServer::new(vec![0.5f32; 6], part.clone(), 2, Downlink::DenseModel);
+        for step in 0..6 {
+            let mut g = vec![0.0f32; 6];
+            g[step % 6] = 0.25 * (step + 1) as f32;
+            let reply = s.handle_update(step % 2, &sparse_up(&part, &g));
+            let reference: Vec<f32> =
+                s.theta0.iter().zip(s.m().iter()).map(|(&a, &b)| a + b).collect();
+            match reply {
+                DownMsg::DenseModel(model) => {
+                    for (i, (&c, &r)) in model.iter().zip(reference.iter()).enumerate() {
+                        assert!((c - r).abs() < 1e-6, "coord {i}: cache {c} vs ref {r}");
+                    }
+                }
+                _ => panic!("expected dense model"),
+            }
+            assert_eq!(s.current_model(), reply_model(&s));
+        }
+    }
+
+    fn reply_model(s: &MdtServer) -> Vec<f32> {
+        s.model_cache.as_ref().expect("dense cache").as_ref().clone()
     }
 
     #[test]
@@ -396,10 +854,7 @@ mod tests {
             g[step % 6] = 1.0 + step as f32;
             s.handle_update(0, &sparse_up(&part, &g));
             for i in 0..6 {
-                assert!(
-                    (s.v(0)[i] - s.m()[i]).abs() < 1e-6,
-                    "v and M diverge at {i}"
-                );
+                assert!((s.v(0)[i] - s.m()[i]).abs() < 1e-6, "v and M diverge at {i}");
             }
         }
     }
@@ -466,6 +921,138 @@ mod tests {
         }
     }
 
+    /// Drives two identically configured servers — one per strategy —
+    /// through the same update schedule and asserts every reply is
+    /// bitwise identical on the wire.
+    fn assert_strategies_bitwise_equal(
+        secondary_ratio: Option<f64>,
+        log_capacity: Option<usize>,
+        schedule: impl Iterator<Item = usize>,
+    ) {
+        let part = Partition::from_layer_sizes([("a", 13), ("b", 7), ("c", 20)]);
+        let dim = 40;
+        let theta0 = vec![0.0f32; dim];
+        let downlink = Downlink::ModelDifference { secondary_ratio };
+        let mut log_srv = MdtServer::new(theta0.clone(), part.clone(), 3, downlink);
+        if let Some(cap) = log_capacity {
+            log_srv.set_log_capacity(cap);
+        }
+        let mut dense_srv = MdtServer::new(theta0, part.clone(), 3, downlink);
+        dense_srv.set_diff_strategy(DiffStrategy::DenseScan);
+        for (step, w) in schedule.enumerate() {
+            let mut g = vec![0.0f32; dim];
+            for j in 0..4 {
+                let i = (step * 11 + j * 7 + w) % dim;
+                g[i] = ((step * 31 + j * 13 + w) as f32 * 0.37).sin();
+            }
+            let up = sparse_up(&part, &g);
+            let ra = log_srv.handle_update(w, &up);
+            let rb = dense_srv.handle_update(w, &up);
+            match (ra, rb) {
+                (DownMsg::SparseDiff(da), DownMsg::SparseDiff(db)) => {
+                    assert_eq!(
+                        da.encode(),
+                        db.encode(),
+                        "step {step} worker {w}: wire payloads diverge"
+                    );
+                }
+                _ => panic!("expected sparse diffs"),
+            }
+        }
+        assert_eq!(log_srv.m(), dense_srv.m(), "M accumulators diverge");
+        for w in 0..3 {
+            assert_eq!(log_srv.v(w), dense_srv.v(w), "v_{w} diverges");
+        }
+    }
+
+    #[test]
+    fn log_and_dense_strategies_bitwise_equal_plain() {
+        assert_strategies_bitwise_equal(None, None, (0..60).map(|s| s % 3));
+    }
+
+    #[test]
+    fn log_and_dense_strategies_bitwise_equal_secondary() {
+        assert_strategies_bitwise_equal(Some(0.1), None, (0..60).map(|s| (s * 2) % 3));
+    }
+
+    #[test]
+    fn log_truncation_fallback_stays_bitwise_equal() {
+        // A 6-index budget overflows constantly (each update logs 4), so
+        // stragglers keep falling off the log and exercising the dense
+        // fallback — which must be invisible on the wire.
+        let skewed = (0..80).map(|s: usize| if s % 8 == 7 { 2 } else { s % 2 });
+        assert_strategies_bitwise_equal(Some(0.15), Some(6), skewed);
+    }
+
+    #[test]
+    fn strategy_switch_midrun_stays_bitwise_equal() {
+        let part = Partition::single(30);
+        let downlink = Downlink::ModelDifference { secondary_ratio: Some(0.2) };
+        let mut a = MdtServer::new(vec![0.0; 30], part.clone(), 2, downlink);
+        let mut b = MdtServer::new(vec![0.0; 30], part.clone(), 2, downlink);
+        for step in 0..40 {
+            // Server `a` flips strategy every 10 steps; `b` stays on the
+            // default. Payloads must never diverge.
+            if step % 10 == 0 {
+                let next = if (step / 10) % 2 == 0 {
+                    DiffStrategy::DenseScan
+                } else {
+                    DiffStrategy::LogMerge
+                };
+                a.set_diff_strategy(next);
+            }
+            let mut g = vec![0.0f32; 30];
+            g[(step * 7) % 30] = 1.0 + step as f32;
+            g[(step * 3 + 1) % 30] = -0.5;
+            let up = sparse_up(&part, &g);
+            let (ra, rb) = (a.handle_update(step % 2, &up), b.handle_update(step % 2, &up));
+            match (ra, rb) {
+                (DownMsg::SparseDiff(da), DownMsg::SparseDiff(db)) => {
+                    assert_eq!(da.encode(), db.encode(), "step {step}");
+                }
+                _ => panic!("expected sparse diffs"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_density_hysteresis_stays_bitwise_equal() {
+        // Above PAR_THRESHOLD the density hysteresis is live: flooding the
+        // model under tight secondary compression must drive the log-strategy
+        // server into untracked dense scans (pending invalidated, retrack
+        // off) without ever changing the wire payload.
+        let dim = 2 * PAR_THRESHOLD;
+        let part = Partition::single(dim);
+        let downlink = Downlink::ModelDifference { secondary_ratio: Some(0.001) };
+        let mut log_srv = MdtServer::new(vec![0.0; dim], part.clone(), 2, downlink);
+        let mut dense_srv = MdtServer::new(vec![0.0; dim], part.clone(), 2, downlink);
+        dense_srv.set_diff_strategy(DiffStrategy::DenseScan);
+        for step in 0..24 {
+            // Each update touches dim/16 coordinates while the downlink
+            // returns only ~dim/1000, so nnz(M − v_k) quickly outgrows the
+            // dim/8 hysteresis threshold and then the dim/4 merge guard.
+            let mut g = vec![0.0f32; dim];
+            for j in 0..dim / 16 {
+                g[(step * 97 + j * 16) % dim] = ((step + j) as f32 * 0.61).cos();
+            }
+            let up = sparse_up(&part, &g);
+            let w = step % 2;
+            let (ra, rb) = (log_srv.handle_update(w, &up), dense_srv.handle_update(w, &up));
+            match (ra, rb) {
+                (DownMsg::SparseDiff(da), DownMsg::SparseDiff(db)) => {
+                    assert_eq!(da.encode(), db.encode(), "step {step}");
+                }
+                _ => panic!("expected sparse diffs"),
+            }
+        }
+        for w in 0..2 {
+            assert!(!log_srv.pending_valid[w], "worker {w} should be degenerate");
+            assert!(!log_srv.retrack[w], "worker {w} should have tracking off");
+            assert!(log_srv.pending[w].is_empty(), "stale pending should be dropped");
+        }
+        assert_eq!(log_srv.m(), dense_srv.m());
+    }
+
     #[test]
     fn staleness_recorded() {
         let part = part2();
@@ -496,8 +1083,32 @@ mod tests {
         let rep = mdt.memory_report();
         assert_eq!(rep.model_bytes, 4000);
         assert_eq!(rep.tracking_bytes, 8 * 4000);
+        assert_eq!(rep.cache_bytes, 0);
         let asgd = MdtServer::new(vec![0.0; 1000], part, 8, Downlink::DenseModel);
-        assert_eq!(asgd.memory_report().tracking_bytes, 0);
+        let arep = asgd.memory_report();
+        assert_eq!(arep.tracking_bytes, 0);
+        assert_eq!(arep.log_bytes, 0);
+        assert_eq!(arep.cache_bytes, 4000);
+    }
+
+    #[test]
+    fn memory_report_tracks_log_and_pending() {
+        let part = Partition::single(50);
+        let mut s = MdtServer::new(
+            vec![0.0; 50],
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: Some(0.04) }, // k=2
+        );
+        let mut g = vec![0.0f32; 50];
+        for i in 0..10 {
+            g[i * 5] = (i + 1) as f32;
+        }
+        s.handle_update(0, &sparse_up(&part, &g));
+        let rep = s.memory_report();
+        assert!(rep.log_bytes > 0, "applied update must be logged");
+        // Worker 0 got k=2 of its 10-nonzero diff: 8 coords stay dirty.
+        assert!(rep.pending_bytes >= 8 * 4, "pending {} too small", rep.pending_bytes);
     }
 
     #[test]
@@ -581,6 +1192,37 @@ mod tests {
             _ => panic!("expected sparse diffs"),
         }
         assert_eq!(a.current_model(), b.current_model());
+    }
+
+    #[test]
+    fn checkpoint_restore_exact_under_secondary_compression() {
+        // The restored server has no update log, but its rebuilt dirty
+        // sets must keep replies bitwise identical to the uninterrupted
+        // server even while secondary compression holds residuals back.
+        let part = Partition::from_layer_sizes([("a", 10), ("b", 15)]);
+        let downlink = Downlink::ModelDifference { secondary_ratio: Some(0.12) };
+        let mut a = MdtServer::new(vec![0.5; 25], part.clone(), 3, downlink);
+        for step in 0..17 {
+            let mut g = vec![0.0f32; 25];
+            g[(step * 9) % 25] = 0.3 * (step + 1) as f32;
+            g[(step * 4 + 2) % 25] = -0.7;
+            a.handle_update(step % 3, &sparse_up(&part, &g));
+        }
+        let ckpt = a.checkpoint();
+        let mut b = MdtServer::restore(ckpt, part.clone(), downlink);
+        for step in 0..12 {
+            let mut g = vec![0.0f32; 25];
+            g[(step * 6 + 1) % 25] = 0.1 * (step + 1) as f32;
+            let up = sparse_up(&part, &g);
+            let (ra, rb) = (a.handle_update(step % 3, &up), b.handle_update(step % 3, &up));
+            match (ra, rb) {
+                (DownMsg::SparseDiff(da), DownMsg::SparseDiff(db)) => {
+                    assert_eq!(da.encode(), db.encode(), "step {step} after restore");
+                }
+                _ => panic!("expected sparse diffs"),
+            }
+        }
+        assert_eq!(a.m(), b.m());
     }
 
     #[test]

@@ -122,14 +122,7 @@ pub fn train_des(
     val: Arc<dyn Dataset>,
     params: DesParams,
 ) -> RunResult {
-    train_des_stragglers(
-        cfg,
-        build_model,
-        train,
-        val,
-        params,
-        &dgs_psim::StragglerModel::none(),
-    )
+    train_des_stragglers(cfg, build_model, train, val, params, &dgs_psim::StragglerModel::none())
 }
 
 /// [`train_des`] with a worker-lag model: each worker's modelled compute
@@ -230,10 +223,7 @@ mod tests {
         let (train, val) = datasets();
         let build = || mlp(8, &[256, 256], 4, 5);
         // Slow link to make communication the bottleneck at this model size.
-        let params = DesParams {
-            network: NetworkModel::new(0.05, 50.0),
-            ..DesParams::ten_gbps()
-        };
+        let params = DesParams { network: NetworkModel::new(0.05, 50.0), ..DesParams::ten_gbps() };
         let dgs = train_des(
             &quick_cfg(Method::Dgs, 2),
             &build,

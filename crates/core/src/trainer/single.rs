@@ -24,8 +24,7 @@ pub fn train_msgd(
     assert_eq!(cfg.method, Method::Msgd, "train_msgd requires Method::Msgd");
     let start = std::time::Instant::now();
     let dataset_len = train.len();
-    let mut loader =
-        BatchLoader::new(train, cfg.batch_per_worker, derive_seed(cfg.seed, 1000));
+    let mut loader = BatchLoader::new(train, cfg.batch_per_worker, derive_seed(cfg.seed, 1000));
     let iters = cfg.iters_per_worker(dataset_len);
     let eval_every = (iters / cfg.evals.max(1)).max(1);
 

@@ -112,8 +112,7 @@ pub fn train_ssgd(
             let (loss, _) = net.train_step(x, &labels);
             loss_sum += loss;
             loss_n += 1;
-            max_compute = max_compute
-                .max(base_compute * stragglers.multiplier(k, round as u64));
+            max_compute = max_compute.max(base_compute * stragglers.multiplier(k, round as u64));
             match compression {
                 SyncCompression::Dense => {
                     for (a, &g) in agg.iter_mut().zip(net.params().grad().iter()) {
@@ -140,8 +139,7 @@ pub fn train_ssgd(
         match compression {
             SyncCompression::Dense => {
                 let data = net.params_mut().data_mut();
-                for ((p, u), &g) in data.iter_mut().zip(velocity.iter_mut()).zip(agg.iter())
-                {
+                for ((p, u), &g) in data.iter_mut().zip(velocity.iter_mut()).zip(agg.iter()) {
                     *u = momentum * *u + g * inv_n;
                     *p -= *u;
                 }
@@ -171,24 +169,18 @@ pub fn train_ssgd(
         // Barrier timing: slowest compute, then serialised gather and
         // broadcast on the shared server NIC, then aggregation.
         let gather_time: f64 = if params.shared_server_link {
-            (round_up_bytes as f64 * 8.0) / params.network.bandwidth_bps
-                + params.network.latency_s
+            (round_up_bytes as f64 * 8.0) / params.network.bandwidth_bps + params.network.latency_s
         } else {
-            ((round_up_bytes as f64 / workers as f64) * 8.0)
-                / params.network.bandwidth_bps
+            ((round_up_bytes as f64 / workers as f64) * 8.0) / params.network.bandwidth_bps
                 + params.network.latency_s
         };
         let broadcast_time: f64 = if params.shared_server_link {
             ((down_per_worker * workers) as f64 * 8.0) / params.network.bandwidth_bps
                 + params.network.latency_s
         } else {
-            (down_per_worker as f64 * 8.0) / params.network.bandwidth_bps
-                + params.network.latency_s
+            (down_per_worker as f64 * 8.0) / params.network.bandwidth_bps + params.network.latency_s
         };
-        vtime += max_compute
-            + gather_time
-            + params.server_cost.time_for(dim)
-            + broadcast_time;
+        vtime += max_compute + gather_time + params.server_cost.time_for(dim) + broadcast_time;
 
         if (round + 1) % eval_every == 0 || round + 1 == rounds {
             let res = evaluate(&mut net, val.as_ref(), cfg.eval_batch);

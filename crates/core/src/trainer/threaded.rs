@@ -158,14 +158,17 @@ pub(crate) fn build_participants(
     let net0 = build_model();
     let partition = net0.params().partition().clone();
     let theta0 = net0.params().data().to_vec();
-    let secondary =
-        if cfg.secondary_compression { Some(cfg.sparsity_ratio) } else { None };
+    let secondary = if cfg.secondary_compression { Some(cfg.sparsity_ratio) } else { None };
     let downlink = Downlink::for_method(cfg.method, secondary);
     let mut server = MdtServer::new(theta0.clone(), partition, cfg.workers, downlink);
     if cfg.staleness_damping > 0.0 {
-        server.set_damping(crate::server::StalenessDamping {
-            alpha: cfg.staleness_damping,
-        });
+        server.set_damping(crate::server::StalenessDamping { alpha: cfg.staleness_damping });
+    }
+    if cfg.server_log_nnz > 0 {
+        server.set_log_capacity(cfg.server_log_nnz);
+    }
+    if cfg.server_dense_scan {
+        server.set_diff_strategy(crate::server::DiffStrategy::DenseScan);
     }
 
     let workers: Vec<TrainWorker> = (0..cfg.workers)
@@ -179,13 +182,8 @@ pub(crate) fn build_participants(
 
     let iters = cfg.iters_per_worker(train.len());
     let total_updates = (iters * cfg.workers) as u64;
-    let logic = AsyncServerLogic::new(
-        server,
-        build_model(),
-        Arc::clone(val),
-        cfg.clone(),
-        total_updates,
-    );
+    let logic =
+        AsyncServerLogic::new(server, build_model(), Arc::clone(val), cfg.clone(), total_updates);
     (logic, workers)
 }
 
@@ -231,11 +229,7 @@ mod tests {
         let build = || mlp(8, &[32], 4, 99);
         let result = train_async(&cfg, &build, train, val);
         assert_eq!(result.curve.len(), 3);
-        assert!(
-            result.final_acc > 0.85,
-            "DGS should solve blobs, got {}",
-            result.final_acc
-        );
+        assert!(result.final_acc > 0.85, "DGS should solve blobs, got {}", result.final_acc);
         assert!(result.bytes_up > 0 && result.bytes_down > 0);
         // Sparse in both directions: far less than dense traffic.
         let net = build();
@@ -253,7 +247,8 @@ mod tests {
     fn asgd_downlink_is_dense_and_heavier_than_dgs() {
         let (train, val) = datasets();
         let build = || mlp(8, &[32], 4, 99);
-        let asgd = train_async(&quick_cfg(Method::Asgd, 3), &build, Arc::clone(&train), Arc::clone(&val));
+        let asgd =
+            train_async(&quick_cfg(Method::Asgd, 3), &build, Arc::clone(&train), Arc::clone(&val));
         let dgs = train_async(&quick_cfg(Method::Dgs, 3), &build, train, val);
         // At this tiny model size headers blunt the ratio; on realistic
         // models the ratio is orders of magnitude (see the bench crate).
@@ -272,11 +267,7 @@ mod tests {
         for method in Method::ASYNC {
             let result =
                 train_async(&quick_cfg(method, 2), &build, Arc::clone(&train), Arc::clone(&val));
-            assert!(
-                result.final_acc > 0.6,
-                "{method} accuracy too low: {}",
-                result.final_acc
-            );
+            assert!(result.final_acc > 0.6, "{method} accuracy too low: {}", result.final_acc);
             assert!(result.mean_staleness >= 0.0);
         }
     }

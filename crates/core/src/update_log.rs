@@ -1,0 +1,319 @@
+//! Bounded applied-update log: the index history behind the server's
+//! O(nnz) downlink construction.
+//!
+//! Every sparse update the server applies to `M` appends one entry —
+//! its server timestamp plus the *global* coordinates it touched. When
+//! worker `k` (cursor `prev[k]`) pulls, the coordinates where `M` can
+//! differ from `v_k` are covered by the union of the worker's dirty set
+//! and the log entries newer than its cursor, so `make_diff` only needs
+//! to visit those — O(nnz since last pull) instead of O(dim).
+//!
+//! The log is bounded by a **total-index budget** (`capacity`, counted in
+//! logged coordinates, not entries). When it overflows, the oldest entries
+//! are evicted and `lost_through` advances: any cursor at or before that
+//! watermark can no longer be served from the log ([`UpdateLog::covers`]
+//! returns `false`) and the server falls back to the dense reference scan
+//! — graceful degradation for extreme stragglers, never a wrong answer.
+//!
+//! Values are deliberately *not* logged: the diff is always recomputed as
+//! `m[i] − v[i]` at pull time, which is what makes the log path bitwise
+//! identical to the dense scan (and immune to secondary-compression
+//! residual drift). Entry buffers are recycled through an internal spare
+//! list so the steady-state hot path performs no allocation.
+//!
+//! Std-only on purpose, so standalone differential harnesses can compile
+//! this file directly.
+
+use std::collections::VecDeque;
+
+/// Retain at most this many evicted index buffers for reuse.
+const MAX_SPARE: usize = 8;
+
+#[derive(Debug)]
+struct LogEntry {
+    /// Server timestamp of the update (the value of `t` *after* applying).
+    t: u64,
+    /// Global coordinates the update touched (unsorted, may repeat).
+    idx: Vec<u32>,
+}
+
+/// Ring log of applied sparse updates, bounded by total logged indices.
+#[derive(Debug)]
+pub struct UpdateLog {
+    entries: VecDeque<LogEntry>,
+    /// Sum of `idx.len()` over `entries`.
+    stored: usize,
+    /// Total-index budget.
+    capacity: usize,
+    /// Highest timestamp that may have been evicted: cursors `<=` this
+    /// cannot be served from the log. Starts at 0 (cursor 0 needs nothing
+    /// older than the first entry, so a fresh log covers it).
+    lost_through: u64,
+    /// Recycled index buffers.
+    spare: Vec<Vec<u32>>,
+}
+
+impl UpdateLog {
+    /// Creates a log that retains at most `capacity` total indices.
+    /// A sensible default is the model dimension: the log then never
+    /// outweighs one `u32` model replica and a full-log merge never costs
+    /// more than the dense scan it replaces.
+    pub fn new(capacity: usize) -> Self {
+        UpdateLog {
+            entries: VecDeque::new(),
+            stored: 0,
+            capacity,
+            lost_through: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// The total-index budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of indices currently retained.
+    pub fn stored(&self) -> usize {
+        self.stored
+    }
+
+    /// Number of retained entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Highest timestamp that may have been evicted.
+    pub fn lost_through(&self) -> u64 {
+        self.lost_through
+    }
+
+    /// Hands out a cleared index buffer (recycled from a prior eviction
+    /// when available) for the caller to fill and pass to [`record`].
+    ///
+    /// [`record`]: UpdateLog::record
+    pub fn begin(&mut self) -> Vec<u32> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Appends the entry for update `t` (timestamps must be strictly
+    /// increasing), evicting from the front until the budget holds.
+    pub fn record(&mut self, t: u64, idx: Vec<u32>) {
+        debug_assert!(self.entries.back().map_or(true, |e| e.t < t));
+        if idx.len() > self.capacity {
+            // A single oversized update flushes everything, itself included.
+            self.forget_through(t);
+            self.recycle(idx);
+            return;
+        }
+        while self.stored + idx.len() > self.capacity {
+            self.evict_front();
+        }
+        self.stored += idx.len();
+        self.entries.push_back(LogEntry { t, idx });
+    }
+
+    /// Records a dense update at timestamp `t`: it touches every
+    /// coordinate, so no cursor older than `t` can be log-served.
+    pub fn mark_dense(&mut self, t: u64) {
+        self.forget_through(t);
+    }
+
+    /// Drops every entry and declares all timestamps `<= through` lost.
+    /// Used by [`mark_dense`], checkpoint restore (`through = t + 1`, which
+    /// forces one dense fallback per worker because the restored server has
+    /// no dirty sets), and live capacity changes (`through = t`, sound
+    /// because the dirty sets are still intact).
+    ///
+    /// [`mark_dense`]: UpdateLog::mark_dense
+    pub fn forget_through(&mut self, through: u64) {
+        while let Some(e) = self.entries.pop_front() {
+            self.stored -= e.idx.len();
+            self.recycle(e.idx);
+        }
+        debug_assert_eq!(self.stored, 0);
+        self.lost_through = self.lost_through.max(through);
+    }
+
+    /// Can a worker whose cursor is `since` be served from the log?
+    /// (Are all entries with `t > since` still present?)
+    pub fn covers(&self, since: u64) -> bool {
+        since >= self.lost_through
+    }
+
+    /// Appends to `out` every index touched by entries newer than `since`.
+    /// Output is unsorted and may repeat; the caller sort-dedups. Walks
+    /// from the back so the cost is O(indices newer than `since`).
+    ///
+    /// Callers must check [`covers`] first; collecting an uncovered range
+    /// silently yields an incomplete set.
+    ///
+    /// [`covers`]: UpdateLog::covers
+    pub fn collect_since(&self, since: u64, out: &mut Vec<u32>) {
+        debug_assert!(self.covers(since));
+        for e in self.entries.iter().rev() {
+            if e.t <= since {
+                break;
+            }
+            out.extend_from_slice(&e.idx);
+        }
+    }
+
+    /// Number of indices (with repeats) entries newer than `since` hold —
+    /// the exact length [`collect_since`] would append. Lets the server
+    /// size-check a merge *before* assembling the candidate set, so the
+    /// degenerate-merge guard costs O(entries) instead of O(indices).
+    ///
+    /// [`collect_since`]: UpdateLog::collect_since
+    pub fn count_since(&self, since: u64) -> usize {
+        let mut n = 0usize;
+        for e in self.entries.iter().rev() {
+            if e.t <= since {
+                break;
+            }
+            n += e.idx.len();
+        }
+        n
+    }
+
+    /// Approximate heap footprint in bytes (index storage at capacity
+    /// granularity plus per-entry headers).
+    pub fn bytes(&self) -> usize {
+        let idx_bytes: usize =
+            self.entries.iter().map(|e| e.idx.capacity() * std::mem::size_of::<u32>()).sum();
+        idx_bytes + self.entries.len() * std::mem::size_of::<LogEntry>()
+    }
+
+    fn evict_front(&mut self) {
+        if let Some(e) = self.entries.pop_front() {
+            self.stored -= e.idx.len();
+            self.lost_through = self.lost_through.max(e.t);
+            self.recycle(e.idx);
+        } else {
+            debug_assert_eq!(self.stored, 0);
+        }
+    }
+
+    fn recycle(&mut self, mut idx: Vec<u32>) {
+        if self.spare.len() < MAX_SPARE && idx.capacity() > 0 {
+            idx.clear();
+            self.spare.push(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_log_covers_zero_cursor() {
+        let log = UpdateLog::new(16);
+        assert!(log.covers(0));
+        let mut out = Vec::new();
+        log.collect_since(0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn collect_since_returns_only_newer_entries() {
+        let mut log = UpdateLog::new(100);
+        log.record(1, vec![3, 5]);
+        log.record(2, vec![5, 9]);
+        log.record(3, vec![0]);
+        let mut out = Vec::new();
+        log.collect_since(1, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 5, 9]);
+        out.clear();
+        log.collect_since(3, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn count_since_matches_collect_since() {
+        let mut log = UpdateLog::new(100);
+        log.record(1, vec![3, 5]);
+        log.record(2, vec![5, 9, 9]);
+        log.record(3, vec![0]);
+        for since in 0..4u64 {
+            let mut out = Vec::new();
+            log.collect_since(since, &mut out);
+            assert_eq!(log.count_since(since), out.len(), "since {since}");
+        }
+    }
+
+    #[test]
+    fn eviction_advances_lost_through() {
+        let mut log = UpdateLog::new(4);
+        log.record(1, vec![0, 1]);
+        log.record(2, vec![2, 3]);
+        assert!(log.covers(0));
+        log.record(3, vec![4]); // evicts entry t=1
+        assert_eq!(log.lost_through(), 1);
+        assert!(!log.covers(0)); // would need the evicted t=1 entry
+        assert!(log.covers(1)); // needs only t>1, all present
+        assert!(log.covers(2));
+        let mut out = Vec::new();
+        log.collect_since(2, &mut out);
+        assert_eq!(out, vec![4]);
+        assert_eq!(log.stored(), 3);
+    }
+
+    #[test]
+    fn oversized_update_flushes_log() {
+        let mut log = UpdateLog::new(3);
+        log.record(1, vec![0]);
+        log.record(2, vec![0, 1, 2, 3]); // larger than the whole budget
+        assert_eq!(log.stored(), 0);
+        assert_eq!(log.entries(), 0);
+        assert!(!log.covers(1));
+        assert!(log.covers(2));
+    }
+
+    #[test]
+    fn mark_dense_invalidates_older_cursors_only() {
+        let mut log = UpdateLog::new(100);
+        log.record(1, vec![7]);
+        log.mark_dense(2);
+        assert!(!log.covers(1));
+        assert!(log.covers(2));
+        log.record(3, vec![9]);
+        let mut out = Vec::new();
+        log.collect_since(2, &mut out);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn forget_through_never_regresses() {
+        let mut log = UpdateLog::new(100);
+        log.record(1, vec![0]);
+        log.record(2, vec![1]);
+        log.record(3, vec![2]);
+        log.record(4, vec![3]);
+        log.forget_through(4);
+        log.forget_through(2); // lower watermark must not re-cover 3..4
+        assert!(!log.covers(3));
+        assert!(log.covers(4));
+    }
+
+    #[test]
+    fn begin_recycles_evicted_buffers() {
+        let mut log = UpdateLog::new(2);
+        let mut b = log.begin();
+        b.extend_from_slice(&[10, 11]);
+        log.record(1, b);
+        log.record(2, vec![12, 13]); // evicts t=1; its buffer goes spare
+        let reused = log.begin();
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= 2, "evicted buffer should be recycled");
+    }
+
+    #[test]
+    fn bytes_tracks_stored_indices() {
+        let mut log = UpdateLog::new(100);
+        assert_eq!(log.bytes(), 0);
+        log.record(1, vec![1, 2, 3]);
+        assert!(log.bytes() >= 3 * std::mem::size_of::<u32>());
+    }
+}

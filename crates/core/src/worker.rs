@@ -121,13 +121,10 @@ impl TrainWorker {
         // Optional extension: ternary-quantize the sparse uplink (§6).
         if self.cfg.quantize_uplink {
             if let crate::protocol::UpPayload::Sparse(s) = &payload {
-                let qseed = derive_seed(
-                    self.cfg.seed,
-                    (self.worker_id as u64) << 32 | self.iter as u64,
-                );
-                payload = crate::protocol::UpPayload::TernarySparse(
-                    TernaryUpdate::quantize(s, qseed),
-                );
+                let qseed =
+                    derive_seed(self.cfg.seed, (self.worker_id as u64) << 32 | self.iter as u64);
+                payload =
+                    crate::protocol::UpPayload::TernarySparse(TernaryUpdate::quantize(s, qseed));
             }
         }
         UpMsg { payload, train_loss: loss }
@@ -196,7 +193,7 @@ mod tests {
     fn apply_dense_model_replaces_params() {
         let mut w = worker(Method::Asgd);
         let n = w.net.num_params();
-        w.apply_reply(DownMsg::DenseModel(vec![0.25; n]));
+        w.apply_reply(DownMsg::DenseModel(std::sync::Arc::new(vec![0.25; n])));
         assert!(w.model_params().iter().all(|&p| p == 0.25));
     }
 

@@ -259,11 +259,7 @@ mod tests {
     #[test]
     fn avgpool_forward_known() {
         let mut p = AvgPool2d::new("avg", 2);
-        let x = Tensor::from_vec(
-            [1, 1, 2, 2],
-            vec![1.0, 2.0, 3.0, 6.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
         let y = p.forward(&[], x);
         assert_eq!(y.data(), &[3.0]);
     }
@@ -285,18 +281,10 @@ mod tests {
         let y = p.forward(&[], x.clone());
         let dy = Tensor::randn(y.shape().clone(), 1.0, 10);
         let dx = p.backward(&[], &mut [], dy.clone());
-        let lhs: f64 = y
-            .data()
-            .iter()
-            .zip(dy.data().iter())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
-        let rhs: f64 = x
-            .data()
-            .iter()
-            .zip(dx.data().iter())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
+        let lhs: f64 =
+            y.data().iter().zip(dy.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let rhs: f64 =
+            x.data().iter().zip(dx.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0));
     }
 

@@ -37,11 +37,7 @@ impl Augmented {
     ) -> Self {
         assert!(repeat >= 1, "repeat must be at least 1");
         assert!((0.0..=1.0).contains(&flip_p), "flip_p must be a probability");
-        assert_eq!(
-            inner.sample_shape().rank(),
-            3,
-            "Augmented needs C×H×W samples"
-        );
+        assert_eq!(inner.sample_shape().rank(), 3, "Augmented needs C×H×W samples");
         Augmented { inner, repeat, flip_p, jitter_std, seed }
     }
 }
@@ -67,9 +63,7 @@ impl Dataset for Augmented {
         if view == 0 {
             return label;
         }
-        let mut rng = seeded(
-            self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
-        );
+        let mut rng = seeded(self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
         let dims = self.sample_shape();
         let (c, h, w) = (dims.dim(0), dims.dim(1), dims.dim(2));
         if rng.gen::<f64>() < self.flip_p {
@@ -158,8 +152,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "C×H×W")]
     fn rejects_flat_datasets() {
-        let flat: Arc<dyn Dataset> =
-            Arc::new(crate::data::GaussianBlobs::new(8, 4, 2, 0.3, 1));
+        let flat: Arc<dyn Dataset> = Arc::new(crate::data::GaussianBlobs::new(8, 4, 2, 0.3, 1));
         Augmented::new(flat, 2, 0.5, 0.1, 1);
     }
 }

@@ -67,10 +67,8 @@ impl ModelCheckpoint {
                 part.num_segments()
             )));
         }
-        for (seg, (name, &len)) in part
-            .segments()
-            .iter()
-            .zip(self.layout.iter().zip(self.lengths.iter()))
+        for (seg, (name, &len)) in
+            part.segments().iter().zip(self.layout.iter().zip(self.lengths.iter()))
         {
             if &seg.name != name || seg.len != len {
                 return Err(CheckpointError::LayoutMismatch(format!(
@@ -92,8 +90,8 @@ impl ModelCheckpoint {
 
     /// Writes the checkpoint as JSON.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let json =
+            serde_json::to_string(self).map_err(|e| CheckpointError::Parse(e.to_string()))?;
         std::fs::write(path, json)?;
         Ok(())
     }
@@ -137,10 +135,7 @@ mod tests {
         let a = mlp(6, &[12], 3, 1);
         let ckpt = ModelCheckpoint::capture(&a);
         let mut wrong_width = mlp(6, &[13], 3, 1);
-        assert!(matches!(
-            ckpt.apply(&mut wrong_width),
-            Err(CheckpointError::LayoutMismatch(_))
-        ));
+        assert!(matches!(ckpt.apply(&mut wrong_width), Err(CheckpointError::LayoutMismatch(_))));
         let mut wrong_depth = mlp(6, &[12, 12], 3, 1);
         assert!(ckpt.apply(&mut wrong_depth).is_err());
     }
@@ -149,10 +144,7 @@ mod tests {
     fn load_rejects_garbage() {
         let path = std::env::temp_dir().join("dgs_nn_ckpt_garbage.json");
         std::fs::write(&path, "not json").unwrap();
-        assert!(matches!(
-            ModelCheckpoint::load(&path),
-            Err(CheckpointError::Parse(_))
-        ));
+        assert!(matches!(ModelCheckpoint::load(&path), Err(CheckpointError::Parse(_))));
         std::fs::remove_file(path).ok();
         assert!(matches!(
             ModelCheckpoint::load("/definitely/not/a/path.json"),

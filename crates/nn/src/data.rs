@@ -122,14 +122,7 @@ impl GaussianBlobs {
 
     /// A validation split of the same task with `len` fresh samples.
     pub fn validation(&self, len: usize) -> Self {
-        GaussianBlobs::with_split(
-            len,
-            self.dim,
-            self.classes,
-            self.noise,
-            self.seed,
-            Split::Val,
-        )
+        GaussianBlobs::with_split(len, self.dim, self.classes, self.noise, self.seed, Split::Val)
     }
 }
 
@@ -307,9 +300,7 @@ impl SyntheticVision {
 
     fn prototype_at(&self, class: usize, channel: usize, y: f32, x: f32) -> f32 {
         let bank = &self.waves[class * self.channels + channel];
-        bank.iter()
-            .map(|&(fx, fy, phase, amp)| amp * (fx * x + fy * y + phase).sin())
-            .sum()
+        bank.iter().map(|&(fx, fy, phase, amp)| amp * (fx * x + fy * y + phase).sin()).sum()
     }
 }
 
@@ -386,16 +377,10 @@ mod tests {
         let mut correct = 0;
         for i in 0..200 {
             let label = ds.fill(i, &mut buf);
-            let d0: f32 = buf
-                .iter()
-                .zip(ds.means[0..16].iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            let d1: f32 = buf
-                .iter()
-                .zip(ds.means[16..32].iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d0: f32 =
+                buf.iter().zip(ds.means[0..16].iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            let d1: f32 =
+                buf.iter().zip(ds.means[16..32].iter()).map(|(a, b)| (a - b) * (a - b)).sum();
             let pred = if d0 < d1 { 0 } else { 1 };
             if pred == label {
                 correct += 1;
@@ -442,11 +427,9 @@ mod tests {
             // indices 4p and 4p+2 share a class; 4p and 4p+1 differ.
             ds.fill(4 * p, &mut a);
             ds.fill(4 * p + 2, &mut b);
-            d_same +=
-                a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>() / n as f32;
+            d_same += a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>() / n as f32;
             ds.fill(4 * p + 1, &mut b);
-            d_diff +=
-                a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>() / n as f32;
+            d_diff += a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>() / n as f32;
         }
         assert!(
             d_same < d_diff,

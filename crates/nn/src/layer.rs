@@ -315,11 +315,7 @@ impl ChannelNorm {
 
     /// For each channel, the list of flat element offsets is implied by the
     /// layout; this iterates `(channel, flat_index)` pairs.
-    fn for_each_channel(
-        shape: &Shape,
-        channels: usize,
-        mut f: impl FnMut(usize, usize),
-    ) {
+    fn for_each_channel(shape: &Shape, channels: usize, mut f: impl FnMut(usize, usize)) {
         match shape.rank() {
             2 => {
                 let (n, c) = shape.as_matrix();
@@ -384,8 +380,7 @@ impl Layer for ChannelNorm {
             let d = x.data()[i] - mean[ch];
             var[ch] += d * d;
         });
-        let inv_std: Vec<f32> =
-            var.iter().map(|&v| 1.0 / (v / count + self.eps).sqrt()).collect();
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / count + self.eps).sqrt()).collect();
         let mut x_hat = x.clone();
         let shape = x.shape().clone();
         {
@@ -433,10 +428,8 @@ impl Layer for ChannelNorm {
             let dxd = dx.data_mut();
             Self::for_each_channel(&cache.input_shape, c, |ch, i| {
                 let g = gamma[ch] * cache.inv_std[ch] / count;
-                dxd[i] = g
-                    * (count * dy.data()[i]
-                        - dbeta[ch]
-                        - cache.x_hat.data()[i] * dgamma[ch]);
+                dxd[i] =
+                    g * (count * dy.data()[i] - dbeta[ch] - cache.x_hat.data()[i] * dgamma[ch]);
             });
         }
         dx
@@ -612,11 +605,8 @@ mod tests {
         let eps = 1e-2f32;
 
         // Parameter gradients on a sample of coordinates.
-        let sample: Vec<usize> = if params.is_empty() {
-            vec![]
-        } else {
-            vec![0, params.len() / 2, params.len() - 1]
-        };
+        let sample: Vec<usize> =
+            if params.is_empty() { vec![] } else { vec![0, params.len() / 2, params.len() - 1] };
         for &pi in &sample {
             let mut pp = params.to_vec();
             pp[pi] += eps;

@@ -30,12 +30,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor)
 
 /// Number of rows whose argmax equals the label.
 pub fn top1_correct(logits: &Tensor, labels: &[usize]) -> usize {
-    logits
-        .argmax_rows()
-        .iter()
-        .zip(labels.iter())
-        .filter(|(p, l)| p == l)
-        .count()
+    logits.argmax_rows().iter().zip(labels.iter()).filter(|(p, l)| p == l).count()
 }
 
 /// Top-1 accuracy in `[0, 1]`.
@@ -102,8 +97,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts() {
-        let logits =
-            Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
         assert_eq!(top1_correct(&logits, &[0, 1, 1]), 2);
         assert!((top1_accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(top1_accuracy(&Tensor::zeros([0, 2]), &[]), 0.0);

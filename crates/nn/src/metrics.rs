@@ -82,8 +82,7 @@ impl ConfusionMatrix {
     pub fn per_class_recall(&self) -> Vec<Option<f64>> {
         (0..self.classes)
             .map(|c| {
-                let row: u64 =
-                    (0..self.classes).map(|p| self.get(c, p)).sum();
+                let row: u64 = (0..self.classes).map(|p| self.get(c, p)).sum();
                 if row == 0 {
                     None
                 } else {

@@ -43,10 +43,7 @@ impl Network {
                     continue;
                 }
                 let start = part.segments()[seg].offset;
-                layer.init_params(
-                    &mut data[start..start + n_params],
-                    derive_seed(seed, li as u64),
-                );
+                layer.init_params(&mut data[start..start + n_params], derive_seed(seed, li as u64));
                 seg += layer.param_sizes().len();
             }
         }
@@ -175,13 +172,8 @@ mod tests {
     #[test]
     fn partition_layout() {
         let net = tiny_net(0);
-        let names: Vec<&str> = net
-            .params()
-            .partition()
-            .segments()
-            .iter()
-            .map(|s| s.name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            net.params().partition().segments().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
         assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
     }
@@ -248,10 +240,7 @@ mod tests {
             }
         }
         let (last_loss, correct) = net.eval_batch(x, &labels);
-        assert!(
-            last_loss < first_loss * 0.5,
-            "loss should drop: {first_loss} -> {last_loss}"
-        );
+        assert!(last_loss < first_loss * 0.5, "loss should drop: {first_loss} -> {last_loss}");
         assert!(correct >= 11, "should mostly memorise the batch, got {correct}/16");
     }
 

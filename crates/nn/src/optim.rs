@@ -94,8 +94,7 @@ impl Optimizer for MomentumSgd {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
         assert_eq!(params.len(), self.velocity.len());
-        for ((p, u), &g) in params.iter_mut().zip(self.velocity.iter_mut()).zip(grads.iter())
-        {
+        for ((p, u), &g) in params.iter_mut().zip(self.velocity.iter_mut()).zip(grads.iter()) {
             let g = g + self.weight_decay * *p;
             *u = self.momentum * *u + self.lr * g;
             if self.nesterov {
@@ -163,11 +162,8 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, m), v), &g) in params
-            .iter_mut()
-            .zip(self.m.iter_mut())
-            .zip(self.v.iter_mut())
-            .zip(grads.iter())
+        for (((p, m), v), &g) in
+            params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()).zip(grads.iter())
         {
             let g = g + self.weight_decay * *p;
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
@@ -216,10 +212,7 @@ mod tests {
         let mut mom = MomentumSgd::new(4, 0.02, 0.9);
         let err_sgd: f32 = optimise(&mut sgd, 50).iter().sum();
         let err_mom: f32 = optimise(&mut mom, 50).iter().sum();
-        assert!(
-            err_mom < err_sgd,
-            "momentum should accelerate: {err_mom} vs {err_sgd}"
-        );
+        assert!(err_mom < err_sgd, "momentum should accelerate: {err_mom} vs {err_sgd}");
     }
 
     #[test]

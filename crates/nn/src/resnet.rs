@@ -39,15 +39,8 @@ impl ResidualBlock {
         stride: usize,
     ) -> Self {
         let name = name.into();
-        let conv1 = Conv2d::new(
-            format!("{name}.conv1"),
-            in_channels,
-            out_channels,
-            3,
-            stride,
-            1,
-            false,
-        );
+        let conv1 =
+            Conv2d::new(format!("{name}.conv1"), in_channels, out_channels, 3, stride, 1, false);
         let norm1 = ChannelNorm::new(format!("{name}.norm1"), out_channels);
         let relu1 = ReLU::new(format!("{name}.relu1"));
         let conv2 =
@@ -125,8 +118,7 @@ impl Layer for ResidualBlock {
 
     fn init_params(&self, params: &mut [f32], seed: u64) {
         let windows = self.sub_windows();
-        for (i, (l, &(start, len))) in
-            self.sublayers().into_iter().zip(windows.iter()).enumerate()
+        for (i, (l, &(start, len))) in self.sublayers().into_iter().zip(windows.iter()).enumerate()
         {
             l.init_params(&mut params[start..start + len], derive_seed(seed, i as u64));
         }
@@ -179,17 +171,11 @@ impl Layer for ResidualBlock {
                 &mut grad[n2.0..n2.0 + n2.1],
                 d.clone(),
             );
-            let dh = self.conv2.backward(
-                &params[c2.0..c2.0 + c2.1],
-                &mut grad[c2.0..c2.0 + c2.1],
-                dh,
-            );
+            let dh =
+                self.conv2.backward(&params[c2.0..c2.0 + c2.1], &mut grad[c2.0..c2.0 + c2.1], dh);
             let dh = self.relu1.backward(&[], &mut [], dh);
-            let dh = self.norm1.backward(
-                &params[n1.0..n1.0 + n1.1],
-                &mut grad[n1.0..n1.0 + n1.1],
-                dh,
-            );
+            let dh =
+                self.norm1.backward(&params[n1.0..n1.0 + n1.1], &mut grad[n1.0..n1.0 + n1.1], dh);
             self.conv1.backward(&params[c1.0..c1.0 + c1.1], &mut grad[c1.0..c1.0 + c1.1], dh)
         };
         let d_skip = match &mut self.proj {

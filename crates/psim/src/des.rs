@@ -55,8 +55,13 @@ pub trait DesServer {
     /// Processes one gradient arriving at virtual time `vtime`. Returns the
     /// reply, its wire size in bytes, and the modelled server processing
     /// time in seconds.
-    fn handle(&mut self, worker: usize, seq: u64, vtime: f64, up: Self::Up)
-        -> (Self::Down, usize, f64);
+    fn handle(
+        &mut self,
+        worker: usize,
+        seq: u64,
+        vtime: f64,
+        up: Self::Up,
+    ) -> (Self::Down, usize, f64);
 }
 
 /// Network configuration of a DES run.
@@ -132,10 +137,7 @@ impl<U, D> Ord for Event<U, D> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: reverse for earliest-first, with the
         // insertion sequence as a deterministic tie-break.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -364,9 +366,7 @@ mod tests {
     }
 
     fn toy_workers(n: usize, compute: f64, bytes: usize) -> Vec<ToyWorker> {
-        (0..n)
-            .map(|_| ToyWorker { compute_time: compute, up_bytes: bytes, applied: 0 })
-            .collect()
+        (0..n).map(|_| ToyWorker { compute_time: compute, up_bytes: bytes, applied: 0 }).collect()
     }
 
     #[test]
@@ -374,8 +374,7 @@ mod tests {
         // compute 1s, transfer 0.5s each way, proc 0.1s, 3 iters:
         // each round trip = 1 + 0.5 + 0.1 + 0.5 = 2.1s
         let net = NetworkModel { bandwidth_bps: 16.0, latency_s: 0.0 }; // 1 byte = 0.5s
-        let mut server =
-            ToyServer { compute_log: Vec::new(), proc_time: 0.1, reply_bytes: 1 };
+        let mut server = ToyServer { compute_log: Vec::new(), proc_time: 0.1, reply_bytes: 1 };
         let mut workers = toy_workers(1, 1.0, 1);
         let report = run_des(&mut server, &mut workers, 3, net);
         assert!((report.total_time - 6.3).abs() < 1e-9, "total {}", report.total_time);
@@ -391,8 +390,7 @@ mod tests {
         // Two workers with different compute times: the faster one's
         // gradients must be processed first.
         let net = NetworkModel::infinite();
-        let mut server =
-            ToyServer { compute_log: Vec::new(), proc_time: 0.0, reply_bytes: 0 };
+        let mut server = ToyServer { compute_log: Vec::new(), proc_time: 0.0, reply_bytes: 0 };
         let mut workers = vec![
             ToyWorker { compute_time: 1.0, up_bytes: 0, applied: 0 },
             ToyWorker { compute_time: 0.4, up_bytes: 0, applied: 0 },
@@ -422,8 +420,7 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let run = || {
-            let mut s =
-                ToyServer { compute_log: Vec::new(), proc_time: 0.01, reply_bytes: 100 };
+            let mut s = ToyServer { compute_log: Vec::new(), proc_time: 0.01, reply_bytes: 100 };
             let mut w = toy_workers(4, 0.1, 200);
             let r = run_des(&mut s, &mut w, 10, NetworkModel::one_gbps());
             (r, s.compute_log)
@@ -559,11 +556,7 @@ mod tests {
         let times: Vec<f64> = s.compute_log.iter().map(|&(_, t)| t).collect();
         assert_eq!(times.len(), 4);
         for (i, &t) in times.iter().enumerate() {
-            assert!(
-                (t - (i + 1) as f64).abs() < 1e-9,
-                "arrival {i} at {t}, expected {}",
-                i + 1
-            );
+            assert!((t - (i + 1) as f64).abs() < 1e-9, "arrival {i} at {t}, expected {}", i + 1);
         }
     }
 
@@ -586,8 +579,7 @@ mod tests {
         let net = NetworkModel::new(0.001, 0.0); // 1 Mbps
         let bytes = 12_500; // 0.1 s per transfer
         let run_n = |n: usize| {
-            let mut s =
-                ToyServer { compute_log: Vec::new(), proc_time: 0.0, reply_bytes: bytes };
+            let mut s = ToyServer { compute_log: Vec::new(), proc_time: 0.0, reply_bytes: bytes };
             let mut w = toy_workers(n, 0.001, bytes);
             let r = run_des(&mut s, &mut w, 10, DesNetwork::shared(net));
             // Throughput in iterations/second.
@@ -603,9 +595,6 @@ mod tests {
             t8 < t1 * 2.2,
             "shared-link dense traffic must cap at the duplex limit: {t1} vs {t8}"
         );
-        assert!(
-            (t8 - t4).abs() < 0.15 * t4,
-            "already saturated at 4 workers: {t4} vs {t8}"
-        );
+        assert!((t8 - t4).abs() < 0.15 * t4, "already saturated at 4 workers: {t4} vs {t8}");
     }
 }

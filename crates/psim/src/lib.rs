@@ -30,8 +30,8 @@ pub mod straggler;
 pub mod thread_engine;
 
 pub use des::{
-    run_des, run_des_budget, run_des_faulty, Budget, DesNetwork, DesReport, DesServer,
-    DesWorker, WorkerFailure,
+    run_des, run_des_budget, run_des_faulty, Budget, DesNetwork, DesReport, DesServer, DesWorker,
+    WorkerFailure,
 };
 pub use network::NetworkModel;
 pub use stats::{StalenessStats, TrafficStats};

@@ -61,7 +61,7 @@ mod tests {
     #[test]
     fn transfer_time_linear_in_bytes() {
         let net = NetworkModel::new(1.0, 0.0); // 1 Gbps, no latency
-        // 125 MB at 1 Gbps = 1 second.
+                                               // 125 MB at 1 Gbps = 1 second.
         assert!((net.transfer_time(125_000_000) - 1.0).abs() < 1e-9);
         assert!((net.transfer_time(0)).abs() < 1e-12);
     }
@@ -78,8 +78,7 @@ mod tests {
     fn presets_ordered() {
         let b = 46_000_000usize; // ~ResNet-18 parameter bytes
         assert!(
-            NetworkModel::one_gbps().transfer_time(b)
-                > NetworkModel::ten_gbps().transfer_time(b)
+            NetworkModel::one_gbps().transfer_time(b) > NetworkModel::ten_gbps().transfer_time(b)
         );
         assert_eq!(NetworkModel::infinite().transfer_time(b), 0.0);
     }

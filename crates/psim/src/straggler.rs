@@ -29,11 +29,7 @@ impl StragglerModel {
     /// One straggler: worker 0 runs `slowdown`× slower than the rest.
     pub fn one_slow(slowdown: f64) -> Self {
         assert!(slowdown >= 1.0, "slowdown must be >= 1");
-        StragglerModel {
-            static_multipliers: vec![slowdown],
-            jitter_sigma: 0.0,
-            seed: 0,
-        }
+        StragglerModel { static_multipliers: vec![slowdown], jitter_sigma: 0.0, seed: 0 }
     }
 
     /// Uniform cluster with lognormal jitter of the given sigma.
@@ -45,11 +41,7 @@ impl StragglerModel {
     ///
     /// Pure function of `(model, worker, iter)` so replays are identical.
     pub fn multiplier(&self, worker: usize, iter: u64) -> f64 {
-        let base = self
-            .static_multipliers
-            .get(worker)
-            .copied()
-            .unwrap_or(1.0);
+        let base = self.static_multipliers.get(worker).copied().unwrap_or(1.0);
         if self.jitter_sigma == 0.0 {
             return base;
         }
@@ -66,8 +58,7 @@ impl StragglerModel {
         let mut z2 = z.wrapping_mul(0x2545_F491_4F6C_DD1D);
         z2 ^= z2 >> 29;
         let u2 = (z2 >> 11) as f64 / (1u64 << 53) as f64;
-        let gauss =
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         base * (self.jitter_sigma * gauss).exp()
     }
 
@@ -134,25 +125,16 @@ mod tests {
         let sigma = 0.25;
         let m = StragglerModel::jitter(sigma, 7);
         let n = 20_000u64;
-        let mean_log: f64 = (0..n)
-            .map(|i| m.multiplier(0, i).ln())
-            .sum::<f64>()
-            / n as f64;
-        let var_log: f64 = (0..n)
-            .map(|i| (m.multiplier(0, i).ln() - mean_log).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let mean_log: f64 = (0..n).map(|i| m.multiplier(0, i).ln()).sum::<f64>() / n as f64;
+        let var_log: f64 =
+            (0..n).map(|i| (m.multiplier(0, i).ln() - mean_log).powi(2)).sum::<f64>() / n as f64;
         assert!(mean_log.abs() < 0.02, "log-mean {mean_log}");
         assert!((var_log.sqrt() - sigma).abs() < 0.02, "log-sigma {}", var_log.sqrt());
     }
 
     #[test]
     fn static_and_jitter_compose() {
-        let m = StragglerModel {
-            static_multipliers: vec![1.0, 3.0],
-            jitter_sigma: 0.1,
-            seed: 1,
-        };
+        let m = StragglerModel { static_multipliers: vec![1.0, 3.0], jitter_sigma: 0.1, seed: 1 };
         // Worker 1's multipliers are ~3x worker 0's in distribution.
         let n = 5000u64;
         let mean0: f64 = (0..n).map(|i| m.multiplier(0, i)).sum::<f64>() / n as f64;

@@ -214,9 +214,8 @@ mod tests {
         let iters = 50;
         let observed = Arc::new(Mutex::new(Vec::new()));
         let server = CountServer { total: 0, per_worker: vec![0; n], seqs: Vec::new() };
-        let workers: Vec<CountWorker> = (0..n)
-            .map(|_| CountWorker { last_seen: 0, observed: Arc::clone(&observed) })
-            .collect();
+        let workers: Vec<CountWorker> =
+            (0..n).map(|_| CountWorker { last_seen: 0, observed: Arc::clone(&observed) }).collect();
         let report = run_cluster(server, workers, iters);
         assert_eq!(report.server.total, (n * iters) as u64);
         assert!(report.server.per_worker.iter().all(|&c| c == iters as u64));
@@ -232,8 +231,7 @@ mod tests {
     fn single_worker_degenerates_to_sequential() {
         let observed = Arc::new(Mutex::new(Vec::new()));
         let server = CountServer { total: 0, per_worker: vec![0; 1], seqs: Vec::new() };
-        let workers =
-            vec![CountWorker { last_seen: 0, observed: Arc::clone(&observed) }];
+        let workers = vec![CountWorker { last_seen: 0, observed: Arc::clone(&observed) }];
         let report = run_cluster(server, workers, 10);
         assert_eq!(report.server.total, 10);
         // With one worker the observed totals are exactly 1..=10.
@@ -244,9 +242,8 @@ mod tests {
     fn zero_iterations_terminates() {
         let server = CountServer { total: 0, per_worker: vec![0; 2], seqs: Vec::new() };
         let observed = Arc::new(Mutex::new(Vec::new()));
-        let workers: Vec<CountWorker> = (0..2)
-            .map(|_| CountWorker { last_seen: 0, observed: Arc::clone(&observed) })
-            .collect();
+        let workers: Vec<CountWorker> =
+            (0..2).map(|_| CountWorker { last_seen: 0, observed: Arc::clone(&observed) }).collect();
         let report = run_cluster(server, workers, 0);
         assert_eq!(report.server.total, 0);
         assert_eq!(report.traffic.msgs_up, 0);
@@ -258,9 +255,8 @@ mod tests {
         let iters = 25;
         let observed = Arc::new(Mutex::new(Vec::new()));
         let server = CountServer { total: 0, per_worker: vec![0; n], seqs: Vec::new() };
-        let workers: Vec<CountWorker> = (0..n)
-            .map(|_| CountWorker { last_seen: 0, observed: Arc::clone(&observed) })
-            .collect();
+        let workers: Vec<CountWorker> =
+            (0..n).map(|_| CountWorker { last_seen: 0, observed: Arc::clone(&observed) }).collect();
         let report = run_cluster(server, workers, iters);
         assert_eq!(report.server.total, (n * iters) as u64);
         assert!(report.wall_secs >= 0.0);

@@ -10,6 +10,10 @@
 //! * [`topk`] — exact and sampled Top-k threshold/index selection over a
 //!   segment, plus the mask/gather/scatter helpers the worker algorithms
 //!   are built from (`sparsify()` / `unsparsify()` in the paper's notation).
+//! * [`merge`] — the server-side diff/merge kernels behind the O(nnz)
+//!   downlink construction (dense reference scan, candidate-restricted
+//!   scan, deterministic pair Top-k, dirty-set maintenance). Both server
+//!   strategies bottom out here, which is what makes them bitwise equal.
 //! * [`coo`] — the COO wire format (`encode()` / `decode()` in the paper):
 //!   index+value pairs packed into [`bytes::Bytes`], with exact byte-size
 //!   accounting used by the network simulator.
@@ -24,6 +28,7 @@
 //! gradient sparsification, server-side secondary compression, and tests.
 
 pub mod coo;
+pub mod merge;
 pub mod partition;
 pub mod quant;
 pub mod random_drop;
@@ -31,13 +36,18 @@ pub mod stats;
 pub mod topk;
 
 pub use coo::{SparseUpdate, SparseVec};
+pub use merge::{
+    diff_pairs_at, diff_pairs_dense, mag_idx_order, retain_dirty, scatter_pairs,
+    scatter_track_dirty, send_all_at, send_all_dense, send_topk_dense, sort_dedup,
+    sort_dedup_bitmap, topk_pairs,
+};
 pub use partition::{Partition, Segment};
 pub use quant::{TernaryUpdate, TernaryVec};
 pub use random_drop::{random_unbiased_sparsify, random_unbiased_update};
 pub use stats::CompressionStats;
 pub use topk::{
-    gather, hierarchical_threshold, sampled_threshold, scale_all_except, scatter_add,
-    topk_indices, topk_threshold, zero_at,
+    gather, hierarchical_threshold, sampled_threshold, scale_all_except, scatter_add, topk_indices,
+    topk_threshold, zero_at,
 };
 
 /// Computes the Top-k element count for a segment of `len` values at

@@ -1,0 +1,564 @@
+//! Sparse diff/merge kernels for the server's O(nnz) downlink construction.
+//!
+//! The MDT server builds the downlink `G = M − v_k` per layer segment. The
+//! original implementation densely scanned the whole segment per reply; the
+//! update-log path instead visits only *candidate* coordinates (the union of
+//! the worker's dirty set and everything touched since its last pull). Both
+//! paths bottom out in the kernels here, so their outputs are bitwise
+//! identical by construction:
+//!
+//! * [`diff_pairs_dense`] — the O(dim) reference scan;
+//! * [`diff_pairs_at`]    — the O(candidates) restricted scan;
+//! * [`topk_pairs`]       — secondary Top-k over (index, value) pairs;
+//! * [`scatter_pairs`]    — advance `v_k` by exactly what is sent;
+//! * [`retain_dirty`]     — recompute the dirty set after a send;
+//! * [`send_all_at`] / [`send_all_dense`] — fused single-pass variants of
+//!   diff + scatter + dirty tracking for the no-Top-k (send everything)
+//!   case, touching each cache line once;
+//! * [`scatter_track_dirty`] — fused scatter + dirty tracking after a
+//!   Top-k send, rescanning only the coordinates actually sent;
+//! * [`sort_dedup_bitmap`]  — O(n + domain/64) candidate dedup that
+//!   exploits the index domain instead of comparison sorting.
+//!
+//! Every selection uses the single total order [`mag_idx_order`] (magnitude
+//! descending, index ascending), which is NaN-safe via [`f32::total_cmp`]
+//! and makes Top-k deterministic under ties — a prerequisite for the two
+//! diff paths to agree bitwise.
+//!
+//! This module is deliberately free of external dependencies (std only) so
+//! it can be exercised by standalone differential harnesses.
+
+use std::cmp::Ordering;
+
+/// The workspace-wide Top-k total order: larger magnitude first, ties (and
+/// only ties) broken by smaller index. `total_cmp` makes this a total order
+/// on all bit patterns: NaN magnitudes deterministically sort as the
+/// largest values (|NaN| > +∞), so poisoned gradients cannot scramble the
+/// selection between two otherwise-identical runs.
+#[inline]
+pub fn mag_idx_order(mag_a: f32, idx_a: u32, mag_b: f32, idx_b: u32) -> Ordering {
+    mag_b.total_cmp(&mag_a).then_with(|| idx_a.cmp(&idx_b))
+}
+
+/// Sorts a candidate index list ascending and removes duplicates, in place.
+pub fn sort_dedup(v: &mut Vec<u32>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// [`sort_dedup`] via a caller-provided bitmap over the index domain:
+/// O(n + mask.len()) instead of O(n log n). Candidate lists are unions of
+/// already-sorted runs (log entries and dirty sets), which comparison sorts
+/// cannot exploit; marking bits and re-reading them in word order is ~10×
+/// faster once `v` outgrows a few thousand entries. `mask` must be all-zero
+/// on entry, span every value in `v` (`64 * mask.len()` bits), and is
+/// returned all-zero so it can be reused without a reset pass.
+pub fn sort_dedup_bitmap(v: &mut Vec<u32>, mask: &mut [u64]) {
+    for &i in v.iter() {
+        mask[(i >> 6) as usize] |= 1u64 << (i & 63);
+    }
+    v.clear();
+    for (w, word) in mask.iter_mut().enumerate() {
+        let mut bits = *word;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            v.push(((w as u32) << 6) | b);
+            bits &= bits - 1;
+        }
+        *word = 0;
+    }
+}
+
+/// Selects the `k` largest-magnitude (index, value) pairs, returned in
+/// ascending index order. Exact selection (average O(n)); ties follow
+/// [`mag_idx_order`], so the result is a pure function of the input.
+pub fn topk_pairs(idx: &[u32], val: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+    debug_assert_eq!(idx.len(), val.len());
+    let n = idx.len();
+    let k = k.min(n);
+    if k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    if k == n {
+        return (idx.to_vec(), val.to_vec());
+    }
+    let mut pos: Vec<u32> = (0..n as u32).collect();
+    pos.select_nth_unstable_by(k - 1, |&a, &b| {
+        mag_idx_order(
+            val[a as usize].abs(),
+            idx[a as usize],
+            val[b as usize].abs(),
+            idx[b as usize],
+        )
+    });
+    pos.truncate(k);
+    pos.sort_unstable_by_key(|&p| idx[p as usize]);
+    (pos.iter().map(|&p| idx[p as usize]).collect(), pos.iter().map(|&p| val[p as usize]).collect())
+}
+
+/// Full-scan reference: every nonzero of `m − v` as (local index, value)
+/// pairs in ascending index order. O(segment length).
+pub fn diff_pairs_dense(m: &[f32], v: &[f32]) -> (Vec<u32>, Vec<f32>) {
+    debug_assert_eq!(m.len(), v.len());
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for (i, (&mi, &vi)) in m.iter().zip(v.iter()).enumerate() {
+        let d = mi - vi;
+        if d != 0.0 {
+            idx.push(i as u32);
+            val.push(d);
+        }
+    }
+    (idx, val)
+}
+
+/// Restricted scan: nonzeros of `m − v` at `candidates` only (segment-local
+/// indices, ascending, deduplicated). Produces exactly what
+/// [`diff_pairs_dense`] produces whenever `candidates` is a superset of the
+/// support of `m − v` — each kept value is the same `m[i] - v[i]` f32
+/// subtraction, in the same ascending index order. O(candidates).
+pub fn diff_pairs_at(m: &[f32], v: &[f32], candidates: &[u32]) -> (Vec<u32>, Vec<f32>) {
+    debug_assert_eq!(m.len(), v.len());
+    let mut idx = Vec::with_capacity(candidates.len());
+    let mut val = Vec::with_capacity(candidates.len());
+    for &i in candidates {
+        let d = m[i as usize] - v[i as usize];
+        if d != 0.0 {
+            idx.push(i);
+            val.push(d);
+        }
+    }
+    (idx, val)
+}
+
+/// Adds each pair into the dense segment: `seg[idx[j]] += val[j]` — the
+/// `v_k ← v_k + G` bookkeeping, elementwise identical to the scatter-adds
+/// the receiving worker performs.
+pub fn scatter_pairs(seg: &mut [f32], idx: &[u32], val: &[f32]) {
+    debug_assert_eq!(idx.len(), val.len());
+    for (&i, &x) in idx.iter().zip(val.iter()) {
+        seg[i as usize] += x;
+    }
+}
+
+/// Appends to `out` the subset of `candidates` where `m[i] − v[i]` is still
+/// nonzero — the worker's dirty set after a send. Sent coordinates usually
+/// land exactly (`v + (m − v)` reproduces `m` bitwise for most inputs) but
+/// f32 rounding can leave a one-ulp remainder; rescanning keeps the dirty
+/// set a true superset of the difference's support, never an approximation.
+pub fn retain_dirty(m: &[f32], v: &[f32], candidates: &[u32], out: &mut Vec<u32>) {
+    for &i in candidates {
+        if m[i as usize] - v[i as usize] != 0.0 {
+            out.push(i);
+        }
+    }
+}
+
+/// Fused send-everything at `candidates`: per coordinate, compute
+/// `d = m[i] − v[i]`, emit the pair if nonzero, advance `v[i] += d`, and
+/// keep the coordinate dirty if a rounding remainder survives. Exactly
+/// equivalent to [`diff_pairs_at`] → [`scatter_pairs`] → [`retain_dirty`],
+/// but each `m`/`v` cache line is touched once instead of three times.
+pub fn send_all_at(
+    m: &[f32],
+    v: &mut [f32],
+    candidates: &[u32],
+    dirty: &mut Vec<u32>,
+) -> (Vec<u32>, Vec<f32>) {
+    debug_assert_eq!(m.len(), v.len());
+    let mut idx = Vec::with_capacity(candidates.len());
+    let mut val = Vec::with_capacity(candidates.len());
+    for &i in candidates {
+        let mi = m[i as usize];
+        let vi = &mut v[i as usize];
+        let d = mi - *vi;
+        if d != 0.0 {
+            idx.push(i);
+            val.push(d);
+            *vi += d;
+            if mi - *vi != 0.0 {
+                dirty.push(i);
+            }
+        }
+    }
+    (idx, val)
+}
+
+/// Fused send-everything over the whole segment — the dense-scan analogue
+/// of [`send_all_at`], equivalent to [`diff_pairs_dense`] →
+/// [`scatter_pairs`] → [`retain_dirty`] over all indices.
+pub fn send_all_dense(m: &[f32], v: &mut [f32], dirty: &mut Vec<u32>) -> (Vec<u32>, Vec<f32>) {
+    debug_assert_eq!(m.len(), v.len());
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for (i, (&mi, vi)) in m.iter().zip(v.iter_mut()).enumerate() {
+        let d = mi - *vi;
+        if d != 0.0 {
+            idx.push(i as u32);
+            val.push(d);
+            *vi += d;
+            if mi - *vi != 0.0 {
+                dirty.push(i as u32);
+            }
+        }
+    }
+    (idx, val)
+}
+
+/// Dense-diff Top-k send over a whole segment: materialises `d = m − v`
+/// once, sends everything if the diff is at or under the `k` budget,
+/// otherwise selects the Top-k directly on the dense buffer (cheaper than
+/// building (index, value) pair vectors first when the diff is dense —
+/// the steady state under secondary compression). Zeros can never be
+/// selected because the k-th ranked element is nonzero whenever the
+/// selection runs, so the outcome is identical to [`topk_pairs`] over the
+/// nonzero pairs: same [`mag_idx_order`] ranking, same ascending output.
+///
+/// Also returns the total nonzero count of the diff (the density signal
+/// callers use for tracking hysteresis), which the scan computes anyway.
+pub fn send_topk_dense(
+    m: &[f32],
+    v: &mut [f32],
+    k: usize,
+    track_dirty: bool,
+    dirty: &mut Vec<u32>,
+) -> (Vec<u32>, Vec<f32>, usize) {
+    debug_assert_eq!(m.len(), v.len());
+    let diff: Vec<f32> = m.iter().zip(v.iter()).map(|(&a, &b)| a - b).collect();
+    let nnz_all = diff.iter().filter(|&&d| d != 0.0).count();
+    if nnz_all <= k {
+        // At or under budget: everything goes (Alg. 2 lines 5-7).
+        let mut idx = Vec::with_capacity(nnz_all);
+        let mut val = Vec::with_capacity(nnz_all);
+        for (i, &d) in diff.iter().enumerate() {
+            if d != 0.0 {
+                idx.push(i as u32);
+                val.push(d);
+                v[i] += d;
+                if track_dirty && m[i] - v[i] != 0.0 {
+                    dirty.push(i as u32);
+                }
+            }
+        }
+        return (idx, val, nnz_all);
+    }
+    if k == 0 {
+        // Nothing fits the budget: every nonzero coordinate stays dirty.
+        if track_dirty {
+            for (i, &d) in diff.iter().enumerate() {
+                if d != 0.0 {
+                    dirty.push(i as u32);
+                }
+            }
+        }
+        return (Vec::new(), Vec::new(), nnz_all);
+    }
+    let mut pos: Vec<u32> = (0..diff.len() as u32).collect();
+    pos.select_nth_unstable_by(k - 1, |&a, &b| {
+        mag_idx_order(diff[a as usize].abs(), a, diff[b as usize].abs(), b)
+    });
+    pos.truncate(k);
+    pos.sort_unstable();
+    let val: Vec<f32> = pos.iter().map(|&p| diff[p as usize]).collect();
+    scatter_pairs(v, &pos, &val);
+    if track_dirty {
+        let mut p = 0usize;
+        for (i, &d) in diff.iter().enumerate() {
+            if d != 0.0 {
+                let i = i as u32;
+                if p < pos.len() && pos[p] == i {
+                    p += 1;
+                    if m[i as usize] - v[i as usize] != 0.0 {
+                        dirty.push(i);
+                    }
+                } else {
+                    dirty.push(i);
+                }
+            }
+        }
+    }
+    (pos, val, nnz_all)
+}
+
+/// Scatters a Top-k selection into `v` and appends the post-send dirty set,
+/// rescanning only the `sent` coordinates. Preconditions: `all_idx` is
+/// ascending with nonzero `m − v` at every entry (a [`diff_pairs_at`] /
+/// [`diff_pairs_dense`] output), and `sent_idx` is an ascending subset of
+/// it. An unsent pair keeps its nonzero difference untouched, so it is
+/// dirty without re-reading memory; a sent pair is dirty only if rounding
+/// left `v + (m − v) ≠ m`. Equivalent to [`scatter_pairs`] →
+/// [`retain_dirty`] over any candidate superset of `all_idx`.
+pub fn scatter_track_dirty(
+    m: &[f32],
+    v: &mut [f32],
+    sent_idx: &[u32],
+    sent_val: &[f32],
+    all_idx: &[u32],
+    dirty: &mut Vec<u32>,
+) {
+    scatter_pairs(v, sent_idx, sent_val);
+    let mut p = 0usize;
+    for &i in all_idx {
+        if p < sent_idx.len() && sent_idx[p] == i {
+            p += 1;
+            if m[i as usize] - v[i as usize] != 0.0 {
+                dirty.push(i);
+            }
+        } else {
+            dirty.push(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_total_and_tiebreaks_by_index() {
+        assert_eq!(mag_idx_order(2.0, 5, 1.0, 0), Ordering::Less); // bigger mag first
+        assert_eq!(mag_idx_order(1.0, 0, 2.0, 5), Ordering::Greater);
+        assert_eq!(mag_idx_order(1.0, 2, 1.0, 7), Ordering::Less); // tie: lower idx first
+        assert_eq!(mag_idx_order(1.0, 7, 1.0, 2), Ordering::Greater);
+        assert_eq!(mag_idx_order(1.0, 3, 1.0, 3), Ordering::Equal);
+        // NaN sorts as the largest magnitude, deterministically.
+        assert_eq!(mag_idx_order(f32::NAN, 1, f32::INFINITY, 0), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_dedup_basic() {
+        let mut v = vec![5, 1, 3, 1, 5, 0];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn topk_pairs_selects_and_sorts() {
+        let idx = [2u32, 4, 7, 9];
+        let val = [1.0f32, -5.0, 0.5, 3.0];
+        let (i, v) = topk_pairs(&idx, &val, 2);
+        assert_eq!(i, vec![4, 9]);
+        assert_eq!(v, vec![-5.0, 3.0]);
+        // k >= n returns everything unchanged.
+        let (i, v) = topk_pairs(&idx, &val, 10);
+        assert_eq!(i, idx.to_vec());
+        assert_eq!(v, val.to_vec());
+        let (i, v) = topk_pairs(&idx, &val, 0);
+        assert!(i.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn topk_pairs_deterministic_on_ties() {
+        let idx = [0u32, 1, 2, 3];
+        let val = [2.0f32, -2.0, 2.0, 2.0];
+        let (i, _) = topk_pairs(&idx, &val, 2);
+        assert_eq!(i, vec![0, 1], "ties must break toward lower indices");
+    }
+
+    #[test]
+    fn topk_pairs_nan_and_inf() {
+        let idx = [0u32, 1, 2, 3];
+        let val = [1.0f32, f32::NAN, f32::INFINITY, -2.0];
+        let (i, _) = topk_pairs(&idx, &val, 2);
+        assert_eq!(i, vec![1, 2], "NaN then inf dominate the selection");
+    }
+
+    #[test]
+    fn diff_pairs_dense_and_at_agree_on_superset() {
+        let m = [1.0f32, 0.0, 3.0, 0.0, -2.0];
+        let v = [1.0f32, 0.0, 1.0, 0.0, 0.0];
+        let (di, dv) = diff_pairs_dense(&m, &v);
+        assert_eq!(di, vec![2, 4]);
+        assert_eq!(dv, vec![2.0, -2.0]);
+        // Any superset of the support yields the identical pairs.
+        let (ci, cv) = diff_pairs_at(&m, &v, &[0, 2, 3, 4]);
+        assert_eq!(ci, di);
+        assert_eq!(cv, dv);
+    }
+
+    #[test]
+    fn scatter_then_retain_clears_clean_coords() {
+        let m = [4.0f32, 0.0, -1.5];
+        let mut v = [0.0f32; 3];
+        let (idx, val) = diff_pairs_dense(&m, &v);
+        scatter_pairs(&mut v, &idx, &val);
+        let mut dirty = Vec::new();
+        retain_dirty(&m, &v, &[0, 1, 2], &mut dirty);
+        assert!(dirty.is_empty(), "fully-sent diff leaves nothing dirty: {dirty:?}");
+    }
+
+    #[test]
+    fn retain_dirty_keeps_held_back_coords() {
+        let m = [4.0f32, 2.0, -1.5];
+        let mut v = [0.0f32; 3];
+        let (ai, av) = diff_pairs_dense(&m, &v);
+        let (si, sv) = topk_pairs(&ai, &av, 1); // send only |4.0|
+        scatter_pairs(&mut v, &si, &sv);
+        let mut dirty = Vec::new();
+        retain_dirty(&m, &v, &ai, &mut dirty);
+        assert_eq!(dirty, vec![1, 2]);
+    }
+
+    #[test]
+    fn sort_dedup_bitmap_matches_sort_dedup() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut mask = vec![0u64; 4]; // domain of 256 indices
+        for _ in 0..50 {
+            let n = (next() % 60) as usize;
+            let mut a: Vec<u32> = (0..n).map(|_| (next() % 256) as u32).collect();
+            let mut b = a.clone();
+            sort_dedup(&mut a);
+            sort_dedup_bitmap(&mut b, &mut mask);
+            assert_eq!(a, b);
+            assert!(mask.iter().all(|&w| w == 0), "mask must come back zeroed");
+        }
+    }
+
+    /// Pseudorandom m/v pairs with values that sometimes cancel exactly and
+    /// sometimes leave rounding residue: the fused kernels must reproduce
+    /// the unfused diff → scatter → retain pipeline bit for bit.
+    fn random_state(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let m: Vec<f32> = (0..n)
+            .map(|_| match next() % 4 {
+                0 => 0.0,
+                1 => (next() % 17) as f32 * 0.125 - 1.0,
+                2 => ((next() % 1000) as f32) * 1e-3 + 1e7, // forces rounding
+                _ => -((next() % 9) as f32),
+            })
+            .collect();
+        let v: Vec<f32> = m
+            .iter()
+            .map(|&x| match next() % 3 {
+                0 => x, // already clean
+                1 => 0.0,
+                _ => x + ((next() % 7) as f32) * 0.25 - 0.75,
+            })
+            .collect();
+        (m, v)
+    }
+
+    #[test]
+    fn fused_send_all_matches_unfused_pipeline() {
+        for seed in 1..40u64 {
+            let (m, v0) = random_state(seed * 7919, 64);
+            // Unfused reference over all indices.
+            let mut v_ref = v0.clone();
+            let (ri, rv) = diff_pairs_dense(&m, &v_ref);
+            scatter_pairs(&mut v_ref, &ri, &rv);
+            let all: Vec<u32> = (0..64).collect();
+            let mut dirty_ref = Vec::new();
+            retain_dirty(&m, &v_ref, &all, &mut dirty_ref);
+            // Fused dense.
+            let mut v_dense = v0.clone();
+            let mut dirty_dense = Vec::new();
+            let (di, dv) = send_all_dense(&m, &mut v_dense, &mut dirty_dense);
+            assert_eq!(di, ri);
+            assert_eq!(
+                dv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(dirty_dense, dirty_ref);
+            assert_eq!(
+                v_dense.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                v_ref.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            // Fused restricted, on a superset of the support.
+            let mut v_at = v0.clone();
+            let mut dirty_at = Vec::new();
+            let (ai, av) = send_all_at(&m, &mut v_at, &all, &mut dirty_at);
+            assert_eq!(ai, ri);
+            assert_eq!(
+                av.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(dirty_at, dirty_ref);
+        }
+    }
+
+    #[test]
+    fn scatter_track_dirty_matches_scatter_then_retain() {
+        for seed in 1..40u64 {
+            let (m, v0) = random_state(seed * 104729, 64);
+            let (ai, av) = diff_pairs_dense(&m, &v0);
+            let k = (seed as usize) % (ai.len() + 1);
+            let (si, sv) = topk_pairs(&ai, &av, k);
+            // Unfused reference: scatter, then rescan every candidate.
+            let mut v_ref = v0.clone();
+            scatter_pairs(&mut v_ref, &si, &sv);
+            let all: Vec<u32> = (0..64).collect();
+            let mut dirty_ref = Vec::new();
+            retain_dirty(&m, &v_ref, &all, &mut dirty_ref);
+            // Fused: rescan only what was sent.
+            let mut v_fused = v0.clone();
+            let mut dirty_fused = Vec::new();
+            scatter_track_dirty(&m, &mut v_fused, &si, &sv, &ai, &mut dirty_fused);
+            assert_eq!(dirty_fused, dirty_ref, "seed {seed} k {k}");
+            assert_eq!(
+                v_fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                v_ref.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn send_topk_dense_matches_pair_pipeline() {
+        for seed in 1..40u64 {
+            for k in [0usize, 1, 3, 8, 64, 100] {
+                let (m, v0) = random_state(seed * 31337, 64);
+                // Pair-based reference: diff → topk (or send-all) → scatter
+                // with fused dirty tracking.
+                let mut v_ref = v0.clone();
+                let (ai, av) = diff_pairs_dense(&m, &v_ref);
+                let nnz_ref = ai.len();
+                let mut dirty_ref = Vec::new();
+                let (ri, rv) = if ai.len() > k {
+                    let (si, sv) = topk_pairs(&ai, &av, k);
+                    scatter_track_dirty(&m, &mut v_ref, &si, &sv, &ai, &mut dirty_ref);
+                    (si, sv)
+                } else {
+                    scatter_track_dirty(&m, &mut v_ref, &ai, &av, &ai, &mut dirty_ref);
+                    (ai, av)
+                };
+                // Dense-diff kernel under test.
+                let mut v_dense = v0.clone();
+                let mut dirty_dense = Vec::new();
+                let (di, dv, dn) = send_topk_dense(&m, &mut v_dense, k, true, &mut dirty_dense);
+                assert_eq!(di, ri, "seed {seed} k {k}");
+                assert_eq!(dn, nnz_ref, "seed {seed} k {k}");
+                assert_eq!(
+                    dv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+                assert_eq!(dirty_dense, dirty_ref, "seed {seed} k {k}");
+                assert_eq!(
+                    v_dense.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    v_ref.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+                // Untracked variant leaves dirty alone and matches payload.
+                let mut v_u = v0.clone();
+                let mut dirty_u = Vec::new();
+                let (ui, uv, un) = send_topk_dense(&m, &mut v_u, k, false, &mut dirty_u);
+                assert_eq!(ui, ri);
+                assert_eq!(un, nnz_ref);
+                assert_eq!(
+                    uv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+                assert!(dirty_u.is_empty());
+            }
+        }
+    }
+}

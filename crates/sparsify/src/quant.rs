@@ -107,9 +107,7 @@ impl TernaryUpdate {
 
     /// Reconstructs the full-precision-shaped sparse update.
     pub fn dequantize(&self) -> crate::SparseUpdate {
-        crate::SparseUpdate {
-            chunks: self.chunks.iter().map(TernaryVec::dequantize).collect(),
-        }
+        crate::SparseUpdate { chunks: self.chunks.iter().map(TernaryVec::dequantize).collect() }
     }
 
     /// Total transmitted coordinates.
@@ -172,10 +170,7 @@ mod tests {
     use crate::{Partition, SparseUpdate};
 
     fn sv(vals: &[f32]) -> SparseVec {
-        SparseVec {
-            idx: (0..vals.len() as u32).collect(),
-            val: vals.to_vec(),
-        }
+        SparseVec { idx: (0..vals.len() as u32).collect(), val: vals.to_vec() }
     }
 
     #[test]

@@ -33,8 +33,7 @@ pub fn random_unbiased_sparsify(seg: &[f32], target_ratio: f64, seed: u64) -> Sp
     // min(1, ·) cap for heavy-tailed segments.
     let mut lambda = budget / abs_sum;
     for _ in 0..4 {
-        let expected: f64 =
-            seg.iter().map(|v| (lambda * v.abs() as f64).min(1.0)).sum();
+        let expected: f64 = seg.iter().map(|v| (lambda * v.abs() as f64).min(1.0)).sum();
         if expected <= 0.0 {
             break;
         }
@@ -63,11 +62,7 @@ pub fn random_unbiased_update(
     part.check_covers(flat);
     let chunks = (0..part.num_segments())
         .map(|i| {
-            random_unbiased_sparsify(
-                part.slice(flat, i),
-                target_ratio,
-                seed.wrapping_add(i as u64),
-            )
+            random_unbiased_sparsify(part.slice(flat, i), target_ratio, seed.wrapping_add(i as u64))
         })
         .collect();
     SparseUpdate { chunks }
@@ -96,15 +91,11 @@ mod tests {
         let seg: Vec<f32> = (0..1000).map(|i| ((i * 37) % 100) as f32 * 0.1 + 0.1).collect();
         let target = 0.1;
         let trials = 200;
-        let total: usize = (0..trials)
-            .map(|s| random_unbiased_sparsify(&seg, target, s).nnz())
-            .sum();
+        let total: usize =
+            (0..trials).map(|s| random_unbiased_sparsify(&seg, target, s).nnz()).sum();
         let mean = total as f64 / trials as f64;
         let budget = target * seg.len() as f64;
-        assert!(
-            (mean - budget).abs() < 0.15 * budget,
-            "mean kept {mean} vs budget {budget}"
-        );
+        assert!((mean - budget).abs() < 0.15 * budget, "mean kept {mean} vs budget {budget}");
     }
 
     #[test]
@@ -135,11 +126,7 @@ mod tests {
         let seg = [1000.0f32, 0.001, 0.001, 0.001];
         let sv = random_unbiased_sparsify(&seg, 0.25, 9);
         let dense = sv.to_dense(4);
-        assert!(
-            (dense[0] - 1000.0).abs() < 0.5,
-            "dominant coordinate distorted: {}",
-            dense[0]
-        );
+        assert!((dense[0] - 1000.0).abs() < 0.5, "dominant coordinate distorted: {}", dense[0]);
     }
 
     #[test]

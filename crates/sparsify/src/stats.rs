@@ -40,13 +40,7 @@ impl CompressionStats {
 
 impl std::fmt::Display for CompressionStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} -> {} bytes ({:.1}x)",
-            self.dense_bytes,
-            self.compressed_bytes,
-            self.ratio()
-        )
+        write!(f, "{} -> {} bytes ({:.1}x)", self.dense_bytes, self.compressed_bytes, self.ratio())
     }
 }
 

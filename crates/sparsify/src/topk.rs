@@ -11,9 +11,12 @@ use rand::{Rng, SeedableRng};
 /// Returns the indices of the `k` largest-magnitude values of `seg`,
 /// in ascending index order.
 ///
-/// Exact selection via `select_nth_unstable_by` (average O(n)); ties are
-/// broken arbitrarily but the result always contains exactly
-/// `min(k, seg.len())` distinct indices.
+/// Exact selection via `select_nth_unstable_by` (average O(n)) under the
+/// total order of [`crate::merge::mag_idx_order`]: magnitude descending,
+/// ties broken toward lower indices. The selection is therefore a pure
+/// function of the input — NaN/inf values cannot scramble it (NaN
+/// magnitudes deterministically rank above +∞), and equal magnitudes
+/// always resolve the same way.
 pub fn topk_indices(seg: &[f32], k: usize) -> Vec<u32> {
     let n = seg.len();
     let k = k.min(n);
@@ -26,9 +29,7 @@ pub fn topk_indices(seg: &[f32], k: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..n as u32).collect();
     // Partition so the first k indices hold the k largest magnitudes.
     idx.select_nth_unstable_by(k - 1, |&a, &b| {
-        let ma = seg[a as usize].abs();
-        let mb = seg[b as usize].abs();
-        mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+        crate::merge::mag_idx_order(seg[a as usize].abs(), a, seg[b as usize].abs(), b)
     });
     idx.truncate(k);
     idx.sort_unstable();
@@ -42,7 +43,7 @@ pub fn topk_threshold(seg: &[f32], k: usize) -> f32 {
     assert!(!seg.is_empty() && k >= 1 && k <= seg.len(), "topk_threshold bounds");
     let mut mags: Vec<f32> = seg.iter().map(|v| v.abs()).collect();
     let idx = k - 1;
-    mags.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    mags.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
     mags[idx]
 }
 
@@ -63,9 +64,7 @@ pub fn sampled_threshold(seg: &[f32], k: usize, sample: usize, seed: u64) -> f32
     // Quantile position equivalent to k-of-n within the sample.
     let pos = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
     let pos = pos.clamp(1, sample);
-    mags.select_nth_unstable_by(pos - 1, |a, b| {
-        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    mags.select_nth_unstable_by(pos - 1, |a, b| b.total_cmp(a));
     mags[pos - 1]
 }
 
@@ -166,12 +165,33 @@ mod tests {
     fn topk_all_equal_values() {
         let seg = [1.0f32; 10];
         let idx = topk_indices(&seg, 4);
-        assert_eq!(idx.len(), 4);
-        // Distinct and in range.
-        let mut d = idx.clone();
-        d.dedup();
-        assert_eq!(d.len(), 4);
-        assert!(idx.iter().all(|&i| i < 10));
+        // Deterministic tie-break: equal magnitudes resolve to the lowest
+        // indices, not to whatever the partition happened to leave in place.
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn topk_nan_and_inf_are_deterministic() {
+        // NaN ranks above +inf, which ranks above every finite magnitude;
+        // repeated runs (and both selection paths) must agree exactly.
+        let seg = [1.0f32, f32::NAN, 3.0, f32::INFINITY, -f32::NAN, 2.0];
+        let idx = topk_indices(&seg, 3);
+        assert_eq!(idx, vec![1, 3, 4]); // NaN(1), NaN(4), inf(3) — sorted
+        for _ in 0..8 {
+            assert_eq!(topk_indices(&seg, 3), idx);
+        }
+        // Thresholds stay well-defined too (no Ordering::Equal collapse).
+        assert!(topk_threshold(&seg, 3).is_infinite());
+        assert!(topk_threshold(&seg, 2).is_nan());
+        let neg = [f32::NEG_INFINITY, 0.5, -2.0];
+        assert_eq!(topk_indices(&neg, 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn topk_ties_break_toward_lower_index() {
+        let seg = [2.0f32, -2.0, 1.0, 2.0, -2.0];
+        assert_eq!(topk_indices(&seg, 2), vec![0, 1]);
+        assert_eq!(topk_indices(&seg, 3), vec![0, 1, 3]);
     }
 
     #[test]
@@ -247,10 +267,7 @@ mod tests {
     #[test]
     fn hierarchical_threshold_exact_fallback() {
         let seg = [3.0f32, -1.0, 2.0, 0.5];
-        assert_eq!(
-            hierarchical_threshold(&seg, 2, 100, 0.1, 1),
-            topk_threshold(&seg, 2)
-        );
+        assert_eq!(hierarchical_threshold(&seg, 2, 100, 0.1, 1), topk_threshold(&seg, 2));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! A tiny free-list buffer pool for scratch `Vec<T>`s on hot paths.
+//!
+//! Server reply construction needs short-lived scratch buffers (candidate
+//! index lists, staging areas) every round; allocating them fresh puts the
+//! allocator on the per-update critical path. [`BufferPool`] keeps a small
+//! stack of cleared, capacity-retaining buffers: `acquire` pops one (or
+//! returns a fresh empty `Vec`), `release` clears and returns it. After
+//! warm-up the pool serves every round allocation-free, with buffers grown
+//! once to their steady-state high-water mark.
+//!
+//! Not thread-safe by design — each owner embeds its own pool (the
+//! `MdtServer` is already behind the trainer's single server loop), which
+//! keeps `acquire`/`release` at two pointer moves with no locking.
+
+/// A free-list of reusable `Vec<T>` buffers.
+#[derive(Debug)]
+pub struct BufferPool<T> {
+    free: Vec<Vec<T>>,
+    max_buffers: usize,
+}
+
+impl<T> BufferPool<T> {
+    /// Creates a pool retaining at most `max_buffers` idle buffers;
+    /// releases beyond that simply drop the buffer.
+    pub fn new(max_buffers: usize) -> Self {
+        BufferPool { free: Vec::new(), max_buffers }
+    }
+
+    /// Pops a cleared buffer, or returns a fresh empty `Vec` if the pool
+    /// is empty. The buffer keeps whatever capacity it had when released.
+    pub fn acquire(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Clears `buf` and returns it to the pool (dropped if the pool is
+    /// already holding `max_buffers` idle buffers).
+    pub fn release(&mut self, mut buf: Vec<T>) {
+        if self.free.len() < self.max_buffers {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Bytes of heap capacity currently parked in the pool (for memory
+    /// accounting).
+    pub fn retained_bytes(&self) -> usize {
+        self.free.iter().map(|b| b.capacity() * std::mem::size_of::<T>()).sum()
+    }
+}
+
+impl<T> Default for BufferPool<T> {
+    /// A pool retaining up to 8 idle buffers.
+    fn default() -> Self {
+        BufferPool::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip_keeps_capacity() {
+        let mut pool: BufferPool<u32> = BufferPool::new(4);
+        let mut b = pool.acquire();
+        assert!(b.is_empty());
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let cap = b.capacity();
+        pool.release(b);
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.acquire();
+        assert!(b2.is_empty(), "released buffers come back cleared");
+        assert_eq!(b2.capacity(), cap, "capacity survives the roundtrip");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_bounds_idle_buffers() {
+        let mut pool: BufferPool<f32> = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.release(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.retained_bytes(), 2 * 16 * std::mem::size_of::<f32>());
+    }
+}

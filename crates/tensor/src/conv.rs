@@ -29,8 +29,16 @@ impl Conv2dSpec {
     /// Output spatial size for an `h×w` input. Panics if the geometry
     /// produces a non-positive output extent.
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
-        let ow = (w + 2 * self.padding).checked_sub(self.kernel).expect("kernel larger than padded input") / self.stride + 1;
+        let oh = (h + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .expect("kernel larger than padded input")
+            / self.stride
+            + 1;
+        let ow = (w + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .expect("kernel larger than padded input")
+            / self.stride
+            + 1;
         (oh, ow)
     }
 
@@ -43,20 +51,12 @@ impl Conv2dSpec {
     /// `h×w` images; used by the DES compute-time model.
     pub fn flops(&self, n: usize, h: usize, w: usize) -> u64 {
         let (oh, ow) = self.out_hw(h, w);
-        2 * (n * self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel)
-            as u64
+        2 * (n * self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
     }
 }
 
 /// Lowers one `C×H×W` image into a `(C·K·K) × (OH·OW)` column matrix.
-fn im2col_single(
-    img: &[f32],
-    cols: &mut [f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: &Conv2dSpec,
-) {
+fn im2col_single(img: &[f32], cols: &mut [f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) {
     let (oh, ow) = spec.out_hw(h, w);
     let k = spec.kernel;
     let row_len = oh * ow;
@@ -90,14 +90,7 @@ fn im2col_single(
 
 /// Scatters a `(C·K·K) × (OH·OW)` column-gradient matrix back onto an image
 /// gradient (the adjoint of [`im2col_single`]).
-fn col2im_single(
-    cols: &[f32],
-    img: &mut [f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: &Conv2dSpec,
-) {
+fn col2im_single(cols: &[f32], img: &mut [f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) {
     let (oh, ow) = spec.out_hw(h, w);
     let k = spec.kernel;
     let row_len = oh * ow;
@@ -144,22 +137,19 @@ pub fn conv2d_forward(x: &Tensor, weight: &[f32], bias: &[f32], spec: &Conv2dSpe
     let in_img = c * h * w;
     let out_img = spec.out_channels * oh * ow;
     let x_data = x.data();
-    y.data_mut()
-        .par_chunks_mut(out_img)
-        .enumerate()
-        .for_each(|(i, y_img)| {
-            let mut cols = vec![0.0f32; col_rows * col_len];
-            im2col_single(&x_data[i * in_img..(i + 1) * in_img], &mut cols, c, h, w, spec);
-            matmul_slices(weight, &cols, y_img, spec.out_channels, col_rows, col_len);
-            if !bias.is_empty() {
-                for oc in 0..spec.out_channels {
-                    let b = bias[oc];
-                    for v in &mut y_img[oc * col_len..(oc + 1) * col_len] {
-                        *v += b;
-                    }
+    y.data_mut().par_chunks_mut(out_img).enumerate().for_each(|(i, y_img)| {
+        let mut cols = vec![0.0f32; col_rows * col_len];
+        im2col_single(&x_data[i * in_img..(i + 1) * in_img], &mut cols, c, h, w, spec);
+        matmul_slices(weight, &cols, y_img, spec.out_channels, col_rows, col_len);
+        if !bias.is_empty() {
+            for oc in 0..spec.out_channels {
+                let b = bias[oc];
+                for v in &mut y_img[oc * col_len..(oc + 1) * col_len] {
+                    *v += b;
                 }
             }
-        });
+        }
+    });
     y
 }
 
@@ -215,9 +205,7 @@ pub fn conv2d_backward(
                 dx_img.fill(0.0);
                 col2im_single(&dcols, dx_img, c, h, w, spec);
                 let db = if with_bias {
-                    (0..oc)
-                        .map(|o| dy_img[o * col_len..(o + 1) * col_len].iter().sum())
-                        .collect()
+                    (0..oc).map(|o| dy_img[o * col_len..(o + 1) * col_len].iter().sum()).collect()
                 } else {
                     Vec::new()
                 };
@@ -293,9 +281,12 @@ mod tests {
 
     #[test]
     fn forward_matches_naive() {
-        for &(cin, cout, k, s, p, h, w) in
-            &[(1, 1, 1, 1, 0, 4, 4), (2, 3, 3, 1, 1, 6, 5), (3, 4, 3, 2, 1, 8, 8), (2, 2, 5, 1, 2, 7, 7)]
-        {
+        for &(cin, cout, k, s, p, h, w) in &[
+            (1, 1, 1, 1, 0, 4, 4),
+            (2, 3, 3, 1, 1, 6, 5),
+            (3, 4, 3, 2, 1, 8, 8),
+            (2, 2, 5, 1, 2, 7, 7),
+        ] {
             let sp = spec(cin, cout, k, s, p);
             let x = Tensor::randn([2, cin, h, w], 1.0, 42);
             let wt = Tensor::randn([sp.weight_len()], 0.5, 43).into_vec();
@@ -329,9 +320,8 @@ mod tests {
         let grads = conv2d_backward(&x, &wt, &dy, &sp, true);
 
         let eps = 1e-2f32;
-        let loss = |x: &Tensor, wt: &[f32], b: &[f32]| -> f64 {
-            conv2d_forward(x, wt, b, &sp).sum()
-        };
+        let loss =
+            |x: &Tensor, wt: &[f32], b: &[f32]| -> f64 { conv2d_forward(x, wt, b, &sp).sum() };
         // Check a sample of weight coordinates.
         for &wi in &[0usize, 5, 17, sp.weight_len() - 1] {
             let mut wp = wt.clone();

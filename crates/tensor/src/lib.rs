@@ -21,10 +21,13 @@
 //! * [`ops`] — activation and softmax kernels.
 //! * [`rng`] — deterministic seeded RNG helpers including Gaussian sampling
 //!   (hand-rolled Box–Muller; `rand_distr` is not in the offline set).
+//! * [`bufpool`] — a free-list [`BufferPool`] for allocation-free scratch
+//!   buffers on hot paths (used by the server's reply construction).
 //!
 //! All kernels are deterministic for a fixed input (parallel loops never
 //! change the per-element summation order), which the test-suite relies on.
 
+pub mod bufpool;
 pub mod conv;
 pub mod matmul;
 pub mod ops;
@@ -33,6 +36,7 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
+pub use bufpool::BufferPool;
 pub use shape::Shape;
 pub use tensor::Tensor;
 
@@ -88,10 +92,7 @@ pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
 pub fn assert_slice_approx_eq(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!(
-            approx_eq(x, y, tol),
-            "slices differ at index {i}: {x} vs {y} (tol {tol})"
-        );
+        assert!(approx_eq(x, y, tol), "slices differ at index {i}: {x} vs {y} (tol {tol})");
     }
 }
 

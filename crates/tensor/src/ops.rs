@@ -99,8 +99,7 @@ mod tests {
 
     #[test]
     fn log_softmax_consistent_with_softmax() {
-        let x = Tensor::from_vec([2, 4], vec![0.1, -0.2, 0.7, 1.3, 2.0, 2.0, 2.0, 2.0])
-            .unwrap();
+        let x = Tensor::from_vec([2, 4], vec![0.1, -0.2, 0.7, 1.3, 2.0, 2.0, 2.0, 2.0]).unwrap();
         let p = softmax_rows(&x);
         let lp = log_softmax_rows(&x);
         for (a, b) in p.data().iter().zip(lp.data().iter()) {

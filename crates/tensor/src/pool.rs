@@ -141,11 +141,7 @@ mod tests {
 
     #[test]
     fn maxpool_backward_routes_to_argmax() {
-        let x = Tensor::from_vec(
-            [1, 1, 2, 2],
-            vec![1.0, 9.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
         let out = maxpool2d_forward(&x, &MaxPoolSpec { window: 2 });
         let dy = Tensor::from_vec([1, 1, 1, 1], vec![2.5]).unwrap();
         let dx = maxpool2d_backward(x.shape(), &out.argmax, &dy);
@@ -185,20 +181,13 @@ mod tests {
 
     #[test]
     fn gap_forward_backward() {
-        let x = Tensor::from_vec(
-            [1, 2, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0])
+            .unwrap();
         let y = global_avg_pool_forward(&x);
         assert_slice_approx_eq(y.data(), &[2.5, 25.0], 1e-6);
         let dy = Tensor::from_vec([1, 2], vec![4.0, 8.0]).unwrap();
         let dx = global_avg_pool_backward(x.shape(), &dy);
-        assert_slice_approx_eq(
-            dx.data(),
-            &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
-            1e-6,
-        );
+        assert_slice_approx_eq(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], 1e-6);
     }
 
     #[test]
@@ -208,18 +197,10 @@ mod tests {
         let dy = Tensor::randn([3, 4], 1.0, 78);
         let y = global_avg_pool_forward(&x);
         let dx = global_avg_pool_backward(x.shape(), &dy);
-        let lhs: f64 = y
-            .data()
-            .iter()
-            .zip(dy.data().iter())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
-        let rhs: f64 = x
-            .data()
-            .iter()
-            .zip(dx.data().iter())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
+        let lhs: f64 =
+            y.data().iter().zip(dy.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let rhs: f64 =
+            x.data().iter().zip(dx.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0));
     }
 }

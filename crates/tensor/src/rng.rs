@@ -20,8 +20,7 @@ pub fn seeded(seed: u64) -> StdRng {
 /// remaining a pure function of the experiment seed. The mixing is
 /// SplitMix64-style so that adjacent stream ids produce uncorrelated seeds.
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -92,8 +91,7 @@ mod tests {
         let mut buf = vec![0.0f32; n];
         fill_normal(&mut rng, &mut buf, 1.5, 2.0);
         let mean: f64 = buf.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            buf.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = buf.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1.5).abs() < 0.02, "mean {mean}");
         assert!((var - 4.0).abs() < 0.1, "var {var}");
     }

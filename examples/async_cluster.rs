@@ -15,10 +15,7 @@ use dgs::nn::models::resnet_lite;
 use std::sync::Arc;
 
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let workers: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let seed = 7u64;
     let epochs = 8;
 

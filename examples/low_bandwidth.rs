@@ -32,13 +32,7 @@ fn main() {
         cfg.clip_norm = 0.0;
         cfg.seed = seed;
         cfg.evals = 8;
-        train_des(
-            &cfg,
-            &build,
-            Arc::clone(&train),
-            Arc::clone(&val),
-            DesParams::one_gbps(),
-        )
+        train_des(&cfg, &build, Arc::clone(&train), Arc::clone(&val), DesParams::one_gbps())
     };
 
     println!("8 workers, 1 Gbps shared server NIC (virtual time)\n");

@@ -150,11 +150,7 @@ impl CliConfig {
                 noise: 2.2,
                 dim: 16,
             },
-            model: ModelConfig {
-                kind: "resnet_lite".into(),
-                width: 6,
-                hidden: vec![128, 64],
-            },
+            model: ModelConfig { kind: "resnet_lite".into(), width: 6, hidden: vec![128, 64] },
             train: TrainSection {
                 method: "dgs".into(),
                 workers: 4,
@@ -185,10 +181,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("init") => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&CliConfig::example()).unwrap()
-            );
+            println!("{}", serde_json::to_string_pretty(&CliConfig::example()).unwrap());
         }
         Some("methods") => {
             println!(
@@ -208,12 +201,10 @@ fn main() {
             }
         }
         Some("run") => {
-            let path = args.get(1).unwrap_or_else(|| fail("usage: dgs-cli run <config.json> [--out results.json]"));
-            let out = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-                .cloned();
+            let path = args
+                .get(1)
+                .unwrap_or_else(|| fail("usage: dgs-cli run <config.json> [--out results.json]"));
+            let out = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
             let config: CliConfig = serde_json::from_str(&text)
@@ -233,22 +224,19 @@ fn main() {
 fn run(config: &CliConfig) -> RunResult {
     let seed = config.train.seed;
     let w = &config.workload;
-    let (train_ds, val_ds): (Arc<dyn Dataset>, Arc<dyn Dataset>) =
-        match w.kind.as_str() {
-            "vision" => {
-                let data = SyntheticVision::new(
-                    w.samples, w.channels, w.hw, w.classes, w.noise, seed,
-                );
-                let val = Arc::new(data.validation(w.val_samples));
-                (Arc::new(data), val)
-            }
-            "blobs" => {
-                let data = GaussianBlobs::new(w.samples, w.dim, w.classes, w.noise, seed);
-                let val = Arc::new(data.validation(w.val_samples));
-                (Arc::new(data), val)
-            }
-            other => fail(&format!("unknown workload kind '{other}'")),
-        };
+    let (train_ds, val_ds): (Arc<dyn Dataset>, Arc<dyn Dataset>) = match w.kind.as_str() {
+        "vision" => {
+            let data = SyntheticVision::new(w.samples, w.channels, w.hw, w.classes, w.noise, seed);
+            let val = Arc::new(data.validation(w.val_samples));
+            (Arc::new(data), val)
+        }
+        "blobs" => {
+            let data = GaussianBlobs::new(w.samples, w.dim, w.classes, w.noise, seed);
+            let val = Arc::new(data.validation(w.val_samples));
+            (Arc::new(data), val)
+        }
+        other => fail(&format!("unknown workload kind '{other}'")),
+    };
 
     let m = config.model.clone();
     let wk = w.clone();
@@ -260,11 +248,7 @@ fn run(config: &CliConfig) -> RunResult {
         other => fail(&format!("unknown model kind '{other}'")),
     };
 
-    let method: Method = config
-        .train
-        .method
-        .parse()
-        .unwrap_or_else(|e: String| fail(&e));
+    let method: Method = config.train.method.parse().unwrap_or_else(|e: String| fail(&e));
     let mut cfg = TrainConfig::paper_default(method, config.train.workers, config.train.epochs);
     cfg.batch_per_worker = config.train.batch_per_worker;
     cfg.lr = LrSchedule::paper_default(config.train.lr, config.train.epochs);

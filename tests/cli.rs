@@ -57,11 +57,7 @@ fn run_trains_and_writes_results() {
         .arg(&out_path)
         .output()
         .expect("run dgs-cli run");
-    assert!(
-        out.status.success(),
-        "stderr: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("final top-1"), "{text}");
 

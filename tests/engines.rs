@@ -71,13 +71,7 @@ fn des_and_threads_process_the_same_volume() {
 fn slower_bandwidth_means_more_virtual_time_for_dense() {
     let (train, val) = datasets();
     let c = cfg(Method::Asgd, 4);
-    let fast = train_des(
-        &c,
-        &build,
-        Arc::clone(&train),
-        Arc::clone(&val),
-        DesParams::ten_gbps(),
-    );
+    let fast = train_des(&c, &build, Arc::clone(&train), Arc::clone(&val), DesParams::ten_gbps());
     let slow = train_des(&c, &build, train, val, DesParams::one_gbps());
     assert!(
         slow.virtual_time > fast.virtual_time,
@@ -94,15 +88,9 @@ fn dense_traffic_dominates_constrained_shared_nic() {
     // size; both methods contend on the shared server NIC, and ASGD's
     // dense exchange must cost several times DGS's sparse one (the Fig. 5
     // phenomenon).
-    let params =
-        DesParams { network: NetworkModel::new(0.005, 50.0), ..DesParams::one_gbps() };
-    let asgd = train_des(
-        &cfg(Method::Asgd, 6),
-        &build,
-        Arc::clone(&train),
-        Arc::clone(&val),
-        params,
-    );
+    let params = DesParams { network: NetworkModel::new(0.005, 50.0), ..DesParams::one_gbps() };
+    let asgd =
+        train_des(&cfg(Method::Asgd, 6), &build, Arc::clone(&train), Arc::clone(&val), params);
     // Secondary compression keeps the downlink sparse regardless of how
     // many stale updates the difference accumulates — the paper's own
     // low-bandwidth configuration (Fig. 5).

@@ -51,9 +51,8 @@ fn server_checkpoint_resumes_exact_trajectory() {
             2,
             downlink,
         );
-        let workers: Vec<TrainWorker> = (0..2)
-            .map(|k| TrainWorker::new(k, build(), Arc::clone(&train), cfg(), 10.0))
-            .collect();
+        let workers: Vec<TrainWorker> =
+            (0..2).map(|k| TrainWorker::new(k, build(), Arc::clone(&train), cfg(), 10.0)).collect();
         (server, workers)
     };
 
@@ -72,8 +71,7 @@ fn server_checkpoint_resumes_exact_trajectory() {
     drive(&mut srv, &mut workers, 18);
     let server_ckpt = srv.checkpoint();
     let json = serde_json::to_string(&server_ckpt).unwrap();
-    let restored_ckpt: dgs::core::server::ServerCheckpoint =
-        serde_json::from_str(&json).unwrap();
+    let restored_ckpt: dgs::core::server::ServerCheckpoint = serde_json::from_str(&json).unwrap();
     let net0 = build();
     let mut restored =
         MdtServer::restore(restored_ckpt, net0.params().partition().clone(), downlink);
@@ -100,8 +98,7 @@ fn model_checkpoint_transfers_into_fresh_worker() {
             1,
             Downlink::ModelDifference { secondary_ratio: None },
         );
-        let workers =
-            vec![TrainWorker::new(0, build(), Arc::clone(&train), cfg(), 10.0)];
+        let workers = vec![TrainWorker::new(0, build(), Arc::clone(&train), cfg(), 10.0)];
         (server, workers)
     };
     drive(&mut server, &mut workers, 25);

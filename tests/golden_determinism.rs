@@ -38,12 +38,7 @@ fn golden_dataset_sample() {
 fn golden_model_init_fingerprint() {
     let net = mlp(6, &[8], 3, 42);
     let sum: f64 = net.params().data().iter().map(|&x| x as f64).sum();
-    let again: f64 = mlp(6, &[8], 3, 42)
-        .params()
-        .data()
-        .iter()
-        .map(|&x| x as f64)
-        .sum();
+    let again: f64 = mlp(6, &[8], 3, 42).params().data().iter().map(|&x| x as f64).sum();
     assert_eq!(sum, again, "init must be a pure function of the seed");
 }
 

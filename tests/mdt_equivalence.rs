@@ -8,7 +8,8 @@
 
 use dgs::core::config::{LrSchedule, TrainConfig};
 use dgs::core::method::Method;
-use dgs::core::server::{Downlink, MdtServer};
+use dgs::core::protocol::DownMsg;
+use dgs::core::server::{DiffStrategy, Downlink, MdtServer};
 use dgs::core::worker::TrainWorker;
 use dgs::nn::data::{Dataset, GaussianBlobs};
 use dgs::nn::models::mlp;
@@ -62,10 +63,7 @@ fn mdt_without_sparsification_equals_asgd() {
     for (a, b) in asgd.iter().zip(mdt.iter()) {
         max_diff = max_diff.max((a - b).abs());
     }
-    assert!(
-        max_diff < 1e-4,
-        "Eq. 5 violated: max parameter difference {max_diff}"
-    );
+    assert!(max_diff < 1e-4, "Eq. 5 violated: max parameter difference {max_diff}");
 }
 
 #[test]
@@ -97,27 +95,98 @@ fn worker_and_server_agree_after_every_receive() {
         // After a receive with no secondary compression the worker holds
         // the server's current model (Eq. 5) …
         let server_model = server.current_model();
-        for (i, (&w, &s)) in
-            workers[k].model_params().iter().zip(server_model.iter()).enumerate()
-        {
-            assert!(
-                (w - s).abs() < 1e-4,
-                "step {t}: worker {k} coord {i} drifted: {w} vs {s}"
-            );
+        for (i, (&w, &s)) in workers[k].model_params().iter().zip(server_model.iter()).enumerate() {
+            assert!((w - s).abs() < 1e-4, "step {t}: worker {k} coord {i} drifted: {w} vs {s}");
         }
         // … and θ0 + v_k tracks it exactly.
-        for (i, (&w, (&t0, &v))) in workers[k]
-            .model_params()
-            .iter()
-            .zip(theta0.iter().zip(server.v(k).iter()))
-            .enumerate()
+        for (i, (&w, (&t0, &v))) in
+            workers[k].model_params().iter().zip(theta0.iter().zip(server.v(k).iter())).enumerate()
         {
-            assert!(
-                (w - (t0 + v)).abs() < 1e-4,
-                "v tracking broken at step {t} coord {i}"
-            );
+            assert!((w - (t0 + v)).abs() < 1e-4, "v tracking broken at step {t} coord {i}");
         }
     }
+}
+
+/// Drives one set of real training workers against two servers — the
+/// O(nnz) log-merge hot path and the O(dim) dense-scan reference — and
+/// asserts every downlink payload is bitwise identical (compared through
+/// the wire encoding) and the final server states match exactly.
+fn run_strategies_against_real_training(
+    secondary: Option<f64>,
+    log_capacity: Option<usize>,
+    n_workers: usize,
+    steps: usize,
+    schedule: impl Fn(usize) -> usize,
+) {
+    let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 6);
+    let train: Arc<dyn Dataset> = Arc::new(blobs);
+    let mut cfg = make_cfg(Method::Dgs);
+    cfg.workers = n_workers;
+    cfg.sparsity_ratio = 0.1;
+    let build = || mlp(8, &[16], 4, 11);
+    let net0 = build();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let downlink = Downlink::ModelDifference { secondary_ratio: secondary };
+    let mut log_srv = MdtServer::new(theta0.clone(), partition.clone(), n_workers, downlink);
+    let mut dense_srv = MdtServer::new(theta0, partition, n_workers, downlink);
+    assert_eq!(log_srv.diff_strategy(), DiffStrategy::LogMerge);
+    dense_srv.set_diff_strategy(DiffStrategy::DenseScan);
+    if let Some(cap) = log_capacity {
+        log_srv.set_log_capacity(cap);
+    }
+    let mut workers: Vec<TrainWorker> = (0..n_workers)
+        .map(|k| TrainWorker::new(k, build(), Arc::clone(&train), cfg.clone(), 10.0))
+        .collect();
+    for t in 0..steps {
+        let k = schedule(t);
+        let up = workers[k].local_step();
+        let reply_log = log_srv.handle_update(k, &up);
+        let reply_dense = dense_srv.handle_update(k, &up);
+        match (&reply_log, &reply_dense) {
+            (DownMsg::SparseDiff(a), DownMsg::SparseDiff(b)) => {
+                assert_eq!(
+                    a.encode(),
+                    b.encode(),
+                    "downlink payload diverged at step {t} (worker {k})"
+                );
+            }
+            _ => panic!("expected sparse diff replies"),
+        }
+        workers[k].apply_reply(reply_log);
+    }
+    assert_eq!(log_srv.m(), dense_srv.m(), "M diverged");
+    for w in 0..n_workers {
+        assert_eq!(log_srv.v(w), dense_srv.v(w), "v_{w} diverged");
+    }
+}
+
+#[test]
+fn log_merge_downlink_bitwise_equals_dense_scan() {
+    run_strategies_against_real_training(Some(0.05), None, 2, 60, |t| t % 2);
+}
+
+#[test]
+fn log_truncation_fallback_stays_bitwise_equal() {
+    // Capacity 64 logged coordinates holds only ~3 updates of this model
+    // (mlp(8,[16],4) at ratio 0.1 touches ~20 coords/update), so worker 2 —
+    // pulling only every 11th step — keeps falling off the truncated log
+    // and takes the dense-scan fallback, which must still be bitwise equal.
+    run_strategies_against_real_training(Some(0.1), Some(64), 3, 66, |t| {
+        if t % 11 == 10 {
+            2
+        } else {
+            t % 2
+        }
+    });
+}
+
+#[test]
+fn oversized_updates_force_fallback_and_stay_bitwise_equal() {
+    // Capacity 8 is smaller than a single update's support: every record
+    // flushes the whole log, so *every* pull takes the fallback path while
+    // pending-set tracking still has to stay exact.
+    run_strategies_against_real_training(None, Some(8), 2, 40, |t| t % 2);
 }
 
 #[test]

@@ -5,10 +5,10 @@ use dgs::core::compress::{
     Compressor, DgcCompressor, GradientDroppingCompressor, SaMomentumCompressor, StepCtx,
 };
 use dgs::core::protocol::{DownMsg, UpMsg, UpPayload};
-use dgs::core::server::{Downlink, MdtServer};
+use dgs::core::server::{DiffStrategy, Downlink, MdtServer};
 use dgs::sparsify::{
-    k_for_ratio, random_unbiased_sparsify, topk_indices, topk_threshold, Partition,
-    SparseUpdate, TernaryUpdate,
+    k_for_ratio, random_unbiased_sparsify, topk_indices, topk_threshold, Partition, SparseUpdate,
+    TernaryUpdate,
 };
 use proptest::prelude::*;
 
@@ -203,6 +203,52 @@ proptest! {
                 v.abs() >= orig.abs() * 0.999,
                 "rescale by 1/p must not shrink: {} vs {}", v, orig
             );
+        }
+    }
+
+    /// The O(nnz) log-merge downlink is bitwise identical (through the wire
+    /// encoding) to the O(dim) dense-scan reference under random worker
+    /// interleavings, random secondary-compression ratios, and log
+    /// capacities small enough to force the truncation fallback — and the
+    /// two servers' M / v_k state never diverges.
+    #[test]
+    fn log_merge_bitwise_equals_dense_scan(
+        schedule in proptest::collection::vec(0usize..3, 1..60),
+        theta0 in small_vec(12),
+        ratio_pct in proptest::option::of(1u32..60),
+        log_capacity in proptest::option::of(1usize..24),
+    ) {
+        let part = Partition::from_layer_sizes([("a", 4), ("b", 8)]);
+        let secondary = ratio_pct.map(|p| p as f64 / 100.0);
+        let downlink = Downlink::ModelDifference { secondary_ratio: secondary };
+        let mut log_srv = MdtServer::new(theta0.clone(), part.clone(), 3, downlink);
+        let mut dense_srv = MdtServer::new(theta0, part.clone(), 3, downlink);
+        dense_srv.set_diff_strategy(DiffStrategy::DenseScan);
+        if let Some(cap) = log_capacity {
+            log_srv.set_log_capacity(cap);
+        }
+        for (step, &k) in schedule.iter().enumerate() {
+            let mut g = vec![0.0f32; 12];
+            // Exact dyadic values so repeated ± hits produce exact zeros in
+            // M − v_k, exercising the dirty-coordinate bookkeeping.
+            g[(step * 5 + k) % 12] = ((step % 9) as f32 - 4.0) * 0.125;
+            g[(step * 3 + 7) % 12] = 0.25;
+            let up = UpMsg {
+                payload: UpPayload::Sparse(SparseUpdate::from_nonzero(&g, &part)),
+                train_loss: 0.0,
+            };
+            let reply_log = log_srv.handle_update(k, &up);
+            let reply_dense = dense_srv.handle_update(k, &up);
+            match (reply_log, reply_dense) {
+                (DownMsg::SparseDiff(a), DownMsg::SparseDiff(b)) => {
+                    prop_assert_eq!(a.encode(), b.encode(), "payload diverged at step {}", step);
+                }
+                _ => prop_assert!(false, "expected sparse diff replies"),
+            }
+        }
+        prop_assert_eq!(log_srv.m(), dense_srv.m());
+        for w in 0..3 {
+            prop_assert_eq!(log_srv.v(w), dense_srv.v(w));
         }
     }
 

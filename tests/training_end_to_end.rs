@@ -43,11 +43,7 @@ fn every_method_learns_the_task() {
         } else {
             train_async(&c, &build, Arc::clone(&train), Arc::clone(&val))
         };
-        assert!(
-            res.final_acc > 0.8,
-            "{method} failed to learn: acc {}",
-            res.final_acc
-        );
+        assert!(res.final_acc > 0.8, "{method} failed to learn: acc {}", res.final_acc);
         assert!(res.curve.len() >= 3, "{method} curve too short");
         // Loss decreases over training.
         assert!(
@@ -67,10 +63,7 @@ fn traffic_hierarchy_matches_paper() {
     let dgs = train_async(&cfg(Method::Dgs, 3), &build, Arc::clone(&train), Arc::clone(&val));
     assert!(asgd.bytes_up > 3 * dgs.bytes_up, "uplink should shrink");
     assert!(asgd.bytes_down > 3 * dgs.bytes_down, "downlink should shrink");
-    assert_eq!(
-        gd.bytes_up, dgs.bytes_up,
-        "GD-async and DGS send the same Top-k volume upward"
-    );
+    assert_eq!(gd.bytes_up, dgs.bytes_up, "GD-async and DGS send the same Top-k volume upward");
 }
 
 #[test]
@@ -84,10 +77,7 @@ fn live_memory_matches_analytic_model() {
             res.server_tracking_bytes, analytic.server_tracking_bytes,
             "{method} server tracking bytes"
         );
-        assert_eq!(
-            res.worker_aux_bytes, analytic.worker_aux_bytes,
-            "{method} worker aux bytes"
-        );
+        assert_eq!(res.worker_aux_bytes, analytic.worker_aux_bytes, "{method} worker aux bytes");
     }
 }
 
@@ -143,11 +133,7 @@ fn quantized_uplink_trains_with_fewer_bytes() {
         r_quant.bytes_up,
         r_plain.bytes_up
     );
-    assert!(
-        r_quant.final_acc > 0.7,
-        "quantized DGS should still learn: {}",
-        r_quant.final_acc
-    );
+    assert!(r_quant.final_acc > 0.7, "quantized DGS should still learn: {}", r_quant.final_acc);
 }
 
 #[test]
