@@ -2,17 +2,29 @@
 //!
 //! Wire sizes drive both the traffic statistics and the DES transfer times,
 //! so they follow the encodings exactly: dense vectors cost `4·n` bytes
-//! plus a small header, sparse updates cost what
+//! plus the frame header, sparse updates cost what
 //! [`SparseUpdate::wire_bytes`](dgs_sparsify::SparseUpdate::wire_bytes)
-//! reports (4 bytes of header plus 8 per nonzero). Metadata that a real
-//! deployment would not transmit (the scalar training loss used for curve
-//! plotting) is excluded from the byte counts.
+//! reports (4 bytes of header plus 8 per nonzero). These are not
+//! estimates: `dgs-net` encodes every message to exactly these sizes
+//! (`encode(msg).len() == msg.wire_bytes()`, enforced by a compile-time
+//! assert on the header and per-variant codec tests), so simulated and
+//! real traffic counters agree byte-for-byte.
 
 use dgs_sparsify::{SparseUpdate, TernaryUpdate};
 use std::sync::Arc;
 
-/// Fixed per-message framing overhead (message type + worker id + length).
-pub const HEADER_BYTES: usize = 12;
+/// Fixed per-message framing overhead. This is the exact `dgs-net` frame
+/// header: magic (4) + version (1) + msg type (1) + worker id (2) +
+/// sequence (4) + payload length (4) + payload CRC-32 (4) = 20 bytes.
+/// `dgs_net::frame` statically asserts its header length equals this
+/// constant, so the two cannot drift apart.
+pub const HEADER_BYTES: usize = 20;
+
+/// Wire cost of the training-loss scalar carried by every uplink message
+/// (an 8-byte f64 prefix of the payload). Real deployments ship this
+/// metric too — it is how the coordinator plots training curves without a
+/// second channel — so it is wire-counted.
+pub const UP_LOSS_BYTES: usize = 8;
 
 /// Payload of a worker→server message: the worker's (learning-rate-scaled)
 /// model update for this iteration.
@@ -52,14 +64,16 @@ impl UpPayload {
 pub struct UpMsg {
     /// The model update.
     pub payload: UpPayload,
-    /// Minibatch training loss — metadata for curves, not wire-counted.
+    /// Minibatch training loss, shipped as an 8-byte payload prefix
+    /// (counted via [`UP_LOSS_BYTES`]).
     pub train_loss: f64,
 }
 
 impl UpMsg {
-    /// Exact bytes on the wire.
+    /// Exact bytes on the wire (payload + loss prefix; the frame header is
+    /// inside the payload's accounting).
     pub fn wire_bytes(&self) -> usize {
-        self.payload.wire_bytes()
+        self.payload.wire_bytes() + UP_LOSS_BYTES
     }
 }
 
@@ -93,9 +107,17 @@ mod tests {
     use dgs_sparsify::Partition;
 
     #[test]
+    fn header_matches_frame_layout() {
+        // magic + version + type + worker + seq + len + crc — the dgs-net
+        // frame header, also statically asserted in dgs_net::frame.
+        assert_eq!(HEADER_BYTES, 4 + 1 + 1 + 2 + 4 + 4 + 4);
+        assert_eq!(UP_LOSS_BYTES, std::mem::size_of::<f64>());
+    }
+
+    #[test]
     fn dense_up_bytes() {
         let up = UpMsg { payload: UpPayload::Dense(vec![0.0; 100]), train_loss: 1.0 };
-        assert_eq!(up.wire_bytes(), HEADER_BYTES + 400);
+        assert_eq!(up.wire_bytes(), HEADER_BYTES + UP_LOSS_BYTES + 400);
         assert_eq!(up.payload.nnz(), 100);
     }
 
@@ -104,7 +126,7 @@ mod tests {
         let flat: Vec<f32> = (0..50).map(|i| i as f32 - 25.0).collect();
         let part = Partition::single(50);
         let s = SparseUpdate::from_topk(&flat, &part, 0.1);
-        let expect = HEADER_BYTES + s.wire_bytes();
+        let expect = HEADER_BYTES + UP_LOSS_BYTES + s.wire_bytes();
         let up = UpMsg { payload: UpPayload::Sparse(s), train_loss: 0.0 };
         assert_eq!(up.wire_bytes(), expect);
     }

@@ -261,6 +261,36 @@ impl MdtServer {
         self.m.len()
     }
 
+    /// The initial model `θ_0`. Cross-process training fingerprints these
+    /// bytes in the handshake so a worker built from a different seed or
+    /// architecture is rejected before it can corrupt the run.
+    pub fn theta0(&self) -> &[f32] {
+        &self.theta0
+    }
+
+    /// Recovery path for a worker whose reply was lost in transit (the
+    /// dgs-net reconnect protocol): returns the full current model and
+    /// resets the worker's tracking state so the MDT invariant
+    /// `θ_worker = θ_0 + v_k` holds again. Specifically `v_k ← M` (the
+    /// worker will load exactly `θ_0 + M`), the dirty set becomes empty
+    /// (M − v_k is identically zero), and the worker's cursor advances to
+    /// now. Subsequent diffs resume the normal O(nnz) path.
+    pub fn resync_worker(&mut self, worker: usize) -> DownMsg {
+        self.prev[worker] = self.t;
+        match self.downlink {
+            Downlink::DenseModel => {
+                DownMsg::DenseModel(Arc::clone(self.model_cache.as_ref().expect("dense cache")))
+            }
+            Downlink::ModelDifference { .. } => {
+                self.v[worker].copy_from_slice(&self.m);
+                self.scratch.release(std::mem::take(&mut self.pending[worker]));
+                self.pending_valid[worker] = true;
+                self.retrack[worker] = true;
+                DownMsg::DenseModel(Arc::new(self.current_model()))
+            }
+        }
+    }
+
     /// Current server timestamp `t` (updates applied so far).
     pub fn timestamp(&self) -> u64 {
         self.t
@@ -1051,6 +1081,44 @@ mod tests {
             assert!(log_srv.pending[w].is_empty(), "stale pending should be dropped");
         }
         assert_eq!(log_srv.m(), dense_srv.m());
+    }
+
+    #[test]
+    fn resync_worker_restores_tracking_invariant() {
+        let part = part2();
+        let mut s = MdtServer::new(
+            vec![0.25; 6],
+            part.clone(),
+            2,
+            Downlink::ModelDifference { secondary_ratio: Some(0.34) }, // k=1/chunk
+        );
+        // Build up undelivered residue for worker 0.
+        for step in 0..5 {
+            let mut g = vec![0.0f32; 6];
+            g[step % 6] = 1.0 + step as f32;
+            g[(step + 3) % 6] = -2.0;
+            s.handle_update(1, &sparse_up(&part, &g));
+        }
+        s.handle_update(0, &sparse_up(&part, &[0.0; 6]));
+        assert!(!s.pending[0].is_empty(), "secondary compression must hold residue back");
+        // Resync: the worker receives θ_0 + M and the server's tracking
+        // matches it exactly.
+        let model = match s.resync_worker(0) {
+            DownMsg::DenseModel(m) => m,
+            other => panic!("expected dense model, got {other:?}"),
+        };
+        assert_eq!(model.as_slice(), s.current_model().as_slice());
+        assert_eq!(s.v(0), s.m(), "v_0 must land on M");
+        assert!(s.pending[0].is_empty() && s.pending_valid[0]);
+        // Training resumes normally: the next reply to worker 0 carries
+        // only differences accumulated after the resync.
+        let mut g = vec![0.0f32; 6];
+        g[2] = 0.5;
+        let reply = s.handle_update(0, &sparse_up(&part, &g));
+        match reply {
+            DownMsg::SparseDiff(d) => assert!(d.nnz() <= 2, "post-resync diff nnz {}", d.nnz()),
+            other => panic!("expected sparse diff, got {other:?}"),
+        }
     }
 
     #[test]

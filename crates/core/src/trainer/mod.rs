@@ -7,19 +7,24 @@
 //!   network (wall-clock experiments: Figs. 5-6).
 //! * [`sync`] — synchronous SSGD with an explicit barrier and straggler
 //!   model (the paper's motivating comparison, §1).
+//! * [`schedule`] — deterministic arrival schedules and the sequential
+//!   scheduled driver, the reference side of the transport differential
+//!   tests (`dgs-net`).
 //!
-//! All three produce the same [`RunResult`](crate::curves::RunResult) so
+//! All engines produce the same [`RunResult`](crate::curves::RunResult) so
 //! the experiment harness and plots treat them uniformly.
 
 pub mod des;
+pub mod schedule;
 pub mod single;
 pub mod sync;
 pub mod threaded;
 
 pub use des::{train_des, train_des_stragglers, DesParams, ServerCostModel};
+pub use schedule::{schedule_for, train_scheduled, Schedule, ScheduledRun};
 pub use single::train_msgd;
 pub use sync::{train_ssgd, SyncCompression};
-pub use threaded::train_async;
+pub use threaded::{build_participants, train_async, AsyncServerLogic};
 
 use dgs_nn::model::Network;
 

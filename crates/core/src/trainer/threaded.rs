@@ -18,8 +18,11 @@ use dgs_nn::model::Network;
 use dgs_psim::thread_engine::{run_cluster, ServerLogic, WorkerLogic};
 use std::sync::Arc;
 
-/// Server logic for the thread engine: MDT server plus curve recording.
-pub(crate) struct AsyncServerLogic {
+/// Server logic shared by every execution engine: MDT server plus curve
+/// recording and traffic accounting. The thread engine and the DES drive
+/// it in-process; `dgs-net` wraps it in an `UpdateHandler` to serve
+/// loopback and TCP transports.
+pub struct AsyncServerLogic {
     pub(crate) server: MdtServer,
     eval_net: Network,
     val: Arc<dyn Dataset>,
@@ -37,7 +40,9 @@ pub(crate) struct AsyncServerLogic {
 }
 
 impl AsyncServerLogic {
-    pub(crate) fn new(
+    /// Wraps a built server with eval/traffic recording. `total_updates`
+    /// sets the evaluation cadence.
+    pub fn new(
         server: MdtServer,
         eval_net: Network,
         val: Arc<dyn Dataset>,
@@ -63,8 +68,9 @@ impl AsyncServerLogic {
         }
     }
 
-    /// Core handling shared by the thread engine and the DES.
-    pub(crate) fn process(&mut self, worker: usize, req: UpMsg) -> DownMsg {
+    /// Core handling shared by every engine: accounts the traffic, applies
+    /// the update, records curve points on the eval cadence.
+    pub fn process(&mut self, worker: usize, req: UpMsg) -> DownMsg {
         self.bytes_up += req.wire_bytes() as u64;
         self.loss_sum += req.train_loss;
         self.loss_n += 1;
@@ -92,7 +98,27 @@ impl AsyncServerLogic {
         reply
     }
 
-    pub(crate) fn into_result(
+    /// Recovery for a worker whose reply was lost (see
+    /// [`MdtServer::resync_worker`]); the dense reply is charged to the
+    /// downlink like any other data message.
+    pub fn resync(&mut self, worker: usize) -> DownMsg {
+        let reply = self.server.resync_worker(worker);
+        self.bytes_down += reply.wire_bytes() as u64;
+        reply
+    }
+
+    /// The wrapped MDT server.
+    pub fn server(&self) -> &MdtServer {
+        &self.server
+    }
+
+    /// Accumulated (uplink, downlink) data bytes.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.bytes_up, self.bytes_down)
+    }
+
+    /// Finalises the run record.
+    pub fn into_result(
         self,
         cfg: TrainConfig,
         wall_secs: f64,
@@ -146,8 +172,9 @@ impl WorkerLogic for TrainWorker {
     }
 }
 
-/// Assembles server + workers for a config. Shared by both engines.
-pub(crate) fn build_participants(
+/// Assembles server + workers for a config. Shared by the thread engine,
+/// the DES, the scheduled driver, and the cross-process runtime.
+pub fn build_participants(
     cfg: &TrainConfig,
     build_model: ModelBuilder<'_>,
     train: &Arc<dyn Dataset>,

@@ -1,0 +1,502 @@
+//! Payload codec: byte encodings for every [`UpMsg`]/[`DownMsg`] variant
+//! plus the handshake payload.
+//!
+//! All integers and floats are little-endian, matching the simulated COO
+//! encodings in `dgs_sparsify` (`SparseUpdate::encode` / `TernaryUpdate::
+//! encode`). The invariant this module exists to uphold:
+//!
+//! > `encode_up_frame(..).len() == up.wire_bytes()` and
+//! > `encode_down_frame(..).len() == down.wire_bytes()` for every message.
+//!
+//! so the byte counters of a real socket run are equal — not approximately,
+//! *equal* — to what the discrete-event simulator charges for the same
+//! message sequence.
+//!
+//! Body layouts (the 20-byte frame header from [`crate::frame`] precedes
+//! each):
+//!
+//! ```text
+//! UpDense    := [train_loss: f64] [val: f32]*n            (n from frame len)
+//! UpSparse   := [train_loss: f64] SparseBody
+//! UpTernary  := [train_loss: f64] TernaryBody
+//! DownDense  := [val: f32]*n
+//! DownSparse := SparseBody
+//! SparseBody := [num_chunks: u32] ([nnz: u32] [idx: u32]*nnz [val: f32]*nnz)*
+//! TernaryBody:= [num_chunks: u32] ([scale: f32] [nnz: u32] [idx: u32]*nnz
+//!                                  [signs: u8]*ceil(nnz/8))*
+//! Hello/Ack  := [dim: u64] [applied: u64] [theta0_crc: u32]
+//! ```
+//!
+//! Decoding is defensive: every length is checked against the remaining
+//! buffer before use, allocations are bounded by what was actually
+//! received, and malformed input returns [`NetError`] — never a panic or
+//! an over-read.
+
+use crate::error::{NetError, NetResult};
+use crate::frame::{encode_frame, MsgType, HEADER_LEN};
+use crate::msg::{
+    DownMsg, SparseUpdate, SparseVec, TernaryUpdate, TernaryVec, UpMsg, UpPayload, UP_LOSS_BYTES,
+};
+use std::sync::Arc;
+
+/// Handshake payload, sent as [`MsgType::Hello`] by the worker and echoed
+/// (with the server's own view) as [`MsgType::HelloAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Model dimensionality — both sides must agree exactly.
+    pub dim: u64,
+    /// Number of updates from this worker the sender has seen applied
+    /// (worker: replies applied locally; server: updates folded into `M`).
+    /// The reconnect protocol compares the two to decide between
+    /// retransmission and resynchronisation.
+    pub applied: u64,
+    /// CRC-32 of the initial model `θ_0` (little-endian f32 bytes): both
+    /// processes must have built the same starting point.
+    pub theta0_crc: u32,
+}
+
+/// Encoded size of a [`Hello`] payload.
+pub const HELLO_BYTES: usize = 8 + 8 + 4;
+
+impl Hello {
+    /// Encodes the handshake payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HELLO_BYTES);
+        buf.extend_from_slice(&self.dim.to_le_bytes());
+        buf.extend_from_slice(&self.applied.to_le_bytes());
+        buf.extend_from_slice(&self.theta0_crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a handshake payload.
+    pub fn decode(payload: &[u8]) -> NetResult<Hello> {
+        let mut r = Reader::new(payload);
+        let hello = Hello { dim: r.u64()?, applied: r.u64()?, theta0_crc: r.u32()? };
+        r.finish()?;
+        Ok(hello)
+    }
+}
+
+/// The frame type an uplink payload travels as.
+pub fn up_msg_type(payload: &UpPayload) -> MsgType {
+    match payload {
+        UpPayload::Dense(_) => MsgType::UpDense,
+        UpPayload::Sparse(_) => MsgType::UpSparse,
+        UpPayload::TernarySparse(_) => MsgType::UpTernary,
+    }
+}
+
+/// The frame type a downlink message travels as.
+pub fn down_msg_type(down: &DownMsg) -> MsgType {
+    match down {
+        DownMsg::DenseModel(_) => MsgType::DownDense,
+        DownMsg::SparseDiff(_) => MsgType::DownSparse,
+    }
+}
+
+/// Encodes an uplink body (loss prefix + payload).
+pub fn encode_up_payload(up: &UpMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(up.wire_bytes() - HEADER_LEN);
+    buf.extend_from_slice(&up.train_loss.to_le_bytes());
+    match &up.payload {
+        UpPayload::Dense(v) => put_f32s(&mut buf, v),
+        UpPayload::Sparse(s) => put_sparse(&mut buf, s),
+        UpPayload::TernarySparse(t) => put_ternary(&mut buf, t),
+    }
+    buf
+}
+
+/// Encodes a downlink body.
+pub fn encode_down_payload(down: &DownMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(down.wire_bytes() - HEADER_LEN);
+    match down {
+        DownMsg::DenseModel(v) => put_f32s(&mut buf, v),
+        DownMsg::SparseDiff(s) => put_sparse(&mut buf, s),
+    }
+    buf
+}
+
+/// Encodes a complete uplink frame. Its length equals `up.wire_bytes()` —
+/// the codec-level guarantee that keeps real and simulated traffic
+/// accounting identical (unit-tested below for every variant).
+pub fn encode_up_frame(worker: u16, seq: u32, up: &UpMsg) -> Vec<u8> {
+    let frame = encode_frame(up_msg_type(&up.payload), worker, seq, &encode_up_payload(up));
+    debug_assert_eq!(frame.len(), up.wire_bytes());
+    frame
+}
+
+/// Encodes a complete downlink frame; length equals `down.wire_bytes()`.
+pub fn encode_down_frame(worker: u16, seq: u32, down: &DownMsg) -> Vec<u8> {
+    let frame = encode_frame(down_msg_type(down), worker, seq, &encode_down_payload(down));
+    debug_assert_eq!(frame.len(), down.wire_bytes());
+    frame
+}
+
+/// Decodes an uplink body for the given frame type.
+pub fn decode_up(msg_type: MsgType, payload: &[u8]) -> NetResult<UpMsg> {
+    let mut r = Reader::new(payload);
+    let train_loss = r.f64()?;
+    let payload = match msg_type {
+        MsgType::UpDense => UpPayload::Dense(r.rest_f32s()?),
+        MsgType::UpSparse => UpPayload::Sparse(take_sparse(&mut r)?),
+        MsgType::UpTernary => UpPayload::TernarySparse(take_ternary(&mut r)?),
+        other => return Err(NetError::Protocol(format!("{other:?} is not an uplink data frame"))),
+    };
+    r.finish()?;
+    Ok(UpMsg { payload, train_loss })
+}
+
+/// Decodes a downlink body for the given frame type.
+pub fn decode_down(msg_type: MsgType, payload: &[u8]) -> NetResult<DownMsg> {
+    let mut r = Reader::new(payload);
+    let down = match msg_type {
+        MsgType::DownDense => DownMsg::DenseModel(Arc::new(r.rest_f32s()?)),
+        MsgType::DownSparse => DownMsg::SparseDiff(take_sparse(&mut r)?),
+        other => return Err(NetError::Protocol(format!("{other:?} is not a downlink data frame"))),
+    };
+    r.finish()?;
+    Ok(down)
+}
+
+/// Loss-prefix size re-exported for size arithmetic at call sites.
+pub const LOSS_BYTES: usize = UP_LOSS_BYTES;
+
+// ---------------------------------------------------------------------------
+// body primitives
+
+fn put_f32s(buf: &mut Vec<u8>, vals: &[f32]) {
+    buf.reserve(4 * vals.len());
+    for &v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_sparse(buf: &mut Vec<u8>, s: &SparseUpdate) {
+    buf.extend_from_slice(&(s.chunks.len() as u32).to_le_bytes());
+    for chunk in &s.chunks {
+        buf.extend_from_slice(&(chunk.idx.len() as u32).to_le_bytes());
+        for &i in &chunk.idx {
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        for &v in &chunk.val {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn put_ternary(buf: &mut Vec<u8>, t: &TernaryUpdate) {
+    buf.extend_from_slice(&(t.chunks.len() as u32).to_le_bytes());
+    for chunk in &t.chunks {
+        buf.extend_from_slice(&chunk.scale.to_le_bytes());
+        buf.extend_from_slice(&(chunk.idx.len() as u32).to_le_bytes());
+        for &i in &chunk.idx {
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        buf.extend_from_slice(&chunk.signs);
+    }
+}
+
+fn take_sparse(r: &mut Reader<'_>) -> NetResult<SparseUpdate> {
+    let num_chunks = r.u32()? as usize;
+    // Each chunk costs at least 4 bytes; a larger count is a lie.
+    if num_chunks > r.remaining() / 4 {
+        return Err(NetError::Malformed("sparse chunk count exceeds payload"));
+    }
+    let mut chunks = Vec::with_capacity(num_chunks);
+    for _ in 0..num_chunks {
+        let nnz = r.u32()? as usize;
+        if nnz > r.remaining() / 8 {
+            return Err(NetError::Malformed("sparse nnz exceeds payload"));
+        }
+        let mut idx = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            idx.push(r.u32()?);
+        }
+        let mut val = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            val.push(r.f32()?);
+        }
+        chunks.push(SparseVec { idx, val });
+    }
+    Ok(SparseUpdate { chunks })
+}
+
+fn take_ternary(r: &mut Reader<'_>) -> NetResult<TernaryUpdate> {
+    let num_chunks = r.u32()? as usize;
+    // Each ternary chunk costs at least 8 bytes (scale + count).
+    if num_chunks > r.remaining() / 8 {
+        return Err(NetError::Malformed("ternary chunk count exceeds payload"));
+    }
+    let mut chunks = Vec::with_capacity(num_chunks);
+    for _ in 0..num_chunks {
+        let scale = r.f32()?;
+        let nnz = r.u32()? as usize;
+        let sign_bytes = nnz.div_ceil(8);
+        if nnz > r.remaining() / 4 || sign_bytes > r.remaining().saturating_sub(4 * nnz) {
+            return Err(NetError::Malformed("ternary nnz exceeds payload"));
+        }
+        let mut idx = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            idx.push(r.u32()?);
+        }
+        let signs = r.bytes(sign_bytes)?.to_vec();
+        chunks.push(TernaryVec { scale, idx, signs });
+    }
+    Ok(TernaryUpdate { chunks })
+}
+
+/// Bounds-checked little-endian reader over a received payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> NetResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(NetError::Malformed("payload truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> NetResult<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> NetResult<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> NetResult<f32> {
+        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> NetResult<f64> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Consumes the rest of the payload as f32s; errors unless the
+    /// remainder is f32-aligned.
+    fn rest_f32s(&mut self) -> NetResult<Vec<f32>> {
+        if self.remaining() % 4 != 0 {
+            return Err(NetError::Malformed("dense payload not f32-aligned"));
+        }
+        let mut out = Vec::with_capacity(self.remaining() / 4);
+        while self.remaining() > 0 {
+            out.push(self.f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts full consumption — trailing garbage is malformed input.
+    fn finish(self) -> NetResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(NetError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_fixture() -> SparseUpdate {
+        SparseUpdate {
+            chunks: vec![
+                SparseVec { idx: vec![1, 5, 9], val: vec![0.5, -2.0, 3.25] },
+                SparseVec { idx: vec![], val: vec![] },
+                SparseVec { idx: vec![0], val: vec![f32::MIN_POSITIVE] },
+            ],
+        }
+    }
+
+    fn ternary_fixture() -> TernaryUpdate {
+        TernaryUpdate {
+            chunks: vec![
+                TernaryVec {
+                    scale: 1.5,
+                    idx: vec![2, 4, 6, 8, 10, 12, 14, 16, 18],
+                    signs: vec![0b1010_1010, 0b1],
+                },
+                TernaryVec { scale: 0.0, idx: vec![], signs: vec![] },
+            ],
+        }
+    }
+
+    fn roundtrip_up(up: &UpMsg) {
+        let frame = encode_up_frame(3, 7, up);
+        assert_eq!(frame.len(), up.wire_bytes(), "frame length must equal wire accounting");
+        let (h, body) =
+            crate::frame::read_frame(&mut std::io::Cursor::new(&frame), frame.len()).unwrap();
+        assert_eq!(h.worker, 3);
+        assert_eq!(h.seq, 7);
+        let back = decode_up(h.msg_type, &body).unwrap();
+        assert_eq!(back.train_loss.to_bits(), up.train_loss.to_bits());
+        match (&back.payload, &up.payload) {
+            (UpPayload::Dense(a), UpPayload::Dense(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (UpPayload::Sparse(a), UpPayload::Sparse(b)) => assert_eq!(a, b),
+            (UpPayload::TernarySparse(a), UpPayload::TernarySparse(b)) => assert_eq!(a, b),
+            _ => panic!("variant changed in roundtrip"),
+        }
+    }
+
+    #[test]
+    fn dense_up_roundtrips_bit_exactly() {
+        let v = vec![0.0f32, -0.0, 1.5, f32::NAN, f32::INFINITY, -123.456, f32::MIN_POSITIVE];
+        roundtrip_up(&UpMsg { payload: UpPayload::Dense(v), train_loss: 0.75 });
+    }
+
+    #[test]
+    fn sparse_up_roundtrips() {
+        roundtrip_up(&UpMsg { payload: UpPayload::Sparse(sparse_fixture()), train_loss: 1e-9 });
+    }
+
+    #[test]
+    fn ternary_up_roundtrips() {
+        roundtrip_up(&UpMsg {
+            payload: UpPayload::TernarySparse(ternary_fixture()),
+            train_loss: f64::MAX,
+        });
+    }
+
+    #[test]
+    fn down_variants_roundtrip_and_match_wire_bytes() {
+        let dense = DownMsg::DenseModel(Arc::new(vec![1.0f32, -2.5, 0.0, 42.0]));
+        let sparse = DownMsg::SparseDiff(sparse_fixture());
+        for down in [dense, sparse] {
+            let frame = encode_down_frame(1, 2, &down);
+            assert_eq!(frame.len(), down.wire_bytes());
+            let (h, body) =
+                crate::frame::read_frame(&mut std::io::Cursor::new(&frame), frame.len()).unwrap();
+            let back = decode_down(h.msg_type, &body).unwrap();
+            match (&back, &down) {
+                (DownMsg::DenseModel(a), DownMsg::DenseModel(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                (DownMsg::SparseDiff(a), DownMsg::SparseDiff(b)) => assert_eq!(a, b),
+                _ => panic!("variant changed"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip() {
+        roundtrip_up(&UpMsg { payload: UpPayload::Dense(vec![]), train_loss: 0.0 });
+        roundtrip_up(&UpMsg {
+            payload: UpPayload::Sparse(SparseUpdate { chunks: vec![] }),
+            train_loss: 0.0,
+        });
+        roundtrip_up(&UpMsg {
+            payload: UpPayload::TernarySparse(TernaryUpdate { chunks: vec![] }),
+            train_loss: 0.0,
+        });
+    }
+
+    #[test]
+    fn hello_roundtrip_and_size() {
+        let hello = Hello { dim: 123_456_789_012, applied: 42, theta0_crc: 0xDEAD_BEEF };
+        let enc = hello.encode();
+        assert_eq!(enc.len(), HELLO_BYTES);
+        assert_eq!(Hello::decode(&enc).unwrap(), hello);
+        assert!(Hello::decode(&enc[..HELLO_BYTES - 1]).is_err());
+        let mut long = enc.clone();
+        long.push(0);
+        assert!(Hello::decode(&long).is_err());
+    }
+
+    #[test]
+    fn golden_sparse_body_layout() {
+        // Pin the byte-for-byte body so the layout can never silently
+        // change: one chunk, nnz=2, idx [3, 7], val [1.0, -2.0].
+        let s = SparseUpdate { chunks: vec![SparseVec { idx: vec![3, 7], val: vec![1.0, -2.0] }] };
+        let up = UpMsg { payload: UpPayload::Sparse(s), train_loss: 2.0 };
+        let body = encode_up_payload(&up);
+        let expect: Vec<u8> = [
+            2.0f64.to_le_bytes().as_slice(), // train loss
+            &1u32.to_le_bytes(),             // num_chunks
+            &2u32.to_le_bytes(),             // nnz
+            &3u32.to_le_bytes(),             // idx[0]
+            &7u32.to_le_bytes(),             // idx[1]
+            &1.0f32.to_le_bytes(),           // val[0]
+            &(-2.0f32).to_le_bytes(),        // val[1]
+        ]
+        .concat();
+        assert_eq!(body, expect);
+    }
+
+    #[test]
+    fn golden_ternary_body_layout() {
+        let t = TernaryUpdate {
+            chunks: vec![TernaryVec { scale: 0.5, idx: vec![1, 9], signs: vec![0b10] }],
+        };
+        let down_body = {
+            let up = UpMsg { payload: UpPayload::TernarySparse(t), train_loss: 0.0 };
+            encode_up_payload(&up)
+        };
+        let expect: Vec<u8> = [
+            0.0f64.to_le_bytes().as_slice(), // loss
+            &1u32.to_le_bytes(),             // num_chunks
+            &0.5f32.to_le_bytes(),           // scale
+            &2u32.to_le_bytes(),             // nnz
+            &1u32.to_le_bytes(),             // idx[0]
+            &9u32.to_le_bytes(),             // idx[1]
+            &[0b10u8],                       // signs
+        ]
+        .concat();
+        assert_eq!(down_body, expect);
+    }
+
+    #[test]
+    fn malformed_bodies_error_not_panic() {
+        // Truncations at every length of a valid sparse uplink body.
+        let up = UpMsg { payload: UpPayload::Sparse(sparse_fixture()), train_loss: 1.0 };
+        let body = encode_up_payload(&up);
+        for cut in 0..body.len() {
+            assert!(decode_up(MsgType::UpSparse, &body[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut long = body.clone();
+        long.push(7);
+        assert!(decode_up(MsgType::UpSparse, &long).is_err());
+        // A lying chunk count cannot cause a huge allocation or over-read.
+        let mut forged = 1.0f64.to_le_bytes().to_vec();
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_up(MsgType::UpSparse, &forged).is_err());
+        assert!(decode_up(MsgType::UpTernary, &forged).is_err());
+        // Dense body not f32-aligned.
+        let mut misaligned = 0.0f64.to_le_bytes().to_vec();
+        misaligned.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_up(MsgType::UpDense, &misaligned).is_err());
+        // A lying nnz inside an otherwise fine chunk list.
+        let mut forged_nnz = 0.0f64.to_le_bytes().to_vec();
+        forged_nnz.extend_from_slice(&1u32.to_le_bytes());
+        forged_nnz.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(decode_up(MsgType::UpSparse, &forged_nnz).is_err());
+    }
+
+    #[test]
+    fn control_types_rejected_as_data() {
+        assert!(decode_up(MsgType::Hello, &0.0f64.to_le_bytes()).is_err());
+        assert!(decode_down(MsgType::Heartbeat, &[]).is_err());
+        assert!(decode_down(MsgType::UpSparse, &[]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! CRC-32 (IEEE 802.3 / zlib polynomial), table-driven, `std`-only.
+//!
+//! Every frame header carries a CRC32 of its payload so corruption in
+//! transit is detected before a payload is decoded. The table is built at
+//! compile time; the streaming form ([`crc32_update`]) lets callers fold
+//! large payloads without concatenating buffers.
+
+/// Reflected polynomial for CRC-32 (IEEE).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Folds `data` into a running CRC state. Start from [`CRC_INIT`] and
+/// finish with [`crc32_finish`].
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Initial state for a streaming CRC32.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Final xor for a streaming CRC32.
+pub fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
+}
+
+/// CRC32 of a complete buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // Used by the golden frame fixtures in codec.rs.
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let oneshot = crc32(&data);
+        let mut state = CRC_INIT;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(crc32_finish(state), oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"parameter server frame".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

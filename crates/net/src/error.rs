@@ -1,0 +1,132 @@
+//! Transport and codec errors.
+//!
+//! Every malformed frame maps to a variant here — the codec and framing
+//! layers return errors and never panic or over-read, so a hostile or
+//! corrupted peer cannot take the server down (tested in `frame.rs` and
+//! `codec.rs`, plus the proptest corruption suite).
+
+use std::fmt;
+use std::io;
+
+/// Result alias for dgs-net operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket/stream failure.
+    Io(io::Error),
+    /// Frame did not start with the protocol magic.
+    BadMagic([u8; 4]),
+    /// Peer speaks an incompatible protocol version.
+    BadVersion(u8),
+    /// Unknown message-type byte in the frame header.
+    BadMsgType(u8),
+    /// Payload checksum mismatch (corruption in transit).
+    BadCrc {
+        /// CRC32 declared in the frame header.
+        expected: u32,
+        /// CRC32 computed over the received payload.
+        actual: u32,
+    },
+    /// Declared payload length exceeds the negotiated maximum — rejected
+    /// before any allocation so a bogus length cannot balloon memory.
+    Oversized {
+        /// Length declared in the frame header.
+        len: usize,
+        /// Maximum this endpoint accepts.
+        max: usize,
+    },
+    /// Payload body failed to decode (truncated or inconsistent counts).
+    Malformed(&'static str),
+    /// Peer closed the connection at a frame boundary.
+    Closed,
+    /// Handshake rejected (dim/θ0 mismatch, duplicate worker id, …).
+    Handshake(String),
+    /// Protocol state violation (unexpected message type, bad sequence).
+    Protocol(String),
+    /// The peer reported an error frame; contains its reason.
+    Remote(String),
+}
+
+impl NetError {
+    /// True for read timeouts — the caller should heartbeat and retry
+    /// rather than tear the connection down.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+
+    /// True for failures where reconnecting can help (I/O errors and
+    /// connection closure — not protocol or handshake rejections).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::Closed) && !self.is_timeout()
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            NetError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            NetError::BadMsgType(t) => write!(f, "unknown message type {t:#04x}"),
+            NetError::BadCrc { expected, actual } => {
+                write!(f, "payload crc mismatch: header {expected:#010x}, computed {actual:#010x}")
+            }
+            NetError::Oversized { len, max } => {
+                write!(f, "declared payload length {len} exceeds maximum {max}")
+            }
+            NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Handshake(why) => write!(f, "handshake rejected: {why}"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Remote(why) => write!(f, "peer reported error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_detection() {
+        let t = NetError::Io(io::Error::new(io::ErrorKind::WouldBlock, "t"));
+        assert!(t.is_timeout());
+        assert!(!t.is_recoverable());
+        let t = NetError::Io(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        assert!(t.is_timeout());
+        let hard = NetError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "r"));
+        assert!(!hard.is_timeout());
+        assert!(hard.is_recoverable());
+        assert!(NetError::Closed.is_recoverable());
+        assert!(!NetError::Handshake("v".into()).is_recoverable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = NetError::BadCrc { expected: 1, actual: 2 }.to_string();
+        assert!(s.contains("crc"));
+        let s = NetError::Oversized { len: 10, max: 5 }.to_string();
+        assert!(s.contains("10") && s.contains('5'));
+    }
+}

@@ -1,0 +1,390 @@
+//! Length-delimited binary framing.
+//!
+//! Every message — data or control — travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        b"DGS1"
+//!      4     1  version      protocol version (currently 1)
+//!      5     1  msg_type     see [`MsgType`]
+//!      6     2  worker_id    u16 LE (0 on frames where it is meaningless)
+//!      8     4  seq          u32 LE per-worker update sequence (0 = none)
+//!     12     4  payload_len  u32 LE
+//!     16     4  crc32        u32 LE, CRC-32 (IEEE) of the payload bytes
+//!     20     …  payload
+//! ```
+//!
+//! The header is exactly [`HEADER_BYTES`] = 20 bytes — the same constant
+//! `dgs_core::protocol` charges per message in the simulated wire
+//! accounting, asserted at compile time below so the simulated and real
+//! byte counts can never drift.
+//!
+//! Reading is strictly bounded: the declared payload length is validated
+//! against the caller's maximum *before* any allocation, the body is read
+//! with `read_exact` (never past the frame), and a CRC mismatch or bad
+//! magic is an error, never a panic.
+
+use crate::crc::crc32;
+use crate::error::{NetError, NetResult};
+use crate::msg::HEADER_BYTES;
+use std::io::{ErrorKind, Read, Write};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"DGS1";
+
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes; must equal the simulated accounting's
+/// [`HEADER_BYTES`].
+pub const HEADER_LEN: usize = 20;
+
+// The wire header and the simulated per-message overhead are the same
+// number by construction; a drift is a compile error.
+const _: () = assert!(HEADER_LEN == HEADER_BYTES, "frame header must match HEADER_BYTES");
+
+/// Frame discriminator. Data frames (`Up*`/`Down*`) carry training
+/// payloads and are charged to the data byte counters; everything else is
+/// control traffic (handshake, heartbeats, shutdown, errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Worker→server dense update (ASGD uplink).
+    UpDense = 0x01,
+    /// Worker→server sparse Top-k update (GD-async / DGC-async / DGS).
+    UpSparse = 0x02,
+    /// Worker→server ternary-quantized sparse update (§6 extension).
+    UpTernary = 0x03,
+    /// Worker→server resynchronisation request (after a lost reply the
+    /// worker's model no longer matches the server's `v_k`; the server
+    /// answers with a dense model and resets its tracking).
+    Resync = 0x04,
+    /// Server→worker dense model (ASGD downlink, or a resync reply).
+    DownDense = 0x11,
+    /// Server→worker sparse model difference (MDT downlink).
+    DownSparse = 0x12,
+    /// Worker→server handshake: version (header), dim, applied count, θ0
+    /// checksum.
+    Hello = 0x21,
+    /// Server→worker handshake acknowledgement; mirrors [`MsgType::Hello`].
+    HelloAck = 0x22,
+    /// Worker→server liveness probe while waiting on a slow reply.
+    Heartbeat = 0x31,
+    /// Server→worker liveness answer.
+    HeartbeatAck = 0x32,
+    /// Worker→server graceful end-of-run. The byte stream is ordered, so
+    /// any in-flight update was already drained before this arrives.
+    Shutdown = 0x41,
+    /// Server→worker shutdown acknowledgement.
+    ShutdownAck = 0x42,
+    /// Either direction: fatal condition description (UTF-8 payload).
+    Error = 0x51,
+}
+
+impl MsgType {
+    /// Parses a wire byte.
+    pub fn from_u8(b: u8) -> Option<MsgType> {
+        Some(match b {
+            0x01 => MsgType::UpDense,
+            0x02 => MsgType::UpSparse,
+            0x03 => MsgType::UpTernary,
+            0x04 => MsgType::Resync,
+            0x11 => MsgType::DownDense,
+            0x12 => MsgType::DownSparse,
+            0x21 => MsgType::Hello,
+            0x22 => MsgType::HelloAck,
+            0x31 => MsgType::Heartbeat,
+            0x32 => MsgType::HeartbeatAck,
+            0x41 => MsgType::Shutdown,
+            0x42 => MsgType::ShutdownAck,
+            0x51 => MsgType::Error,
+            _ => return None,
+        })
+    }
+
+    /// True for frames carrying training payloads (counted as data bytes).
+    pub fn is_data(self) -> bool {
+        matches!(
+            self,
+            MsgType::UpDense
+                | MsgType::UpSparse
+                | MsgType::UpTernary
+                | MsgType::DownDense
+                | MsgType::DownSparse
+        )
+    }
+
+    /// True for worker→server frames.
+    pub fn is_up(self) -> bool {
+        matches!(
+            self,
+            MsgType::UpDense
+                | MsgType::UpSparse
+                | MsgType::UpTernary
+                | MsgType::Resync
+                | MsgType::Hello
+                | MsgType::Heartbeat
+                | MsgType::Shutdown
+        )
+    }
+}
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version from the wire.
+    pub version: u8,
+    /// Message discriminator.
+    pub msg_type: MsgType,
+    /// Sending/addressed worker id.
+    pub worker: u16,
+    /// Per-worker update sequence number (0 when not applicable).
+    pub seq: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// Encodes a complete frame (header + payload) into a fresh buffer. The
+/// returned length is exactly `HEADER_LEN + payload.len()`.
+pub fn encode_frame(msg_type: MsgType, worker: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(msg_type as u8);
+    buf.extend_from_slice(&worker.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame; returns the exact number of bytes put on the wire.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    msg_type: MsgType,
+    worker: u16,
+    seq: u32,
+    payload: &[u8],
+) -> NetResult<usize> {
+    let frame = encode_frame(msg_type, worker, seq, payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Parses a 20-byte header buffer (magic/version/type validation only —
+/// the CRC is checked against the body by [`read_frame`]).
+pub fn parse_header(raw: &[u8; HEADER_LEN]) -> NetResult<FrameHeader> {
+    if raw[0..4] != MAGIC {
+        return Err(NetError::BadMagic([raw[0], raw[1], raw[2], raw[3]]));
+    }
+    let version = raw[4];
+    if version != VERSION {
+        return Err(NetError::BadVersion(version));
+    }
+    let msg_type = MsgType::from_u8(raw[5]).ok_or(NetError::BadMsgType(raw[5]))?;
+    Ok(FrameHeader {
+        version,
+        msg_type,
+        worker: u16::from_le_bytes([raw[6], raw[7]]),
+        seq: u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]),
+        len: u32::from_le_bytes([raw[12], raw[13], raw[14], raw[15]]),
+        crc: u32::from_le_bytes([raw[16], raw[17], raw[18], raw[19]]),
+    })
+}
+
+/// Reads one frame. `max_payload` bounds the declared length *before* any
+/// allocation. A clean EOF at a frame boundary is [`NetError::Closed`];
+/// EOF mid-frame is an I/O error (truncation).
+pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> NetResult<(FrameHeader, Vec<u8>)> {
+    let mut raw = [0u8; HEADER_LEN];
+    // First byte distinguishes clean close from truncation.
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut raw[got..]) {
+            Ok(0) if got == 0 => return Err(NetError::Closed),
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // With nothing consumed, a timeout is clean: the caller can
+            // heartbeat and come back. Mid-header, the peer has stalled
+            // and retrying would desynchronise the stream — fail hard.
+            Err(e) if got == 0 => return Err(NetError::Io(e)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "peer stalled inside frame header",
+                )))
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    let header = parse_header(&raw)?;
+    let len = header.len as usize;
+    if len > max_payload {
+        return Err(NetError::Oversized { len, max: max_payload });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "peer stalled inside frame payload",
+                )))
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    let actual = crc32(&payload);
+    if actual != header.crc {
+        return Err(NetError::BadCrc { expected: header.crc, actual });
+    }
+    Ok((header, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn header_is_exactly_header_bytes() {
+        // The layout: 4 magic + 1 version + 1 type + 2 worker + 4 seq +
+        // 4 len + 4 crc.
+        assert_eq!(4 + 1 + 1 + 2 + 4 + 4 + 4, HEADER_LEN);
+        assert_eq!(HEADER_LEN, HEADER_BYTES);
+        let frame = encode_frame(MsgType::Heartbeat, 0, 0, &[]);
+        assert_eq!(frame.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn roundtrip_with_payload() {
+        let payload = b"some bytes".to_vec();
+        let frame = encode_frame(MsgType::UpSparse, 7, 42, &payload);
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        let (h, body) = read_frame(&mut Cursor::new(&frame), 1024).unwrap();
+        assert_eq!(h.msg_type, MsgType::UpSparse);
+        assert_eq!(h.worker, 7);
+        assert_eq!(h.seq, 42);
+        assert_eq!(h.len as usize, payload.len());
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn golden_header_bytes() {
+        // Pin the exact layout so accidental field reorders fail loudly.
+        let frame = encode_frame(MsgType::UpDense, 0x0102, 0x0304_0506, b"\x09");
+        assert_eq!(&frame[0..4], b"DGS1");
+        assert_eq!(frame[4], 1); // version
+        assert_eq!(frame[5], 0x01); // UpDense
+        assert_eq!(&frame[6..8], &[0x02, 0x01]); // worker LE
+        assert_eq!(&frame[8..12], &[0x06, 0x05, 0x04, 0x03]); // seq LE
+        assert_eq!(&frame[12..16], &[0x01, 0x00, 0x00, 0x00]); // len LE
+        assert_eq!(&frame[16..20], &crate::crc::crc32(b"\x09").to_le_bytes());
+        assert_eq!(frame[20], 0x09);
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut Cursor::new(empty), 64), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error() {
+        let frame = encode_frame(MsgType::DownSparse, 1, 1, b"payload");
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN, frame.len() - 1] {
+            let err = read_frame(&mut Cursor::new(&frame[..cut]), 64).unwrap_err();
+            assert!(
+                matches!(err, NetError::Io(_)),
+                "cut {cut} should be a truncation error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]);
+        frame[0] = b'X';
+        assert!(matches!(read_frame(&mut Cursor::new(&frame), 64), Err(NetError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]);
+        frame[4] = 99;
+        assert!(matches!(read_frame(&mut Cursor::new(&frame), 64), Err(NetError::BadVersion(99))));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]);
+        frame[5] = 0x7F;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), 64),
+            Err(NetError::BadMsgType(0x7F))
+        ));
+    }
+
+    #[test]
+    fn oversized_len_rejected_before_allocation() {
+        let mut frame = encode_frame(MsgType::UpDense, 0, 1, &[0u8; 8]);
+        // Forge a 4 GiB-ish declared length; read_frame must refuse based
+        // on the cap alone, without attempting the allocation.
+        frame[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&frame), 1 << 20).unwrap_err();
+        assert!(matches!(err, NetError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut frame = encode_frame(MsgType::DownDense, 3, 9, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        assert!(matches!(read_frame(&mut Cursor::new(&frame), 64), Err(NetError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn msg_type_roundtrip_and_classes() {
+        for ty in [
+            MsgType::UpDense,
+            MsgType::UpSparse,
+            MsgType::UpTernary,
+            MsgType::Resync,
+            MsgType::DownDense,
+            MsgType::DownSparse,
+            MsgType::Hello,
+            MsgType::HelloAck,
+            MsgType::Heartbeat,
+            MsgType::HeartbeatAck,
+            MsgType::Shutdown,
+            MsgType::ShutdownAck,
+            MsgType::Error,
+        ] {
+            assert_eq!(MsgType::from_u8(ty as u8), Some(ty));
+        }
+        assert_eq!(MsgType::from_u8(0x00), None);
+        assert!(MsgType::UpDense.is_data() && MsgType::UpDense.is_up());
+        assert!(MsgType::DownSparse.is_data() && !MsgType::DownSparse.is_up());
+        assert!(!MsgType::Hello.is_data() && MsgType::Hello.is_up());
+        assert!(!MsgType::HelloAck.is_up());
+    }
+}

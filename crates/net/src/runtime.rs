@@ -1,0 +1,239 @@
+//! Glue between the transports and the training stack.
+//!
+//! * [`LogicHandler`] adapts `AsyncServerLogic` (the engine-shared server
+//!   logic: MDT server + curves + traffic accounting) to the transport
+//!   layer's [`UpdateHandler`] seam, adding the per-worker applied
+//!   counters the reconnect protocol needs.
+//! * [`train_loopback`] replays a pinned [`Schedule`] with every message
+//!   round-tripped through the codec — the transport side of the
+//!   differential test against `train_scheduled`.
+//! * [`serve_training`] / [`run_worker`] are the process-mode halves that
+//!   `dgs-cli serve` / `dgs-cli work` call.
+//!
+//! Unlike its siblings, this module imports the training crates directly
+//! (not via `crate::msg`), so it is *not* part of the standalone rustc
+//! harness — the harness covers the codec/transport/tcp layers with toy
+//! handlers, and this file is exercised by the cargo tests and the
+//! two-process smoke test.
+
+use crate::codec::Hello;
+use crate::error::{NetError, NetResult};
+use crate::tcp::{serve_cluster, ServerOpts, TcpOpts, TcpWorkerTransport};
+use crate::transport::{Loopback, Transport, UpdateHandler, WireStats};
+use dgs_core::config::TrainConfig;
+use dgs_core::curves::RunResult;
+use dgs_core::trainer::threaded::{build_participants, AsyncServerLogic};
+use dgs_core::trainer::{ModelBuilder, Schedule};
+use dgs_core::worker::TrainWorker;
+use dgs_nn::data::Dataset;
+use std::cell::RefCell;
+use std::net::TcpListener;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// CRC-32 fingerprint of a model's parameters (little-endian f32 bytes).
+/// Both sides of the TCP handshake compute this over their `θ_0` so a
+/// worker built from a different seed, architecture, or config is
+/// rejected up front instead of silently corrupting the run.
+pub fn theta0_crc(params: &[f32]) -> u32 {
+    let mut state = crate::crc::CRC_INIT;
+    let mut buf = [0u8; 4 * 1024];
+    for chunk in params.chunks(1024) {
+        let mut n = 0;
+        for &v in chunk {
+            buf[n..n + 4].copy_from_slice(&v.to_le_bytes());
+            n += 4;
+        }
+        state = crate::crc::crc32_update(state, &buf[..n]);
+    }
+    crate::crc::crc32_finish(state)
+}
+
+/// [`UpdateHandler`] over the engine-shared server logic. Tracks how many
+/// updates each worker has had applied — the counter the handshake and
+/// duplicate suppression are built on.
+pub struct LogicHandler {
+    logic: AsyncServerLogic,
+    applied: Vec<u64>,
+}
+
+impl LogicHandler {
+    /// Wraps server logic for `workers` workers.
+    pub fn new(logic: AsyncServerLogic, workers: usize) -> Self {
+        LogicHandler { logic, applied: vec![0; workers] }
+    }
+
+    /// The wrapped logic (read access).
+    pub fn logic(&self) -> &AsyncServerLogic {
+        &self.logic
+    }
+
+    /// Unwraps the logic for result finalisation.
+    pub fn into_logic(self) -> AsyncServerLogic {
+        self.logic
+    }
+}
+
+impl UpdateHandler for LogicHandler {
+    fn handle_update(
+        &mut self,
+        worker: u16,
+        up: dgs_core::protocol::UpMsg,
+    ) -> dgs_core::protocol::DownMsg {
+        self.applied[usize::from(worker)] += 1;
+        self.logic.process(usize::from(worker), up)
+    }
+
+    fn handle_resync(&mut self, worker: u16) -> dgs_core::protocol::DownMsg {
+        self.logic.resync(usize::from(worker))
+    }
+
+    fn applied(&self, worker: u16) -> u64 {
+        self.applied[usize::from(worker)]
+    }
+}
+
+/// A finished transport-mode run: the usual record plus final model
+/// states and both endpoints' byte counters.
+pub struct TransportRun {
+    /// Curves, traffic, staleness — the engine-standard record.
+    pub result: RunResult,
+    /// Server's final global model.
+    pub server_model: Vec<f32>,
+    /// Each worker's final local model.
+    pub worker_models: Vec<Vec<f32>>,
+    /// Per-worker transport byte counters.
+    pub worker_stats: Vec<WireStats>,
+    /// Aggregated server-side byte counters.
+    pub server_stats: WireStats,
+}
+
+/// Replays `schedule` with every message encoded to bytes and decoded
+/// back — `train_scheduled` seen through the wire. Because the codec is
+/// lossless, the result is bitwise identical to the direct-struct run;
+/// the `transport_equivalence` test asserts exactly that.
+pub fn train_loopback(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: Arc<dyn Dataset>,
+    val: Arc<dyn Dataset>,
+    schedule: &Schedule,
+) -> NetResult<TransportRun> {
+    assert_eq!(schedule.workers(), cfg.workers, "schedule/config worker count mismatch");
+    let (logic, mut workers) = build_participants(cfg, build_model, &train, &val, 50.0);
+    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+    let handler = Rc::new(RefCell::new(LogicHandler::new(logic, cfg.workers)));
+    let mut transports: Vec<Loopback<LogicHandler>> =
+        (0..cfg.workers).map(|k| Loopback::new(k as u16, Rc::clone(&handler))).collect();
+
+    let start = Instant::now();
+    for &k in schedule.order() {
+        let up = workers[k].local_step();
+        let reply = transports[k].exchange(&up)?;
+        workers[k].apply_reply(reply);
+    }
+    let mut worker_stats = Vec::with_capacity(cfg.workers);
+    let mut server_stats = WireStats::default();
+    for t in &mut transports {
+        t.shutdown()?;
+    }
+    for t in &transports {
+        worker_stats.push(t.stats());
+        server_stats.merge(&t.server_stats());
+    }
+    drop(transports);
+
+    let handler = Rc::try_unwrap(handler)
+        .map_err(|_| NetError::Protocol("loopback handler still shared".into()))?
+        .into_inner();
+    let logic = handler.into_logic();
+    let server_model = logic.server().current_model();
+    let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
+    let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
+    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
+}
+
+/// Serves a training run over TCP until all `workers` have gracefully
+/// shut down (or `deadline` expires). Returns the finalised logic (for
+/// result reporting) and the server-side byte counters.
+pub fn serve_training(
+    listener: TcpListener,
+    logic: AsyncServerLogic,
+    workers: usize,
+    deadline: Option<Duration>,
+) -> NetResult<(AsyncServerLogic, WireStats)> {
+    let dim = logic.server().dim() as u64;
+    let crc = theta0_crc(logic.server().theta0());
+    let handler = Arc::new(Mutex::new(LogicHandler::new(logic, workers)));
+    let mut opts = ServerOpts::new(workers, dim, crc);
+    opts.deadline = deadline;
+    let stats = serve_cluster(listener, Arc::clone(&handler), opts)?;
+    let handler = Arc::try_unwrap(handler)
+        .map_err(|_| NetError::Protocol("server threads still hold the handler".into()))?
+        .into_inner()
+        .map_err(|_| NetError::Protocol("server handler mutex poisoned".into()))?;
+    Ok((handler.into_logic(), stats))
+}
+
+/// Runs one worker's training loop against a remote server: `iters`
+/// local steps, each exchanged over TCP, then a graceful shutdown.
+/// `hello` for the handshake is fingerprinted from the worker's initial
+/// parameters, so call this before any local training has happened.
+pub fn run_worker(
+    addr: &str,
+    worker_id: u16,
+    mut worker: TrainWorker,
+    iters: usize,
+) -> NetResult<(TrainWorker, WireStats)> {
+    let dim = worker.model_params().len() as u64;
+    let crc = theta0_crc(worker.model_params());
+    let mut transport = TcpWorkerTransport::new(TcpOpts::new(addr, worker_id, dim, crc));
+    for _ in 0..iters {
+        let up = worker.local_step();
+        let reply = transport.exchange(&up)?;
+        worker.apply_reply(reply);
+    }
+    transport.shutdown()?;
+    Ok((worker, transport.stats()))
+}
+
+/// Convenience: the [`Hello`] a server with this model would send.
+pub fn hello_for(params: &[f32], applied: u64) -> Hello {
+    Hello { dim: params.len() as u64, applied, theta0_crc: theta0_crc(params) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::crc32;
+
+    #[test]
+    fn theta0_crc_matches_oneshot_and_detects_drift() {
+        let params = [0.5f32, -1.25, 3.0, f32::MIN_POSITIVE, 0.0];
+        let mut bytes = Vec::new();
+        for v in params {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(theta0_crc(&params), crc32(&bytes));
+        let mut drifted = params;
+        drifted[2] = 3.0 + f32::EPSILON * 4.0;
+        assert_ne!(theta0_crc(&params), theta0_crc(&drifted));
+        // Chunking boundary: > 1024 params takes the multi-chunk path.
+        let big: Vec<f32> = (0..3000).map(|i| i as f32 * 0.25).collect();
+        let mut big_bytes = Vec::new();
+        for v in &big {
+            big_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(theta0_crc(&big), crc32(&big_bytes));
+    }
+
+    #[test]
+    fn hello_for_fingerprints_model() {
+        let params = vec![1.0f32; 10];
+        let h = hello_for(&params, 3);
+        assert_eq!(h.dim, 10);
+        assert_eq!(h.applied, 3);
+        assert_eq!(h.theta0_crc, theta0_crc(&params));
+    }
+}

@@ -1,0 +1,667 @@
+//! Transport abstraction: how a worker exchanges update/reply pairs with
+//! the server.
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`Loopback`] — in-process, but *not* a shortcut: every message is
+//!   encoded to bytes, pushed through a [`ByteQueue`], and decoded on the
+//!   other side, so the full codec path is exercised. The differential
+//!   test in `tests/transport_equivalence.rs` relies on this to prove the
+//!   wire format is lossless (bit-identical models vs the direct-struct
+//!   trainer).
+//! * [`crate::tcp::TcpWorkerTransport`] — real sockets across processes.
+//!
+//! [`WireConn`] is the shared send/receive engine over any
+//! `Read + Write` stream; both transports and the TCP server use it, so
+//! byte accounting is defined in exactly one place.
+
+use crate::codec::{
+    decode_down, decode_up, down_msg_type, encode_down_payload, encode_up_payload, up_msg_type,
+    Hello,
+};
+use crate::error::{NetError, NetResult};
+use crate::frame::{read_frame, write_frame, FrameHeader, MsgType, HEADER_LEN};
+use crate::msg::{DownMsg, UpMsg};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// Hard ceiling on a single payload this endpoint will accept. Models in
+/// this codebase are a few MB dense; 256 MiB leaves room for growth while
+/// still rejecting forged multi-GiB lengths before allocation.
+pub const MAX_PAYLOAD: usize = 256 << 20;
+
+/// Byte counters, split the same way the simulator's accounting is:
+/// data frames (training payloads, header included — frame length equals
+/// `wire_bytes()` by construction) vs control frames (handshake,
+/// heartbeats, shutdown, errors), which the simulator does not model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes of worker→server data frames (updates, resync requests).
+    pub data_up: u64,
+    /// Bytes of server→worker data frames (model replies).
+    pub data_down: u64,
+    /// Bytes of control frames, both directions.
+    pub control: u64,
+    /// Number of data frames counted into `data_up`.
+    pub frames_up: u64,
+    /// Number of data frames counted into `data_down`.
+    pub frames_down: u64,
+}
+
+impl WireStats {
+    /// Folds a frame of `bytes` length into the right counter.
+    pub fn record(&mut self, msg_type: MsgType, bytes: usize) {
+        if msg_type.is_data() {
+            if msg_type.is_up() {
+                self.data_up += bytes as u64;
+                self.frames_up += 1;
+            } else {
+                self.data_down += bytes as u64;
+                self.frames_down += 1;
+            }
+        } else {
+            self.control += bytes as u64;
+        }
+    }
+
+    /// Sums another endpoint's counters into this one.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.data_up += other.data_up;
+        self.data_down += other.data_down;
+        self.control += other.control;
+        self.frames_up += other.frames_up;
+        self.frames_down += other.frames_down;
+    }
+}
+
+/// A fully decoded incoming frame.
+#[derive(Debug)]
+pub enum Event {
+    /// Worker `worker` sent training update `seq`.
+    Update {
+        /// Sending worker id.
+        worker: u16,
+        /// 1-based per-worker sequence number.
+        seq: u32,
+        /// Decoded update.
+        msg: Box<UpMsg>,
+    },
+    /// Server replied to update `seq`.
+    Reply {
+        /// Addressed worker id.
+        worker: u16,
+        /// Sequence of the update this answers.
+        seq: u32,
+        /// Decoded reply.
+        msg: DownMsg,
+    },
+    /// Worker asks for a full-model resynchronisation (reply was lost).
+    Resync {
+        /// Requesting worker id.
+        worker: u16,
+        /// Worker's current applied count, echoed for logging.
+        seq: u32,
+    },
+    /// Handshake opener from a worker.
+    Hello {
+        /// Connecting worker id.
+        worker: u16,
+        /// Negotiation payload.
+        hello: Hello,
+    },
+    /// Handshake answer from the server.
+    HelloAck {
+        /// Server's negotiation payload.
+        hello: Hello,
+    },
+    /// Liveness probe.
+    Heartbeat {
+        /// Probing worker id.
+        worker: u16,
+    },
+    /// Liveness answer.
+    HeartbeatAck,
+    /// Graceful end-of-run from a worker.
+    Shutdown {
+        /// Departing worker id.
+        worker: u16,
+    },
+    /// Server acknowledged the shutdown; the connection may close.
+    ShutdownAck,
+    /// Peer reported a fatal condition.
+    Error {
+        /// Peer's reason string.
+        reason: String,
+    },
+}
+
+/// Framed connection over any byte stream. Owns the per-endpoint
+/// [`WireStats`]; every send and receive is counted here and nowhere else.
+pub struct WireConn<S> {
+    stream: S,
+    stats: WireStats,
+    max_payload: usize,
+}
+
+impl<S: Read + Write> WireConn<S> {
+    /// Wraps a stream with the default payload ceiling.
+    pub fn new(stream: S) -> Self {
+        WireConn { stream, stats: WireStats::default(), max_payload: MAX_PAYLOAD }
+    }
+
+    /// Wraps a stream with an explicit payload ceiling (tests use small
+    /// caps to exercise the oversize rejection).
+    pub fn with_max_payload(stream: S, max_payload: usize) -> Self {
+        WireConn { stream, stats: WireStats::default(), max_payload }
+    }
+
+    /// Byte counters accumulated so far.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    /// The wrapped stream (for socket configuration: timeouts, nodelay).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Sends a worker→server update. The frame length is `msg.wire_bytes()`.
+    pub fn send_update(&mut self, worker: u16, seq: u32, msg: &UpMsg) -> NetResult<()> {
+        let ty = up_msg_type(&msg.payload);
+        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_up_payload(msg))?;
+        debug_assert_eq!(n, msg.wire_bytes());
+        self.stats.record(ty, n);
+        Ok(())
+    }
+
+    /// Sends a server→worker reply. The frame length is `msg.wire_bytes()`.
+    pub fn send_reply(&mut self, worker: u16, seq: u32, msg: &DownMsg) -> NetResult<()> {
+        let ty = down_msg_type(msg);
+        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_down_payload(msg))?;
+        debug_assert_eq!(n, msg.wire_bytes());
+        self.stats.record(ty, n);
+        Ok(())
+    }
+
+    /// Sends a resync request (control traffic — its dense-model reply is
+    /// what shows up in the data counters).
+    pub fn send_resync(&mut self, worker: u16, applied: u32) -> NetResult<()> {
+        let n = write_frame(&mut self.stream, MsgType::Resync, worker, applied, &[])?;
+        self.stats.record(MsgType::Resync, n);
+        Ok(())
+    }
+
+    /// Sends a control frame with a [`Hello`] payload.
+    pub fn send_hello(&mut self, ty: MsgType, worker: u16, hello: &Hello) -> NetResult<()> {
+        debug_assert!(matches!(ty, MsgType::Hello | MsgType::HelloAck));
+        let n = write_frame(&mut self.stream, ty, worker, 0, &hello.encode())?;
+        self.stats.record(ty, n);
+        Ok(())
+    }
+
+    /// Sends an empty-payload control frame (heartbeats, shutdown).
+    pub fn send_control(&mut self, ty: MsgType, worker: u16) -> NetResult<()> {
+        debug_assert!(!ty.is_data() && !matches!(ty, MsgType::Hello | MsgType::HelloAck));
+        let n = write_frame(&mut self.stream, ty, worker, 0, &[])?;
+        self.stats.record(ty, n);
+        Ok(())
+    }
+
+    /// Sends an error frame with a UTF-8 reason.
+    pub fn send_error(&mut self, worker: u16, reason: &str) -> NetResult<()> {
+        let n = write_frame(&mut self.stream, MsgType::Error, worker, 0, reason.as_bytes())?;
+        self.stats.record(MsgType::Error, n);
+        Ok(())
+    }
+
+    /// Reads and fully decodes the next frame.
+    pub fn read_event(&mut self) -> NetResult<Event> {
+        let (header, payload) = read_frame(&mut self.stream, self.max_payload)?;
+        self.stats.record(header.msg_type, HEADER_LEN + payload.len());
+        decode_event(header, payload)
+    }
+}
+
+/// Classifies a decoded frame into an [`Event`].
+fn decode_event(header: FrameHeader, payload: Vec<u8>) -> NetResult<Event> {
+    let FrameHeader { msg_type, worker, seq, .. } = header;
+    Ok(match msg_type {
+        MsgType::UpDense | MsgType::UpSparse | MsgType::UpTernary => {
+            Event::Update { worker, seq, msg: Box::new(decode_up(msg_type, &payload)?) }
+        }
+        MsgType::DownDense | MsgType::DownSparse => {
+            Event::Reply { worker, seq, msg: decode_down(msg_type, &payload)? }
+        }
+        MsgType::Resync => {
+            expect_empty(&payload, "resync")?;
+            Event::Resync { worker, seq }
+        }
+        MsgType::Hello => Event::Hello { worker, hello: Hello::decode(&payload)? },
+        MsgType::HelloAck => Event::HelloAck { hello: Hello::decode(&payload)? },
+        MsgType::Heartbeat => {
+            expect_empty(&payload, "heartbeat")?;
+            Event::Heartbeat { worker }
+        }
+        MsgType::HeartbeatAck => {
+            expect_empty(&payload, "heartbeat ack")?;
+            Event::HeartbeatAck
+        }
+        MsgType::Shutdown => {
+            expect_empty(&payload, "shutdown")?;
+            Event::Shutdown { worker }
+        }
+        MsgType::ShutdownAck => {
+            expect_empty(&payload, "shutdown ack")?;
+            Event::ShutdownAck
+        }
+        MsgType::Error => Event::Error {
+            reason: String::from_utf8(payload)
+                .map_err(|_| NetError::Malformed("error frame not utf-8"))?,
+        },
+    })
+}
+
+fn expect_empty(payload: &[u8], what: &'static str) -> NetResult<()> {
+    if payload.is_empty() {
+        Ok(())
+    } else {
+        Err(NetError::Malformed(what))
+    }
+}
+
+/// How a worker talks to the server, independent of the medium. The
+/// contract is synchronous request/reply — exactly the shape of the DGS
+/// training loop (send update, wait for the model reply, step again).
+pub trait Transport {
+    /// Sends one training update and blocks until the matching reply.
+    fn exchange(&mut self, up: &UpMsg) -> NetResult<DownMsg>;
+
+    /// Requests a full-model resynchronisation.
+    fn resync(&mut self) -> NetResult<DownMsg>;
+
+    /// Announces a graceful end-of-run and waits for the acknowledgement.
+    fn shutdown(&mut self) -> NetResult<()>;
+
+    /// Worker-side byte counters.
+    fn stats(&self) -> WireStats;
+}
+
+// ---------------------------------------------------------------------------
+// loopback
+
+/// Shared in-memory byte pipe; the loopback stand-in for a socket buffer.
+#[derive(Clone, Default)]
+pub struct ByteQueue(Arc<Mutex<VecDeque<u8>>>);
+
+impl ByteQueue {
+    /// Bytes currently queued.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Read for ByteQueue {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut q = self.0.lock().unwrap();
+        if q.is_empty() {
+            // An empty queue behaves like a socket read timeout: the
+            // loopback driver always writes a full frame before reading,
+            // so hitting this means a protocol bug, not a race.
+            return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "loopback empty"));
+        }
+        let n = buf.len().min(q.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = q.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+}
+
+impl Write for ByteQueue {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend(buf.iter().copied());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One endpoint of a loopback pair: reads from one queue, writes to the
+/// other.
+pub struct LoopbackStream {
+    rx: ByteQueue,
+    tx: ByteQueue,
+}
+
+impl Read for LoopbackStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for LoopbackStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.tx.flush()
+    }
+}
+
+/// Builds a crossed pair of in-memory streams (a "socket" and its peer).
+pub fn loopback_pair() -> (LoopbackStream, LoopbackStream) {
+    let a = ByteQueue::default();
+    let b = ByteQueue::default();
+    (LoopbackStream { rx: a.clone(), tx: b.clone() }, LoopbackStream { rx: b, tx: a })
+}
+
+/// Server-side update handler: the seam between the transport layer and
+/// the training logic. `dgs-net` itself has no opinion about what happens
+/// to an update; `AsyncServerLogic` (via `runtime::LogicHandler`) plugs in
+/// here.
+pub trait UpdateHandler {
+    /// Processes one in-order update from `worker` and produces the reply.
+    fn handle_update(&mut self, worker: u16, up: UpMsg) -> DownMsg;
+
+    /// Produces a full-model recovery reply for `worker` and resets the
+    /// server's tracking state for it (v_k ← M, pending cleared).
+    fn handle_resync(&mut self, worker: u16) -> DownMsg;
+
+    /// Number of updates from `worker` folded into the model so far —
+    /// drives duplicate suppression after a reconnect.
+    fn applied(&self, worker: u16) -> u64;
+}
+
+/// In-process transport that still round-trips every byte through the
+/// codec: update frames are written into one [`ByteQueue`], decoded on the
+/// "server" side, handled, and the reply frames travel back through the
+/// other queue. Sequence numbers are checked on both sides. The handler is
+/// shared (`Rc<RefCell<_>>`) so one server logic can serve a per-worker
+/// transport per training participant, exactly like the TCP server shares
+/// its logic across connection threads.
+pub struct Loopback<H: UpdateHandler> {
+    worker: u16,
+    seq: u32,
+    worker_conn: WireConn<LoopbackStream>,
+    server_conn: WireConn<LoopbackStream>,
+    handler: Rc<RefCell<H>>,
+}
+
+impl<H: UpdateHandler> Loopback<H> {
+    /// Builds a loopback transport for `worker` over the shared `handler`.
+    pub fn new(worker: u16, handler: Rc<RefCell<H>>) -> Self {
+        let (worker_side, server_side) = loopback_pair();
+        Loopback {
+            worker,
+            seq: 0,
+            worker_conn: WireConn::new(worker_side),
+            server_conn: WireConn::new(server_side),
+            handler,
+        }
+    }
+
+    /// Server-side byte counters (the worker side is [`Transport::stats`]).
+    pub fn server_stats(&self) -> WireStats {
+        self.server_conn.stats()
+    }
+
+    /// Pumps one frame through the server side and pushes the reply back.
+    fn serve_one(&mut self) -> NetResult<()> {
+        match self.server_conn.read_event()? {
+            Event::Update { worker, seq, msg } => {
+                if worker != self.worker {
+                    return Err(NetError::Protocol(format!(
+                        "loopback worker id mismatch: conn {} frame {worker}",
+                        self.worker
+                    )));
+                }
+                let mut handler = self.handler.borrow_mut();
+                let applied = handler.applied(worker);
+                if u64::from(seq) != applied + 1 {
+                    return Err(NetError::Protocol(format!(
+                        "out-of-order update: seq {seq}, applied {applied}"
+                    )));
+                }
+                let reply = handler.handle_update(worker, *msg);
+                drop(handler);
+                self.server_conn.send_reply(worker, seq, &reply)
+            }
+            Event::Resync { worker, .. } => {
+                let reply = self.handler.borrow_mut().handle_resync(worker);
+                self.server_conn.send_reply(worker, self.seq, &reply)
+            }
+            Event::Shutdown { worker } => {
+                self.server_conn.send_control(MsgType::ShutdownAck, worker)
+            }
+            other => Err(NetError::Protocol(format!("unexpected loopback frame: {other:?}"))),
+        }
+    }
+
+    /// Reads the worker-side reply for sequence `seq`.
+    fn take_reply(&mut self, seq: u32) -> NetResult<DownMsg> {
+        match self.worker_conn.read_event()? {
+            Event::Reply { worker, seq: got, msg } => {
+                if worker != self.worker || got != seq {
+                    return Err(NetError::Protocol(format!(
+                        "loopback reply routing: got worker {worker} seq {got}, want {} {seq}",
+                        self.worker
+                    )));
+                }
+                Ok(msg)
+            }
+            other => Err(NetError::Protocol(format!("expected reply, got {other:?}"))),
+        }
+    }
+}
+
+impl<H: UpdateHandler> Transport for Loopback<H> {
+    fn exchange(&mut self, up: &UpMsg) -> NetResult<DownMsg> {
+        self.seq += 1;
+        self.worker_conn.send_update(self.worker, self.seq, up)?;
+        self.serve_one()?;
+        self.take_reply(self.seq)
+    }
+
+    fn resync(&mut self) -> NetResult<DownMsg> {
+        self.worker_conn.send_resync(self.worker, self.seq)?;
+        self.serve_one()?;
+        self.take_reply(self.seq)
+    }
+
+    fn shutdown(&mut self) -> NetResult<()> {
+        self.worker_conn.send_control(MsgType::Shutdown, self.worker)?;
+        self.serve_one()?;
+        match self.worker_conn.read_event()? {
+            Event::ShutdownAck => Ok(()),
+            other => Err(NetError::Protocol(format!("expected shutdown ack, got {other:?}"))),
+        }
+    }
+
+    fn stats(&self) -> WireStats {
+        self.worker_conn.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{SparseUpdate, SparseVec, UpPayload};
+    use std::sync::Arc as StdArc;
+
+    /// Echo-style handler: replies with a dense "model" encoding the call
+    /// count, tracks applied counts per worker.
+    struct ToyHandler {
+        applied: Vec<u64>,
+        resyncs: usize,
+    }
+
+    impl ToyHandler {
+        fn new(workers: usize) -> Self {
+            ToyHandler { applied: vec![0; workers], resyncs: 0 }
+        }
+    }
+
+    impl UpdateHandler for ToyHandler {
+        fn handle_update(&mut self, worker: u16, up: UpMsg) -> DownMsg {
+            self.applied[worker as usize] += 1;
+            let tag = self.applied[worker as usize] as f32;
+            DownMsg::SparseDiff(SparseUpdate {
+                chunks: vec![SparseVec {
+                    idx: vec![worker as u32],
+                    val: vec![tag + up.train_loss as f32],
+                }],
+            })
+        }
+
+        fn handle_resync(&mut self, worker: u16) -> DownMsg {
+            self.resyncs += 1;
+            DownMsg::DenseModel(StdArc::new(vec![worker as f32; 4]))
+        }
+
+        fn applied(&self, worker: u16) -> u64 {
+            self.applied[worker as usize]
+        }
+    }
+
+    fn up(loss: f64) -> UpMsg {
+        UpMsg {
+            payload: UpPayload::Sparse(SparseUpdate {
+                chunks: vec![SparseVec { idx: vec![0, 2], val: vec![1.0, -1.0] }],
+            }),
+            train_loss: loss,
+        }
+    }
+
+    #[test]
+    fn byte_queue_pipes_bytes() {
+        let (mut a, mut b) = loopback_pair();
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        // And the other direction.
+        b.write_all(b"yo").unwrap();
+        let mut buf = [0u8; 2];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"yo");
+        // Empty queue acts like a read timeout.
+        let err = a.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn loopback_exchange_and_counters() {
+        let handler = Rc::new(RefCell::new(ToyHandler::new(1)));
+        let mut t = Loopback::new(0, handler);
+        let msg = up(0.5);
+        let expect_up = msg.wire_bytes() as u64;
+        let reply = t.exchange(&msg).unwrap();
+        let expect_down = reply.wire_bytes() as u64;
+        match reply {
+            DownMsg::SparseDiff(s) => assert_eq!(s.chunks[0].val, vec![1.5]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Worker conn counted the sent update and received reply; the
+        // server conn saw the identical bytes. Frame length == wire_bytes.
+        let w = t.stats();
+        let s = t.server_stats();
+        assert_eq!(w.data_up, expect_up);
+        assert_eq!(w.data_down, expect_down);
+        assert_eq!(w, s);
+        assert_eq!(w.frames_up, 1);
+        assert_eq!(w.frames_down, 1);
+        assert_eq!(w.control, 0);
+    }
+
+    #[test]
+    fn loopback_sequences_and_shutdown() {
+        let handler = Rc::new(RefCell::new(ToyHandler::new(2)));
+        {
+            let mut t = Loopback::new(1, Rc::clone(&handler));
+            for i in 1..=3 {
+                let reply = t.exchange(&up(i as f64)).unwrap();
+                match reply {
+                    DownMsg::SparseDiff(s) => {
+                        assert_eq!(s.chunks[0].idx, vec![1]);
+                        assert_eq!(s.chunks[0].val, vec![i as f32 + i as f32]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            t.shutdown().unwrap();
+            let w = t.stats();
+            assert_eq!(w.frames_up, 3);
+            // Shutdown + ack are control bytes, not data.
+            assert_eq!(w.control, 2 * HEADER_LEN as u64);
+        }
+        assert_eq!(handler.borrow().applied(1), 3);
+        assert_eq!(handler.borrow().applied(0), 0);
+    }
+
+    #[test]
+    fn loopback_resync_resets_nothing_but_replies_dense() {
+        let handler = Rc::new(RefCell::new(ToyHandler::new(1)));
+        let mut t = Loopback::new(0, Rc::clone(&handler));
+        t.exchange(&up(1.0)).unwrap();
+        match t.resync().unwrap() {
+            DownMsg::DenseModel(m) => assert_eq!(m.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(handler.borrow().resyncs, 1);
+    }
+
+    #[test]
+    fn loopback_handler_shared_across_workers() {
+        // One handler, one transport per worker — the same sharing shape
+        // the cross-process runtime uses.
+        let handler = Rc::new(RefCell::new(ToyHandler::new(3)));
+        let mut transports: Vec<_> =
+            (0..3u16).map(|w| Loopback::new(w, Rc::clone(&handler))).collect();
+        for round in 0..4 {
+            for t in &mut transports {
+                t.exchange(&up(round as f64)).unwrap();
+            }
+        }
+        assert_eq!(handler.borrow().applied, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn wire_stats_classification() {
+        let mut s = WireStats::default();
+        s.record(MsgType::UpTernary, 100);
+        s.record(MsgType::DownDense, 200);
+        s.record(MsgType::Heartbeat, HEADER_LEN);
+        s.record(MsgType::Resync, HEADER_LEN);
+        assert_eq!(s.data_up, 100);
+        assert_eq!(s.data_down, 200);
+        assert_eq!(s.control, 2 * HEADER_LEN as u64);
+        assert_eq!((s.frames_up, s.frames_down), (1, 1));
+        let mut t = WireStats::default();
+        t.merge(&s);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn decode_event_rejects_nonempty_control() {
+        let header = FrameHeader {
+            version: 1,
+            msg_type: MsgType::Heartbeat,
+            worker: 0,
+            seq: 0,
+            len: 1,
+            crc: 0,
+        };
+        assert!(decode_event(header, vec![9]).is_err());
+    }
+}

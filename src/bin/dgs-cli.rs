@@ -2,9 +2,18 @@
 //!
 //! ```text
 //! dgs-cli run <config.json> [--out results.json]
+//! dgs-cli serve <config.json> --listen ADDR [--out results.json] [--deadline-secs N]
+//! dgs-cli work <config.json> --connect ADDR --worker K
 //! dgs-cli init > config.json          # print an annotated default config
 //! dgs-cli methods                     # list methods + technique matrix
 //! ```
+//!
+//! `serve`/`work` run the same training as `run`, but across OS processes
+//! over the `dgs-net` TCP transport: one `serve` process hosts the MDT
+//! server, and `train.workers` separate `work` processes each drive one
+//! training worker. All processes must load the *same* config file — the
+//! TCP handshake fingerprints `θ_0` (CRC-32 of the initial parameters)
+//! and rejects workers whose seed/model/dimension drift from the server's.
 //!
 //! The config file selects a synthetic workload, a model, a training
 //! method, and an engine; see [`CliConfig`] for every field. Example:
@@ -27,12 +36,18 @@ use dgs::core::curves::RunResult;
 use dgs::core::method::Method;
 use dgs::core::trainer::des::{train_des, DesParams};
 use dgs::core::trainer::single::train_msgd;
-use dgs::core::trainer::threaded::train_async;
+use dgs::core::trainer::threaded::{build_participants, train_async};
+use dgs::core::worker::TrainWorker;
+use dgs::net::runtime::{run_worker, serve_training};
+use dgs::net::WireStats;
 use dgs::nn::data::{Dataset, GaussianBlobs, SyntheticVision};
+use dgs::nn::model::Network;
 use dgs::nn::models::{mlp, mlp_on_images, resnet_lite, tiny_cnn};
 use dgs::psim::NetworkModel;
 use serde::{Deserialize, Serialize};
+use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Workload section of the config file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -204,11 +219,8 @@ fn main() {
             let path = args
                 .get(1)
                 .unwrap_or_else(|| fail("usage: dgs-cli run <config.json> [--out results.json]"));
-            let out = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-            let config: CliConfig = serde_json::from_str(&text)
-                .unwrap_or_else(|e| fail(&format!("invalid config: {e}")));
+            let out = flag_value(&args, "--out");
+            let config = load_config(path);
             let result = run(&config);
             print_summary(&result);
             if let Some(out) = out {
@@ -217,14 +229,50 @@ fn main() {
                 println!("wrote {out}");
             }
         }
-        _ => fail("usage: dgs-cli <run|init|methods>"),
+        Some("serve") => {
+            let usage = "usage: dgs-cli serve <config.json> --listen ADDR \
+                         [--out results.json] [--deadline-secs N]";
+            let path = args.get(1).unwrap_or_else(|| fail(usage));
+            let listen = flag_value(&args, "--listen").unwrap_or_else(|| fail(usage));
+            let out = flag_value(&args, "--out");
+            let deadline = flag_value(&args, "--deadline-secs").map(|s| {
+                Duration::from_secs(
+                    s.parse().unwrap_or_else(|_| fail("--deadline-secs must be an integer")),
+                )
+            });
+            serve(&load_config(path), &listen, out.as_deref(), deadline);
+        }
+        Some("work") => {
+            let usage = "usage: dgs-cli work <config.json> --connect ADDR --worker K";
+            let path = args.get(1).unwrap_or_else(|| fail(usage));
+            let connect = flag_value(&args, "--connect").unwrap_or_else(|| fail(usage));
+            let worker: usize = flag_value(&args, "--worker")
+                .unwrap_or_else(|| fail(usage))
+                .parse()
+                .unwrap_or_else(|_| fail("--worker must be an integer"));
+            work(&load_config(path), &connect, worker);
+        }
+        _ => fail("usage: dgs-cli <run|serve|work|init|methods>"),
     }
 }
 
-fn run(config: &CliConfig) -> RunResult {
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load_config(path: &str) -> CliConfig {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("invalid config: {e}")))
+}
+
+/// Builds the train/validation datasets the config describes. Everything
+/// is seeded from `train.seed`, so every process that loads the same
+/// config materialises the same data.
+fn datasets(config: &CliConfig) -> (Arc<dyn Dataset>, Arc<dyn Dataset>) {
     let seed = config.train.seed;
     let w = &config.workload;
-    let (train_ds, val_ds): (Arc<dyn Dataset>, Arc<dyn Dataset>) = match w.kind.as_str() {
+    match w.kind.as_str() {
         "vision" => {
             let data = SyntheticVision::new(w.samples, w.channels, w.hw, w.classes, w.noise, seed);
             let val = Arc::new(data.validation(w.val_samples));
@@ -236,18 +284,26 @@ fn run(config: &CliConfig) -> RunResult {
             (Arc::new(data), val)
         }
         other => fail(&format!("unknown workload kind '{other}'")),
-    };
+    }
+}
 
+/// Deterministic model builder for the config: same config + seed → the
+/// same `θ_0` in every process (the TCP handshake checks this by CRC).
+fn model_builder(config: &CliConfig) -> impl Fn() -> Network + Sync {
+    let seed = config.train.seed;
     let m = config.model.clone();
-    let wk = w.clone();
-    let builder = move || match m.kind.as_str() {
+    let wk = config.workload.clone();
+    move || match m.kind.as_str() {
         "resnet_lite" => resnet_lite(wk.channels, wk.hw, wk.classes, m.width, seed),
         "tiny_cnn" => tiny_cnn(wk.channels, wk.hw, wk.classes, m.width, seed),
         "mlp_on_images" => mlp_on_images(wk.channels, wk.hw, &m.hidden, wk.classes, seed),
         "mlp" => mlp(wk.dim, &m.hidden, wk.classes, seed),
         other => fail(&format!("unknown model kind '{other}'")),
-    };
+    }
+}
 
+/// Translates the `train` section into the engine-level [`TrainConfig`].
+fn train_config(config: &CliConfig) -> TrainConfig {
     let method: Method = config.train.method.parse().unwrap_or_else(|e: String| fail(&e));
     let mut cfg = TrainConfig::paper_default(method, config.train.workers, config.train.epochs);
     cfg.batch_per_worker = config.train.batch_per_worker;
@@ -257,10 +313,17 @@ fn run(config: &CliConfig) -> RunResult {
     cfg.secondary_compression = config.train.secondary_compression;
     cfg.quantize_uplink = config.train.quantize_uplink;
     cfg.clip_norm = 0.0;
-    cfg.seed = seed;
+    cfg.seed = config.train.seed;
     cfg.evals = config.train.epochs;
+    cfg
+}
 
-    if method == Method::Msgd {
+fn run(config: &CliConfig) -> RunResult {
+    let (train_ds, val_ds) = datasets(config);
+    let builder = model_builder(config);
+    let cfg = train_config(config);
+
+    if cfg.method == Method::Msgd {
         return train_msgd(builder(), train_ds, val_ds, &cfg);
     }
     match config.engine.kind.as_str() {
@@ -275,6 +338,87 @@ fn run(config: &CliConfig) -> RunResult {
         }
         other => fail(&format!("unknown engine kind '{other}'")),
     }
+}
+
+/// `dgs-cli serve`: host the parameter server over TCP until every worker
+/// process has finished and shut down gracefully.
+fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<Duration>) {
+    let cfg = train_config(config);
+    if cfg.method == Method::Msgd {
+        fail("msgd is single-node; use `dgs-cli run`");
+    }
+    let (train_ds, val_ds) = datasets(config);
+    let builder = model_builder(config);
+    let (logic, workers) =
+        build_participants(&cfg, &builder, &train_ds, &val_ds, config.engine.worker_gflops);
+    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+    let iters = cfg.iters_per_worker(train_ds.len());
+    drop(workers); // serve-side workers are only built to size the run
+
+    let listener = TcpListener::bind(listen)
+        .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
+    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| listen.into());
+    println!(
+        "serving {} on {local}: waiting for {} workers x {iters} iterations",
+        cfg.method.name(),
+        cfg.workers
+    );
+    let start = Instant::now();
+    let (logic, stats) = serve_training(listener, logic, cfg.workers, deadline)
+        .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
+    let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
+
+    print_summary(&result);
+    print_wire_stats("server", &stats);
+    if let Some(out) = out {
+        let doc = serde_json::json!({ "result": result, "wire": wire_json(&stats) });
+        std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("wrote {out}");
+    }
+}
+
+/// `dgs-cli work`: run one worker's training loop against a remote server.
+fn work(config: &CliConfig, connect: &str, worker_id: usize) {
+    let cfg = train_config(config);
+    if cfg.method == Method::Msgd {
+        fail("msgd is single-node; use `dgs-cli run`");
+    }
+    if worker_id >= cfg.workers {
+        fail(&format!("--worker {worker_id} out of range (config has {} workers)", cfg.workers));
+    }
+    let (train_ds, _val_ds) = datasets(config);
+    let builder = model_builder(config);
+    let iters = cfg.iters_per_worker(train_ds.len());
+    let worker = TrainWorker::new(
+        worker_id,
+        builder(),
+        Arc::clone(&train_ds),
+        cfg.clone(),
+        config.engine.worker_gflops,
+    );
+    println!("worker {worker_id}: {iters} iterations against {connect}");
+    let (worker, stats) = run_worker(connect, worker_id as u16, worker, iters)
+        .unwrap_or_else(|e| fail(&format!("worker {worker_id} failed: {e}")));
+    println!("worker {worker_id}: done after {} iterations", worker.iterations());
+    print_wire_stats(&format!("worker {worker_id}"), &stats);
+}
+
+fn print_wire_stats(who: &str, stats: &WireStats) {
+    println!(
+        "{who} wire: data_up={} data_down={} control={} frames_up={} frames_down={}",
+        stats.data_up, stats.data_down, stats.control, stats.frames_up, stats.frames_down
+    );
+}
+
+fn wire_json(stats: &WireStats) -> serde_json::Value {
+    serde_json::json!({
+        "data_up": stats.data_up,
+        "data_down": stats.data_down,
+        "control": stats.control,
+        "frames_up": stats.frames_up,
+        "frames_down": stats.frames_down,
+    })
 }
 
 fn print_summary(result: &RunResult) {

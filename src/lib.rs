@@ -11,10 +11,13 @@
 //! * [`psim`] — parameter-server cluster simulation (threads + DES).
 //! * [`core`] — the paper's contribution: model-difference tracking,
 //!   SAMomentum, and the baseline asynchronous optimizers.
+//! * [`net`] — the wire protocol and transports (loopback + TCP) that run
+//!   the same training across processes.
 //!
 //! See `examples/quickstart.rs` for a two-minute tour.
 
 pub use dgs_core as core;
+pub use dgs_net as net;
 pub use dgs_nn as nn;
 pub use dgs_psim as psim;
 pub use dgs_sparsify as sparsify;

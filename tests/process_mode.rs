@@ -1,0 +1,132 @@
+//! Multi-process smoke test: one `dgs-cli serve` process plus two
+//! `dgs-cli work` processes training a tiny MLP over real TCP on
+//! localhost. Asserts the run completes, the final loss is finite, and
+//! the server's transport frame counters equal the training logic's
+//! `wire_bytes()` accounting — the codec and the traffic model describe
+//! the same bytes.
+//!
+//! CI runs this with a hard timeout; the test also enforces its own
+//! deadline so a wedged handshake can never hang the suite.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dgs-cli"))
+}
+
+fn tiny_config() -> &'static str {
+    r#"{
+  "workload": { "kind": "blobs", "samples": 96, "val_samples": 48,
+                "classes": 3, "dim": 6, "noise": 0.4 },
+  "model": { "kind": "mlp", "hidden": [12] },
+  "train": { "method": "dgs", "workers": 2, "batch_per_worker": 8,
+              "epochs": 2, "lr": 0.05, "momentum": 0.4,
+              "sparsity_ratio": 0.25, "seed": 7 },
+  "engine": { "kind": "threads" }
+}"#
+}
+
+/// Waits for a child with a deadline; kills it (and fails) on expiry.
+fn wait_with_deadline(child: &mut Child, who: &str, deadline: Instant) {
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                assert!(status.success(), "{who} exited with {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                child.kill().ok();
+                child.wait().ok();
+                panic!("{who} still running at deadline");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[test]
+fn serve_plus_two_workers_trains_over_tcp() {
+    let deadline = Instant::now() + DEADLINE;
+    let dir = std::env::temp_dir().join("dgs_process_mode_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    let out_path = dir.join("out.json");
+    std::fs::write(&cfg_path, tiny_config()).unwrap();
+
+    // Port 0: the OS picks a free port; serve prints the bound address on
+    // its first line, which is how the workers learn where to connect.
+    let mut server = cli()
+        .arg("serve")
+        .arg(&cfg_path)
+        .args(["--listen", "127.0.0.1:0", "--deadline-secs", "90"])
+        .arg("--out")
+        .arg(&out_path)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut server_out = BufReader::new(server.stdout.take().expect("serve stdout"));
+    let mut first_line = String::new();
+    server_out.read_line(&mut first_line).expect("read serve banner");
+    // "serving DGS on 127.0.0.1:PORT: waiting for 2 workers x N iterations"
+    let addr = first_line
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split(": waiting").next())
+        .unwrap_or_else(|| panic!("unparseable serve banner: {first_line:?}"))
+        .to_string();
+
+    let mut workers: Vec<Child> = (0..2)
+        .map(|k| {
+            cli()
+                .arg("work")
+                .arg(&cfg_path)
+                .args(["--connect", &addr, "--worker", &k.to_string()])
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn work")
+        })
+        .collect();
+
+    // Drain the rest of serve's stdout concurrently so a full pipe buffer
+    // can never deadlock the summary print.
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut server_out, &mut rest).ok();
+        rest
+    });
+
+    for (k, w) in workers.iter_mut().enumerate() {
+        wait_with_deadline(w, &format!("worker {k}"), deadline);
+    }
+    wait_with_deadline(&mut server, "server", deadline);
+    let summary = drain.join().expect("drain serve stdout");
+    assert!(summary.contains("final top-1"), "serve summary missing:\n{summary}");
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    let result = &doc["result"];
+    let wire = &doc["wire"];
+
+    let final_loss = result["final_loss"].as_f64().unwrap();
+    assert!(final_loss.is_finite(), "final loss not finite: {final_loss}");
+    assert!(result["final_acc"].as_f64().unwrap() >= 0.0);
+
+    // Frame counters vs wire_bytes() accounting: a clean run (no resyncs)
+    // must agree exactly in both directions.
+    assert_eq!(
+        wire["data_up"].as_u64().unwrap(),
+        result["bytes_up"].as_u64().unwrap(),
+        "uplink frame bytes != logic accounting"
+    );
+    assert_eq!(
+        wire["data_down"].as_u64().unwrap(),
+        result["bytes_down"].as_u64().unwrap(),
+        "downlink frame bytes != logic accounting"
+    );
+    assert!(wire["frames_up"].as_u64().unwrap() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

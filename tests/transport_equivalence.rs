@@ -1,0 +1,124 @@
+//! Differential test: the transport stack is invisible to training.
+//!
+//! `train_scheduled` hands `UpMsg`/`DownMsg` structs straight to the
+//! server logic; `train_loopback` replays the *same* arrival schedule but
+//! pushes every message through the `dgs-net` codec (encode → bytes →
+//! decode, both directions). Because the codec is lossless on every
+//! payload variant, the two runs must be **bitwise identical** — same
+//! server model, same worker models, same curves — for every training
+//! method. This is the proof that moving to a real transport (TCP)
+//! changes nothing about the learning dynamics.
+
+use dgs::core::config::{LrSchedule, TrainConfig};
+use dgs::core::method::Method;
+use dgs::core::trainer::{schedule_for, train_scheduled};
+use dgs::net::runtime::train_loopback;
+use dgs::nn::data::{Dataset, GaussianBlobs};
+use dgs::nn::models::mlp;
+use std::sync::Arc;
+
+fn datasets() -> (Arc<dyn Dataset>, Arc<dyn Dataset>) {
+    let blobs = GaussianBlobs::new(96, 6, 3, 0.4, 5);
+    let val = Arc::new(blobs.validation(48));
+    (Arc::new(blobs), val)
+}
+
+fn quick_cfg(method: Method) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_default(method, 3, 2);
+    cfg.batch_per_worker = 8;
+    cfg.lr = LrSchedule::paper_default(0.05, 2);
+    cfg.momentum = 0.4;
+    cfg.sparsity_ratio = 0.25;
+    cfg.clip_norm = 0.0;
+    cfg.seed = 11;
+    cfg.evals = 2;
+    cfg
+}
+
+/// Runs both drivers on an interleaved (seeded, non-trivial) schedule and
+/// asserts bitwise model equality plus byte-counter agreement between the
+/// server logic's accounting and the transport's frame counters.
+fn assert_transport_invisible(cfg: &TrainConfig) {
+    let (train, val) = datasets();
+    let builder = || mlp(6, &[12], 3, cfg.seed);
+    let schedule = schedule_for(cfg, train.len(), Some(0xD6A1));
+
+    let direct = train_scheduled(cfg, &builder, Arc::clone(&train), Arc::clone(&val), &schedule);
+    let wired = train_loopback(cfg, &builder, train, val, &schedule).expect("loopback run");
+
+    assert_eq!(
+        direct.server_model, wired.server_model,
+        "{:?}: server model drifted through the codec",
+        cfg.method
+    );
+    assert_eq!(
+        direct.worker_models, wired.worker_models,
+        "{:?}: a worker model drifted through the codec",
+        cfg.method
+    );
+    assert_eq!(direct.result.bytes_up, wired.result.bytes_up);
+    assert_eq!(direct.result.bytes_down, wired.result.bytes_down);
+    assert_eq!(direct.result.curve.len(), wired.result.curve.len());
+    for (d, w) in direct.result.curve.iter().zip(&wired.result.curve) {
+        assert_eq!(d.val_acc, w.val_acc, "{:?}: curves diverged", cfg.method);
+        assert_eq!(d.train_loss, w.train_loss, "{:?}: curves diverged", cfg.method);
+    }
+
+    // The transport counted real encoded frames; the logic counted
+    // `wire_bytes()`. In a clean run (no resyncs) they must agree exactly,
+    // on both endpoints.
+    let up: u64 = wired.worker_stats.iter().map(|s| s.data_up).sum();
+    let down: u64 = wired.worker_stats.iter().map(|s| s.data_down).sum();
+    assert_eq!(up, wired.result.bytes_up, "{:?}: uplink frames != wire_bytes", cfg.method);
+    assert_eq!(down, wired.result.bytes_down, "{:?}: downlink frames != wire_bytes", cfg.method);
+    assert_eq!(wired.server_stats.data_up, up);
+    assert_eq!(wired.server_stats.data_down, down);
+    let frames: u64 = wired.worker_stats.iter().map(|s| s.frames_up).sum();
+    assert_eq!(frames as usize, schedule.len(), "one uplink data frame per scheduled step");
+}
+
+#[test]
+fn asgd_is_transport_invariant() {
+    assert_transport_invisible(&quick_cfg(Method::Asgd));
+}
+
+#[test]
+fn gd_async_is_transport_invariant() {
+    assert_transport_invisible(&quick_cfg(Method::GdAsync));
+}
+
+#[test]
+fn dgc_async_is_transport_invariant() {
+    assert_transport_invisible(&quick_cfg(Method::DgcAsync));
+}
+
+#[test]
+fn dgs_is_transport_invariant() {
+    assert_transport_invisible(&quick_cfg(Method::Dgs));
+}
+
+#[test]
+fn dgs_with_secondary_compression_is_transport_invariant() {
+    let mut cfg = quick_cfg(Method::Dgs);
+    cfg.secondary_compression = true;
+    assert_transport_invisible(&cfg);
+}
+
+#[test]
+fn dgs_with_ternary_uplink_is_transport_invariant() {
+    let mut cfg = quick_cfg(Method::Dgs);
+    cfg.quantize_uplink = true;
+    assert_transport_invisible(&cfg);
+}
+
+#[test]
+fn round_robin_schedule_also_matches() {
+    let cfg = quick_cfg(Method::Dgs);
+    let (train, val) = datasets();
+    let builder = || mlp(6, &[12], 3, cfg.seed);
+    let schedule = schedule_for(&cfg, train.len(), None);
+    let direct = train_scheduled(&cfg, &builder, Arc::clone(&train), Arc::clone(&val), &schedule);
+    let wired = train_loopback(&cfg, &builder, train, val, &schedule).expect("loopback run");
+    assert_eq!(direct.server_model, wired.server_model);
+    assert_eq!(direct.worker_models, wired.worker_models);
+}
