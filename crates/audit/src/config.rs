@@ -1,0 +1,126 @@
+//! Per-rule path scoping. Each rule applies only to files whose
+//! workspace-relative path starts with one of its scope prefixes, so the
+//! DGS invariants are enforced exactly where they are load-bearing (see
+//! DESIGN.md §8 for the rationale table).
+
+/// Names of all rules, in the order they are run and documented.
+pub const RULES: &[&str] = &[
+    "nan-ordering",
+    "determinism",
+    "no-panic-io",
+    "no-truncating-cast",
+    "unsafe-budget",
+    "paired-symbols",
+];
+
+/// Scope: which path prefixes a rule applies to.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// `/`-separated workspace-relative path prefixes.
+    pub include: Vec<&'static str>,
+}
+
+/// Full audit configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Per-rule path scopes.
+    pub scopes: Vec<Scope>,
+    /// Prefixes where `unsafe` is budgeted (still requires `// SAFETY:`).
+    pub unsafe_allowed: Vec<&'static str>,
+}
+
+impl Config {
+    /// The repo's checked-in rule scoping. Kept in code (not a config
+    /// file) so scope changes go through review like any invariant change.
+    pub fn default_for_workspace() -> Self {
+        Config {
+            scopes: vec![
+                // Float ordering feeds top-R% selection (PAPER.md Alg. 1/3):
+                // a partial_cmp comparator silently reorders NaN magnitudes.
+                Scope {
+                    rule: "nan-ordering",
+                    include: vec!["crates/sparsify/src", "crates/core/src", "crates/psim/src"],
+                },
+                // Bit-exact server determinism (Eq. 5 equivalence proofs).
+                Scope {
+                    rule: "determinism",
+                    include: vec![
+                        "crates/core/src/server.rs",
+                        "crates/core/src/update_log.rs",
+                        "crates/sparsify/src",
+                        "crates/net/src/codec.rs",
+                        "crates/psim/src/des.rs",
+                    ],
+                },
+                // "Error, never panic" wire paths (PR 2 contract).
+                Scope { rule: "no-panic-io", include: vec!["crates/net/src"] },
+                Scope {
+                    rule: "no-truncating-cast",
+                    include: vec!["crates/net/src/codec.rs", "crates/net/src/frame.rs"],
+                },
+                // unsafe-budget runs everywhere; the allowlist narrows it.
+                Scope { rule: "unsafe-budget", include: vec!["crates", "src"] },
+                Scope {
+                    rule: "paired-symbols",
+                    include: vec!["crates/net/src/codec.rs", "crates/core/src/protocol.rs"],
+                },
+            ],
+            unsafe_allowed: vec!["crates/tensor/src"],
+        }
+    }
+
+    /// Does `rule` apply to the file at `rel_path` (always `/`-separated)?
+    pub fn applies(&self, rule: &str, rel_path: &str) -> bool {
+        self.scopes
+            .iter()
+            .filter(|s| s.rule == rule)
+            .any(|s| s.include.iter().any(|p| path_has_prefix(rel_path, p)))
+    }
+
+    /// Is `unsafe` inside its budget at `rel_path`?
+    pub fn unsafe_is_allowed(&self, rel_path: &str) -> bool {
+        self.unsafe_allowed.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+}
+
+/// Component-wise prefix match: `crates/net/src` matches
+/// `crates/net/src/tcp.rs` but `crates/net` does NOT match `crates/nettle`.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    match path.strip_prefix(prefix) {
+        Some(rest) => rest.is_empty() || rest.starts_with('/'),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_components_not_substrings() {
+        assert!(path_has_prefix("crates/net/src/tcp.rs", "crates/net/src"));
+        assert!(path_has_prefix("crates/net/src", "crates/net/src"));
+        assert!(!path_has_prefix("crates/nettle/src/x.rs", "crates/net"));
+    }
+
+    #[test]
+    fn default_scopes_cover_the_invariant_files() {
+        let cfg = Config::default_for_workspace();
+        assert!(cfg.applies("nan-ordering", "crates/sparsify/src/topk.rs"));
+        assert!(cfg.applies("nan-ordering", "crates/psim/src/des.rs"));
+        assert!(!cfg.applies("nan-ordering", "crates/net/src/tcp.rs"));
+        assert!(cfg.applies("determinism", "crates/core/src/server.rs"));
+        assert!(!cfg.applies("determinism", "crates/core/src/trainer/threaded.rs"));
+        assert!(cfg.applies("no-panic-io", "crates/net/src/transport.rs"));
+        assert!(!cfg.applies("no-panic-io", "crates/core/src/server.rs"));
+        assert!(cfg.applies("no-truncating-cast", "crates/net/src/frame.rs"));
+        assert!(!cfg.applies("no-truncating-cast", "crates/net/src/tcp.rs"));
+        assert!(cfg.applies("unsafe-budget", "crates/tensor/src/simd.rs"));
+        assert!(cfg.applies("unsafe-budget", "src/main.rs"));
+        assert!(cfg.applies("paired-symbols", "crates/net/src/codec.rs"));
+        assert!(cfg.unsafe_is_allowed("crates/tensor/src/simd.rs"));
+        assert!(!cfg.unsafe_is_allowed("crates/net/src/tcp.rs"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Findings and their rustc-style rendering.
+
+use std::fmt;
+
+/// One audit finding at a source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (`nan-ordering`, …, or `waiver` for waiver hygiene).
+    pub rule: String,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Shorthand constructor used by the rules.
+    pub fn new(rule: &str, path: &str, line: u32, col: u32, message: String) -> Self {
+        Finding { rule: rule.to_string(), path: path.to_string(), line, col, message }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[dgs::{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// Renders all findings plus a one-line summary, rustc-style.
+pub fn render_report(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push_str("\n\n");
+    }
+    if findings.is_empty() {
+        out.push_str("dgs-audit: clean (0 findings)\n");
+    } else {
+        out.push_str(&format!(
+            "dgs-audit: {} finding{} — fix or waive with `// dgs::allow(<rule>): <why>`\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let f = Finding::new("nan-ordering", "crates/sparsify/src/topk.rs", 42, 9, "use total_cmp".to_string());
+        let s = f.to_string();
+        assert!(s.contains("error[dgs::nan-ordering]: use total_cmp"));
+        assert!(s.contains("--> crates/sparsify/src/topk.rs:42:9"));
+    }
+
+    #[test]
+    fn report_summarizes() {
+        assert!(render_report(&[]).contains("clean"));
+        let f = Finding::new("waiver", "a.rs", 1, 1, "m".to_string());
+        let r = render_report(&[f.clone(), f]);
+        assert!(r.contains("2 findings"));
+    }
+}

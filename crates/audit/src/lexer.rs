@@ -1,0 +1,600 @@
+//! Hand-rolled Rust lexer: just enough tokenization to make the audit
+//! rules string-, char-, and comment-aware without pulling in `syn`.
+//!
+//! The whole crate must stay std-only so `dgs-audit` builds with bare
+//! `rustc` when cargo cannot reach a registry (see the repo's verify
+//! skill). That rules out a real parser; what the rules actually need is
+//! far smaller:
+//!
+//! * identifiers with exact positions (`partial_cmp`, `unwrap`, `HashMap`,
+//!   `unsafe`, `as`, …) — **not** occurrences inside string literals,
+//!   char literals, or comments;
+//! * comments with positions (waiver comments, `// SAFETY:` annotations);
+//! * brace/bracket structure sound enough to skip `#[cfg(test)]` items
+//!   and to find `enum`/`fn` bodies.
+//!
+//! The tricky corners are handled explicitly and unit-tested below:
+//! nested block comments, raw strings (`r"…"`, `r#"…"#`, `br#"…"#` — no
+//! escape processing, arbitrary hash counts), raw identifiers (`r#fn`),
+//! lifetimes vs char literals (`'a` vs `'a'` vs `'\''`), and escaped
+//! quotes in ordinary string literals.
+
+/// Token classification — only as fine-grained as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `as`, `fn` are plain idents here).
+    Ident,
+    /// Lifetime such as `'a` (the quote is not part of `text`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); content
+    /// is deliberately not retained — rules must never see into strings.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Any other single character (`.`, `:`, `{`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Identifier/number/punct text; empty for `Str`/`Char`.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+/// A comment (line or block) with the line it starts on. Doc comments are
+/// included; `text` excludes the comment markers and is trimmed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Trimmed comment body without `//`/`/*` markers.
+    pub text: String,
+    /// 1-based starting line.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the forgiving behavior a linter wants (rustc itself will
+/// reject the file properly).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { s: src.as_bytes(), i: 0, line: 1, col: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.s.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.s.get(self.i).copied()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokKind::Str, String::new(), line, col);
+                }
+                b'\'' => self.char_or_lifetime(line, col),
+                _ if is_ident_start(b) => self.ident_or_raw(line, col),
+                _ if b.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (b as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        // Swallow the doc markers (`///`, `//!`) so waiver/SAFETY matching
+        // sees the body only.
+        while matches!(self.peek(0), Some(b'/') | Some(b'!')) {
+            self.bump();
+        }
+        let mut text = Vec::new();
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            text.push(b);
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&text).trim().to_string();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = Vec::new();
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.extend_from_slice(b"/*");
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.extend_from_slice(b"*/");
+            } else {
+                text.push(b);
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&text).trim().to_string();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Ordinary (escaped) string literal; the opening quote is current.
+    fn string_literal(&mut self) {
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Raw string with `hashes` delimiter hashes; positioned just past the
+    /// opening quote. No escapes: only `"` followed by `hashes` `#`s ends it.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // Current char is `'`. Disambiguate lifetime vs char literal.
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: consume up to the closing quote.
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char (first byte of it)
+                while let Some(b) = self.peek(0) {
+                    if b == b'\'' {
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line, col);
+            }
+            Some(c) if is_ident_start(c) && self.peek(2) != Some(b'\'') => {
+                // Lifetime: `'a`, `'static`, `'_`.
+                self.bump();
+                let mut text = String::new();
+                while let Some(b) = self.peek(0) {
+                    if !is_ident_continue(b) {
+                        break;
+                    }
+                    text.push(b as char);
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, text, line, col);
+            }
+            Some(_) => {
+                // Plain char literal: `'x'`, `'('`, `'"'` — or `'a'` where
+                // peek(2) was the closing quote.
+                self.bump();
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line, col);
+            }
+            None => {
+                self.bump();
+                self.push(TokKind::Punct, "'".to_string(), line, col);
+            }
+        }
+    }
+
+    fn ident_or_raw(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(b) = self.peek(0) {
+            if !is_ident_continue(b) {
+                break;
+            }
+            text.push(b as char);
+            self.bump();
+        }
+        // Raw-string / raw-identifier lookahead: `r"…"`, `r#"…"#`,
+        // `br#"…"#`, `r#ident`.
+        if text == "r" || text == "br" {
+            if self.peek(0) == Some(b'"') {
+                self.bump();
+                self.raw_string_body(0);
+                self.push(TokKind::Str, String::new(), line, col);
+                return;
+            }
+            if self.peek(0) == Some(b'#') {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes);
+                    self.push(TokKind::Str, String::new(), line, col);
+                    return;
+                }
+                if text == "r"
+                    && hashes == 1
+                    && self.peek(1).is_some_and(is_ident_start)
+                {
+                    // Raw identifier r#foo: the audit treats it as `foo`.
+                    self.bump(); // #
+                    let mut raw = String::new();
+                    while let Some(b) = self.peek(0) {
+                        if !is_ident_continue(b) {
+                            break;
+                        }
+                        raw.push(b as char);
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, raw, line, col);
+                    return;
+                }
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                text.push(b as char);
+                self.bump();
+                // Exponent sign: `1e+3`, `2E-7`.
+                if (b == b'e' || b == b'E')
+                    && text.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(self.peek(0).unwrap_or(b'+') as char);
+                    self.bump();
+                }
+            } else if b == b'.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` but not `0..n` or `x.method()`.
+                seen_dot = true;
+                text.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+}
+
+/// Returns the index of the token closing the bracket opened at `open`
+/// (`toks[open]` must be the opening punct), or `toks.len()` if unmatched.
+pub fn matching_close(toks: &[Tok], open: usize, open_ch: &str, close_ch: &str) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_ch {
+                depth += 1;
+            } else if t.text == close_ch {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Line ranges (inclusive) of items gated behind `#[cfg(test)]` — the
+/// regions the panic/cast rules exempt. An attribute whose bracket group
+/// contains both `cfg` and `test` idents starts a region that extends to
+/// the end of the following item (brace-matched body, or the terminating
+/// semicolon for brace-less items).
+pub fn cfg_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = toks.get(i + 1) else { break };
+        if !(open.kind == TokKind::Punct && open.text == "[") {
+            i += 1;
+            continue;
+        }
+        let close = matching_close(toks, i + 1, "[", "]");
+        let attr = &toks[i + 1..close.min(toks.len())];
+        let is_cfg_test = attr.iter().any(|t| t.kind == TokKind::Ident && t.text == "cfg")
+            && attr.iter().any(|t| t.kind == TokKind::Ident && t.text == "test")
+            && !attr.iter().any(|t| t.kind == TokKind::Ident && t.text == "not");
+        if !is_cfg_test {
+            i = close + 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut j = close + 1;
+        // Skip any further attributes on the same item.
+        while j + 1 < toks.len()
+            && toks[j].kind == TokKind::Punct
+            && toks[j].text == "#"
+            && toks[j + 1].kind == TokKind::Punct
+            && toks[j + 1].text == "["
+        {
+            j = matching_close(toks, j + 1, "[", "]") + 1;
+        }
+        // The item body: first `{` (brace-matched) or `;`, whichever first.
+        let mut end_line = start_line;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct && t.text == ";" {
+                end_line = t.line;
+                j += 1;
+                break;
+            }
+            if t.kind == TokKind::Punct && t.text == "{" {
+                let body_close = matching_close(toks, j, "{", "}");
+                end_line = toks.get(body_close).map_or(t.line, |c| c.line);
+                j = body_close + 1;
+                break;
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j;
+    }
+    regions
+}
+
+/// True when `line` falls inside any of `regions` (inclusive bounds).
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_with_positions() {
+        let l = lex("fn foo() {\n    bar.unwrap();\n}\n");
+        let unwrap = l.toks.iter().find(|t| t.text == "unwrap").expect("unwrap tok");
+        assert_eq!((unwrap.line, unwrap.col), (2, 9));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r#"let x = "partial_cmp unwrap HashMap"; y.total_cmp(z);"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"total_cmp".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_desync() {
+        let src = "let s = \"he said \\\"unsafe\\\" loudly\"; after();";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r##"let s = r#"say "partial_cmp" loudly"#; after();"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        // Backslash at the end of a raw string is NOT an escape.
+        let src2 = "let s = r\"c:\\\"; after2();";
+        assert!(idents(src2).contains(&"after2".to_string()));
+        // Byte raw strings too.
+        let src3 = r##"let s = br#"unwrap"#; after3();"##;
+        let ids3 = idents(src3);
+        assert!(ids3.contains(&"after3".to_string()));
+        assert!(!ids3.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let ids = idents("let r#type = 1; use_it(r#type);");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let p = '('; g::<'static, _>(); }";
+        let l = lex(src);
+        let lifetimes: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.clone()).collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+        // Nothing after the char literals was swallowed.
+        assert!(l.toks.iter().any(|t| t.text == "g"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "before(); /* outer /* inner unsafe */ still comment */ after();";
+        let ids = idents(src);
+        assert!(ids.contains(&"before".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn comments_capture_text_and_line() {
+        let src = "line1();\n// SAFETY: bounds checked above\nline3();\n/// doc comment\nline5();";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 2);
+        assert_eq!(l.comments[0].text, "SAFETY: bounds checked above");
+        assert_eq!(l.comments[1].line, 4);
+        assert_eq!(l.comments[1].text, "doc comment");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { let x = 1.5e-3; v[i].push(2); }";
+        let l = lex(src);
+        let nums: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.clone()).collect();
+        assert!(nums.contains(&"0".to_string()));
+        assert!(nums.contains(&"10".to_string()));
+        assert!(nums.contains(&"1.5e-3".to_string()));
+        assert!(l.toks.iter().any(|t| t.text == "push"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "\
+fn real() { a.unwrap(); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { b.unwrap(); }\n\
+}\n\
+fn real2() {}\n";
+        let l = lex(src);
+        let regions = cfg_test_regions(&l.toks);
+        assert_eq!(regions, vec![(2, 6)]);
+        assert!(!in_regions(&regions, 1));
+        assert!(in_regions(&regions, 5));
+        assert!(!in_regions(&regions, 7));
+    }
+
+    #[test]
+    fn cfg_test_region_handles_derive_attr_and_semicolon_items() {
+        let src = "\
+#[cfg(test)]\n\
+#[derive(Debug)]\n\
+struct T { x: u8 }\n\
+#[cfg(test)]\n\
+use std::collections::HashMap;\n\
+fn real() {}\n";
+        let l = lex(src);
+        let regions = cfg_test_regions(&l.toks);
+        assert_eq!(regions, vec![(1, 3), (4, 5)]);
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        // Any cfg mentioning `test` is treated as a test region — including
+        // not(test): both gate the code out of the production build, which
+        // is the property the rules care about... except not(test) is the
+        // OPPOSITE. Document the conservative choice: only attrs containing
+        // the bare `test` ident count, and not(test) contains it too, so we
+        // explicitly reject attrs that also contain `not`.
+        let src = "#[cfg(not(test))]\nfn prod() { a.unwrap(); }\n";
+        let l = lex(src);
+        let regions = cfg_test_regions(&l.toks);
+        assert!(regions.is_empty(), "not(test) code is production code: {regions:?}");
+    }
+}

@@ -1,0 +1,163 @@
+//! `dgs-audit`: repo-specific static analysis for the DGS invariants.
+//!
+//! Std-only and dependency-free by design: the container this repo is
+//! verified in cannot reach a cargo registry, so the audit must build
+//! with bare `rustc` (see `.claude/skills/verify/SKILL.md`). The lexer
+//! is hand-rolled ([`lexer`]), the rules are token-level ([`rules`]),
+//! scoping is per-path ([`config`]), and findings can be suppressed by
+//! justified inline waiver comments ([`waivers`]).
+//!
+//! Rule catalogue and rationale: DESIGN.md §8.
+
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod waivers;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use diagnostics::Finding;
+
+/// Audits one file's source text. `rel_path` is the `/`-separated
+/// workspace-relative path used for rule scoping and diagnostics.
+/// `only` optionally restricts the rule set (waiver-hygiene findings are
+/// emitted only when unrestricted or when `only` includes `"waiver"`).
+pub fn check_source(
+    rel_path: &str,
+    src: &str,
+    cfg: &Config,
+    only: Option<&[String]>,
+) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let mut findings = rules::run_all(rel_path, &lexed, cfg, only);
+    let mut wset = waivers::collect(&lexed.comments, config::RULES);
+    findings.retain(|f| !wset.try_waive(&f.rule, f.line));
+    let waiver_hygiene = only.map_or(true, |names| names.iter().any(|n| n == "waiver"));
+    if waiver_hygiene {
+        for (line, msg) in &wset.problems {
+            findings.push(Finding::new("waiver", rel_path, *line, 1, msg.clone()));
+        }
+        for (line, rule) in wset.unused() {
+            findings.push(Finding::new(
+                "waiver",
+                rel_path,
+                line,
+                1,
+                format!("unused waiver for `{rule}`: nothing on this or the next line trips it"),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    findings
+}
+
+/// Audits the workspace rooted at `root`: `src/` plus every
+/// `crates/*/src/` tree, in sorted order for deterministic output.
+/// Fixture files under `tests/` are deliberately out of scope — they
+/// exist to trip the rules.
+pub fn check_workspace(
+    root: &Path,
+    cfg: &Config,
+    only: Option<&[String]>,
+) -> io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs_files(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> =
+            fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let crate_src = dir.join("src");
+            if crate_src.is_dir() {
+                collect_rs_files(&crate_src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file)?;
+        let rel = rel_path_str(root, file);
+        findings.extend(check_source(&rel, &text, cfg, only));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path for diagnostics and scoping.
+fn rel_path_str(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let parts: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waived_finding_is_suppressed_and_waiver_counts_as_used() {
+        let cfg = Config::default_for_workspace();
+        let src = "fn f(x: Option<u8>) {\n\
+                   // dgs::allow(no-panic-io): channel sender cannot outlive receiver here\n\
+                   x.unwrap();\n\
+                   }\n";
+        let f = check_source("crates/net/src/tcp.rs", src, &cfg, None);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let cfg = Config::default_for_workspace();
+        let src = "// dgs::allow(no-panic-io): stale reason\nfn f() {}\n";
+        let f = check_source("crates/net/src/tcp.rs", src, &cfg, None);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "waiver");
+        assert!(f[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let cfg = Config::default_for_workspace();
+        let src = "fn f(x: Option<u8>) {\n\
+                   // dgs::allow(nan-ordering): wrong rule name for this site\n\
+                   x.unwrap();\n\
+                   }\n";
+        let f = check_source("crates/net/src/tcp.rs", src, &cfg, None);
+        // The unwrap still fires AND the waiver is unused.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "no-panic-io"));
+        assert!(f.iter().any(|x| x.rule == "waiver"));
+    }
+
+    #[test]
+    fn findings_sorted_by_position() {
+        let cfg = Config::default_for_workspace();
+        let src = "fn b(x: Option<u8>) { x.unwrap(); }\nfn a(y: Option<u8>) { y.expect(\"y\"); }\n";
+        let f = check_source("crates/net/src/transport.rs", src, &cfg, None);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line < f[1].line);
+    }
+}

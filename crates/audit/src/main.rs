@@ -1,0 +1,92 @@
+//! CLI entry point: `dgs-audit --workspace [--root DIR] [--rule NAME]...`
+//!
+//! Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dgs_audit::config::{Config, RULES};
+use dgs_audit::{check_workspace, diagnostics};
+
+const USAGE: &str = "\
+dgs-audit: DGS-invariant static analysis (see DESIGN.md S8)
+
+USAGE:
+    dgs-audit --workspace [--root DIR] [--rule NAME]...
+
+OPTIONS:
+    --workspace      audit src/ and crates/*/src/ under the root
+    --root DIR       workspace root (default: current directory)
+    --rule NAME      run only the named rule(s); repeatable
+    --list-rules     print the rule names and exit
+    --help           this text
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut only: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--rule" => match args.next() {
+                Some(name) => {
+                    if !RULES.contains(&name.as_str()) && name != "waiver" {
+                        return usage_error(&format!(
+                            "unknown rule `{name}` (try --list-rules)"
+                        ));
+                    }
+                    only.push(name);
+                }
+                None => return usage_error("--rule needs a rule name"),
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage_error("nothing to do: pass --workspace");
+    }
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "dgs-audit: `{}` does not look like a workspace root (no Cargo.toml); use --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let cfg = Config::default_for_workspace();
+    let only = if only.is_empty() { None } else { Some(only) };
+    match check_workspace(&root, &cfg, only.as_deref()) {
+        Ok(findings) => {
+            print!("{}", diagnostics::render_report(&findings));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dgs-audit: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dgs-audit: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

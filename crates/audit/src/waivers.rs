@@ -1,0 +1,133 @@
+//! Inline waiver comments: `// dgs::allow(<rule>): <justification>`.
+//!
+//! A waiver on the same line as a finding, or on the line directly above
+//! it, suppresses that finding. Every waiver must carry a non-empty
+//! justification and must actually suppress something — malformed,
+//! unknown-rule, and unused waivers are themselves findings (rule
+//! `waiver`), so the waiver list can never silently rot.
+
+use crate::lexer::Comment;
+
+/// A parsed, well-formed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule name inside `dgs::allow(...)`.
+    pub rule: String,
+    /// 1-based line the waiver comment starts on.
+    pub line: u32,
+    /// Set once a finding is suppressed by this waiver.
+    pub used: bool,
+}
+
+/// Result of scanning a file's comments for waivers.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    /// Well-formed waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// Problems found while parsing: `(line, message)`.
+    pub problems: Vec<(u32, String)>,
+}
+
+const MARKER: &str = "dgs::allow(";
+
+/// Extracts waivers from lexed comments. `known_rules` validates the rule
+/// name so a typo (`dgs::allow(nan-odering)`) cannot silently waive nothing.
+pub fn collect(comments: &[Comment], known_rules: &[&str]) -> WaiverSet {
+    let mut set = WaiverSet::default();
+    for c in comments {
+        // Only comments that *start* with the marker are waivers; prose
+        // that merely mentions the syntax (docs, DESIGN quotes) is not.
+        let Some(rest) = c.text.trim_start().strip_prefix(MARKER) else { continue };
+        let Some(close) = rest.find(')') else {
+            set.problems.push((c.line, "malformed waiver: missing ')'".to_string()));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known_rules.contains(&rule.as_str()) {
+            set.problems.push((c.line, format!("waiver names unknown rule `{rule}`")));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').map(str::trim_start).unwrap_or("");
+        if justification.is_empty() {
+            set.problems.push((
+                c.line,
+                format!("waiver for `{rule}` has no justification (expected `dgs::allow({rule}): why`)"),
+            ));
+            continue;
+        }
+        set.waivers.push(Waiver { rule, line: c.line, used: false });
+    }
+    set
+}
+
+impl WaiverSet {
+    /// Attempts to waive a finding of `rule` at `line`. A waiver applies
+    /// from its own line or the line directly above. Marks the waiver used.
+    pub fn try_waive(&mut self, rule: &str, line: u32) -> bool {
+        for w in &mut self.waivers {
+            if w.rule == rule && (w.line == line || w.line + 1 == line) {
+                w.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Unused waivers after all rules ran: `(line, rule)`.
+    pub fn unused(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.waivers.iter().filter(|w| !w.used).map(|w| (w.line, w.rule.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["nan-ordering", "no-panic-io"];
+
+    fn comment(text: &str, line: u32) -> Comment {
+        Comment { text: text.to_string(), line }
+    }
+
+    #[test]
+    fn parses_valid_waiver() {
+        let set = collect(&[comment("dgs::allow(no-panic-io): socket already validated", 7)], RULES);
+        assert!(set.problems.is_empty());
+        assert_eq!(set.waivers.len(), 1);
+        assert_eq!(set.waivers[0].rule, "no-panic-io");
+        assert_eq!(set.waivers[0].line, 7);
+    }
+
+    #[test]
+    fn waiver_applies_same_line_and_line_above_only() {
+        let mut set = collect(&[comment("dgs::allow(no-panic-io): reason", 10)], RULES);
+        assert!(!set.try_waive("no-panic-io", 9));
+        assert!(!set.try_waive("no-panic-io", 12));
+        assert!(!set.try_waive("nan-ordering", 10));
+        assert!(set.try_waive("no-panic-io", 11));
+        assert_eq!(set.unused().count(), 0);
+    }
+
+    #[test]
+    fn empty_justification_is_a_problem() {
+        let set = collect(&[comment("dgs::allow(no-panic-io):", 3), comment("dgs::allow(no-panic-io)", 4)], RULES);
+        assert_eq!(set.problems.len(), 2);
+        assert!(set.waivers.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_paren_are_problems() {
+        let set = collect(&[comment("dgs::allow(nan-odering): typo", 1), comment("dgs::allow(oops", 2)], RULES);
+        assert_eq!(set.problems.len(), 2);
+        assert!(set.problems[0].1.contains("unknown rule"));
+        assert!(set.problems[1].1.contains("missing ')'"));
+    }
+
+    #[test]
+    fn unused_waivers_surface() {
+        let set = collect(&[comment("dgs::allow(nan-ordering): never matched", 5)], RULES);
+        let unused: Vec<_> = set.unused().collect();
+        assert_eq!(unused, vec![(5, "nan-ordering")]);
+    }
+}

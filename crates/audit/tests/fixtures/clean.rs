@@ -1,0 +1,19 @@
+//! Clean fixture: passes every rule under any scope path.
+use std::collections::BTreeMap;
+
+pub fn encode_blob(v: &BTreeMap<u32, f32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, x) in v {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+pub fn decode_blob(b: &[u8]) -> usize {
+    b.len() / 8
+}
+
+pub fn order(a: f32, b: f32) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}

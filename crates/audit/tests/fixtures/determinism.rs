@@ -1,0 +1,14 @@
+//! Trip/pass fixture for `determinism` (audited as if in crates/core/src).
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Trace {
+    pub started: Instant,
+    pub applied: BTreeMap<u64, u32>,
+    pub seen: HashMap<u64, u32>,
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

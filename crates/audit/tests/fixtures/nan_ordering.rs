@@ -1,0 +1,22 @@
+//! Trip/pass fixture for `nan-ordering` (audited as if in crates/sparsify/src).
+pub struct Wrapped(pub f32);
+
+pub fn select_bad(v: &mut [f32]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn select_good(v: &mut [f32]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+impl PartialOrd for Wrapped {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+impl PartialEq for Wrapped {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}

@@ -1,0 +1,22 @@
+//! Trip/pass fixture for `no-panic-io` (audited as if in crates/net/src).
+pub fn bad_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn bad_panic(kind: u8) {
+    if kind > 3 {
+        panic!("unknown frame kind {kind}");
+    }
+}
+
+pub fn fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u8).unwrap();
+    }
+}

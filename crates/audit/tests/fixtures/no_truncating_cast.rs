@@ -1,0 +1,20 @@
+//! Trip/pass fixture for `no-truncating-cast` (audited as if codec.rs).
+pub fn bad_len(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn good_len(n: usize) -> Result<u32, &'static str> {
+    u32::try_from(n).map_err(|_| "too large")
+}
+
+pub fn float_target_is_fine(x: u32) -> f64 {
+    x as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_exempt() {
+        let _ = 300usize as u8;
+    }
+}

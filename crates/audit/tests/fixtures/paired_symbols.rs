@@ -1,0 +1,30 @@
+//! Trip/pass fixture for `paired-symbols` (audited as if codec.rs).
+pub fn encode_ping(x: u8) -> Vec<u8> {
+    vec![x]
+}
+
+pub fn encode_pong_payload(x: u8) -> Vec<u8> {
+    vec![x]
+}
+
+pub fn decode_pong(b: &[u8]) -> u8 {
+    b[0]
+}
+
+pub fn put_scale(buf: &mut Vec<u8>, s: f32) {
+    buf.extend_from_slice(&s.to_le_bytes());
+}
+
+pub enum PingMsg {
+    Hello,
+    Stray(u8),
+}
+
+impl PingMsg {
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            PingMsg::Hello => 1,
+            _ => 2,
+        }
+    }
+}

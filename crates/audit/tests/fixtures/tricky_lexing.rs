@@ -1,0 +1,13 @@
+//! Lexer-hardening fixture: everything here is a decoy except line 12.
+pub const DECOY_STR: &str = "x.unwrap() and panic!(\"boom\") in a string";
+pub const DECOY_RAW: &str = r#"y.expect("nope") and 1usize as u32"#;
+pub const DECOY_BYTES: &[u8] = br"z.unwrap()";
+/* nested /* block comment: w.unwrap() */ still a comment */
+pub const QUOTE: char = '\'';
+pub const NEWLINE: char = '\n';
+pub fn generic<'unwrap>(x: &'unwrap u8) -> u8 {
+    *x
+}
+pub fn genuine(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,5 @@
+//! Trip fixture for `unsafe-budget` outside the budget.
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: a comment does not buy a budget exemption outside tensor.
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! Trip/pass fixture for `unsafe-budget` inside the budget.
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

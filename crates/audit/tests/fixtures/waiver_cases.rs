@@ -1,0 +1,18 @@
+//! Waiver-handling fixture: same-line, line-above, unused, malformed.
+pub fn waived_same_line(x: Option<u8>) -> u8 {
+    x.unwrap() // dgs::allow(no-panic-io): golden fixture, same-line form
+}
+
+pub fn waived_line_above(x: Option<u8>) -> u8 {
+    // dgs::allow(no-panic-io): golden fixture, line-above form
+    x.unwrap()
+}
+
+// dgs::allow(no-panic-io): covers nothing, must surface as unused
+
+pub fn not_covered(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+// dgs::allow(no-such-rule): unknown rule names are rejected
+// dgs::allow(no-panic-io)

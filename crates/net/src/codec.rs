@@ -94,42 +94,44 @@ pub fn down_msg_type(down: &DownMsg) -> MsgType {
     }
 }
 
-/// Encodes an uplink body (loss prefix + payload).
-pub fn encode_up_payload(up: &UpMsg) -> Vec<u8> {
+/// Encodes an uplink body (loss prefix + payload). Errors with
+/// [`NetError::TooLarge`] if a chunk count or nnz does not fit its u32
+/// wire field — truncating would alias another (valid-looking) message.
+pub fn encode_up_payload(up: &UpMsg) -> NetResult<Vec<u8>> {
     let mut buf = Vec::with_capacity(up.wire_bytes() - HEADER_LEN);
     buf.extend_from_slice(&up.train_loss.to_le_bytes());
     match &up.payload {
         UpPayload::Dense(v) => put_f32s(&mut buf, v),
-        UpPayload::Sparse(s) => put_sparse(&mut buf, s),
-        UpPayload::TernarySparse(t) => put_ternary(&mut buf, t),
+        UpPayload::Sparse(s) => put_sparse(&mut buf, s)?,
+        UpPayload::TernarySparse(t) => put_ternary(&mut buf, t)?,
     }
-    buf
+    Ok(buf)
 }
 
-/// Encodes a downlink body.
-pub fn encode_down_payload(down: &DownMsg) -> Vec<u8> {
+/// Encodes a downlink body; same [`NetError::TooLarge`] contract.
+pub fn encode_down_payload(down: &DownMsg) -> NetResult<Vec<u8>> {
     let mut buf = Vec::with_capacity(down.wire_bytes() - HEADER_LEN);
     match down {
         DownMsg::DenseModel(v) => put_f32s(&mut buf, v),
-        DownMsg::SparseDiff(s) => put_sparse(&mut buf, s),
+        DownMsg::SparseDiff(s) => put_sparse(&mut buf, s)?,
     }
-    buf
+    Ok(buf)
 }
 
 /// Encodes a complete uplink frame. Its length equals `up.wire_bytes()` —
 /// the codec-level guarantee that keeps real and simulated traffic
 /// accounting identical (unit-tested below for every variant).
-pub fn encode_up_frame(worker: u16, seq: u32, up: &UpMsg) -> Vec<u8> {
-    let frame = encode_frame(up_msg_type(&up.payload), worker, seq, &encode_up_payload(up));
+pub fn encode_up_frame(worker: u16, seq: u32, up: &UpMsg) -> NetResult<Vec<u8>> {
+    let frame = encode_frame(up_msg_type(&up.payload), worker, seq, &encode_up_payload(up)?)?;
     debug_assert_eq!(frame.len(), up.wire_bytes());
-    frame
+    Ok(frame)
 }
 
 /// Encodes a complete downlink frame; length equals `down.wire_bytes()`.
-pub fn encode_down_frame(worker: u16, seq: u32, down: &DownMsg) -> Vec<u8> {
-    let frame = encode_frame(down_msg_type(down), worker, seq, &encode_down_payload(down));
+pub fn encode_down_frame(worker: u16, seq: u32, down: &DownMsg) -> NetResult<Vec<u8>> {
+    let frame = encode_frame(down_msg_type(down), worker, seq, &encode_down_payload(down)?)?;
     debug_assert_eq!(frame.len(), down.wire_bytes());
-    frame
+    Ok(frame)
 }
 
 /// Decodes an uplink body for the given frame type.
@@ -137,7 +139,7 @@ pub fn decode_up(msg_type: MsgType, payload: &[u8]) -> NetResult<UpMsg> {
     let mut r = Reader::new(payload);
     let train_loss = r.f64()?;
     let payload = match msg_type {
-        MsgType::UpDense => UpPayload::Dense(r.rest_f32s()?),
+        MsgType::UpDense => UpPayload::Dense(r.take_f32s()?),
         MsgType::UpSparse => UpPayload::Sparse(take_sparse(&mut r)?),
         MsgType::UpTernary => UpPayload::TernarySparse(take_ternary(&mut r)?),
         other => return Err(NetError::Protocol(format!("{other:?} is not an uplink data frame"))),
@@ -150,7 +152,7 @@ pub fn decode_up(msg_type: MsgType, payload: &[u8]) -> NetResult<UpMsg> {
 pub fn decode_down(msg_type: MsgType, payload: &[u8]) -> NetResult<DownMsg> {
     let mut r = Reader::new(payload);
     let down = match msg_type {
-        MsgType::DownDense => DownMsg::DenseModel(Arc::new(r.rest_f32s()?)),
+        MsgType::DownDense => DownMsg::DenseModel(Arc::new(r.take_f32s()?)),
         MsgType::DownSparse => DownMsg::SparseDiff(take_sparse(&mut r)?),
         other => return Err(NetError::Protocol(format!("{other:?} is not a downlink data frame"))),
     };
@@ -164,6 +166,17 @@ pub const LOSS_BYTES: usize = UP_LOSS_BYTES;
 // ---------------------------------------------------------------------------
 // body primitives
 
+/// Checked count → u32 wire field; refuses rather than truncates.
+fn wire_count(what: &'static str, n: usize) -> NetResult<u32> {
+    u32::try_from(n).map_err(|_| NetError::TooLarge { what, len: n })
+}
+
+/// Checked u32 wire field → usize. Infallible on 64-bit hosts, checked
+/// anyway so a 16-bit target could never over-allocate from a count.
+fn wire_len(n: u32) -> NetResult<usize> {
+    usize::try_from(n).map_err(|_| NetError::Malformed("count exceeds address space"))
+}
+
 fn put_f32s(buf: &mut Vec<u8>, vals: &[f32]) {
     buf.reserve(4 * vals.len());
     for &v in vals {
@@ -171,10 +184,10 @@ fn put_f32s(buf: &mut Vec<u8>, vals: &[f32]) {
     }
 }
 
-fn put_sparse(buf: &mut Vec<u8>, s: &SparseUpdate) {
-    buf.extend_from_slice(&(s.chunks.len() as u32).to_le_bytes());
+fn put_sparse(buf: &mut Vec<u8>, s: &SparseUpdate) -> NetResult<()> {
+    buf.extend_from_slice(&wire_count("sparse chunk count", s.chunks.len())?.to_le_bytes());
     for chunk in &s.chunks {
-        buf.extend_from_slice(&(chunk.idx.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&wire_count("sparse nnz", chunk.idx.len())?.to_le_bytes());
         for &i in &chunk.idx {
             buf.extend_from_slice(&i.to_le_bytes());
         }
@@ -182,29 +195,31 @@ fn put_sparse(buf: &mut Vec<u8>, s: &SparseUpdate) {
             buf.extend_from_slice(&v.to_le_bytes());
         }
     }
+    Ok(())
 }
 
-fn put_ternary(buf: &mut Vec<u8>, t: &TernaryUpdate) {
-    buf.extend_from_slice(&(t.chunks.len() as u32).to_le_bytes());
+fn put_ternary(buf: &mut Vec<u8>, t: &TernaryUpdate) -> NetResult<()> {
+    buf.extend_from_slice(&wire_count("ternary chunk count", t.chunks.len())?.to_le_bytes());
     for chunk in &t.chunks {
         buf.extend_from_slice(&chunk.scale.to_le_bytes());
-        buf.extend_from_slice(&(chunk.idx.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&wire_count("ternary nnz", chunk.idx.len())?.to_le_bytes());
         for &i in &chunk.idx {
             buf.extend_from_slice(&i.to_le_bytes());
         }
         buf.extend_from_slice(&chunk.signs);
     }
+    Ok(())
 }
 
 fn take_sparse(r: &mut Reader<'_>) -> NetResult<SparseUpdate> {
-    let num_chunks = r.u32()? as usize;
+    let num_chunks = wire_len(r.u32()?)?;
     // Each chunk costs at least 4 bytes; a larger count is a lie.
     if num_chunks > r.remaining() / 4 {
         return Err(NetError::Malformed("sparse chunk count exceeds payload"));
     }
     let mut chunks = Vec::with_capacity(num_chunks);
     for _ in 0..num_chunks {
-        let nnz = r.u32()? as usize;
+        let nnz = wire_len(r.u32()?)?;
         if nnz > r.remaining() / 8 {
             return Err(NetError::Malformed("sparse nnz exceeds payload"));
         }
@@ -222,7 +237,7 @@ fn take_sparse(r: &mut Reader<'_>) -> NetResult<SparseUpdate> {
 }
 
 fn take_ternary(r: &mut Reader<'_>) -> NetResult<TernaryUpdate> {
-    let num_chunks = r.u32()? as usize;
+    let num_chunks = wire_len(r.u32()?)?;
     // Each ternary chunk costs at least 8 bytes (scale + count).
     if num_chunks > r.remaining() / 8 {
         return Err(NetError::Malformed("ternary chunk count exceeds payload"));
@@ -230,7 +245,7 @@ fn take_ternary(r: &mut Reader<'_>) -> NetResult<TernaryUpdate> {
     let mut chunks = Vec::with_capacity(num_chunks);
     for _ in 0..num_chunks {
         let scale = r.f32()?;
-        let nnz = r.u32()? as usize;
+        let nnz = wire_len(r.u32()?)?;
         let sign_bytes = nnz.div_ceil(8);
         if nnz > r.remaining() / 4 || sign_bytes > r.remaining().saturating_sub(4 * nnz) {
             return Err(NetError::Malformed("ternary nnz exceeds payload"));
@@ -269,25 +284,31 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Fixed-size read. `bytes(N)` already guarantees the slice length,
+    /// but the conversion stays checked so no panic path exists here.
+    fn arr<const N: usize>(&mut self) -> NetResult<[u8; N]> {
+        self.bytes(N)?.try_into().map_err(|_| NetError::Malformed("internal length mismatch"))
+    }
+
     fn u32(&mut self) -> NetResult<u32> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     fn u64(&mut self) -> NetResult<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     fn f32(&mut self) -> NetResult<f32> {
-        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.arr()?))
     }
 
     fn f64(&mut self) -> NetResult<f64> {
-        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.arr()?))
     }
 
-    /// Consumes the rest of the payload as f32s; errors unless the
-    /// remainder is f32-aligned.
-    fn rest_f32s(&mut self) -> NetResult<Vec<f32>> {
+    /// Consumes the rest of the payload as f32s (the pair of `put_f32s`);
+    /// errors unless the remainder is f32-aligned.
+    fn take_f32s(&mut self) -> NetResult<Vec<f32>> {
         if self.remaining() % 4 != 0 {
             return Err(NetError::Malformed("dense payload not f32-aligned"));
         }
@@ -335,7 +356,7 @@ mod tests {
     }
 
     fn roundtrip_up(up: &UpMsg) {
-        let frame = encode_up_frame(3, 7, up);
+        let frame = encode_up_frame(3, 7, up).unwrap();
         assert_eq!(frame.len(), up.wire_bytes(), "frame length must equal wire accounting");
         let (h, body) =
             crate::frame::read_frame(&mut std::io::Cursor::new(&frame), frame.len()).unwrap();
@@ -380,7 +401,7 @@ mod tests {
         let dense = DownMsg::DenseModel(Arc::new(vec![1.0f32, -2.5, 0.0, 42.0]));
         let sparse = DownMsg::SparseDiff(sparse_fixture());
         for down in [dense, sparse] {
-            let frame = encode_down_frame(1, 2, &down);
+            let frame = encode_down_frame(1, 2, &down).unwrap();
             assert_eq!(frame.len(), down.wire_bytes());
             let (h, body) =
                 crate::frame::read_frame(&mut std::io::Cursor::new(&frame), frame.len()).unwrap();
@@ -429,7 +450,7 @@ mod tests {
         // change: one chunk, nnz=2, idx [3, 7], val [1.0, -2.0].
         let s = SparseUpdate { chunks: vec![SparseVec { idx: vec![3, 7], val: vec![1.0, -2.0] }] };
         let up = UpMsg { payload: UpPayload::Sparse(s), train_loss: 2.0 };
-        let body = encode_up_payload(&up);
+        let body = encode_up_payload(&up).unwrap();
         let expect: Vec<u8> = [
             2.0f64.to_le_bytes().as_slice(), // train loss
             &1u32.to_le_bytes(),             // num_chunks
@@ -450,7 +471,7 @@ mod tests {
         };
         let down_body = {
             let up = UpMsg { payload: UpPayload::TernarySparse(t), train_loss: 0.0 };
-            encode_up_payload(&up)
+            encode_up_payload(&up).unwrap()
         };
         let expect: Vec<u8> = [
             0.0f64.to_le_bytes().as_slice(), // loss
@@ -469,7 +490,7 @@ mod tests {
     fn malformed_bodies_error_not_panic() {
         // Truncations at every length of a valid sparse uplink body.
         let up = UpMsg { payload: UpPayload::Sparse(sparse_fixture()), train_loss: 1.0 };
-        let body = encode_up_payload(&up);
+        let body = encode_up_payload(&up).unwrap();
         for cut in 0..body.len() {
             assert!(decode_up(MsgType::UpSparse, &body[..cut]).is_err(), "cut {cut}");
         }

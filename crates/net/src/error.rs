@@ -39,6 +39,15 @@ pub enum NetError {
     },
     /// Payload body failed to decode (truncated or inconsistent counts).
     Malformed(&'static str),
+    /// Encode-side refusal: a count or length does not fit its wire field.
+    /// Truncating with `as` would alias another value; erroring keeps the
+    /// `encode(msg).len() == msg.wire_bytes()` invariant honest.
+    TooLarge {
+        /// Which field overflowed (`"payload"`, `"sparse chunk count"`, …).
+        what: &'static str,
+        /// The value that did not fit.
+        len: usize,
+    },
     /// Peer closed the connection at a frame boundary.
     Closed,
     /// Handshake rejected (dim/θ0 mismatch, duplicate worker id, …).
@@ -81,6 +90,9 @@ impl fmt::Display for NetError {
                 write!(f, "declared payload length {len} exceeds maximum {max}")
             }
             NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            NetError::TooLarge { what, len } => {
+                write!(f, "{what} {len} does not fit its wire field")
+            }
             NetError::Closed => write!(f, "connection closed by peer"),
             NetError::Handshake(why) => write!(f, "handshake rejected: {why}"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
@@ -128,5 +140,8 @@ mod tests {
         assert!(s.contains("crc"));
         let s = NetError::Oversized { len: 10, max: 5 }.to_string();
         assert!(s.contains("10") && s.contains('5'));
+        let s = NetError::TooLarge { what: "payload", len: 5_000_000_000 }.to_string();
+        assert!(s.contains("payload") && s.contains("5000000000"));
+        assert!(!NetError::TooLarge { what: "payload", len: 0 }.is_recoverable());
     }
 }

@@ -147,18 +147,28 @@ pub struct FrameHeader {
 }
 
 /// Encodes a complete frame (header + payload) into a fresh buffer. The
-/// returned length is exactly `HEADER_LEN + payload.len()`.
-pub fn encode_frame(msg_type: MsgType, worker: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+/// returned length is exactly `HEADER_LEN + payload.len()`; a payload
+/// whose length does not fit the u32 header field is refused with
+/// [`NetError::TooLarge`] rather than silently truncated.
+pub fn encode_frame(
+    msg_type: MsgType,
+    worker: u16,
+    seq: u32,
+    payload: &[u8],
+) -> NetResult<Vec<u8>> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| NetError::TooLarge { what: "frame payload", len: payload.len() })?;
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
     buf.extend_from_slice(&MAGIC);
     buf.push(VERSION);
+    // dgs::allow(no-truncating-cast): repr(u8) enum discriminant, value-preserving by construction
     buf.push(msg_type as u8);
     buf.extend_from_slice(&worker.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(&crc32(payload).to_le_bytes());
     buf.extend_from_slice(payload);
-    buf
+    Ok(buf)
 }
 
 /// Writes one frame; returns the exact number of bytes put on the wire.
@@ -169,7 +179,7 @@ pub fn write_frame<W: Write>(
     seq: u32,
     payload: &[u8],
 ) -> NetResult<usize> {
-    let frame = encode_frame(msg_type, worker, seq, payload);
+    let frame = encode_frame(msg_type, worker, seq, payload)?;
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len())
@@ -228,7 +238,8 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> NetResult<(FrameHea
         }
     }
     let header = parse_header(&raw)?;
-    let len = header.len as usize;
+    let len = usize::try_from(header.len)
+        .map_err(|_| NetError::Malformed("declared length exceeds address space"))?;
     if len > max_payload {
         return Err(NetError::Oversized { len, max: max_payload });
     }
@@ -271,14 +282,14 @@ mod tests {
         // 4 len + 4 crc.
         assert_eq!(4 + 1 + 1 + 2 + 4 + 4 + 4, HEADER_LEN);
         assert_eq!(HEADER_LEN, HEADER_BYTES);
-        let frame = encode_frame(MsgType::Heartbeat, 0, 0, &[]);
+        let frame = encode_frame(MsgType::Heartbeat, 0, 0, &[]).unwrap();
         assert_eq!(frame.len(), HEADER_LEN);
     }
 
     #[test]
     fn roundtrip_with_payload() {
         let payload = b"some bytes".to_vec();
-        let frame = encode_frame(MsgType::UpSparse, 7, 42, &payload);
+        let frame = encode_frame(MsgType::UpSparse, 7, 42, &payload).unwrap();
         assert_eq!(frame.len(), HEADER_LEN + payload.len());
         let (h, body) = read_frame(&mut Cursor::new(&frame), 1024).unwrap();
         assert_eq!(h.msg_type, MsgType::UpSparse);
@@ -291,7 +302,7 @@ mod tests {
     #[test]
     fn golden_header_bytes() {
         // Pin the exact layout so accidental field reorders fail loudly.
-        let frame = encode_frame(MsgType::UpDense, 0x0102, 0x0304_0506, b"\x09");
+        let frame = encode_frame(MsgType::UpDense, 0x0102, 0x0304_0506, b"\x09").unwrap();
         assert_eq!(&frame[0..4], b"DGS1");
         assert_eq!(frame[4], 1); // version
         assert_eq!(frame[5], 0x01); // UpDense
@@ -310,7 +321,7 @@ mod tests {
 
     #[test]
     fn truncated_header_and_payload_error() {
-        let frame = encode_frame(MsgType::DownSparse, 1, 1, b"payload");
+        let frame = encode_frame(MsgType::DownSparse, 1, 1, b"payload").unwrap();
         for cut in [1, HEADER_LEN - 1, HEADER_LEN, frame.len() - 1] {
             let err = read_frame(&mut Cursor::new(&frame[..cut]), 64).unwrap_err();
             assert!(
@@ -322,21 +333,21 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]);
+        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]).unwrap();
         frame[0] = b'X';
         assert!(matches!(read_frame(&mut Cursor::new(&frame), 64), Err(NetError::BadMagic(_))));
     }
 
     #[test]
     fn bad_version_rejected() {
-        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]);
+        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]).unwrap();
         frame[4] = 99;
         assert!(matches!(read_frame(&mut Cursor::new(&frame), 64), Err(NetError::BadVersion(99))));
     }
 
     #[test]
     fn unknown_type_rejected() {
-        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]);
+        let mut frame = encode_frame(MsgType::Hello, 0, 0, &[]).unwrap();
         frame[5] = 0x7F;
         assert!(matches!(
             read_frame(&mut Cursor::new(&frame), 64),
@@ -346,7 +357,7 @@ mod tests {
 
     #[test]
     fn oversized_len_rejected_before_allocation() {
-        let mut frame = encode_frame(MsgType::UpDense, 0, 1, &[0u8; 8]);
+        let mut frame = encode_frame(MsgType::UpDense, 0, 1, &[0u8; 8]).unwrap();
         // Forge a 4 GiB-ish declared length; read_frame must refuse based
         // on the cap alone, without attempting the allocation.
         frame[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
@@ -356,7 +367,7 @@ mod tests {
 
     #[test]
     fn corrupted_payload_fails_crc() {
-        let mut frame = encode_frame(MsgType::DownDense, 3, 9, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut frame = encode_frame(MsgType::DownDense, 3, 9, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         let last = frame.len() - 1;
         frame[last] ^= 0x10;
         assert!(matches!(read_frame(&mut Cursor::new(&frame), 64), Err(NetError::BadCrc { .. })));

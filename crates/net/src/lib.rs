@@ -33,6 +33,9 @@
 //! working.
 
 #![warn(missing_docs)]
+// The "error, never panic" wire-path promise, enforced twice: clippy here
+// (non-test code only) and dgs-audit's no-panic-io rule with waivers.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod codec;
 pub mod crc;

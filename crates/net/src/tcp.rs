@@ -180,7 +180,10 @@ impl TcpWorkerTransport {
     /// Reads events until a data reply arrives, heartbeating through
     /// timeouts. `want_seq == None` accepts any reply (resync).
     fn await_reply(&mut self, want_seq: Option<u32>) -> NetResult<DownMsg> {
-        let conn = self.conn.as_mut().expect("await_reply without connection");
+        let conn = self
+            .conn
+            .as_mut()
+            .ok_or_else(|| NetError::Protocol("await_reply without a connection".to_string()))?;
         let worker = self.opts.worker;
         let mut unanswered = 0u32;
         loop {
@@ -252,7 +255,12 @@ impl Transport for TcpWorkerTransport {
                 }
             }
             let worker = self.opts.worker;
-            let send = self.conn.as_mut().unwrap().send_update(worker, seq, up);
+            // connect() just populated `conn` above; treat a gap as a
+            // recoverable close rather than a panic.
+            let send = match self.conn.as_mut() {
+                Some(conn) => conn.send_update(worker, seq, up),
+                None => Err(NetError::Closed),
+            };
             let result = match send {
                 Ok(()) => self.await_reply(Some(seq)),
                 Err(e) => Err(e),
@@ -382,7 +390,9 @@ pub fn serve_cluster<H: UpdateHandler + Send + 'static>(
                 let opts = opts.clone();
                 threads.push(thread::spawn(move || {
                     let conn_stats = serve_conn(stream, handler, &opts, &stop, &done);
-                    stats.lock().unwrap().merge(&conn_stats);
+                    // Counters are plain integers; a sibling thread's panic
+                    // cannot leave them half-updated, so recover the lock.
+                    stats.lock().unwrap_or_else(|e| e.into_inner()).merge(&conn_stats);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -408,7 +418,7 @@ pub fn serve_cluster<H: UpdateHandler + Send + 'static>(
             opts.expected_workers
         )));
     }
-    let s = *stats.lock().unwrap();
+    let s = *stats.lock().unwrap_or_else(|e| e.into_inner());
     Ok(s)
 }
 
@@ -453,7 +463,16 @@ fn serve_conn<H: UpdateHandler>(
                     );
                     return conn.stats();
                 }
-                let applied = handler.lock().unwrap().applied(worker);
+                // A poisoned handler means another connection's thread
+                // panicked mid-update: the training state cannot be
+                // trusted, so refuse the handshake instead of panicking.
+                let applied = match handler.lock() {
+                    Ok(h) => h.applied(worker),
+                    Err(_) => {
+                        let _ = conn.send_error(worker, "server training state poisoned");
+                        return conn.stats();
+                    }
+                };
                 let ack = Hello { dim: opts.dim, applied, theta0_crc: opts.theta0_crc };
                 if conn.send_hello(MsgType::HelloAck, worker, &ack).is_err() {
                     return conn.stats();
@@ -476,7 +495,13 @@ fn serve_conn<H: UpdateHandler>(
                     let _ = conn.send_error(worker, "worker id changed mid-connection");
                     break;
                 }
-                let mut h = handler.lock().unwrap();
+                let mut h = match handler.lock() {
+                    Ok(h) => h,
+                    Err(_) => {
+                        let _ = conn.send_error(worker, "server training state poisoned");
+                        break;
+                    }
+                };
                 let applied = h.applied(worker);
                 let reply = if u64::from(seq) == applied + 1 {
                     h.handle_update(worker, *msg)
@@ -501,7 +526,13 @@ fn serve_conn<H: UpdateHandler>(
                     let _ = conn.send_error(worker, "worker id changed mid-connection");
                     break;
                 }
-                let reply = handler.lock().unwrap().handle_resync(worker);
+                let reply = match handler.lock() {
+                    Ok(mut h) => h.handle_resync(worker),
+                    Err(_) => {
+                        let _ = conn.send_error(worker, "server training state poisoned");
+                        break;
+                    }
+                };
                 if conn.send_reply(worker, 0, &reply).is_err() {
                     break;
                 }

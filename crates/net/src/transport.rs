@@ -171,7 +171,7 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends a worker→server update. The frame length is `msg.wire_bytes()`.
     pub fn send_update(&mut self, worker: u16, seq: u32, msg: &UpMsg) -> NetResult<()> {
         let ty = up_msg_type(&msg.payload);
-        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_up_payload(msg))?;
+        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_up_payload(msg)?)?;
         debug_assert_eq!(n, msg.wire_bytes());
         self.stats.record(ty, n);
         Ok(())
@@ -180,7 +180,7 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends a server→worker reply. The frame length is `msg.wire_bytes()`.
     pub fn send_reply(&mut self, worker: u16, seq: u32, msg: &DownMsg) -> NetResult<()> {
         let ty = down_msg_type(msg);
-        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_down_payload(msg))?;
+        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_down_payload(msg)?)?;
         debug_assert_eq!(n, msg.wire_bytes());
         self.stats.record(ty, n);
         Ok(())
@@ -297,9 +297,11 @@ pub trait Transport {
 pub struct ByteQueue(Arc<Mutex<VecDeque<u8>>>);
 
 impl ByteQueue {
-    /// Bytes currently queued.
+    /// Bytes currently queued. A poisoned lock just means a peer thread
+    /// panicked mid-push; plain bytes cannot be left half-written, so
+    /// recover the queue instead of propagating the panic.
     pub fn len(&self) -> usize {
-        self.0.lock().unwrap().len()
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when nothing is queued.
@@ -310,7 +312,7 @@ impl ByteQueue {
 
 impl Read for ByteQueue {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let mut q = self.0.lock().unwrap();
+        let mut q = self.0.lock().unwrap_or_else(|e| e.into_inner());
         if q.is_empty() {
             // An empty queue behaves like a socket read timeout: the
             // loopback driver always writes a full frame before reading,
@@ -318,8 +320,8 @@ impl Read for ByteQueue {
             return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "loopback empty"));
         }
         let n = buf.len().min(q.len());
-        for slot in buf.iter_mut().take(n) {
-            *slot = q.pop_front().unwrap();
+        for (slot, b) in buf.iter_mut().zip(q.drain(..n)) {
+            *slot = b;
         }
         Ok(n)
     }
@@ -327,7 +329,7 @@ impl Read for ByteQueue {
 
 impl Write for ByteQueue {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend(buf.iter().copied());
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend(buf.iter().copied());
         Ok(buf.len())
     }
 

@@ -102,12 +102,12 @@ fn assert_up_eq(a: &UpMsg, b: &UpMsg) {
 proptest! {
     #[test]
     fn up_roundtrips_bitwise(up in arb_up(), worker in any::<u16>(), seq in any::<u32>()) {
-        let payload = encode_up_payload(&up);
+        let payload = encode_up_payload(&up).unwrap();
         let back = decode_up(up_msg_type(&up.payload), &payload).unwrap();
         assert_up_eq(&up, &back);
 
         // Full frame: exact wire_bytes, and readable back off a stream.
-        let frame = encode_up_frame(worker, seq, &up);
+        let frame = encode_up_frame(worker, seq, &up).unwrap();
         prop_assert_eq!(frame.len(), up.wire_bytes());
         let (header, body) = read_frame(&mut Cursor::new(&frame), MAX_PAYLOAD).unwrap();
         prop_assert_eq!(header.worker, worker);
@@ -117,7 +117,7 @@ proptest! {
 
     #[test]
     fn down_roundtrips_bitwise(down in arb_down(), worker in any::<u16>(), seq in any::<u32>()) {
-        let payload = encode_down_payload(&down);
+        let payload = encode_down_payload(&down).unwrap();
         let back = decode_down(down_msg_type(&down), &payload).unwrap();
         match (&down, &back) {
             (DownMsg::DenseModel(x), DownMsg::DenseModel(y)) => {
@@ -126,7 +126,7 @@ proptest! {
             (DownMsg::SparseDiff(x), DownMsg::SparseDiff(y)) => assert_sparse_eq(x, y),
             _ => prop_assert!(false, "variant changed across the wire"),
         }
-        let frame = encode_down_frame(worker, seq, &down);
+        let frame = encode_down_frame(worker, seq, &down).unwrap();
         prop_assert_eq!(frame.len(), down.wire_bytes());
     }
 
@@ -135,10 +135,10 @@ proptest! {
     #[test]
     fn sparse_body_matches_sparsify_encoder(s in arb_sparse_update(), loss in any::<f64>()) {
         let up = UpMsg { payload: UpPayload::Sparse(s.clone()), train_loss: loss };
-        let payload = encode_up_payload(&up);
+        let payload = encode_up_payload(&up).unwrap();
         prop_assert_eq!(&payload[8..], &SparseUpdate::encode(&s)[..]);
         let down = DownMsg::SparseDiff(s);
-        prop_assert_eq!(&encode_down_payload(&down)[..], &match &down {
+        prop_assert_eq!(&encode_down_payload(&down).unwrap()[..], &match &down {
             DownMsg::SparseDiff(s) => SparseUpdate::encode(s),
             _ => unreachable!(),
         }[..]);
@@ -147,7 +147,7 @@ proptest! {
     #[test]
     fn ternary_body_matches_sparsify_encoder(t in arb_ternary_update(), loss in any::<f64>()) {
         let up = UpMsg { payload: UpPayload::TernarySparse(t.clone()), train_loss: loss };
-        prop_assert_eq!(&encode_up_payload(&up)[8..], &TernaryUpdate::encode(&t)[..]);
+        prop_assert_eq!(&encode_up_payload(&up).unwrap()[8..], &TernaryUpdate::encode(&t)[..]);
     }
 
     /// Any corruption of the length/CRC fields or the payload body of a
@@ -159,7 +159,7 @@ proptest! {
         at in any::<proptest::sample::Index>(),
         flip in 1..=255u8,
     ) {
-        let mut frame = encode_up_frame(3, 9, &up);
+        let mut frame = encode_up_frame(3, 9, &up).unwrap();
         // Corrupt magic/version or anything CRC-protected. Worker id, seq,
         // and msg type are CRC-free header metadata: flipping them yields a
         // *different valid frame* by design, so they are out of scope here.
@@ -174,7 +174,7 @@ proptest! {
     /// Every strict prefix of a valid frame errors cleanly.
     #[test]
     fn truncated_frames_error_not_panic(up in arb_up(), cut in any::<proptest::sample::Index>()) {
-        let frame = encode_up_frame(1, 1, &up);
+        let frame = encode_up_frame(1, 1, &up).unwrap();
         let len = cut.index(frame.len());
         prop_assert!(read_frame(&mut Cursor::new(&frame[..len]), MAX_PAYLOAD).is_err());
     }

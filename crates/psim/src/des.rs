@@ -127,7 +127,10 @@ struct Event<U, D> {
 
 impl<U, D> PartialEq for Event<U, D> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // Must agree with `Ord::cmp` — float `==` would make a NaN-timed
+        // event unequal to itself, breaking the Eq/Ord consistency the
+        // BinaryHeap relies on. Delegating keeps one source of truth.
+        self.cmp(other) == Ordering::Equal
     }
 }
 
@@ -136,7 +139,10 @@ impl<U, D> Eq for Event<U, D> {}
 impl<U, D> Ord for Event<U, D> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: reverse for earliest-first, with the
-        // insertion sequence as a deterministic tie-break.
+        // insertion sequence as a deterministic tie-break. `total_cmp`
+        // keeps this a total order even for NaN timestamps (a NaN compute
+        // time must not collapse the heap ordering), and `seq` breaks
+        // every remaining tie deterministically.
         other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -543,6 +549,73 @@ mod tests {
         let mut w = toy_workers(3, 0.1, 10);
         let r = run_des_budget(&mut s, &mut w, Budget::Total(0), NetworkModel::ten_gbps());
         assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn event_order_is_total_even_for_nan_times() {
+        // Regression: PartialEq used float `==`, so a NaN-timed event was
+        // unequal to itself while Ord::cmp said Equal — an Eq/Ord
+        // inconsistency under the BinaryHeap. The order must be total:
+        // reflexive equality, antisymmetry, and NaN sorting consistently.
+        let ev = |time: f64, seq: u64| Event::<(), ()> {
+            time,
+            seq,
+            kind: EventKind::SendReady { worker: 0, up: (), bytes: 0 },
+        };
+        let nan = ev(f64::NAN, 3);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(nan == nan, "NaN-timed event must equal itself");
+        // Same NaN time, different seq: the tie-break still orders them.
+        let nan2 = ev(f64::NAN, 4);
+        assert_ne!(nan.cmp(&nan2), Ordering::Equal);
+        assert_eq!(nan.cmp(&nan2), nan2.cmp(&nan).reverse(), "antisymmetry");
+        // NaN vs finite: total_cmp places NaN after +inf; both directions
+        // must agree (no partial_cmp-style None collapse).
+        let fin = ev(1.0, 1);
+        assert_ne!(nan.cmp(&fin), Ordering::Equal);
+        assert_eq!(nan.cmp(&fin), fin.cmp(&nan).reverse());
+        // Max-heap semantics: the NaN event (largest time under the total
+        // order) must NOT be the max — ordering is reversed for
+        // earliest-first, so the finite event pops first.
+        assert_eq!(fin.cmp(&nan), Ordering::Greater);
+    }
+
+    #[test]
+    fn nan_compute_time_does_not_lose_events_or_determinism() {
+        // A worker whose cost model emits NaN (e.g. 0.0/0.0 from an
+        // uncalibrated profile) poisons timestamps. The DES must still
+        // process every event exactly once and replay identically — the
+        // schedule is garbage, but deterministic garbage, so the bug is
+        // observable and debuggable instead of a heap-order heisenbug.
+        struct NanWorker {
+            applied: usize,
+        }
+        impl DesWorker for NanWorker {
+            type Up = ();
+            type Down = ();
+            fn compute(&mut self) -> ((), usize, f64) {
+                ((), 8, f64::NAN)
+            }
+            fn apply(&mut self, _d: ()) {
+                self.applied += 1;
+            }
+        }
+        let run = || {
+            let mut s = ToyServer { compute_log: Vec::new(), proc_time: 0.01, reply_bytes: 4 };
+            let mut w =
+                vec![NanWorker { applied: 0 }, NanWorker { applied: 0 }, NanWorker { applied: 0 }];
+            let r = run_des(&mut s, &mut w, 5, NetworkModel::one_gbps());
+            let applied: Vec<usize> = w.iter().map(|x| x.applied).collect();
+            let order: Vec<usize> = s.compute_log.iter().map(|&(wid, _)| wid).collect();
+            (r.iterations, applied, order)
+        };
+        let (iters1, applied1, order1) = run();
+        assert_eq!(iters1, 15, "every round-trip must complete despite NaN times");
+        assert_eq!(applied1, vec![5, 5, 5]);
+        let (iters2, applied2, order2) = run();
+        assert_eq!(iters1, iters2);
+        assert_eq!(applied1, applied2);
+        assert_eq!(order1, order2, "NaN schedule must replay bit-identically");
     }
 
     #[test]
