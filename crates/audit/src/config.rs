@@ -109,9 +109,12 @@ mod tests {
     fn default_scopes_cover_the_invariant_files() {
         let cfg = Config::default_for_workspace();
         assert!(cfg.applies("nan-ordering", "crates/sparsify/src/topk.rs"));
+        assert!(cfg.applies("nan-ordering", "crates/sparsify/src/radix_select.rs"));
         assert!(cfg.applies("nan-ordering", "crates/psim/src/des.rs"));
         assert!(!cfg.applies("nan-ordering", "crates/net/src/tcp.rs"));
         assert!(cfg.applies("determinism", "crates/core/src/server.rs"));
+        assert!(cfg.applies("determinism", "crates/sparsify/src/radix_select.rs"));
+        assert!(cfg.applies("determinism", "crates/sparsify/src/sampled.rs"));
         assert!(!cfg.applies("determinism", "crates/core/src/trainer/threaded.rs"));
         assert!(cfg.applies("no-panic-io", "crates/net/src/transport.rs"));
         assert!(!cfg.applies("no-panic-io", "crates/core/src/server.rs"));

@@ -8,11 +8,28 @@
 //! what it receives from its update accumulator `M`.
 
 use crate::protocol::UpPayload;
+use crate::PAR_THRESHOLD;
 use dgs_sparsify::{
-    gather, k_for_ratio, random_unbiased_update, scale_all_except, topk_indices, zero_at,
-    Partition, SparseUpdate, SparseVec,
+    gather, gather_and_zero, k_for_ratio, random_unbiased_update, scale_all_restore,
+    topk_indices_with, zero_at, Partition, Segment, SelectScratch, SelectStrategy, SparseUpdate,
+    SparseVec,
 };
 use dgs_tensor::tensor::l2_norm_slice;
+use dgs_tensor::BufferPool;
+use rayon::prelude::*;
+
+/// Splits a flat model-sized buffer into its per-segment slices (the
+/// [`Partition`] is ordered and gap-free, so a `split_at_mut` chain covers
+/// it exactly) — the shape rayon needs to fan segments out.
+fn split_segments<'a>(segments: &[Segment], mut buf: &'a mut [f32]) -> Vec<&'a mut [f32]> {
+    let mut out = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let (head, tail) = buf.split_at_mut(seg.len);
+        out.push(head);
+        buf = tail;
+    }
+    out
+}
 
 /// Per-iteration context a compressor may consult.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +51,12 @@ pub trait Compressor: Send {
 
     /// Method label for diagnostics.
     fn label(&self) -> &'static str;
+
+    /// Selects the uplink Top-k engine ([`SelectStrategy::Radix`] by
+    /// default). Both engines emit bitwise-identical payloads, so this
+    /// changes cost only. No-op for compressors without Top-k selection
+    /// (dense, random-drop).
+    fn set_select_strategy(&mut self, _select: SelectStrategy) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -67,12 +90,18 @@ impl Compressor for DenseCompressor {
 #[derive(Debug)]
 pub struct GradientDroppingCompressor {
     residual: Vec<f32>,
+    select: SelectStrategy,
+    scratch: BufferPool<u32>,
 }
 
 impl GradientDroppingCompressor {
     /// Creates the compressor for a model of `dim` parameters.
     pub fn new(dim: usize) -> Self {
-        GradientDroppingCompressor { residual: vec![0.0; dim] }
+        GradientDroppingCompressor {
+            residual: vec![0.0; dim],
+            select: SelectStrategy::default(),
+            scratch: BufferPool::new(64),
+        }
     }
 
     /// The residual buffer (`r_k` in the paper), for tests.
@@ -87,14 +116,39 @@ impl Compressor for GradientDroppingCompressor {
         for (r, &g) in self.residual.iter_mut().zip(grad.iter()) {
             *r += ctx.lr * g;
         }
-        let mut chunks = Vec::with_capacity(part.num_segments());
-        for i in 0..part.num_segments() {
-            let seg = part.slice_mut(&mut self.residual, i);
-            let k = k_for_ratio(seg.len(), ctx.ratio);
-            let idx = topk_indices(seg, k);
-            let val = gather(seg, &idx);
-            zero_at(seg, &idx);
-            chunks.push(SparseVec { idx, val });
+        let select = self.select;
+        let ratio = ctx.ratio;
+        let segments = part.segments();
+        let mut jobs: Vec<(&mut [f32], SelectScratch)> = Vec::with_capacity(segments.len());
+        for seg in split_segments(segments, &mut self.residual) {
+            let sel = SelectScratch::from_buffers(
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+            );
+            jobs.push((seg, sel));
+        }
+        let run = |(seg, mut sel): (&mut [f32], SelectScratch)| {
+            let k = k_for_ratio(seg.len(), ratio);
+            let idx = topk_indices_with(select, seg, k, &mut sel);
+            // Single pass: gather the sent values and drop them from the
+            // residual (Alg. 1 lines 9-11).
+            let val = gather_and_zero(seg, &idx);
+            (SparseVec { idx, val }, sel)
+        };
+        let results: Vec<(SparseVec, SelectScratch)> =
+            if grad.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+                jobs.into_par_iter().map(run).collect()
+            } else {
+                jobs.into_iter().map(run).collect()
+            };
+        let mut chunks = Vec::with_capacity(results.len());
+        for (sv, sel) in results {
+            chunks.push(sv);
+            let (a, b, c) = sel.into_buffers();
+            self.scratch.release(a);
+            self.scratch.release(b);
+            self.scratch.release(c);
         }
         UpPayload::Sparse(SparseUpdate { chunks })
     }
@@ -105,6 +159,10 @@ impl Compressor for GradientDroppingCompressor {
 
     fn label(&self) -> &'static str {
         "gradient-dropping"
+    }
+
+    fn set_select_strategy(&mut self, select: SelectStrategy) {
+        self.select = select;
     }
 }
 
@@ -128,12 +186,21 @@ pub struct DgcCompressor {
     residual: Vec<f32>,
     momentum: f32,
     clip_norm: f32,
+    select: SelectStrategy,
+    scratch: BufferPool<u32>,
 }
 
 impl DgcCompressor {
     /// Creates the compressor for `dim` parameters.
     pub fn new(dim: usize, momentum: f32, clip_norm: f32) -> Self {
-        DgcCompressor { velocity: vec![0.0; dim], residual: vec![0.0; dim], momentum, clip_norm }
+        DgcCompressor {
+            velocity: vec![0.0; dim],
+            residual: vec![0.0; dim],
+            momentum,
+            clip_norm,
+            select: SelectStrategy::default(),
+            scratch: BufferPool::new(64),
+        }
     }
 
     /// The velocity buffer, for tests.
@@ -163,17 +230,42 @@ impl Compressor for DgcCompressor {
             *u = self.momentum * *u + scale * g;
             *r += *u;
         }
-        let mut chunks = Vec::with_capacity(part.num_segments());
-        for i in 0..part.num_segments() {
-            let seg_range = part.segments()[i].range();
-            let r_seg = &mut self.residual[seg_range.clone()];
-            let k = k_for_ratio(r_seg.len(), ctx.ratio);
-            let idx = topk_indices(r_seg, k);
-            let val = gather(r_seg, &idx);
-            zero_at(r_seg, &idx);
+        let select = self.select;
+        let ratio = ctx.ratio;
+        let segments = part.segments();
+        let r_segs = split_segments(segments, &mut self.residual);
+        let u_segs = split_segments(segments, &mut self.velocity);
+        let mut jobs: Vec<(&mut [f32], &mut [f32], SelectScratch)> =
+            Vec::with_capacity(segments.len());
+        for (r_seg, u_seg) in r_segs.into_iter().zip(u_segs) {
+            let sel = SelectScratch::from_buffers(
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+            );
+            jobs.push((r_seg, u_seg, sel));
+        }
+        let run = |(r_seg, u_seg, mut sel): (&mut [f32], &mut [f32], SelectScratch)| {
+            let k = k_for_ratio(r_seg.len(), ratio);
+            let idx = topk_indices_with(select, r_seg, k, &mut sel);
+            let val = gather_and_zero(r_seg, &idx);
             // Momentum factor masking.
-            zero_at(&mut self.velocity[seg_range], &idx);
-            chunks.push(SparseVec { idx, val });
+            zero_at(u_seg, &idx);
+            (SparseVec { idx, val }, sel)
+        };
+        let results: Vec<(SparseVec, SelectScratch)> =
+            if grad.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+                jobs.into_par_iter().map(run).collect()
+            } else {
+                jobs.into_iter().map(run).collect()
+            };
+        let mut chunks = Vec::with_capacity(results.len());
+        for (sv, sel) in results {
+            chunks.push(sv);
+            let (a, b, c) = sel.into_buffers();
+            self.scratch.release(a);
+            self.scratch.release(b);
+            self.scratch.release(c);
         }
         UpPayload::Sparse(SparseUpdate { chunks })
     }
@@ -184,6 +276,10 @@ impl Compressor for DgcCompressor {
 
     fn label(&self) -> &'static str {
         "dgc"
+    }
+
+    fn set_select_strategy(&mut self, select: SelectStrategy) {
+        self.select = select;
     }
 }
 
@@ -204,6 +300,8 @@ impl Compressor for DgcCompressor {
 pub struct SaMomentumCompressor {
     velocity: Vec<f32>,
     momentum: f32,
+    select: SelectStrategy,
+    scratch: BufferPool<u32>,
 }
 
 impl SaMomentumCompressor {
@@ -213,7 +311,12 @@ impl SaMomentumCompressor {
             momentum > 0.0 && momentum < 1.0,
             "SAMomentum needs 0 < m < 1 (the 1/m rescale), got {momentum}"
         );
-        SaMomentumCompressor { velocity: vec![0.0; dim], momentum }
+        SaMomentumCompressor {
+            velocity: vec![0.0; dim],
+            momentum,
+            select: SelectStrategy::default(),
+            scratch: BufferPool::new(64),
+        }
     }
 
     /// The velocity buffer (`u_k` in the paper), for tests.
@@ -229,15 +332,41 @@ impl Compressor for SaMomentumCompressor {
             *u = self.momentum * *u + ctx.lr * g;
         }
         let inv_m = 1.0 / self.momentum;
-        let mut chunks = Vec::with_capacity(part.num_segments());
-        for i in 0..part.num_segments() {
-            let seg = part.slice_mut(&mut self.velocity, i);
-            let k = k_for_ratio(seg.len(), ctx.ratio);
-            let idx = topk_indices(seg, k);
+        let select = self.select;
+        let ratio = ctx.ratio;
+        let segments = part.segments();
+        let mut jobs: Vec<(&mut [f32], SelectScratch)> = Vec::with_capacity(segments.len());
+        for seg in split_segments(segments, &mut self.velocity) {
+            let sel = SelectScratch::from_buffers(
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+            );
+            jobs.push((seg, sel));
+        }
+        let run = |(seg, mut sel): (&mut [f32], SelectScratch)| {
+            let k = k_for_ratio(seg.len(), ratio);
+            let idx = topk_indices_with(select, seg, k, &mut sel);
             let val = gather(seg, &idx);
-            // Alg. 3 line 11: magnify the *unsent* coordinates by 1/m.
-            scale_all_except(seg, &idx, inv_m);
-            chunks.push(SparseVec { idx, val });
+            // Alg. 3 line 11: magnify the *unsent* coordinates by 1/m —
+            // scale the whole segment in one streaming pass, then write the
+            // already-gathered sent values back bitwise.
+            scale_all_restore(seg, &idx, &val, inv_m);
+            (SparseVec { idx, val }, sel)
+        };
+        let results: Vec<(SparseVec, SelectScratch)> =
+            if grad.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+                jobs.into_par_iter().map(run).collect()
+            } else {
+                jobs.into_iter().map(run).collect()
+            };
+        let mut chunks = Vec::with_capacity(results.len());
+        for (sv, sel) in results {
+            chunks.push(sv);
+            let (a, b, c) = sel.into_buffers();
+            self.scratch.release(a);
+            self.scratch.release(b);
+            self.scratch.release(c);
         }
         UpPayload::Sparse(SparseUpdate { chunks })
     }
@@ -248,6 +377,10 @@ impl Compressor for SaMomentumCompressor {
 
     fn label(&self) -> &'static str {
         "samomentum"
+    }
+
+    fn set_select_strategy(&mut self, select: SelectStrategy) {
+        self.select = select;
     }
 }
 

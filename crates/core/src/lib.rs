@@ -28,6 +28,12 @@
 //! * [`curves`] — training-curve records serialised for EXPERIMENTS.md.
 //! * [`memory`] — §5.6.2 memory accounting.
 
+/// Below this many model coordinates the per-segment hot paths (server
+/// reply construction, worker uplink selection) run sequentially instead of
+/// fanning segments out to rayon — same threshold idiom as
+/// `dgs_tensor::matmul`.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+
 pub mod compress;
 pub mod config;
 pub mod curves;

@@ -41,19 +41,18 @@
 use crate::method::Method;
 use crate::protocol::{DownMsg, UpMsg, UpPayload};
 use crate::update_log::UpdateLog;
+use crate::PAR_THRESHOLD;
 use dgs_psim::StalenessStats;
 use dgs_sparsify::merge::{
     diff_pairs_at, retain_dirty, scatter_pairs, scatter_track_dirty, send_all_at, send_all_dense,
-    send_topk_dense, sort_dedup, sort_dedup_bitmap, topk_pairs,
+    send_topk_dense, sort_dedup, sort_dedup_bitmap, topk_pairs_with,
 };
-use dgs_sparsify::{k_for_ratio, Partition, SparseUpdate, SparseVec};
+use dgs_sparsify::{
+    k_for_ratio, Partition, SelectScratch, SelectStrategy, SparseUpdate, SparseVec,
+};
 use dgs_tensor::BufferPool;
 use rayon::prelude::*;
 use std::sync::Arc;
-
-/// Below this many model coordinates the per-segment reply construction
-/// runs sequentially — same threshold idiom as `dgs_tensor::matmul`.
-const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// Staleness mitigation applied by the server when folding updates into
 /// `M` — a gap-aware damping in the spirit of Barkai et al. (cited by the
@@ -141,6 +140,10 @@ pub struct MdtServer {
     damping: StalenessDamping,
     /// Diff construction strategy (MDT downlink only).
     strategy: DiffStrategy,
+    /// Top-k selection engine for secondary compression (both diff
+    /// strategies funnel through it; payloads are bitwise independent of
+    /// the choice).
+    select: SelectStrategy,
     /// Coordinates touched by each applied sparse update, bounded.
     log: UpdateLog,
     /// Per-worker dirty set: sorted global coordinates where `M − v_k` was
@@ -207,10 +210,13 @@ impl MdtServer {
             staleness: StalenessStats::new(),
             damping: StalenessDamping::off(),
             strategy: DiffStrategy::LogMerge,
+            select: SelectStrategy::default(),
             log,
             pending,
             model_cache,
-            scratch: BufferPool::default(),
+            // Sized for the steady state: one candidate list plus two radix
+            // scratch buffers per segment in flight at once.
+            scratch: BufferPool::new(64),
             mask,
             pending_valid: vec![true; workers],
             retrack: vec![true; workers],
@@ -220,6 +226,19 @@ impl MdtServer {
     /// Enables gap-aware staleness damping (see [`StalenessDamping`]).
     pub fn set_damping(&mut self, damping: StalenessDamping) {
         self.damping = damping;
+    }
+
+    /// Selects the secondary-compression Top-k engine (default:
+    /// [`SelectStrategy::Radix`]). Safe to switch at any time — both
+    /// engines produce bitwise-identical payloads, so this changes cost
+    /// only, never the wire bytes.
+    pub fn set_select_strategy(&mut self, select: SelectStrategy) {
+        self.select = select;
+    }
+
+    /// The active Top-k selection engine.
+    pub fn select_strategy(&self) -> SelectStrategy {
+        self.select
     }
 
     /// Selects how `G = M − v_k` is reconstructed (default:
@@ -374,7 +393,8 @@ impl MdtServer {
     fn apply_sparse(&mut self, s: &SparseUpdate, scale: f32, track_log: bool, t_next: u64) {
         s.apply_add(&mut self.m, &self.partition, -scale);
         if let Some(cache) = &mut self.model_cache {
-            s.apply_add(Arc::make_mut(cache), &self.partition, -scale);
+            let cache: &mut Vec<f32> = Arc::make_mut(cache);
+            s.apply_add(cache, &self.partition, -scale);
         }
         if track_log {
             let mut touched = self.log.begin();
@@ -458,15 +478,22 @@ impl MdtServer {
         }
 
         let m = &self.m;
-        let mut jobs: Vec<(usize, &mut [f32], &[u32])> = Vec::with_capacity(segments.len());
+        let select = self.select;
+        let mut jobs: Vec<(usize, &mut [f32], &[u32], SelectScratch)> =
+            Vec::with_capacity(segments.len());
         let mut rest: &mut [f32] = &mut self.v[worker];
         for (si, seg) in segments.iter().enumerate() {
             let (v_seg, tail) = rest.split_at_mut(seg.len);
             rest = tail;
             let (a, b) = bounds[si];
-            jobs.push((si, v_seg, &cand[a..b]));
+            let sel = SelectScratch::from_buffers(
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+            );
+            jobs.push((si, v_seg, &cand[a..b], sel));
         }
-        let run = |(si, v_seg, c_seg): (usize, &mut [f32], &[u32])| {
+        let run = |(si, v_seg, c_seg, mut sel): (usize, &mut [f32], &[u32], SelectScratch)| {
             let seg = &segments[si];
             let m_seg = &m[seg.range()];
             let (sv, mut dirty) = match secondary_ratio {
@@ -479,26 +506,31 @@ impl MdtServer {
                 Some(r) => {
                     let k = k_for_ratio(m_seg.len(), r);
                     let (idx, val) = diff_pairs_at(m_seg, v_seg, c_seg);
-                    send_segment(m_seg, v_seg, idx, val, k, true)
+                    send_segment(m_seg, v_seg, idx, val, k, true, select, &mut sel)
                 }
             };
             let off = seg.offset as u32;
             for g in &mut dirty {
                 *g += off;
             }
-            (sv, dirty)
+            (sv, dirty, sel)
         };
-        let results: Vec<(SparseVec, Vec<u32>)> = if cand.len() >= PAR_THRESHOLD && jobs.len() > 1 {
-            jobs.into_par_iter().map(run).collect()
-        } else {
-            jobs.into_iter().map(run).collect()
-        };
+        let results: Vec<(SparseVec, Vec<u32>, SelectScratch)> =
+            if cand.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+                jobs.into_par_iter().map(run).collect()
+            } else {
+                jobs.into_iter().map(run).collect()
+            };
 
         let mut chunks = Vec::with_capacity(results.len());
         let mut pending = Vec::new();
-        for (sv, dirty) in results {
+        for (sv, dirty, sel) in results {
             pending.extend_from_slice(&dirty);
             chunks.push(sv);
+            let (ka, kb, kc) = sel.into_buffers();
+            self.scratch.release(ka);
+            self.scratch.release(kb);
+            self.scratch.release(kc);
         }
         self.scratch.release(std::mem::replace(&mut self.pending[worker], pending));
         self.scratch.release(cand);
@@ -523,14 +555,20 @@ impl MdtServer {
         let track = log_mode && (secondary_ratio.is_none() || small || self.retrack[worker]);
         let segments = self.partition.segments();
         let m = &self.m;
-        let mut jobs: Vec<(usize, &mut [f32])> = Vec::with_capacity(segments.len());
+        let select = self.select;
+        let mut jobs: Vec<(usize, &mut [f32], SelectScratch)> = Vec::with_capacity(segments.len());
         let mut rest: &mut [f32] = &mut self.v[worker];
         for (si, seg) in segments.iter().enumerate() {
             let (v_seg, tail) = rest.split_at_mut(seg.len);
             rest = tail;
-            jobs.push((si, v_seg));
+            let sel = SelectScratch::from_buffers(
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+                self.scratch.acquire(),
+            );
+            jobs.push((si, v_seg, sel));
         }
-        let run = |(si, v_seg): (usize, &mut [f32])| {
+        let run = |(si, v_seg, mut sel): (usize, &mut [f32], SelectScratch)| {
             let seg = &segments[si];
             let m_seg = &m[seg.range()];
             let (sv, mut dirty, nnz) = match secondary_ratio {
@@ -551,7 +589,8 @@ impl MdtServer {
                     // materialisation would dominate.
                     let k = k_for_ratio(m_seg.len(), r);
                     let mut dirty = Vec::new();
-                    let (idx, val, nnz) = send_topk_dense(m_seg, v_seg, k, track, &mut dirty);
+                    let (idx, val, nnz) =
+                        send_topk_dense(m_seg, v_seg, k, track, &mut dirty, select, &mut sel);
                     (SparseVec { idx, val }, dirty, nnz)
                 }
             };
@@ -559,9 +598,9 @@ impl MdtServer {
             for g in &mut dirty {
                 *g += off;
             }
-            (sv, dirty, nnz)
+            (sv, dirty, nnz, sel)
         };
-        let results: Vec<(SparseVec, Vec<u32>, usize)> =
+        let results: Vec<(SparseVec, Vec<u32>, usize, SelectScratch)> =
             if m.len() >= PAR_THRESHOLD && jobs.len() > 1 {
                 jobs.into_par_iter().map(run).collect()
             } else {
@@ -570,19 +609,20 @@ impl MdtServer {
 
         let mut chunks = Vec::with_capacity(results.len());
         let mut nnz_total = 0usize;
-        if track {
-            let mut pending = Vec::new();
-            for (sv, dirty, nnz) in results {
-                nnz_total += nnz;
-                pending.extend_from_slice(&dirty);
-                chunks.push(sv);
+        let mut pending = track.then(Vec::new);
+        for (sv, dirty, nnz, sel) in results {
+            nnz_total += nnz;
+            if let Some(p) = &mut pending {
+                p.extend_from_slice(&dirty);
             }
+            chunks.push(sv);
+            let (ka, kb, kc) = sel.into_buffers();
+            self.scratch.release(ka);
+            self.scratch.release(kb);
+            self.scratch.release(kc);
+        }
+        if let Some(pending) = pending {
             self.scratch.release(std::mem::replace(&mut self.pending[worker], pending));
-        } else {
-            for (sv, _, nnz) in results {
-                nnz_total += nnz;
-                chunks.push(sv);
-            }
         }
         if log_mode {
             self.pending_valid[worker] = track;
@@ -623,7 +663,9 @@ impl MdtServer {
 /// remainder.
 ///
 /// Shared by both [`DiffStrategy`] paths: this single selection/advance
-/// code path is what makes their payloads bitwise identical.
+/// code path is what makes their payloads bitwise identical. The
+/// [`SelectStrategy`] engines are bitwise-identical too, so `select`
+/// changes cost only (`sel` is radix scratch).
 fn send_segment(
     m_seg: &[f32],
     v_seg: &mut [f32],
@@ -631,12 +673,14 @@ fn send_segment(
     all_val: Vec<f32>,
     k: usize,
     track_dirty: bool,
+    select: SelectStrategy,
+    sel: &mut SelectScratch,
 ) -> (SparseVec, Vec<u32>) {
     let mut dirty = Vec::new();
     // Secondary compression bites only when the diff is denser than the
     // budget (Alg. 2 lines 5-11); at or under budget everything goes.
     let sv = if all_idx.len() > k {
-        let (idx, val) = topk_pairs(&all_idx, &all_val, k);
+        let (idx, val) = topk_pairs_with(select, &all_idx, &all_val, k, sel);
         if track_dirty {
             scatter_track_dirty(m_seg, v_seg, &idx, &val, &all_idx, &mut dirty);
         } else {
@@ -731,10 +775,11 @@ impl MdtServer {
             staleness: StalenessStats::new(),
             damping: StalenessDamping::off(),
             strategy: DiffStrategy::LogMerge,
+            select: SelectStrategy::default(),
             log,
             pending,
             model_cache,
-            scratch: BufferPool::default(),
+            scratch: BufferPool::new(64),
             mask,
             pending_valid: vec![true; workers],
             retrack: vec![true; workers],
@@ -992,6 +1037,51 @@ mod tests {
         assert_eq!(log_srv.m(), dense_srv.m(), "M accumulators diverge");
         for w in 0..3 {
             assert_eq!(log_srv.v(w), dense_srv.v(w), "v_{w} diverges");
+        }
+    }
+
+    #[test]
+    fn select_strategies_bitwise_equal_on_the_wire() {
+        // Four servers spanning {LogMerge, DenseScan} × {Comparator, Radix}
+        // through identical secondary-compressed traffic: every reply must
+        // be byte-identical regardless of the selection engine.
+        let part = Partition::from_layer_sizes([("a", 13), ("b", 7), ("c", 20)]);
+        let dim = 40;
+        let downlink = Downlink::ModelDifference { secondary_ratio: Some(0.1) };
+        let mut servers: Vec<MdtServer> = (0..4)
+            .map(|i| {
+                let mut s = MdtServer::new(vec![0.0f32; dim], part.clone(), 3, downlink);
+                if i >= 2 {
+                    s.set_diff_strategy(DiffStrategy::DenseScan);
+                }
+                let select =
+                    if i % 2 == 0 { SelectStrategy::Comparator } else { SelectStrategy::Radix };
+                s.set_select_strategy(select);
+                assert_eq!(s.select_strategy(), select);
+                s
+            })
+            .collect();
+        for step in 0..60 {
+            let w = (step * 2) % 3;
+            let mut g = vec![0.0f32; dim];
+            for j in 0..4 {
+                let i = (step * 11 + j * 7 + w) % dim;
+                g[i] = ((step * 31 + j * 13 + w) as f32 * 0.37).sin();
+            }
+            let up = sparse_up(&part, &g);
+            let replies: Vec<_> = servers
+                .iter_mut()
+                .map(|s| match s.handle_update(w, &up) {
+                    DownMsg::SparseDiff(d) => d.encode(),
+                    _ => panic!("expected sparse diff"),
+                })
+                .collect();
+            for (i, r) in replies.iter().enumerate().skip(1) {
+                assert_eq!(r, &replies[0], "step {step}: server {i} payload diverges");
+            }
+        }
+        for s in &servers[1..] {
+            assert_eq!(s.m(), servers[0].m(), "M accumulators diverge");
         }
     }
 

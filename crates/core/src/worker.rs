@@ -14,7 +14,7 @@ use dgs_nn::data::Dataset;
 use dgs_nn::loader::BatchLoader;
 use dgs_nn::model::Network;
 use dgs_psim::StragglerModel;
-use dgs_sparsify::TernaryUpdate;
+use dgs_sparsify::{SelectStrategy, TernaryUpdate};
 use dgs_tensor::rng::derive_seed;
 use std::sync::Arc;
 
@@ -94,6 +94,13 @@ impl TrainWorker {
     /// Worker-side auxiliary memory in bytes (compressor state).
     pub fn aux_bytes(&self) -> usize {
         self.compressor.aux_floats() * std::mem::size_of::<f32>()
+    }
+
+    /// Selects the uplink Top-k engine (see
+    /// [`Compressor::set_select_strategy`]). Both engines are
+    /// bitwise-identical, so this never changes a trajectory.
+    pub fn set_select_strategy(&mut self, select: SelectStrategy) {
+        self.compressor.set_select_strategy(select);
     }
 
     /// Runs one local iteration: minibatch gradient + compression.

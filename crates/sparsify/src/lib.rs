@@ -7,9 +7,14 @@
 //! * [`partition`] — [`Partition`]: maps a flat parameter vector onto the
 //!   per-layer segments the paper sparsifies independently ("iterate over
 //!   every layer", Alg. 1/3).
-//! * [`topk`] — exact and sampled Top-k threshold/index selection over a
-//!   segment, plus the mask/gather/scatter helpers the worker algorithms
-//!   are built from (`sparsify()` / `unsparsify()` in the paper's notation).
+//! * [`topk`] — exact Top-k threshold/index selection over a segment, plus
+//!   the mask/gather/scatter helpers the worker algorithms are built from
+//!   (`sparsify()` / `unsparsify()` in the paper's notation).
+//! * [`radix_select`] — the bit-level O(n) selection engine (histogram
+//!   radix select over `abs(f32).to_bits()` keys) behind the default
+//!   [`SelectStrategy::Radix`]; bitwise-identical to the comparator path.
+//! * [`sampled`] — DGC-style sampled/hierarchical threshold estimation
+//!   (the only selection code with a `rand` dependency).
 //! * [`merge`] — the server-side diff/merge kernels behind the O(nnz)
 //!   downlink construction (dense reference scan, candidate-restricted
 //!   scan, deterministic pair Top-k, dirty-set maintenance). Both server
@@ -31,7 +36,9 @@ pub mod coo;
 pub mod merge;
 pub mod partition;
 pub mod quant;
+pub mod radix_select;
 pub mod random_drop;
+pub mod sampled;
 pub mod stats;
 pub mod topk;
 
@@ -39,15 +46,19 @@ pub use coo::{SparseUpdate, SparseVec};
 pub use merge::{
     diff_pairs_at, diff_pairs_dense, mag_idx_order, retain_dirty, scatter_pairs,
     scatter_track_dirty, send_all_at, send_all_dense, send_topk_dense, sort_dedup,
-    sort_dedup_bitmap, topk_pairs,
+    sort_dedup_bitmap, topk_pairs, topk_pairs_with,
 };
 pub use partition::{Partition, Segment};
 pub use quant::{TernaryUpdate, TernaryVec};
+pub use radix_select::{
+    mag_key, radix_threshold, radix_topk_indices, radix_topk_pairs, SelectScratch, SelectStrategy,
+};
 pub use random_drop::{random_unbiased_sparsify, random_unbiased_update};
+pub use sampled::{hierarchical_threshold, sampled_threshold};
 pub use stats::CompressionStats;
 pub use topk::{
-    gather, hierarchical_threshold, sampled_threshold, scale_all_except, scatter_add, topk_indices,
-    topk_threshold, zero_at,
+    gather, gather_and_zero, scale_all_except, scale_all_restore, scatter_add, topk_indices,
+    topk_indices_with, topk_threshold, topk_threshold_with, zero_at,
 };
 
 /// Computes the Top-k element count for a segment of `len` values at

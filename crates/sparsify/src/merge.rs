@@ -26,8 +26,11 @@
 //! diff paths to agree bitwise.
 //!
 //! This module is deliberately free of external dependencies (std only) so
-//! it can be exercised by standalone differential harnesses.
+//! it can be exercised by standalone differential harnesses (its only
+//! intra-crate import, [`crate::radix_select`], is std-only for the same
+//! reason — a harness root includes both files).
 
+use crate::radix_select::{radix_topk_indices, radix_topk_pairs, SelectScratch, SelectStrategy};
 use std::cmp::Ordering;
 
 /// The workspace-wide Top-k total order: larger magnitude first, ties (and
@@ -94,6 +97,26 @@ pub fn topk_pairs(idx: &[u32], val: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
     pos.truncate(k);
     pos.sort_unstable_by_key(|&p| idx[p as usize]);
     (pos.iter().map(|&p| idx[p as usize]).collect(), pos.iter().map(|&p| val[p as usize]).collect())
+}
+
+/// [`topk_pairs`] behind a [`SelectStrategy`]. Both engines return the same
+/// bits for the ascending-index pair lists every diff producer in this
+/// module emits ([`diff_pairs_dense`] / [`diff_pairs_at`] outputs); the
+/// radix arm additionally requires that ascending order (debug-asserted)
+/// because position order standing in for index order is what makes its
+/// tie-break match [`mag_idx_order`]. `scratch` is only touched by the
+/// radix arm.
+pub fn topk_pairs_with(
+    select: SelectStrategy,
+    idx: &[u32],
+    val: &[f32],
+    k: usize,
+    scratch: &mut SelectScratch,
+) -> (Vec<u32>, Vec<f32>) {
+    match select {
+        SelectStrategy::Comparator => topk_pairs(idx, val, k),
+        SelectStrategy::Radix => radix_topk_pairs(idx, val, k, scratch),
+    }
 }
 
 /// Full-scan reference: every nonzero of `m − v` as (local index, value)
@@ -216,12 +239,19 @@ pub fn send_all_dense(m: &[f32], v: &mut [f32], dirty: &mut Vec<u32>) -> (Vec<u3
 ///
 /// Also returns the total nonzero count of the diff (the density signal
 /// callers use for tracking hysteresis), which the scan computes anyway.
+///
+/// `select` picks the selection engine for the over-budget case; both
+/// engines rank the dense diff under the identical total order, so the
+/// payload is bitwise independent of the choice (`scratch` is only touched
+/// by the radix arm).
 pub fn send_topk_dense(
     m: &[f32],
     v: &mut [f32],
     k: usize,
     track_dirty: bool,
     dirty: &mut Vec<u32>,
+    select: SelectStrategy,
+    scratch: &mut SelectScratch,
 ) -> (Vec<u32>, Vec<f32>, usize) {
     debug_assert_eq!(m.len(), v.len());
     let diff: Vec<f32> = m.iter().zip(v.iter()).map(|(&a, &b)| a - b).collect();
@@ -253,12 +283,18 @@ pub fn send_topk_dense(
         }
         return (Vec::new(), Vec::new(), nnz_all);
     }
-    let mut pos: Vec<u32> = (0..diff.len() as u32).collect();
-    pos.select_nth_unstable_by(k - 1, |&a, &b| {
-        mag_idx_order(diff[a as usize].abs(), a, diff[b as usize].abs(), b)
-    });
-    pos.truncate(k);
-    pos.sort_unstable();
+    let pos: Vec<u32> = match select {
+        SelectStrategy::Comparator => {
+            let mut pos: Vec<u32> = (0..diff.len() as u32).collect();
+            pos.select_nth_unstable_by(k - 1, |&a, &b| {
+                mag_idx_order(diff[a as usize].abs(), a, diff[b as usize].abs(), b)
+            });
+            pos.truncate(k);
+            pos.sort_unstable();
+            pos
+        }
+        SelectStrategy::Radix => radix_topk_indices(&diff, k, scratch),
+    };
     let val: Vec<f32> = pos.iter().map(|&p| diff[p as usize]).collect();
     scatter_pairs(v, &pos, &val);
     if track_dirty {
@@ -515,50 +551,88 @@ mod tests {
 
     #[test]
     fn send_topk_dense_matches_pair_pipeline() {
-        for seed in 1..40u64 {
-            for k in [0usize, 1, 3, 8, 64, 100] {
-                let (m, v0) = random_state(seed * 31337, 64);
-                // Pair-based reference: diff → topk (or send-all) → scatter
-                // with fused dirty tracking.
-                let mut v_ref = v0.clone();
-                let (ai, av) = diff_pairs_dense(&m, &v_ref);
-                let nnz_ref = ai.len();
-                let mut dirty_ref = Vec::new();
-                let (ri, rv) = if ai.len() > k {
-                    let (si, sv) = topk_pairs(&ai, &av, k);
-                    scatter_track_dirty(&m, &mut v_ref, &si, &sv, &ai, &mut dirty_ref);
-                    (si, sv)
-                } else {
-                    scatter_track_dirty(&m, &mut v_ref, &ai, &av, &ai, &mut dirty_ref);
-                    (ai, av)
-                };
-                // Dense-diff kernel under test.
-                let mut v_dense = v0.clone();
-                let mut dirty_dense = Vec::new();
-                let (di, dv, dn) = send_topk_dense(&m, &mut v_dense, k, true, &mut dirty_dense);
-                assert_eq!(di, ri, "seed {seed} k {k}");
-                assert_eq!(dn, nnz_ref, "seed {seed} k {k}");
-                assert_eq!(
-                    dv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                    rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
-                );
-                assert_eq!(dirty_dense, dirty_ref, "seed {seed} k {k}");
-                assert_eq!(
-                    v_dense.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                    v_ref.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
-                );
-                // Untracked variant leaves dirty alone and matches payload.
-                let mut v_u = v0.clone();
-                let mut dirty_u = Vec::new();
-                let (ui, uv, un) = send_topk_dense(&m, &mut v_u, k, false, &mut dirty_u);
-                assert_eq!(ui, ri);
-                assert_eq!(un, nnz_ref);
-                assert_eq!(
-                    uv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                    rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
-                );
-                assert!(dirty_u.is_empty());
+        let mut scratch = SelectScratch::new();
+        for select in [SelectStrategy::Comparator, SelectStrategy::Radix] {
+            for seed in 1..40u64 {
+                for k in [0usize, 1, 3, 8, 64, 100] {
+                    let (m, v0) = random_state(seed * 31337, 64);
+                    // Pair-based reference: diff → topk (or send-all) →
+                    // scatter with fused dirty tracking.
+                    let mut v_ref = v0.clone();
+                    let (ai, av) = diff_pairs_dense(&m, &v_ref);
+                    let nnz_ref = ai.len();
+                    let mut dirty_ref = Vec::new();
+                    let (ri, rv) = if ai.len() > k {
+                        let (si, sv) = topk_pairs(&ai, &av, k);
+                        scatter_track_dirty(&m, &mut v_ref, &si, &sv, &ai, &mut dirty_ref);
+                        (si, sv)
+                    } else {
+                        scatter_track_dirty(&m, &mut v_ref, &ai, &av, &ai, &mut dirty_ref);
+                        (ai, av)
+                    };
+                    // Dense-diff kernel under test.
+                    let mut v_dense = v0.clone();
+                    let mut dirty_dense = Vec::new();
+                    let (di, dv, dn) = send_topk_dense(
+                        &m,
+                        &mut v_dense,
+                        k,
+                        true,
+                        &mut dirty_dense,
+                        select,
+                        &mut scratch,
+                    );
+                    assert_eq!(di, ri, "{select:?} seed {seed} k {k}");
+                    assert_eq!(dn, nnz_ref, "{select:?} seed {seed} k {k}");
+                    assert_eq!(
+                        dv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                    assert_eq!(dirty_dense, dirty_ref, "{select:?} seed {seed} k {k}");
+                    assert_eq!(
+                        v_dense.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        v_ref.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                    // Untracked variant leaves dirty alone, matches payload.
+                    let mut v_u = v0.clone();
+                    let mut dirty_u = Vec::new();
+                    let (ui, uv, un) =
+                        send_topk_dense(&m, &mut v_u, k, false, &mut dirty_u, select, &mut scratch);
+                    assert_eq!(ui, ri);
+                    assert_eq!(un, nnz_ref);
+                    assert_eq!(
+                        uv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                    assert!(dirty_u.is_empty());
+                }
             }
+        }
+    }
+
+    #[test]
+    fn topk_pairs_with_agrees_across_strategies() {
+        let mut scratch = SelectScratch::new();
+        let idx: Vec<u32> = (0..48).map(|i| i * 5 + 2).collect();
+        let val: Vec<f32> = (0..48)
+            .map(|i| match i % 6 {
+                0 => 1.5,
+                1 => -1.5,
+                2 => f32::NAN,
+                3 => 1.0e-41,
+                4 => f32::NEG_INFINITY,
+                _ => (i as f32 - 24.0) * 0.3,
+            })
+            .collect();
+        for k in [0usize, 1, 5, 24, 47, 48, 99] {
+            let (ci, cv) = topk_pairs_with(SelectStrategy::Comparator, &idx, &val, k, &mut scratch);
+            let (ri, rv) = topk_pairs_with(SelectStrategy::Radix, &idx, &val, k, &mut scratch);
+            assert_eq!(ci, ri, "k = {k}");
+            assert_eq!(
+                cv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                rv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "k = {k}"
+            );
         }
     }
 }

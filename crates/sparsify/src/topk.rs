@@ -4,9 +4,17 @@
 //! `unsparsify()` operations: select the k largest-magnitude coordinates of
 //! a segment, gather them for transmission, and manipulate the remainder
 //! (zero it for residual schemes, rescale it for SAMomentum).
+//!
+//! Two selection engines produce bitwise-identical results (see
+//! [`crate::radix_select`]): the comparator engine here is the reference
+//! oracle; the radix engine is the fast default. Call sites pick via
+//! [`SelectStrategy`] through [`topk_indices_with`] / [`topk_threshold_with`].
+//! Sampled/approximate thresholding (DGC-style) lives in [`crate::sampled`].
+//!
+//! This module is std-only by design so standalone offline harnesses can
+//! compile it directly (see `.claude/skills/verify/SKILL.md`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::radix_select::{radix_threshold, radix_topk_indices, SelectScratch, SelectStrategy};
 
 /// Returns the indices of the `k` largest-magnitude values of `seg`,
 /// in ascending index order.
@@ -47,62 +55,33 @@ pub fn topk_threshold(seg: &[f32], k: usize) -> f32 {
     mags[idx]
 }
 
-/// Estimates the Top-k threshold from a random sample of the segment, the
-/// strategy DGC uses to avoid a full selection on very large tensors.
-///
-/// Samples `sample` coordinates (with replacement) and returns the value at
-/// the same *quantile* within the sample. For `sample >= seg.len()` this
-/// falls back to the exact threshold.
-pub fn sampled_threshold(seg: &[f32], k: usize, sample: usize, seed: u64) -> f32 {
-    let n = seg.len();
-    assert!(n > 0 && k >= 1 && k <= n, "sampled_threshold bounds");
-    if sample >= n {
-        return topk_threshold(seg, k);
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut mags: Vec<f32> = (0..sample).map(|_| seg[rng.gen_range(0..n)].abs()).collect();
-    // Quantile position equivalent to k-of-n within the sample.
-    let pos = ((k as f64 / n as f64) * sample as f64).ceil() as usize;
-    let pos = pos.clamp(1, sample);
-    mags.select_nth_unstable_by(pos - 1, |a, b| b.total_cmp(a));
-    mags[pos - 1]
-}
-
-/// Hierarchical threshold selection — the refinement loop the DGC paper
-/// uses on very large tensors: estimate a threshold from a sample, count
-/// how many coordinates it actually keeps, and adjust until the kept count
-/// is within `tolerance` (relative) of the requested `k` or the iteration
-/// budget runs out. Far cheaper than exact selection when `seg` is large,
-/// far more accurate than a single sampled estimate.
-pub fn hierarchical_threshold(
+/// [`topk_indices`] behind a [`SelectStrategy`]: both engines return the
+/// same bits; `Radix` skips the dim-sized index vector and all comparator
+/// calls. `scratch` is only touched by the radix arm.
+pub fn topk_indices_with(
+    select: SelectStrategy,
     seg: &[f32],
     k: usize,
-    sample: usize,
-    tolerance: f64,
-    seed: u64,
+    scratch: &mut SelectScratch,
+) -> Vec<u32> {
+    match select {
+        SelectStrategy::Comparator => topk_indices(seg, k),
+        SelectStrategy::Radix => radix_topk_indices(seg, k, scratch),
+    }
+}
+
+/// [`topk_threshold`] behind a [`SelectStrategy`] — bitwise-identical
+/// engines (NaN payloads included: `|v|` preserves them).
+pub fn topk_threshold_with(
+    select: SelectStrategy,
+    seg: &[f32],
+    k: usize,
+    scratch: &mut SelectScratch,
 ) -> f32 {
-    let n = seg.len();
-    assert!(n > 0 && k >= 1 && k <= n, "hierarchical_threshold bounds");
-    if sample >= n {
-        return topk_threshold(seg, k);
+    match select {
+        SelectStrategy::Comparator => topk_threshold(seg, k),
+        SelectStrategy::Radix => radix_threshold(seg, k, scratch),
     }
-    let mut thr = sampled_threshold(seg, k, sample, seed);
-    let lo_target = ((1.0 - tolerance) * k as f64).floor() as usize;
-    let hi_target = ((1.0 + tolerance) * k as f64).ceil() as usize;
-    for _ in 0..8 {
-        let kept = seg.iter().filter(|v| v.abs() >= thr).count();
-        if kept >= lo_target.max(1) && kept <= hi_target {
-            break;
-        }
-        // Multiplicative update: too many kept → raise the bar, too few →
-        // lower it, proportionally to the miss.
-        let ratio = (kept.max(1) as f64 / k as f64).powf(0.5);
-        thr *= ratio as f32;
-        if thr == 0.0 {
-            break;
-        }
-    }
-    thr
 }
 
 /// Gathers `seg[idx]` for each index (the values to transmit).
@@ -118,18 +97,49 @@ pub fn zero_at(seg: &mut [f32], idx: &[u32]) {
     }
 }
 
+/// Fused [`gather`] + [`zero_at`]: reads each selected coordinate once,
+/// returning its value and zeroing it in place. Halves the indexed
+/// traversals on the residual/velocity uplink paths versus calling the two
+/// primitives back to back.
+pub fn gather_and_zero(seg: &mut [f32], idx: &[u32]) -> Vec<f32> {
+    idx.iter()
+        .map(|&i| {
+            let slot = &mut seg[i as usize];
+            let v = *slot;
+            *slot = 0.0;
+            v
+        })
+        .collect()
+}
+
 /// Scales every coordinate *except* the given (sorted) indices by `factor`
 /// — SAMomentum's `u += (1/m − 1)·u ⊙ ¬Mask` (Alg. 3 line 11).
 ///
 /// `idx` must be sorted ascending (as produced by [`topk_indices`]).
+///
+/// Implemented as scale-everything then restore the saved originals at the
+/// masked indices: the unmasked coordinates see exactly one multiply (same
+/// bits as the old branchy loop) and the masked ones get their original bit
+/// patterns written back — bitwise-safe, no multiply-then-divide, and the
+/// bulk pass is a branch-free streaming loop instead of a per-element
+/// peekable compare.
 pub fn scale_all_except(seg: &mut [f32], idx_sorted: &[u32], factor: f32) {
-    let mut next = idx_sorted.iter().copied().peekable();
-    for (i, v) in seg.iter_mut().enumerate() {
-        if next.peek() == Some(&(i as u32)) {
-            next.next();
-        } else {
-            *v *= factor;
-        }
+    let saved = gather(seg, idx_sorted);
+    scale_all_restore(seg, idx_sorted, &saved, factor);
+}
+
+/// The restore-form of [`scale_all_except`] for call sites that already
+/// gathered `saved = seg[idx]` (e.g. SAMomentum gathers the transmitted
+/// values anyway): scales the whole segment by `factor`, then writes the
+/// saved original bits back at `idx`. Equivalent to
+/// `scale_all_except(seg, idx, factor)` when `saved == gather(seg, idx)`.
+pub fn scale_all_restore(seg: &mut [f32], idx: &[u32], saved: &[f32], factor: f32) {
+    debug_assert_eq!(idx.len(), saved.len());
+    for v in seg.iter_mut() {
+        *v *= factor;
+    }
+    for (&i, &v) in idx.iter().zip(saved.iter()) {
+        seg[i as usize] = v;
     }
 }
 
@@ -219,55 +229,23 @@ mod tests {
     }
 
     #[test]
-    fn sampled_threshold_close_to_exact() {
-        let seg: Vec<f32> = (0..10_000)
-            .map(|i| {
-                let x = (i as f32 * 0.7919).sin() * 3.0;
-                x * x * x // heavy-ish tail
-            })
-            .collect();
-        let k = 100;
-        let exact = topk_threshold(&seg, k);
-        let est = sampled_threshold(&seg, k, 2000, 42);
-        // Sampled estimate within a factor-2 band is plenty for DGC-style use.
-        assert!(est > exact * 0.5 && est < exact * 2.0, "est {est} exact {exact}");
-    }
-
-    #[test]
-    fn sampled_threshold_exact_fallback() {
-        let seg = [1.0, -2.0, 3.0];
-        assert_eq!(sampled_threshold(&seg, 2, 100, 1), topk_threshold(&seg, 2));
-    }
-
-    #[test]
-    fn hierarchical_threshold_converges_near_k() {
-        let seg: Vec<f32> = (0..50_000)
-            .map(|i| {
-                let x = (i as f64 * 0.7391).sin() * 2.0;
-                (x * x * x) as f32
-            })
-            .collect();
-        let k = 500;
-        let thr = hierarchical_threshold(&seg, k, 1000, 0.1, 7);
-        let kept = seg.iter().filter(|v| v.abs() >= thr).count();
-        assert!(
-            kept as f64 >= 0.8 * k as f64 && kept as f64 <= 1.3 * k as f64,
-            "kept {kept} for k {k}"
-        );
-        // Tighter than the raw sampled estimate on the same budget.
-        let raw = sampled_threshold(&seg, k, 1000, 7);
-        let raw_kept = seg.iter().filter(|v| v.abs() >= raw).count();
-        let miss = |c: usize| ((c as f64 - k as f64) / k as f64).abs();
-        assert!(
-            miss(kept) <= miss(raw_kept) + 1e-9,
-            "refined {kept} should be no worse than raw {raw_kept}"
-        );
-    }
-
-    #[test]
-    fn hierarchical_threshold_exact_fallback() {
-        let seg = [3.0f32, -1.0, 2.0, 0.5];
-        assert_eq!(hierarchical_threshold(&seg, 2, 100, 0.1, 1), topk_threshold(&seg, 2));
+    fn dispatchers_agree_across_strategies() {
+        let seg: Vec<f32> = (0..300).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.37).collect();
+        let mut s = SelectScratch::new();
+        for k in [0usize, 1, 7, 150, 299, 300] {
+            assert_eq!(
+                topk_indices_with(SelectStrategy::Radix, &seg, k, &mut s),
+                topk_indices_with(SelectStrategy::Comparator, &seg, k, &mut s),
+                "indices k = {k}"
+            );
+            if k >= 1 {
+                assert_eq!(
+                    topk_threshold_with(SelectStrategy::Radix, &seg, k, &mut s).to_bits(),
+                    topk_threshold_with(SelectStrategy::Comparator, &seg, k, &mut s).to_bits(),
+                    "threshold k = {k}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -281,6 +259,26 @@ mod tests {
         assert_eq!(seg, vec![1.0, -2.0, 3.0, 0.0, 0.0]);
         scatter_add(&mut seg, &idx, &vals, 1.0);
         assert_eq!(seg, vec![1.0, -2.0, 3.0, -4.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_and_zero_matches_gather_then_zero() {
+        let base = vec![1.0f32, -2.0, f32::NAN, -4.0, 5.0, 0.0];
+        let idx = [1u32, 2, 4];
+        let mut fused = base.clone();
+        let fused_vals = gather_and_zero(&mut fused, &idx);
+        let mut split = base.clone();
+        let split_vals = gather(&split, &idx);
+        zero_at(&mut split, &idx);
+        assert_eq!(
+            fused_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            split_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            split.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(gather_and_zero(&mut fused, &[]).is_empty());
     }
 
     #[test]
@@ -309,5 +307,36 @@ mod tests {
         let mut seg = vec![1.0, 2.0];
         scale_all_except(&mut seg, &[0, 1], 100.0);
         assert_eq!(seg, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_all_except_preserves_masked_bits_exactly() {
+        // NaN payloads and infinities at masked indices must come back with
+        // their exact bit patterns — restore is a copy, not an arithmetic
+        // round trip.
+        let nan = f32::from_bits(0x7FC0_1234);
+        let mut seg = vec![1.0f32, nan, f32::INFINITY, 3.0, -0.0];
+        let orig = seg.clone();
+        scale_all_except(&mut seg, &[1, 2, 4], 0.5);
+        assert_eq!(seg[1].to_bits(), orig[1].to_bits());
+        assert_eq!(seg[2].to_bits(), orig[2].to_bits());
+        assert_eq!(seg[4].to_bits(), orig[4].to_bits());
+        assert_eq!(seg[0], 0.5);
+        assert_eq!(seg[3], 1.5);
+    }
+
+    #[test]
+    fn scale_all_restore_equals_scale_all_except() {
+        let base: Vec<f32> = (0..64).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.3).collect();
+        let idx = topk_indices(&base, 9);
+        let mut a = base.clone();
+        scale_all_except(&mut a, &idx, 0.25);
+        let mut b = base.clone();
+        let saved = gather(&b, &idx);
+        scale_all_restore(&mut b, &idx, &saved, 0.25);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

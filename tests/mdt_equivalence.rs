@@ -13,6 +13,7 @@ use dgs::core::server::{DiffStrategy, Downlink, MdtServer};
 use dgs::core::worker::TrainWorker;
 use dgs::nn::data::{Dataset, GaussianBlobs};
 use dgs::nn::models::mlp;
+use dgs::sparsify::SelectStrategy;
 use std::sync::Arc;
 
 fn make_cfg(method: Method) -> TrainConfig {
@@ -187,6 +188,57 @@ fn oversized_updates_force_fallback_and_stay_bitwise_equal() {
     // flushes the whole log, so *every* pull takes the fallback path while
     // pending-set tracking still has to stay exact.
     run_strategies_against_real_training(None, Some(8), 2, 40, |t| t % 2);
+}
+
+/// Runs a full pinned-schedule training — real models, real gradients,
+/// secondary compression on — with the given Top-k selection engine wired
+/// into *both* ways (worker uplink compressors and server secondary
+/// compression), and returns every final model plus the server state.
+fn run_with_select(select: SelectStrategy) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 9);
+    let train: Arc<dyn Dataset> = Arc::new(blobs);
+    let mut cfg = make_cfg(Method::Dgs);
+    cfg.workers = 3;
+    cfg.sparsity_ratio = 0.1;
+    let build = || mlp(8, &[16], 4, 13);
+    let net0 = build();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let mut server = MdtServer::new(
+        theta0,
+        partition,
+        3,
+        Downlink::ModelDifference { secondary_ratio: Some(0.1) },
+    );
+    server.set_select_strategy(select);
+    let mut workers: Vec<TrainWorker> = (0..3)
+        .map(|k| {
+            let mut w = TrainWorker::new(k, build(), Arc::clone(&train), cfg.clone(), 10.0);
+            w.set_select_strategy(select);
+            w
+        })
+        .collect();
+    for t in 0..60 {
+        let k = (t * 2) % 3;
+        let up = workers[k].local_step();
+        let reply = server.handle_update(k, &up);
+        workers[k].apply_reply(reply);
+    }
+    (server.current_model(), workers.iter().map(|w| w.model_params().to_vec()).collect())
+}
+
+#[test]
+fn select_strategy_swap_leaves_training_bitwise_unchanged() {
+    // The radix engine replaces the comparator on every selection site
+    // (worker Top-k, SAMomentum, server secondary compression). Because it
+    // is bitwise-identical, an end-to-end run must produce *exactly* the
+    // same models — not merely close ones.
+    let (srv_cmp, wk_cmp) = run_with_select(SelectStrategy::Comparator);
+    let (srv_rad, wk_rad) = run_with_select(SelectStrategy::Radix);
+    assert_eq!(srv_cmp, srv_rad, "server model changed under strategy swap");
+    for (k, (a, b)) in wk_cmp.iter().zip(wk_rad.iter()).enumerate() {
+        assert_eq!(a, b, "worker {k} model changed under strategy swap");
+    }
 }
 
 #[test]
