@@ -44,10 +44,14 @@ impl Config {
                     include: vec!["crates/sparsify/src", "crates/core/src", "crates/psim/src"],
                 },
                 // Bit-exact server determinism (Eq. 5 equivalence proofs).
+                // The sharded server carries the same proof obligation: its
+                // downlinks must be bitwise identical to the global-lock
+                // path for any pinned schedule.
                 Scope {
                     rule: "determinism",
                     include: vec![
                         "crates/core/src/server.rs",
+                        "crates/core/src/shard.rs",
                         "crates/core/src/update_log.rs",
                         "crates/sparsify/src",
                         "crates/net/src/codec.rs",
@@ -113,6 +117,7 @@ mod tests {
         assert!(cfg.applies("nan-ordering", "crates/psim/src/des.rs"));
         assert!(!cfg.applies("nan-ordering", "crates/net/src/tcp.rs"));
         assert!(cfg.applies("determinism", "crates/core/src/server.rs"));
+        assert!(cfg.applies("determinism", "crates/core/src/shard.rs"));
         assert!(cfg.applies("determinism", "crates/sparsify/src/radix_select.rs"));
         assert!(cfg.applies("determinism", "crates/sparsify/src/sampled.rs"));
         assert!(!cfg.applies("determinism", "crates/core/src/trainer/threaded.rs"));

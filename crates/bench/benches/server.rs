@@ -6,7 +6,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgs_core::protocol::{UpMsg, UpPayload};
 use dgs_core::server::{DiffStrategy, Downlink, MdtServer};
+use dgs_core::shard::ShardedMdtServer;
 use dgs_sparsify::{Partition, SparseUpdate};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
 
 fn sparse_up(part: &Partition, dim: usize, seed: usize, ratio: f64) -> UpMsg {
     let flat: Vec<f32> =
@@ -156,5 +159,89 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_server, bench_strategies);
+/// Wall-clock for `iters` updates split across `workers` OS threads, all
+/// hammering one server concurrently. A barrier releases every thread at
+/// once so the measurement is pure contended throughput, not spawn skew.
+fn contended_wall(iters: u64, workers: usize, run: impl Fn(usize) + Sync) -> Duration {
+    let barrier = Barrier::new(workers + 1);
+    let per = (iters as usize).div_ceil(workers).max(1);
+    let mut start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            let run = &run;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..per {
+                    run(w);
+                }
+            });
+        }
+        barrier.wait();
+        start = Instant::now();
+    });
+    start.elapsed()
+}
+
+/// Lock-striped sharded server vs the global-lock server under genuine
+/// multi-worker contention: the tentpole's scalability claim. Shard count
+/// 1 isolates the striping overhead (front lock + fan-out) from the
+/// concurrency win; the `global_lock` rows are the `Mutex<MdtServer>`
+/// arrangement the TCP runtime used before sharding. Recorded numbers
+/// live in `BENCH_server.json` (with container caveats — a 1-core box
+/// serializes everything and understates the sharded win).
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_vs_global");
+    group.sample_size(10);
+    let dim = 1_000_000usize;
+    let part = Partition::from_layer_sizes(
+        (0..20).map(|i| (format!("layer{i}"), dim / 20)).collect::<Vec<_>>(),
+    );
+    for (sec_name, secondary) in [("no_secondary", None), ("secondary_1pct", Some(0.01))] {
+        let downlink = Downlink::ModelDifference { secondary_ratio: secondary };
+        for &workers in &[2usize, 4] {
+            // One fixed update per worker: distinct supports, zero
+            // per-iteration setup inside the timed region.
+            let updates: Vec<UpMsg> =
+                (0..workers).map(|k| sparse_up(&part, dim, k + 1, 0.01)).collect();
+            for &shards in &[1usize, 2, 4, 8] {
+                let id =
+                    BenchmarkId::new(format!("sharded_{sec_name}_w{workers}"), shards);
+                group.bench_with_input(id, &shards, |b, &shards| {
+                    b.iter_custom(|iters| {
+                        let server = Arc::new(ShardedMdtServer::new(
+                            vec![0.0; dim],
+                            part.clone(),
+                            workers,
+                            downlink,
+                            shards,
+                        ));
+                        contended_wall(iters, workers, |w| {
+                            black_box(server.handle_update(w, black_box(&updates[w])));
+                        })
+                    })
+                });
+            }
+            let id = BenchmarkId::new(format!("global_lock_{sec_name}_w{workers}"), 0usize);
+            group.bench_with_input(id, &workers, |b, &workers| {
+                b.iter_custom(|iters| {
+                    let server = Arc::new(Mutex::new(MdtServer::new(
+                        vec![0.0; dim],
+                        part.clone(),
+                        workers,
+                        downlink,
+                    )));
+                    contended_wall(iters, workers, |w| {
+                        black_box(
+                            server.lock().unwrap().handle_update(w, black_box(&updates[w])),
+                        );
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server, bench_strategies, bench_sharded);
 criterion_main!(benches);

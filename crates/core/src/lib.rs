@@ -19,6 +19,10 @@
 //!   Eq. 1-6): update accumulator `M`, per-worker delivered vectors `v_k`,
 //!   difference `G = M − v_k`, optional secondary compression, plus the
 //!   dense-model downlink that vanilla ASGD uses.
+//! * [`shard`] — the lock-striped sharded server: the same Alg. 2 state
+//!   split along partition segments behind per-shard locks, bitwise
+//!   identical on the wire to [`server`] (see `DESIGN.md` §"Sharded
+//!   server").
 //! * [`update_log`] — the bounded applied-update log behind the server's
 //!   O(nnz) downlink construction (see `DESIGN.md` §"Server hot path").
 //! * [`worker`] — a training worker: model + data loader + compressor,
@@ -41,6 +45,7 @@ pub mod memory;
 pub mod method;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod trainer;
 pub mod update_log;
 pub mod worker;
@@ -50,4 +55,5 @@ pub use curves::{CurvePoint, RunResult};
 pub use method::Method;
 pub use protocol::{DownMsg, UpMsg};
 pub use server::MdtServer;
+pub use shard::ShardedMdtServer;
 pub use worker::TrainWorker;

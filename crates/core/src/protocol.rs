@@ -10,7 +10,7 @@
 //! assert on the header and per-variant codec tests), so simulated and
 //! real traffic counters agree byte-for-byte.
 
-use dgs_sparsify::{SparseUpdate, TernaryUpdate};
+use dgs_sparsify::{SparseUpdate, SparseVec, TernaryUpdate, TernaryVec};
 use std::sync::Arc;
 
 /// Fixed per-message framing overhead. This is the exact `dgs-net` frame
@@ -57,6 +57,35 @@ impl UpPayload {
             UpPayload::TernarySparse(t) => t.nnz(),
         }
     }
+
+    /// Borrows the full payload as an [`UpPayloadView`] covering every
+    /// partition segment.
+    pub fn view(&self) -> UpPayloadView<'_> {
+        match self {
+            UpPayload::Dense(v) => UpPayloadView::Dense(v),
+            UpPayload::Sparse(s) => UpPayloadView::Sparse(&s.chunks),
+            UpPayload::TernarySparse(t) => UpPayloadView::TernarySparse(&t.chunks),
+        }
+    }
+}
+
+/// A borrowed slice of an [`UpPayload`].
+///
+/// The sharded server splits one uplink across shards without copying:
+/// sparse and ternary payloads carry one chunk per partition segment and
+/// shards own whole segments, so a shard's share is a contiguous
+/// chunk-slice; a dense payload's share is the flat sub-range. The
+/// single-lock server passes the whole payload through
+/// [`UpPayload::view`]. Views carry no wire accounting — byte counters
+/// are always charged against the full owned payload.
+#[derive(Debug, Clone, Copy)]
+pub enum UpPayloadView<'a> {
+    /// A dense coordinate range.
+    Dense(&'a [f32]),
+    /// Per-segment sparse chunks (segment-local `u32` indices).
+    Sparse(&'a [SparseVec]),
+    /// Per-segment ternary-quantized chunks.
+    TernarySparse(&'a [TernaryVec]),
 }
 
 /// A worker→server message.

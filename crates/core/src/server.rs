@@ -39,7 +39,7 @@
 //! process. See `DESIGN.md` §"Server hot path".
 
 use crate::method::Method;
-use crate::protocol::{DownMsg, UpMsg, UpPayload};
+use crate::protocol::{DownMsg, UpMsg, UpPayloadView};
 use crate::update_log::UpdateLog;
 use crate::PAR_THRESHOLD;
 use dgs_psim::StalenessStats;
@@ -172,6 +172,12 @@ pub struct MdtServer {
     /// the guard would reject the rebuilt set anyway — at pure dense-scan
     /// cost. Small models (`dim < PAR_THRESHOLD`) always track.
     retrack: Vec<bool>,
+    /// May reply construction fan segments out to rayon? The sharded
+    /// server turns this off per shard: there the shard is the unit of
+    /// parallelism, and a thread holding a shard lock must never reach a
+    /// rayon join point (work-stealing could hand it a sibling task that
+    /// blocks on the same lock). Payload-invariant — cost only.
+    par_segments: bool,
 }
 
 impl MdtServer {
@@ -220,6 +226,7 @@ impl MdtServer {
             mask,
             pending_valid: vec![true; workers],
             retrack: vec![true; workers],
+            par_segments: true,
         }
     }
 
@@ -260,6 +267,13 @@ impl MdtServer {
     /// The active diff strategy.
     pub fn diff_strategy(&self) -> DiffStrategy {
         self.strategy
+    }
+
+    /// Enables/disables the per-segment rayon fan-out inside reply
+    /// construction (see the `par_segments` field docs). On by default;
+    /// [`crate::shard::ShardedMdtServer`] turns it off for its shards.
+    pub fn set_par_segments(&mut self, on: bool) {
+        self.par_segments = on;
     }
 
     /// Replaces the update-log budget, counted in total logged indices
@@ -344,16 +358,35 @@ impl MdtServer {
     /// Processes one worker update and produces the reply — the body of the
     /// paper's Alg. 2 receive loop.
     pub fn handle_update(&mut self, worker: usize, up: &UpMsg) -> DownMsg {
-        let since = self.prev[worker];
-        let staleness = self.t - since;
+        let staleness = self.t - self.prev[worker];
         let scale = self.damping.scale(staleness);
+        let reply = self.handle_scaled(worker, up.payload.view(), scale);
+        self.staleness.record(staleness);
+        reply
+    }
+
+    /// Scale-explicit core of [`MdtServer::handle_update`]: applies one
+    /// already-damped update and builds the reply. Exposed for the sharded
+    /// server, whose front door computes the damping scale once from the
+    /// *global* clock and then drives every shard with it — a shard's own
+    /// clock only counts updates, and since every update visits every shard
+    /// (possibly with empty chunks), shard clocks stay equal to the global
+    /// clock under sequential replay. Does not record staleness; the caller
+    /// owns that statistic.
+    pub fn handle_scaled(
+        &mut self,
+        worker: usize,
+        payload: UpPayloadView<'_>,
+        scale: f32,
+    ) -> DownMsg {
+        let since = self.prev[worker];
         let track_log = matches!(self.downlink, Downlink::ModelDifference { .. })
             && self.strategy == DiffStrategy::LogMerge;
         let t_next = self.t + 1;
         // M_{t+1} = M_t − scale·g (Eq. 1; scale = 1 without damping).
         // Updates arrive lr-scaled.
-        match &up.payload {
-            UpPayload::Dense(g) => {
+        match payload {
+            UpPayloadView::Dense(g) => {
                 assert_eq!(g.len(), self.m.len(), "dense update size");
                 for (m, &gi) in self.m.iter_mut().zip(g.iter()) {
                     *m -= scale * gi;
@@ -369,13 +402,16 @@ impl MdtServer {
                     self.log.mark_dense(t_next);
                 }
             }
-            UpPayload::Sparse(s) => self.apply_sparse(s, scale, track_log, t_next),
-            UpPayload::TernarySparse(t) => {
-                self.apply_sparse(&t.dequantize(), scale, track_log, t_next)
+            UpPayloadView::Sparse(chunks) => self.apply_sparse(chunks, scale, track_log, t_next),
+            UpPayloadView::TernarySparse(chunks) => {
+                // Per-chunk dequantization is exactly what
+                // `TernaryUpdate::dequantize` does per segment, so shard
+                // slices decode bitwise identically to the whole payload.
+                let dequant: Vec<SparseVec> = chunks.iter().map(|c| c.dequantize()).collect();
+                self.apply_sparse(&dequant, scale, track_log, t_next)
             }
         }
         self.t = t_next;
-        self.staleness.record(staleness);
         self.prev[worker] = self.t;
 
         match self.downlink {
@@ -388,17 +424,22 @@ impl MdtServer {
         }
     }
 
-    /// Applies a sparse update to `M` (and the dense-model cache when one
-    /// is kept) and logs the touched coordinates.
-    fn apply_sparse(&mut self, s: &SparseUpdate, scale: f32, track_log: bool, t_next: u64) {
-        s.apply_add(&mut self.m, &self.partition, -scale);
+    /// Applies per-segment sparse chunks to `M` (and the dense-model cache
+    /// when one is kept) and logs the touched coordinates.
+    fn apply_sparse(&mut self, chunks: &[SparseVec], scale: f32, track_log: bool, t_next: u64) {
+        assert_eq!(chunks.len(), self.partition.num_segments(), "update/partition mismatch");
+        for (i, chunk) in chunks.iter().enumerate() {
+            chunk.apply_add(self.partition.slice_mut(&mut self.m, i), -scale);
+        }
         if let Some(cache) = &mut self.model_cache {
             let cache: &mut Vec<f32> = Arc::make_mut(cache);
-            s.apply_add(cache, &self.partition, -scale);
+            for (i, chunk) in chunks.iter().enumerate() {
+                chunk.apply_add(self.partition.slice_mut(cache, i), -scale);
+            }
         }
         if track_log {
             let mut touched = self.log.begin();
-            for (chunk, seg) in s.chunks.iter().zip(self.partition.segments()) {
+            for (chunk, seg) in chunks.iter().zip(self.partition.segments()) {
                 let off = seg.offset as u32;
                 touched.extend(chunk.idx.iter().map(|&i| off + i));
             }
@@ -516,7 +557,7 @@ impl MdtServer {
             (sv, dirty, sel)
         };
         let results: Vec<(SparseVec, Vec<u32>, SelectScratch)> =
-            if cand.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+            if self.par_segments && cand.len() >= PAR_THRESHOLD && jobs.len() > 1 {
                 jobs.into_par_iter().map(run).collect()
             } else {
                 jobs.into_iter().map(run).collect()
@@ -601,7 +642,7 @@ impl MdtServer {
             (sv, dirty, nnz, sel)
         };
         let results: Vec<(SparseVec, Vec<u32>, usize, SelectScratch)> =
-            if m.len() >= PAR_THRESHOLD && jobs.len() > 1 {
+            if self.par_segments && m.len() >= PAR_THRESHOLD && jobs.len() > 1 {
                 jobs.into_par_iter().map(run).collect()
             } else {
                 jobs.into_iter().map(run).collect()
@@ -783,6 +824,7 @@ impl MdtServer {
             mask,
             pending_valid: vec![true; workers],
             retrack: vec![true; workers],
+            par_segments: true,
         }
     }
 }
@@ -811,6 +853,7 @@ pub struct ServerMemoryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::UpPayload;
 
     fn part2() -> Partition {
         Partition::from_layer_sizes([("a", 3), ("b", 3)])

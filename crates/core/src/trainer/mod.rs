@@ -10,18 +10,23 @@
 //! * [`schedule`] — deterministic arrival schedules and the sequential
 //!   scheduled driver, the reference side of the transport differential
 //!   tests (`dgs-net`).
+//! * [`sharded`] — concurrent (`&self`) server logic over the
+//!   lock-striped [`ShardedMdtServer`](crate::shard::ShardedMdtServer),
+//!   used by the cross-process transport to scale with cores.
 //!
 //! All engines produce the same [`RunResult`](crate::curves::RunResult) so
 //! the experiment harness and plots treat them uniformly.
 
 pub mod des;
 pub mod schedule;
+pub mod sharded;
 pub mod single;
 pub mod sync;
 pub mod threaded;
 
 pub use des::{train_des, train_des_stragglers, DesParams, ServerCostModel};
 pub use schedule::{schedule_for, train_scheduled, Schedule, ScheduledRun};
+pub use sharded::{build_sharded_participants, ShardedServerLogic};
 pub use single::train_msgd;
 pub use sync::{train_ssgd, SyncCompression};
 pub use threaded::{build_participants, train_async, AsyncServerLogic};

@@ -1,0 +1,315 @@
+//! Shared-state server logic over the lock-striped [`ShardedMdtServer`].
+//!
+//! [`AsyncServerLogic`](crate::trainer::threaded::AsyncServerLogic) is a
+//! `&mut self` state machine: every transport wraps it in one big lock, so
+//! decode → MDT apply → secondary compression → **full validation eval** →
+//! encode all serialize, and at 4+ workers the server is a sequential
+//! bottleneck. [`ShardedServerLogic`] is the `&self` counterpart built for
+//! concurrent callers: MDT state lives behind the sharded server's striped
+//! locks, and the only logic-level lock is a small telemetry mutex
+//! (byte/loss counters, the eval net, the training curve) that is never
+//! held across shard work. Evaluation — the single most expensive item in
+//! the old critical section — runs on the telemetry lock only, so workers
+//! keep streaming updates through the shards while one thread evaluates.
+//!
+//! Lock discipline: shard/front locks and the telemetry lock are never
+//! held at the same time (`process` finishes `handle_update_timed`, then
+//! accounts; `current_model` snapshots before the eval lock is taken), so
+//! there is no lock-order cycle. The eval cadence fires exactly once per
+//! eligible timestamp because [`ShardedMdtServer::handle_update_timed`]
+//! hands each update a unique global tick. Under concurrency, curve points
+//! can be *recorded* out of timestamp order; `into_result` sorts the curve
+//! by update count, which is the order the single-lock logic produces.
+
+use crate::config::TrainConfig;
+use crate::curves::{CurvePoint, RunResult};
+use crate::method::Method;
+use crate::protocol::{DownMsg, UpMsg};
+use crate::server::Downlink;
+use crate::shard::ShardedMdtServer;
+use crate::trainer::ModelBuilder;
+use crate::worker::TrainWorker;
+use dgs_nn::data::Dataset;
+use dgs_nn::metrics::evaluate;
+use dgs_nn::model::Network;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Everything `process` touches besides MDT state: traffic/loss counters
+/// and the evaluation pipeline. One short-lived lock, disjoint from the
+/// shard locks.
+struct Telemetry {
+    eval_net: Network,
+    val: Arc<dyn Dataset>,
+    cfg: TrainConfig,
+    eval_every: u64,
+    total_updates: u64,
+    updates_per_epoch: u64,
+    curve: Vec<CurvePoint>,
+    loss_sum: f64,
+    loss_n: u64,
+    bytes_up: u64,
+    bytes_down: u64,
+}
+
+/// Concurrent (`&self`) server logic: the sharded MDT server plus curve
+/// recording and traffic accounting. `dgs-net` serves it to many
+/// connection threads at once without a global critical section.
+pub struct ShardedServerLogic {
+    server: ShardedMdtServer,
+    telemetry: Mutex<Telemetry>,
+}
+
+impl ShardedServerLogic {
+    /// Wraps a built sharded server with eval/traffic recording.
+    /// `total_updates` sets the evaluation cadence, mirroring
+    /// [`AsyncServerLogic::new`](crate::trainer::threaded::AsyncServerLogic::new).
+    pub fn new(
+        server: ShardedMdtServer,
+        eval_net: Network,
+        val: Arc<dyn Dataset>,
+        cfg: TrainConfig,
+        total_updates: u64,
+    ) -> Self {
+        let eval_every = (total_updates / cfg.evals.max(1) as u64).max(1);
+        let updates_per_epoch = (total_updates / cfg.epochs.max(1) as u64).max(1);
+        ShardedServerLogic {
+            server,
+            telemetry: Mutex::new(Telemetry {
+                eval_net,
+                val,
+                cfg,
+                eval_every,
+                total_updates,
+                updates_per_epoch,
+                curve: Vec::new(),
+                loss_sum: 0.0,
+                loss_n: 0,
+                bytes_up: 0,
+                bytes_down: 0,
+            }),
+        }
+    }
+
+    fn lock_telemetry(&self) -> MutexGuard<'_, Telemetry> {
+        self.telemetry.lock().expect("telemetry lock poisoned: an eval panicked")
+    }
+
+    /// Applies one update and produces the reply; same accounting as the
+    /// single-lock logic, with only the counters behind a lock.
+    pub fn process(&self, worker: usize, req: UpMsg) -> DownMsg {
+        let up_bytes = req.wire_bytes() as u64;
+        let train_loss = req.train_loss;
+        let (reply, t) = self.server.handle_update_timed(worker, &req);
+        let down_bytes = reply.wire_bytes() as u64;
+        let eval_due = {
+            let mut tel = self.lock_telemetry();
+            tel.bytes_up += up_bytes;
+            tel.bytes_down += down_bytes;
+            tel.loss_sum += train_loss;
+            tel.loss_n += 1;
+            t.is_multiple_of(tel.eval_every) || t == tel.total_updates
+        };
+        if eval_due {
+            // Snapshot the model before taking the telemetry lock so shard
+            // locks and the telemetry lock are never nested.
+            let model = self.server.current_model();
+            let mut tel = self.lock_telemetry();
+            let tel = &mut *tel;
+            tel.eval_net.params_mut().load_data(&model);
+            let res = evaluate(&mut tel.eval_net, tel.val.as_ref(), tel.cfg.eval_batch);
+            tel.curve.push(CurvePoint {
+                epoch: (t / tel.updates_per_epoch) as usize,
+                updates: t,
+                train_loss: if tel.loss_n > 0 { tel.loss_sum / tel.loss_n as f64 } else { 0.0 },
+                val_loss: res.loss,
+                val_acc: res.top1,
+                virtual_time: 0.0,
+                bytes_up: tel.bytes_up,
+                bytes_down: tel.bytes_down,
+            });
+            tel.loss_sum = 0.0;
+            tel.loss_n = 0;
+        }
+        reply
+    }
+
+    /// Recovery for a worker whose reply was lost; the dense reply is
+    /// charged to the downlink like any other data message.
+    pub fn resync(&self, worker: usize) -> DownMsg {
+        let reply = self.server.resync_worker(worker);
+        self.lock_telemetry().bytes_down += reply.wire_bytes() as u64;
+        reply
+    }
+
+    /// The wrapped sharded server.
+    pub fn server(&self) -> &ShardedMdtServer {
+        &self.server
+    }
+
+    /// Accumulated (uplink, downlink) data bytes.
+    pub fn traffic(&self) -> (u64, u64) {
+        let tel = self.lock_telemetry();
+        (tel.bytes_up, tel.bytes_down)
+    }
+
+    /// Finalises the run record; the curve is sorted by update count
+    /// because concurrent evals may record out of order.
+    pub fn into_result(self, cfg: TrainConfig, wall_secs: f64, worker_aux_bytes: usize) -> RunResult {
+        let staleness = self.server.staleness();
+        let tracking = self.server.memory_report().tracking_bytes;
+        let mut tel = self.telemetry.into_inner().unwrap_or_else(|e| e.into_inner());
+        tel.curve.sort_by_key(|p| p.updates);
+        let last = tel.curve.last().copied();
+        RunResult {
+            config: cfg,
+            final_acc: last.map(|p| p.val_acc).unwrap_or(0.0),
+            final_loss: last.map(|p| p.val_loss).unwrap_or(0.0),
+            bytes_up: tel.bytes_up,
+            bytes_down: tel.bytes_down,
+            virtual_time: last.map(|p| p.virtual_time).unwrap_or(0.0),
+            wall_secs,
+            mean_staleness: staleness.mean(),
+            max_staleness: staleness.max(),
+            server_tracking_bytes: tracking,
+            worker_aux_bytes,
+            curve: tel.curve,
+        }
+    }
+}
+
+/// Assembles a sharded server + workers for a config — the lock-striped
+/// twin of [`build_participants`](crate::trainer::threaded::build_participants).
+/// `shards` caps the stripe count (clamped to the layer count; `1` yields
+/// a single-stripe server, useful as a like-for-like baseline).
+pub fn build_sharded_participants(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: &Arc<dyn Dataset>,
+    val: &Arc<dyn Dataset>,
+    worker_gflops: f64,
+    shards: usize,
+) -> (ShardedServerLogic, Vec<TrainWorker>) {
+    assert_ne!(cfg.method, Method::Msgd, "MSGD uses train_msgd");
+    let net0 = build_model();
+    let partition = net0.params().partition().clone();
+    let theta0 = net0.params().data().to_vec();
+    let secondary = if cfg.secondary_compression { Some(cfg.sparsity_ratio) } else { None };
+    let downlink = Downlink::for_method(cfg.method, secondary);
+    let mut server =
+        ShardedMdtServer::new(theta0.clone(), partition, cfg.workers, downlink, shards);
+    if cfg.staleness_damping > 0.0 {
+        server.set_damping(crate::server::StalenessDamping { alpha: cfg.staleness_damping });
+    }
+    if cfg.server_log_nnz > 0 {
+        server.set_log_capacity(cfg.server_log_nnz);
+    }
+    if cfg.server_dense_scan {
+        server.set_diff_strategy(crate::server::DiffStrategy::DenseScan);
+    }
+
+    let workers: Vec<TrainWorker> = (0..cfg.workers)
+        .map(|k| {
+            let net = build_model();
+            assert_eq!(net.params().data(), theta0.as_slice(), "builder must be deterministic");
+            TrainWorker::new(k, net, Arc::clone(train), cfg.clone(), worker_gflops)
+        })
+        .collect();
+
+    let iters = cfg.iters_per_worker(train.len());
+    let total_updates = (iters * cfg.workers) as u64;
+    let logic =
+        ShardedServerLogic::new(server, build_model(), Arc::clone(val), cfg.clone(), total_updates);
+    (logic, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::threaded::build_participants;
+    use dgs_nn::data::GaussianBlobs;
+    use dgs_nn::models::mlp;
+    use std::thread;
+
+    fn datasets() -> (Arc<dyn Dataset>, Arc<dyn Dataset>) {
+        let blobs = GaussianBlobs::new(256, 8, 4, 0.3, 1);
+        let val = Arc::new(blobs.validation(128));
+        (Arc::new(blobs), val)
+    }
+
+    fn quick_cfg(method: Method, workers: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::paper_default(method, workers, 6);
+        cfg.batch_per_worker = 16;
+        cfg.lr = crate::config::LrSchedule::paper_default(0.05, 6);
+        cfg.sparsity_ratio = 0.05;
+        cfg.evals = 3;
+        cfg
+    }
+
+    /// Sequential replay: driving the sharded logic and the single-lock
+    /// logic through the same worker round-robin must produce identical
+    /// traffic counters and bitwise-identical reply streams.
+    #[test]
+    fn sharded_logic_matches_single_lock_logic_sequentially() {
+        let (train, val) = datasets();
+        let cfg = quick_cfg(Method::Dgs, 3);
+        let build = || mlp(8, &[16], 4, 99);
+        let (mut single, mut workers_a) = build_participants(&cfg, &build, &train, &val, 50.0);
+        let (sharded, mut workers_b) = build_sharded_participants(&cfg, &build, &train, &val, 50.0, 4);
+        for round in 0..12 {
+            let w = round % 3;
+            let req_a = workers_a[w].local_step();
+            let req_b = workers_b[w].local_step();
+            assert_eq!(req_a.wire_bytes(), req_b.wire_bytes(), "round {round}: uplinks diverge");
+            let ra = single.process(w, req_a);
+            let rb = sharded.process(w, req_b);
+            assert_eq!(ra.wire_bytes(), rb.wire_bytes(), "round {round}: downlinks diverge");
+            match (&ra, &rb) {
+                (DownMsg::SparseDiff(a), DownMsg::SparseDiff(b)) => {
+                    assert_eq!(a.encode(), b.encode(), "round {round}: payloads diverge");
+                }
+                _ => panic!("expected sparse diffs"),
+            }
+            workers_a[w].apply_reply(ra);
+            workers_b[w].apply_reply(rb);
+        }
+        assert_eq!(single.traffic(), sharded.traffic(), "byte counters diverge");
+        assert_eq!(
+            single.server().current_model(),
+            sharded.server().current_model(),
+            "models diverge"
+        );
+    }
+
+    /// Concurrent smoke: real threads drive workers against the `&self`
+    /// logic; the run must complete, account every update, and produce a
+    /// usable result record.
+    #[test]
+    fn sharded_logic_trains_concurrently() {
+        let (train, val) = datasets();
+        let cfg = quick_cfg(Method::Dgs, 3);
+        let build = || mlp(8, &[16], 4, 99);
+        let (logic, workers) = build_sharded_participants(&cfg, &build, &train, &val, 50.0, 4);
+        let iters = cfg.iters_per_worker(train.len());
+        let logic = Arc::new(logic);
+        thread::scope(|scope| {
+            for (w, mut worker) in workers.into_iter().enumerate() {
+                let logic = Arc::clone(&logic);
+                scope.spawn(move || {
+                    for _ in 0..iters {
+                        let req = worker.local_step();
+                        let reply = logic.process(w, req);
+                        worker.apply_reply(reply);
+                    }
+                });
+            }
+        });
+        let logic = Arc::into_inner(logic).expect("all worker threads joined");
+        let total = (iters * cfg.workers) as u64;
+        assert_eq!(logic.server().timestamp(), total);
+        let result = logic.into_result(cfg, 0.0, 0);
+        assert_eq!(result.curve.last().map(|p| p.updates), Some(total));
+        assert!(result.curve.windows(2).all(|w| w[0].updates < w[1].updates), "curve unsorted");
+        assert!(result.final_acc > 0.6, "sharded run should learn, got {}", result.final_acc);
+        assert!(result.bytes_up > 0 && result.bytes_down > 0);
+    }
+}

@@ -1,15 +1,31 @@
 //! CRC-32 (IEEE 802.3 / zlib polynomial), table-driven, `std`-only.
 //!
 //! Every frame header carries a CRC32 of its payload so corruption in
-//! transit is detected before a payload is decoded. The table is built at
-//! compile time; the streaming form ([`crc32_update`]) lets callers fold
-//! large payloads without concatenating buffers.
+//! transit is detected before a payload is decoded. The sharded server
+//! verifies/computes CRCs *off-lock* on every frame, so the kernel here is
+//! the 8-lane "slicing-by-8" form: eight 256-entry tables (built at
+//! compile time) let the hot loop fold eight payload bytes per iteration
+//! with eight independent table lookups instead of eight serial
+//! byte-at-a-time steps. The classic byte-at-a-time loop is kept as
+//! [`crc32_update_bytewise`] — the differential oracle the tests (and the
+//! proptest suite in `tests/crc_differential.rs`) compare against, since
+//! lane-table bugs corrupt *some* lengths/alignments while passing others.
+//!
+//! The streaming form ([`crc32_update`]) lets callers fold large payloads
+//! without concatenating buffers; both kernels share the same state
+//! convention, so they are interchangeable mid-stream.
 
 /// Reflected polynomial for CRC-32 (IEEE).
 const POLY: u32 = 0xEDB8_8320;
 
-const fn make_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Lane tables for slicing-by-8. Lane 0 is the classic byte table
+/// (`T0[b]` = CRC of the single byte `b`, shifted out); lane `k` extends
+/// it by one zero byte: `Tk[b] = (Tk−1[b] >> 8) ^ T0[Tk−1[b] & 0xFF]`, so
+/// `Tk[b]` is the CRC contribution of byte `b` followed by `k` zero
+/// bytes. XORing the eight lane lookups advances the state by eight bytes
+/// at once.
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -18,20 +34,52 @@ const fn make_table() -> [u32; 256] {
             crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
-static TABLE: [u32; 256] = make_table();
+static TABLES: [[u32; 256]; 8] = make_tables();
 
-/// Folds `data` into a running CRC state. Start from [`CRC_INIT`] and
-/// finish with [`crc32_finish`].
+/// Folds `data` into a running CRC state (slicing-by-8 kernel). Start
+/// from [`CRC_INIT`] and finish with [`crc32_finish`].
 pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
     let mut crc = state;
+    let mut chunks = data.chunks_exact(8);
+    for d in &mut chunks {
+        // First word absorbs the running state; the second is pure data.
+        let a = u32::from_le_bytes([d[0], d[1], d[2], d[3]]) ^ crc;
+        let b = u32::from_le_bytes([d[4], d[5], d[6], d[7]]);
+        crc = TABLES[7][(a & 0xFF) as usize]
+            ^ TABLES[6][((a >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((a >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(a >> 24) as usize]
+            ^ TABLES[3][(b & 0xFF) as usize]
+            ^ TABLES[2][((b >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((b >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(b >> 24) as usize];
+    }
+    crc32_update_bytewise(crc, chunks.remainder())
+}
+
+/// Reference byte-at-a-time kernel — the differential oracle for
+/// [`crc32_update`]. Identical state convention; also used for the
+/// sub-8-byte tail of the sliced loop.
+pub fn crc32_update_bytewise(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
     for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     crc
 }
@@ -67,11 +115,43 @@ mod tests {
     fn streaming_matches_oneshot() {
         let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
         let oneshot = crc32(&data);
-        let mut state = CRC_INIT;
-        for chunk in data.chunks(7) {
-            state = crc32_update(state, chunk);
+        // Odd chunk sizes force every lane/tail combination mid-stream.
+        for chunk_size in [1, 3, 7, 8, 13, 64, 1021] {
+            let mut state = CRC_INIT;
+            for chunk in data.chunks(chunk_size) {
+                state = crc32_update(state, chunk);
+            }
+            assert_eq!(crc32_finish(state), oneshot, "chunk size {chunk_size}");
         }
-        assert_eq!(crc32_finish(state), oneshot);
+    }
+
+    #[test]
+    fn sliced_matches_bytewise_oracle() {
+        // Deterministic xorshift fill — no `rand` dependency on the wire
+        // path. Every length 0..=64 plus larger buffers at every start
+        // offset 0..8 so each lane alignment is hit.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut data = vec![0u8; 4096];
+        for b in data.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        for len in 0..=64usize {
+            for start in 0..8usize {
+                let slice = &data[start..start + len];
+                assert_eq!(
+                    crc32_finish(crc32_update(CRC_INIT, slice)),
+                    crc32_finish(crc32_update_bytewise(CRC_INIT, slice)),
+                    "len {len} start {start}"
+                );
+            }
+        }
+        assert_eq!(crc32_update(CRC_INIT, &data), crc32_update_bytewise(CRC_INIT, &data));
+        // Mid-stream handoff between the two kernels must also agree.
+        let mixed = crc32_update_bytewise(crc32_update(CRC_INIT, &data[..1000]), &data[1000..]);
+        assert_eq!(crc32_finish(mixed), crc32(&data));
     }
 
     #[test]

@@ -146,19 +146,24 @@ pub struct FrameHeader {
     pub crc: u32,
 }
 
-/// Encodes a complete frame (header + payload) into a fresh buffer. The
-/// returned length is exactly `HEADER_LEN + payload.len()`; a payload
-/// whose length does not fit the u32 header field is refused with
-/// [`NetError::TooLarge`] rather than silently truncated.
-pub fn encode_frame(
+/// Encodes a complete frame (header + payload) into a caller-owned
+/// buffer, clearing it first. Connections reuse one scratch buffer across
+/// sends, so the steady state allocates nothing: the buffer grows to the
+/// largest frame ever sent and stays there. The encoded length is exactly
+/// `HEADER_LEN + payload.len()`; a payload whose length does not fit the
+/// u32 header field is refused with [`NetError::TooLarge`] rather than
+/// silently truncated.
+pub fn encode_frame_into(
+    buf: &mut Vec<u8>,
     msg_type: MsgType,
     worker: u16,
     seq: u32,
     payload: &[u8],
-) -> NetResult<Vec<u8>> {
+) -> NetResult<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| NetError::TooLarge { what: "frame payload", len: payload.len() })?;
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.clear();
+    buf.reserve(HEADER_LEN + payload.len());
     buf.extend_from_slice(&MAGIC);
     buf.push(VERSION);
     // dgs::allow(no-truncating-cast): repr(u8) enum discriminant, value-preserving by construction
@@ -168,10 +173,24 @@ pub fn encode_frame(
     buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(&crc32(payload).to_le_bytes());
     buf.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Encodes a complete frame (header + payload) into a fresh buffer.
+pub fn encode_frame(
+    msg_type: MsgType,
+    worker: u16,
+    seq: u32,
+    payload: &[u8],
+) -> NetResult<Vec<u8>> {
+    let mut buf = Vec::new();
+    encode_frame_into(&mut buf, msg_type, worker, seq, payload)?;
     Ok(buf)
 }
 
 /// Writes one frame; returns the exact number of bytes put on the wire.
+/// Header and payload go down in a single `write_all` so a frame is never
+/// split across two syscalls by this layer.
 pub fn write_frame<W: Write>(
     w: &mut W,
     msg_type: MsgType,
@@ -183,6 +202,23 @@ pub fn write_frame<W: Write>(
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len())
+}
+
+/// [`write_frame`] through a caller-owned scratch buffer: same bytes on
+/// the wire, same return value, no per-send allocation. `WireConn` routes
+/// every send through this with its connection-local buffer.
+pub fn write_frame_buffered<W: Write>(
+    w: &mut W,
+    buf: &mut Vec<u8>,
+    msg_type: MsgType,
+    worker: u16,
+    seq: u32,
+    payload: &[u8],
+) -> NetResult<usize> {
+    encode_frame_into(buf, msg_type, worker, seq, payload)?;
+    w.write_all(buf)?;
+    w.flush()?;
+    Ok(buf.len())
 }
 
 /// Parses a 20-byte header buffer (magic/version/type validation only —
@@ -311,6 +347,31 @@ mod tests {
         assert_eq!(&frame[12..16], &[0x01, 0x00, 0x00, 0x00]); // len LE
         assert_eq!(&frame[16..20], &crate::crc::crc32(b"\x09").to_le_bytes());
         assert_eq!(frame[20], 0x09);
+    }
+
+    #[test]
+    fn buffered_write_is_byte_identical_and_reuses_the_buffer() {
+        let payload = b"reused scratch".to_vec();
+        let mut plain = Vec::new();
+        let n_plain = write_frame(&mut plain, MsgType::UpSparse, 3, 17, &payload).unwrap();
+
+        let mut scratch = Vec::new();
+        let mut buffered = Vec::new();
+        let n_buf =
+            write_frame_buffered(&mut buffered, &mut scratch, MsgType::UpSparse, 3, 17, &payload)
+                .unwrap();
+        assert_eq!(n_plain, n_buf);
+        assert_eq!(plain, buffered);
+
+        // A second, smaller send through the same scratch buffer must not
+        // leak bytes from the first and must not grow the allocation.
+        let cap = scratch.capacity();
+        let mut second = Vec::new();
+        let n2 = write_frame_buffered(&mut second, &mut scratch, MsgType::Heartbeat, 0, 0, &[])
+            .unwrap();
+        assert_eq!(n2, HEADER_LEN);
+        assert_eq!(second, encode_frame(MsgType::Heartbeat, 0, 0, &[]).unwrap());
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //!   validation, heartbeats, reconnect with backoff, duplicate
 //!   suppression, graceful shutdown.
 //! * [`runtime`] — glue binding the transports to the training stack
-//!   (`AsyncServerLogic`, `TrainWorker`): `serve_training` /
-//!   `run_worker` / `train_loopback`.
+//!   (`AsyncServerLogic`, `ShardedServerLogic`, `TrainWorker`):
+//!   `serve_training` / `serve_training_sharded` / `run_worker` /
+//!   `train_loopback`.
 //!
 //! Testing note: the container's cargo cannot reach a registry, so the
 //! runnable mirror of this crate's tests lives in `crates/net/harness/`
@@ -49,4 +50,6 @@ pub mod transport;
 pub use codec::Hello;
 pub use error::{NetError, NetResult};
 pub use frame::{FrameHeader, MsgType, HEADER_LEN, MAGIC, VERSION};
-pub use transport::{Event, Loopback, Transport, UpdateHandler, WireConn, WireStats};
+pub use transport::{
+    Event, Loopback, Sequenced, SharedUpdateHandler, Transport, UpdateHandler, WireConn, WireStats,
+};

@@ -3,7 +3,13 @@
 //! * [`LogicHandler`] adapts `AsyncServerLogic` (the engine-shared server
 //!   logic: MDT server + curves + traffic accounting) to the transport
 //!   layer's [`UpdateHandler`] seam, adding the per-worker applied
-//!   counters the reconnect protocol needs.
+//!   counters the reconnect protocol needs. It is served behind one
+//!   `Mutex`, so connection threads take turns.
+//! * [`ShardedLogicHandler`] is the lock-striped counterpart: it adapts
+//!   `ShardedServerLogic` (over `ShardedMdtServer`) to the concurrent
+//!   [`SharedUpdateHandler`] seam with per-worker *atomic* applied
+//!   counters, so connection threads for different workers apply updates
+//!   in parallel — no connection-shared lock on the update path.
 //! * [`train_loopback`] replays a pinned [`Schedule`] with every message
 //!   round-tripped through the codec — the transport side of the
 //!   differential test against `train_scheduled`.
@@ -19,16 +25,21 @@
 use crate::codec::Hello;
 use crate::error::{NetError, NetResult};
 use crate::tcp::{serve_cluster, ServerOpts, TcpOpts, TcpWorkerTransport};
-use crate::transport::{Loopback, Transport, UpdateHandler, WireStats};
+use crate::transport::{
+    Loopback, Sequenced, SharedUpdateHandler, Transport, UpdateHandler, WireStats, POISONED_REASON,
+};
 use dgs_core::config::TrainConfig;
 use dgs_core::curves::RunResult;
+use dgs_core::trainer::sharded::ShardedServerLogic;
 use dgs_core::trainer::threaded::{build_participants, AsyncServerLogic};
 use dgs_core::trainer::{ModelBuilder, Schedule};
 use dgs_core::worker::TrainWorker;
 use dgs_nn::data::Dataset;
 use std::cell::RefCell;
 use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -91,6 +102,101 @@ impl UpdateHandler for LogicHandler {
 
     fn applied(&self, worker: u16) -> u64 {
         self.applied[usize::from(worker)]
+    }
+}
+
+/// [`SharedUpdateHandler`] over the lock-striped server logic. The
+/// per-worker applied counters are atomics, and the sequence check
+/// reserves its slot with a compare-exchange *before* applying, so a
+/// retransmit racing its own apply takes the duplicate path instead of
+/// folding the update in twice — the same guarantee the `Mutex` path gets
+/// from holding one lock across check + apply.
+///
+/// Training-state panics (a poisoned shard lock, a bug in an apply) are
+/// caught at this boundary and surfaced to peers as error frames, keeping
+/// the transport's no-panic promise without putting the whole logic
+/// behind a lock.
+pub struct ShardedLogicHandler {
+    logic: ShardedServerLogic,
+    applied: Vec<AtomicU64>,
+}
+
+impl ShardedLogicHandler {
+    /// Wraps sharded server logic for `workers` workers.
+    pub fn new(logic: ShardedServerLogic, workers: usize) -> Self {
+        ShardedLogicHandler { logic, applied: (0..workers).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// The wrapped logic (read access).
+    pub fn logic(&self) -> &ShardedServerLogic {
+        &self.logic
+    }
+
+    /// Unwraps the logic for result finalisation.
+    pub fn into_logic(self) -> ShardedServerLogic {
+        self.logic
+    }
+
+    /// Runs `f` with the poisoned-state check and panic containment the
+    /// wire path requires: once any apply has panicked, every subsequent
+    /// call answers with the poisoned reason instead of panicking the
+    /// connection thread.
+    fn guard<T>(&self, f: impl FnOnce() -> T) -> Result<T, &'static str> {
+        if self.logic.server().poisoned() {
+            return Err(POISONED_REASON);
+        }
+        catch_unwind(AssertUnwindSafe(f)).map_err(|_| POISONED_REASON)
+    }
+}
+
+impl SharedUpdateHandler for ShardedLogicHandler {
+    fn handle_sequenced(
+        &self,
+        worker: u16,
+        seq: u32,
+        up: dgs_core::protocol::UpMsg,
+    ) -> Result<Sequenced, &'static str> {
+        let w = usize::from(worker);
+        let slot = self.applied.get(w).ok_or("unknown worker id")?;
+        enum Decision {
+            Apply,
+            Duplicate,
+            Gap(u64),
+        }
+        let decision = loop {
+            let cur = slot.load(Ordering::SeqCst);
+            if u64::from(seq) <= cur {
+                break Decision::Duplicate;
+            }
+            if u64::from(seq) > cur + 1 {
+                break Decision::Gap(cur);
+            }
+            // Claim seq before applying; a concurrent claim of the same
+            // seq loses the exchange and re-reads the counter.
+            if slot.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+                break Decision::Apply;
+            }
+        };
+        match decision {
+            Decision::Apply => self.guard(|| self.logic.process(w, up)).map(Sequenced::Applied),
+            Decision::Duplicate => self.guard(|| self.logic.resync(w)).map(Sequenced::Duplicate),
+            Decision::Gap(applied) => Ok(Sequenced::Gap { applied }),
+        }
+    }
+
+    fn handle_resync(&self, worker: u16) -> Result<dgs_core::protocol::DownMsg, &'static str> {
+        let w = usize::from(worker);
+        if w >= self.applied.len() {
+            return Err("unknown worker id");
+        }
+        self.guard(|| self.logic.resync(w))
+    }
+
+    fn applied(&self, worker: u16) -> Result<u64, &'static str> {
+        self.applied
+            .get(usize::from(worker))
+            .map(|a| a.load(Ordering::SeqCst))
+            .ok_or("unknown worker id")
     }
 }
 
@@ -173,6 +279,28 @@ pub fn serve_training(
         .map_err(|_| NetError::Protocol("server threads still hold the handler".into()))?
         .into_inner()
         .map_err(|_| NetError::Protocol("server handler mutex poisoned".into()))?;
+    Ok((handler.into_logic(), stats))
+}
+
+/// [`serve_training`] over the lock-striped server: same accept loop and
+/// protocol, but updates from different workers are applied concurrently
+/// through [`ShardedLogicHandler`] instead of taking turns on one mutex.
+/// Byte-for-byte the wire traffic is what the single-lock server would
+/// produce for the same update schedule.
+pub fn serve_training_sharded(
+    listener: TcpListener,
+    logic: ShardedServerLogic,
+    workers: usize,
+    deadline: Option<Duration>,
+) -> NetResult<(ShardedServerLogic, WireStats)> {
+    let dim = logic.server().dim() as u64;
+    let crc = theta0_crc(&logic.server().theta0());
+    let handler = Arc::new(ShardedLogicHandler::new(logic, workers));
+    let mut opts = ServerOpts::new(workers, dim, crc);
+    opts.deadline = deadline;
+    let stats = serve_cluster(listener, Arc::clone(&handler), opts)?;
+    let handler = Arc::try_unwrap(handler)
+        .map_err(|_| NetError::Protocol("server threads still hold the handler".into()))?;
     Ok((handler.into_logic(), stats))
 }
 

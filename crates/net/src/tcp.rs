@@ -35,7 +35,9 @@ use crate::codec::Hello;
 use crate::error::{NetError, NetResult};
 use crate::frame::MsgType;
 use crate::msg::{DownMsg, UpMsg};
-use crate::transport::{Event, Transport, UpdateHandler, WireConn, WireStats, MAX_PAYLOAD};
+use crate::transport::{
+    Event, Sequenced, SharedUpdateHandler, Transport, WireConn, WireStats, MAX_PAYLOAD,
+};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -359,11 +361,15 @@ impl ServerOpts {
 }
 
 /// Runs the accept loop until every expected worker has sent a graceful
-/// shutdown. Updates are serialized through `handler`; returns the
+/// shutdown. Updates go through the shared `handler` — pass an
+/// `Arc<Mutex<H>>` to serialize them through one lock (the
+/// [`crate::transport::UpdateHandler`] blanket impl), or a natively
+/// concurrent [`SharedUpdateHandler`] such as the sharded runtime handler
+/// to let connection threads apply updates in parallel. Returns the
 /// aggregated server-side byte counters.
-pub fn serve_cluster<H: UpdateHandler + Send + 'static>(
+pub fn serve_cluster<H: SharedUpdateHandler + 'static>(
     listener: TcpListener,
-    handler: Arc<Mutex<H>>,
+    handler: Arc<H>,
     opts: ServerOpts,
 ) -> NetResult<WireStats> {
     listener.set_nonblocking(true)?;
@@ -423,9 +429,9 @@ pub fn serve_cluster<H: UpdateHandler + Send + 'static>(
 }
 
 /// Serves one connection to completion. Returns its byte counters.
-fn serve_conn<H: UpdateHandler>(
+fn serve_conn<H: SharedUpdateHandler>(
     stream: TcpStream,
-    handler: Arc<Mutex<H>>,
+    handler: Arc<H>,
     opts: &ServerOpts,
     stop: &AtomicBool,
     done: &AtomicUsize,
@@ -463,13 +469,13 @@ fn serve_conn<H: UpdateHandler>(
                     );
                     return conn.stats();
                 }
-                // A poisoned handler means another connection's thread
-                // panicked mid-update: the training state cannot be
-                // trusted, so refuse the handshake instead of panicking.
-                let applied = match handler.lock() {
-                    Ok(h) => h.applied(worker),
-                    Err(_) => {
-                        let _ = conn.send_error(worker, "server training state poisoned");
+                // An `Err` here means another connection's thread panicked
+                // mid-update: the training state cannot be trusted, so
+                // refuse the handshake instead of panicking.
+                let applied = match handler.applied(worker) {
+                    Ok(applied) => applied,
+                    Err(reason) => {
+                        let _ = conn.send_error(worker, reason);
                         return conn.stats();
                     }
                 };
@@ -495,30 +501,25 @@ fn serve_conn<H: UpdateHandler>(
                     let _ = conn.send_error(worker, "worker id changed mid-connection");
                     break;
                 }
-                let mut h = match handler.lock() {
-                    Ok(h) => h,
-                    Err(_) => {
-                        let _ = conn.send_error(worker, "server training state poisoned");
+                // The duplicate/gap decision is atomic with the apply
+                // inside the handler (see `SharedUpdateHandler`).
+                match handler.handle_sequenced(worker, seq, *msg) {
+                    Ok(Sequenced::Applied(reply)) | Ok(Sequenced::Duplicate(reply)) => {
+                        if conn.send_reply(worker, seq, &reply).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Sequenced::Gap { applied }) => {
+                        let _ = conn.send_error(
+                            worker,
+                            &format!("sequence gap: got {seq}, applied {applied}"),
+                        );
                         break;
                     }
-                };
-                let applied = h.applied(worker);
-                let reply = if u64::from(seq) == applied + 1 {
-                    h.handle_update(worker, *msg)
-                } else if u64::from(seq) <= applied {
-                    // A retransmit of an update that was already folded in
-                    // (its reply was lost). Applying again would corrupt
-                    // the model; resync instead.
-                    h.handle_resync(worker)
-                } else {
-                    drop(h);
-                    let _ = conn
-                        .send_error(worker, &format!("sequence gap: got {seq}, applied {applied}"));
-                    break;
-                };
-                drop(h);
-                if conn.send_reply(worker, seq, &reply).is_err() {
-                    break;
+                    Err(reason) => {
+                        let _ = conn.send_error(worker, reason);
+                        break;
+                    }
                 }
             }
             Ok(Event::Resync { worker: w, .. }) => {
@@ -526,10 +527,10 @@ fn serve_conn<H: UpdateHandler>(
                     let _ = conn.send_error(worker, "worker id changed mid-connection");
                     break;
                 }
-                let reply = match handler.lock() {
-                    Ok(mut h) => h.handle_resync(worker),
-                    Err(_) => {
-                        let _ = conn.send_error(worker, "server training state poisoned");
+                let reply = match handler.handle_resync(worker) {
+                    Ok(reply) => reply,
+                    Err(reason) => {
+                        let _ = conn.send_error(worker, reason);
                         break;
                     }
                 };
@@ -570,6 +571,7 @@ mod tests {
     use super::*;
     use crate::frame::{write_frame, HEADER_LEN};
     use crate::msg::{SparseUpdate, SparseVec, UpPayload};
+    use crate::transport::UpdateHandler;
 
     /// Same toy handler as the transport tests: dense reply tagging the
     /// per-worker apply count.

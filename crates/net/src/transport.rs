@@ -20,7 +20,7 @@ use crate::codec::{
     Hello,
 };
 use crate::error::{NetError, NetResult};
-use crate::frame::{read_frame, write_frame, FrameHeader, MsgType, HEADER_LEN};
+use crate::frame::{read_frame, write_frame_buffered, FrameHeader, MsgType, HEADER_LEN};
 use crate::msg::{DownMsg, UpMsg};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -140,22 +140,31 @@ pub enum Event {
 
 /// Framed connection over any byte stream. Owns the per-endpoint
 /// [`WireStats`]; every send and receive is counted here and nowhere else.
+///
+/// Sends go through a connection-local scratch buffer
+/// ([`write_frame_buffered`]): header and payload land on the wire in one
+/// `write_all`, and after the first few sends the buffer has grown to the
+/// connection's largest frame, so the steady-state send path allocates
+/// nothing. The bytes — and therefore every [`WireStats`] counter — are
+/// identical to the unbuffered path.
 pub struct WireConn<S> {
     stream: S,
     stats: WireStats,
     max_payload: usize,
+    /// Reusable frame-encoding scratch; see [`write_frame_buffered`].
+    wbuf: Vec<u8>,
 }
 
 impl<S: Read + Write> WireConn<S> {
     /// Wraps a stream with the default payload ceiling.
     pub fn new(stream: S) -> Self {
-        WireConn { stream, stats: WireStats::default(), max_payload: MAX_PAYLOAD }
+        WireConn { stream, stats: WireStats::default(), max_payload: MAX_PAYLOAD, wbuf: Vec::new() }
     }
 
     /// Wraps a stream with an explicit payload ceiling (tests use small
     /// caps to exercise the oversize rejection).
     pub fn with_max_payload(stream: S, max_payload: usize) -> Self {
-        WireConn { stream, stats: WireStats::default(), max_payload }
+        WireConn { stream, stats: WireStats::default(), max_payload, wbuf: Vec::new() }
     }
 
     /// Byte counters accumulated so far.
@@ -171,7 +180,8 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends a worker→server update. The frame length is `msg.wire_bytes()`.
     pub fn send_update(&mut self, worker: u16, seq: u32, msg: &UpMsg) -> NetResult<()> {
         let ty = up_msg_type(&msg.payload);
-        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_up_payload(msg)?)?;
+        let payload = encode_up_payload(msg)?;
+        let n = write_frame_buffered(&mut self.stream, &mut self.wbuf, ty, worker, seq, &payload)?;
         debug_assert_eq!(n, msg.wire_bytes());
         self.stats.record(ty, n);
         Ok(())
@@ -180,7 +190,8 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends a server→worker reply. The frame length is `msg.wire_bytes()`.
     pub fn send_reply(&mut self, worker: u16, seq: u32, msg: &DownMsg) -> NetResult<()> {
         let ty = down_msg_type(msg);
-        let n = write_frame(&mut self.stream, ty, worker, seq, &encode_down_payload(msg)?)?;
+        let payload = encode_down_payload(msg)?;
+        let n = write_frame_buffered(&mut self.stream, &mut self.wbuf, ty, worker, seq, &payload)?;
         debug_assert_eq!(n, msg.wire_bytes());
         self.stats.record(ty, n);
         Ok(())
@@ -189,7 +200,14 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends a resync request (control traffic — its dense-model reply is
     /// what shows up in the data counters).
     pub fn send_resync(&mut self, worker: u16, applied: u32) -> NetResult<()> {
-        let n = write_frame(&mut self.stream, MsgType::Resync, worker, applied, &[])?;
+        let n = write_frame_buffered(
+            &mut self.stream,
+            &mut self.wbuf,
+            MsgType::Resync,
+            worker,
+            applied,
+            &[],
+        )?;
         self.stats.record(MsgType::Resync, n);
         Ok(())
     }
@@ -197,7 +215,8 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends a control frame with a [`Hello`] payload.
     pub fn send_hello(&mut self, ty: MsgType, worker: u16, hello: &Hello) -> NetResult<()> {
         debug_assert!(matches!(ty, MsgType::Hello | MsgType::HelloAck));
-        let n = write_frame(&mut self.stream, ty, worker, 0, &hello.encode())?;
+        let payload = hello.encode();
+        let n = write_frame_buffered(&mut self.stream, &mut self.wbuf, ty, worker, 0, &payload)?;
         self.stats.record(ty, n);
         Ok(())
     }
@@ -205,14 +224,21 @@ impl<S: Read + Write> WireConn<S> {
     /// Sends an empty-payload control frame (heartbeats, shutdown).
     pub fn send_control(&mut self, ty: MsgType, worker: u16) -> NetResult<()> {
         debug_assert!(!ty.is_data() && !matches!(ty, MsgType::Hello | MsgType::HelloAck));
-        let n = write_frame(&mut self.stream, ty, worker, 0, &[])?;
+        let n = write_frame_buffered(&mut self.stream, &mut self.wbuf, ty, worker, 0, &[])?;
         self.stats.record(ty, n);
         Ok(())
     }
 
     /// Sends an error frame with a UTF-8 reason.
     pub fn send_error(&mut self, worker: u16, reason: &str) -> NetResult<()> {
-        let n = write_frame(&mut self.stream, MsgType::Error, worker, 0, reason.as_bytes())?;
+        let n = write_frame_buffered(
+            &mut self.stream,
+            &mut self.wbuf,
+            MsgType::Error,
+            worker,
+            0,
+            reason.as_bytes(),
+        )?;
         self.stats.record(MsgType::Error, n);
         Ok(())
     }
@@ -383,6 +409,76 @@ pub trait UpdateHandler {
     /// Number of updates from `worker` folded into the model so far —
     /// drives duplicate suppression after a reconnect.
     fn applied(&self, worker: u16) -> u64;
+}
+
+/// Reason string sent to peers when the server's training state can no
+/// longer be trusted (a handler thread panicked mid-apply).
+pub const POISONED_REASON: &str = "server training state poisoned";
+
+/// Outcome of delivering one update frame through the sequence check.
+#[derive(Debug)]
+pub enum Sequenced {
+    /// `seq == applied + 1`: the update was applied; here is its reply.
+    Applied(DownMsg),
+    /// `seq <= applied`: a retransmit of an update already folded in (its
+    /// reply was lost). Applying again would corrupt the model, so the
+    /// handler answered with a resync reply instead.
+    Duplicate(DownMsg),
+    /// `seq > applied + 1`: a hard protocol error; the connection must be
+    /// torn down. Carries the applied count for the error message.
+    Gap {
+        /// Updates actually folded in for this worker.
+        applied: u64,
+    },
+}
+
+/// Concurrent server-side handler: the seam the TCP server actually
+/// drives. Unlike [`UpdateHandler`] it takes `&self`, so implementations
+/// choose their own locking — a single `Mutex` (the blanket impl below,
+/// which every existing `Arc<Mutex<H>>` call site goes through) or
+/// internal striping (`ShardedMdtServer` via `runtime::ShardedLogicHandler`),
+/// where connection threads for different workers proceed in parallel.
+///
+/// The sequence check lives *inside* [`Self::handle_sequenced`] so the
+/// duplicate/gap decision is atomic with the apply, exactly as it was when
+/// the whole exchange ran under one connection-shared `Mutex`. Errors are
+/// reason strings for the peer (an `Error` frame), never panics.
+pub trait SharedUpdateHandler: Send + Sync {
+    /// Checks `seq` against the worker's applied count and, when in
+    /// order, applies the update.
+    fn handle_sequenced(&self, worker: u16, seq: u32, up: UpMsg) -> Result<Sequenced, &'static str>;
+
+    /// Produces a full-model recovery reply for `worker` and resets the
+    /// server's tracking state for it.
+    fn handle_resync(&self, worker: u16) -> Result<DownMsg, &'static str>;
+
+    /// Number of updates from `worker` folded into the model so far.
+    fn applied(&self, worker: u16) -> Result<u64, &'static str>;
+}
+
+impl<H: UpdateHandler + Send> SharedUpdateHandler for Mutex<H> {
+    fn handle_sequenced(&self, worker: u16, seq: u32, up: UpMsg) -> Result<Sequenced, &'static str> {
+        // One lock for check + apply: a poisoned lock means another
+        // connection's thread panicked mid-update and the training state
+        // cannot be trusted.
+        let mut h = self.lock().map_err(|_| POISONED_REASON)?;
+        let applied = h.applied(worker);
+        Ok(if u64::from(seq) == applied + 1 {
+            Sequenced::Applied(h.handle_update(worker, up))
+        } else if u64::from(seq) <= applied {
+            Sequenced::Duplicate(h.handle_resync(worker))
+        } else {
+            Sequenced::Gap { applied }
+        })
+    }
+
+    fn handle_resync(&self, worker: u16) -> Result<DownMsg, &'static str> {
+        self.lock().map_err(|_| POISONED_REASON).map(|mut h| h.handle_resync(worker))
+    }
+
+    fn applied(&self, worker: u16) -> Result<u64, &'static str> {
+        self.lock().map_err(|_| POISONED_REASON).map(|h| h.applied(worker))
+    }
 }
 
 /// In-process transport that still round-trips every byte through the

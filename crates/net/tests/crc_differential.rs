@@ -1,0 +1,47 @@
+//! Differential coverage for the slicing-by-8 CRC32 kernel: on arbitrary
+//! byte strings, chunkings, and alignments it must agree exactly with the
+//! byte-at-a-time oracle kept in `crc.rs`. Lane-table bugs are insidious —
+//! they corrupt only certain lengths or 8-byte phases — which is exactly
+//! the space proptest explores here.
+
+use dgs_net::crc::{crc32, crc32_finish, crc32_update, crc32_update_bytewise, CRC_INIT};
+use proptest::prelude::*;
+
+fn oracle(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update_bytewise(CRC_INIT, data))
+}
+
+proptest! {
+    #[test]
+    fn sliced_equals_bytewise(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(crc32(&data), oracle(&data));
+    }
+
+    /// Splitting the stream at an arbitrary point — so the sliced kernel
+    /// restarts mid-buffer at every possible 8-byte phase — must not
+    /// change the digest.
+    #[test]
+    fn streaming_split_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        split in any::<proptest::sample::Index>(),
+    ) {
+        let cut = split.index(data.len() + 1);
+        let state = crc32_update(CRC_INIT, &data[..cut]);
+        prop_assert_eq!(crc32_finish(crc32_update(state, &data[cut..])), oracle(&data));
+    }
+
+    /// The two kernels share one state convention: handing a running state
+    /// from one to the other mid-stream is lossless in both directions.
+    #[test]
+    fn kernels_interchange_mid_stream(
+        a in proptest::collection::vec(any::<u8>(), 0..512),
+        b in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mixed_ab = crc32_update_bytewise(crc32_update(CRC_INIT, &a), &b);
+        let mixed_ba = crc32_update(crc32_update_bytewise(CRC_INIT, &a), &b);
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        prop_assert_eq!(crc32_finish(mixed_ab), oracle(&whole));
+        prop_assert_eq!(crc32_finish(mixed_ba), oracle(&whole));
+    }
+}

@@ -48,7 +48,7 @@ pub use merge::{
     scatter_track_dirty, send_all_at, send_all_dense, send_topk_dense, sort_dedup,
     sort_dedup_bitmap, topk_pairs, topk_pairs_with,
 };
-pub use partition::{Partition, Segment};
+pub use partition::{Partition, Segment, ShardSpan};
 pub use quant::{TernaryUpdate, TernaryVec};
 pub use radix_select::{
     mag_key, radix_threshold, radix_topk_indices, radix_topk_pairs, SelectScratch, SelectStrategy,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dgs-cli run <config.json> [--out results.json]
-//! dgs-cli serve <config.json> --listen ADDR [--out results.json] [--deadline-secs N]
+//! dgs-cli serve <config.json> --listen ADDR [--out results.json] [--deadline-secs N] [--shards S]
 //! dgs-cli work <config.json> --connect ADDR --worker K
 //! dgs-cli init > config.json          # print an annotated default config
 //! dgs-cli methods                     # list methods + technique matrix
@@ -11,7 +11,10 @@
 //! `serve`/`work` run the same training as `run`, but across OS processes
 //! over the `dgs-net` TCP transport: one `serve` process hosts the MDT
 //! server, and `train.workers` separate `work` processes each drive one
-//! training worker. All processes must load the *same* config file — the
+//! training worker. `--shards S` (S > 1) hosts the lock-striped
+//! [`ShardedMdtServer`](dgs::core::ShardedMdtServer) instead of the
+//! single-lock server: worker connections apply updates concurrently, and
+//! the wire traffic stays byte-identical for a given update order. All processes must load the *same* config file — the
 //! TCP handshake fingerprints `θ_0` (CRC-32 of the initial parameters)
 //! and rejects workers whose seed/model/dimension drift from the server's.
 //!
@@ -36,9 +39,10 @@ use dgs::core::curves::RunResult;
 use dgs::core::method::Method;
 use dgs::core::trainer::des::{train_des, DesParams};
 use dgs::core::trainer::single::train_msgd;
+use dgs::core::trainer::sharded::build_sharded_participants;
 use dgs::core::trainer::threaded::{build_participants, train_async};
 use dgs::core::worker::TrainWorker;
-use dgs::net::runtime::{run_worker, serve_training};
+use dgs::net::runtime::{run_worker, serve_training, serve_training_sharded};
 use dgs::net::WireStats;
 use dgs::nn::data::{Dataset, GaussianBlobs, SyntheticVision};
 use dgs::nn::model::Network;
@@ -231,7 +235,7 @@ fn main() {
         }
         Some("serve") => {
             let usage = "usage: dgs-cli serve <config.json> --listen ADDR \
-                         [--out results.json] [--deadline-secs N]";
+                         [--out results.json] [--deadline-secs N] [--shards S]";
             let path = args.get(1).unwrap_or_else(|| fail(usage));
             let listen = flag_value(&args, "--listen").unwrap_or_else(|| fail(usage));
             let out = flag_value(&args, "--out");
@@ -240,7 +244,13 @@ fn main() {
                     s.parse().unwrap_or_else(|_| fail("--deadline-secs must be an integer")),
                 )
             });
-            serve(&load_config(path), &listen, out.as_deref(), deadline);
+            let shards: usize = flag_value(&args, "--shards")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("--shards must be an integer")))
+                .unwrap_or(1);
+            if shards == 0 {
+                fail("--shards must be at least 1");
+            }
+            serve(&load_config(path), &listen, out.as_deref(), deadline, shards);
         }
         Some("work") => {
             let usage = "usage: dgs-cli work <config.json> --connect ADDR --worker K";
@@ -341,32 +351,50 @@ fn run(config: &CliConfig) -> RunResult {
 }
 
 /// `dgs-cli serve`: host the parameter server over TCP until every worker
-/// process has finished and shut down gracefully.
-fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<Duration>) {
+/// process has finished and shut down gracefully. `shards > 1` hosts the
+/// lock-striped server.
+fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<Duration>, shards: usize) {
     let cfg = train_config(config);
     if cfg.method == Method::Msgd {
         fail("msgd is single-node; use `dgs-cli run`");
     }
     let (train_ds, val_ds) = datasets(config);
     let builder = model_builder(config);
-    let (logic, workers) =
-        build_participants(&cfg, &builder, &train_ds, &val_ds, config.engine.worker_gflops);
-    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
-    let iters = cfg.iters_per_worker(train_ds.len());
-    drop(workers); // serve-side workers are only built to size the run
 
     let listener = TcpListener::bind(listen)
         .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
     let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| listen.into());
+    let iters = cfg.iters_per_worker(train_ds.len());
     println!(
         "serving {} on {local}: waiting for {} workers x {iters} iterations",
         cfg.method.name(),
         cfg.workers
     );
     let start = Instant::now();
-    let (logic, stats) = serve_training(listener, logic, cfg.workers, deadline)
-        .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
-    let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
+    let (result, stats) = if shards > 1 {
+        let (logic, workers) = build_sharded_participants(
+            &cfg,
+            &builder,
+            &train_ds,
+            &val_ds,
+            config.engine.worker_gflops,
+            shards,
+        );
+        let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+        drop(workers); // serve-side workers are only built to size the run
+        println!("server state striped across {} shards", logic.server().num_shards());
+        let (logic, stats) = serve_training_sharded(listener, logic, cfg.workers, deadline)
+            .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
+        (logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux), stats)
+    } else {
+        let (logic, workers) =
+            build_participants(&cfg, &builder, &train_ds, &val_ds, config.engine.worker_gflops);
+        let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+        drop(workers);
+        let (logic, stats) = serve_training(listener, logic, cfg.workers, deadline)
+            .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
+        (logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux), stats)
+    };
 
     print_summary(&result);
     print_wire_stats("server", &stats);

@@ -50,8 +50,21 @@ fn wait_with_deadline(child: &mut Child, who: &str, deadline: Instant) {
 
 #[test]
 fn serve_plus_two_workers_trains_over_tcp() {
+    serve_smoke("dgs_process_mode_test", &[]);
+}
+
+#[test]
+fn sharded_serve_plus_two_workers_trains_over_tcp() {
+    // Same run hosted by the lock-striped server: `--shards 2` swaps in
+    // `ShardedMdtServer` behind the identical wire protocol, so every
+    // assertion (including the frame-counter == wire_bytes() equality)
+    // must hold unchanged.
+    serve_smoke("dgs_process_mode_sharded_test", &["--shards", "2"]);
+}
+
+fn serve_smoke(dir_name: &str, extra_serve_args: &[&str]) {
     let deadline = Instant::now() + DEADLINE;
-    let dir = std::env::temp_dir().join("dgs_process_mode_test");
+    let dir = std::env::temp_dir().join(dir_name);
     std::fs::create_dir_all(&dir).unwrap();
     let cfg_path = dir.join("cfg.json");
     let out_path = dir.join("out.json");
@@ -63,6 +76,7 @@ fn serve_plus_two_workers_trains_over_tcp() {
         .arg("serve")
         .arg(&cfg_path)
         .args(["--listen", "127.0.0.1:0", "--deadline-secs", "90"])
+        .args(extra_serve_args)
         .arg("--out")
         .arg(&out_path)
         .stdout(Stdio::piped())
