@@ -52,9 +52,7 @@
 //! before any shard lock is taken.
 
 use crate::protocol::{DownMsg, UpMsg, UpPayload, UpPayloadView};
-use crate::server::{
-    DiffStrategy, Downlink, MdtServer, ServerMemoryReport, StalenessDamping,
-};
+use crate::server::{DiffStrategy, Downlink, MdtServer, ServerMemoryReport, StalenessDamping};
 use crate::PAR_THRESHOLD;
 use dgs_psim::StalenessStats;
 use dgs_sparsify::{Partition, SelectStrategy, ShardSpan, SparseUpdate};
@@ -180,13 +178,21 @@ impl ShardedMdtServer {
     }
 
     /// Splits a total update-log budget across shards proportionally to
-    /// their coordinate share (each shard gets at least one index; `0`
-    /// restores each shard's automatic default of one index per owned
-    /// coordinate — summed over shards that equals the global default).
+    /// their coordinate share, using largest-remainder apportionment so
+    /// the per-shard capacities sum to exactly `capacity` — the sharded
+    /// `--server-log-nnz` budget (and the `memory_report` accounting
+    /// built on it) means the same thing it does on the global server.
+    /// See [`apportion_log_capacity`] for the one documented exception
+    /// (`capacity < num_shards`). `0` restores each shard's automatic
+    /// default of one index per owned coordinate — summed over shards
+    /// that equals the global default.
     pub fn set_log_capacity(&mut self, capacity: usize) {
-        let dim = self.dim.max(1);
-        for (shard, span) in self.shards.iter_mut().zip(&self.spans) {
-            let cap = if capacity == 0 { 0 } else { (capacity * span.len / dim).max(1) };
+        let caps = if capacity == 0 {
+            vec![0; self.shards.len()]
+        } else {
+            apportion_log_capacity(capacity, &self.spans, self.dim)
+        };
+        for (shard, cap) in self.shards.iter_mut().zip(caps) {
             shard.get_mut().expect("shard lock poisoned").set_log_capacity(cap);
         }
     }
@@ -303,18 +309,30 @@ impl ShardedMdtServer {
     /// Recovery path for a worker whose reply was lost (see
     /// [`MdtServer::resync_worker`]): full current model, per-shard
     /// tracking reset, cursor advanced to now.
+    ///
+    /// The front cursor `prev[worker]` is recorded *after* the shard
+    /// sweep, so updates from other workers that land mid-sweep are
+    /// counted as delivered rather than left to inflate this worker's
+    /// next staleness reading. The accounting is still approximate
+    /// around a concurrent resync — a shard locked early in the sweep
+    /// serves a slightly older slice than the final cursor claims — but
+    /// the skew is bounded by the sweep itself, affects only the
+    /// staleness statistics and damping input, and never the wire bytes
+    /// or the per-shard tracking state (each shard resets its own `v_k`
+    /// under its own lock). Under sequential replay no update can land
+    /// mid-sweep, so this is bitwise identical to the global server.
     pub fn resync_worker(&self, worker: usize) -> DownMsg {
-        {
-            let mut front = self.lock_front();
-            let t = front.t;
-            front.prev[worker] = t;
-        }
         let mut model = Vec::with_capacity(self.dim);
         for si in 0..self.shards.len() {
             match self.lock_shard(si).resync_worker(worker) {
                 DownMsg::DenseModel(m) => model.extend_from_slice(&m),
                 DownMsg::SparseDiff(_) => unreachable!("resync reply is always dense"),
             }
+        }
+        {
+            let mut front = self.lock_front();
+            let t = front.t;
+            front.prev[worker] = t;
         }
         DownMsg::DenseModel(Arc::new(model))
     }
@@ -341,6 +359,59 @@ impl ShardedMdtServer {
         }
         total
     }
+}
+
+/// Largest-remainder apportionment of a total update-log budget over the
+/// shard spans: each shard's quota `capacity·len/dim` is floored, then
+/// the rounding shortfall goes one slot at a time to the largest
+/// fractional remainders (ties broken by lower shard index), so the
+/// per-shard capacities sum to **exactly** `capacity` — naive per-shard
+/// flooring can drift by up to `num_shards − 1` slots, which would make
+/// the sharded memory budget incomparable to the global server's in the
+/// 1:1 benchmarks.
+///
+/// One deviation remains: a shard cannot be handed an explicit `0`
+/// (that means "automatic default" downstream), so shards whose quota
+/// rounds to zero are raised to one slot, paid for by shaving the
+/// largest allocations. Only when `capacity < num_shards` is that debt
+/// unpayable and the sum becomes `num_shards` instead of `capacity`.
+fn apportion_log_capacity(capacity: usize, spans: &[ShardSpan], dim: usize) -> Vec<usize> {
+    let dim = dim.max(1);
+    let mut caps: Vec<usize> = spans.iter().map(|s| capacity * s.len / dim).collect();
+    // Σ floor(c·len_i/dim) undershoots `capacity` by at most n−1, so one
+    // pass over the remainder-sorted order settles the shortfall.
+    let shortfall = capacity.saturating_sub(caps.iter().sum());
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(capacity * spans[i].len % dim), i));
+    for &i in order.iter().take(shortfall) {
+        caps[i] += 1;
+    }
+    let mut debt = 0usize;
+    for c in caps.iter_mut() {
+        if *c == 0 {
+            *c = 1;
+            debt += 1;
+        }
+    }
+    while debt > 0 {
+        // Shave the largest allocation (ties to the lower index) without
+        // creating a new zero.
+        let donor = caps
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 1)
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i);
+        match donor {
+            Some(i) => {
+                caps[i] -= 1;
+                debt -= 1;
+            }
+            // capacity < num_shards: every shard keeps its single slot.
+            None => break,
+        }
+    }
+    caps
 }
 
 #[cfg(test)]
@@ -543,12 +614,7 @@ mod tests {
         let workers = 3;
         let rounds = 6;
         let seg = PAR_THRESHOLD / 2;
-        let part = Partition::from_layer_sizes([
-            ("a", seg),
-            ("b", seg),
-            ("c", seg),
-            ("d", seg),
-        ]);
+        let part = Partition::from_layer_sizes([("a", seg), ("b", seg), ("c", seg), ("d", seg)]);
         let dim = part.total_len();
         let server = Arc::new(ShardedMdtServer::new(
             vec![0.0f32; dim],
@@ -597,12 +663,51 @@ mod tests {
             3,
         );
         // Must not panic and must leave every shard with a usable log —
-        // the `.max(1)` floor guards the tiny-shard rounding to zero.
+        // apportionment raises a tiny shard's zero quota to one slot.
         s.set_log_capacity(10);
         s.set_log_capacity(0);
         s.set_damping(StalenessDamping { alpha: 0.5 });
         s.set_select_strategy(SelectStrategy::Comparator);
         s.set_diff_strategy(DiffStrategy::DenseScan);
         assert!(!s.poisoned());
+    }
+
+    /// Per-shard log capacities must sum to exactly the requested budget
+    /// (the 1:1 sharded-vs-global memory comparisons depend on it), with
+    /// the single documented exception of `capacity < num_shards`.
+    #[test]
+    fn log_capacity_apportionment_sums_exactly() {
+        // Many tiny segments: naive flooring with a per-shard `.max(1)`
+        // floor would overshoot (8×1 for small budgets) or undershoot
+        // (dropped remainders for large ones).
+        let tiny = Partition::from_layer_sizes([
+            ("a", 3),
+            ("b", 2),
+            ("c", 3),
+            ("d", 2),
+            ("e", 3),
+            ("f", 2),
+            ("g", 3),
+            ("h", 2),
+        ]);
+        let spans = tiny.shard_spans(8);
+        assert_eq!(spans.len(), 8);
+        for capacity in [8usize, 9, 13, 20, 100, 1_000_003] {
+            let caps = apportion_log_capacity(capacity, &spans, tiny.total_len());
+            assert_eq!(caps.iter().sum::<usize>(), capacity, "budget {capacity} drifted");
+            assert!(caps.iter().all(|&c| c >= 1), "budget {capacity} left a zero shard");
+        }
+        // Skewed spans stay proportional: the big shards carry the bulk,
+        // the one-coordinate shard still gets its floor slot.
+        let skew = Partition::from_layer_sizes([("a", 100), ("b", 1), ("c", 100)]);
+        let spans = skew.shard_spans(3);
+        let caps = apportion_log_capacity(11, &spans, skew.total_len());
+        assert_eq!(caps.iter().sum::<usize>(), 11);
+        assert_eq!(caps[1], 1);
+        assert!(caps[0].abs_diff(caps[2]) <= 1, "equal spans must split evenly: {caps:?}");
+        // Documented deviation: fewer slots than shards — every shard
+        // keeps one (an explicit 0 would mean "automatic default"), so
+        // the sum is num_shards, not capacity.
+        assert_eq!(apportion_log_capacity(2, &spans, skew.total_len()), vec![1, 1, 1]);
     }
 }

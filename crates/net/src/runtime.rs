@@ -7,9 +7,9 @@
 //!   `Mutex`, so connection threads take turns.
 //! * [`ShardedLogicHandler`] is the lock-striped counterpart: it adapts
 //!   `ShardedServerLogic` (over `ShardedMdtServer`) to the concurrent
-//!   [`SharedUpdateHandler`] seam with per-worker *atomic* applied
-//!   counters, so connection threads for different workers apply updates
-//!   in parallel — no connection-shared lock on the update path.
+//!   [`SharedUpdateHandler`] seam with one tiny *per-worker* lock, so
+//!   connection threads for different workers apply updates in parallel —
+//!   no connection-shared lock on the update path.
 //! * [`train_loopback`] replays a pinned [`Schedule`] with every message
 //!   round-tripped through the codec — the transport side of the
 //!   differential test against `train_scheduled`.
@@ -39,7 +39,6 @@ use std::cell::RefCell;
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -105,26 +104,39 @@ impl UpdateHandler for LogicHandler {
     }
 }
 
-/// [`SharedUpdateHandler`] over the lock-striped server logic. The
-/// per-worker applied counters are atomics, and the sequence check
-/// reserves its slot with a compare-exchange *before* applying, so a
-/// retransmit racing its own apply takes the duplicate path instead of
-/// folding the update in twice — the same guarantee the `Mutex` path gets
-/// from holding one lock across check + apply.
+/// [`SharedUpdateHandler`] over the lock-striped server logic. Each
+/// worker owns a `Mutex<u64>` applied counter, and that lock is held
+/// across the whole sequence-check → apply/resync → counter-publish
+/// span — per worker, exactly what the `Mutex` blanket impl does
+/// globally. Consequences:
+///
+/// * a retransmit racing its own apply blocks on the lock and then takes
+///   the duplicate path, so an update is never folded in twice;
+/// * a reconnecting worker's resync can never run concurrently with that
+///   same worker's still-in-flight apply (which would let shard-local
+///   `v_k` advance past the model the resync just delivered);
+/// * [`Self::applied`] (the reconnect handshake's counter) blocks until
+///   the in-flight apply finishes and only ever reports *completed*
+///   applies.
+///
+/// Cross-worker concurrency — the point of the sharding — is untouched:
+/// different workers hold different locks and fan out to the shard locks
+/// underneath in parallel.
 ///
 /// Training-state panics (a poisoned shard lock, a bug in an apply) are
 /// caught at this boundary and surfaced to peers as error frames, keeping
 /// the transport's no-panic promise without putting the whole logic
-/// behind a lock.
+/// behind a lock. `guard` catches the unwind *inside* the per-worker
+/// critical section, so a panicking apply cannot poison the worker lock.
 pub struct ShardedLogicHandler {
     logic: ShardedServerLogic,
-    applied: Vec<AtomicU64>,
+    applied: Vec<Mutex<u64>>,
 }
 
 impl ShardedLogicHandler {
     /// Wraps sharded server logic for `workers` workers.
     pub fn new(logic: ShardedServerLogic, workers: usize) -> Self {
-        ShardedLogicHandler { logic, applied: (0..workers).map(|_| AtomicU64::new(0)).collect() }
+        ShardedLogicHandler { logic, applied: (0..workers).map(|_| Mutex::new(0)).collect() }
     }
 
     /// The wrapped logic (read access).
@@ -158,45 +170,39 @@ impl SharedUpdateHandler for ShardedLogicHandler {
     ) -> Result<Sequenced, &'static str> {
         let w = usize::from(worker);
         let slot = self.applied.get(w).ok_or("unknown worker id")?;
-        enum Decision {
-            Apply,
-            Duplicate,
-            Gap(u64),
+        // Hold this worker's lock across check + apply + publish, so the
+        // counter only ever reflects completed applies and a duplicate's
+        // resync cannot overlap its own in-flight apply. The lock cannot
+        // poison: `guard` contains any apply panic inside the section.
+        let mut applied = slot.lock().map_err(|_| POISONED_REASON)?;
+        if u64::from(seq) <= *applied {
+            return self.guard(|| self.logic.resync(w)).map(Sequenced::Duplicate);
         }
-        let decision = loop {
-            let cur = slot.load(Ordering::SeqCst);
-            if u64::from(seq) <= cur {
-                break Decision::Duplicate;
-            }
-            if u64::from(seq) > cur + 1 {
-                break Decision::Gap(cur);
-            }
-            // Claim seq before applying; a concurrent claim of the same
-            // seq loses the exchange and re-reads the counter.
-            if slot.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
-                break Decision::Apply;
-            }
-        };
-        match decision {
-            Decision::Apply => self.guard(|| self.logic.process(w, up)).map(Sequenced::Applied),
-            Decision::Duplicate => self.guard(|| self.logic.resync(w)).map(Sequenced::Duplicate),
-            Decision::Gap(applied) => Ok(Sequenced::Gap { applied }),
+        if u64::from(seq) > *applied + 1 {
+            return Ok(Sequenced::Gap { applied: *applied });
         }
+        let reply = self.guard(|| self.logic.process(w, up))?;
+        *applied += 1;
+        Ok(Sequenced::Applied(reply))
     }
 
     fn handle_resync(&self, worker: u16) -> Result<dgs_core::protocol::DownMsg, &'static str> {
         let w = usize::from(worker);
-        if w >= self.applied.len() {
-            return Err("unknown worker id");
-        }
+        let slot = self.applied.get(w).ok_or("unknown worker id")?;
+        // Serialize with this worker's own applies: a resync racing an
+        // in-flight apply would hand back a model the tail of that apply
+        // then silently advances v_k past.
+        let _applied = slot.lock().map_err(|_| POISONED_REASON)?;
         self.guard(|| self.logic.resync(w))
     }
 
     fn applied(&self, worker: u16) -> Result<u64, &'static str> {
         self.applied
             .get(usize::from(worker))
-            .map(|a| a.load(Ordering::SeqCst))
-            .ok_or("unknown worker id")
+            .ok_or("unknown worker id")?
+            .lock()
+            .map(|a| *a)
+            .map_err(|_| POISONED_REASON)
     }
 }
 
@@ -335,6 +341,137 @@ pub fn hello_for(params: &[f32], applied: u64) -> Hello {
 mod tests {
     use super::*;
     use crate::crc::crc32;
+    use dgs_core::trainer::sharded::build_sharded_participants;
+    use dgs_core::Method;
+    use dgs_nn::data::GaussianBlobs;
+    use dgs_nn::models::mlp;
+    use std::thread;
+
+    /// A small sharded logic + its workers, for driving the handler the
+    /// way connection threads do.
+    fn sharded_fixture(workers: usize) -> (ShardedLogicHandler, Vec<TrainWorker>) {
+        let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 1);
+        let val: Arc<dyn Dataset> = Arc::new(blobs.validation(64));
+        let train: Arc<dyn Dataset> = Arc::new(blobs);
+        let mut cfg = dgs_core::config::TrainConfig::paper_default(Method::Dgs, workers, 2);
+        cfg.batch_per_worker = 16;
+        cfg.sparsity_ratio = 0.05;
+        cfg.evals = 1;
+        let build = || mlp(8, &[16], 4, 7);
+        let (logic, w) = build_sharded_participants(&cfg, &build, &train, &val, 50.0, 3);
+        (ShardedLogicHandler::new(logic, workers), w)
+    }
+
+    /// The per-worker critical section's sequential contract: in-order
+    /// seqs apply and advance the counter, a retransmit takes the
+    /// duplicate path without re-applying, a gap reports the completed
+    /// count, and unknown worker ids are errors, not panics.
+    #[test]
+    fn sharded_handler_sequence_contract() {
+        let (handler, mut workers) = sharded_fixture(2);
+        let up1 = workers[0].local_step();
+        match handler.handle_sequenced(0, 1, up1.clone()).unwrap() {
+            Sequenced::Applied(reply) => workers[0].apply_reply(reply),
+            other => panic!("first seq must apply, got {other:?}"),
+        }
+        assert_eq!(handler.applied(0).unwrap(), 1);
+        assert_eq!(handler.applied(1).unwrap(), 0, "other worker untouched");
+        let t_after_first = handler.logic().server().timestamp();
+        // Retransmit of seq 1: must NOT fold the update in again — the
+        // clock stays put and the answer is a dense resync model.
+        match handler.handle_sequenced(0, 1, up1).unwrap() {
+            Sequenced::Duplicate(dgs_core::protocol::DownMsg::DenseModel(m)) => {
+                assert_eq!(m.len(), handler.logic().server().dim());
+            }
+            other => panic!("retransmit must resync, got {other:?}"),
+        }
+        assert_eq!(handler.applied(0).unwrap(), 1, "duplicate must not advance the counter");
+        assert_eq!(handler.logic().server().timestamp(), t_after_first);
+        // A gap reports how far the server actually got.
+        let up3 = workers[0].local_step();
+        match handler.handle_sequenced(0, 3, up3).unwrap() {
+            Sequenced::Gap { applied } => assert_eq!(applied, 1),
+            other => panic!("gap must be reported, got {other:?}"),
+        }
+        assert!(handler.handle_sequenced(9, 1, workers[0].local_step()).is_err());
+        assert!(handler.handle_resync(9).is_err());
+        assert!(handler.applied(9).is_err());
+    }
+
+    /// Retransmit storm: many threads race the *same* (worker, seq) while
+    /// other workers make progress and a reconnect-style resync fires
+    /// mid-storm. Exactly one submission per seq may apply; the applied
+    /// counters and the server clock must agree with the dedup exactly —
+    /// the regression this guards is a duplicate/resync overlapping its
+    /// own in-flight apply (per-worker lock, not a pre-apply claim).
+    #[test]
+    fn sharded_handler_retransmit_storm_applies_once() {
+        let (handler, workers) = sharded_fixture(2);
+        let rounds = 8u32;
+        let racers = 3;
+        let handler = Arc::new(handler);
+        let mut steppers = workers;
+        let ups0: Vec<_> = (0..rounds).map(|_| steppers[0].local_step()).collect();
+        let ups1: Vec<_> = (0..rounds).map(|_| steppers[1].local_step()).collect();
+        thread::scope(|scope| {
+            // Worker 1 runs a clean in-order lane.
+            let h = Arc::clone(&handler);
+            let lane = &ups1;
+            scope.spawn(move || {
+                for (i, up) in lane.iter().enumerate() {
+                    match h.handle_sequenced(1, i as u32 + 1, up.clone()) {
+                        Ok(Sequenced::Applied(_)) => {}
+                        other => panic!("clean lane must apply: {other:?}"),
+                    }
+                }
+            });
+            // Worker 0's update storm: every seq submitted by N racers.
+            for _ in 0..racers {
+                let h = Arc::clone(&handler);
+                let lane = &ups0;
+                scope.spawn(move || {
+                    for (i, up) in lane.iter().enumerate() {
+                        let seq = i as u32 + 1;
+                        loop {
+                            match h.handle_sequenced(0, seq, up.clone()) {
+                                Ok(Sequenced::Applied(_) | Sequenced::Duplicate(_)) => break,
+                                // Another racer hasn't applied seq-1 yet.
+                                Ok(Sequenced::Gap { .. }) => thread::yield_now(),
+                                Err(e) => panic!("storm hit a poisoned server: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+            // Reconnect-style probes while applies are in flight: the
+            // counters may only ever show *completed* applies — every
+            // completed apply has already advanced the global clock, so
+            // Σ applied ≤ t at any instant (reading t last is safe: it
+            // only grows). The pre-apply claim this replaced published
+            // the counter first and could violate exactly this. The
+            // resync also must serialize with worker 0's own applies.
+            let h = Arc::clone(&handler);
+            scope.spawn(move || {
+                for _ in 0..16 {
+                    let sum = h.applied(0).unwrap() + h.applied(1).unwrap();
+                    let t = h.logic().server().timestamp();
+                    assert!(
+                        sum <= t,
+                        "counters over-report: {sum} applies published but clock is {t}"
+                    );
+                    h.handle_resync(0).unwrap();
+                    thread::yield_now();
+                }
+            });
+        });
+        let handler = Arc::into_inner(handler).expect("threads joined");
+        assert_eq!(handler.applied(0).unwrap(), u64::from(rounds));
+        assert_eq!(handler.applied(1).unwrap(), u64::from(rounds));
+        // Every seq folded in exactly once: the global clock counts each
+        // worker's rounds once, no double applies from the storm.
+        assert_eq!(handler.logic().server().timestamp(), u64::from(rounds) * 2);
+        assert!(!handler.logic().server().poisoned());
+    }
 
     #[test]
     fn theta0_crc_matches_oneshot_and_detects_drift() {
