@@ -55,6 +55,12 @@ impl Config {
                         "crates/core/src/update_log.rs",
                         "crates/sparsify/src",
                         "crates/net/src/codec.rs",
+                        // The incremental decoder and the evented-server
+                        // state machine must replay bitwise against the
+                        // threaded oracle: no clocks, no entropy, no
+                        // randomized iteration in either.
+                        "crates/net/src/frame.rs",
+                        "crates/net/src/conn.rs",
                         "crates/psim/src/des.rs",
                     ],
                 },
@@ -71,7 +77,10 @@ impl Config {
                     include: vec!["crates/net/src/codec.rs", "crates/core/src/protocol.rs"],
                 },
             ],
-            unsafe_allowed: vec!["crates/tensor/src"],
+            // SIMD kernels in tensor, plus the event loop's poll(2)/epoll
+            // FFI shim — the registry is offline, so the syscall surface
+            // is declared by hand in exactly one file.
+            unsafe_allowed: vec!["crates/tensor/src", "crates/net/src/poll.rs"],
         }
     }
 
@@ -120,6 +129,9 @@ mod tests {
         assert!(cfg.applies("determinism", "crates/core/src/shard.rs"));
         assert!(cfg.applies("determinism", "crates/sparsify/src/radix_select.rs"));
         assert!(cfg.applies("determinism", "crates/sparsify/src/sampled.rs"));
+        assert!(cfg.applies("determinism", "crates/net/src/frame.rs"));
+        assert!(cfg.applies("determinism", "crates/net/src/conn.rs"));
+        assert!(!cfg.applies("determinism", "crates/net/src/event_loop.rs"));
         assert!(!cfg.applies("determinism", "crates/core/src/trainer/threaded.rs"));
         assert!(cfg.applies("no-panic-io", "crates/net/src/transport.rs"));
         assert!(!cfg.applies("no-panic-io", "crates/core/src/server.rs"));
@@ -128,7 +140,11 @@ mod tests {
         assert!(cfg.applies("unsafe-budget", "crates/tensor/src/simd.rs"));
         assert!(cfg.applies("unsafe-budget", "src/main.rs"));
         assert!(cfg.applies("paired-symbols", "crates/net/src/codec.rs"));
+        assert!(cfg.applies("no-panic-io", "crates/net/src/poll.rs"));
+        assert!(cfg.applies("no-panic-io", "crates/net/src/event_loop.rs"));
         assert!(cfg.unsafe_is_allowed("crates/tensor/src/simd.rs"));
+        assert!(cfg.unsafe_is_allowed("crates/net/src/poll.rs"));
         assert!(!cfg.unsafe_is_allowed("crates/net/src/tcp.rs"));
+        assert!(!cfg.unsafe_is_allowed("crates/net/src/conn.rs"));
     }
 }

@@ -48,6 +48,16 @@ pub enum NetError {
         /// The value that did not fit.
         len: usize,
     },
+    /// A peer stopped draining its downlink: queuing one more frame would
+    /// push the connection's bounded write queue past its budget. The
+    /// server disconnects instead of buffering without bound; the worker's
+    /// reconnect/resync path recovers the stream.
+    Backpressure {
+        /// Bytes already queued for the connection.
+        queued: usize,
+        /// The connection's write-queue budget in bytes.
+        budget: usize,
+    },
     /// Peer closed the connection at a frame boundary.
     Closed,
     /// Handshake rejected (dim/θ0 mismatch, duplicate worker id, …).
@@ -92,6 +102,9 @@ impl fmt::Display for NetError {
             NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
             NetError::TooLarge { what, len } => {
                 write!(f, "{what} {len} does not fit its wire field")
+            }
+            NetError::Backpressure { queued, budget } => {
+                write!(f, "write queue over budget: {queued} bytes queued, budget {budget}")
             }
             NetError::Closed => write!(f, "connection closed by peer"),
             NetError::Handshake(why) => write!(f, "handshake rejected: {why}"),

@@ -22,6 +22,13 @@
 //! * [`tcp`] — blocking TCP across processes: handshake with dim/θ0
 //!   validation, heartbeats, reconnect with backoff, duplicate
 //!   suppression, graceful shutdown.
+//! * [`poll`] / [`event_loop`] — the readiness-driven alternative to the
+//!   thread-per-connection server: a std-only poller (`poll(2)` by
+//!   default, epoll behind the `net-epoll` feature) driving per-connection
+//!   state machines with incremental decoding ([`frame::FrameDecoder`])
+//!   and bounded, `writev`-coalesced write queues. Protocol decisions are
+//!   shared with the threaded server (`conn::protocol_step`), so the two
+//!   backends are bitwise interchangeable.
 //! * [`runtime`] — glue binding the transports to the training stack
 //!   (`AsyncServerLogic`, `ShardedServerLogic`, `TrainWorker`):
 //!   `serve_training` / `serve_training_sharded` / `run_worker` /
@@ -39,17 +46,21 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod codec;
+pub(crate) mod conn;
 pub mod crc;
 pub mod error;
+pub mod event_loop;
 pub mod frame;
 pub mod msg;
+pub mod poll;
 pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
 pub use codec::Hello;
 pub use error::{NetError, NetResult};
-pub use frame::{FrameHeader, MsgType, HEADER_LEN, MAGIC, VERSION};
+pub use event_loop::{serve_cluster_evented, EventedOpts};
+pub use frame::{FrameDecoder, FrameHeader, MsgType, HEADER_LEN, MAGIC, VERSION};
 pub use transport::{
     Event, Loopback, Sequenced, SharedUpdateHandler, Transport, UpdateHandler, WireConn, WireStats,
 };

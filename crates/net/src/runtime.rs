@@ -24,6 +24,7 @@
 
 use crate::codec::Hello;
 use crate::error::{NetError, NetResult};
+use crate::event_loop::{serve_cluster_evented, EventedOpts};
 use crate::tcp::{serve_cluster, ServerOpts, TcpOpts, TcpWorkerTransport};
 use crate::transport::{
     Loopback, Sequenced, SharedUpdateHandler, Transport, UpdateHandler, WireStats, POISONED_REASON,
@@ -206,6 +207,68 @@ impl SharedUpdateHandler for ShardedLogicHandler {
     }
 }
 
+/// Which I/O backend drives the server's connections.
+///
+/// Both backends speak the identical protocol (they share
+/// `conn::protocol_step`) and produce bitwise-identical wire traffic for
+/// the same update schedule; they differ only in how connections are
+/// multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One blocking OS thread per connection ([`serve_cluster`]).
+    #[default]
+    Threads,
+    /// One readiness event loop for all connections
+    /// ([`serve_cluster_evented`]): scales to tens of thousands of
+    /// connections on a single thread.
+    Evented,
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "evented" => Ok(IoMode::Evented),
+            other => Err(format!("unknown io mode {other:?} (expected threads|evented)")),
+        }
+    }
+}
+
+/// Server I/O configuration: the backend plus the evented backend's
+/// knobs (ignored under [`IoMode::Threads`]).
+#[derive(Debug, Clone, Default)]
+pub struct IoConfig {
+    /// Which backend accepts and drives connections.
+    pub mode: IoMode,
+    /// Connection budget and write-queue bound for the evented backend.
+    pub evented: EventedOpts,
+}
+
+impl IoConfig {
+    /// An evented config with the given connection budget.
+    pub fn evented(max_conns: usize) -> Self {
+        IoConfig {
+            mode: IoMode::Evented,
+            evented: EventedOpts { max_conns, ..EventedOpts::default() },
+        }
+    }
+}
+
+/// Dispatches to the configured accept loop.
+fn serve_with_io<H: SharedUpdateHandler + 'static>(
+    listener: TcpListener,
+    handler: Arc<H>,
+    opts: ServerOpts,
+    io: &IoConfig,
+) -> NetResult<WireStats> {
+    match io.mode {
+        IoMode::Threads => serve_cluster(listener, handler, opts),
+        IoMode::Evented => serve_cluster_evented(listener, handler, opts, io.evented.clone()),
+    }
+}
+
 /// A finished transport-mode run: the usual record plus final model
 /// states and both endpoints' byte counters.
 pub struct TransportRun {
@@ -266,6 +329,154 @@ pub fn train_loopback(
     Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
 }
 
+/// Replays `schedule` over **real TCP** against an in-process server
+/// running on `io`'s backend: the server thread accepts every worker
+/// connection while a single driver thread owns all the
+/// [`TcpWorkerTransport`]s and replays the pinned schedule in lockstep
+/// (one exchange at a time). Lockstep makes the server-side arrival order
+/// exactly the schedule order, so for an empty `reconnect_at` the run is
+/// bitwise comparable to [`train_loopback`] / `train_scheduled` — and two
+/// runs on different I/O backends are *always* bitwise comparable to each
+/// other, including byte counters on both endpoints.
+///
+/// `faults` injects deterministic mid-run recovery scenarios (reconnects
+/// and resyncs, see [`Fault`]); because they fire at fixed schedule steps
+/// from the single driver thread, a faulted run is still bitwise
+/// reproducible — and still backend-independent.
+pub fn train_tcp(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: Arc<dyn Dataset>,
+    val: Arc<dyn Dataset>,
+    schedule: &Schedule,
+    io: &IoConfig,
+    faults: &[Fault],
+) -> NetResult<TransportRun> {
+    assert_eq!(schedule.workers(), cfg.workers, "schedule/config worker count mismatch");
+    let (logic, workers) = build_participants(cfg, build_model, &train, &val, 50.0);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let workers_n = cfg.workers;
+    let io_cfg = io.clone();
+    let start = Instant::now();
+    let server = std::thread::spawn(move || {
+        serve_training_io(listener, logic, workers_n, Some(SERVE_SAFETY_DEADLINE), &io_cfg)
+    });
+    let (workers, worker_stats) = drive_schedule(&addr, workers, schedule, faults)?;
+    let (logic, server_stats) = server
+        .join()
+        .map_err(|_| NetError::Protocol("server thread panicked".into()))??;
+    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+    let server_model = logic.server().current_model();
+    let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
+    let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
+    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
+}
+
+/// [`train_tcp`] over the lock-striped server logic (`shards` stripes).
+pub fn train_tcp_sharded(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: Arc<dyn Dataset>,
+    val: Arc<dyn Dataset>,
+    schedule: &Schedule,
+    shards: usize,
+    io: &IoConfig,
+    faults: &[Fault],
+) -> NetResult<TransportRun> {
+    assert_eq!(schedule.workers(), cfg.workers, "schedule/config worker count mismatch");
+    let (logic, workers) =
+        dgs_core::trainer::sharded::build_sharded_participants(cfg, build_model, &train, &val, 50.0, shards);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let workers_n = cfg.workers;
+    let io_cfg = io.clone();
+    let start = Instant::now();
+    let server = std::thread::spawn(move || {
+        serve_training_sharded_io(listener, logic, workers_n, Some(SERVE_SAFETY_DEADLINE), &io_cfg)
+    });
+    let (workers, worker_stats) = drive_schedule(&addr, workers, schedule, faults)?;
+    let (logic, server_stats) = server
+        .join()
+        .map_err(|_| NetError::Protocol("server thread panicked".into()))??;
+    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+    let server_model = logic.server().current_model();
+    let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
+    let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
+    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
+}
+
+/// Safety net for the in-process server thread: far beyond any test's
+/// runtime, just low enough that a wedged run fails instead of hanging.
+const SERVE_SAFETY_DEADLINE: Duration = Duration::from_secs(120);
+
+/// A deterministic fault injected during [`train_tcp`]'s schedule replay,
+/// fired just before the named worker's exchange at the named step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop the worker's TCP connection; the next exchange reconnects
+    /// (handshake + applied-count realignment, resyncing if needed).
+    Reconnect {
+        /// Schedule step index the fault fires at.
+        step: usize,
+        /// Worker whose connection is dropped.
+        worker: usize,
+    },
+    /// Issue an explicit resync request: the worker refreshes its local
+    /// model from the server's dense reply, like a recovering straggler.
+    Resync {
+        /// Schedule step index the fault fires at.
+        step: usize,
+        /// Worker that requests the resync.
+        worker: usize,
+    },
+}
+
+/// The worker half of [`train_tcp`]: connects every worker, replays the
+/// schedule in lockstep, shuts down gracefully, and returns the stepped
+/// workers plus their transport counters.
+fn drive_schedule(
+    addr: &str,
+    mut workers: Vec<TrainWorker>,
+    schedule: &Schedule,
+    faults: &[Fault],
+) -> NetResult<(Vec<TrainWorker>, Vec<WireStats>)> {
+    let mut transports: Vec<TcpWorkerTransport> = workers
+        .iter()
+        .enumerate()
+        .map(|(k, w)| {
+            let dim = w.model_params().len() as u64;
+            let mut t_opts = TcpOpts::new(addr, k as u16, dim, theta0_crc(w.model_params()));
+            // Lockstep replies arrive immediately; a long timeout keeps
+            // idle-probe heartbeats out of the byte counters so runs are
+            // deterministic across backends.
+            t_opts.read_timeout = Duration::from_secs(5);
+            TcpWorkerTransport::new(t_opts)
+        })
+        .collect();
+    for (i, &k) in schedule.order().iter().enumerate() {
+        for fault in faults {
+            match *fault {
+                Fault::Reconnect { step, worker } if step == i && worker == k => {
+                    transports[k].force_reconnect();
+                }
+                Fault::Resync { step, worker } if step == i && worker == k => {
+                    let model = transports[k].resync()?;
+                    workers[k].apply_reply(model);
+                }
+                _ => {}
+            }
+        }
+        let up = workers[k].local_step();
+        let reply = transports[k].exchange(&up)?;
+        workers[k].apply_reply(reply);
+    }
+    for t in &mut transports {
+        t.shutdown()?;
+    }
+    Ok((workers, transports.iter().map(|t| t.stats()).collect()))
+}
+
 /// Serves a training run over TCP until all `workers` have gracefully
 /// shut down (or `deadline` expires). Returns the finalised logic (for
 /// result reporting) and the server-side byte counters.
@@ -275,12 +486,23 @@ pub fn serve_training(
     workers: usize,
     deadline: Option<Duration>,
 ) -> NetResult<(AsyncServerLogic, WireStats)> {
+    serve_training_io(listener, logic, workers, deadline, &IoConfig::default())
+}
+
+/// [`serve_training`] with an explicit I/O backend selection.
+pub fn serve_training_io(
+    listener: TcpListener,
+    logic: AsyncServerLogic,
+    workers: usize,
+    deadline: Option<Duration>,
+    io: &IoConfig,
+) -> NetResult<(AsyncServerLogic, WireStats)> {
     let dim = logic.server().dim() as u64;
     let crc = theta0_crc(logic.server().theta0());
     let handler = Arc::new(Mutex::new(LogicHandler::new(logic, workers)));
     let mut opts = ServerOpts::new(workers, dim, crc);
     opts.deadline = deadline;
-    let stats = serve_cluster(listener, Arc::clone(&handler), opts)?;
+    let stats = serve_with_io(listener, Arc::clone(&handler), opts, io)?;
     let handler = Arc::try_unwrap(handler)
         .map_err(|_| NetError::Protocol("server threads still hold the handler".into()))?
         .into_inner()
@@ -299,12 +521,23 @@ pub fn serve_training_sharded(
     workers: usize,
     deadline: Option<Duration>,
 ) -> NetResult<(ShardedServerLogic, WireStats)> {
+    serve_training_sharded_io(listener, logic, workers, deadline, &IoConfig::default())
+}
+
+/// [`serve_training_sharded`] with an explicit I/O backend selection.
+pub fn serve_training_sharded_io(
+    listener: TcpListener,
+    logic: ShardedServerLogic,
+    workers: usize,
+    deadline: Option<Duration>,
+    io: &IoConfig,
+) -> NetResult<(ShardedServerLogic, WireStats)> {
     let dim = logic.server().dim() as u64;
     let crc = theta0_crc(&logic.server().theta0());
     let handler = Arc::new(ShardedLogicHandler::new(logic, workers));
     let mut opts = ServerOpts::new(workers, dim, crc);
     opts.deadline = deadline;
-    let stats = serve_cluster(listener, Arc::clone(&handler), opts)?;
+    let stats = serve_with_io(listener, Arc::clone(&handler), opts, io)?;
     let handler = Arc::try_unwrap(handler)
         .map_err(|_| NetError::Protocol("server threads still hold the handler".into()))?;
     Ok((handler.into_logic(), stats))

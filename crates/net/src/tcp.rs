@@ -32,11 +32,12 @@
 //! server exits once every expected worker has done so.
 
 use crate::codec::Hello;
+use crate::conn::{protocol_step, ConnPhase, Outgoing};
 use crate::error::{NetError, NetResult};
 use crate::frame::MsgType;
 use crate::msg::{DownMsg, UpMsg};
 use crate::transport::{
-    Event, Sequenced, SharedUpdateHandler, Transport, WireConn, WireStats, MAX_PAYLOAD,
+    Event, SharedUpdateHandler, Transport, WireConn, WireStats, MAX_PAYLOAD,
 };
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -177,6 +178,14 @@ impl TcpWorkerTransport {
         if let Some(conn) = self.conn.take() {
             self.closed_stats.merge(&conn.stats());
         }
+    }
+
+    /// Drops the live connection without telling the server — the next
+    /// exchange reconnects and runs the handshake recovery path
+    /// (retransmit or resync, depending on the server's applied count).
+    /// Fault-injection hook for the reconnect/resync equivalence tests.
+    pub fn force_reconnect(&mut self) {
+        self.drop_conn();
     }
 
     /// Reads events until a data reply arrives, heartbeating through
@@ -428,7 +437,24 @@ pub fn serve_cluster<H: SharedUpdateHandler + 'static>(
     Ok(s)
 }
 
+/// Maps one protocol-level [`Outgoing`] onto the blocking send path. The
+/// bytes (and therefore the [`WireStats`] counters) are identical to what
+/// the evented backend's queue encodes for the same `Outgoing`.
+fn send_outgoing(conn: &mut WireConn<TcpStream>, out: &Outgoing) -> NetResult<()> {
+    match out {
+        Outgoing::HelloAck { worker, hello } => conn.send_hello(MsgType::HelloAck, *worker, hello),
+        Outgoing::Reply { worker, seq, msg } => conn.send_reply(*worker, *seq, msg),
+        Outgoing::Control { ty, worker } => conn.send_control(*ty, *worker),
+        Outgoing::Error { worker, reason } => conn.send_error(*worker, reason),
+    }
+}
+
 /// Serves one connection to completion. Returns its byte counters.
+///
+/// The protocol decisions all live in [`protocol_step`] — shared with the
+/// evented backend — so this function is only the blocking I/O shell:
+/// read a frame, step the state machine, write the frames it produced,
+/// heartbeat-timeout housekeeping.
 fn serve_conn<H: SharedUpdateHandler>(
     stream: TcpStream,
     handler: Arc<H>,
@@ -442,124 +468,35 @@ fn serve_conn<H: SharedUpdateHandler>(
         return WireStats::default();
     }
     let mut conn = WireConn::with_max_payload(stream, opts.max_payload);
-
-    // Handshake first; anything else on a fresh connection is a protocol
-    // error worth telling the peer about.
-    let worker = loop {
-        match conn.read_event() {
-            Ok(Event::Hello { worker, hello }) => {
-                if usize::from(worker) >= opts.expected_workers {
-                    let _ = conn.send_error(worker, &format!("unknown worker id {worker}"));
-                    return conn.stats();
-                }
-                if hello.dim != opts.dim {
-                    let _ = conn.send_error(
-                        worker,
-                        &format!("dim mismatch: server {} vs worker {}", opts.dim, hello.dim),
-                    );
-                    return conn.stats();
-                }
-                if hello.theta0_crc != opts.theta0_crc {
-                    let _ = conn.send_error(
-                        worker,
-                        &format!(
-                            "initial model mismatch: server θ0 crc {:#010x} vs worker {:#010x}",
-                            opts.theta0_crc, hello.theta0_crc
-                        ),
-                    );
-                    return conn.stats();
-                }
-                // An `Err` here means another connection's thread panicked
-                // mid-update: the training state cannot be trusted, so
-                // refuse the handshake instead of panicking.
-                let applied = match handler.applied(worker) {
-                    Ok(applied) => applied,
-                    Err(reason) => {
-                        let _ = conn.send_error(worker, reason);
-                        return conn.stats();
-                    }
-                };
-                let ack = Hello { dim: opts.dim, applied, theta0_crc: opts.theta0_crc };
-                if conn.send_hello(MsgType::HelloAck, worker, &ack).is_err() {
-                    return conn.stats();
-                }
-                break worker;
-            }
-            Err(e) if e.is_timeout() => {
-                if stop.load(Ordering::SeqCst) {
-                    return conn.stats();
-                }
-            }
-            _ => return conn.stats(),
-        }
-    };
+    let mut phase = ConnPhase::Handshake;
 
     loop {
         match conn.read_event() {
-            Ok(Event::Update { worker: w, seq, msg }) => {
-                if w != worker {
-                    let _ = conn.send_error(worker, "worker id changed mid-connection");
-                    break;
-                }
-                // The duplicate/gap decision is atomic with the apply
-                // inside the handler (see `SharedUpdateHandler`).
-                match handler.handle_sequenced(worker, seq, *msg) {
-                    Ok(Sequenced::Applied(reply)) | Ok(Sequenced::Duplicate(reply)) => {
-                        if conn.send_reply(worker, seq, &reply).is_err() {
-                            break;
-                        }
-                    }
-                    Ok(Sequenced::Gap { applied }) => {
-                        let _ = conn.send_error(
-                            worker,
-                            &format!("sequence gap: got {seq}, applied {applied}"),
-                        );
-                        break;
-                    }
-                    Err(reason) => {
-                        let _ = conn.send_error(worker, reason);
+            Ok(event) => {
+                let step = protocol_step(&mut phase, event, handler.as_ref(), opts);
+                // Failed sends close the connection; error frames are
+                // best-effort (the peer may already be gone).
+                let mut send_failed = false;
+                for out in &step.send {
+                    if send_outgoing(&mut conn, out).is_err() {
+                        send_failed = true;
                         break;
                     }
                 }
-            }
-            Ok(Event::Resync { worker: w, .. }) => {
-                if w != worker {
-                    let _ = conn.send_error(worker, "worker id changed mid-connection");
+                if step.done {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+                if step.close || send_failed {
                     break;
                 }
-                let reply = match handler.handle_resync(worker) {
-                    Ok(reply) => reply,
-                    Err(reason) => {
-                        let _ = conn.send_error(worker, reason);
-                        break;
-                    }
-                };
-                if conn.send_reply(worker, 0, &reply).is_err() {
-                    break;
-                }
-            }
-            Ok(Event::Heartbeat { worker: w }) => {
-                if conn.send_control(MsgType::HeartbeatAck, w).is_err() {
-                    break;
-                }
-            }
-            Ok(Event::Shutdown { .. }) => {
-                let _ = conn.send_control(MsgType::ShutdownAck, worker);
-                done.fetch_add(1, Ordering::SeqCst);
-                break;
-            }
-            Ok(Event::Error { reason: _reason }) => break,
-            Ok(other) => {
-                let _ = conn.send_error(worker, &format!("unexpected frame: {other:?}"));
-                break;
             }
             Err(e) if e.is_timeout() => {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
             }
-            // Closed: the worker may be reconnecting on a new socket; this
-            // thread's job is done either way.
+            // Closed or malformed: the worker may be reconnecting on a new
+            // socket; this thread's job is done either way.
             Err(_) => break,
         }
     }

@@ -49,6 +49,11 @@ pub struct WireStats {
     pub frames_up: u64,
     /// Number of data frames counted into `data_down`.
     pub frames_down: u64,
+    /// Serve-side only: connections refused because the server's
+    /// `--max-conns` budget was full (each got an explicit error frame —
+    /// whose bytes land in `control` — before the close). Always zero on
+    /// worker-side counters, so clean-run equality checks are unaffected.
+    pub rejected_conns: u64,
 }
 
 impl WireStats {
@@ -74,6 +79,7 @@ impl WireStats {
         self.control += other.control;
         self.frames_up += other.frames_up;
         self.frames_down += other.frames_down;
+        self.rejected_conns += other.rejected_conns;
     }
 }
 
@@ -251,8 +257,10 @@ impl<S: Read + Write> WireConn<S> {
     }
 }
 
-/// Classifies a decoded frame into an [`Event`].
-fn decode_event(header: FrameHeader, payload: Vec<u8>) -> NetResult<Event> {
+/// Classifies a decoded frame into an [`Event`]. Shared with the evented
+/// server's connection state machine (`conn.rs`), which decodes frames
+/// incrementally instead of through [`WireConn::read_event`].
+pub(crate) fn decode_event(header: FrameHeader, payload: Vec<u8>) -> NetResult<Event> {
     let FrameHeader { msg_type, worker, seq, .. } = header;
     Ok(match msg_type {
         MsgType::UpDense | MsgType::UpSparse | MsgType::UpTernary => {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dgs-cli run <config.json> [--out results.json]
-//! dgs-cli serve <config.json> --listen ADDR [--out results.json] [--deadline-secs N] [--shards S]
+//! dgs-cli serve <config.json> --listen ADDR [--out results.json] [--deadline-secs N]
+//!               [--shards S] [--io threads|evented] [--max-conns N]
 //! dgs-cli work <config.json> --connect ADDR --worker K
 //! dgs-cli init > config.json          # print an annotated default config
 //! dgs-cli methods                     # list methods + technique matrix
@@ -14,7 +15,13 @@
 //! training worker. `--shards S` (S > 1) hosts the lock-striped
 //! [`ShardedMdtServer`](dgs::core::ShardedMdtServer) instead of the
 //! single-lock server: worker connections apply updates concurrently, and
-//! the wire traffic stays byte-identical for a given update order. All processes must load the *same* config file — the
+//! the wire traffic stays byte-identical for a given update order.
+//! `--io evented` serves every connection from one readiness event loop
+//! (`poll(2)`, or epoll with the `net-epoll` feature) instead of one
+//! thread per connection — same protocol, same bytes, but it scales to
+//! tens of thousands of workers; `--max-conns N` caps concurrent
+//! connections (over-budget accepts get an error frame and are counted
+//! in the serve-side stats). All processes must load the *same* config file — the
 //! TCP handshake fingerprints `θ_0` (CRC-32 of the initial parameters)
 //! and rejects workers whose seed/model/dimension drift from the server's.
 //!
@@ -42,7 +49,9 @@ use dgs::core::trainer::single::train_msgd;
 use dgs::core::trainer::sharded::build_sharded_participants;
 use dgs::core::trainer::threaded::{build_participants, train_async};
 use dgs::core::worker::TrainWorker;
-use dgs::net::runtime::{run_worker, serve_training, serve_training_sharded};
+use dgs::net::runtime::{
+    run_worker, serve_training_io, serve_training_sharded_io, IoConfig, IoMode,
+};
 use dgs::net::WireStats;
 use dgs::nn::data::{Dataset, GaussianBlobs, SyntheticVision};
 use dgs::nn::model::Network;
@@ -235,7 +244,8 @@ fn main() {
         }
         Some("serve") => {
             let usage = "usage: dgs-cli serve <config.json> --listen ADDR \
-                         [--out results.json] [--deadline-secs N] [--shards S]";
+                         [--out results.json] [--deadline-secs N] [--shards S] \
+                         [--io threads|evented] [--max-conns N]";
             let path = args.get(1).unwrap_or_else(|| fail(usage));
             let listen = flag_value(&args, "--listen").unwrap_or_else(|| fail(usage));
             let out = flag_value(&args, "--out");
@@ -250,7 +260,21 @@ fn main() {
             if shards == 0 {
                 fail("--shards must be at least 1");
             }
-            serve(&load_config(path), &listen, out.as_deref(), deadline, shards);
+            let mut io = IoConfig::default();
+            if let Some(mode) = flag_value(&args, "--io") {
+                io.mode = mode.parse().unwrap_or_else(|e: String| fail(&e));
+            }
+            if let Some(mc) = flag_value(&args, "--max-conns") {
+                io.evented.max_conns =
+                    mc.parse().unwrap_or_else(|_| fail("--max-conns must be a positive integer"));
+                if io.evented.max_conns == 0 {
+                    fail("--max-conns must be a positive integer");
+                }
+                if io.mode != IoMode::Evented {
+                    fail("--max-conns only applies to --io evented");
+                }
+            }
+            serve(&load_config(path), &listen, out.as_deref(), deadline, shards, &io);
         }
         Some("work") => {
             let usage = "usage: dgs-cli work <config.json> --connect ADDR --worker K";
@@ -353,7 +377,14 @@ fn run(config: &CliConfig) -> RunResult {
 /// `dgs-cli serve`: host the parameter server over TCP until every worker
 /// process has finished and shut down gracefully. `shards > 1` hosts the
 /// lock-striped server.
-fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<Duration>, shards: usize) {
+fn serve(
+    config: &CliConfig,
+    listen: &str,
+    out: Option<&str>,
+    deadline: Option<Duration>,
+    shards: usize,
+    io: &IoConfig,
+) {
     let cfg = train_config(config);
     if cfg.method == Method::Msgd {
         fail("msgd is single-node; use `dgs-cli run`");
@@ -365,8 +396,14 @@ fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<D
         .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
     let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| listen.into());
     let iters = cfg.iters_per_worker(train_ds.len());
+    let backend = match io.mode {
+        IoMode::Threads => "thread-per-connection".to_string(),
+        IoMode::Evented => format!("evented (max {} conns)", io.evented.max_conns),
+    };
+    // NOTE: process_mode tests parse the address out of this banner via
+    // `" on "` / `": waiting"` — keep the backend tag after the colon.
     println!(
-        "serving {} on {local}: waiting for {} workers x {iters} iterations",
+        "serving {} on {local}: waiting for {} workers x {iters} iterations [{backend}]",
         cfg.method.name(),
         cfg.workers
     );
@@ -383,7 +420,7 @@ fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<D
         let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
         drop(workers); // serve-side workers are only built to size the run
         println!("server state striped across {} shards", logic.server().num_shards());
-        let (logic, stats) = serve_training_sharded(listener, logic, cfg.workers, deadline)
+        let (logic, stats) = serve_training_sharded_io(listener, logic, cfg.workers, deadline, io)
             .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
         (logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux), stats)
     } else {
@@ -391,7 +428,7 @@ fn serve(config: &CliConfig, listen: &str, out: Option<&str>, deadline: Option<D
             build_participants(&cfg, &builder, &train_ds, &val_ds, config.engine.worker_gflops);
         let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
         drop(workers);
-        let (logic, stats) = serve_training(listener, logic, cfg.workers, deadline)
+        let (logic, stats) = serve_training_io(listener, logic, cfg.workers, deadline, io)
             .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
         (logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux), stats)
     };
@@ -434,8 +471,14 @@ fn work(config: &CliConfig, connect: &str, worker_id: usize) {
 
 fn print_wire_stats(who: &str, stats: &WireStats) {
     println!(
-        "{who} wire: data_up={} data_down={} control={} frames_up={} frames_down={}",
-        stats.data_up, stats.data_down, stats.control, stats.frames_up, stats.frames_down
+        "{who} wire: data_up={} data_down={} control={} frames_up={} frames_down={} \
+         rejected_conns={}",
+        stats.data_up,
+        stats.data_down,
+        stats.control,
+        stats.frames_up,
+        stats.frames_down,
+        stats.rejected_conns
     );
 }
 
@@ -446,6 +489,7 @@ fn wire_json(stats: &WireStats) -> serde_json::Value {
         "control": stats.control,
         "frames_up": stats.frames_up,
         "frames_down": stats.frames_down,
+        "rejected_conns": stats.rejected_conns,
     })
 }
 

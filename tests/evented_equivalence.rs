@@ -1,0 +1,228 @@
+//! Differential test: the evented server backend is a bitwise drop-in
+//! for the thread-per-connection oracle.
+//!
+//! Every scenario runs the *same* pinned schedule twice over real TCP —
+//! once with `IoMode::Threads` (the blocking accept loop that has been
+//! the oracle since PR 2) and once with `IoMode::Evented` (one poller,
+//! per-connection state machines, incremental decoding, coalesced
+//! writes) — and asserts byte-for-byte identity: server model, worker
+//! models, training curves, the logic's traffic accounting, and the
+//! **exact** transport byte counters on both endpoints. Covered across
+//! every method family, the lock-striped sharded server, and mid-run
+//! reconnect + resync faults. The clean runs are additionally anchored
+//! to the in-process loopback oracle, which `transport_equivalence`
+//! already proves bitwise equal to struct-passing training.
+
+use dgs::core::config::{LrSchedule, TrainConfig};
+use dgs::core::method::Method;
+use dgs::core::trainer::schedule_for;
+use dgs::net::runtime::{train_loopback, train_tcp, train_tcp_sharded, Fault, IoConfig, TransportRun};
+use dgs::nn::data::{Dataset, GaussianBlobs};
+use dgs::nn::models::mlp;
+use std::sync::Arc;
+
+fn datasets() -> (Arc<dyn Dataset>, Arc<dyn Dataset>) {
+    let blobs = GaussianBlobs::new(96, 6, 3, 0.4, 5);
+    let val = Arc::new(blobs.validation(48));
+    (Arc::new(blobs), val)
+}
+
+fn quick_cfg(method: Method) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_default(method, 3, 2);
+    cfg.batch_per_worker = 8;
+    cfg.lr = LrSchedule::paper_default(0.05, 2);
+    cfg.momentum = 0.4;
+    cfg.sparsity_ratio = 0.25;
+    cfg.clip_norm = 0.0;
+    cfg.seed = 11;
+    cfg.evals = 2;
+    cfg
+}
+
+/// Bitwise identity between two transport runs, including exact wire
+/// counters on both endpoints. `WireStats` is `PartialEq` over every
+/// counter, so one assert per endpoint covers data/control/frame/reject
+/// counts down to the byte.
+fn assert_runs_identical(a: &TransportRun, b: &TransportRun, what: &str) {
+    assert_eq!(a.server_model, b.server_model, "{what}: server model diverged");
+    assert_eq!(a.worker_models, b.worker_models, "{what}: a worker model diverged");
+    assert_eq!(a.result.bytes_up, b.result.bytes_up, "{what}: uplink accounting diverged");
+    assert_eq!(a.result.bytes_down, b.result.bytes_down, "{what}: downlink accounting diverged");
+    assert_eq!(a.result.curve.len(), b.result.curve.len(), "{what}: curve lengths diverged");
+    for (x, y) in a.result.curve.iter().zip(&b.result.curve) {
+        assert_eq!(x.val_acc, y.val_acc, "{what}: curves diverged");
+        assert_eq!(x.train_loss, y.train_loss, "{what}: curves diverged");
+    }
+    assert_eq!(a.server_stats, b.server_stats, "{what}: server wire counters diverged");
+    assert_eq!(a.worker_stats, b.worker_stats, "{what}: worker wire counters diverged");
+}
+
+/// Clean run (no faults): threaded vs evented, anchored to loopback.
+fn assert_backends_agree(cfg: &TrainConfig) {
+    let (train, val) = datasets();
+    let builder = || mlp(6, &[12], 3, cfg.seed);
+    let schedule = schedule_for(cfg, train.len(), Some(0xD6A1));
+
+    let threaded = train_tcp(
+        cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        &IoConfig::default(),
+        &[],
+    )
+    .expect("threaded tcp run");
+    let evented = train_tcp(
+        cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        &IoConfig::evented(64),
+        &[],
+    )
+    .expect("evented tcp run");
+    assert_runs_identical(&threaded, &evented, &format!("{:?}", cfg.method));
+    assert_eq!(evented.server_stats.rejected_conns, 0);
+
+    // Anchor to the loopback oracle: identical models, and the data-frame
+    // byte counters match exactly (control traffic differs by design —
+    // TCP adds hello/ack/shutdown frames that loopback doesn't need).
+    let wired = train_loopback(cfg, &builder, train, val, &schedule).expect("loopback run");
+    assert_eq!(evented.server_model, wired.server_model, "evented drifted from loopback");
+    assert_eq!(evented.worker_models, wired.worker_models, "evented drifted from loopback");
+    assert_eq!(evented.server_stats.data_up, wired.server_stats.data_up);
+    assert_eq!(evented.server_stats.data_down, wired.server_stats.data_down);
+}
+
+#[test]
+fn asgd_backends_are_bitwise_identical() {
+    assert_backends_agree(&quick_cfg(Method::Asgd));
+}
+
+#[test]
+fn gd_async_backends_are_bitwise_identical() {
+    assert_backends_agree(&quick_cfg(Method::GdAsync));
+}
+
+#[test]
+fn dgc_async_backends_are_bitwise_identical() {
+    assert_backends_agree(&quick_cfg(Method::DgcAsync));
+}
+
+#[test]
+fn dgs_backends_are_bitwise_identical() {
+    assert_backends_agree(&quick_cfg(Method::Dgs));
+}
+
+#[test]
+fn dgs_with_secondary_compression_backends_are_bitwise_identical() {
+    let mut cfg = quick_cfg(Method::Dgs);
+    cfg.secondary_compression = true;
+    assert_backends_agree(&cfg);
+}
+
+#[test]
+fn dgs_with_ternary_uplink_backends_are_bitwise_identical() {
+    let mut cfg = quick_cfg(Method::Dgs);
+    cfg.quantize_uplink = true;
+    assert_backends_agree(&cfg);
+}
+
+/// Mid-run reconnect (dropped connection + re-handshake) and an explicit
+/// resync both replay identically on the two backends: the faults fire
+/// at fixed schedule steps, so hello/resync control frames and the
+/// dense-model recovery replies land in the same places byte-for-byte.
+#[test]
+fn reconnect_and_resync_mid_run_are_bitwise_identical() {
+    let cfg = quick_cfg(Method::Dgs);
+    let (train, val) = datasets();
+    let builder = || mlp(6, &[12], 3, cfg.seed);
+    let schedule = schedule_for(&cfg, train.len(), Some(0xD6A1));
+    let len = schedule.len();
+    assert!(len >= 6, "schedule too short to place mid-run faults");
+    let order = schedule.order();
+    // Pin the faults to steps owned by the workers actually scheduled
+    // there, so each fault really fires.
+    let faults = [
+        Fault::Reconnect { step: len / 3, worker: order[len / 3] },
+        Fault::Resync { step: 2 * len / 3, worker: order[2 * len / 3] },
+    ];
+
+    let threaded = train_tcp(
+        &cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        &IoConfig::default(),
+        &faults,
+    )
+    .expect("threaded faulted run");
+    let evented = train_tcp(
+        &cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        &IoConfig::evented(64),
+        &faults,
+    )
+    .expect("evented faulted run");
+    assert_runs_identical(&threaded, &evented, "faulted dgs");
+    // The faults actually happened: a resync is a control frame on top of
+    // the clean run's traffic, so control bytes must exceed a no-fault
+    // run's on the same schedule.
+    let clean = train_tcp(
+        &cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        &IoConfig::default(),
+        &[],
+    )
+    .expect("clean reference run");
+    assert!(
+        threaded.server_stats.control > clean.server_stats.control,
+        "faults produced no extra control traffic — did they fire?"
+    );
+}
+
+/// The lock-striped sharded server behind the evented loop: the deepest
+/// stack (sharded logic + per-worker locks + event loop) still replays
+/// the threaded oracle bitwise, faults included.
+#[test]
+fn sharded_server_backends_are_bitwise_identical() {
+    let mut cfg = quick_cfg(Method::Dgs);
+    cfg.secondary_compression = true;
+    let (train, val) = datasets();
+    let builder = || mlp(6, &[12], 3, cfg.seed);
+    let schedule = schedule_for(&cfg, train.len(), Some(0xD6A1));
+    let faults = [Fault::Reconnect { step: schedule.len() / 2, worker: schedule.order()[schedule.len() / 2] }];
+
+    let threaded = train_tcp_sharded(
+        &cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        3,
+        &IoConfig::default(),
+        &faults,
+    )
+    .expect("threaded sharded run");
+    let evented = train_tcp_sharded(
+        &cfg,
+        &builder,
+        Arc::clone(&train),
+        Arc::clone(&val),
+        &schedule,
+        3,
+        &IoConfig::evented(64),
+        &faults,
+    )
+    .expect("evented sharded run");
+    assert_runs_identical(&threaded, &evented, "sharded dgs");
+}

@@ -62,6 +62,21 @@ fn sharded_serve_plus_two_workers_trains_over_tcp() {
     serve_smoke("dgs_process_mode_sharded_test", &["--shards", "2"]);
 }
 
+#[test]
+fn evented_serve_plus_two_workers_trains_over_tcp() {
+    // Same run again on the readiness event loop: `--io evented` serves
+    // both worker connections from one poller thread. Protocol and bytes
+    // are backend-independent, so the identical assertions must hold.
+    serve_smoke("dgs_process_mode_evented_test", &["--io", "evented", "--max-conns", "64"]);
+}
+
+#[test]
+fn evented_sharded_serve_plus_two_workers_trains_over_tcp() {
+    // Deepest process-mode stack: lock-striped server logic behind the
+    // event loop, across real processes.
+    serve_smoke("dgs_process_mode_evented_sharded_test", &["--shards", "2", "--io", "evented"]);
+}
+
 fn serve_smoke(dir_name: &str, extra_serve_args: &[&str]) {
     let deadline = Instant::now() + DEADLINE;
     let dir = std::env::temp_dir().join(dir_name);
