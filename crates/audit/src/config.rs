@@ -61,6 +61,12 @@ impl Config {
                         // randomized iteration in either.
                         "crates/net/src/frame.rs",
                         "crates/net/src/conn.rs",
+                        // The cluster fan-out/reassembly and the edge
+                        // aggregation cache sit on the bitwise-replay
+                        // path: shard-order reassembly and worker-order
+                        // merging must be schedule-pure.
+                        "crates/net/src/cluster.rs",
+                        "crates/net/src/edge.rs",
                         "crates/psim/src/des.rs",
                     ],
                 },
@@ -131,6 +137,8 @@ mod tests {
         assert!(cfg.applies("determinism", "crates/sparsify/src/sampled.rs"));
         assert!(cfg.applies("determinism", "crates/net/src/frame.rs"));
         assert!(cfg.applies("determinism", "crates/net/src/conn.rs"));
+        assert!(cfg.applies("determinism", "crates/net/src/cluster.rs"));
+        assert!(cfg.applies("determinism", "crates/net/src/edge.rs"));
         assert!(!cfg.applies("determinism", "crates/net/src/event_loop.rs"));
         assert!(!cfg.applies("determinism", "crates/core/src/trainer/threaded.rs"));
         assert!(cfg.applies("no-panic-io", "crates/net/src/transport.rs"));

@@ -1,0 +1,406 @@
+//! Cluster-topology bench: worker count × edge-group size grid over the
+//! two-level PS cluster — span-sharded root servers behind real TCP,
+//! fronted by edge aggregators (`EdgeHandler`) that merge each group's
+//! uplinks into ONE combined update per round — measuring root-ingress
+//! bytes and member-observed round-trip percentiles.
+//!
+//! Every cell stands up the full topology in one process over localhost:
+//! `SPANS` root span servers (toy `SharedUpdateHandler`s answering with
+//! span-local sparse diffs — the root *apply* cost is covered by the
+//! server benches; here the root is a byte sink so ingress is a pure
+//! topology measurement), `workers / group` edge aggregators each owning
+//! a real `ClusterTransport` fan-out, and one member thread per worker
+//! speaking the plain worker protocol to its edge. Members in a group
+//! advance in lockstep (the edge's round barrier), so a member RTT spans
+//! wait-for-group + merge + upstream exchange + reply fan-in — the real
+//! latency an aggregated worker observes.
+//!
+//! The headline axis is `root_data_up` at fixed `workers` as `group`
+//! grows: root ingress *bytes* are bounded by the merged-update size ×
+//! rounds × groups (coordinate overlap between members dedups in the
+//! merge), and root ingress *connections* by `workers / group` — not by
+//! worker count. `group = 1` is the no-aggregation baseline (edge
+//! forwards verbatim, byte-identical to a direct worker). Results land
+//! in `BENCH_cluster.json` at the repo root.
+//!
+//! Not a criterion bench (`harness = false`): the unit of work is a
+//! whole multi-tier session and the output is a bytes/latency grid, not
+//! a closure throughput.
+//!
+//! Usage: `cargo bench --bench cluster -- [--quick] [--out PATH]`
+
+use dgs_core::protocol::{DownMsg, UpMsg, UpPayload};
+use dgs_net::runtime::{cluster_layout, theta0_crc};
+use dgs_net::tcp::{serve_cluster, ServerOpts, SpanOpts};
+use dgs_net::{
+    ClusterTransport, EdgeHandler, Event, Hello, MsgType, Sequenced, SharedUpdateHandler,
+    WireConn, WireStats,
+};
+use dgs_sparsify::{Partition, SparseUpdate};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Root span count. Fixed while workers × group vary: the claim under
+/// test is that root fan-in scales with spans and groups, not workers.
+const SPANS: usize = 3;
+/// Model dimensionality, split into `SPANS` whole segments below.
+const DIM: usize = 4096;
+/// Top-k ratio for member uplinks (~41 of 4096 coordinates per segment
+/// group; overlap across members governs how much the merge dedups).
+const RATIO: f64 = 0.01;
+/// How long an edge lets a round wait for its stragglers.
+const ROUND_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Builds the shared partition: `SPANS` uneven whole segments so span
+/// slicing is exercised at non-trivial boundaries.
+fn partition() -> Partition {
+    Partition::from_layer_sizes([("a", 1536), ("b", 1280), ("c", 1280)])
+}
+
+/// Deterministic θ0 shared by every tier of the cell.
+fn theta0() -> Vec<f32> {
+    (0..DIM).map(|i| ((i as f64 * 0.7391).sin() * 2.0) as f32).collect()
+}
+
+/// Toy root span server: per-client applied counters and canned
+/// span-local replies (sparse diff for fresh updates, the span's dense
+/// θ0 slice for duplicates/resyncs). Ingress bytes and frame cadence are
+/// real; only the MDT apply is stubbed out.
+struct SpanSink {
+    applied: Vec<AtomicU64>,
+    reply: DownMsg,
+    resync: DownMsg,
+}
+
+impl SpanSink {
+    fn new(clients: usize, span_theta0: &[f32], sub: &Partition) -> Self {
+        let grad: Vec<f32> = span_theta0.iter().map(|x| x * 0.5 + 0.1).collect();
+        SpanSink {
+            applied: (0..clients).map(|_| AtomicU64::new(0)).collect(),
+            reply: DownMsg::SparseDiff(SparseUpdate::from_topk(&grad, sub, RATIO)),
+            resync: DownMsg::DenseModel(Arc::new(span_theta0.to_vec())),
+        }
+    }
+}
+
+impl SharedUpdateHandler for SpanSink {
+    fn handle_sequenced(
+        &self,
+        worker: u16,
+        seq: u32,
+        _up: UpMsg,
+    ) -> Result<Sequenced, &'static str> {
+        let slot = &self.applied[usize::from(worker)];
+        let applied = slot.load(Ordering::Acquire);
+        Ok(if u64::from(seq) == applied + 1 {
+            slot.store(applied + 1, Ordering::Release);
+            Sequenced::Applied(self.reply.clone())
+        } else if u64::from(seq) <= applied {
+            Sequenced::Duplicate(self.resync.clone())
+        } else {
+            Sequenced::Gap { applied }
+        })
+    }
+
+    fn handle_resync(&self, _worker: u16) -> Result<DownMsg, &'static str> {
+        Ok(self.resync.clone())
+    }
+
+    fn applied(&self, worker: u16) -> Result<u64, &'static str> {
+        Ok(self.applied[usize::from(worker)].load(Ordering::Acquire))
+    }
+}
+
+struct Cell {
+    workers: usize,
+    group: usize,
+    rounds: usize,
+    /// Member exchanges completed (workers × rounds).
+    messages: usize,
+    elapsed: Duration,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    /// Σ over span servers: bytes of update payload arriving at the root.
+    root_stats: WireStats,
+    /// Σ over edges: member-facing byte counters (what workers sent).
+    member_stats: WireStats,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// One member: plain worker protocol against its edge, `rounds`
+/// exchanges, per-exchange RTTs in µs.
+fn drive_member(addr: std::net::SocketAddr, worker: u16, up: &UpMsg, rounds: usize) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect member");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(Duration::from_secs(90))).expect("read timeout");
+    let mut wire = WireConn::new(stream);
+    let hello =
+        Hello { dim: DIM as u64, applied: 0, theta0_crc: theta0_crc(&theta0()) };
+    wire.send_hello(MsgType::Hello, worker, &hello).expect("send hello");
+    match wire.read_event().expect("read hello ack") {
+        Event::HelloAck { .. } => {}
+        other => panic!("unexpected handshake reply: {other:?}"),
+    }
+    let mut rtts = Vec::with_capacity(rounds);
+    for seq in 1..=rounds as u32 {
+        let sent = Instant::now();
+        wire.send_update(worker, seq, up).expect("send update");
+        match wire.read_event().expect("read reply") {
+            Event::Reply { seq: got, .. } => assert_eq!(got, seq, "reply out of order"),
+            other => panic!("unexpected event: {other:?}"),
+        }
+        rtts.push(sent.elapsed().as_secs_f64() * 1e6);
+    }
+    wire.send_control(MsgType::Shutdown, worker).expect("send shutdown");
+    match wire.read_event().expect("read shutdown ack") {
+        Event::ShutdownAck => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    rtts
+}
+
+fn run_cell(workers: usize, group: usize, rounds: usize) -> Cell {
+    assert_eq!(workers % group, 0, "grid cells use whole groups");
+    let num_edges = workers / group;
+    let part = partition();
+    let t0 = theta0();
+    let full_crc = theta0_crc(&t0);
+    let layout = cluster_layout(&t0, &part, SPANS);
+    assert_eq!(layout.num_spans(), SPANS);
+
+    // Root tier: SPANS toy span servers, each expecting `num_edges`
+    // upstream clients (edge bases are worker ids 0, G, 2G, …).
+    let mut span_addrs = Vec::new();
+    let mut span_joins = Vec::new();
+    for (k, info) in layout.spans.iter().enumerate() {
+        let span = info.shard_span();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind span");
+        span_addrs.push(listener.local_addr().expect("span addr").to_string());
+        let sub = part.subpartition(&span);
+        let handler = Arc::new(SpanSink::new(workers, &t0[span.range()], &sub));
+        let mut opts = ServerOpts::new(workers, span.len as u64, info.theta0_crc);
+        opts.deadline = Some(Duration::from_secs(300));
+        opts.done_target = num_edges;
+        opts.span = Some(SpanOpts {
+            index: k as u32,
+            num_spans: SPANS as u32,
+            layout_hash: layout.layout_hash(),
+            layout_bytes: layout.encode(),
+        });
+        span_joins.push(std::thread::spawn(move || serve_cluster(listener, handler, opts)));
+    }
+
+    // Edge tier: one aggregator per group, each with a real upstream
+    // ClusterTransport fan-out identified by its base worker id.
+    let mut edge_addrs = Vec::new();
+    let mut edge_joins = Vec::new();
+    let mut edge_handlers = Vec::new();
+    for e in 0..num_edges {
+        let base = (e * group) as u16;
+        let upstream =
+            ClusterTransport::new(layout.clone(), &span_addrs, base).expect("upstream");
+        let handler = EdgeHandler::new(upstream, part.clone(), t0.clone(), base, group, ROUND_TIMEOUT)
+            .expect("edge handler");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind edge");
+        edge_addrs.push(listener.local_addr().expect("edge addr"));
+        let mut opts = ServerOpts::new(usize::from(base) + group, DIM as u64, full_crc);
+        opts.deadline = Some(Duration::from_secs(300));
+        opts.done_target = group;
+        let h = Arc::clone(&handler);
+        edge_handlers.push(handler);
+        edge_joins.push(std::thread::spawn(move || serve_cluster(listener, h, opts)));
+    }
+
+    // Member tier: gradients share one dominant structure with
+    // per-worker jitter — group members optimize the same loss, so
+    // their top-k coordinate sets overlap heavily (the regime the
+    // edge's merge dedup is built for), without being identical.
+    let ups: Vec<Arc<UpMsg>> = (0..workers)
+        .map(|w| {
+            let grad: Vec<f32> = (0..DIM)
+                .map(|i| {
+                    // Heavy-tailed magnitudes: the top coordinates win by
+                    // integer factors, so 10% jitter perturbs values but
+                    // rarely the top-k membership — like real gradients,
+                    // where a few coordinates dominate decisively.
+                    let mag = 6.0 / (1.0 + (i % 257) as f64);
+                    let sign = if (i as f64 * 1.313).cos() >= 0.0 { 1.0 } else { -1.0 };
+                    let jitter = 1.0 + 0.1 * (i as f64 * 0.917 + w as f64 * 1.7).sin();
+                    (sign * mag * jitter) as f32
+                })
+                .collect();
+            Arc::new(UpMsg {
+                payload: UpPayload::Sparse(SparseUpdate::from_topk(&grad, &part, RATIO)),
+                train_loss: 0.25,
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let members: Vec<_> = (0..workers)
+        .map(|w| {
+            let addr = edge_addrs[w / group];
+            let up = Arc::clone(&ups[w]);
+            std::thread::spawn(move || drive_member(addr, w as u16, &up, rounds))
+        })
+        .collect();
+    let mut rtts = Vec::new();
+    for m in members {
+        rtts.extend(m.join().expect("member thread"));
+    }
+    let elapsed = started.elapsed();
+
+    let mut member_stats = WireStats::default();
+    for j in edge_joins {
+        member_stats.merge(&j.join().expect("edge thread").expect("edge result"));
+    }
+    for h in &edge_handlers {
+        // Graceful upstream shutdown lets the span servers' done_target
+        // fire; the returned upstream stats mirror the root's ingress.
+        h.finish().expect("edge finish");
+    }
+    let mut root_stats = WireStats::default();
+    for j in span_joins {
+        root_stats.merge(&j.join().expect("span thread").expect("span result"));
+    }
+
+    rtts.sort_by(|a, b| a.partial_cmp(b).expect("finite rtt"));
+    Cell {
+        workers,
+        group,
+        rounds,
+        messages: rtts.len(),
+        elapsed,
+        p50_us: percentile(&rtts, 0.50),
+        p99_us: percentile(&rtts, 0.99),
+        max_us: rtts.last().copied().unwrap_or(0.0),
+        root_stats,
+        member_stats,
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    let rate = c.messages as f64 / c.elapsed.as_secs_f64();
+    let reduction = if c.root_stats.data_up > 0 {
+        c.member_stats.data_up as f64 / c.root_stats.data_up as f64
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "    {{ \"workers\": {}, \"group\": {}, \"edges\": {}, \"rounds\": {}, ",
+            "\"messages\": {}, \"elapsed_ms\": {:.1}, \"msgs_per_sec\": {:.0}, ",
+            "\"rtt_p50_us\": {:.1}, \"rtt_p99_us\": {:.1}, \"rtt_max_us\": {:.1}, ",
+            "\"root_conns\": {}, \"root_data_up\": {}, \"root_data_down\": {}, ",
+            "\"root_frames_up\": {}, \"member_data_up\": {}, \"member_data_down\": {}, ",
+            "\"uplink_reduction\": {:.2} }}"
+        ),
+        c.workers,
+        c.group,
+        c.workers / c.group,
+        c.rounds,
+        c.messages,
+        c.elapsed.as_secs_f64() * 1e3,
+        rate,
+        c.p50_us,
+        c.p99_us,
+        c.max_us,
+        (c.workers / c.group) * SPANS,
+        c.root_stats.data_up,
+        c.root_stats.data_down,
+        c.root_stats.frames_up,
+        c.member_stats.data_up,
+        c.member_stats.data_down,
+        reduction,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let worker_grid: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64] };
+    let group_grid: &[usize] = &[1, 4, 8];
+    let rounds = if quick { 3 } else { 8 };
+
+    let mut cells = Vec::new();
+    for &workers in worker_grid {
+        for &group in group_grid {
+            if group > workers || workers % group != 0 {
+                eprintln!("cluster: skipping workers={workers} group={group} (partial group)");
+                continue;
+            }
+            eprintln!("cluster: workers={workers} group={group} rounds={rounds} ...");
+            let cell = run_cell(workers, group, rounds);
+            eprintln!(
+                "  -> {} msgs in {:.1} ms, p99 {:.0} us, root ingress {} B (reduction {:.2}x)",
+                cell.messages,
+                cell.elapsed.as_secs_f64() * 1e3,
+                cell.p99_us,
+                cell.root_stats.data_up,
+                cell.member_stats.data_up as f64 / cell.root_stats.data_up.max(1) as f64,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let body: Vec<String> = cells.iter().map(cell_json).collect();
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"cluster\",\n",
+            "  \"description\": \"Two-level PS cluster topology grid: workers x edge-group size ",
+            "over SPANS span-sharded root servers. Edges merge each group's uplinks into one ",
+            "combined update per round, so root ingress bytes scale with groups (merged-update ",
+            "size) and root connections with workers/group -- not with worker count. group=1 is ",
+            "the no-aggregation baseline (verbatim forward).\",\n",
+            "  \"config\": {{ \"spans\": {}, \"dim\": {}, \"topk_ratio\": {}, \"quick\": {} }},\n",
+            "  \"provenance\": {{\n",
+            "    \"caveats\": [\n",
+            "      \"1-core container: member threads, edge threads, and span servers all share ",
+            "one CPU, so RTT percentiles include scheduler serialization and are upper bounds; ",
+            "the bytes axis is exact regardless\",\n",
+            "      \"root servers are byte sinks (canned span-local replies): ingress/egress and ",
+            "frame cadence are real, MDT apply cost is measured separately in the server benches\",\n",
+            "      \"member RTT includes waiting for the rest of its group at the edge round ",
+            "barrier -- that is the latency an aggregated worker actually observes\",\n",
+            "      \"uplink_reduction = member bytes / root bytes; it approaches the group size ",
+            "when member top-k coordinate sets overlap (the shared-loss regime modelled here) and ",
+            "falls toward 1 when they are disjoint -- the honest dedup behaviour of the merge. At ",
+            "group=1 it dips slightly below 1: fanning one update out as per-span messages ",
+            "repeats per-message payload overhead\"\n",
+            "    ]\n",
+            "  }},\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SPANS,
+        DIM,
+        RATIO,
+        quick,
+        body.join(",\n")
+    );
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &doc).expect("write --out file");
+            eprintln!("cluster: wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}

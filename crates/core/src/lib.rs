@@ -23,6 +23,8 @@
 //!   split along partition segments behind per-shard locks, bitwise
 //!   identical on the wire to [`server`] (see `DESIGN.md` §"Sharded
 //!   server").
+//! * [`cluster`] — the wire-serialisable partition map a multi-process
+//!   span-server cluster agrees on at handshake time.
 //! * [`update_log`] — the bounded applied-update log behind the server's
 //!   O(nnz) downlink construction (see `DESIGN.md` §"Server hot path").
 //! * [`worker`] — a training worker: model + data loader + compressor,
@@ -38,6 +40,7 @@
 /// `dgs_tensor::matmul`.
 pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
 
+pub mod cluster;
 pub mod compress;
 pub mod config;
 pub mod curves;
@@ -50,6 +53,7 @@ pub mod trainer;
 pub mod update_log;
 pub mod worker;
 
+pub use cluster::{ClusterLayout, SpanInfo};
 pub use config::{LrSchedule, TrainConfig};
 pub use curves::{CurvePoint, RunResult};
 pub use method::Method;

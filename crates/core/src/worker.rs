@@ -14,7 +14,7 @@ use dgs_nn::data::Dataset;
 use dgs_nn::loader::BatchLoader;
 use dgs_nn::model::Network;
 use dgs_psim::StragglerModel;
-use dgs_sparsify::{SelectStrategy, TernaryUpdate};
+use dgs_sparsify::{SelectStrategy, ShardSpan, TernaryUpdate};
 use dgs_tensor::rng::derive_seed;
 use std::sync::Arc;
 
@@ -137,6 +137,26 @@ impl TrainWorker {
         UpMsg { payload, train_loss: loss }
     }
 
+    /// Applies one *span server's* reply to this worker's slice of the
+    /// local model — the per-span counterpart of
+    /// [`TrainWorker::apply_reply`] for multi-process cluster training,
+    /// where a recovering span answers with its slice alone (a dense
+    /// span model on resync, or a span-local diff) while the other spans
+    /// proceed normally. A dense reply must be exactly `span.len` long;
+    /// a sparse reply's chunks are interpreted against the span's
+    /// sub-partition, exactly as `dgs_core::shard` slices them.
+    pub fn apply_span_reply(&mut self, span: &ShardSpan, reply: DownMsg) {
+        let sub = self.net.params().partition().subpartition(span);
+        let data = &mut self.net.params_mut().data_mut()[span.range()];
+        match reply {
+            DownMsg::DenseModel(model) => {
+                assert_eq!(model.len(), span.len, "span reply size");
+                data.copy_from_slice(&model);
+            }
+            DownMsg::SparseDiff(diff) => diff.apply_add(data, &sub, 1.0),
+        }
+    }
+
     /// Applies a server reply to the local model.
     pub fn apply_reply(&mut self, reply: DownMsg) {
         match reply {
@@ -213,6 +233,37 @@ mod tests {
         diff[0] = 1.5;
         let sparse = dgs_sparsify::SparseUpdate::from_nonzero(&diff, &part);
         w.apply_reply(DownMsg::SparseDiff(sparse));
+        assert!((w.model_params()[0] - (before[0] + 1.5)).abs() < 1e-6);
+        assert_eq!(w.model_params()[1], before[1]);
+    }
+
+    #[test]
+    fn apply_span_reply_touches_only_the_span() {
+        let mut w = worker(Method::Dgs);
+        let part = w.net.params().partition().clone();
+        let spans = part.shard_spans(2);
+        assert!(spans.len() >= 2, "mlp partition should shard");
+        let before = w.model_params().to_vec();
+        // Dense span reply replaces exactly the span's slice.
+        let span1 = spans[1];
+        w.apply_span_reply(
+            &span1,
+            DownMsg::DenseModel(std::sync::Arc::new(vec![0.125; span1.len])),
+        );
+        for (i, (&a, &b)) in w.model_params().iter().zip(&before).enumerate() {
+            if span1.range().contains(&i) {
+                assert_eq!(a, 0.125, "coord {i} inside the span");
+            } else {
+                assert_eq!(a, b, "coord {i} outside the span");
+            }
+        }
+        // Sparse span reply adds through the span's sub-partition.
+        let span0 = spans[0];
+        let sub = part.subpartition(&span0);
+        let mut flat = vec![0.0f32; span0.len];
+        flat[0] = 1.5;
+        let diff = dgs_sparsify::SparseUpdate::from_nonzero(&flat, &sub);
+        w.apply_span_reply(&span0, DownMsg::SparseDiff(diff));
         assert!((w.model_params()[0] - (before[0] + 1.5)).abs() < 1e-6);
         assert_eq!(w.model_params()[1], before[1]);
     }

@@ -77,6 +77,71 @@ impl Hello {
     }
 }
 
+/// Cluster handshake payload, sent as [`MsgType::ClusterHello`] by a
+/// cluster-aware worker (or edge aggregator) and echoed — with the
+/// server's own view plus the full encoded partition map appended — as
+/// [`MsgType::ClusterHelloAck`]. Compared to the plain [`Hello`], `dim`
+/// and the CRC cover only this server's span of θ, and the extra fields
+/// pin *which* span of *which* partition layout both sides think they
+/// are talking about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterHello {
+    /// This server's span index `K` in `0..num_spans`.
+    pub span_index: u32,
+    /// Total span count `N` of the cluster.
+    pub num_spans: u32,
+    /// FNV-1a hash of the encoded partition map
+    /// (`ClusterLayout::layout_hash`); both sides must have derived the
+    /// same span boundaries from the same model.
+    pub layout_hash: u32,
+    /// Length of this span (not the full model).
+    pub dim: u64,
+    /// Updates applied, same reconnect semantics as [`Hello::applied`] —
+    /// but counted per span, which is what keeps resync-after-reconnect
+    /// local to one span server.
+    pub applied: u64,
+    /// CRC-32 of this span's slice of `θ_0` (little-endian f32 bytes).
+    pub span_crc: u32,
+}
+
+/// Encoded size of a [`ClusterHello`] payload, excluding the layout
+/// suffix an ack appends.
+pub const CLUSTER_HELLO_BYTES: usize = 4 + 4 + 4 + 8 + 8 + 4;
+
+impl ClusterHello {
+    /// Encodes the cluster handshake payload. `layout` is empty on the
+    /// worker→server hello and the full encoded `ClusterLayout` on the
+    /// server→worker ack.
+    pub fn encode(&self, layout: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(CLUSTER_HELLO_BYTES + layout.len());
+        buf.extend_from_slice(&self.span_index.to_le_bytes());
+        buf.extend_from_slice(&self.num_spans.to_le_bytes());
+        buf.extend_from_slice(&self.layout_hash.to_le_bytes());
+        buf.extend_from_slice(&self.dim.to_le_bytes());
+        buf.extend_from_slice(&self.applied.to_le_bytes());
+        buf.extend_from_slice(&self.span_crc.to_le_bytes());
+        buf.extend_from_slice(layout);
+        buf
+    }
+
+    /// Decodes a cluster handshake payload, returning the fixed fields
+    /// and whatever layout bytes follow (empty on a worker hello).
+    pub fn decode(payload: &[u8]) -> NetResult<(ClusterHello, Vec<u8>)> {
+        let mut r = Reader::new(payload);
+        let hello = ClusterHello {
+            span_index: r.u32()?,
+            num_spans: r.u32()?,
+            layout_hash: r.u32()?,
+            dim: r.u64()?,
+            applied: r.u64()?,
+            span_crc: r.u32()?,
+        };
+        let layout = r.bytes(r.remaining())?.to_vec();
+        r.finish()?;
+        Ok((hello, layout))
+    }
+}
+
 /// The frame type an uplink payload travels as.
 pub fn up_msg_type(payload: &UpPayload) -> MsgType {
     match payload {
@@ -442,6 +507,28 @@ mod tests {
         let mut long = enc.clone();
         long.push(0);
         assert!(Hello::decode(&long).is_err());
+    }
+
+    #[test]
+    fn cluster_hello_roundtrip_with_and_without_layout() {
+        let hello = ClusterHello {
+            span_index: 2,
+            num_spans: 3,
+            layout_hash: 0xF00D_CAFE,
+            dim: 12_345,
+            applied: 99,
+            span_crc: 0xDEAD_BEEF,
+        };
+        let bare = hello.encode(&[]);
+        assert_eq!(bare.len(), CLUSTER_HELLO_BYTES);
+        assert_eq!(ClusterHello::decode(&bare).unwrap(), (hello, Vec::new()));
+
+        let layout = vec![1u8, 2, 3, 4, 5];
+        let with_layout = hello.encode(&layout);
+        assert_eq!(with_layout.len(), CLUSTER_HELLO_BYTES + layout.len());
+        assert_eq!(ClusterHello::decode(&with_layout).unwrap(), (hello, layout));
+
+        assert!(ClusterHello::decode(&bare[..CLUSTER_HELLO_BYTES - 1]).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! same [`WireStats::record`] call the blocking path uses, so clean runs
 //! produce *identical* counters on both backends.
 
-use crate::codec::{down_msg_type, encode_down_payload, Hello};
+use crate::codec::{down_msg_type, encode_down_payload, ClusterHello, Hello};
 use crate::error::{NetError, NetResult};
 use crate::frame::{encode_frame, FrameDecoder, MsgType, HEADER_LEN};
 use crate::msg::DownMsg;
@@ -58,6 +58,15 @@ pub(crate) enum Outgoing {
         worker: u16,
         /// Negotiation payload (dim, applied count, θ0 crc).
         hello: Hello,
+    },
+    /// Cluster handshake acceptance (span servers only).
+    ClusterHelloAck {
+        /// Addressed worker.
+        worker: u16,
+        /// Span negotiation payload.
+        hello: ClusterHello,
+        /// Encoded partition map appended to the ack.
+        layout: Vec<u8>,
     },
     /// Data reply to an update or resync.
     Reply {
@@ -122,6 +131,14 @@ pub(crate) fn protocol_step<H: SharedUpdateHandler + ?Sized>(
     match *phase {
         ConnPhase::Handshake => match event {
             Event::Hello { worker, hello } => {
+                if opts.span.is_some() {
+                    // A span server owns a slice of θ; a plain worker that
+                    // connected here has a mis-wired topology.
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: "span server requires a cluster hello".to_string(),
+                    });
+                }
                 if usize::from(worker) >= opts.expected_workers {
                     return StepOut::close_with(Outgoing::Error {
                         worker,
@@ -162,6 +179,78 @@ pub(crate) fn protocol_step<H: SharedUpdateHandler + ?Sized>(
                 StepOut::send1(Outgoing::HelloAck {
                     worker,
                     hello: Hello { dim: opts.dim, applied, theta0_crc: opts.theta0_crc },
+                })
+            }
+            Event::ClusterHello { worker, hello } => {
+                let Some(span) = &opts.span else {
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: "not a span server; use a plain hello".to_string(),
+                    });
+                };
+                if usize::from(worker) >= opts.expected_workers {
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: format!("unknown worker id {worker}"),
+                    });
+                }
+                if (hello.span_index, hello.num_spans) != (span.index, span.num_spans) {
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: format!(
+                            "span mismatch: server is span {}/{}, worker expects {}/{}",
+                            span.index, span.num_spans, hello.span_index, hello.num_spans
+                        ),
+                    });
+                }
+                if hello.layout_hash != span.layout_hash {
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: format!(
+                            "partition layout mismatch: server {:#010x} vs worker {:#010x}",
+                            span.layout_hash, hello.layout_hash
+                        ),
+                    });
+                }
+                if hello.dim != opts.dim {
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: format!(
+                            "span dim mismatch: server {} vs worker {}",
+                            opts.dim, hello.dim
+                        ),
+                    });
+                }
+                if hello.span_crc != opts.theta0_crc {
+                    return StepOut::close_with(Outgoing::Error {
+                        worker,
+                        reason: format!(
+                            "span θ0 mismatch: server crc {:#010x} vs worker {:#010x}",
+                            opts.theta0_crc, hello.span_crc
+                        ),
+                    });
+                }
+                let applied = match handler.applied(worker) {
+                    Ok(applied) => applied,
+                    Err(reason) => {
+                        return StepOut::close_with(Outgoing::Error {
+                            worker,
+                            reason: reason.to_string(),
+                        })
+                    }
+                };
+                *phase = ConnPhase::Running { worker };
+                StepOut::send1(Outgoing::ClusterHelloAck {
+                    worker,
+                    hello: ClusterHello {
+                        span_index: span.index,
+                        num_spans: span.num_spans,
+                        layout_hash: span.layout_hash,
+                        dim: opts.dim,
+                        applied,
+                        span_crc: opts.theta0_crc,
+                    },
+                    layout: span.layout_bytes.clone(),
                 })
             }
             // Anything else on a fresh connection: close without ceremony,
@@ -231,6 +320,10 @@ fn encode_outgoing(out: &Outgoing) -> NetResult<(MsgType, Vec<u8>)> {
         Outgoing::HelloAck { worker, hello } => {
             (MsgType::HelloAck, encode_frame(MsgType::HelloAck, *worker, 0, &hello.encode())?)
         }
+        Outgoing::ClusterHelloAck { worker, hello, layout } => (
+            MsgType::ClusterHelloAck,
+            encode_frame(MsgType::ClusterHelloAck, *worker, 0, &hello.encode(layout))?,
+        ),
         Outgoing::Reply { worker, seq, msg } => {
             let ty = down_msg_type(msg);
             (ty, encode_frame(ty, *worker, *seq, &encode_down_payload(msg)?)?)
@@ -293,7 +386,7 @@ impl<S: Read + Write> Conn<S> {
 
     /// Byte counters accumulated so far.
     pub fn stats(&self) -> WireStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The wrapped stream (the event loop flips blocking mode on it for

@@ -202,7 +202,7 @@ pub fn serve_cluster_evented<H: SharedUpdateHandler>(
     let started = Instant::now();
 
     let deadline_hit = loop {
-        if finished >= opts.expected_workers {
+        if finished >= opts.done_target {
             break false;
         }
         if let Some(limit) = opts.deadline {
@@ -267,7 +267,7 @@ pub fn serve_cluster_evented<H: SharedUpdateHandler>(
     if deadline_hit {
         return Err(NetError::Protocol(format!(
             "deadline expired with {finished}/{} workers finished",
-            opts.expected_workers
+            opts.done_target
         )));
     }
     Ok(stats)

@@ -68,6 +68,14 @@ pub enum MsgType {
     Hello = 0x21,
     /// Server→worker handshake acknowledgement; mirrors [`MsgType::Hello`].
     HelloAck = 0x22,
+    /// Worker→span-server cluster handshake: span coordinates, partition
+    /// layout hash, and the per-span θ0 checksum. A span server refuses a
+    /// plain [`MsgType::Hello`] and a plain server refuses this, so a
+    /// mis-wired topology fails at connect time rather than corrupting θ.
+    ClusterHello = 0x23,
+    /// Span-server→worker cluster handshake acknowledgement; echoes the
+    /// validated coordinates and carries the full encoded partition map.
+    ClusterHelloAck = 0x24,
     /// Worker→server liveness probe while waiting on a slow reply.
     Heartbeat = 0x31,
     /// Server→worker liveness answer.
@@ -93,6 +101,8 @@ impl MsgType {
             0x12 => MsgType::DownSparse,
             0x21 => MsgType::Hello,
             0x22 => MsgType::HelloAck,
+            0x23 => MsgType::ClusterHello,
+            0x24 => MsgType::ClusterHelloAck,
             0x31 => MsgType::Heartbeat,
             0x32 => MsgType::HeartbeatAck,
             0x41 => MsgType::Shutdown,
@@ -123,6 +133,7 @@ impl MsgType {
                 | MsgType::UpTernary
                 | MsgType::Resync
                 | MsgType::Hello
+                | MsgType::ClusterHello
                 | MsgType::Heartbeat
                 | MsgType::Shutdown
         )
@@ -591,6 +602,8 @@ mod tests {
             MsgType::DownSparse,
             MsgType::Hello,
             MsgType::HelloAck,
+            MsgType::ClusterHello,
+            MsgType::ClusterHelloAck,
             MsgType::Heartbeat,
             MsgType::HeartbeatAck,
             MsgType::Shutdown,
@@ -604,6 +617,8 @@ mod tests {
         assert!(MsgType::DownSparse.is_data() && !MsgType::DownSparse.is_up());
         assert!(!MsgType::Hello.is_data() && MsgType::Hello.is_up());
         assert!(!MsgType::HelloAck.is_up());
+        assert!(!MsgType::ClusterHello.is_data() && MsgType::ClusterHello.is_up());
+        assert!(!MsgType::ClusterHelloAck.is_data() && !MsgType::ClusterHelloAck.is_up());
     }
 
     // -- FrameDecoder (incremental path) ------------------------------------

@@ -29,6 +29,17 @@
 //!   and bounded, `writev`-coalesced write queues. Protocol decisions are
 //!   shared with the threaded server (`conn::protocol_step`), so the two
 //!   backends are bitwise interchangeable.
+//! * [`cluster`] — the span-sharded multi-process parameter-server
+//!   client: [`cluster::ClusterTransport`] fans each uplink out per
+//!   [`msg::ShardSpan`] over independent TCP links (per-span handshake
+//!   carrying the partition map + θ0 CRC, per-span seq/reconnect), and
+//!   [`cluster::assemble_replies`] reassembles the downlink in shard
+//!   order — the in-process sharding seam of `dgs_core::shard` lifted
+//!   onto the wire.
+//! * [`edge`] — the two-level aggregation tier: [`edge::EdgeHandler`]
+//!   merges a worker group's uplinks with the shared sparse-merge
+//!   kernels and forwards one combined update to the root spans, so
+//!   root ingress scales with the number of groups, not workers.
 //! * [`runtime`] — glue binding the transports to the training stack
 //!   (`AsyncServerLogic`, `ShardedServerLogic`, `TrainWorker`):
 //!   `serve_training` / `serve_training_sharded` / `run_worker` /
@@ -45,9 +56,11 @@
 // (non-test code only) and dgs-audit's no-panic-io rule with waivers.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod cluster;
 pub mod codec;
 pub(crate) mod conn;
 pub mod crc;
+pub mod edge;
 pub mod error;
 pub mod event_loop;
 pub mod frame;
@@ -57,7 +70,9 @@ pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
+pub use cluster::{assemble_replies, ClusterTransport};
 pub use codec::Hello;
+pub use edge::EdgeHandler;
 pub use error::{NetError, NetResult};
 pub use event_loop::{serve_cluster_evented, EventedOpts};
 pub use frame::{FrameDecoder, FrameHeader, MsgType, HEADER_LEN, MAGIC, VERSION};

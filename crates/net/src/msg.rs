@@ -11,5 +11,8 @@
 //!
 //! Keep this module to plain re-exports; logic belongs in the other files.
 
+pub use dgs_core::cluster::{ClusterLayout, SpanInfo};
 pub use dgs_core::protocol::{DownMsg, UpMsg, UpPayload, HEADER_BYTES, UP_LOSS_BYTES};
-pub use dgs_sparsify::{SparseUpdate, SparseVec, TernaryUpdate, TernaryVec};
+pub use dgs_sparsify::{
+    merge_sparse_updates, Partition, ShardSpan, SparseUpdate, SparseVec, TernaryUpdate, TernaryVec,
+};

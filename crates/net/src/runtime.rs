@@ -22,20 +22,28 @@
 //! handlers, and this file is exercised by the cargo tests and the
 //! two-process smoke test.
 
+use crate::cluster::{assemble_replies, ClusterTransport};
 use crate::codec::Hello;
+use crate::edge::EdgeHandler;
 use crate::error::{NetError, NetResult};
 use crate::event_loop::{serve_cluster_evented, EventedOpts};
-use crate::tcp::{serve_cluster, ServerOpts, TcpOpts, TcpWorkerTransport};
+use crate::tcp::{serve_cluster, ServerOpts, SpanOpts, TcpOpts, TcpWorkerTransport};
 use crate::transport::{
-    Loopback, Sequenced, SharedUpdateHandler, Transport, UpdateHandler, WireStats, POISONED_REASON,
+    Loopback, Sequenced, SharedUpdateHandler, Tier, Transport, UpdateHandler, WireStats,
+    POISONED_REASON,
 };
+use dgs_core::cluster::ClusterLayout;
 use dgs_core::config::TrainConfig;
-use dgs_core::curves::RunResult;
+use dgs_core::curves::{CurvePoint, RunResult};
+use dgs_core::server::{DiffStrategy, Downlink, MdtServer, StalenessDamping};
 use dgs_core::trainer::sharded::ShardedServerLogic;
 use dgs_core::trainer::threaded::{build_participants, AsyncServerLogic};
 use dgs_core::trainer::{ModelBuilder, Schedule};
 use dgs_core::worker::TrainWorker;
 use dgs_nn::data::Dataset;
+use dgs_nn::metrics::evaluate;
+use dgs_nn::model::Network;
+use dgs_sparsify::{Partition, ShardSpan};
 use std::cell::RefCell;
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -256,8 +264,10 @@ impl IoConfig {
     }
 }
 
-/// Dispatches to the configured accept loop.
-fn serve_with_io<H: SharedUpdateHandler + 'static>(
+/// Dispatches to the configured accept loop: serves `listener` with
+/// either the thread-per-connection or the evented backend until the
+/// run completes, returning the server-side byte counters.
+pub fn serve_with_io<H: SharedUpdateHandler + 'static>(
     listener: TcpListener,
     handler: Arc<H>,
     opts: ServerOpts,
@@ -282,6 +292,10 @@ pub struct TransportRun {
     pub worker_stats: Vec<WireStats>,
     /// Aggregated server-side byte counters.
     pub server_stats: WireStats,
+    /// Per-edge aggregator counters (member side as a `Tier::Edge` link,
+    /// upstream side with its per-span `Tier::Root` links). Empty for
+    /// runs without an edge tier.
+    pub edge_stats: Vec<WireStats>,
 }
 
 /// Replays `schedule` with every message encoded to bytes and decoded
@@ -326,7 +340,14 @@ pub fn train_loopback(
     let server_model = logic.server().current_model();
     let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
     let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
-    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
+    Ok(TransportRun {
+        result,
+        server_model,
+        worker_models,
+        worker_stats,
+        server_stats,
+        edge_stats: Vec::new(),
+    })
 }
 
 /// Replays `schedule` over **real TCP** against an in-process server
@@ -370,7 +391,14 @@ pub fn train_tcp(
     let server_model = logic.server().current_model();
     let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
     let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
-    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
+    Ok(TransportRun {
+        result,
+        server_model,
+        worker_models,
+        worker_stats,
+        server_stats,
+        edge_stats: Vec::new(),
+    })
 }
 
 /// [`train_tcp`] over the lock-striped server logic (`shards` stripes).
@@ -403,7 +431,14 @@ pub fn train_tcp_sharded(
     let server_model = logic.server().current_model();
     let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
     let result = logic.into_result(cfg.clone(), start.elapsed().as_secs_f64(), worker_aux);
-    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats })
+    Ok(TransportRun {
+        result,
+        server_model,
+        worker_models,
+        worker_stats,
+        server_stats,
+        edge_stats: Vec::new(),
+    })
 }
 
 /// Safety net for the in-process server thread: far beyond any test's
@@ -429,6 +464,30 @@ pub enum Fault {
         step: usize,
         /// Worker that requests the resync.
         worker: usize,
+    },
+    /// Cluster runs only ([`train_cluster`]): crash-restart one span
+    /// server from its own checkpoint and drop **every** worker's
+    /// connection to it. The restarted span rebuilds its dirty sets from
+    /// `M − v_k` and each worker's next exchange re-handshakes against
+    /// the same layout hash — per-span recovery with no double apply,
+    /// while the other spans keep training undisturbed.
+    KillSpan {
+        /// Schedule step index the fault fires at.
+        step: usize,
+        /// Span server to crash-restart.
+        span: usize,
+    },
+    /// Cluster runs only: one worker resyncs a **single** span (dense
+    /// span-slice reply applied through the span sub-partition) while
+    /// its other spans continue on the sparse-diff path — exercising the
+    /// mixed per-span reply reassembly.
+    ResyncSpan {
+        /// Schedule step index the fault fires at.
+        step: usize,
+        /// Worker that requests the span resync.
+        worker: usize,
+        /// Span index to resync.
+        span: usize,
     },
 }
 
@@ -568,6 +627,604 @@ pub fn run_worker(
 /// Convenience: the [`Hello`] a server with this model would send.
 pub fn hello_for(params: &[f32], applied: u64) -> Hello {
     Hello { dim: params.len() as u64, applied, theta0_crc: theta0_crc(params) }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process span-server cluster (and the two-level edge tier on top).
+// ---------------------------------------------------------------------------
+
+/// One span server's training-side state: a plain [`MdtServer`] over the
+/// span's sub-partition, plus the per-worker applied counters the
+/// reconnect handshake needs. Wrap in `Arc<Mutex<_>>` and hand to
+/// [`serve_cluster`] / [`serve_cluster_evented`] (the blanket
+/// [`SharedUpdateHandler`] impl over `Mutex<H: UpdateHandler>` holds one
+/// lock across the sequence-check + apply, so a retransmit can never
+/// double-apply).
+///
+/// Bitwise equivalence with the in-process sharded server: a span's
+/// `MdtServer` is constructed exactly like one `ShardedMdtServer` shard
+/// (same θ0 slice, same sub-partition, same downlink), every update
+/// visits every span — possibly with empty chunks — so under lockstep
+/// replay each span's own clock equals the global clock, and the damping
+/// scale it derives matches the one the sharded front computes.
+pub struct SpanLogic {
+    server: MdtServer,
+    applied: Vec<u64>,
+}
+
+impl SpanLogic {
+    /// Wraps a span server for `workers` workers.
+    pub fn new(server: MdtServer, workers: usize) -> Self {
+        SpanLogic { server, applied: vec![0; workers] }
+    }
+
+    /// The wrapped span server (read access).
+    pub fn server(&self) -> &MdtServer {
+        &self.server
+    }
+
+    /// Per-worker applied counts (indexed by worker id).
+    pub fn applied_counts(&self) -> &[u64] {
+        &self.applied
+    }
+}
+
+impl UpdateHandler for SpanLogic {
+    fn handle_update(
+        &mut self,
+        worker: u16,
+        up: dgs_core::protocol::UpMsg,
+    ) -> dgs_core::protocol::DownMsg {
+        self.applied[usize::from(worker)] += 1;
+        self.server.handle_update(usize::from(worker), &up)
+    }
+
+    fn handle_resync(&mut self, worker: u16) -> dgs_core::protocol::DownMsg {
+        self.server.resync_worker(usize::from(worker))
+    }
+
+    fn applied(&self, worker: u16) -> u64 {
+        self.applied[usize::from(worker)]
+    }
+}
+
+/// Builds the cluster partition map for `theta0` striped over at most
+/// `max_spans` span servers: the spans come from
+/// [`Partition::shard_spans`] (the same greedy whole-segment fill the
+/// in-process sharded server uses), each fingerprinted with the CRC-32
+/// of its slice of θ0 so a span server and its clients agree on both the
+/// geometry and the initial model at handshake time.
+pub fn cluster_layout(theta0: &[f32], partition: &Partition, max_spans: usize) -> ClusterLayout {
+    let spans = partition.shard_spans(max_spans);
+    let crcs: Vec<u32> = spans.iter().map(|s| theta0_crc(&theta0[s.range()])).collect();
+    ClusterLayout::from_spans(theta0.len() as u64, &spans, &crcs)
+}
+
+/// Builds one span's [`SpanLogic`] from the full initial model and the
+/// training config. The log-capacity share is proportional by span
+/// length; log budget is payload-invariant (it only moves work between
+/// the merge and dense-scan paths), so exact apportionment is not needed
+/// for bitwise equivalence.
+pub fn build_span_logic(
+    cfg: &TrainConfig,
+    theta0: &[f32],
+    partition: &Partition,
+    span: &ShardSpan,
+    downlink: Downlink,
+) -> SpanLogic {
+    let sub = partition.subpartition(span);
+    let mut server = MdtServer::new(theta0[span.range()].to_vec(), sub, cfg.workers, downlink);
+    if cfg.staleness_damping > 0.0 {
+        server.set_damping(StalenessDamping { alpha: cfg.staleness_damping });
+    }
+    if cfg.server_log_nnz > 0 {
+        server.set_log_capacity(((cfg.server_log_nnz * span.len) / theta0.len().max(1)).max(1));
+    }
+    if cfg.server_dense_scan {
+        server.set_diff_strategy(DiffStrategy::DenseScan);
+    }
+    SpanLogic::new(server, cfg.workers)
+}
+
+/// The in-process span tier: per-span addresses, shared handlers (the
+/// driver reads models/counters through them), and the serve threads.
+struct SpanTier {
+    addrs: Vec<String>,
+    handlers: Vec<Arc<Mutex<SpanLogic>>>,
+    joins: Vec<std::thread::JoinHandle<NetResult<WireStats>>>,
+}
+
+/// Binds and serves one span server per layout entry on `io`'s backend.
+/// `expected_workers` is the id bound for the tier's direct clients —
+/// the workers for a plain cluster, the edge aggregators for a two-level
+/// topology.
+fn spawn_span_tier(
+    cfg: &TrainConfig,
+    theta0: &[f32],
+    partition: &Partition,
+    layout: &ClusterLayout,
+    downlink: Downlink,
+    io: &IoConfig,
+    expected_workers: usize,
+) -> NetResult<SpanTier> {
+    let hash = layout.layout_hash();
+    let bytes = layout.encode();
+    let mut addrs = Vec::with_capacity(layout.num_spans());
+    let mut handlers = Vec::with_capacity(layout.num_spans());
+    let mut joins = Vec::with_capacity(layout.num_spans());
+    for (k, info) in layout.spans.iter().enumerate() {
+        let span = layout.shard_span(k);
+        let handler =
+            Arc::new(Mutex::new(build_span_logic(cfg, theta0, partition, &span, downlink)));
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?.to_string());
+        let mut opts = ServerOpts::new(expected_workers, info.len, info.theta0_crc);
+        opts.deadline = Some(SERVE_SAFETY_DEADLINE);
+        opts.span = Some(SpanOpts {
+            index: k as u32,
+            num_spans: layout.num_spans() as u32,
+            layout_hash: hash,
+            layout_bytes: bytes.clone(),
+        });
+        let h = Arc::clone(&handler);
+        let io_cfg = io.clone();
+        joins.push(std::thread::spawn(move || serve_with_io(listener, h, opts, &io_cfg)));
+        handlers.push(handler);
+    }
+    Ok(SpanTier { addrs, handlers, joins })
+}
+
+/// Concatenation of the spans' current models in shard order — the
+/// cluster's global `θ_t`, read at lockstep-quiescent points (evals and
+/// run finalisation), exactly like `ShardedMdtServer::current_model`.
+fn span_models(handlers: &[Arc<Mutex<SpanLogic>>]) -> NetResult<Vec<f32>> {
+    let mut out = Vec::new();
+    for h in handlers {
+        let guard =
+            h.lock().map_err(|_| NetError::Protocol("span handler poisoned".to_string()))?;
+        out.extend(guard.server.current_model());
+    }
+    Ok(out)
+}
+
+/// Σ over spans of the per-worker tracking bytes (`v_k` slices) — sums
+/// to exactly the single-process server's `tracking_bytes`.
+fn span_tracking_bytes(handlers: &[Arc<Mutex<SpanLogic>>]) -> NetResult<usize> {
+    let mut total = 0usize;
+    for h in handlers {
+        let guard =
+            h.lock().map_err(|_| NetError::Protocol("span handler poisoned".to_string()))?;
+        total += guard.server.memory_report().tracking_bytes;
+    }
+    Ok(total)
+}
+
+/// Simulates a span-server crash/restart: checkpoint the span's MDT
+/// state, rebuild a fresh server from it (update log empty, dirty sets
+/// recomputed from `M − v_k` — replies stay bitwise identical, see
+/// [`MdtServer::restore`]), and swap it in under the handler lock.
+/// Applied counters survive (they are derived state the real process
+/// would persist with the checkpoint). Dropping the workers' connections
+/// is the caller's job.
+fn restart_span(
+    handler: &Arc<Mutex<SpanLogic>>,
+    cfg: &TrainConfig,
+    dim: usize,
+    partition: &Partition,
+    span: &ShardSpan,
+    downlink: Downlink,
+) -> NetResult<()> {
+    let sub = partition.subpartition(span);
+    let mut guard =
+        handler.lock().map_err(|_| NetError::Protocol("span handler poisoned".to_string()))?;
+    let ckpt = guard.server.checkpoint();
+    let mut restored = MdtServer::restore(ckpt, sub, downlink);
+    // `restore` resets the tunables to defaults — re-apply the same
+    // settings `build_span_logic` chose (payload-invariant, but the
+    // restarted process must match the crashed one's configuration).
+    if cfg.staleness_damping > 0.0 {
+        restored.set_damping(StalenessDamping { alpha: cfg.staleness_damping });
+    }
+    if cfg.server_log_nnz > 0 {
+        restored.set_log_capacity(((cfg.server_log_nnz * span.len) / dim.max(1)).max(1));
+    }
+    if cfg.server_dense_scan {
+        restored.set_diff_strategy(DiffStrategy::DenseScan);
+    }
+    guard.server = restored;
+    Ok(())
+}
+
+/// Driver-side telemetry for cluster runs: the global clock, staleness,
+/// loss/byte counters and the eval cadence that `AsyncServerLogic` /
+/// `ShardedServerLogic` keep server-side. No single span owns the full
+/// model, so the lockstep driver — which sees every assembled update and
+/// reply — owns the run record instead, with identical accounting rules
+/// (the bitwise curve equality in `tests/cluster_equivalence.rs` rests
+/// on this).
+struct DriverTelemetry {
+    eval_net: Network,
+    val: Arc<dyn Dataset>,
+    eval_batch: usize,
+    eval_every: u64,
+    total_updates: u64,
+    updates_per_epoch: u64,
+    curve: Vec<CurvePoint>,
+    loss_sum: f64,
+    loss_n: u64,
+    bytes_up: u64,
+    bytes_down: u64,
+    t: u64,
+    prev: Vec<u64>,
+    stale_sum: u64,
+    stale_max: u64,
+    stale_n: u64,
+}
+
+impl DriverTelemetry {
+    fn new(cfg: &TrainConfig, eval_net: Network, val: Arc<dyn Dataset>, total_updates: u64) -> Self {
+        DriverTelemetry {
+            eval_net,
+            val,
+            eval_batch: cfg.eval_batch,
+            eval_every: (total_updates / cfg.evals.max(1) as u64).max(1),
+            total_updates,
+            updates_per_epoch: (total_updates / cfg.epochs.max(1) as u64).max(1),
+            curve: Vec::new(),
+            loss_sum: 0.0,
+            loss_n: 0,
+            bytes_up: 0,
+            bytes_down: 0,
+            t: 0,
+            prev: vec![0; cfg.workers],
+            stale_sum: 0,
+            stale_max: 0,
+            stale_n: 0,
+        }
+    }
+
+    /// Stamps one applied update on the global clock and accounts its
+    /// bytes/loss; returns `true` when an eval is due at this tick.
+    fn record(&mut self, worker: usize, up_bytes: u64, down_bytes: u64, train_loss: f64) -> bool {
+        let staleness = self.t - self.prev[worker];
+        self.stale_sum += staleness;
+        self.stale_max = self.stale_max.max(staleness);
+        self.stale_n += 1;
+        self.t += 1;
+        self.prev[worker] = self.t;
+        self.bytes_up += up_bytes;
+        self.bytes_down += down_bytes;
+        self.loss_sum += train_loss;
+        self.loss_n += 1;
+        self.t.is_multiple_of(self.eval_every) || self.t == self.total_updates
+    }
+
+    /// Evaluates `model` and appends the curve point for the current tick.
+    fn eval(&mut self, model: &[f32]) {
+        self.eval_net.params_mut().load_data(model);
+        let res = evaluate(&mut self.eval_net, self.val.as_ref(), self.eval_batch);
+        self.curve.push(CurvePoint {
+            epoch: (self.t / self.updates_per_epoch) as usize,
+            updates: self.t,
+            train_loss: if self.loss_n > 0 { self.loss_sum / self.loss_n as f64 } else { 0.0 },
+            val_loss: res.loss,
+            val_acc: res.top1,
+            virtual_time: 0.0,
+            bytes_up: self.bytes_up,
+            bytes_down: self.bytes_down,
+        });
+        self.loss_sum = 0.0;
+        self.loss_n = 0;
+    }
+
+    fn into_result(
+        self,
+        cfg: TrainConfig,
+        wall_secs: f64,
+        server_tracking_bytes: usize,
+        worker_aux_bytes: usize,
+    ) -> RunResult {
+        let last = self.curve.last().copied();
+        RunResult {
+            config: cfg,
+            final_acc: last.map(|p| p.val_acc).unwrap_or(0.0),
+            final_loss: last.map(|p| p.val_loss).unwrap_or(0.0),
+            bytes_up: self.bytes_up,
+            bytes_down: self.bytes_down,
+            virtual_time: 0.0,
+            wall_secs,
+            mean_staleness: if self.stale_n > 0 {
+                self.stale_sum as f64 / self.stale_n as f64
+            } else {
+                0.0
+            },
+            max_staleness: self.stale_max,
+            server_tracking_bytes,
+            worker_aux_bytes,
+            curve: self.curve,
+        }
+    }
+}
+
+/// Builds the cluster run's worker fleet; every worker must start from
+/// the same θ0 the span tier was built from.
+fn build_cluster_workers(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: &Arc<dyn Dataset>,
+    theta0: &[f32],
+) -> Vec<TrainWorker> {
+    (0..cfg.workers)
+        .map(|k| {
+            let net = build_model();
+            assert_eq!(net.params().data(), theta0, "builder must be deterministic");
+            TrainWorker::new(k, net, Arc::clone(train), cfg.clone(), 50.0)
+        })
+        .collect()
+}
+
+/// Joins the span serve threads, folding their counters into one
+/// server-side [`WireStats`] with a `Tier::Root` link per span.
+fn join_span_tier(joins: Vec<std::thread::JoinHandle<NetResult<WireStats>>>) -> NetResult<WireStats> {
+    let mut server_stats = WireStats::default();
+    for (k, join) in joins.into_iter().enumerate() {
+        let s = join
+            .join()
+            .map_err(|_| NetError::Protocol("span server thread panicked".to_string()))??;
+        server_stats.add_link(Tier::Root, k as u16, s.data_up, s.data_down);
+        server_stats.merge(&s);
+    }
+    Ok(server_stats)
+}
+
+/// How long an edge member may wait for the rest of its round before the
+/// group is torn down.
+pub const EDGE_ROUND_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Replays `schedule` against a **K-process span-server cluster**: one
+/// in-process server (thread) per [`Partition::shard_spans`] span, each
+/// owning its slice of the model behind the cluster handshake, with every
+/// worker fanning uplinks out per span over a [`ClusterTransport`] and
+/// reassembling downlink diffs in shard order.
+///
+/// For an empty fault list the run is **bitwise identical** to
+/// [`train_tcp_sharded`] with `shards = max_spans` (and to
+/// `train_scheduled`): same models, same curves, same staleness, same
+/// assembled byte accounting — the in-process sharding seam lifted onto
+/// the wire. `faults` adds the cluster-specific recovery scenarios
+/// ([`Fault::KillSpan`], [`Fault::ResyncSpan`]) on top of the existing
+/// per-worker ones; faulted runs remain bitwise reproducible and
+/// backend-independent.
+#[allow(clippy::too_many_arguments)]
+pub fn train_cluster(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: Arc<dyn Dataset>,
+    val: Arc<dyn Dataset>,
+    schedule: &Schedule,
+    max_spans: usize,
+    io: &IoConfig,
+    faults: &[Fault],
+) -> NetResult<TransportRun> {
+    assert_eq!(schedule.workers(), cfg.workers, "schedule/config worker count mismatch");
+    let net0 = build_model();
+    let partition = net0.params().partition().clone();
+    let theta0 = net0.params().data().to_vec();
+    let layout = cluster_layout(&theta0, &partition, max_spans);
+    let secondary = if cfg.secondary_compression { Some(cfg.sparsity_ratio) } else { None };
+    let downlink = Downlink::for_method(cfg.method, secondary);
+    let start = Instant::now();
+    let tier = spawn_span_tier(cfg, &theta0, &partition, &layout, downlink, io, cfg.workers)?;
+    let mut workers = build_cluster_workers(cfg, build_model, &train, &theta0);
+    let mut transports = (0..cfg.workers)
+        .map(|k| {
+            ClusterTransport::with_opts(layout.clone(), &tier.addrs, k as u16, |o| {
+                o.read_timeout = Duration::from_secs(5);
+            })
+        })
+        .collect::<NetResult<Vec<_>>>()?;
+    let total_updates = (cfg.iters_per_worker(train.len()) * cfg.workers) as u64;
+    let mut tel = DriverTelemetry::new(cfg, build_model(), Arc::clone(&val), total_updates);
+
+    for (i, &k) in schedule.order().iter().enumerate() {
+        for fault in faults {
+            match *fault {
+                Fault::Reconnect { step, worker } if step == i && worker == k => {
+                    for j in 0..layout.num_spans() {
+                        transports[k].drop_span_conn(j)?;
+                    }
+                }
+                Fault::Resync { step, worker } if step == i && worker == k => {
+                    let replies = transports[k].resync()?;
+                    match assemble_replies(&replies) {
+                        Some(reply) => {
+                            tel.bytes_down += reply.wire_bytes() as u64;
+                            workers[k].apply_reply(reply);
+                        }
+                        None => {
+                            return Err(NetError::Protocol(
+                                "cluster resync replies must all be dense".to_string(),
+                            ))
+                        }
+                    }
+                }
+                Fault::KillSpan { step, span } if step == i => {
+                    restart_span(
+                        &tier.handlers[span],
+                        cfg,
+                        theta0.len(),
+                        &partition,
+                        &layout.shard_span(span),
+                        downlink,
+                    )?;
+                    for t in transports.iter_mut() {
+                        t.drop_span_conn(span)?;
+                    }
+                }
+                Fault::ResyncSpan { step, worker, span } if step == i && worker == k => {
+                    let reply = transports[k].resync_span(span)?;
+                    tel.bytes_down += reply.wire_bytes() as u64;
+                    workers[k].apply_span_reply(&layout.shard_span(span), reply);
+                }
+                _ => {}
+            }
+        }
+        let up = workers[k].local_step();
+        let up_bytes = up.wire_bytes() as u64;
+        let train_loss = up.train_loss;
+        let replies = transports[k].exchange(&up)?;
+        // Clean rounds assemble into exactly the single-process reply (and
+        // its byte count); mixed per-span replies — possible only right
+        // after a span-level fault — are applied spanwise and accounted as
+        // the sum of their parts.
+        let down_bytes = match assemble_replies(&replies) {
+            Some(reply) => {
+                let b = reply.wire_bytes() as u64;
+                workers[k].apply_reply(reply);
+                b
+            }
+            None => {
+                let mut b = 0u64;
+                for (j, r) in replies.into_iter().enumerate() {
+                    b += r.wire_bytes() as u64;
+                    workers[k].apply_span_reply(&layout.shard_span(j), r);
+                }
+                b
+            }
+        };
+        if tel.record(k, up_bytes, down_bytes, train_loss) {
+            let model = span_models(&tier.handlers)?;
+            tel.eval(&model);
+        }
+    }
+
+    for t in &mut transports {
+        t.shutdown()?;
+    }
+    let worker_stats: Vec<WireStats> = transports.iter().map(|t| t.stats()).collect();
+    let server_stats = join_span_tier(tier.joins)?;
+    let server_model = span_models(&tier.handlers)?;
+    let tracking = span_tracking_bytes(&tier.handlers)?;
+    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+    let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
+    let result = tel.into_result(cfg.clone(), start.elapsed().as_secs_f64(), tracking, worker_aux);
+    Ok(TransportRun {
+        result,
+        server_model,
+        worker_models,
+        worker_stats,
+        server_stats,
+        edge_stats: Vec::new(),
+    })
+}
+
+/// [`train_cluster`] with a two-level **edge aggregation tier**: every
+/// worker talks the plain single-server protocol to its own
+/// [`EdgeHandler`] (singleton group, `G = 1`), which forwards the payload
+/// verbatim upstream over a per-edge [`ClusterTransport`] and fans the
+/// assembled reply back — so the run replays the plain cluster schedule
+/// (and therefore the single-process sharded schedule) **bitwise**, while
+/// every uplink crosses two tiers with exact per-tier byte accounting
+/// ([`TransportRun::edge_stats`]).
+///
+/// `io` selects the root tier's backend; the member-facing edge listeners
+/// always run thread-per-connection, because edge members block on the
+/// group round barrier (see [`crate::edge`]).
+pub fn train_cluster_edge(
+    cfg: &TrainConfig,
+    build_model: ModelBuilder<'_>,
+    train: Arc<dyn Dataset>,
+    val: Arc<dyn Dataset>,
+    schedule: &Schedule,
+    max_spans: usize,
+    io: &IoConfig,
+) -> NetResult<TransportRun> {
+    assert_eq!(schedule.workers(), cfg.workers, "schedule/config worker count mismatch");
+    let net0 = build_model();
+    let partition = net0.params().partition().clone();
+    let theta0 = net0.params().data().to_vec();
+    let layout = cluster_layout(&theta0, &partition, max_spans);
+    let secondary = if cfg.secondary_compression { Some(cfg.sparsity_ratio) } else { None };
+    let downlink = Downlink::for_method(cfg.method, secondary);
+    let dim = theta0.len() as u64;
+    let full_crc = theta0_crc(&theta0);
+    let start = Instant::now();
+    // Root tier: the edges connect as one logical worker per group, and
+    // with singleton groups the group index IS the worker id.
+    let tier = spawn_span_tier(cfg, &theta0, &partition, &layout, downlink, io, cfg.workers)?;
+
+    let mut edge_addrs = Vec::with_capacity(cfg.workers);
+    let mut edges: Vec<Arc<EdgeHandler>> = Vec::with_capacity(cfg.workers);
+    let mut edge_joins = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let upstream = ClusterTransport::with_opts(layout.clone(), &tier.addrs, w as u16, |o| {
+            o.read_timeout = Duration::from_secs(5);
+        })?;
+        let edge = EdgeHandler::new(
+            upstream,
+            partition.clone(),
+            theta0.clone(),
+            w as u16,
+            1,
+            EDGE_ROUND_TIMEOUT,
+        )?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        edge_addrs.push(listener.local_addr()?.to_string());
+        let mut opts = ServerOpts::new(w + 1, dim, full_crc);
+        opts.deadline = Some(SERVE_SAFETY_DEADLINE);
+        opts.done_target = 1;
+        let h = Arc::clone(&edge);
+        edge_joins.push(std::thread::spawn(move || serve_cluster(listener, h, opts)));
+        edges.push(edge);
+    }
+
+    let mut workers = build_cluster_workers(cfg, build_model, &train, &theta0);
+    let mut transports: Vec<TcpWorkerTransport> = (0..cfg.workers)
+        .map(|w| {
+            let mut o = TcpOpts::new(edge_addrs[w].clone(), w as u16, dim, full_crc);
+            o.read_timeout = Duration::from_secs(5);
+            TcpWorkerTransport::new(o)
+        })
+        .collect();
+    let total_updates = (cfg.iters_per_worker(train.len()) * cfg.workers) as u64;
+    let mut tel = DriverTelemetry::new(cfg, build_model(), Arc::clone(&val), total_updates);
+
+    for &k in schedule.order() {
+        let up = workers[k].local_step();
+        let up_bytes = up.wire_bytes() as u64;
+        let train_loss = up.train_loss;
+        let reply = transports[k].exchange(&up)?;
+        let down_bytes = reply.wire_bytes() as u64;
+        workers[k].apply_reply(reply);
+        if tel.record(k, up_bytes, down_bytes, train_loss) {
+            let model = span_models(&tier.handlers)?;
+            tel.eval(&model);
+        }
+    }
+
+    for t in &mut transports {
+        t.shutdown()?;
+    }
+    let worker_stats: Vec<WireStats> = transports.iter().map(|t| t.stats()).collect();
+    let mut edge_stats = Vec::with_capacity(cfg.workers);
+    for (w, join) in edge_joins.into_iter().enumerate() {
+        let member_side = join
+            .join()
+            .map_err(|_| NetError::Protocol("edge aggregator thread panicked".to_string()))??;
+        let mut s = WireStats::default();
+        s.add_link(Tier::Edge, w as u16, member_side.data_up, member_side.data_down);
+        s.merge(&member_side);
+        let upstream = edges[w].finish().map_err(|e| NetError::Protocol(e.to_string()))?;
+        s.merge(&upstream);
+        edge_stats.push(s);
+    }
+    let server_stats = join_span_tier(tier.joins)?;
+    let server_model = span_models(&tier.handlers)?;
+    let tracking = span_tracking_bytes(&tier.handlers)?;
+    let worker_aux = workers.first().map(|w| w.aux_bytes()).unwrap_or(0);
+    let worker_models = workers.iter().map(|w| w.model_params().to_vec()).collect();
+    let result = tel.into_result(cfg.clone(), start.elapsed().as_secs_f64(), tracking, worker_aux);
+    Ok(TransportRun { result, server_model, worker_models, worker_stats, server_stats, edge_stats })
 }
 
 #[cfg(test)]

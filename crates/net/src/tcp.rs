@@ -31,7 +31,7 @@
 //! byte stream is ordered, so nothing can still be in flight — and the
 //! server exits once every expected worker has done so.
 
-use crate::codec::Hello;
+use crate::codec::{ClusterHello, Hello};
 use crate::conn::{protocol_step, ConnPhase, Outgoing};
 use crate::error::{NetError, NetResult};
 use crate::frame::MsgType;
@@ -65,6 +65,26 @@ pub struct TcpOpts {
     pub connect_attempts: u32,
     /// First backoff delay; doubles per attempt.
     pub backoff_base: Duration,
+    /// When talking to one span server of a PS cluster: the span
+    /// coordinates this client expects on the other end. In this mode
+    /// `dim` and `theta0_crc` above describe the *span* (its length and
+    /// the CRC of its slice of θ0), and the handshake is a
+    /// [`MsgType::ClusterHello`] instead of a plain hello.
+    pub cluster: Option<ClusterClientOpts>,
+}
+
+/// Span coordinates for a cluster-mode [`TcpWorkerTransport`].
+#[derive(Debug, Clone)]
+pub struct ClusterClientOpts {
+    /// Span index `K` (0-based) the remote server must own.
+    pub span_index: u32,
+    /// Total span count `N` of the cluster.
+    pub num_spans: u32,
+    /// Hash of the encoded partition map both sides must share.
+    pub layout_hash: u32,
+    /// The encoded partition map this client derived locally; the ack's
+    /// layout bytes must match exactly.
+    pub expected_layout: Vec<u8>,
 }
 
 impl TcpOpts {
@@ -79,6 +99,7 @@ impl TcpOpts {
             heartbeat_limit: 20,
             connect_attempts: 8,
             backoff_base: Duration::from_millis(50),
+            cluster: None,
         }
     }
 }
@@ -139,6 +160,9 @@ impl TcpWorkerTransport {
         stream.set_read_timeout(Some(self.opts.read_timeout))?;
         stream.set_nodelay(true)?;
         let mut conn = WireConn::new(stream);
+        if self.opts.cluster.is_some() {
+            return self.cluster_handshake(conn);
+        }
         conn.send_hello(
             MsgType::Hello,
             self.opts.worker,
@@ -167,6 +191,68 @@ impl TcpWorkerTransport {
             return Err(NetError::Handshake(format!(
                 "initial model mismatch: server θ0 crc {:#010x} vs worker {:#010x}",
                 ack.theta0_crc, self.opts.theta0_crc
+            )));
+        }
+        self.conn = Some(conn);
+        Ok(ack.applied)
+    }
+
+    /// Cluster-mode handshake: send a [`MsgType::ClusterHello`] with our
+    /// span coordinates and validate the echoed ack field-for-field,
+    /// including the byte-exact partition map — after this, both sides
+    /// provably slice θ at the same boundaries. The reconnect/resync
+    /// semantics are untouched: `applied` counts flow exactly as in the
+    /// plain handshake, just per span.
+    fn cluster_handshake(&mut self, mut conn: WireConn<TcpStream>) -> NetResult<u64> {
+        let Some(cluster) = self.opts.cluster.clone() else {
+            return Err(NetError::Protocol("cluster handshake without cluster opts".to_string()));
+        };
+        conn.send_cluster_hello(
+            MsgType::ClusterHello,
+            self.opts.worker,
+            &ClusterHello {
+                span_index: cluster.span_index,
+                num_spans: cluster.num_spans,
+                layout_hash: cluster.layout_hash,
+                dim: self.opts.dim,
+                applied: u64::from(self.acked),
+                span_crc: self.opts.theta0_crc,
+            },
+            &[],
+        )?;
+        let (ack, layout) = loop {
+            match conn.read_event()? {
+                Event::ClusterHelloAck { hello, layout } => break (hello, layout),
+                Event::Error { reason } => return Err(NetError::Handshake(reason)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected cluster hello ack, got {other:?}"
+                    )))
+                }
+            }
+        };
+        if (ack.span_index, ack.num_spans) != (cluster.span_index, cluster.num_spans) {
+            return Err(NetError::Handshake(format!(
+                "span mismatch: server is span {}/{}, client expects {}/{}",
+                ack.span_index, ack.num_spans, cluster.span_index, cluster.num_spans
+            )));
+        }
+        if ack.layout_hash != cluster.layout_hash || layout != cluster.expected_layout {
+            return Err(NetError::Handshake(format!(
+                "partition layout mismatch: server {:#010x} vs client {:#010x}",
+                ack.layout_hash, cluster.layout_hash
+            )));
+        }
+        if ack.dim != self.opts.dim {
+            return Err(NetError::Handshake(format!(
+                "span dim mismatch: server {} vs client {}",
+                ack.dim, self.opts.dim
+            )));
+        }
+        if ack.span_crc != self.opts.theta0_crc {
+            return Err(NetError::Handshake(format!(
+                "span θ0 mismatch: server crc {:#010x} vs client {:#010x}",
+                ack.span_crc, self.opts.theta0_crc
             )));
         }
         self.conn = Some(conn);
@@ -325,7 +411,7 @@ impl Transport for TcpWorkerTransport {
     }
 
     fn stats(&self) -> WireStats {
-        let mut s = self.closed_stats;
+        let mut s = self.closed_stats.clone();
         if let Some(conn) = &self.conn {
             s.merge(&conn.stats());
         }
@@ -339,11 +425,13 @@ impl Transport for TcpWorkerTransport {
 /// Server-side options for [`serve_cluster`].
 #[derive(Debug, Clone)]
 pub struct ServerOpts {
-    /// Number of workers that must shut down before the server exits.
+    /// Highest acceptable worker id + 1 (handshake bound).
     pub expected_workers: usize,
-    /// Model dimensionality advertised in the handshake.
+    /// Model dimensionality advertised in the handshake. For a span
+    /// server this is the *span* length.
     pub dim: u64,
-    /// CRC-32 of the initial model bytes.
+    /// CRC-32 of the initial model bytes (the span's slice of θ0 for a
+    /// span server).
     pub theta0_crc: u32,
     /// Per-connection socket read timeout (idle poll cadence).
     pub read_timeout: Duration,
@@ -353,6 +441,30 @@ pub struct ServerOpts {
     /// server stops accepting, asks live connections to wind down, and
     /// returns an error.
     pub deadline: Option<Duration>,
+    /// Number of graceful worker shutdowns that end the serve loop.
+    /// Defaults to `expected_workers`; an edge aggregator listening for a
+    /// worker *group* sets this to the group size while keeping
+    /// `expected_workers` as the id bound.
+    pub done_target: usize,
+    /// When set, this process serves one span of a PS cluster: plain
+    /// hellos are refused and cluster hellos are validated against these
+    /// coordinates (see [`SpanOpts`]).
+    pub span: Option<SpanOpts>,
+}
+
+/// Span-server identity for the cluster handshake. Kept to primitives
+/// (plus the pre-encoded layout bytes) so the protocol layer never needs
+/// to understand the partition map itself.
+#[derive(Debug, Clone)]
+pub struct SpanOpts {
+    /// This server's span index `K` (0-based).
+    pub index: u32,
+    /// Total span count `N`.
+    pub num_spans: u32,
+    /// Hash of the encoded partition map.
+    pub layout_hash: u32,
+    /// The encoded partition map, appended verbatim to every ack.
+    pub layout_bytes: Vec<u8>,
 }
 
 impl ServerOpts {
@@ -365,6 +477,8 @@ impl ServerOpts {
             read_timeout: Duration::from_millis(200),
             max_payload: MAX_PAYLOAD,
             deadline: None,
+            done_target: expected_workers,
+            span: None,
         }
     }
 }
@@ -388,7 +502,7 @@ pub fn serve_cluster<H: SharedUpdateHandler + 'static>(
     let started = Instant::now();
     let mut threads = Vec::new();
     let deadline_hit = loop {
-        if done.load(Ordering::SeqCst) >= opts.expected_workers {
+        if done.load(Ordering::SeqCst) >= opts.done_target {
             break false;
         }
         if let Some(limit) = opts.deadline {
@@ -430,10 +544,10 @@ pub fn serve_cluster<H: SharedUpdateHandler + 'static>(
         return Err(NetError::Protocol(format!(
             "deadline expired with {}/{} workers finished",
             done.load(Ordering::SeqCst),
-            opts.expected_workers
+            opts.done_target
         )));
     }
-    let s = *stats.lock().unwrap_or_else(|e| e.into_inner());
+    let s = stats.lock().unwrap_or_else(|e| e.into_inner()).clone();
     Ok(s)
 }
 
@@ -443,6 +557,9 @@ pub fn serve_cluster<H: SharedUpdateHandler + 'static>(
 fn send_outgoing(conn: &mut WireConn<TcpStream>, out: &Outgoing) -> NetResult<()> {
     match out {
         Outgoing::HelloAck { worker, hello } => conn.send_hello(MsgType::HelloAck, *worker, hello),
+        Outgoing::ClusterHelloAck { worker, hello, layout } => {
+            conn.send_cluster_hello(MsgType::ClusterHelloAck, *worker, hello, layout)
+        }
         Outgoing::Reply { worker, seq, msg } => conn.send_reply(*worker, *seq, msg),
         Outgoing::Control { ty, worker } => conn.send_control(*ty, *worker),
         Outgoing::Error { worker, reason } => conn.send_error(*worker, reason),
@@ -745,6 +862,69 @@ mod tests {
         join.join().unwrap().unwrap();
         let h = handler.lock().unwrap();
         assert_eq!(h.applied, vec![2]);
+    }
+
+    #[test]
+    fn span_server_handshake_accepts_matching_coordinates_only() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handler = ToyHandler::shared(1);
+        let h = Arc::clone(&handler);
+        let layout = vec![9u8, 8, 7, 6];
+        let mut opts = ServerOpts::new(1, DIM, CRC);
+        opts.read_timeout = Duration::from_millis(50);
+        opts.deadline = Some(Duration::from_secs(30));
+        opts.span = Some(SpanOpts {
+            index: 1,
+            num_spans: 3,
+            layout_hash: 0xBEEF,
+            layout_bytes: layout.clone(),
+        });
+        let join = thread::spawn(move || serve_cluster(listener, h, opts));
+
+        let cluster = |hash: u32, expect: Vec<u8>| ClusterClientOpts {
+            span_index: 1,
+            num_spans: 3,
+            layout_hash: hash,
+            expected_layout: expect,
+        };
+
+        // A plain hello is refused by a span server.
+        let err = TcpWorkerTransport::new(worker_opts(&addr, 0)).exchange(&up(0.0)).unwrap_err();
+        assert!(matches!(err, NetError::Handshake(_)), "{err}");
+        // A diverged partition layout hash is refused.
+        let mut bad = worker_opts(&addr, 0);
+        bad.cluster = Some(cluster(0xDEAD, layout.clone()));
+        let err = TcpWorkerTransport::new(bad).exchange(&up(0.0)).unwrap_err();
+        assert!(matches!(err, NetError::Handshake(_)), "{err}");
+        // Matching coordinates: the full exchange works and the ack's
+        // layout bytes equal the client's expectation byte-for-byte.
+        let mut good = worker_opts(&addr, 0);
+        good.cluster = Some(cluster(0xBEEF, layout));
+        let mut t = TcpWorkerTransport::new(good);
+        t.exchange(&up(1.0)).unwrap();
+        t.shutdown().unwrap();
+        join.join().unwrap().unwrap();
+        assert_eq!(handler.lock().unwrap().applied, vec![1]);
+    }
+
+    #[test]
+    fn plain_server_refuses_cluster_hello() {
+        let (addr, _handler, join) = spawn_server(1);
+        let mut bad = worker_opts(&addr, 0);
+        bad.cluster = Some(ClusterClientOpts {
+            span_index: 0,
+            num_spans: 2,
+            layout_hash: 1,
+            expected_layout: Vec::new(),
+        });
+        let err = TcpWorkerTransport::new(bad).exchange(&up(0.0)).unwrap_err();
+        assert!(matches!(err, NetError::Handshake(_)), "{err}");
+        // Finish the run so the server exits.
+        let mut ok = TcpWorkerTransport::new(worker_opts(&addr, 0));
+        ok.exchange(&up(0.0)).unwrap();
+        ok.shutdown().unwrap();
+        join.join().unwrap().unwrap();
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::codec::{
     decode_down, decode_up, down_msg_type, encode_down_payload, encode_up_payload, up_msg_type,
-    Hello,
+    ClusterHello, Hello,
 };
 use crate::error::{NetError, NetResult};
 use crate::frame::{read_frame, write_frame_buffered, FrameHeader, MsgType, HEADER_LEN};
@@ -33,11 +33,43 @@ use std::sync::{Arc, Mutex};
 /// still rejecting forged multi-GiB lengths before allocation.
 pub const MAX_PAYLOAD: usize = 256 << 20;
 
+/// Which aggregation tier a per-link byte counter belongs to. `Root` is
+/// traffic with a root (span) server; `Edge` is member traffic with an
+/// edge aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Link to a root span server.
+    Root,
+    /// Link between a worker-group member and its edge aggregator.
+    Edge,
+}
+
+/// Data-byte counters for one link, keyed by aggregation tier and span
+/// index (0 for the single-span / edge-member case). Cluster transports
+/// and the edge aggregator populate these so the byte-counter equality
+/// proofs extend per tier; single-server paths leave the list empty,
+/// keeping the existing exact-equality assertions untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Aggregation tier of the link.
+    pub tier: Tier,
+    /// Span index the link talks to (0 when spans don't apply).
+    pub span: u16,
+    /// Data bytes sent toward the server on this link.
+    pub uplink_bytes: u64,
+    /// Data bytes received from the server on this link.
+    pub downlink_bytes: u64,
+}
+
 /// Byte counters, split the same way the simulator's accounting is:
 /// data frames (training payloads, header included — frame length equals
 /// `wire_bytes()` by construction) vs control frames (handshake,
 /// heartbeats, shutdown, errors), which the simulator does not model.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+///
+/// `PartialEq` stays exact over every counter — including the per-link
+/// breakdown — so "two runs produced the same stats" means byte-for-byte,
+/// link-for-link equality.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct WireStats {
     /// Bytes of worker→server data frames (updates, resync requests).
     pub data_up: u64,
@@ -54,6 +86,9 @@ pub struct WireStats {
     /// whose bytes land in `control` — before the close). Always zero on
     /// worker-side counters, so clean-run equality checks are unaffected.
     pub rejected_conns: u64,
+    /// Per-tier/per-span data-byte breakdown (see [`LinkStats`]). Empty
+    /// everywhere except cluster/edge endpoints, sorted by `(tier, span)`.
+    pub links: Vec<LinkStats>,
 }
 
 impl WireStats {
@@ -72,7 +107,30 @@ impl WireStats {
         }
     }
 
-    /// Sums another endpoint's counters into this one.
+    /// Accumulates data bytes onto the `(tier, span)` link, inserting it
+    /// (sorted) on first use.
+    pub fn add_link(&mut self, tier: Tier, span: u16, uplink_bytes: u64, downlink_bytes: u64) {
+        match self.links.binary_search_by_key(&(tier, span), |l| (l.tier, l.span)) {
+            Ok(i) => {
+                self.links[i].uplink_bytes += uplink_bytes;
+                self.links[i].downlink_bytes += downlink_bytes;
+            }
+            Err(i) => {
+                self.links.insert(i, LinkStats { tier, span, uplink_bytes, downlink_bytes });
+            }
+        }
+    }
+
+    /// Looks up the `(tier, span)` link, if any traffic was recorded on it.
+    pub fn link(&self, tier: Tier, span: u16) -> Option<&LinkStats> {
+        self.links
+            .binary_search_by_key(&(tier, span), |l| (l.tier, l.span))
+            .ok()
+            .map(|i| &self.links[i])
+    }
+
+    /// Sums another endpoint's counters into this one, link-wise for the
+    /// per-tier breakdown.
     pub fn merge(&mut self, other: &WireStats) {
         self.data_up += other.data_up;
         self.data_down += other.data_down;
@@ -80,6 +138,9 @@ impl WireStats {
         self.frames_up += other.frames_up;
         self.frames_down += other.frames_down;
         self.rejected_conns += other.rejected_conns;
+        for l in &other.links {
+            self.add_link(l.tier, l.span, l.uplink_bytes, l.downlink_bytes);
+        }
     }
 }
 
@@ -122,6 +183,20 @@ pub enum Event {
     HelloAck {
         /// Server's negotiation payload.
         hello: Hello,
+    },
+    /// Cluster handshake opener from a cluster-aware worker.
+    ClusterHello {
+        /// Connecting worker id.
+        worker: u16,
+        /// Span negotiation payload.
+        hello: ClusterHello,
+    },
+    /// Cluster handshake answer from a span server.
+    ClusterHelloAck {
+        /// Span server's negotiation payload.
+        hello: ClusterHello,
+        /// Encoded partition map (`ClusterLayout::encode`).
+        layout: Vec<u8>,
     },
     /// Liveness probe.
     Heartbeat {
@@ -175,7 +250,7 @@ impl<S: Read + Write> WireConn<S> {
 
     /// Byte counters accumulated so far.
     pub fn stats(&self) -> WireStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The wrapped stream (for socket configuration: timeouts, nodelay).
@@ -227,9 +302,34 @@ impl<S: Read + Write> WireConn<S> {
         Ok(())
     }
 
+    /// Sends a control frame with a [`ClusterHello`] payload. `layout` is
+    /// empty on the worker hello and the encoded partition map on the ack.
+    pub fn send_cluster_hello(
+        &mut self,
+        ty: MsgType,
+        worker: u16,
+        hello: &ClusterHello,
+        layout: &[u8],
+    ) -> NetResult<()> {
+        debug_assert!(matches!(ty, MsgType::ClusterHello | MsgType::ClusterHelloAck));
+        let payload = hello.encode(layout);
+        let n = write_frame_buffered(&mut self.stream, &mut self.wbuf, ty, worker, 0, &payload)?;
+        self.stats.record(ty, n);
+        Ok(())
+    }
+
     /// Sends an empty-payload control frame (heartbeats, shutdown).
     pub fn send_control(&mut self, ty: MsgType, worker: u16) -> NetResult<()> {
-        debug_assert!(!ty.is_data() && !matches!(ty, MsgType::Hello | MsgType::HelloAck));
+        debug_assert!(
+            !ty.is_data()
+                && !matches!(
+                    ty,
+                    MsgType::Hello
+                        | MsgType::HelloAck
+                        | MsgType::ClusterHello
+                        | MsgType::ClusterHelloAck
+                )
+        );
         let n = write_frame_buffered(&mut self.stream, &mut self.wbuf, ty, worker, 0, &[])?;
         self.stats.record(ty, n);
         Ok(())
@@ -275,6 +375,17 @@ pub(crate) fn decode_event(header: FrameHeader, payload: Vec<u8>) -> NetResult<E
         }
         MsgType::Hello => Event::Hello { worker, hello: Hello::decode(&payload)? },
         MsgType::HelloAck => Event::HelloAck { hello: Hello::decode(&payload)? },
+        MsgType::ClusterHello => {
+            let (hello, layout) = ClusterHello::decode(&payload)?;
+            if !layout.is_empty() {
+                return Err(NetError::Malformed("layout bytes on a worker cluster hello"));
+            }
+            Event::ClusterHello { worker, hello }
+        }
+        MsgType::ClusterHelloAck => {
+            let (hello, layout) = ClusterHello::decode(&payload)?;
+            Event::ClusterHelloAck { hello, layout }
+        }
         MsgType::Heartbeat => {
             expect_empty(&payload, "heartbeat")?;
             Event::Heartbeat { worker }
@@ -756,6 +867,31 @@ mod tests {
         let mut t = WireStats::default();
         t.merge(&s);
         assert_eq!(t, s);
+    }
+
+    #[test]
+    fn link_breakdown_accumulates_sorted_and_merges() {
+        let mut s = WireStats::default();
+        s.add_link(Tier::Edge, 0, 10, 20);
+        s.add_link(Tier::Root, 2, 1, 2);
+        s.add_link(Tier::Root, 0, 100, 200);
+        s.add_link(Tier::Root, 2, 9, 8);
+        let key: Vec<_> = s.links.iter().map(|l| (l.tier, l.span)).collect();
+        assert_eq!(key, vec![(Tier::Root, 0), (Tier::Root, 2), (Tier::Edge, 0)]);
+        assert_eq!(s.link(Tier::Root, 2).unwrap().uplink_bytes, 10);
+        assert_eq!(s.link(Tier::Root, 2).unwrap().downlink_bytes, 10);
+        assert!(s.link(Tier::Edge, 7).is_none());
+
+        let mut t = WireStats::default();
+        t.add_link(Tier::Root, 1, 5, 5);
+        t.merge(&s);
+        assert_eq!(t.links.len(), 4);
+        assert_eq!(t.link(Tier::Root, 0).unwrap().uplink_bytes, 100);
+        // Exact equality covers the link list too.
+        let mut u = t.clone();
+        assert_eq!(u, t);
+        u.add_link(Tier::Edge, 0, 1, 0);
+        assert_ne!(u, t);
     }
 
     #[test]

@@ -192,6 +192,39 @@ impl SparseUpdate {
     }
 }
 
+/// Sums several partition-aligned sparse updates into one — the edge
+/// aggregator's combine step for a worker group's uplinks. All inputs
+/// must have the same chunk count (same partition); values at a shared
+/// index are summed **in input order** per [`crate::merge::merge_sum_pairs`],
+/// so callers fix the ordering (worker-id order) to keep the result a
+/// pure function of the inputs. A single input is returned as a bitwise
+/// clone.
+///
+/// # Panics
+/// Panics if `inputs` is empty or the chunk counts disagree — both are
+/// construction bugs at the call site, not runtime conditions.
+pub fn merge_sparse_updates(inputs: &[&SparseUpdate]) -> SparseUpdate {
+    assert!(!inputs.is_empty(), "merge of zero updates");
+    let num_chunks = inputs[0].chunks.len();
+    for u in inputs {
+        assert_eq!(u.chunks.len(), num_chunks, "updates must share a partition");
+    }
+    if let [only] = inputs {
+        return (*only).clone();
+    }
+    let chunks = (0..num_chunks)
+        .map(|c| {
+            let pairs: Vec<(&[u32], &[f32])> = inputs
+                .iter()
+                .map(|u| (u.chunks[c].idx.as_slice(), u.chunks[c].val.as_slice()))
+                .collect();
+            let (idx, val) = crate::merge::merge_sum_pairs(&pairs);
+            SparseVec { idx, val }
+        })
+        .collect();
+    SparseUpdate { chunks }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +312,22 @@ mod tests {
         // a: k=2, b: k=3 -> 4 + (4+16) + (4+24) = 52
         assert_eq!(up.wire_bytes(), 52);
         assert_eq!(up.encode().len(), 52);
+    }
+
+    #[test]
+    fn merge_sparse_updates_sums_per_chunk() {
+        let part = part_2();
+        let a = SparseUpdate::from_nonzero(&[1.0, 0.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0], &part);
+        let b = SparseUpdate::from_nonzero(&[0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 7.0, 0.0, 0.0, 0.0], &part);
+        let merged = merge_sparse_updates(&[&a, &b]);
+        assert_eq!(merged.chunks.len(), 2);
+        assert_eq!(
+            merged.to_dense(&part),
+            vec![1.0, 0.0, 0.0, 7.0, 0.0, 3.0, 7.0, 0.0, 0.0, 0.0]
+        );
+        // Single input: bitwise clone.
+        let one = merge_sparse_updates(&[&a]);
+        assert_eq!(one, a);
     }
 
     #[test]

@@ -42,9 +42,9 @@ pub mod sampled;
 pub mod stats;
 pub mod topk;
 
-pub use coo::{SparseUpdate, SparseVec};
+pub use coo::{merge_sparse_updates, SparseUpdate, SparseVec};
 pub use merge::{
-    diff_pairs_at, diff_pairs_dense, mag_idx_order, retain_dirty, scatter_pairs,
+    diff_pairs_at, diff_pairs_dense, mag_idx_order, merge_sum_pairs, retain_dirty, scatter_pairs,
     scatter_track_dirty, send_all_at, send_all_dense, send_topk_dense, sort_dedup,
     sort_dedup_bitmap, topk_pairs, topk_pairs_with,
 };

@@ -72,6 +72,56 @@ pub fn sort_dedup_bitmap(v: &mut Vec<u32>, mask: &mut [u64]) {
     }
 }
 
+/// K-way merge of ascending-index (index, value) pair lists with value
+/// summing: the edge aggregator's kernel for combining the sparse
+/// uplinks of a worker group into one update. Each input must be
+/// strictly ascending in index (every `SparseVec` producer in the
+/// workspace emits that order). An index present in several inputs is
+/// emitted once with its values summed **in input order** — f32
+/// addition is not associative, so the caller fixes the input order
+/// (worker-id order at the edge) to keep the merge a pure function of
+/// its inputs. A single-input merge reproduces that input bitwise (no
+/// `0.0 +` prologue that would flip `-0.0`).
+pub fn merge_sum_pairs(inputs: &[(&[u32], &[f32])]) -> (Vec<u32>, Vec<f32>) {
+    for (idx, val) in inputs {
+        debug_assert_eq!(idx.len(), val.len());
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]), "inputs must be strictly ascending");
+    }
+    if let [(idx, val)] = inputs {
+        return (idx.to_vec(), val.to_vec());
+    }
+    let mut cur = vec![0usize; inputs.len()];
+    let cap = inputs.iter().map(|(idx, _)| idx.len()).max().unwrap_or(0);
+    let mut out_idx = Vec::with_capacity(cap);
+    let mut out_val = Vec::with_capacity(cap);
+    loop {
+        let mut next: Option<u32> = None;
+        for (j, (idx, _)) in inputs.iter().enumerate() {
+            if let Some(&i) = idx.get(cur[j]) {
+                next = Some(next.map_or(i, |m| m.min(i)));
+            }
+        }
+        let Some(i) = next else { break };
+        let mut sum: Option<f32> = None;
+        for (j, (idx, val)) in inputs.iter().enumerate() {
+            if idx.get(cur[j]) == Some(&i) {
+                let x = val[cur[j]];
+                sum = Some(match sum {
+                    None => x,
+                    Some(s) => s + x,
+                });
+                cur[j] += 1;
+            }
+        }
+        out_idx.push(i);
+        // `next` came from some cursor, so at least one input matched
+        // and `sum` is always `Some`; the fallback only keeps the two
+        // output arrays parallel by construction.
+        out_val.push(sum.unwrap_or(0.0));
+    }
+    (out_idx, out_val)
+}
+
 /// Selects the `k` largest-magnitude (index, value) pairs, returned in
 /// ascending index order. Exact selection (average O(n)); ties follow
 /// [`mag_idx_order`], so the result is a pure function of the input.
@@ -366,6 +416,41 @@ mod tests {
         let mut v = vec![5, 1, 3, 1, 5, 0];
         sort_dedup(&mut v);
         assert_eq!(v, vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn merge_sum_pairs_sums_in_input_order() {
+        let a = (vec![1u32, 4, 7], vec![1.0f32, 2.0, 3.0]);
+        let b = (vec![0u32, 4, 9], vec![10.0f32, 20.0, 30.0]);
+        let c = (vec![4u32], vec![100.0f32]);
+        let (idx, val) = merge_sum_pairs(&[
+            (&a.0, &a.1),
+            (&b.0, &b.1),
+            (&c.0, &c.1),
+        ]);
+        assert_eq!(idx, vec![0, 1, 4, 7, 9]);
+        // Index 4: (2.0 + 20.0) + 100.0 in input order.
+        assert_eq!(val, vec![10.0, 1.0, 122.0, 3.0, 30.0]);
+        // Empty inputs contribute nothing.
+        let empty: (Vec<u32>, Vec<f32>) = (Vec::new(), Vec::new());
+        let (idx2, val2) =
+            merge_sum_pairs(&[(&empty.0, &empty.1), (&a.0, &a.1), (&empty.0, &empty.1)]);
+        assert_eq!(idx2, a.0);
+        assert_eq!(val2, a.1);
+        assert!(merge_sum_pairs(&[]).0.is_empty());
+    }
+
+    #[test]
+    fn merge_sum_pairs_single_input_is_bitwise_identity() {
+        // -0.0 must survive: a `0.0 + x` prologue would turn it into +0.0.
+        let idx = vec![2u32, 5];
+        let val = vec![-0.0f32, 1.5];
+        let (mi, mv) = merge_sum_pairs(&[(&idx, &val)]);
+        assert_eq!(mi, idx);
+        assert_eq!(
+            mv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            val.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! ```text
 //! dgs-cli run <config.json> [--out results.json]
 //! dgs-cli serve <config.json> --listen ADDR [--out results.json] [--deadline-secs N]
-//!               [--shards S] [--io threads|evented] [--max-conns N]
-//! dgs-cli work <config.json> --connect ADDR --worker K
+//!               [--shards S] [--span K/N] [--clients N]
+//!               [--io threads|evented] [--max-conns N]
+//! dgs-cli edge <config.json> --connect A1,A2,... --listen ADDR --group G
+//!              [--base B] [--out stats.json] [--deadline-secs N]
+//! dgs-cli work <config.json> (--connect ADDR | --connect-cluster A1,A2,...) --worker K
 //! dgs-cli init > config.json          # print an annotated default config
 //! dgs-cli methods                     # list methods + technique matrix
 //! ```
@@ -25,6 +28,23 @@
 //! TCP handshake fingerprints `θ_0` (CRC-32 of the initial parameters)
 //! and rejects workers whose seed/model/dimension drift from the server's.
 //!
+//! The **multi-process cluster** splits the server across OS processes:
+//! `serve --span K/N` hosts span K of an N-process span-sharded cluster
+//! (each process owns one contiguous slice of the model; the handshake
+//! additionally carries the partition map and the span's θ0 CRC), and
+//! `work --connect-cluster A1,...,AN` fans each worker uplink out per
+//! span and reassembles the downlink in shard order. `edge` inserts the
+//! two-level aggregation tier between them: G workers connect to one
+//! edge process (which looks exactly like a single full-model server to
+//! them), their uplinks are merged and forwarded upstream as one logical
+//! worker, so root ingress scales with the number of groups. With
+//! `--listen 127.0.0.1:0`, `serve`/`edge` write the bound address (plus
+//! span index and partition-map hash for spans) to `--out` **at bind
+//! time**, so launchers can discover ports instead of preassigning them;
+//! the file is rewritten with results and wire stats when the run ends.
+//! `serve --span ... --clients N` sets how many direct clients (workers,
+//! or edge aggregators) the span waits for before finishing.
+//!
 //! The config file selects a synthetic workload, a model, a training
 //! method, and an engine; see [`CliConfig`] for every field. Example:
 //!
@@ -44,22 +64,26 @@
 use dgs::core::config::{LrSchedule, TrainConfig};
 use dgs::core::curves::RunResult;
 use dgs::core::method::Method;
+use dgs::core::server::Downlink;
 use dgs::core::trainer::des::{train_des, DesParams};
 use dgs::core::trainer::single::train_msgd;
 use dgs::core::trainer::sharded::build_sharded_participants;
 use dgs::core::trainer::threaded::{build_participants, train_async};
 use dgs::core::worker::TrainWorker;
 use dgs::net::runtime::{
-    run_worker, serve_training_io, serve_training_sharded_io, IoConfig, IoMode,
+    build_span_logic, cluster_layout, run_worker, serve_training_io, serve_training_sharded_io,
+    serve_with_io, theta0_crc, IoConfig, IoMode, EDGE_ROUND_TIMEOUT,
 };
-use dgs::net::WireStats;
+use dgs::net::tcp::{serve_cluster, ServerOpts, SpanOpts};
+use dgs::net::transport::Tier;
+use dgs::net::{assemble_replies, ClusterTransport, EdgeHandler, WireStats};
 use dgs::nn::data::{Dataset, GaussianBlobs, SyntheticVision};
 use dgs::nn::model::Network;
 use dgs::nn::models::{mlp, mlp_on_images, resnet_lite, tiny_cnn};
 use dgs::psim::NetworkModel;
 use serde::{Deserialize, Serialize};
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Workload section of the config file.
@@ -245,7 +269,7 @@ fn main() {
         Some("serve") => {
             let usage = "usage: dgs-cli serve <config.json> --listen ADDR \
                          [--out results.json] [--deadline-secs N] [--shards S] \
-                         [--io threads|evented] [--max-conns N]";
+                         [--span K/N] [--clients N] [--io threads|evented] [--max-conns N]";
             let path = args.get(1).unwrap_or_else(|| fail(usage));
             let listen = flag_value(&args, "--listen").unwrap_or_else(|| fail(usage));
             let out = flag_value(&args, "--out");
@@ -274,19 +298,78 @@ fn main() {
                     fail("--max-conns only applies to --io evented");
                 }
             }
-            serve(&load_config(path), &listen, out.as_deref(), deadline, shards, &io);
+            let span = flag_value(&args, "--span").map(|s| parse_span(&s));
+            let clients = flag_value(&args, "--clients").map(|s| {
+                s.parse().unwrap_or_else(|_| fail("--clients must be a positive integer"))
+            });
+            if span.is_some() && shards > 1 {
+                fail("--shards and --span are mutually exclusive");
+            }
+            if clients.is_some() && span.is_none() {
+                fail("--clients only applies to --span serving");
+            }
+            if clients == Some(0) {
+                fail("--clients must be a positive integer");
+            }
+            match span {
+                Some((k, n)) => {
+                    serve_span(&load_config(path), &listen, out.as_deref(), deadline, k, n, clients, &io)
+                }
+                None => serve(&load_config(path), &listen, out.as_deref(), deadline, shards, &io),
+            }
         }
-        Some("work") => {
-            let usage = "usage: dgs-cli work <config.json> --connect ADDR --worker K";
+        Some("edge") => {
+            let usage = "usage: dgs-cli edge <config.json> --connect A1,A2,... --listen ADDR \
+                         --group G [--base B] [--out stats.json] [--deadline-secs N]";
             let path = args.get(1).unwrap_or_else(|| fail(usage));
             let connect = flag_value(&args, "--connect").unwrap_or_else(|| fail(usage));
+            let listen = flag_value(&args, "--listen").unwrap_or_else(|| fail(usage));
+            let group: usize = flag_value(&args, "--group")
+                .unwrap_or_else(|| fail(usage))
+                .parse()
+                .unwrap_or_else(|_| fail("--group must be a positive integer"));
+            if group == 0 {
+                fail("--group must be a positive integer");
+            }
+            let base: usize = flag_value(&args, "--base")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("--base must be an integer")))
+                .unwrap_or(0);
+            let out = flag_value(&args, "--out");
+            let deadline = flag_value(&args, "--deadline-secs").map(|s| {
+                Duration::from_secs(
+                    s.parse().unwrap_or_else(|_| fail("--deadline-secs must be an integer")),
+                )
+            });
+            edge(&load_config(path), &connect, &listen, group, base, out.as_deref(), deadline);
+        }
+        Some("work") => {
+            let usage = "usage: dgs-cli work <config.json> \
+                         (--connect ADDR | --connect-cluster A1,A2,...) --worker K";
+            let path = args.get(1).unwrap_or_else(|| fail(usage));
+            let connect = flag_value(&args, "--connect");
+            let cluster = flag_value(&args, "--connect-cluster");
             let worker: usize = flag_value(&args, "--worker")
                 .unwrap_or_else(|| fail(usage))
                 .parse()
                 .unwrap_or_else(|_| fail("--worker must be an integer"));
-            work(&load_config(path), &connect, worker);
+            match (connect, cluster) {
+                (Some(addr), None) => work(&load_config(path), &addr, worker),
+                (None, Some(addrs)) => work_cluster(&load_config(path), &addrs, worker),
+                _ => fail(usage),
+            }
         }
-        _ => fail("usage: dgs-cli <run|serve|work|init|methods>"),
+        _ => fail("usage: dgs-cli <run|serve|work|edge|init|methods>"),
+    }
+}
+
+/// Parses `--span K/N` (0-based span index out of N span servers).
+fn parse_span(s: &str) -> (usize, usize) {
+    let parsed = s
+        .split_once('/')
+        .and_then(|(k, n)| Some((k.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+    match parsed {
+        Some((k, n)) if n >= 1 && k < n => (k, n),
+        _ => fail("--span must be K/N with K < N (e.g. 0/3)"),
     }
 }
 
@@ -395,6 +478,13 @@ fn serve(
     let listener = TcpListener::bind(listen)
         .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
     let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| listen.into());
+    // Bind-time discovery: with `--listen 127.0.0.1:0` a launcher learns
+    // the real port by polling this file (rewritten with results at exit).
+    if let Some(out) = out {
+        let doc = serde_json::json!({ "listen": local });
+        std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    }
     let iters = cfg.iters_per_worker(train_ds.len());
     let backend = match io.mode {
         IoMode::Threads => "thread-per-connection".to_string(),
@@ -436,11 +526,252 @@ fn serve(
     print_summary(&result);
     print_wire_stats("server", &stats);
     if let Some(out) = out {
-        let doc = serde_json::json!({ "result": result, "wire": wire_json(&stats) });
+        let doc =
+            serde_json::json!({ "listen": local, "result": result, "wire": wire_json(&stats) });
         std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap())
             .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
         println!("wrote {out}");
     }
+}
+
+/// `dgs-cli serve --span K/N`: host ONE span of an N-process span-sharded
+/// parameter-server cluster — the in-process sharding seam lifted onto
+/// the wire. Every process (spans, edges, workers) must load the same
+/// config file; the cluster handshake checks the partition-map hash and
+/// this span's θ0 CRC on top of the usual dim check.
+#[allow(clippy::too_many_arguments)]
+fn serve_span(
+    config: &CliConfig,
+    listen: &str,
+    out: Option<&str>,
+    deadline: Option<Duration>,
+    span_index: usize,
+    num_spans: usize,
+    clients: Option<usize>,
+    io: &IoConfig,
+) {
+    let cfg = train_config(config);
+    if cfg.method == Method::Msgd {
+        fail("msgd is single-node; use `dgs-cli run`");
+    }
+    let (train_ds, _val_ds) = datasets(config);
+    let builder = model_builder(config);
+    let net0 = builder();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let layout = cluster_layout(&theta0, &partition, num_spans);
+    if layout.num_spans() != num_spans {
+        fail(&format!(
+            "model splits into {} spans, not {num_spans}; use --span K/{}",
+            layout.num_spans(),
+            layout.num_spans()
+        ));
+    }
+    let secondary = if cfg.secondary_compression { Some(cfg.sparsity_ratio) } else { None };
+    let downlink = Downlink::for_method(cfg.method, secondary);
+    let span = layout.shard_span(span_index);
+    let handler =
+        Arc::new(Mutex::new(build_span_logic(&cfg, &theta0, &partition, &span, downlink)));
+    let listener = TcpListener::bind(listen)
+        .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
+    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| listen.into());
+    if let Some(out) = out {
+        let bind_doc = serde_json::json!({
+            "listen": local,
+            "span": span_index,
+            "spans": num_spans,
+            "layout_hash": layout.layout_hash(),
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&bind_doc).unwrap())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    }
+    let iters = cfg.iters_per_worker(train_ds.len());
+    let backend = match io.mode {
+        IoMode::Threads => "thread-per-connection".to_string(),
+        IoMode::Evented => format!("evented (max {} conns)", io.evented.max_conns),
+    };
+    let expected = clients.unwrap_or(cfg.workers);
+    println!(
+        "serving {} span {span_index}/{num_spans} ({} of {} coords) on {local}: \
+         waiting for {expected} clients x {iters} iterations [{backend}]",
+        cfg.method.name(),
+        span.len,
+        theta0.len()
+    );
+    let mut opts =
+        ServerOpts::new(cfg.workers, span.len as u64, layout.spans[span_index].theta0_crc);
+    opts.deadline = deadline;
+    opts.done_target = expected;
+    opts.span = Some(SpanOpts {
+        index: span_index as u32,
+        num_spans: num_spans as u32,
+        layout_hash: layout.layout_hash(),
+        layout_bytes: layout.encode(),
+    });
+    let stats = serve_with_io(listener, handler, opts, io)
+        .unwrap_or_else(|e| fail(&format!("span serve failed: {e}")));
+    print_wire_stats(&format!("span {span_index}"), &stats);
+    if let Some(out) = out {
+        let doc = serde_json::json!({
+            "listen": local,
+            "span": span_index,
+            "spans": num_spans,
+            "layout_hash": layout.layout_hash(),
+            "wire": wire_json(&stats),
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("wrote {out}");
+    }
+}
+
+/// `dgs-cli edge`: the two-level aggregation tier. G member workers see
+/// an ordinary full-model server; their uplinks are merged per round and
+/// forwarded to the root span servers as one logical worker, so root
+/// ingress scales with the number of groups rather than workers.
+fn edge(
+    config: &CliConfig,
+    connect: &str,
+    listen: &str,
+    group: usize,
+    base: usize,
+    out: Option<&str>,
+    deadline: Option<Duration>,
+) {
+    let cfg = train_config(config);
+    if cfg.method == Method::Msgd {
+        fail("msgd is single-node; use `dgs-cli run`");
+    }
+    if base + group > cfg.workers {
+        fail(&format!(
+            "group [{base}, {}) exceeds the config's {} workers",
+            base + group,
+            cfg.workers
+        ));
+    }
+    let builder = model_builder(config);
+    let net0 = builder();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let addrs: Vec<String> = connect.split(',').map(str::to_string).collect();
+    let layout = cluster_layout(&theta0, &partition, addrs.len());
+    if layout.num_spans() != addrs.len() {
+        fail(&format!(
+            "model splits into {} spans but --connect lists {} servers",
+            layout.num_spans(),
+            addrs.len()
+        ));
+    }
+    let layout_hash = layout.layout_hash();
+    let crc = theta0_crc(&theta0);
+    let dim = theta0.len() as u64;
+    let upstream = ClusterTransport::new(layout, &addrs, base as u16)
+        .unwrap_or_else(|e| fail(&format!("cannot reach root spans: {e}")));
+    let handler =
+        EdgeHandler::new(upstream, partition, theta0, base as u16, group, EDGE_ROUND_TIMEOUT)
+            .unwrap_or_else(|e| fail(&format!("bad edge config: {e}")));
+    let listener = TcpListener::bind(listen)
+        .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}: {e}")));
+    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| listen.into());
+    if let Some(out) = out {
+        let bind_doc = serde_json::json!({
+            "listen": local,
+            "base": base,
+            "group": group,
+            "layout_hash": layout_hash,
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&bind_doc).unwrap())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    }
+    println!(
+        "edge on {local}: merging group [{base}, {}) toward {} root spans: \
+         waiting for {group} members",
+        base + group,
+        addrs.len()
+    );
+    // Members block on the round barrier, so the member-facing listener
+    // must be thread-per-connection (an evented single thread would
+    // deadlock); the root tier's backend is the span servers' choice.
+    let mut opts = ServerOpts::new(base + group, dim, crc);
+    opts.deadline = deadline;
+    opts.done_target = group;
+    let h = Arc::clone(&handler);
+    let member_side =
+        serve_cluster(listener, h, opts).unwrap_or_else(|e| fail(&format!("edge serve failed: {e}")));
+    let upstream_side =
+        handler.finish().unwrap_or_else(|e| fail(&format!("edge shutdown failed: {e}")));
+    print_wire_stats("edge members", &member_side);
+    print_wire_stats("edge upstream", &upstream_side);
+    if let Some(out) = out {
+        let doc = serde_json::json!({
+            "listen": local,
+            "base": base,
+            "group": group,
+            "layout_hash": layout_hash,
+            "member_wire": wire_json(&member_side),
+            "upstream_wire": wire_json(&upstream_side),
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("wrote {out}");
+    }
+}
+
+/// `dgs-cli work --connect-cluster`: one worker against an N-process span
+/// cluster — every uplink fans out per span, every downlink reassembles
+/// in shard order (mixed per-span replies are applied spanwise).
+fn work_cluster(config: &CliConfig, connect: &str, worker_id: usize) {
+    let cfg = train_config(config);
+    if cfg.method == Method::Msgd {
+        fail("msgd is single-node; use `dgs-cli run`");
+    }
+    if worker_id >= cfg.workers {
+        fail(&format!("--worker {worker_id} out of range (config has {} workers)", cfg.workers));
+    }
+    let (train_ds, _val_ds) = datasets(config);
+    let builder = model_builder(config);
+    let net0 = builder();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let addrs: Vec<String> = connect.split(',').map(str::to_string).collect();
+    let layout = cluster_layout(&theta0, &partition, addrs.len());
+    if layout.num_spans() != addrs.len() {
+        fail(&format!(
+            "model splits into {} spans but --connect-cluster lists {} servers",
+            layout.num_spans(),
+            addrs.len()
+        ));
+    }
+    let iters = cfg.iters_per_worker(train_ds.len());
+    let mut worker = TrainWorker::new(
+        worker_id,
+        builder(),
+        Arc::clone(&train_ds),
+        cfg.clone(),
+        config.engine.worker_gflops,
+    );
+    println!("worker {worker_id}: {iters} iterations against {} span servers", addrs.len());
+    let mut transport = ClusterTransport::new(layout, &addrs, worker_id as u16)
+        .unwrap_or_else(|e| fail(&format!("worker {worker_id} cannot reach the cluster: {e}")));
+    for _ in 0..iters {
+        let up = worker.local_step();
+        let replies = transport
+            .exchange(&up)
+            .unwrap_or_else(|e| fail(&format!("worker {worker_id} exchange failed: {e}")));
+        match assemble_replies(&replies) {
+            Some(reply) => worker.apply_reply(reply),
+            None => {
+                for (j, reply) in replies.into_iter().enumerate() {
+                    worker.apply_span_reply(&transport.layout().shard_span(j), reply);
+                }
+            }
+        }
+    }
+    transport
+        .shutdown()
+        .unwrap_or_else(|e| fail(&format!("worker {worker_id} shutdown failed: {e}")));
+    println!("worker {worker_id}: done after {iters} iterations");
+    print_wire_stats(&format!("worker {worker_id}"), &transport.stats());
 }
 
 /// `dgs-cli work`: run one worker's training loop against a remote server.
@@ -483,6 +814,18 @@ fn print_wire_stats(who: &str, stats: &WireStats) {
 }
 
 fn wire_json(stats: &WireStats) -> serde_json::Value {
+    let links: Vec<serde_json::Value> = stats
+        .links
+        .iter()
+        .map(|l| {
+            serde_json::json!({
+                "tier": match l.tier { Tier::Root => "root", Tier::Edge => "edge" },
+                "span": l.span,
+                "uplink_bytes": l.uplink_bytes,
+                "downlink_bytes": l.downlink_bytes,
+            })
+        })
+        .collect();
     serde_json::json!({
         "data_up": stats.data_up,
         "data_down": stats.data_down,
@@ -490,6 +833,7 @@ fn wire_json(stats: &WireStats) -> serde_json::Value {
         "frames_up": stats.frames_up,
         "frames_down": stats.frames_down,
         "rejected_conns": stats.rejected_conns,
+        "links": links,
     })
 }
 

@@ -5,6 +5,14 @@
 //! `wire_bytes()` accounting — the codec and the traffic model describe
 //! the same bytes.
 //!
+//! The cluster smokes spin up the full two-level topology as separate OS
+//! processes — three `serve --span K/3` span servers, one `edge`
+//! aggregator merging a two-worker group, and two plain `work` members —
+//! plus a direct `work --connect-cluster` variant without the edge tier.
+//! Port discovery is the bind-time `--out` JSON each server/edge writes
+//! (satellite of the `--listen 127.0.0.1:0` flow), polled with a
+//! deadline.
+//!
 //! CI runs this with a hard timeout; the test also enforces its own
 //! deadline so a wedged handshake can never hang the suite.
 
@@ -157,5 +165,187 @@ fn serve_smoke(dir_name: &str, extra_serve_args: &[&str]) {
         "downlink frame bytes != logic accounting"
     );
     assert!(wire["frames_up"].as_u64().unwrap() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Polls a bind-time `--out` JSON until it parses and contains `key`
+/// (file writes aren't atomic, so tolerate partial content), returning
+/// the document. Panics at the deadline.
+fn poll_json(path: &std::path::Path, key: &str, deadline: Instant) -> serde_json::Value {
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) {
+                if doc.get(key).is_some() {
+                    return doc;
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "no {key:?} in {} by deadline", path.display());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn cluster_with_edge_trains_over_tcp() {
+    cluster_smoke("dgs_process_mode_cluster_test", &[]);
+}
+
+#[test]
+fn evented_cluster_with_edge_trains_over_tcp() {
+    // Same topology with the span servers on the readiness event loop
+    // (the edge's member listener is always thread-per-connection — its
+    // members block on the round barrier).
+    cluster_smoke("dgs_process_mode_cluster_evented_test", &["--io", "evented", "--max-conns", "8"]);
+}
+
+/// Three `serve --span K/3` span processes + one `edge --group 2` + two
+/// member workers, all separate OS processes wired up through bind-time
+/// `--out` discovery. Asserts every process exits cleanly, the partition
+/// map hash agrees across the tier, and bytes moved on every span.
+fn cluster_smoke(dir_name: &str, extra_span_args: &[&str]) {
+    let deadline = Instant::now() + DEADLINE;
+    let dir = std::env::temp_dir().join(dir_name);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(&cfg_path, tiny_config()).unwrap();
+
+    // Span tier: each process owns one shard span and waits for ONE
+    // direct client (the edge aggregator).
+    let mut spans: Vec<Child> = Vec::new();
+    let mut span_outs = Vec::new();
+    for k in 0..3 {
+        let out = dir.join(format!("span{k}.json"));
+        spans.push(
+            cli()
+                .arg("serve")
+                .arg(&cfg_path)
+                .args(["--listen", "127.0.0.1:0", "--deadline-secs", "90"])
+                .args(["--span", &format!("{k}/3"), "--clients", "1"])
+                .args(extra_span_args)
+                .arg("--out")
+                .arg(&out)
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn span serve"),
+        );
+        span_outs.push(out);
+    }
+    let span_docs: Vec<serde_json::Value> =
+        span_outs.iter().map(|p| poll_json(p, "listen", deadline)).collect();
+    let span_addrs: Vec<String> =
+        span_docs.iter().map(|d| d["listen"].as_str().unwrap().to_string()).collect();
+    for (k, doc) in span_docs.iter().enumerate() {
+        assert_eq!(doc["span"].as_u64(), Some(k as u64), "span index in bind-time doc");
+        assert_eq!(doc["spans"].as_u64(), Some(3));
+        assert_eq!(
+            doc["layout_hash"].as_u64(),
+            span_docs[0]["layout_hash"].as_u64(),
+            "partition-map hash must agree across the tier"
+        );
+    }
+
+    // Edge tier: merges the two-worker group toward the three spans.
+    let edge_out = dir.join("edge.json");
+    let mut edge = cli()
+        .arg("edge")
+        .arg(&cfg_path)
+        .args(["--connect", &span_addrs.join(","), "--listen", "127.0.0.1:0"])
+        .args(["--group", "2", "--base", "0", "--deadline-secs", "90"])
+        .arg("--out")
+        .arg(&edge_out)
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn edge");
+    let edge_addr =
+        poll_json(&edge_out, "listen", deadline)["listen"].as_str().unwrap().to_string();
+
+    // Members speak the plain single-server protocol to the edge.
+    let mut workers: Vec<Child> = (0..2)
+        .map(|k| {
+            cli()
+                .arg("work")
+                .arg(&cfg_path)
+                .args(["--connect", &edge_addr, "--worker", &k.to_string()])
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn work")
+        })
+        .collect();
+
+    for (k, w) in workers.iter_mut().enumerate() {
+        wait_with_deadline(w, &format!("member {k}"), deadline);
+    }
+    wait_with_deadline(&mut edge, "edge", deadline);
+    for (k, s) in spans.iter_mut().enumerate() {
+        wait_with_deadline(s, &format!("span server {k}"), deadline);
+    }
+
+    // Final rewrites carry the wire stats: bytes moved on every span,
+    // and the edge recorded both its member side and its upstream side.
+    for (k, out) in span_outs.iter().enumerate() {
+        let doc = poll_json(out, "wire", deadline);
+        assert!(doc["wire"]["frames_up"].as_u64().unwrap() > 0, "span {k} saw no uplink frames");
+    }
+    let edge_doc = poll_json(&edge_out, "member_wire", deadline);
+    assert!(edge_doc["member_wire"]["data_up"].as_u64().unwrap() > 0);
+    assert!(edge_doc["upstream_wire"]["data_up"].as_u64().unwrap() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The no-edge cluster path: two `work --connect-cluster` workers fan
+/// out straight to the three span servers (each span expects 2 clients).
+#[test]
+fn workers_connect_cluster_directly() {
+    let deadline = Instant::now() + DEADLINE;
+    let dir = std::env::temp_dir().join("dgs_process_mode_cluster_direct_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(&cfg_path, tiny_config()).unwrap();
+
+    let mut spans: Vec<Child> = Vec::new();
+    let mut span_outs = Vec::new();
+    for k in 0..3 {
+        let out = dir.join(format!("span{k}.json"));
+        spans.push(
+            cli()
+                .arg("serve")
+                .arg(&cfg_path)
+                .args(["--listen", "127.0.0.1:0", "--deadline-secs", "90"])
+                .args(["--span", &format!("{k}/3"), "--clients", "2"])
+                .arg("--out")
+                .arg(&out)
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn span serve"),
+        );
+        span_outs.push(out);
+    }
+    let span_addrs: Vec<String> = span_outs
+        .iter()
+        .map(|p| poll_json(p, "listen", deadline)["listen"].as_str().unwrap().to_string())
+        .collect();
+
+    let mut workers: Vec<Child> = (0..2)
+        .map(|k| {
+            cli()
+                .arg("work")
+                .arg(&cfg_path)
+                .args(["--connect-cluster", &span_addrs.join(","), "--worker", &k.to_string()])
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn cluster work")
+        })
+        .collect();
+
+    for (k, w) in workers.iter_mut().enumerate() {
+        wait_with_deadline(w, &format!("worker {k}"), deadline);
+    }
+    for (k, s) in spans.iter_mut().enumerate() {
+        wait_with_deadline(s, &format!("span server {k}"), deadline);
+    }
+    for (k, out) in span_outs.iter().enumerate() {
+        let doc = poll_json(out, "wire", deadline);
+        assert!(doc["wire"]["frames_up"].as_u64().unwrap() > 0, "span {k} saw no uplink frames");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
