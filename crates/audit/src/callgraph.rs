@@ -1,0 +1,558 @@
+//! Workspace call graph over [`crate::parser`] output, with the
+//! conservative name resolution and the transitive properties the
+//! graph rules consume.
+//!
+//! Resolution is by bare callee name across the whole workspace — a
+//! method call through a trait object or generic receiver resolves to
+//! *every* fn with that name, deliberately widening the graph (a missed
+//! edge hides a bug; a spurious edge costs a waiver). Targeted
+//! refinements keep the widening from eating itself:
+//!
+//! * **forwarding cutoff**: a call to `m(...)` from inside a fn itself
+//!   named `m` resolves to nothing. Wrapper impls (`Mutex<H>`
+//!   forwarding `handle_resync` to the inner handler's `handle_resync`)
+//!   otherwise resolve to themselves and every sibling impl, creating
+//!   cycles through the wrapper.
+//! * **derived type narrowing** ([`Graph::derive_types`]): a
+//!   `Qual::fn()` path call, a `self.meth()` / `self.field.meth()`
+//!   receiver, or a constructor-bound local (`let w = Writer::new(..)`)
+//!   pins the receiver type, and resolution is restricted to that
+//!   type's impl blocks — ubiquitous names (`new`, `read`, `record`)
+//!   stop aliasing every impl in the workspace.
+//! * **guard narrowing**: a method called directly on a lock guard
+//!   whose class declares `inner = "T"` resolves only against
+//!   `impl T` blocks (see [`crate::graph_rules`]) — the guarded type is
+//!   known exactly, so homonyms on other types are not candidates.
+//!
+//! Test fns (`#[cfg(test)]`) are excluded from the graph entirely.
+
+use std::collections::BTreeMap;
+
+use crate::manifest::Manifest;
+use crate::parser::{Call, ParsedFile};
+
+/// Identifies a fn as (file index, fn index).
+pub type FnId = (usize, usize);
+
+/// Call names treated as potentially blocking syscalls wherever they
+/// appear (the no-blocking-under-lock set). Condvar waits are exempt —
+/// they release the mutex — and `join` is excluded because
+/// `rayon::join` / `Path::join` / `slice::join` are indistinguishable
+/// by name (the poller set below includes it; a poller must not call
+/// any of the three anyway).
+pub const BLOCKING_CALLS: &[&str] = &[
+    "read", "read_exact", "read_to_end", "write", "write_all", "flush", "recv", "recv_timeout",
+    "sleep", "park", "park_timeout", "connect", "shutdown", "exchange", "send_update",
+    "send_reply",
+];
+
+/// Prefix-matched blocking names (`write_frame`, `write_frame_to`, …).
+pub const BLOCKING_PREFIXES: &[&str] = &["write_frame", "read_frame"];
+
+/// Calls that park the calling thread outright — the strictest set,
+/// applied to poller files even with no guard live. Nonblocking-fd
+/// `read`/`write` are the event loop's job, so they are absent here;
+/// condvar waits *do* park the poller, so they are present.
+pub const HARD_BLOCKING_CALLS: &[&str] = &[
+    "sleep", "park", "park_timeout", "join", "recv", "recv_timeout", "exchange", "wait",
+    "wait_timeout", "wait_while",
+];
+
+/// Is `name` in the general blocking set?
+pub fn is_blocking_name(name: &str) -> bool {
+    BLOCKING_CALLS.contains(&name) || BLOCKING_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Is `name` in the poller (hard) blocking set?
+pub fn is_hard_blocking_name(name: &str) -> bool {
+    HARD_BLOCKING_CALLS.contains(&name) || is_blocking_name(name) && false
+}
+
+/// Condvar waits: release the mutex, exempt from the under-lock rule.
+pub fn is_condvar_wait(name: &str) -> bool {
+    matches!(name, "wait" | "wait_timeout" | "wait_while")
+}
+
+/// Per-fn facts computed by fixpoint over the graph.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Reaches a general blocking call.
+    pub may_block: bool,
+    /// Reaches a hard (parking) blocking call.
+    pub may_hard_block: bool,
+    /// Reaches a panic site outside any unwind barrier.
+    pub may_panic: bool,
+    /// Lock classes acquired anywhere in this fn's dynamic extent.
+    pub acquires: Vec<String>,
+    /// Witness for `may_block`: the call chain hop (callee or direct name).
+    pub block_witness: Option<String>,
+    /// Witness for `may_hard_block`.
+    pub hard_witness: Option<String>,
+    /// Witness for `may_panic`.
+    pub panic_witness: Option<String>,
+}
+
+/// The workspace call graph.
+pub struct Graph<'a> {
+    /// All parsed files.
+    pub files: &'a [ParsedFile],
+    /// name → fns with a body, excluding test fns.
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+    /// Every impl-block self type in the workspace. A parameter typed
+    /// with a name outside this set is a generic or foreign type —
+    /// narrowing on it would hide edges, so those calls stay wide.
+    impl_types: std::collections::BTreeSet<&'a str>,
+    /// Workspace-wide union of struct field declarations: field name →
+    /// every type the name is declared with, deduplicated. Bounds the
+    /// receiver of `owner.field.meth(..)` calls.
+    field_types: BTreeMap<&'a str, Vec<String>>,
+    /// Per-fn facts, indexed like `files[f].fns[i]` via `facts[f][i]`.
+    pub facts: Vec<Vec<FnFacts>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph and runs the fixpoints. `manifest` supplies the
+    /// acquisition patterns (for `acquires`) and barriers are already
+    /// baked into the parse (`under_barrier` flags).
+    pub fn build(files: &'a [ParsedFile], manifest: &Manifest) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut impl_types = std::collections::BTreeSet::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for (ni, f) in pf.fns.iter().enumerate() {
+                if f.body.is_some() && !f.in_test {
+                    by_name.entry(f.name.as_str()).or_default().push((fi, ni));
+                }
+                if let Some(ty) = f.impl_type.as_deref() {
+                    impl_types.insert(ty);
+                }
+            }
+        }
+        let mut field_types: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+        for pf in files {
+            for (name, tys) in &pf.fields {
+                let union = field_types.entry(name.as_str()).or_default();
+                for ty in tys {
+                    if !union.contains(ty) {
+                        union.push(ty.clone());
+                    }
+                }
+            }
+        }
+        let mut facts: Vec<Vec<FnFacts>> =
+            files.iter().map(|pf| vec![FnFacts::default(); pf.fns.len()]).collect();
+        // Seed with direct facts.
+        for (fi, pf) in files.iter().enumerate() {
+            for ni in 0..pf.fns.len() {
+                if pf.fns[ni].in_test {
+                    continue;
+                }
+                let fact = &mut facts[fi][ni];
+                for c in &pf.calls[ni] {
+                    if is_condvar_wait(&c.name) {
+                        if HARD_BLOCKING_CALLS.contains(&c.name.as_str()) && !fact.may_hard_block
+                        {
+                            fact.may_hard_block = true;
+                            fact.hard_witness = Some(format!("`{}`", c.name));
+                        }
+                        continue;
+                    }
+                    if is_blocking_name(&c.name) && !fact.may_block {
+                        fact.may_block = true;
+                        fact.block_witness = Some(format!("`{}`", c.name));
+                    }
+                    if HARD_BLOCKING_CALLS.contains(&c.name.as_str()) && !fact.may_hard_block {
+                        fact.may_hard_block = true;
+                        fact.hard_witness = Some(format!("`{}`", c.name));
+                    }
+                    if let Some(class) = manifest.classify(&c.name, c.is_method, &c.chain, &pf.path)
+                    {
+                        if !fact.acquires.contains(&class.name) {
+                            fact.acquires.push(class.name.clone());
+                        }
+                    }
+                }
+                for p in &pf.panics[ni] {
+                    if !p.under_barrier && !fact.may_panic {
+                        fact.may_panic = true;
+                        fact.panic_witness = Some(format!("`{}`", p.what));
+                    }
+                }
+                // Subscript panics count only in wire-path entry files,
+                // where the rule demands get()-style access.
+                if manifest.is_entry_file(&pf.path) && !fact.may_panic {
+                    if let Some(s) = pf.subscripts[ni].iter().find(|s| !s.under_barrier) {
+                        fact.may_panic = true;
+                        fact.panic_witness =
+                            Some(format!("indexing at {}:{}", pf.path, s.line));
+                    }
+                }
+            }
+        }
+        let mut g = Graph { files, by_name, impl_types, field_types, facts };
+        g.fixpoint(manifest);
+        g
+    }
+
+    /// Resolves a call made from `caller` to candidate fns. Applies the
+    /// forwarding cutoff, then type narrowing: an explicit `narrow_type`
+    /// (guard narrowing, walker-only knowledge) wins; otherwise the
+    /// receiver type is derived from the call shape ([`Self::derive_types`]).
+    /// `exclude_impl` drops candidates from a named impl block — used
+    /// when calling through a guard of a generic-inner mutex, whose
+    /// deref target is never the wrapper type itself.
+    pub fn resolve(
+        &self,
+        call: &Call,
+        caller: FnId,
+        narrow_type: Option<&str>,
+        exclude_impl: Option<&str>,
+    ) -> Vec<FnId> {
+        if call.name == self.files[caller.0].fns[caller.1].name {
+            return Vec::new(); // forwarding cutoff
+        }
+        let Some(cands) = self.by_name.get(call.name.as_str()) else { return Vec::new() };
+        let narrow: Option<Vec<String>> = match narrow_type {
+            Some(t) => Some(vec![t.to_string()]),
+            None => self.derive_types(call, caller),
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&(fi, ni)| {
+                let it = self.files[fi].fns[ni].impl_type.as_deref();
+                if exclude_impl.is_some() && it == exclude_impl {
+                    return false;
+                }
+                match &narrow {
+                    Some(tys) => it.is_some_and(|t| tys.iter().any(|x| x == t)),
+                    None => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Receiver types derivable from the call shape alone; `None` means
+    /// no knowledge — resolution stays wide. Five sources, each exact
+    /// enough to trust (a wrong type would *hide* edges, so each is
+    /// deliberately narrow):
+    ///
+    /// * `Qual::name(...)` — the path qualifier is the impl type
+    ///   (`Self` maps to the caller's own impl block);
+    /// * `self.meth(...)` / `self.field.meth(...)` — the caller's impl
+    ///   type, or the field's declared type from this file's structs
+    ///   (adapter hops like `get`/`ok_or` are looked through);
+    /// * `owner.field.meth(...)` — a receiver hop with an owner to its
+    ///   right is necessarily a field projection (locals and params only
+    ///   appear as the *outermost* hop), so it narrows to every type the
+    ///   workspace declares for a field of that name; an unknown field
+    ///   name stays wide;
+    /// * `local.meth(...)` where `local` was bound by a constructor
+    ///   (`let w = Writer::new(..)`);
+    /// * `param.meth(...)` where the parameter's declared type is a
+    ///   workspace impl type, or a primitive/slice shape (which resolves
+    ///   to nothing). Generic / `dyn` / foreign-typed params stay wide.
+    fn derive_types(&self, call: &Call, caller: FnId) -> Option<Vec<String>> {
+        let cf = &self.files[caller.0];
+        let cfn = &cf.fns[caller.1];
+        if let Some(q) = &call.qualifier {
+            return if q == "Self" {
+                cfn.impl_type.clone().map(|t| vec![t])
+            } else {
+                Some(vec![q.clone()])
+            };
+        }
+        if !call.is_method {
+            return None;
+        }
+        let hop = crate::manifest::receiver_of(&call.chain)?;
+        if hop == "self" {
+            return cfn.impl_type.clone().map(|t| vec![t]);
+        }
+        if call.chain.last().is_some_and(|l| l == "self") {
+            // `self.field.…` — the field's declared type, if this file
+            // declares it; an unknown field stays wide.
+            return cf.fields.get(hop.as_str()).cloned();
+        }
+        if call.chain.last().is_some_and(|outer| outer != hop) {
+            // `owner.field.meth(..)` — an inner hop is always a field
+            // projection of some struct, so the union of declared types
+            // for that field name bounds the receiver.
+            return self.field_types.get(hop.as_str()).cloned();
+        }
+        if let Some((_, ty)) = cf.binds[caller.1].iter().rev().find(|(n, _)| n == hop) {
+            return Some(vec![ty.clone()]);
+        }
+        if let Some((_, ty)) = cfn.params.iter().find(|(n, _)| n == hop) {
+            if ty == crate::parser::PRIM_MARKER {
+                return Some(Vec::new()); // slice/primitive: no candidates
+            }
+            if self.impl_types.contains(ty.as_str()) {
+                return Some(vec![ty.clone()]);
+            }
+            return None; // generic or foreign type: stay wide
+        }
+        None
+    }
+
+    /// Iterates the transitive facts to a fixpoint. Resolution here is
+    /// wide (no guard narrowing): narrowing needs guard-scope context,
+    /// which only the walker has — the facts are upper bounds, and the
+    /// walker applies narrowing at the points where precision matters.
+    fn fixpoint(&mut self, _manifest: &Manifest) {
+        loop {
+            let mut changed = false;
+            for fi in 0..self.files.len() {
+                let pf = &self.files[fi];
+                for ni in 0..pf.fns.len() {
+                    if pf.fns[ni].in_test {
+                        continue;
+                    }
+                    for c in &pf.calls[ni] {
+                        if is_condvar_wait(&c.name) {
+                            continue;
+                        }
+                        for (tf, tn) in self.resolve(c, (fi, ni), None, None) {
+                            // Split-borrow via cloning the (tiny) callee facts.
+                            let callee = self.facts[tf][tn].clone();
+                            let fact = &mut self.facts[fi][ni];
+                            if callee.may_block && !fact.may_block {
+                                fact.may_block = true;
+                                fact.block_witness = Some(format!(
+                                    "`{}` → {}",
+                                    c.name,
+                                    callee.block_witness.as_deref().unwrap_or("?")
+                                ));
+                                changed = true;
+                            }
+                            if callee.may_hard_block && !fact.may_hard_block {
+                                fact.may_hard_block = true;
+                                fact.hard_witness = Some(format!(
+                                    "`{}` → {}",
+                                    c.name,
+                                    callee.hard_witness.as_deref().unwrap_or("?")
+                                ));
+                                changed = true;
+                            }
+                            if !c.under_barrier && callee.may_panic && !fact.may_panic {
+                                fact.may_panic = true;
+                                fact.panic_witness = Some(format!(
+                                    "`{}` → {}",
+                                    c.name,
+                                    callee.panic_witness.as_deref().unwrap_or("?")
+                                ));
+                                changed = true;
+                            }
+                            for a in &callee.acquires {
+                                if !fact.acquires.contains(a) {
+                                    fact.acquires.push(a.clone());
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Facts for one fn.
+    pub fn fact(&self, id: FnId) -> &FnFacts {
+        &self.facts[id.0][id.1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> (Vec<ParsedFile>, Manifest) {
+        let m = manifest::parse(manifest::DEFAULT_MANIFEST).unwrap();
+        let files: Vec<ParsedFile> = srcs
+            .iter()
+            .map(|(p, s)| crate::parser::parse(p, crate::lexer::lex(s), &m.barriers))
+            .collect();
+        (files, m)
+    }
+
+    #[test]
+    fn blocking_propagates_transitively_with_witness() {
+        let (files, m) = graph_of(&[(
+            "crates/net/src/x.rs",
+            "fn leaf(s: &mut S) { s.sock.write_all(b\"x\"); }\n\
+             fn mid(s: &mut S) { leaf(s); }\n\
+             fn top(s: &mut S) { mid(s); }\n",
+        )]);
+        let g = Graph::build(&files, &m);
+        assert!(g.fact((0, 2)).may_block);
+        let w = g.fact((0, 2)).block_witness.clone().unwrap();
+        assert!(w.contains("mid") && w.contains("write_all"), "{w}");
+    }
+
+    #[test]
+    fn forwarding_cutoff_stops_self_name_recursion() {
+        let (files, m) = graph_of(&[(
+            "crates/net/src/x.rs",
+            "fn handle(h: &H) { h.inner.handle(); }\n\
+             fn other(h: &H) { h.handle(); }\n",
+        )]);
+        let g = Graph::build(&files, &m);
+        // `handle` calling `.handle()` resolves to nothing (cutoff),
+        // `other` calling `.handle()` resolves to `handle`.
+        assert!(!g.fact((0, 0)).may_block);
+        let call = files[0].calls[1].iter().find(|c| c.name == "handle").unwrap();
+        assert_eq!(g.resolve(call, (0, 1), None, None).len(), 1);
+        assert!(g.resolve(call, (0, 0), None, None).is_empty());
+    }
+
+    #[test]
+    fn panic_barrier_blocks_propagation() {
+        let (files, m) = graph_of(&[(
+            "crates/net/src/x.rs",
+            "fn danger(x: Option<u8>) { x.unwrap(); }\n\
+             fn guarded() { catch_unwind(|| danger(None)); }\n\
+             fn exposed() { danger(None); }\n",
+        )]);
+        let g = Graph::build(&files, &m);
+        assert!(g.fact((0, 0)).may_panic);
+        assert!(!g.fact((0, 1)).may_panic, "barrier must contain the panic");
+        assert!(g.fact((0, 2)).may_panic);
+    }
+
+    #[test]
+    fn acquires_cross_crate_and_test_fns_excluded() {
+        let (files, m) = graph_of(&[
+            (
+                "crates/core/src/shard.rs",
+                "impl S { fn lock_front(&self) { self.front.lock(); } }\n\
+                 #[cfg(test)]\nmod tests { fn t() { takes_locks(); } }\n",
+            ),
+            ("crates/net/src/y.rs", "fn takes_locks(s: &S) { s.lock_front(); }\n"),
+        ]);
+        let g = Graph::build(&files, &m);
+        assert_eq!(g.fact((0, 0)).acquires, vec!["front".to_string()]);
+        assert_eq!(g.fact((1, 0)).acquires, vec!["front".to_string()]);
+    }
+
+    #[test]
+    fn narrowing_restricts_to_impl_type() {
+        let (files, m) = graph_of(&[(
+            "crates/net/src/x.rs",
+            "impl A { fn work(&self) { std::thread::sleep(d); } }\n\
+             impl B { fn work(&self) {} }\n\
+             fn call<T>(b: &T) { b.work(); }\n",
+        )]);
+        let g = Graph::build(&files, &m);
+        let call = files[0].calls[2].iter().find(|c| c.name == "work").unwrap();
+        assert_eq!(g.resolve(call, (0, 2), None, None).len(), 2);
+        let narrowed = g.resolve(call, (0, 2), Some("B"), None);
+        assert_eq!(narrowed.len(), 1);
+        assert!(!g.fact(narrowed[0]).may_block);
+    }
+
+    #[test]
+    fn derived_narrowing_qualifier_field_and_binding() {
+        let (files, m) = graph_of(&[(
+            "crates/net/src/x.rs",
+            "struct S { dev: Disk }\n\
+             impl Disk { fn new() -> Disk { Disk } fn spin(&self) { std::thread::sleep(d); } }\n\
+             impl Tape { fn new() -> Tape { assert!(false); Tape } fn spin(&self) {} }\n\
+             impl S {\n\
+               fn a(&self) { self.dev.spin(); }\n\
+               fn b(&self) { let t = Tape::new(); t.spin(); }\n\
+               fn c(&self) { Disk::new(); }\n\
+               fn d(&self, x: &X) { x.spin(); }\n\
+             }\n",
+        )]);
+        let g = Graph::build(&files, &m);
+        let by = |n: &str| files[0].fns.iter().position(|f| f.name == n).unwrap();
+        let call_in = |ni: usize, name: &str| {
+            files[0].calls[ni].iter().find(|c| c.name == name).unwrap()
+        };
+        // Field type: self.dev is a Disk — only Disk::spin (blocking).
+        let a = g.resolve(call_in(by("a"), "spin"), (0, by("a")), None, None);
+        assert_eq!(a.len(), 1);
+        assert!(g.fact(a[0]).may_block);
+        // Constructor binding: t is a Tape — only Tape::spin (clean).
+        let b = g.resolve(call_in(by("b"), "spin"), (0, by("b")), None, None);
+        assert_eq!(b.len(), 1);
+        assert!(!g.fact(b[0]).may_block);
+        // Qualifier: Disk::new, not Tape::new (which panics).
+        let c = g.resolve(call_in(by("c"), "new"), (0, by("c")), None, None);
+        assert_eq!(c.len(), 1);
+        assert!(!g.fact(c[0]).may_panic);
+        // Unknown receiver stays wide: both spins are candidates.
+        let d = g.resolve(call_in(by("d"), "spin"), (0, by("d")), None, None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn param_narrowing_prims_impls_and_generics() {
+        let (files, m) = graph_of(&[(
+            "crates/net/src/x.rs",
+            "impl Q { fn len(&self) -> usize { self.q.lock(); 0 } }\n\
+             impl Disk { fn spin(&self) { std::thread::sleep(d); } }\n\
+             impl Tape { fn spin(&self) {} }\n\
+             fn slice_read(buf: &mut [u8]) { buf.len(); }\n\
+             fn scalar(n: usize) { n.len(); }\n\
+             fn typed(d: &Disk) { d.spin(); }\n\
+             fn generic<H>(h: &H) { h.spin(); }\n\
+             fn dynamic(h: &dyn Spin) { h.spin(); }\n",
+        )]);
+        let g = Graph::build(&files, &m);
+        let by = |n: &str| files[0].fns.iter().position(|f| f.name == n).unwrap();
+        let call_in = |ni: usize, name: &str| {
+            files[0].calls[ni].iter().find(|c| c.name == name).unwrap()
+        };
+        // Slice/primitive params resolve to nothing: `buf.len()` must
+        // not widen onto Q's locking `len`.
+        let ni = by("slice_read");
+        assert!(g.resolve(call_in(ni, "len"), (0, ni), None, None).is_empty());
+        assert!(!g.fact((0, ni)).may_block, "slice len() is not Q::len");
+        let ni = by("scalar");
+        assert!(g.resolve(call_in(ni, "len"), (0, ni), None, None).is_empty());
+        // A workspace-impl-typed param narrows to that impl.
+        let ni = by("typed");
+        let r = g.resolve(call_in(ni, "spin"), (0, ni), None, None);
+        assert_eq!(r.len(), 1);
+        assert!(g.fact(r[0]).may_block);
+        // Generic and trait-object params stay conservatively wide.
+        for f in ["generic", "dynamic"] {
+            let ni = by(f);
+            assert_eq!(g.resolve(call_in(ni, "spin"), (0, ni), None, None).len(), 2, "{f}");
+        }
+    }
+
+    #[test]
+    fn inner_hop_field_projection_narrows_across_files() {
+        // `front.stats.record(..)`: `front` is an untyped local, but
+        // `stats` has an owner hop to its right, so it must be a field —
+        // the workspace declares only `Meter.stats: Hist`, and
+        // Hist::record is clean while Matrix::record panics.
+        let (files, m) = graph_of(&[
+            (
+                "crates/net/src/x.rs",
+                "struct Meter { stats: Hist }\n\
+                 impl Hist { fn record(&mut self, v: u64) {} }\n\
+                 impl Matrix { fn record(&mut self, v: u64) { assert!(v > 0); } }\n",
+            ),
+            (
+                "crates/net/src/y.rs",
+                "fn tick(&self) { let front = self.lock_front(); front.stats.record(1); }\n\
+                 fn loose(&self) { let s = opaque(); s.record(1); }\n",
+            ),
+        ]);
+        let g = Graph::build(&files, &m);
+        let call_in = |ni: usize, name: &str| {
+            files[1].calls[ni].iter().find(|c| c.name == name).unwrap()
+        };
+        let r = g.resolve(call_in(0, "record"), (1, 0), None, None);
+        assert_eq!(r.len(), 1, "field projection narrows to Hist::record");
+        assert!(!g.fact(r[0]).may_panic);
+        // A bare untracked local stays wide over both impls.
+        assert_eq!(g.resolve(call_in(1, "record"), (1, 1), None, None).len(), 2);
+    }
+}

@@ -11,6 +11,10 @@ pub const RULES: &[&str] = &[
     "no-truncating-cast",
     "unsafe-budget",
     "paired-symbols",
+    "lock-order",
+    "no-blocking-under-lock",
+    "panic-reach",
+    "wire-bytes-conservation",
 ];
 
 /// Scope: which path prefixes a rule applies to.
@@ -29,6 +33,8 @@ pub struct Config {
     pub scopes: Vec<Scope>,
     /// Prefixes where `unsafe` is budgeted (still requires `// SAFETY:`).
     pub unsafe_allowed: Vec<&'static str>,
+    /// The lock-order manifest driving the call-graph rules.
+    pub manifest: crate::manifest::Manifest,
 }
 
 impl Config {
@@ -82,12 +88,45 @@ impl Config {
                     rule: "paired-symbols",
                     include: vec!["crates/net/src/codec.rs", "crates/core/src/protocol.rs"],
                 },
+                // Call-graph tier (DESIGN.md §8): everywhere the named
+                // mutex family lives. Scope governs where findings land;
+                // the graph itself spans every parsed file.
+                Scope {
+                    rule: "lock-order",
+                    include: vec!["crates/core/src", "crates/net/src"],
+                },
+                Scope {
+                    rule: "no-blocking-under-lock",
+                    include: vec!["crates/core/src", "crates/net/src"],
+                },
+                // Wire-path entry files are named by the manifest; the
+                // scope just bounds which files the walker reports on.
+                Scope { rule: "panic-reach", include: vec!["crates/net/src"] },
+                Scope {
+                    rule: "wire-bytes-conservation",
+                    include: vec!["crates/net/src/codec.rs", "crates/core/src/protocol.rs"],
+                },
             ],
             // SIMD kernels in tensor, plus the event loop's poll(2)/epoll
             // FFI shim — the registry is offline, so the syscall surface
             // is declared by hand in exactly one file.
             unsafe_allowed: vec!["crates/tensor/src", "crates/net/src/poll.rs"],
+            manifest: crate::manifest::parse(crate::manifest::DEFAULT_MANIFEST)
+                .expect("embedded audit-lock-order.toml must parse"),
         }
+    }
+
+    /// Like [`Config::default_for_workspace`], but loads the manifest
+    /// from `<root>/audit-lock-order.toml` when present so local edits
+    /// take effect without rebuilding the tool.
+    pub fn for_workspace_root(root: &std::path::Path) -> Result<Self, String> {
+        let mut cfg = Self::default_for_workspace();
+        let path = root.join("audit-lock-order.toml");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            cfg.manifest = crate::manifest::parse(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok(cfg)
     }
 
     /// Does `rule` apply to the file at `rel_path` (always `/`-separated)?
@@ -106,7 +145,7 @@ impl Config {
 
 /// Component-wise prefix match: `crates/net/src` matches
 /// `crates/net/src/tcp.rs` but `crates/net` does NOT match `crates/nettle`.
-fn path_has_prefix(path: &str, prefix: &str) -> bool {
+pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
     match path.strip_prefix(prefix) {
         Some(rest) => rest.is_empty() || rest.starts_with('/'),
         None => false,

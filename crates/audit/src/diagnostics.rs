@@ -1,4 +1,4 @@
-//! Findings and their rustc-style rendering.
+//! Findings, their rustc-style rendering, and the `--json` line format.
 
 use std::fmt;
 
@@ -15,13 +15,65 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Suppressed by a justified `dgs::allow` comment. Waived findings
+    /// are kept (for `--json` and waiver accounting) but do not fail
+    /// the audit.
+    pub waived: bool,
+    /// Whether a waiver *may* suppress this finding. Lock-order cycles
+    /// are unwaivable: a deadlock cannot be justified into correctness.
+    pub waivable: bool,
 }
 
 impl Finding {
     /// Shorthand constructor used by the rules.
     pub fn new(rule: &str, path: &str, line: u32, col: u32, message: String) -> Self {
-        Finding { rule: rule.to_string(), path: path.to_string(), line, col, message }
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            col,
+            message,
+            waived: false,
+            waivable: true,
+        }
     }
+
+    /// A finding no waiver can suppress (lock-order cycles).
+    pub fn unwaivable(rule: &str, path: &str, line: u32, col: u32, message: String) -> Self {
+        Finding { waivable: false, ..Finding::new(rule, path, line, col, message) }
+    }
+
+    /// One-line JSON object for `--json` output.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"waived\":{}}}",
+            json_str(&self.rule),
+            json_str(&self.path),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            self.waived
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Finding {
@@ -31,21 +83,32 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Renders all findings plus a one-line summary, rustc-style.
+/// Renders unwaived findings plus a one-line summary, rustc-style.
 pub fn render_report(findings: &[Finding]) -> String {
     let mut out = String::new();
-    for f in findings {
+    let active: Vec<&Finding> = findings.iter().filter(|f| !f.waived).collect();
+    for f in &active {
         out.push_str(&f.to_string());
         out.push_str("\n\n");
     }
-    if findings.is_empty() {
+    if active.is_empty() {
         out.push_str("dgs-audit: clean (0 findings)\n");
     } else {
         out.push_str(&format!(
             "dgs-audit: {} finding{} — fix or waive with `// dgs::allow(<rule>): <why>`\n",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" }
+            active.len(),
+            if active.len() == 1 { "" } else { "s" }
         ));
+    }
+    out
+}
+
+/// Renders every finding (waived included) as one JSON object per line.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_json_line());
+        out.push('\n');
     }
     out
 }
@@ -63,10 +126,33 @@ mod tests {
     }
 
     #[test]
-    fn report_summarizes() {
+    fn report_summarizes_and_skips_waived() {
         assert!(render_report(&[]).contains("clean"));
         let f = Finding::new("waiver", "a.rs", 1, 1, "m".to_string());
-        let r = render_report(&[f.clone(), f]);
+        let mut waived = f.clone();
+        waived.waived = true;
+        let r = render_report(&[f.clone(), f, waived]);
         assert!(r.contains("2 findings"));
+    }
+
+    #[test]
+    fn json_lines_escape_and_carry_waived_flag() {
+        let mut f =
+            Finding::new("lock-order", "crates/net/src/edge.rs", 3, 7, "say \"hi\"\n".to_string());
+        f.waived = true;
+        let j = f.to_json_line();
+        assert_eq!(
+            j,
+            "{\"rule\":\"lock-order\",\"path\":\"crates/net/src/edge.rs\",\"line\":3,\
+             \"col\":7,\"message\":\"say \\\"hi\\\"\\n\",\"waived\":true}"
+        );
+        assert!(render_json(&[f.clone(), f]).lines().count() == 2);
+    }
+
+    #[test]
+    fn unwaivable_constructor_clears_the_flag() {
+        let f = Finding::unwaivable("lock-order", "a.rs", 1, 1, "cycle".to_string());
+        assert!(!f.waivable);
+        assert!(!f.waived);
     }
 }

@@ -1,4 +1,5 @@
-//! CLI entry point: `dgs-audit --workspace [--root DIR] [--rule NAME]...`
+//! CLI entry point:
+//! `dgs-audit --workspace [--root DIR] [--rule NAME]... [--json]`
 //!
 //! Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
 
@@ -18,6 +19,9 @@ OPTIONS:
     --workspace      audit src/ and crates/*/src/ under the root
     --root DIR       workspace root (default: current directory)
     --rule NAME      run only the named rule(s); repeatable
+    --json           one JSON object per finding (waived ones included,
+                     flagged \"waived\":true); exit code still counts
+                     only unwaived findings
     --list-rules     print the rule names and exit
     --help           this text
 ";
@@ -25,11 +29,13 @@ OPTIONS:
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut workspace = false;
+    let mut json = false;
     let mut root = PathBuf::from(".");
     let mut only: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage_error("--root needs a directory"),
@@ -68,12 +74,22 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    let cfg = Config::default_for_workspace();
+    let cfg = match Config::for_workspace_root(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("dgs-audit: bad lock-order manifest: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let only = if only.is_empty() { None } else { Some(only) };
     match check_workspace(&root, &cfg, only.as_deref()) {
         Ok(findings) => {
-            print!("{}", diagnostics::render_report(&findings));
-            if findings.is_empty() {
+            if json {
+                print!("{}", diagnostics::render_json(&findings));
+            } else {
+                print!("{}", diagnostics::render_report(&findings));
+            }
+            if findings.iter().all(|f| f.waived) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

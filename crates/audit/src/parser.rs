@@ -1,0 +1,1015 @@
+//! Lightweight item parser on top of [`crate::lexer`]: `fn` items with
+//! impl-block context, call sites with receiver chains, panic sites,
+//! subscript sites, and integer consts — everything the call-graph
+//! rules ([`crate::graph_rules`]) need, and nothing more.
+//!
+//! Still std-only and hand-rolled (no `syn`): the audit must build with
+//! bare `rustc` offline. The parser is deliberately approximate — it is
+//! a linter front-end, not a compiler — and each approximation errs
+//! conservative for the rules that consume it (see the notes on the
+//! individual extractors).
+
+use crate::lexer::{self, Lexed, Tok, TokKind};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare fn name.
+    pub name: String,
+    /// Self-type name of the enclosing `impl` block (`impl Foo` or
+    /// `impl Trait for Foo` both give `Foo`), if any.
+    pub impl_type: Option<String>,
+    /// Declared `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Token indices of the body `{` and its matching `}`; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Declared parameters, `(name, type)`. Primitive scalars, slices,
+    /// arrays, and tuples carry the [`PRIM_MARKER`] type — no workspace
+    /// `impl` can target them, so resolution drops every candidate.
+    /// Generic, `dyn`, and `impl Trait` params are omitted: their calls
+    /// stay conservatively wide.
+    pub params: Vec<(String, String)>,
+}
+
+/// Parameter-type marker for primitive/slice/tuple shapes (see
+/// [`FnItem::params`]).
+pub const PRIM_MARKER: &str = "<prim>";
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (method or free fn; macros are excluded).
+    pub name: String,
+    /// Method-call form (`recv.name(...)`).
+    pub is_method: bool,
+    /// Path qualifier of a `Qual::name(...)` call — the nearest path
+    /// segment (`std::io::Error::new` gives `Error`). Resolution uses
+    /// it to narrow candidates to `impl Qual` blocks.
+    pub qualifier: Option<String>,
+    /// Receiver idents, nearest first: `self.applied.get(w)?.lock()`
+    /// gives `["get", "applied", "self"]` for the `lock` call.
+    pub chain: Vec<String>,
+    /// Inside the argument list of an unwind-barrier call.
+    pub under_barrier: bool,
+    /// 1-based source position of the callee token.
+    pub line: u32,
+    /// Column of the callee token.
+    pub col: u32,
+    /// Token index of the callee ident.
+    pub tok: usize,
+    /// Token index of the opening `(`.
+    pub args_open: usize,
+}
+
+/// A direct panic site (method or macro form).
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What panics: `unwrap`, `expect`, `panic!`, `assert_eq!`, …
+    pub what: String,
+    /// Inside the argument list of an unwind-barrier call.
+    pub under_barrier: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A subscript (`x[...]`) site — a potential slice-index panic.
+#[derive(Debug, Clone)]
+pub struct SubscriptSite {
+    /// Inside the argument list of an unwind-barrier call.
+    pub under_barrier: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// An `enum` definition (for wire-bytes conservation).
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant `(name, line)` pairs.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// One fully parsed file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// The token stream and comments.
+    pub lexed: Lexed,
+    /// `#[cfg(test)]` line regions.
+    pub test_regions: Vec<(u32, u32)>,
+    /// All fn items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Per-fn call sites (parallel to `fns`).
+    pub calls: Vec<Vec<Call>>,
+    /// Per-fn direct panic sites (parallel to `fns`).
+    pub panics: Vec<Vec<PanicSite>>,
+    /// Per-fn subscript sites (parallel to `fns`).
+    pub subscripts: Vec<Vec<SubscriptSite>>,
+    /// Integer consts resolvable within this file: `(name, value)`.
+    pub consts: Vec<(String, u64)>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+    /// Struct field types declared in this file: field name → the
+    /// possible types (first path segment, `Arc`/`Rc`/`Box` unwrapped).
+    /// Feeds receiver-type narrowing for `self.field.meth()` calls.
+    pub fields: std::collections::BTreeMap<String, Vec<String>>,
+    /// Per-fn constructor bindings (parallel to `fns`): `let w =
+    /// Writer::new(..)` records `("w", "Writer")` so later `w.meth()`
+    /// calls narrow to `impl Writer`.
+    pub binds: Vec<Vec<(String, String)>>,
+}
+
+/// Words that look like `ident (` but are never calls.
+const NOT_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "as", "in", "move", "ref", "mut",
+    "use", "pub", "impl", "where", "unsafe", "else", "break", "continue", "struct", "enum",
+    "trait", "mod", "const", "static", "type", "dyn", "fn", "crate", "super", "Some", "Ok",
+    "Err", "None",
+];
+
+/// Macro names whose invocation is a panic site. `debug_assert*` is
+/// deliberately excluded: compiled out of release builds, owned by the
+/// differential tests.
+const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// Parses one lexed file. `barriers` are the unwind-barrier call names
+/// from the manifest (`catch_unwind`, `guard`): everything inside their
+/// argument list is marked `under_barrier`.
+pub fn parse(path: &str, lexed: Lexed, barriers: &[String]) -> ParsedFile {
+    let toks = &lexed.toks;
+    let test_regions = lexer::cfg_test_regions(toks);
+    let impls = impl_regions(toks);
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_ident(&toks[i], "fn") {
+            // `fn` in `impl Fn(...)` bounds lexes as `Fn` (uppercase) —
+            // this really is an item or trait-method header.
+            if let Some(item) = parse_fn(toks, i, &impls, &test_regions) {
+                let skip_to = item.body.map(|(open, _)| open).unwrap_or(i + 1);
+                fns.push(item);
+                // Do not skip past the body: nested fns are parsed too
+                // (their calls are attributed to both — conservative).
+                i = skip_to + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let mut calls = Vec::with_capacity(fns.len());
+    let mut panics = Vec::with_capacity(fns.len());
+    let mut subscripts = Vec::with_capacity(fns.len());
+    let mut binds = Vec::with_capacity(fns.len());
+    for f in &fns {
+        let (c, p, s, b) = match f.body {
+            Some((open, close)) => scan_body(toks, open, close, barriers),
+            None => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+        };
+        calls.push(c);
+        panics.push(p);
+        subscripts.push(s);
+        binds.push(b);
+    }
+    let consts = collect_consts(toks);
+    let enums = collect_enums(toks);
+    let fields = collect_fields(toks);
+    ParsedFile {
+        path: path.to_string(),
+        lexed,
+        test_regions,
+        fns,
+        calls,
+        panics,
+        subscripts,
+        consts,
+        enums,
+        fields,
+        binds,
+    }
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// `impl` block regions: `(body_open, body_close, self_type)`.
+fn impl_regions(toks: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "impl") {
+            i += 1;
+            continue;
+        }
+        // Walk the header: `impl<G> Trait<X> for Type<Y> where … {`.
+        // The self type is the first ident after `for` if present, else
+        // the first ident after the (optional) generic params.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut first_ty: Option<String> = None;
+        let mut for_ty: Option<String> = None;
+        let mut after_for = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "{" if angle <= 0 => break,
+                    ";" => break, // `impl Trait for Type;`-ish garbage: bail
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && angle <= 0 {
+                if t.text == "for" {
+                    after_for = true;
+                } else if t.text == "where" {
+                    // Self type is decided by now.
+                } else if after_for && for_ty.is_none() {
+                    for_ty = Some(t.text.clone());
+                } else if first_ty.is_none() {
+                    first_ty = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        if j < toks.len() && is_punct(&toks[j], "{") {
+            let close = lexer::matching_close(toks, j, "{", "}");
+            if let Some(ty) = for_ty.or(first_ty) {
+                out.push((j, close, ty));
+            }
+            // Continue scanning *inside* the impl too (nested impls are
+            // not a thing, but fns are found by the caller anyway).
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Parses one `fn` item starting at the `fn` keyword token.
+fn parse_fn(
+    toks: &[Tok],
+    fn_idx: usize,
+    impls: &[(usize, usize, String)],
+    test_regions: &[(u32, u32)],
+) -> Option<FnItem> {
+    let name_tok = toks.get(fn_idx + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Find the body `{` (paren/bracket depth 0, outside generics) or a
+    // `;` meaning a bodyless trait-method declaration.
+    let mut j = fn_idx + 2;
+    let mut paren = 0i32;
+    let mut body = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" if paren == 0 => {
+                    body = Some((j, lexer::matching_close(toks, j, "{", "}")));
+                    break;
+                }
+                ";" if paren == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    // Visibility: scan back over `pub`, `pub(crate)`, `unsafe`, `const`,
+    // `async`, `extern "C"` qualifiers.
+    let mut is_pub = false;
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        let qualifier = (t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "pub" | "crate" | "super" | "in" | "unsafe" | "const" | "async" | "extern"))
+            || (t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | ")"))
+            || t.kind == TokKind::Str;
+        if !qualifier {
+            break;
+        }
+        if is_ident(t, "pub") {
+            is_pub = true;
+        }
+    }
+    let impl_type = body.and_then(|(open, _)| {
+        impls
+            .iter()
+            .find(|(io, ic, _)| open > *io && open < *ic)
+            .map(|(_, _, ty)| ty.clone())
+    });
+    // Parameter list: `name: Type` entries at paren depth 1. Patterns
+    // (`(a, b): (T, U)`) sit at depth 2 and are skipped.
+    let mut params = Vec::new();
+    let mut j = fn_idx + 2;
+    let mut angle = 0i32;
+    let popen = loop {
+        let Some(t) = toks.get(j) else { break None };
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" if angle <= 0 => break Some(j),
+                "{" | ";" if angle <= 0 => break None,
+                _ => {}
+            }
+        }
+        j += 1;
+    };
+    if let Some(open) = popen {
+        let close = lexer::matching_close(toks, open, "(", ")");
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+                continue;
+            }
+            if depth == 1
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "self" | "mut" | "ref")
+                && toks.get(k + 1).is_some_and(|n| is_punct(n, ":"))
+                && !toks.get(k + 2).is_some_and(|n| is_punct(n, ":"))
+            {
+                if let Some(ty) = param_type(toks, k + 2, close) {
+                    params.push((t.text.clone(), ty));
+                }
+                // Skip the type expression to its `,` at list depth.
+                let mut tdepth = 0i32;
+                k += 2;
+                while k < close {
+                    match (toks[k].kind, toks[k].text.as_str()) {
+                        (TokKind::Punct, "(")
+                        | (TokKind::Punct, "[")
+                        | (TokKind::Punct, "{")
+                        | (TokKind::Punct, "<") => tdepth += 1,
+                        (TokKind::Punct, ")")
+                        | (TokKind::Punct, "]")
+                        | (TokKind::Punct, "}")
+                        | (TokKind::Punct, ">") => tdepth -= 1,
+                        (TokKind::Punct, ",") if tdepth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            k += 1;
+        }
+    }
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        impl_type,
+        is_pub,
+        in_test: lexer::in_regions(test_regions, toks[fn_idx].line),
+        line: toks[fn_idx].line,
+        col: toks[fn_idx].col,
+        body,
+        params,
+    })
+}
+
+/// Constructor-shaped associated fns: `let x = Type::new(..)` is taken
+/// as evidence that `x: Type`. Deliberately short — an arbitrary
+/// `Type::helper()` may return anything, and a wrong binding type would
+/// *hide* edges rather than widen them.
+const CONSTRUCTORS: &[&str] = &["new", "with_capacity", "default", "from"];
+
+/// Extracts calls, panic sites, subscript sites, and constructor
+/// bindings from a body range.
+fn scan_body(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    barriers: &[String],
+) -> (Vec<Call>, Vec<PanicSite>, Vec<SubscriptSite>, Vec<(String, String)>) {
+    let mut calls = Vec::new();
+    let mut panics = Vec::new();
+    let mut subs = Vec::new();
+    let mut binds = Vec::new();
+    // Close-paren token indices of active barrier call argument lists.
+    let mut barrier_ends: Vec<usize> = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        barrier_ends.retain(|&e| e > i);
+        let under_barrier = !barrier_ends.is_empty();
+        let t = &toks[i];
+        // Skip attribute contents: `#[...]`.
+        if is_punct(t, "#") && toks.get(i + 1).is_some_and(|n| is_punct(n, "[")) {
+            i = lexer::matching_close(toks, i + 1, "[", "]") + 1;
+            continue;
+        }
+        if is_ident(t, "let") {
+            // `let [mut] name = [path::]Type::ctor(...)` — a constructor
+            // binding whose type is trusted for receiver narrowing.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| is_ident(t, "mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(j + 1).is_some_and(|t| is_punct(t, "="))
+                && !toks.get(j + 2).is_some_and(|t| is_punct(t, "=") || is_punct(t, ">"))
+            {
+                let name = toks[j].text.clone();
+                let mut k = j + 2;
+                let mut last_ty: Option<String> = None;
+                while toks.get(k).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(k + 1).is_some_and(|t| is_punct(t, ":"))
+                    && toks.get(k + 2).is_some_and(|t| is_punct(t, ":"))
+                    && toks.get(k + 3).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    last_ty = Some(toks[k].text.clone());
+                    k += 3;
+                }
+                if let Some(ty) = last_ty {
+                    if toks.get(k).is_some_and(|t| {
+                        t.kind == TokKind::Ident && CONSTRUCTORS.contains(&t.text.as_str())
+                    }) && toks.get(k + 1).is_some_and(|t| is_punct(t, "("))
+                    {
+                        binds.push((name, ty));
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            let next = toks.get(i + 1);
+            // Macro invocation `name!(…)` / `name![…]` / `name!{…}`.
+            if next.is_some_and(|n| is_punct(n, "!"))
+                && toks.get(i + 2).is_some_and(|n| {
+                    n.kind == TokKind::Punct && matches!(n.text.as_str(), "(" | "[" | "{")
+                })
+            {
+                if PANIC_MACROS.contains(&t.text.as_str()) {
+                    panics.push(PanicSite {
+                        what: format!("{}!", t.text),
+                        under_barrier,
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                i += 2;
+                continue;
+            }
+            // Call `name(…)`.
+            if next.is_some_and(|n| is_punct(n, "("))
+                && !NOT_CALLEES.contains(&t.text.as_str())
+                && !(i > 0 && is_ident(&toks[i - 1], "fn"))
+            {
+                let is_method = i > 0 && is_punct(&toks[i - 1], ".");
+                let chain = if is_method { receiver_chain(toks, i - 1) } else { Vec::new() };
+                let qualifier = (!is_method
+                    && i >= 3
+                    && is_punct(&toks[i - 1], ":")
+                    && is_punct(&toks[i - 2], ":")
+                    && toks[i - 3].kind == TokKind::Ident)
+                    .then(|| toks[i - 3].text.clone());
+                if matches!(t.text.as_str(), "unwrap" | "expect") && is_method {
+                    panics.push(PanicSite {
+                        what: t.text.clone(),
+                        under_barrier,
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                calls.push(Call {
+                    name: t.text.clone(),
+                    is_method,
+                    qualifier,
+                    chain,
+                    under_barrier,
+                    line: t.line,
+                    col: t.col,
+                    tok: i,
+                    args_open: i + 1,
+                });
+                if barriers.iter().any(|b| b == &t.text) {
+                    barrier_ends.push(lexer::matching_close(toks, i + 1, "(", ")"));
+                }
+                i += 1;
+                continue;
+            }
+        }
+        // Subscript `x[…]`: a `[` in postfix position. A `[` after a
+        // keyword (`let [a, b] = …`, `for x in [..]`) opens a slice
+        // pattern or array literal, not an index expression.
+        const NON_POSTFIX: &[&str] =
+            &["mut", "return", "let", "in", "ref", "if", "else", "match", "box", "break", "const"];
+        if is_punct(t, "[")
+            && i > 0
+            && (toks[i - 1].kind == TokKind::Ident
+                || is_punct(&toks[i - 1], ")")
+                || is_punct(&toks[i - 1], "]"))
+            && !NON_POSTFIX.iter().any(|k| is_ident(&toks[i - 1], k))
+        {
+            subs.push(SubscriptSite { under_barrier, line: t.line, col: t.col });
+        }
+        i += 1;
+    }
+    (calls, panics, subs, binds)
+}
+
+/// Receiver idents of a method call, nearest first, starting from the
+/// `.` token. Walks back through postfix chains: field accesses, `?`,
+/// closed call/index groups. `self.applied.get(w)?.lock()` (from the
+/// final `.`) gives `["get", "applied", "self"]`; numeric tuple fields
+/// are included as text (`self.0.lock()` → `["0", "self"]`).
+fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut k = dot; // points at a `.`
+    loop {
+        if k == 0 {
+            break;
+        }
+        let prev = &toks[k - 1];
+        match prev.kind {
+            TokKind::Ident | TokKind::Num => {
+                out.push(prev.text.clone());
+                k -= 1;
+                // Continue only through `.` or `::`.
+                if k >= 1 && is_punct(&toks[k - 1], ".") {
+                    k -= 1;
+                    continue;
+                }
+                if k >= 2 && is_punct(&toks[k - 1], ":") && is_punct(&toks[k - 2], ":") {
+                    k -= 2;
+                    continue;
+                }
+                break;
+            }
+            TokKind::Punct if prev.text == "?" => {
+                k -= 1;
+                continue;
+            }
+            TokKind::Punct if prev.text == ")" || prev.text == "]" => {
+                // Walk back to the matching opener, then keep going so
+                // the call/index target ident joins the chain.
+                let (op, cl) = if prev.text == ")" { ("(", ")") } else { ("[", "]") };
+                let mut depth = 0i32;
+                let mut m = k - 1;
+                loop {
+                    let t = &toks[m];
+                    if t.kind == TokKind::Punct && t.text == cl {
+                        depth += 1;
+                    } else if t.kind == TokKind::Punct && t.text == op {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if m == 0 {
+                        break;
+                    }
+                    m -= 1;
+                }
+                k = m;
+                continue;
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Collects `const NAME: <ty> = <int expr>;` items whose value folds
+/// from integer literals, `+`, parens, and previously collected consts.
+fn collect_consts(toks: &[Tok]) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_ident(&toks[i], "const")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident && t.text != "fn")
+            && toks.get(i + 2).is_some_and(|t| is_punct(t, ":"))
+        {
+            let name = toks[i + 1].text.clone();
+            // Find `=` then fold until `;`.
+            let mut j = i + 3;
+            while j < toks.len() && !is_punct(&toks[j], "=") && !is_punct(&toks[j], ";") {
+                j += 1;
+            }
+            if j < toks.len() && is_punct(&toks[j], "=") {
+                let mut value = Some(0u64);
+                let mut any = false;
+                let mut k = j + 1;
+                while k < toks.len() && !is_punct(&toks[k], ";") {
+                    let t = &toks[k];
+                    match t.kind {
+                        TokKind::Num => {
+                            any = true;
+                            value = value.and_then(|v| parse_int(&t.text).map(|n| v + n));
+                        }
+                        TokKind::Ident => {
+                            any = true;
+                            let known = out.iter().find(|(n, _)| n == &t.text).map(|(_, v)| *v);
+                            value = value.and_then(|v| known.map(|n| v + n));
+                        }
+                        TokKind::Punct if matches!(t.text.as_str(), "+" | "(" | ")") => {}
+                        _ => value = None,
+                    }
+                    k += 1;
+                }
+                if any {
+                    if let Some(v) = value {
+                        out.push((name, v));
+                    }
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses an integer literal with `_` separators and an optional type
+/// suffix (`20`, `4_096`, `8usize`).
+pub fn parse_int(text: &str) -> Option<u64> {
+    let split = text.find(|c: char| !c.is_ascii_digit() && c != '_').unwrap_or(text.len());
+    let (num, suffix) = text.split_at(split);
+    if num.is_empty() {
+        return None;
+    }
+    if !suffix.is_empty()
+        && !matches!(suffix, "u8" | "u16" | "u32" | "u64" | "usize" | "i8" | "i16" | "i32" | "i64" | "isize")
+    {
+        return None; // hex/float/unknown suffix: not foldable
+    }
+    num.chars().filter(|c| *c != '_').collect::<String>().parse().ok()
+}
+
+/// Collects `struct Name { field: Type, … }` field types across the
+/// file. The recorded type is the first path segment of the field's
+/// type, after stripping `&`/`mut`/`dyn` and unwrapping the
+/// `Arc`/`Rc`/`Box` smart pointers (which deref transparently). A field
+/// name used by several structs records every type (resolution unions
+/// them). Tuple structs contribute nothing.
+fn collect_fields(toks: &[Tok]) -> std::collections::BTreeMap<String, Vec<String>> {
+    let mut out: std::collections::BTreeMap<String, Vec<String>> = std::collections::BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "struct")
+            || toks.get(i + 1).map(|t| t.kind) != Some(TokKind::Ident)
+        {
+            i += 1;
+            continue;
+        }
+        // Skip generics to the body `{`; `;` or `(` means unit/tuple.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match (toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Punct, "<") => angle += 1,
+                (TokKind::Punct, ">") => angle -= 1,
+                (TokKind::Punct, "{") if angle <= 0 => break,
+                (TokKind::Punct, ";") | (TokKind::Punct, "(") if angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !is_punct(&toks[j], "{") {
+            i = j.max(i + 1);
+            continue;
+        }
+        let close = lexer::matching_close(toks, j, "{", "}");
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" | "<" => depth += 1,
+                    "}" | ")" | "]" | ">" => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+                continue;
+            }
+            // A field: `name :` (not `::`) at body depth.
+            if depth == 1
+                && t.kind == TokKind::Ident
+                && toks.get(k + 1).is_some_and(|n| is_punct(n, ":"))
+                && !toks.get(k + 2).is_some_and(|n| is_punct(n, ":"))
+                && !matches!(t.text.as_str(), "pub" | "crate" | "super" | "in")
+            {
+                if let Some(ty) = field_type(toks, k + 2, close) {
+                    let entry = out.entry(t.text.clone()).or_default();
+                    if !entry.contains(&ty) {
+                        entry.push(ty);
+                    }
+                }
+                // Skip the type expression to its `,` (or body end).
+                let mut tdepth = 0i32;
+                k += 2;
+                while k < close {
+                    match (toks[k].kind, toks[k].text.as_str()) {
+                        (TokKind::Punct, "(") | (TokKind::Punct, "[") | (TokKind::Punct, "<") => {
+                            tdepth += 1
+                        }
+                        (TokKind::Punct, ")") | (TokKind::Punct, "]") | (TokKind::Punct, ">") => {
+                            tdepth -= 1
+                        }
+                        (TokKind::Punct, ",") if tdepth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// First significant type ident at `k`, unwrapping smart pointers.
+/// `dyn Trait` gives `None`: narrowing to the trait name would match no
+/// impl block (impls record the concrete self type) and silently hide
+/// every trait-object dispatch — wide is the conservative answer.
+fn field_type(toks: &[Tok], mut k: usize, close: usize) -> Option<String> {
+    loop {
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokKind::Lifetime {
+                k += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                if t.text == "dyn" {
+                    return None; // trait object: stay wide
+                }
+                if !matches!(t.text.as_str(), "mut" | "const") {
+                    break;
+                }
+            } else if t.kind == TokKind::Punct && !matches!(t.text.as_str(), "&" | "*") {
+                return None; // unexpected shape: give up, stay wide
+            }
+            k += 1;
+        }
+        if k >= close {
+            return None;
+        }
+        let name = toks[k].text.as_str();
+        if matches!(name, "Arc" | "Rc" | "Box") && toks.get(k + 1).is_some_and(|t| is_punct(t, "<"))
+        {
+            k += 2; // descend into the pointee
+            continue;
+        }
+        return Some(name.to_string());
+    }
+}
+
+/// Primitive scalars: no workspace `impl` can target them.
+const PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64", "bool", "char", "str",
+];
+
+/// [`field_type`] for fn parameters. Slice/array/tuple shapes and
+/// primitive scalars map to [`PRIM_MARKER`] (stable Rust forbids
+/// inherent impls on them outside `core`, so resolution can safely drop
+/// every candidate — this is what keeps a `buf: &[u8]` receiver from
+/// widening `buf.len()` onto some workspace type's locking `len`).
+/// `dyn` and `impl Trait` give `None` so those calls stay wide.
+fn param_type(toks: &[Tok], mut k: usize, close: usize) -> Option<String> {
+    loop {
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokKind::Lifetime {
+                k += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                if matches!(t.text.as_str(), "dyn" | "impl") {
+                    return None; // trait object / impl-trait: stay wide
+                }
+                if !matches!(t.text.as_str(), "mut" | "const") {
+                    break;
+                }
+            } else if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "&" | "*" => {}
+                    "[" | "(" => return Some(PRIM_MARKER.to_string()),
+                    _ => return None,
+                }
+            }
+            k += 1;
+        }
+        if k >= close {
+            return None;
+        }
+        let name = toks[k].text.as_str();
+        if matches!(name, "Arc" | "Rc" | "Box") && toks.get(k + 1).is_some_and(|t| is_punct(t, "<"))
+        {
+            k += 2; // descend into the pointee
+            continue;
+        }
+        if PRIMITIVES.contains(&name) {
+            return Some(PRIM_MARKER.to_string());
+        }
+        return Some(name.to_string());
+    }
+}
+
+/// Collects enum definitions with their variant names and lines.
+fn collect_enums(toks: &[Tok]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "enum") || toks.get(i + 1).map(|t| t.kind) != Some(TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let line = toks[i].line;
+        // Skip generics to the body `{`.
+        let mut j = i + 2;
+        while j < toks.len() && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+            j += 1;
+        }
+        if j >= toks.len() || !is_punct(&toks[j], "{") {
+            i = j;
+            continue;
+        }
+        let close = lexer::matching_close(toks, j, "{", "}");
+        let mut variants = Vec::new();
+        let mut depth = 0i32;
+        let mut prev_significant = "{".to_string();
+        for k in j..=close.min(toks.len().saturating_sub(1)) {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" | "<" => depth += 1,
+                    "}" | ")" | "]" | ">" => depth -= 1,
+                    _ => {}
+                }
+                prev_significant = t.text.clone();
+                continue;
+            }
+            if t.kind == TokKind::Ident
+                && depth == 1
+                && matches!(prev_significant.as_str(), "{" | ",")
+            {
+                variants.push((t.text.clone(), t.line));
+            }
+            prev_significant = t.text.clone();
+        }
+        out.push(EnumDef { name, line, variants });
+        i = close + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse("crates/x/src/lib.rs", crate::lexer::lex(src), &["catch_unwind".to_string()])
+    }
+
+    #[test]
+    fn fns_get_impl_context_visibility_and_bodies() {
+        let p = parsed(
+            "pub struct S;\n\
+             impl S { pub fn a(&self) -> u32 { 1 } fn b(&self); }\n\
+             impl Clone for S { fn clone(&self) -> S { S } }\n\
+             pub(crate) fn free<T: Iterator<Item = u8>>(t: T) {}\n",
+        );
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "clone", "free"]);
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("S"));
+        assert!(p.fns[0].is_pub);
+        assert!(p.fns[1].body.is_none());
+        assert_eq!(p.fns[2].impl_type.as_deref(), Some("S"));
+        assert!(p.fns[3].is_pub);
+        assert!(p.fns[3].body.is_some());
+    }
+
+    #[test]
+    fn calls_carry_receiver_chains_and_method_flags() {
+        let p = parsed(
+            "fn f(&self) {\n\
+               self.applied.get(w).unwrap().lock();\n\
+               helper(1);\n\
+               self.0.lock();\n\
+             }\n",
+        );
+        let calls = &p.calls[0];
+        let lock = calls.iter().filter(|c| c.name == "lock").collect::<Vec<_>>();
+        assert_eq!(lock.len(), 2);
+        assert!(lock[0].chain.contains(&"applied".to_string()), "{:?}", lock[0].chain);
+        assert!(lock[0].chain.contains(&"self".to_string()));
+        assert_eq!(lock[1].chain, vec!["0", "self"]);
+        let helper = calls.iter().find(|c| c.name == "helper").unwrap();
+        assert!(!helper.is_method);
+        // `.unwrap()` is both a call and a panic site.
+        assert!(p.panics[0].iter().any(|s| s.what == "unwrap"));
+    }
+
+    #[test]
+    fn barrier_subtrees_are_marked() {
+        let p = parsed(
+            "fn f() {\n\
+               catch_unwind(|| { danger(); x.unwrap(); });\n\
+               outside.unwrap();\n\
+             }\n",
+        );
+        let danger = p.calls[0].iter().find(|c| c.name == "danger").unwrap();
+        assert!(danger.under_barrier);
+        let unwraps: Vec<_> = p.panics[0].iter().filter(|s| s.what == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(unwraps[0].under_barrier);
+        assert!(!unwraps[1].under_barrier);
+    }
+
+    #[test]
+    fn subscripts_in_postfix_position_only() {
+        let p = parsed(
+            "fn f(buf: &[u8], m: [u8; 4]) -> u8 {\n\
+               let a: [u8; 2] = [0, 1];\n\
+               let x = buf[0];\n\
+               let y = &buf[1..3];\n\
+               m[3] + a[0] + x + y[0]\n\
+             }\n",
+        );
+        // buf[0], buf[1..3], m[3], a[0], y[0] — not the type or literal.
+        assert_eq!(p.subscripts[0].len(), 5, "{:?}", p.subscripts[0]);
+    }
+
+    #[test]
+    fn panic_macros_found_but_debug_assert_ignored() {
+        let p = parsed(
+            "fn f() {\n\
+               assert_eq!(1, 1);\n\
+               debug_assert!(true);\n\
+               panic!(\"boom\");\n\
+             }\n",
+        );
+        let whats: Vec<_> = p.panics[0].iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(whats, vec!["assert_eq!", "panic!"]);
+    }
+
+    #[test]
+    fn consts_fold_sums_and_cross_references() {
+        let p = parsed(
+            "pub const A: usize = 8;\n\
+             pub const B: usize = 8 + 4;\n\
+             pub const C: usize = A + B;\n\
+             pub const D: usize = 1 << 3;\n",
+        );
+        assert_eq!(p.consts, vec![("A".into(), 8), ("B".into(), 12), ("C".into(), 20)]);
+    }
+
+    #[test]
+    fn enums_collect_variants() {
+        let p = parsed(
+            "pub enum Msg {\n\
+               Dense(Vec<f32>),\n\
+               Sparse { chunks: Vec<u8> },\n\
+               Ping,\n\
+             }\n",
+        );
+        assert_eq!(p.enums.len(), 1);
+        let names: Vec<_> = p.enums[0].variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Dense", "Sparse", "Ping"]);
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let p = parsed("fn a() {}\n#[cfg(test)]\nmod tests { fn b() {} }\n");
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+}

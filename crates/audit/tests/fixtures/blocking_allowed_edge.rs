@@ -1,0 +1,8 @@
+//! Golden fixture: edge-upstream is declared blocking-exempt.
+impl Edge {
+    fn exchange(&self) {
+        let up = self.upstream.lock().unwrap();
+        std::thread::sleep(self.pause);
+        let _ = up;
+    }
+}

@@ -1,0 +1,27 @@
+//! Golden fixture: blocking while a guard is live, with decoys.
+impl Srv {
+    fn direct(&self) {
+        let f = self.front.lock().unwrap();
+        std::thread::sleep(self.pause);
+        let _ = f;
+    }
+    fn transitive(&self) {
+        let f = self.front.lock().unwrap();
+        linger();
+        let _ = f;
+    }
+    fn drop_decoy(&self) {
+        let f = self.front.lock().unwrap();
+        drop(f);
+        std::thread::sleep(self.pause);
+    }
+    fn shadow_decoy(&self) {
+        let f = self.front.lock().unwrap();
+        let f = 1u8;
+        std::thread::sleep(self.pause);
+        let _ = f;
+    }
+}
+fn linger() {
+    std::thread::sleep(core::time::Duration::from_millis(1));
+}

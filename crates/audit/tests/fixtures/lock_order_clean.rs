@@ -1,0 +1,14 @@
+//! Golden fixture: the declared order honoured — no findings.
+impl Srv {
+    fn nested(&self) {
+        let f = self.front.lock().unwrap();
+        let s = self.shards.lock().unwrap();
+        let _ = (f, s);
+    }
+    fn sequential(&self) {
+        let f = self.front.lock().unwrap();
+        drop(f);
+        let s = self.shards.lock().unwrap();
+        drop(s);
+    }
+}

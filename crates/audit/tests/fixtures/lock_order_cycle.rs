@@ -1,0 +1,18 @@
+//! Golden fixture: lock-order cycles are unwaivable.
+impl Srv {
+    fn self_cycle(&self) {
+        let a = self.front.lock().unwrap();
+        let b = self.front.lock().unwrap();
+        let _ = (a, b);
+    }
+    fn forward(&self) {
+        let f = self.front.lock().unwrap();
+        let s = self.shards.lock().unwrap();
+        let _ = (f, s);
+    }
+    fn backward(&self) {
+        let s = self.shards.lock().unwrap();
+        let f = self.front.lock().unwrap();
+        let _ = (s, f);
+    }
+}

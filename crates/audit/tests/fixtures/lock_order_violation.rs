@@ -1,0 +1,20 @@
+//! Golden fixture: rank-order violations (waivable), with decoys.
+impl Srv {
+    fn wrong_order(&self) {
+        let s = self.shards.lock().unwrap();
+        let f = self.front.lock().unwrap();
+        let _ = (s, f);
+    }
+    fn drop_decoy(&self) {
+        let s = self.shards.lock().unwrap();
+        drop(s);
+        let f = self.front.lock().unwrap();
+        let _ = f;
+    }
+    fn shadow_decoy(&self) {
+        let s = self.shards.lock().unwrap();
+        let s = 1u8;
+        let f = self.front.lock().unwrap();
+        let _ = (s, f);
+    }
+}

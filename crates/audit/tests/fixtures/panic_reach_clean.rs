@@ -1,0 +1,13 @@
+//! Golden fixture: total wire-path parsing — no findings.
+pub fn read_header(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+pub fn tail(buf: &[u8]) -> Option<&[u8]> {
+    buf.get(4..)
+}
+pub fn word(buf: &[u8]) -> Option<u32> {
+    let raw = buf.get(0..4)?;
+    let mut w = [0u8; 4];
+    w.copy_from_slice(raw);
+    Some(u32::from_le_bytes(w))
+}

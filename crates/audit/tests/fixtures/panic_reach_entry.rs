@@ -1,0 +1,23 @@
+//! Golden fixture: wire-path panic reachability, with decoys.
+pub fn read_header(buf: &[u8]) -> u8 {
+    decode_header(buf)
+}
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}
+pub fn checked(buf: &[u8]) {
+    assert_eq!(buf.len(), 4);
+}
+pub fn contained(buf: &[u8]) -> u8 {
+    let r = std::panic::catch_unwind(|| decode_header(buf));
+    r.unwrap_or(0)
+}
+pub fn widened(h: &dyn Sink, buf: &[u8]) {
+    h.consume(buf);
+}
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(buf: &[u8]) -> u8 {
+        buf[1]
+    }
+}

@@ -1,0 +1,14 @@
+//! Golden fixture helper: panic sources outside the entry set.
+pub fn decode_header(buf: &[u8]) -> u8 {
+    buf.first().copied().expect("empty frame")
+}
+pub struct Quiet;
+impl Quiet {
+    pub fn consume(&self, _buf: &[u8]) {}
+}
+pub struct Loud;
+impl Loud {
+    pub fn consume(&self, buf: &[u8]) {
+        panic!("bad frame of {} bytes", buf.len());
+    }
+}

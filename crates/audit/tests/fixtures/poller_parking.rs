@@ -1,0 +1,8 @@
+//! Golden fixture: the poller thread must never park.
+fn drain(rx: &Receiver<u8>) {
+    let x = rx.recv();
+    let _ = x;
+}
+fn tick(poller: &Poller) {
+    poller.wait();
+}

@@ -1,0 +1,24 @@
+//! Golden fixture: unaccounted traffic and uncosted variants.
+pub enum Gap {
+    Fixed,
+    Blob(Vec<u8>),
+    Silent(u8),
+}
+impl Gap {
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Gap::Fixed => 2,
+            Gap::Blob(b) => b.len(),
+        }
+    }
+}
+pub fn encode_gap(g: &Gap, w: &mut Wire) {
+    match g {
+        Gap::Fixed => {
+            w.put_u16(7);
+        }
+        Gap::Blob(b) => {
+            w.extend_from_slice(b);
+        }
+    }
+}

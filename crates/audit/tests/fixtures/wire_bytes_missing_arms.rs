@@ -1,0 +1,20 @@
+//! Golden fixture: a costed arm with no encoder, and vice versa.
+const HDR: usize = 2;
+pub enum Half {
+    Costed,
+    Emitted,
+}
+impl Half {
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Half::Costed => HDR,
+        }
+    }
+}
+pub fn encode_half(h: &Half, w: &mut Wire) {
+    match h {
+        Half::Emitted => {
+            w.put_u16(9);
+        }
+    }
+}

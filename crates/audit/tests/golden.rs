@@ -7,12 +7,21 @@
 //! are `include_str!`ed, never compiled, so they are free to contain the
 //! very patterns the rules forbid.
 
-use dgs_audit::check_source;
 use dgs_audit::config::Config;
 use dgs_audit::diagnostics::Finding;
+use dgs_audit::{check_files, check_source};
 
 fn audit(pretend_path: &str, src: &str) -> Vec<Finding> {
     check_source(pretend_path, src, &Config::default_for_workspace(), None)
+}
+
+/// Audits a multi-file pretend workspace restricted to `only` rules —
+/// the call-graph rules are cross-file, so their fixtures need this.
+fn audit_files(files: &[(&str, &str)], only: &[&str]) -> Vec<Finding> {
+    let files: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    let only: Vec<String> = only.iter().map(|s| s.to_string()).collect();
+    check_files(&files, &Config::default_for_workspace(), Some(&only))
 }
 
 fn rule_lines(findings: &[Finding]) -> Vec<(&str, u32)> {
@@ -68,14 +77,23 @@ fn unsafe_in_tensor_requires_nearby_safety_comment() {
 #[test]
 fn paired_symbols_flags_unpaired_fns_and_uncovered_variants() {
     let f = audit("crates/net/src/codec.rs", include_str!("fixtures/paired_symbols.rs"));
+    // The pretend path is a wire entry file, so the graph tier also sees
+    // the fixture's indexing (panic-reach) and its encoder-less
+    // wire_bytes (wire-bytes-conservation).
     assert_eq!(
         rule_lines(&f),
-        vec![("paired-symbols", 2), ("paired-symbols", 14), ("paired-symbols", 20)],
+        vec![
+            ("paired-symbols", 2),
+            ("panic-reach", 11),
+            ("paired-symbols", 14),
+            ("paired-symbols", 20),
+            ("wire-bytes-conservation", 24),
+        ],
         "{f:?}"
     );
     assert!(f[0].message.contains("decode_ping"), "{}", f[0].message);
-    assert!(f[1].message.contains("take_scale"), "{}", f[1].message);
-    assert!(f[2].message.contains("Stray"), "{}", f[2].message);
+    assert!(f[2].message.contains("take_scale"), "{}", f[2].message);
+    assert!(f[3].message.contains("Stray"), "{}", f[3].message);
 }
 
 #[test]
@@ -120,6 +138,194 @@ fn rules_stay_inside_their_scopes() {
     // of every scope except unsafe-budget (which it does not trip).
     let f = audit("crates/bench/src/golden.rs", include_str!("fixtures/nan_ordering.rs"));
     assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph tier (DESIGN.md §8): lock-order, no-blocking-under-lock,
+// panic-reach, wire-bytes-conservation.
+
+#[test]
+fn lock_order_cycles_are_unwaivable() {
+    let f = audit_files(
+        &[("crates/core/src/shard.rs", include_str!("fixtures/lock_order_cycle.rs"))],
+        &["lock-order"],
+    );
+    assert_eq!(
+        rule_lines(&f),
+        vec![("lock-order", 5), ("lock-order", 10), ("lock-order", 15)],
+        "{f:?}"
+    );
+    assert!(f.iter().all(|x| !x.waivable), "{f:?}");
+    assert!(f[0].message.contains("deadlock on the same thread"), "{}", f[0].message);
+    assert!(f[2].message.contains("two threads can deadlock"), "{}", f[2].message);
+}
+
+#[test]
+fn lock_order_rank_violations_are_waivable_and_decoys_stay_quiet() {
+    let f = audit_files(
+        &[("crates/core/src/shard.rs", include_str!("fixtures/lock_order_violation.rs"))],
+        &["lock-order"],
+    );
+    // Line 5: shard then front. Line 17: the `let s = 1u8;` shadow does
+    // NOT release the shard guard, so the front acquisition still trips.
+    // The drop() decoy (line 11) must not.
+    assert_eq!(rule_lines(&f), vec![("lock-order", 5), ("lock-order", 17)], "{f:?}");
+    assert!(f.iter().all(|x| x.waivable), "{f:?}");
+    assert!(f[0].message.contains("violates the declared order"), "{}", f[0].message);
+}
+
+#[test]
+fn lock_order_clean_nesting_passes() {
+    let f = audit_files(
+        &[("crates/core/src/shard.rs", include_str!("fixtures/lock_order_clean.rs"))],
+        &["lock-order"],
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn blocking_under_lock_direct_transitive_and_shadow_but_not_drop() {
+    let f = audit_files(
+        &[("crates/core/src/shard.rs", include_str!("fixtures/blocking_under_lock.rs"))],
+        &["no-blocking-under-lock"],
+    );
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("no-blocking-under-lock", 5),
+            ("no-blocking-under-lock", 10),
+            ("no-blocking-under-lock", 21),
+        ],
+        "{f:?}"
+    );
+    assert!(f[0].message.contains("blocking call `sleep`"), "{}", f[0].message);
+    assert!(f[1].message.contains("`linger` may block"), "{}", f[1].message);
+}
+
+#[test]
+fn blocking_exempt_class_allows_upstream_io() {
+    let f = audit_files(
+        &[("crates/net/src/edge.rs", include_str!("fixtures/blocking_allowed_edge.rs"))],
+        &["no-blocking-under-lock"],
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn poller_file_bans_parking_even_without_a_guard() {
+    let f = audit_files(
+        &[("crates/net/src/event_loop.rs", include_str!("fixtures/poller_parking.rs"))],
+        &["no-blocking-under-lock"],
+    );
+    // `rx.recv()` parks; `poller.wait()` is the allow-listed epoll wait.
+    assert_eq!(rule_lines(&f), vec![("no-blocking-under-lock", 3)], "{f:?}");
+    assert!(f[0].message.contains("parking call `recv`"), "{}", f[0].message);
+}
+
+#[test]
+fn panic_reach_crosses_files_and_respects_barriers_and_tests() {
+    let f = audit_files(
+        &[
+            ("crates/net/src/conn.rs", include_str!("fixtures/panic_reach_entry.rs")),
+            ("crates/net/src/wire_util.rs", include_str!("fixtures/panic_reach_helper.rs")),
+        ],
+        &["panic-reach"],
+    );
+    // Line 3: cross-file call into an expect(). Line 6: subscript in the
+    // entry file. Line 9: assert_eq! in the entry file. Line 16: dyn-widened
+    // call where one impl panics. The catch_unwind closure (line 12) and
+    // the #[cfg(test)] subscript (line 21) must stay quiet.
+    let entry = "crates/net/src/conn.rs";
+    assert!(f.iter().all(|x| x.path == entry), "{f:?}");
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("panic-reach", 3),
+            ("panic-reach", 6),
+            ("panic-reach", 9),
+            ("panic-reach", 16),
+        ],
+        "{f:?}"
+    );
+    assert!(f[0].message.contains("decode_header"), "{}", f[0].message);
+    assert!(f[1].message.contains("indexing"), "{}", f[1].message);
+}
+
+#[test]
+fn panic_reach_total_parsers_pass() {
+    let f = audit_files(
+        &[("crates/net/src/conn.rs", include_str!("fixtures/panic_reach_clean.rs"))],
+        &["panic-reach"],
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_reach_ignores_non_entry_files() {
+    // The same panicking helper audited alone is out of the entry set.
+    let f = audit_files(
+        &[("crates/net/src/wire_util.rs", include_str!("fixtures/panic_reach_helper.rs"))],
+        &["panic-reach"],
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wire_bytes_flags_only_the_disagreeing_arm() {
+    let f = audit_files(
+        &[("crates/net/src/codec.rs", include_str!("fixtures/wire_bytes_mismatch.rs"))],
+        &["wire-bytes-conservation"],
+    );
+    // Ping/Data/Nested arms reconcile; Status costs 1 tag byte but the
+    // encoder emits tag + payload = 2.
+    assert_eq!(rule_lines(&f), vec![("wire-bytes-conservation", 15)], "{f:?}");
+    assert!(f[0].message.contains("accounts 1 fixed bytes"), "{}", f[0].message);
+    assert!(f[0].message.contains("emits 2 fixed bytes"), "{}", f[0].message);
+}
+
+#[test]
+fn wire_bytes_flags_raw_writes_bare_counts_and_uncosted_variants() {
+    let f = audit_files(
+        &[("crates/net/src/codec.rs", include_str!("fixtures/wire_bytes_gaps.rs"))],
+        &["wire-bytes-conservation"],
+    );
+    // Line 5: `Silent` never costed. Line 10: bare `2` instead of a named
+    // const. Line 11: Blob's per-element cost vs an uncosted raw write.
+    // Line 21: the raw `extend_from_slice` itself.
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("wire-bytes-conservation", 5),
+            ("wire-bytes-conservation", 10),
+            ("wire-bytes-conservation", 11),
+            ("wire-bytes-conservation", 21),
+        ],
+        "{f:?}"
+    );
+    assert!(f[0].message.contains("not costed"), "{}", f[0].message);
+    assert!(f[1].message.contains("bare byte count"), "{}", f[1].message);
+    assert!(f[3].message.contains("raw buffer write"), "{}", f[3].message);
+}
+
+#[test]
+fn wire_bytes_pairs_arms_in_both_directions() {
+    let f = audit_files(
+        &[("crates/net/src/codec.rs", include_str!("fixtures/wire_bytes_missing_arms.rs"))],
+        &["wire-bytes-conservation"],
+    );
+    // Line 5: `Emitted` uncosted. Line 10: `Costed` has no encoder arm.
+    // Line 16: `Emitted` encoded but never costed.
+    assert_eq!(
+        rule_lines(&f),
+        vec![
+            ("wire-bytes-conservation", 5),
+            ("wire-bytes-conservation", 10),
+            ("wire-bytes-conservation", 16),
+        ],
+        "{f:?}"
+    );
+    assert!(f[1].message.contains("no arm encoding it"), "{}", f[1].message);
+    assert!(f[2].message.contains("no arm costing it"), "{}", f[2].message);
 }
 
 #[test]

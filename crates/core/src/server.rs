@@ -48,7 +48,7 @@ use dgs_sparsify::merge::{
     send_topk_dense, sort_dedup, sort_dedup_bitmap, topk_pairs_with,
 };
 use dgs_sparsify::{
-    k_for_ratio, Partition, SelectScratch, SelectStrategy, SparseUpdate, SparseVec,
+    k_for_ratio, scatter_add, Partition, SelectScratch, SelectStrategy, SparseUpdate, SparseVec,
 };
 use dgs_tensor::BufferPool;
 use rayon::prelude::*;
@@ -309,17 +309,28 @@ impl MdtServer {
     /// (M − v_k is identically zero), and the worker's cursor advances to
     /// now. Subsequent diffs resume the normal O(nnz) path.
     pub fn resync_worker(&mut self, worker: usize) -> DownMsg {
+        DownMsg::DenseModel(self.resync_model(worker))
+    }
+
+    /// [`Self::resync_worker`] returning the model directly — the
+    /// sharded server concatenates per-shard resyncs, and a typed slice
+    /// spares it matching on a reply shape this method fixes anyway.
+    pub fn resync_model(&mut self, worker: usize) -> Arc<Vec<f32>> {
         self.prev[worker] = self.t;
         match self.downlink {
-            Downlink::DenseModel => {
-                DownMsg::DenseModel(Arc::clone(self.model_cache.as_ref().expect("dense cache")))
-            }
+            Downlink::DenseModel => match &self.model_cache {
+                Some(cache) => Arc::clone(cache),
+                // The dense downlink maintains the cache from
+                // construction; should it ever be absent, rebuilding
+                // θ0 + M is still the correct model.
+                None => Arc::new(self.current_model()),
+            },
             Downlink::ModelDifference { .. } => {
                 self.v[worker].copy_from_slice(&self.m);
                 self.scratch.release(std::mem::take(&mut self.pending[worker]));
                 self.pending_valid[worker] = true;
                 self.retrack[worker] = true;
-                DownMsg::DenseModel(Arc::new(self.current_model()))
+                Arc::new(self.current_model())
             }
         }
     }
@@ -387,19 +398,26 @@ impl MdtServer {
         // Updates arrive lr-scaled.
         match payload {
             UpPayloadView::Dense(g) => {
-                assert_eq!(g.len(), self.m.len(), "dense update size");
-                for (m, &gi) in self.m.iter_mut().zip(g.iter()) {
-                    *m -= scale * gi;
-                }
-                if let Some(cache) = &mut self.model_cache {
-                    for (c, &gi) in Arc::make_mut(cache).iter_mut().zip(g.iter()) {
-                        *c -= scale * gi;
+                // Our own workers always send exactly `dim` values; a
+                // mis-sized update can only come from a non-conforming
+                // peer, and a connection thread must not panic on its
+                // behalf. Apply nothing (the clock still ticks, so the
+                // peer's sequence stays coherent) — debug builds assert.
+                debug_assert_eq!(g.len(), self.m.len(), "dense update size");
+                if g.len() == self.m.len() {
+                    for (m, &gi) in self.m.iter_mut().zip(g.iter()) {
+                        *m -= scale * gi;
                     }
-                }
-                if track_log {
-                    // A dense update touches everything; cursors older than
-                    // it cannot be log-served.
-                    self.log.mark_dense(t_next);
+                    if let Some(cache) = &mut self.model_cache {
+                        for (c, &gi) in Arc::make_mut(cache).iter_mut().zip(g.iter()) {
+                            *c -= scale * gi;
+                        }
+                    }
+                    if track_log {
+                        // A dense update touches everything; cursors older
+                        // than it cannot be log-served.
+                        self.log.mark_dense(t_next);
+                    }
                 }
             }
             UpPayloadView::Sparse(chunks) => self.apply_sparse(chunks, scale, track_log, t_next),
@@ -415,9 +433,13 @@ impl MdtServer {
         self.prev[worker] = self.t;
 
         match self.downlink {
-            Downlink::DenseModel => {
-                DownMsg::DenseModel(Arc::clone(self.model_cache.as_ref().expect("dense cache")))
-            }
+            // The cache is maintained whenever the downlink is dense;
+            // rebuilding from `θ_0 + M` keeps this total if it is ever
+            // absent (same fallback as `resync_model`).
+            Downlink::DenseModel => match &self.model_cache {
+                Some(cache) => DownMsg::DenseModel(Arc::clone(cache)),
+                None => DownMsg::DenseModel(Arc::new(self.current_model())),
+            },
             Downlink::ModelDifference { secondary_ratio } => {
                 DownMsg::SparseDiff(self.make_diff(worker, since, secondary_ratio))
             }
@@ -427,14 +449,20 @@ impl MdtServer {
     /// Applies per-segment sparse chunks to `M` (and the dense-model cache
     /// when one is kept) and logs the touched coordinates.
     fn apply_sparse(&mut self, chunks: &[SparseVec], scale: f32, track_log: bool, t_next: u64) {
-        assert_eq!(chunks.len(), self.partition.num_segments(), "update/partition mismatch");
+        // Same containment as the dense arm: a chunk list cut to some
+        // other partition is a peer bug, answered with a no-op apply
+        // rather than a panicked connection thread.
+        debug_assert_eq!(chunks.len(), self.partition.num_segments(), "update/partition mismatch");
+        if chunks.len() != self.partition.num_segments() {
+            return;
+        }
         for (i, chunk) in chunks.iter().enumerate() {
-            chunk.apply_add(self.partition.slice_mut(&mut self.m, i), -scale);
+            scatter_add(self.partition.slice_mut(&mut self.m, i), &chunk.idx, &chunk.val, -scale);
         }
         if let Some(cache) = &mut self.model_cache {
             let cache: &mut Vec<f32> = Arc::make_mut(cache);
             for (i, chunk) in chunks.iter().enumerate() {
-                chunk.apply_add(self.partition.slice_mut(cache, i), -scale);
+                scatter_add(self.partition.slice_mut(cache, i), &chunk.idx, &chunk.val, -scale);
             }
         }
         if track_log {

@@ -123,12 +123,19 @@ impl ShardedMdtServer {
         }
     }
 
+    /// Locks the front counters. A poisoned lock is recovered rather
+    /// than propagated: a sibling update's panic must not take down
+    /// every connection thread with it. The poison flag itself is left
+    /// set, so [`Self::poisoned`] keeps reporting the damage and
+    /// transport handlers answer with an error frame instead of
+    /// serving torn state.
     fn lock_front(&self) -> MutexGuard<'_, Front> {
-        self.front.lock().expect("front lock poisoned: a sibling update panicked")
+        self.front.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Locks shard `i`; recovers a poisoned lock (see [`Self::lock_front`]).
     fn lock_shard(&self, i: usize) -> MutexGuard<'_, MdtServer> {
-        self.shards[i].lock().expect("shard lock poisoned: a sibling update panicked mid-apply")
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of shards actually created.
@@ -278,6 +285,10 @@ impl ShardedMdtServer {
     /// exactly the global server's chunk layout and dense slices into the
     /// global model.
     fn assemble(&self, replies: Vec<DownMsg>) -> DownMsg {
+        // A shard replying the wrong shape is impossible by construction —
+        // every shard shares the global downlink config — so the odd arm
+        // is contained as a no-op fold (debug builds assert) rather than
+        // a panic on a connection thread.
         match self.downlink {
             Downlink::DenseModel => {
                 let mut model = Vec::with_capacity(self.dim);
@@ -285,7 +296,7 @@ impl ShardedMdtServer {
                     match reply {
                         DownMsg::DenseModel(m) => model.extend_from_slice(&m),
                         DownMsg::SparseDiff(_) => {
-                            unreachable!("dense downlink shard replied sparse")
+                            debug_assert!(false, "dense downlink shard replied sparse");
                         }
                     }
                 }
@@ -297,7 +308,7 @@ impl ShardedMdtServer {
                     match reply {
                         DownMsg::SparseDiff(d) => chunks.extend(d.chunks),
                         DownMsg::DenseModel(_) => {
-                            unreachable!("diff downlink shard replied dense")
+                            debug_assert!(false, "diff downlink shard replied dense");
                         }
                     }
                 }
@@ -324,10 +335,8 @@ impl ShardedMdtServer {
     pub fn resync_worker(&self, worker: usize) -> DownMsg {
         let mut model = Vec::with_capacity(self.dim);
         for si in 0..self.shards.len() {
-            match self.lock_shard(si).resync_worker(worker) {
-                DownMsg::DenseModel(m) => model.extend_from_slice(&m),
-                DownMsg::SparseDiff(_) => unreachable!("resync reply is always dense"),
-            }
+            let m = self.lock_shard(si).resync_model(worker);
+            model.extend_from_slice(&m);
         }
         {
             let mut front = self.lock_front();

@@ -90,8 +90,13 @@ impl ShardedServerLogic {
         }
     }
 
+    /// Locks the telemetry counters. A lock poisoned by a panicking
+    /// eval is recovered rather than propagated — the counters stay
+    /// additive across a torn eval, and [`Self::into_result`] already
+    /// recovers the same way — so a wire-path resync never inherits a
+    /// panic from a sibling's eval.
     fn lock_telemetry(&self) -> MutexGuard<'_, Telemetry> {
-        self.telemetry.lock().expect("telemetry lock poisoned: an eval panicked")
+        self.telemetry.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Applies one update and produces the reply; same accounting as the

@@ -341,10 +341,13 @@ impl<'a> Reader<'a> {
     }
 
     fn bytes(&mut self, n: usize) -> NetResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(NetError::Malformed("payload truncated"));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        // `n` comes from wire-declared counts: bounds-checked slicing
+        // (overflow included) so no input can panic the decoder.
+        let out = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end))
+            .ok_or(NetError::Malformed("payload truncated"))?;
         self.pos += n;
         Ok(out)
     }

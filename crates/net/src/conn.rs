@@ -449,7 +449,7 @@ impl<S: Read + Write> Conn<S> {
                     return outcome;
                 }
             };
-            self.feed(&scratch[..n], handler, opts, &mut outcome);
+            self.feed(scratch.get(..n).unwrap_or_default(), handler, opts, &mut outcome);
         }
         self.flush_ready();
         outcome
@@ -475,7 +475,9 @@ impl<S: Read + Write> Conn<S> {
                     return;
                 }
             };
-            input = &input[used..];
+            // `used <= input.len()` per the decoder contract; a checked
+            // slice (empty on violation) keeps the wire path panic-free.
+            input = input.get(used..).unwrap_or_default();
             let Some((header, payload)) = frame else { continue };
             self.stats.record(header.msg_type, HEADER_LEN + payload.len());
             let event = match decode_event(header, payload) {
@@ -511,7 +513,7 @@ impl<S: Read + Write> Conn<S> {
             let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.wq.len().min(WRITEV_BATCH));
             for (i, seg) in self.wq.iter().take(WRITEV_BATCH).enumerate() {
                 let start = if i == 0 { self.front_off } else { 0 };
-                slices.push(IoSlice::new(&seg[start..]));
+                slices.push(IoSlice::new(seg.get(start..).unwrap_or_default()));
             }
             match self.stream.write_vectored(&slices) {
                 Ok(0) => {
@@ -539,8 +541,8 @@ impl<S: Read + Write> Conn<S> {
             return;
         }
         while let Some(front) = self.wq.front() {
-            let len = front.len() - self.front_off;
-            if self.stream.write_all(&front[self.front_off..]).is_err() {
+            let len = front.len().saturating_sub(self.front_off);
+            if self.stream.write_all(front.get(self.front_off..).unwrap_or_default()).is_err() {
                 self.dead = true;
                 return;
             }

@@ -26,16 +26,21 @@
 //!
 //! Threading: member connections block in [`EdgeHandler::handle_sequenced`]
 //! on a round barrier (mutex + condvar) until the last member of the
-//! round arrives; that member runs the upstream exchange while holding
-//! the state lock and publishes the shared reply to every slot. The
-//! member-facing listener must therefore run the thread-per-connection
-//! backend ([`crate::tcp::serve_cluster`]) — an evented single-thread
-//! listener would deadlock on the barrier.
+//! round arrives; that member runs the upstream exchange and publishes
+//! the shared reply to every slot. The upstream link sits behind its own
+//! mutex (the `edge-upstream` lock class in `audit-lock-order.toml`),
+//! **never** nested inside the state lock: the state lock guards only
+//! in-memory aggregation, so member resyncs and duplicate replies are
+//! served from the cache even while an upstream round-trip is in
+//! flight (`in_flight` bridges the two critical sections). The
+//! member-facing listener must run the thread-per-connection backend
+//! ([`crate::tcp::serve_cluster`]) — an evented single-thread listener
+//! would deadlock on the barrier.
 
 use crate::cluster::{assemble_replies, ClusterTransport};
 use crate::error::{NetError, NetResult};
 use crate::msg::{
-    merge_sparse_updates, DownMsg, Partition, SparseUpdate, UpMsg, UpPayload,
+    try_merge_sparse_updates, ClusterLayout, DownMsg, Partition, SparseUpdate, UpMsg, UpPayload,
 };
 use crate::transport::{Sequenced, SharedUpdateHandler, WireStats};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -48,11 +53,13 @@ const EDGE_UPSTREAM_FAILED: &str = "edge upstream exchange failed";
 const EDGE_ROUND_TIMEOUT: &str = "edge round timed out waiting for group members";
 const EDGE_ROUND_OVERLAP: &str = "member update overlaps an unfinished round";
 const EDGE_MIXED_PAYLOADS: &str = "edge cannot merge mixed payload kinds";
+const EDGE_MISALIGNED: &str = "edge cannot merge updates cut to different partitions";
 const EDGE_BAD_MEMBER: &str = "worker id outside this edge's group";
 
-/// Mutable aggregation state, all behind one lock.
+/// Mutable aggregation state, all behind one lock. Holds **no** I/O:
+/// the upstream link lives in its own mutex on [`EdgeHandler`] so the
+/// state lock is never held across a syscall.
 struct EdgeState {
-    upstream: ClusterTransport,
     partition: Partition,
     /// Cached dense model `θ_edge = v_g`: θ0 plus every assembled reply
     /// this edge has applied. Serves member resyncs locally.
@@ -70,6 +77,10 @@ struct EdgeState {
     /// First hard failure; poisons every subsequent member call so the
     /// group tears down instead of hanging.
     failed: Option<&'static str>,
+    /// An upstream exchange is running outside the state lock: the
+    /// round's updates are taken but its replies are not yet published.
+    /// Stashing new updates is refused until it clears.
+    in_flight: bool,
 }
 
 /// The edge aggregator's server-side handler: plug into
@@ -77,6 +88,14 @@ struct EdgeState {
 /// and `done_target = group`.
 pub struct EdgeHandler {
     state: Mutex<EdgeState>,
+    /// The root-tier link, behind its own lock (`edge-upstream` class —
+    /// the one edge-tier lock blocking I/O is allowed under). Ordered
+    /// strictly after `state` in the manifest, and the code never nests
+    /// the two: each round drops the state guard before locking this.
+    upstream: Mutex<ClusterTransport>,
+    /// Upstream span layout, immutable per transport — cached here so
+    /// reply folding needs no upstream lock.
+    layout: ClusterLayout,
     barrier: Condvar,
     /// First member worker id of this group.
     base: u16,
@@ -111,9 +130,9 @@ impl EdgeHandler {
                 upstream.layout().dim
             )));
         }
+        let layout = upstream.layout().clone();
         Ok(Arc::new(EdgeHandler {
             state: Mutex::new(EdgeState {
-                upstream,
                 partition,
                 cache: theta0,
                 applied: vec![0; usize::from(base) + group],
@@ -121,7 +140,10 @@ impl EdgeHandler {
                 arrived: 0,
                 reply_slots: vec![None; group],
                 failed: None,
+                in_flight: false,
             }),
+            upstream: Mutex::new(upstream),
+            layout,
             barrier: Condvar::new(),
             base,
             group,
@@ -133,18 +155,26 @@ impl EdgeHandler {
     /// upstream-side byte counters (with their per-span `Root` links).
     /// Call after the member-facing serve loop has exited.
     pub fn finish(&self) -> Result<WireStats, &'static str> {
-        let mut st = self.state.lock().map_err(|_| EDGE_POISONED)?;
-        if st.upstream.shutdown().is_err() {
-            // The run is over either way; stats below still hold every
+        // Upstream guard first and alone: blocking I/O is allowed under
+        // `edge-upstream` but never under `edge-state`, and acquiring
+        // state inside the upstream guard would invert the declared
+        // order — so the guard is dropped before failure is recorded.
+        let (shut, stats) = {
+            let mut up = self.upstream.lock().map_err(|_| EDGE_POISONED)?;
+            (up.shutdown(), up.stats())
+        };
+        if shut.is_err() {
+            // The run is over either way; the stats still hold every
             // byte that actually moved.
+            let mut st = self.state.lock().map_err(|_| EDGE_POISONED)?;
             st.failed.get_or_insert(EDGE_UPSTREAM_FAILED);
         }
-        Ok(st.upstream.stats())
+        Ok(stats)
     }
 
     /// Upstream byte counters so far, without ending the run.
     pub fn upstream_stats(&self) -> Result<WireStats, &'static str> {
-        self.state.lock().map_err(|_| EDGE_POISONED).map(|st| st.upstream.stats())
+        self.upstream.lock().map_err(|_| EDGE_POISONED).map(|up| up.stats())
     }
 
     /// Maps a global worker id onto its slot in this group.
@@ -174,7 +204,9 @@ impl EdgeHandler {
                         _ => return Err(EDGE_MIXED_PAYLOADS),
                     }
                 }
-                UpPayload::Sparse(merge_sparse_updates(&sparse))
+                // Member payloads come off the wire: a chunk-count
+                // mismatch is a protocol error, never a panic.
+                UpPayload::Sparse(try_merge_sparse_updates(&sparse).ok_or(EDGE_MISALIGNED)?)
             }
             UpPayload::TernarySparse(_) => {
                 // Ternary payloads carry per-chunk scales that cannot be
@@ -188,7 +220,7 @@ impl EdgeHandler {
                     }
                 }
                 let refs: Vec<&SparseUpdate> = dequantized.iter().collect();
-                UpPayload::Sparse(merge_sparse_updates(&refs))
+                UpPayload::Sparse(try_merge_sparse_updates(&refs).ok_or(EDGE_MISALIGNED)?)
             }
             UpPayload::Dense(first) => {
                 let mut sum = first.clone();
@@ -208,26 +240,44 @@ impl EdgeHandler {
         Ok(UpMsg { payload, train_loss })
     }
 
-    /// Runs one complete round while holding the state lock: merge the
-    /// stashed updates, exchange upstream, fold the reply into the
-    /// cache, and publish one copy per member slot.
-    fn run_round(&self, st: &mut EdgeState) -> Result<(), &'static str> {
-        let mut ups = Vec::with_capacity(self.group);
-        for slot in &mut st.pending {
-            match slot.take() {
-                Some(u) => ups.push(u),
-                None => return Err(EDGE_ROUND_OVERLAP),
+    /// Runs one complete round in three critical sections — take the
+    /// stashed updates and merge (state lock), exchange upstream
+    /// (upstream lock only: the state lock is **not** held across the
+    /// network round-trip, so resyncs and duplicates stay servable),
+    /// then fold the reply into the cache and publish one copy per
+    /// member slot (state lock again).
+    fn run_round(&self) -> Result<(), &'static str> {
+        let fwd = {
+            let mut st = self.state.lock().map_err(|_| EDGE_POISONED)?;
+            let mut ups = Vec::with_capacity(self.group);
+            for slot in &mut st.pending {
+                match slot.take() {
+                    Some(u) => ups.push(u),
+                    None => return Err(EDGE_ROUND_OVERLAP),
+                }
             }
-        }
-        st.arrived = 0;
-        let fwd = self.merge_round(ups)?;
-        let replies = st.upstream.exchange(&fwd).map_err(|_| EDGE_UPSTREAM_FAILED)?;
+            st.arrived = 0;
+            let fwd = self.merge_round(ups)?;
+            st.in_flight = true;
+            fwd
+        };
+        let exchanged = {
+            let mut up = self.upstream.lock().map_err(|_| EDGE_POISONED)?;
+            up.exchange(&fwd).map_err(|_| EDGE_UPSTREAM_FAILED)
+        };
+        let mut st = self.state.lock().map_err(|_| EDGE_POISONED)?;
+        let st = &mut *st; // split-borrow fields through the guard
+        st.in_flight = false;
+        let replies = exchanged?;
         let reply = match assemble_replies(&replies) {
             Some(DownMsg::SparseDiff(s)) => {
-                s.apply_add(&mut st.cache, &st.partition, 1.0);
+                s.try_apply_add(&mut st.cache, &st.partition, 1.0).ok_or(EDGE_MISALIGNED)?;
                 DownMsg::SparseDiff(s)
             }
             Some(DownMsg::DenseModel(m)) => {
+                if m.len() != st.cache.len() {
+                    return Err(EDGE_MISALIGNED);
+                }
                 st.cache.copy_from_slice(&m);
                 DownMsg::DenseModel(m)
             }
@@ -235,16 +285,20 @@ impl EdgeHandler {
                 // Mixed per-span replies (one span resynced mid-run):
                 // fold each span's reply into its slice of the cache and
                 // hand members the coherent dense result.
-                let layout = st.upstream.layout().clone();
                 for (k, r) in replies.iter().enumerate() {
-                    let span = layout.shard_span(k);
+                    let span = self.layout.shard_span(k);
+                    let dst =
+                        st.cache.get_mut(span.range()).ok_or(EDGE_MISALIGNED)?;
                     match r {
                         DownMsg::DenseModel(m) => {
-                            st.cache[span.range()].copy_from_slice(m);
+                            if m.len() != dst.len() {
+                                return Err(EDGE_MISALIGNED);
+                            }
+                            dst.copy_from_slice(m);
                         }
                         DownMsg::SparseDiff(s) => {
                             let sub = st.partition.subpartition(&span);
-                            s.apply_add(&mut st.cache[span.range()], &sub, 1.0);
+                            s.try_apply_add(dst, &sub, 1.0).ok_or(EDGE_MISALIGNED)?;
                         }
                     }
                 }
@@ -309,20 +363,26 @@ impl SharedUpdateHandler for EdgeHandler {
         if u64::from(seq) > applied + 1 {
             return Ok(Sequenced::Gap { applied });
         }
-        if st.pending[slot].is_some() || st.reply_slots[slot].is_some() {
+        if st.in_flight || st.pending[slot].is_some() || st.reply_slots[slot].is_some() {
             return Err(EDGE_ROUND_OVERLAP);
         }
         st.pending[slot] = Some(up);
         st.arrived += 1;
         if st.arrived == self.group {
-            match self.run_round(&mut st) {
+            // Run the round with no state guard live: `run_round` takes
+            // the state and upstream locks one at a time.
+            drop(st);
+            match self.run_round() {
                 Ok(()) => self.barrier.notify_all(),
                 Err(reason) => {
-                    st.failed = Some(reason);
+                    if let Ok(mut st) = self.state.lock() {
+                        st.failed.get_or_insert(reason);
+                    }
                     self.barrier.notify_all();
                     return Err(reason);
                 }
             }
+            st = self.state.lock().map_err(|_| EDGE_POISONED)?;
         }
         let (mut st, reply) = self.await_reply(st, slot)?;
         st.applied[usize::from(worker)] += 1;
@@ -460,6 +520,133 @@ mod tests {
         o.deadline = Some(Duration::from_secs(30));
         o.done_target = group;
         o
+    }
+
+    /// Root span that parks inside `handle_update` until released —
+    /// pins down what the edge keeps serving while its upstream
+    /// round-trip is in flight.
+    struct StallingRoot {
+        inner: RootSpan,
+        entered: Arc<(Mutex<bool>, Condvar)>,
+        release: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl UpdateHandler for StallingRoot {
+        fn handle_update(&mut self, worker: u16, up: UpMsg) -> DownMsg {
+            let (flag, cv) = &*self.entered;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+            let (gate, cv) = &*self.release;
+            let mut go = gate.lock().unwrap();
+            while !*go {
+                let (guard, timed_out) =
+                    cv.wait_timeout(go, Duration::from_secs(10)).unwrap();
+                go = guard;
+                assert!(!timed_out.timed_out(), "test never released the root");
+            }
+            drop(go);
+            self.inner.handle_update(worker, up)
+        }
+
+        fn handle_resync(&mut self, worker: u16) -> DownMsg {
+            self.inner.handle_resync(worker)
+        }
+
+        fn applied(&self, worker: u16) -> u64 {
+            self.inner.applied(worker)
+        }
+    }
+
+    /// Regression test for the edge-state/upstream lock split: with the
+    /// upstream exchange formerly run under the state lock, a member
+    /// resync (or duplicate reply, or `applied` probe) queued behind the
+    /// whole root round-trip — and this test deadlocked, because the
+    /// stalled root is only released *after* the resync returns.
+    #[test]
+    fn resync_served_from_cache_while_upstream_exchange_in_flight() {
+        let layout = layout();
+        let p = full_partition();
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let hash = layout.layout_hash();
+        let bytes = layout.encode();
+        let mut addrs = Vec::new();
+        let mut joins = Vec::new();
+        for (k, info) in layout.spans.iter().enumerate() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            addrs.push(listener.local_addr().unwrap().to_string());
+            let span = layout.shard_span(k);
+            let handler = Arc::new(Mutex::new(StallingRoot {
+                inner: RootSpan {
+                    model: vec![0.0; span.len],
+                    sub: p.subpartition(&span),
+                    applied: vec![0; 1],
+                    got: Vec::new(),
+                },
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            }));
+            let mut opts = ServerOpts::new(1, info.len, info.theta0_crc);
+            opts.read_timeout = Duration::from_millis(50);
+            opts.deadline = Some(Duration::from_secs(30));
+            opts.span = Some(SpanOpts {
+                index: k as u32,
+                num_spans: layout.num_spans() as u32,
+                layout_hash: hash,
+                layout_bytes: bytes.clone(),
+            });
+            joins.push(thread::spawn(move || serve_cluster(listener, handler, opts)));
+        }
+        let up = ClusterTransport::with_opts(layout, &addrs, 0, |o| {
+            o.read_timeout = Duration::from_secs(10);
+            o.backoff_base = Duration::from_millis(20);
+        })
+        .unwrap();
+        let edge = EdgeHandler::new(
+            up,
+            full_partition(),
+            vec![0.0; 5],
+            0,
+            1,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+
+        // The (single) member's update completes the round: the runner
+        // thread blocks inside the root's stalled `handle_update`.
+        let edge2 = Arc::clone(&edge);
+        let member = thread::spawn(move || edge2.handle_sequenced(0, 1, member_up(0, 1)));
+        {
+            let (flag, cv) = &*entered;
+            let mut seen = flag.lock().unwrap();
+            while !*seen {
+                let (guard, timed_out) =
+                    cv.wait_timeout(seen, Duration::from_secs(10)).unwrap();
+                seen = guard;
+                assert!(!timed_out.timed_out(), "upstream exchange never reached the root");
+            }
+        }
+        // Upstream round-trip is in flight. Resync and the applied
+        // probe must be served from the edge cache immediately — the
+        // root is only released below, after they return.
+        match edge.handle_resync(0).unwrap() {
+            DownMsg::DenseModel(m) => assert_eq!(*m, vec![0.0; 5], "pre-round cache"),
+            other => panic!("unexpected resync reply {other:?}"),
+        }
+        assert_eq!(edge.applied(0).unwrap(), 0, "round not yet applied");
+        {
+            let (gate, cv) = &*release;
+            *gate.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        match member.join().unwrap().unwrap() {
+            Sequenced::Applied(DownMsg::SparseDiff(s)) => assert_eq!(s.chunks.len(), 2),
+            other => panic!("unexpected member reply {other:?}"),
+        }
+        edge.finish().unwrap();
+        for j in joins {
+            j.join().unwrap().unwrap();
+        }
     }
 
     #[test]

@@ -229,6 +229,7 @@ pub fn serve_cluster_evented<H: SharedUpdateHandler>(
             let slot = ev.token - 1;
             let Some(entry) = entries.get_mut(slot).and_then(Option::as_mut) else { continue };
             if ev.readable {
+                // dgs::allow(no-blocking-under-lock): the blocking chain is edge-only (run_round's upstream exchange); edge tiers are served by the thread backend per the edge module contract, never by this event loop
                 let outcome = entry.conn.handle_readable(handler.as_ref(), &opts, &mut scratch);
                 finished += outcome.finished;
             }

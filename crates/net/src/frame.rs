@@ -235,21 +235,25 @@ pub fn write_frame_buffered<W: Write>(
 /// Parses a 20-byte header buffer (magic/version/type validation only —
 /// the CRC is checked against the body by [`read_frame`]).
 pub fn parse_header(raw: &[u8; HEADER_LEN]) -> NetResult<FrameHeader> {
-    if raw[0..4] != MAGIC {
-        return Err(NetError::BadMagic([raw[0], raw[1], raw[2], raw[3]]));
+    // Irrefutable destructure of the fixed-size header: field offsets
+    // live in one pattern and no byte is reached by indexing.
+    let [m0, m1, m2, m3, version, ty, w0, w1, s0, s1, s2, s3, l0, l1, l2, l3, c0, c1, c2, c3] =
+        *raw;
+    let magic = [m0, m1, m2, m3];
+    if magic != MAGIC {
+        return Err(NetError::BadMagic(magic));
     }
-    let version = raw[4];
     if version != VERSION {
         return Err(NetError::BadVersion(version));
     }
-    let msg_type = MsgType::from_u8(raw[5]).ok_or(NetError::BadMsgType(raw[5]))?;
+    let msg_type = MsgType::from_u8(ty).ok_or(NetError::BadMsgType(ty))?;
     Ok(FrameHeader {
         version,
         msg_type,
-        worker: u16::from_le_bytes([raw[6], raw[7]]),
-        seq: u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]),
-        len: u32::from_le_bytes([raw[12], raw[13], raw[14], raw[15]]),
-        crc: u32::from_le_bytes([raw[16], raw[17], raw[18], raw[19]]),
+        worker: u16::from_le_bytes([w0, w1]),
+        seq: u32::from_le_bytes([s0, s1, s2, s3]),
+        len: u32::from_le_bytes([l0, l1, l2, l3]),
+        crc: u32::from_le_bytes([c0, c1, c2, c3]),
     })
 }
 
@@ -261,7 +265,10 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> NetResult<(FrameHea
     // First byte distinguishes clean close from truncation.
     let mut got = 0usize;
     while got < HEADER_LEN {
-        match r.read(&mut raw[got..]) {
+        // The loop bound keeps this `Some`; get_mut() keeps the wire
+        // path free of panic sites even against a misbehaving reader.
+        let Some(dst) = raw.get_mut(got..) else { break };
+        match r.read(dst) {
             Ok(0) if got == 0 => return Err(NetError::Closed),
             Ok(0) => {
                 return Err(NetError::Io(std::io::Error::new(
@@ -293,7 +300,8 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> NetResult<(FrameHea
     let mut payload = vec![0u8; len];
     let mut got = 0usize;
     while got < len {
-        match r.read(&mut payload[got..]) {
+        let Some(dst) = payload.get_mut(got..) else { break };
+        match r.read(dst) {
             Ok(0) => {
                 return Err(NetError::Io(std::io::Error::new(
                     ErrorKind::UnexpectedEof,
@@ -384,7 +392,13 @@ impl FrameDecoder {
             }
             DecodeState::Header { buf, got } => {
                 let take = input.len().min(HEADER_LEN - *got);
-                buf[*got..*got + take].copy_from_slice(&input[..take]);
+                // Both sub-slices exist by construction of `take`;
+                // get()-style access keeps this panic-free regardless.
+                if let (Some(dst), Some(src)) =
+                    (buf.get_mut(*got..*got + take), input.get(..take))
+                {
+                    dst.copy_from_slice(src);
+                }
                 *got += take;
                 if *got < HEADER_LEN {
                     return Ok((take, None));
@@ -421,7 +435,7 @@ impl FrameDecoder {
             DecodeState::Payload { header, len, buf } => {
                 let need = *len - buf.len();
                 let take = input.len().min(need);
-                buf.extend_from_slice(&input[..take]);
+                buf.extend_from_slice(input.get(..take).unwrap_or_default());
                 if buf.len() < *len {
                     return Ok((take, None));
                 }

@@ -14,5 +14,6 @@
 pub use dgs_core::cluster::{ClusterLayout, SpanInfo};
 pub use dgs_core::protocol::{DownMsg, UpMsg, UpPayload, HEADER_BYTES, UP_LOSS_BYTES};
 pub use dgs_sparsify::{
-    merge_sparse_updates, Partition, ShardSpan, SparseUpdate, SparseVec, TernaryUpdate, TernaryVec,
+    merge_sparse_updates, try_merge_sparse_updates, Partition, ShardSpan, SparseUpdate, SparseVec,
+    TernaryUpdate, TernaryVec,
 };

@@ -579,24 +579,36 @@ impl<H: UpdateHandler + Send> SharedUpdateHandler for Mutex<H> {
     fn handle_sequenced(&self, worker: u16, seq: u32, up: UpMsg) -> Result<Sequenced, &'static str> {
         // One lock for check + apply: a poisoned lock means another
         // connection's thread panicked mid-update and the training state
-        // cannot be trusted.
-        let mut h = self.lock().map_err(|_| POISONED_REASON)?;
-        let applied = h.applied(worker);
-        Ok(if u64::from(seq) == applied + 1 {
-            Sequenced::Applied(h.handle_update(worker, up))
-        } else if u64::from(seq) <= applied {
-            Sequenced::Duplicate(h.handle_resync(worker))
-        } else {
-            Sequenced::Gap { applied }
-        })
+        // cannot be trusted. The lock is taken *inside* the containment,
+        // so a panicking apply still poisons it (every later caller gets
+        // the reason string) while this connection answers with an error
+        // frame instead of unwinding its thread — the contract above.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut h = self.lock().map_err(|_| POISONED_REASON)?;
+            let applied = h.applied(worker);
+            Ok(if u64::from(seq) == applied + 1 {
+                Sequenced::Applied(h.handle_update(worker, up))
+            } else if u64::from(seq) <= applied {
+                Sequenced::Duplicate(h.handle_resync(worker))
+            } else {
+                Sequenced::Gap { applied }
+            })
+        }))
+        .unwrap_or(Err(POISONED_REASON))
     }
 
     fn handle_resync(&self, worker: u16) -> Result<DownMsg, &'static str> {
-        self.lock().map_err(|_| POISONED_REASON).map(|mut h| h.handle_resync(worker))
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.lock().map_err(|_| POISONED_REASON).map(|mut h| h.handle_resync(worker))
+        }))
+        .unwrap_or(Err(POISONED_REASON))
     }
 
     fn applied(&self, worker: u16) -> Result<u64, &'static str> {
-        self.lock().map_err(|_| POISONED_REASON).map(|h| h.applied(worker))
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.lock().map_err(|_| POISONED_REASON).map(|h| h.applied(worker))
+        }))
+        .unwrap_or(Err(POISONED_REASON))
     }
 }
 
@@ -634,6 +646,9 @@ impl<H: UpdateHandler> Loopback<H> {
     }
 
     /// Pumps one frame through the server side and pushes the reply back.
+    /// Handler dispatch is contained like the TCP path's: a panicking
+    /// apply (or a poisoned `RefCell` borrow) comes back as a protocol
+    /// error, never an unwind through the transport.
     fn serve_one(&mut self) -> NetResult<()> {
         match self.server_conn.read_event()? {
             Event::Update { worker, seq, msg } => {
@@ -643,19 +658,26 @@ impl<H: UpdateHandler> Loopback<H> {
                         self.worker
                     )));
                 }
-                let mut handler = self.handler.borrow_mut();
-                let applied = handler.applied(worker);
-                if u64::from(seq) != applied + 1 {
-                    return Err(NetError::Protocol(format!(
-                        "out-of-order update: seq {seq}, applied {applied}"
-                    )));
-                }
-                let reply = handler.handle_update(worker, *msg);
-                drop(handler);
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut handler = self.handler.borrow_mut();
+                    let applied = handler.applied(worker);
+                    if u64::from(seq) != applied + 1 {
+                        return Err(NetError::Protocol(format!(
+                            "out-of-order update: seq {seq}, applied {applied}"
+                        )));
+                    }
+                    Ok(handler.handle_update(worker, *msg))
+                }))
+                .unwrap_or_else(|_| {
+                    Err(NetError::Protocol("loopback handler panicked".into()))
+                })?;
                 self.server_conn.send_reply(worker, seq, &reply)
             }
             Event::Resync { worker, .. } => {
-                let reply = self.handler.borrow_mut().handle_resync(worker);
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.handler.borrow_mut().handle_resync(worker)
+                }))
+                .map_err(|_| NetError::Protocol("loopback handler panicked".into()))?;
                 self.server_conn.send_reply(worker, self.seq, &reply)
             }
             Event::Shutdown { worker } => {

@@ -122,11 +122,26 @@ impl SparseUpdate {
     }
 
     /// Adds `scale × self` into a flat dense vector.
+    ///
+    /// # Panics
+    ///
+    /// If the chunk count does not match the partition. Updates decoded
+    /// off the wire should go through [`Self::try_apply_add`] so a
+    /// mis-partitioned peer surfaces as an error, not a panic.
     pub fn apply_add(&self, flat: &mut [f32], part: &Partition, scale: f32) {
-        assert_eq!(self.chunks.len(), part.num_segments(), "update/partition mismatch");
-        for (i, chunk) in self.chunks.iter().enumerate() {
-            chunk.apply_add(part.slice_mut(flat, i), scale);
+        self.try_apply_add(flat, part, scale).expect("update/partition mismatch");
+    }
+
+    /// Fallible [`Self::apply_add`]: returns `None` without touching
+    /// `flat` when the chunk count does not match the partition.
+    pub fn try_apply_add(&self, flat: &mut [f32], part: &Partition, scale: f32) -> Option<()> {
+        if self.chunks.len() != part.num_segments() {
+            return None;
         }
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            scatter_add(part.slice_mut(flat, i), &chunk.idx, &chunk.val, scale);
+        }
+        Some(())
     }
 
     /// Densifies into a fresh flat vector covering the partition.
@@ -202,15 +217,27 @@ impl SparseUpdate {
 ///
 /// # Panics
 /// Panics if `inputs` is empty or the chunk counts disagree — both are
-/// construction bugs at the call site, not runtime conditions.
+/// construction bugs at the call site, not runtime conditions. Callers
+/// merging **wire-derived** updates (where a misbehaving peer controls
+/// the chunk counts) must use [`try_merge_sparse_updates`] instead.
 pub fn merge_sparse_updates(inputs: &[&SparseUpdate]) -> SparseUpdate {
-    assert!(!inputs.is_empty(), "merge of zero updates");
-    let num_chunks = inputs[0].chunks.len();
-    for u in inputs {
-        assert_eq!(u.chunks.len(), num_chunks, "updates must share a partition");
+    try_merge_sparse_updates(inputs)
+        .expect("merge of zero updates, or updates that do not share a partition")
+}
+
+/// Fallible form of [`merge_sparse_updates`]: `None` when `inputs` is
+/// empty or the chunk counts disagree, instead of panicking. This is
+/// the entry point for wire-derived inputs — a peer must not be able
+/// to panic the aggregator by sending a payload cut to a different
+/// partition.
+pub fn try_merge_sparse_updates(inputs: &[&SparseUpdate]) -> Option<SparseUpdate> {
+    let first = inputs.first()?;
+    let num_chunks = first.chunks.len();
+    if inputs.iter().any(|u| u.chunks.len() != num_chunks) {
+        return None;
     }
     if let [only] = inputs {
-        return (*only).clone();
+        return Some((*only).clone());
     }
     let chunks = (0..num_chunks)
         .map(|c| {
@@ -222,7 +249,7 @@ pub fn merge_sparse_updates(inputs: &[&SparseUpdate]) -> SparseUpdate {
             SparseVec { idx, val }
         })
         .collect();
-    SparseUpdate { chunks }
+    Some(SparseUpdate { chunks })
 }
 
 #[cfg(test)]
@@ -328,6 +355,36 @@ mod tests {
         // Single input: bitwise clone.
         let one = merge_sparse_updates(&[&a]);
         assert_eq!(one, a);
+    }
+
+    #[test]
+    fn try_merge_rejects_empty_and_mismatched_partitions() {
+        let part = part_2();
+        let a = SparseUpdate::from_nonzero(&[1.0, 0.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0], &part);
+        let b = SparseUpdate::from_nonzero(&[0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 7.0, 0.0, 0.0, 0.0], &part);
+        // The happy path matches the panicking form exactly.
+        let merged = try_merge_sparse_updates(&[&a, &b]).unwrap();
+        assert_eq!(merged, merge_sparse_updates(&[&a, &b]));
+        // Wire-derived failure modes are reported, not panicked: a peer
+        // cutting its update to a different partition, or none at all.
+        let narrow = SparseUpdate { chunks: vec![a.chunks[0].clone()] };
+        assert_eq!(try_merge_sparse_updates(&[&a, &narrow]), None);
+        assert_eq!(try_merge_sparse_updates(&[]), None);
+    }
+
+    #[test]
+    fn try_apply_add_rejects_mismatched_partition() {
+        let part = part_2();
+        let up = SparseUpdate::from_nonzero(&[1.0, 0.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0], &part);
+        let mut flat = vec![0.0; part.total_len()];
+        assert_eq!(up.try_apply_add(&mut flat, &part, 1.0), Some(()));
+        assert_eq!(flat, up.to_dense(&part));
+        // A chunk count cut to some other partition reports None and
+        // leaves the destination untouched.
+        let narrow = SparseUpdate { chunks: vec![up.chunks[0].clone()] };
+        let before = flat.clone();
+        assert_eq!(narrow.try_apply_add(&mut flat, &part, 1.0), None);
+        assert_eq!(flat, before);
     }
 
     #[test]

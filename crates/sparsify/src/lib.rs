@@ -42,7 +42,7 @@ pub mod sampled;
 pub mod stats;
 pub mod topk;
 
-pub use coo::{merge_sparse_updates, SparseUpdate, SparseVec};
+pub use coo::{merge_sparse_updates, try_merge_sparse_updates, SparseUpdate, SparseVec};
 pub use merge::{
     diff_pairs_at, diff_pairs_dense, mag_idx_order, merge_sum_pairs, retain_dirty, scatter_pairs,
     scatter_track_dirty, send_all_at, send_all_dense, send_topk_dense, sort_dedup,
