@@ -47,7 +47,16 @@ impl Config {
                 // a partial_cmp comparator silently reorders NaN magnitudes.
                 Scope {
                     rule: "nan-ordering",
-                    include: vec!["crates/sparsify/src", "crates/core/src", "crates/psim/src"],
+                    include: vec![
+                        "crates/sparsify/src",
+                        "crates/core/src",
+                        "crates/psim/src",
+                        // The kernel tier handles raw magnitude keys: a
+                        // partial_cmp anywhere in the dispatch seam or the
+                        // SIMD twins would desync them from the scalar path.
+                        "crates/tensor/src/kernel.rs",
+                        "crates/tensor/src/simd.rs",
+                    ],
                 },
                 // Bit-exact server determinism (Eq. 5 equivalence proofs).
                 // The sharded server carries the same proof obligation: its
@@ -74,6 +83,13 @@ impl Config {
                         "crates/net/src/cluster.rs",
                         "crates/net/src/edge.rs",
                         "crates/psim/src/des.rs",
+                        // Backend dispatch sits on every bitwise-replay
+                        // path: both kernels must stay schedule-pure and
+                        // emit-order identical (the differential suites
+                        // prove it; the rule keeps entropy out).
+                        "crates/tensor/src/kernel.rs",
+                        "crates/tensor/src/simd.rs",
+                        "crates/net/src/crc_simd.rs",
                     ],
                 },
                 // "Error, never panic" wire paths (PR 2 contract).
@@ -107,10 +123,15 @@ impl Config {
                     include: vec!["crates/net/src/codec.rs", "crates/core/src/protocol.rs"],
                 },
             ],
-            // SIMD kernels in tensor, plus the event loop's poll(2)/epoll
-            // FFI shim — the registry is offline, so the syscall surface
-            // is declared by hand in exactly one file.
-            unsafe_allowed: vec!["crates/tensor/src", "crates/net/src/poll.rs"],
+            // SIMD kernels in tensor, the PCLMULQDQ CRC backend, plus the
+            // event loop's poll(2)/epoll FFI shim — the registry is
+            // offline, so the syscall surface is declared by hand in
+            // exactly one file.
+            unsafe_allowed: vec![
+                "crates/tensor/src",
+                "crates/net/src/crc_simd.rs",
+                "crates/net/src/poll.rs",
+            ],
             manifest: crate::manifest::parse(crate::manifest::DEFAULT_MANIFEST)
                 .expect("embedded audit-lock-order.toml must parse"),
         }
@@ -191,7 +212,14 @@ mod tests {
         assert!(cfg.applies("no-panic-io", "crates/net/src/event_loop.rs"));
         assert!(cfg.unsafe_is_allowed("crates/tensor/src/simd.rs"));
         assert!(cfg.unsafe_is_allowed("crates/net/src/poll.rs"));
+        assert!(cfg.unsafe_is_allowed("crates/net/src/crc_simd.rs"));
         assert!(!cfg.unsafe_is_allowed("crates/net/src/tcp.rs"));
         assert!(!cfg.unsafe_is_allowed("crates/net/src/conn.rs"));
+        assert!(cfg.applies("nan-ordering", "crates/tensor/src/simd.rs"));
+        assert!(cfg.applies("nan-ordering", "crates/tensor/src/kernel.rs"));
+        assert!(!cfg.applies("nan-ordering", "crates/tensor/src/lib.rs"));
+        assert!(cfg.applies("determinism", "crates/tensor/src/kernel.rs"));
+        assert!(cfg.applies("determinism", "crates/net/src/crc_simd.rs"));
+        assert!(!cfg.applies("determinism", "crates/tensor/src/matmul.rs"));
     }
 }

@@ -1,0 +1,16 @@
+//! Trip/pass fixture for `unsafe-budget` over explicit SIMD intrinsics
+//! in the PCLMULQDQ folding backend's budgeted file.
+
+// SAFETY: callers check `pclmulqdq` support before taking this path;
+// the target_feature contract is the only obligation.
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn fold16(a: __m128i, k: __m128i) -> __m128i {
+    // SAFETY: register-only carry-less multiply, no memory access.
+    unsafe { _mm_xor_si128(_mm_clmulepi64_si128::<0x00>(a, k), a) }
+}
+
+pub fn digest_head(data: &[u8]) -> u32 {
+    let v = unsafe { _mm_loadu_si128(data.as_ptr().cast()) };
+    let _ = v;
+    0
+}

@@ -75,6 +75,26 @@ fn unsafe_in_tensor_requires_nearby_safety_comment() {
 }
 
 #[test]
+fn unsafe_intrinsics_in_crc_simd_budget_need_safety_comments() {
+    // Inside the budgeted PCLMULQDQ file: the annotated `unsafe fn` and
+    // its annotated body (lines 7/9) pass; the bare intrinsic load with
+    // no `// SAFETY:` in reach (line 13) is the pinned finding.
+    let f =
+        audit("crates/net/src/crc_simd.rs", include_str!("fixtures/unsafe_simd_intrinsic.rs"));
+    assert_eq!(rule_lines(&f), vec![("unsafe-budget", 13)], "{f:?}");
+    assert!(f[0].message.contains("SAFETY"), "{}", f[0].message);
+    // The same intrinsics in any other net file are outside the budget:
+    // every `unsafe` is a hard finding, annotated or not.
+    let f = audit("crates/net/src/conn.rs", include_str!("fixtures/unsafe_simd_intrinsic.rs"));
+    assert_eq!(
+        rule_lines(&f),
+        vec![("unsafe-budget", 7), ("unsafe-budget", 9), ("unsafe-budget", 13)],
+        "{f:?}"
+    );
+    assert!(f.iter().all(|x| x.message.contains("outside the budget")), "{f:?}");
+}
+
+#[test]
 fn paired_symbols_flags_unpaired_fns_and_uncovered_variants() {
     let f = audit("crates/net/src/codec.rs", include_str!("fixtures/paired_symbols.rs"));
     // The pretend path is a wire entry file, so the graph tier also sees

@@ -1,0 +1,187 @@
+//! Kernel backend benchmarks: the scalar twins vs the explicit SIMD tier
+//! (`AVX2` in `dgs_tensor::simd`, `PCLMULQDQ` in `dgs_net::crc_simd`)
+//! across the hot sparsification and wire primitives — histogram fill,
+//! chunk scan, gather/scatter, dense diff, ternary encode, and CRC-32 —
+//! at dims {64 Ki, 1 M}. Results are recorded in `BENCH_kernels.json` at
+//! the repo root (measured by a standalone interleaved timing mirror on
+//! the 1-core container; see its provenance block).
+//!
+//! Skips the SIMD legs with a notice when the CPU lacks AVX2: the scalar
+//! rows still run, and the equivalence assertions before each timed pair
+//! still exercise whatever `Kernel::runtime()` resolves to.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_net::crc::{crc32_update_with, CRC_INIT};
+use dgs_tensor::Kernel;
+
+/// Smooth heavy-tailed synthetic gradient (cubed sinusoid mix): its
+/// magnitude keys are near-distinct, the histogram fast path's worst case.
+fn synth_heavy(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.7391).sin() * 2.0 + (i as f64 * 0.113).cos();
+            (x * x * x) as f32
+        })
+        .collect()
+}
+
+/// One-ulp magnitude plateau: maximally clustered keys.
+fn synth_plateau(n: usize) -> Vec<f32> {
+    (0..n).map(|i| 1.0 + ((i as f64 * 0.618_033_988).fract() * 1e-3) as f32).collect()
+}
+
+/// Exponential decay with sign flips: the gradient-like shape of the
+/// paper's operating regime.
+fn synth_skewed(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let mag = (-(i as f64) * 8.0 / n as f64).exp();
+            (if i % 3 == 0 { -mag } else { mag }) as f32
+        })
+        .collect()
+}
+
+fn mag_key(v: f32) -> u32 {
+    v.to_bits() & 0x7FFF_FFFF
+}
+
+/// Backends to time: scalar always, SIMD only where the CPU supports it.
+fn backends() -> Vec<(&'static str, Kernel)> {
+    let mut b = vec![("scalar", Kernel::Scalar)];
+    if Kernel::simd_available() {
+        b.push(("simd", Kernel::Simd));
+    } else {
+        eprintln!("kernel_backends: no AVX2 on this CPU — timing scalar legs only");
+    }
+    b
+}
+
+fn bench_hist16(c: &mut Criterion) {
+    let dists: [(&str, fn(usize) -> Vec<f32>); 3] =
+        [("heavy", synth_heavy), ("skewed", synth_skewed), ("plateau", synth_plateau)];
+    for &(dist, gen) in &dists {
+        let mut group = c.benchmark_group(format!("kernel/hist16/{dist}"));
+        for &n in &[65_536usize, 1_048_576] {
+            let data = gen(n);
+            // Differential check on the exact bench input before timing.
+            let (mut hs, mut hv) = (Vec::new(), Vec::new());
+            Kernel::Scalar.hist16(&data, &mut hs);
+            Kernel::runtime().hist16(&data, &mut hv);
+            assert_eq!(hs, hv, "hist16 backends disagree on {dist}/{n}");
+            let mut counts = Vec::new();
+            for (name, kernel) in backends() {
+                group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                    b.iter(|| {
+                        kernel.hist16(black_box(&data), &mut counts);
+                        black_box(&counts);
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+fn bench_scan_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/scan_gather");
+    for &n in &[65_536usize, 1_048_576] {
+        let data = synth_heavy(n);
+        // The two-byte bucket holding the top-1% threshold, like the radix
+        // engine's refinement passes see it.
+        let kth = {
+            let mut keys: Vec<u32> = data.iter().map(|&v| mag_key(v)).collect();
+            let k = n / 100;
+            let len = keys.len();
+            keys.select_nth_unstable(len - k);
+            keys[len - k]
+        };
+        let prefix = kth >> 16;
+        let idx: Vec<u32> =
+            (0..n as u32).filter(|&i| mag_key(data[i as usize]) >= kth).collect();
+        let shadow = {
+            let mut s = data.clone();
+            for i in (0..n).step_by(7) {
+                s[i] += 0.5;
+            }
+            s
+        };
+        let (mut keys, mut pos, mut definite) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut gk, mut diff, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        for (name, kernel) in backends() {
+            group.bench_with_input(BenchmarkId::new(format!("{name}/select_scan"), n), &n, |b, _| {
+                b.iter(|| {
+                    keys.clear();
+                    pos.clear();
+                    definite.clear();
+                    kernel.select_scan(black_box(&data), prefix, 16, &mut keys, &mut pos, &mut definite);
+                    black_box((&keys, &definite));
+                })
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{name}/gather_keys"), n), &n, |b, _| {
+                b.iter(|| {
+                    gk.clear();
+                    kernel.gather_keys(black_box(&data), prefix, 16, &mut gk);
+                    black_box(&gk);
+                })
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{name}/gather_topk"), n), &n, |b, _| {
+                b.iter(|| {
+                    out.clear();
+                    kernel.gather_into(black_box(&data), black_box(&idx), &mut out);
+                    black_box(&out);
+                })
+            });
+            // The dense-merge downlink unit of work: diff, then gather the
+            // selected values from the diff.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/merge_diff_gather"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        diff.clear();
+                        out.clear();
+                        kernel.diff_into(black_box(&data), black_box(&shadow), &mut diff);
+                        kernel.gather_into(black_box(&diff), black_box(&idx), &mut out);
+                        black_box(&out);
+                    })
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("{name}/diff_into"), n), &n, |b, _| {
+                b.iter(|| {
+                    diff.clear();
+                    black_box(kernel.diff_into(black_box(&data), black_box(&shadow), &mut diff));
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_quant_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/quant_crc");
+    for &n in &[65_536usize, 1_048_576] {
+        let data = synth_heavy(n);
+        let signs: Vec<u8> = (0..n.div_ceil(8)).map(|i| (i * 37) as u8).collect();
+        let bytes: Vec<u8> = (0..n).map(|i| (i * 131) as u8).collect();
+        let mut out = Vec::new();
+        for (name, kernel) in backends() {
+            group.bench_with_input(BenchmarkId::new(format!("{name}/max_abs"), n), &n, |b, _| {
+                b.iter(|| black_box(kernel.max_abs(black_box(&data))))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{name}/sign_expand"), n), &n, |b, _| {
+                b.iter(|| {
+                    out.clear();
+                    kernel.sign_expand(1.5, black_box(&signs), n, &mut out);
+                    black_box(&out);
+                })
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{name}/crc32"), n), &n, |b, _| {
+                b.iter(|| black_box(crc32_update_with(kernel, CRC_INIT, black_box(&bytes))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hist16, bench_scan_gather, bench_quant_crc);
+criterion_main!(benches);

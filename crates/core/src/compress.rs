@@ -15,7 +15,7 @@ use dgs_sparsify::{
     SparseVec,
 };
 use dgs_tensor::tensor::l2_norm_slice;
-use dgs_tensor::BufferPool;
+use dgs_tensor::{BufferPool, Kernel};
 use rayon::prelude::*;
 
 /// Splits a flat model-sized buffer into its per-segment slices (the
@@ -57,6 +57,12 @@ pub trait Compressor: Send {
     /// changes cost only. No-op for compressors without Top-k selection
     /// (dense, random-drop).
     fn set_select_strategy(&mut self, _select: SelectStrategy) {}
+
+    /// Selects the compute backend for the selection kernels
+    /// ([`Kernel::runtime`] by default). Backends are bitwise identical,
+    /// so this changes cost only. No-op for compressors without Top-k
+    /// selection (dense, random-drop).
+    fn set_kernel(&mut self, _kernel: Kernel) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -91,6 +97,7 @@ impl Compressor for DenseCompressor {
 pub struct GradientDroppingCompressor {
     residual: Vec<f32>,
     select: SelectStrategy,
+    kernel: Kernel,
     scratch: BufferPool<u32>,
 }
 
@@ -100,6 +107,7 @@ impl GradientDroppingCompressor {
         GradientDroppingCompressor {
             residual: vec![0.0; dim],
             select: SelectStrategy::default(),
+            kernel: Kernel::runtime(),
             scratch: BufferPool::new(64),
         }
     }
@@ -125,7 +133,8 @@ impl Compressor for GradientDroppingCompressor {
                 self.scratch.acquire(),
                 self.scratch.acquire(),
                 self.scratch.acquire(),
-            );
+            )
+            .with_kernel(self.kernel);
             jobs.push((seg, sel));
         }
         let run = |(seg, mut sel): (&mut [f32], SelectScratch)| {
@@ -164,6 +173,10 @@ impl Compressor for GradientDroppingCompressor {
     fn set_select_strategy(&mut self, select: SelectStrategy) {
         self.select = select;
     }
+
+    fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -187,6 +200,7 @@ pub struct DgcCompressor {
     momentum: f32,
     clip_norm: f32,
     select: SelectStrategy,
+    kernel: Kernel,
     scratch: BufferPool<u32>,
 }
 
@@ -199,6 +213,7 @@ impl DgcCompressor {
             momentum,
             clip_norm,
             select: SelectStrategy::default(),
+            kernel: Kernel::runtime(),
             scratch: BufferPool::new(64),
         }
     }
@@ -242,7 +257,8 @@ impl Compressor for DgcCompressor {
                 self.scratch.acquire(),
                 self.scratch.acquire(),
                 self.scratch.acquire(),
-            );
+            )
+            .with_kernel(self.kernel);
             jobs.push((r_seg, u_seg, sel));
         }
         let run = |(r_seg, u_seg, mut sel): (&mut [f32], &mut [f32], SelectScratch)| {
@@ -281,6 +297,10 @@ impl Compressor for DgcCompressor {
     fn set_select_strategy(&mut self, select: SelectStrategy) {
         self.select = select;
     }
+
+    fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -301,6 +321,7 @@ pub struct SaMomentumCompressor {
     velocity: Vec<f32>,
     momentum: f32,
     select: SelectStrategy,
+    kernel: Kernel,
     scratch: BufferPool<u32>,
 }
 
@@ -315,6 +336,7 @@ impl SaMomentumCompressor {
             velocity: vec![0.0; dim],
             momentum,
             select: SelectStrategy::default(),
+            kernel: Kernel::runtime(),
             scratch: BufferPool::new(64),
         }
     }
@@ -341,7 +363,8 @@ impl Compressor for SaMomentumCompressor {
                 self.scratch.acquire(),
                 self.scratch.acquire(),
                 self.scratch.acquire(),
-            );
+            )
+            .with_kernel(self.kernel);
             jobs.push((seg, sel));
         }
         let run = |(seg, mut sel): (&mut [f32], SelectScratch)| {
@@ -381,6 +404,10 @@ impl Compressor for SaMomentumCompressor {
 
     fn set_select_strategy(&mut self, select: SelectStrategy) {
         self.select = select;
+    }
+
+    fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 }
 

@@ -44,13 +44,13 @@ use crate::update_log::UpdateLog;
 use crate::PAR_THRESHOLD;
 use dgs_psim::StalenessStats;
 use dgs_sparsify::merge::{
-    diff_pairs_at, retain_dirty, scatter_pairs, scatter_track_dirty, send_all_at, send_all_dense,
-    send_topk_dense, sort_dedup, sort_dedup_bitmap, topk_pairs_with,
+    diff_pairs_at, retain_dirty, scatter_pairs, scatter_track_dirty, send_all_at,
+    send_all_dense_with, send_topk_dense, sort_dedup, sort_dedup_pooled, topk_pairs_with,
 };
 use dgs_sparsify::{
     k_for_ratio, scatter_add, Partition, SelectScratch, SelectStrategy, SparseUpdate, SparseVec,
 };
-use dgs_tensor::BufferPool;
+use dgs_tensor::{BufferPool, Kernel};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -157,10 +157,16 @@ pub struct MdtServer {
     model_cache: Option<Arc<Vec<f32>>>,
     /// Recycled scratch for candidate index lists.
     scratch: BufferPool<u32>,
-    /// Zeroed-at-rest bitmap over the coordinate domain, used to merge
-    /// candidate runs in O(n) instead of comparison-sorting them
-    /// (`dim/8` bytes; empty for the dense-model downlink).
-    mask: Vec<u64>,
+    /// Pool holding the zeroed-at-rest bitmap over the coordinate domain,
+    /// used to merge candidate runs in O(n) instead of comparison-sorting
+    /// them (`dim/8` bytes once warm; nothing for the dense-model
+    /// downlink). Returned via `release_unchanged` — the merge restores it
+    /// to all-zero, so reuse skips the O(dim/8) re-zero per reply.
+    mask_pool: BufferPool<u64>,
+    /// Compute backend for the dense merge kernels (diff materialisation,
+    /// gather, histogram fill). Payload-invariant: backends are bitwise
+    /// identical, so this changes cost only, never the wire bytes.
+    kernel: Kernel,
     /// Per-worker: is `pending[k]` a trustworthy dirty-set superset? A
     /// degenerate dense fallback that skips tracking clears this; the log
     /// path requires it and the next tracked scan re-establishes it.
@@ -185,15 +191,11 @@ impl MdtServer {
     pub fn new(theta0: Vec<f32>, partition: Partition, workers: usize, downlink: Downlink) -> Self {
         partition.check_covers(&theta0);
         let dim = theta0.len();
-        let (v, pending, log, model_cache, mask) = match downlink {
+        let (v, pending, log, model_cache) = match downlink {
             // Dense-model downlink needs no per-worker tracking.
-            Downlink::DenseModel => (
-                Vec::new(),
-                Vec::new(),
-                UpdateLog::new(0),
-                Some(Arc::new(theta0.clone())),
-                Vec::new(),
-            ),
+            Downlink::DenseModel => {
+                (Vec::new(), Vec::new(), UpdateLog::new(0), Some(Arc::new(theta0.clone())))
+            }
             Downlink::ModelDifference { .. } => (
                 vec![vec![0.0f32; dim]; workers],
                 vec![Vec::new(); workers],
@@ -202,7 +204,6 @@ impl MdtServer {
                 // merge never costs more than the dense scan it replaces.
                 UpdateLog::new(dim),
                 None,
-                vec![0u64; dim.div_ceil(64)],
             ),
         };
         MdtServer {
@@ -223,7 +224,10 @@ impl MdtServer {
             // Sized for the steady state: one candidate list plus two radix
             // scratch buffers per segment in flight at once.
             scratch: BufferPool::new(64),
-            mask,
+            // One bitmap: the candidate merge runs at most once per reply,
+            // under `&mut self`.
+            mask_pool: BufferPool::new(1),
+            kernel: Kernel::runtime(),
             pending_valid: vec![true; workers],
             retrack: vec![true; workers],
             par_segments: true,
@@ -246,6 +250,19 @@ impl MdtServer {
     /// The active Top-k selection engine.
     pub fn select_strategy(&self) -> SelectStrategy {
         self.select
+    }
+
+    /// Selects the compute backend for the dense merge kernels (default:
+    /// [`Kernel::runtime`], which honours `DGS_KERNEL`). Safe to switch at
+    /// any time — backends are bitwise identical, so this changes cost
+    /// only, never the wire bytes.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// The active compute backend.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// Selects how `G = M − v_k` is reconstructed (default:
@@ -523,7 +540,7 @@ impl MdtServer {
         // them ~10× faster than a comparison sort (and ~2× faster than a
         // K-way merge of the runs — the min-of-K head scan is too branchy).
         if cand.len() >= 2048 {
-            sort_dedup_bitmap(&mut cand, &mut self.mask);
+            sort_dedup_pooled(&mut cand, self.m.len(), &mut self.mask_pool);
         } else {
             sort_dedup(&mut cand);
         }
@@ -548,6 +565,7 @@ impl MdtServer {
 
         let m = &self.m;
         let select = self.select;
+        let kernel = self.kernel;
         let mut jobs: Vec<(usize, &mut [f32], &[u32], SelectScratch)> =
             Vec::with_capacity(segments.len());
         let mut rest: &mut [f32] = &mut self.v[worker];
@@ -559,7 +577,8 @@ impl MdtServer {
                 self.scratch.acquire(),
                 self.scratch.acquire(),
                 self.scratch.acquire(),
-            );
+            )
+            .with_kernel(kernel);
             jobs.push((si, v_seg, &cand[a..b], sel));
         }
         let run = |(si, v_seg, c_seg, mut sel): (usize, &mut [f32], &[u32], SelectScratch)| {
@@ -625,6 +644,7 @@ impl MdtServer {
         let segments = self.partition.segments();
         let m = &self.m;
         let select = self.select;
+        let kernel = self.kernel;
         let mut jobs: Vec<(usize, &mut [f32], SelectScratch)> = Vec::with_capacity(segments.len());
         let mut rest: &mut [f32] = &mut self.v[worker];
         for (si, seg) in segments.iter().enumerate() {
@@ -634,7 +654,8 @@ impl MdtServer {
                 self.scratch.acquire(),
                 self.scratch.acquire(),
                 self.scratch.acquire(),
-            );
+            )
+            .with_kernel(kernel);
             jobs.push((si, v_seg, sel));
         }
         let run = |(si, v_seg, mut sel): (usize, &mut [f32], SelectScratch)| {
@@ -643,7 +664,7 @@ impl MdtServer {
             let (sv, mut dirty, nnz) = match secondary_ratio {
                 None => {
                     let mut dirty = Vec::new();
-                    let (idx, val) = send_all_dense(m_seg, v_seg, &mut dirty);
+                    let (idx, val) = send_all_dense_with(kernel, m_seg, v_seg, &mut dirty);
                     if !track {
                         dirty.clear();
                     }
@@ -716,7 +737,7 @@ impl MdtServer {
         ServerMemoryReport {
             model_bytes: self.m.len() * f,
             tracking_bytes: self.v.iter().map(|v| v.len() * f).sum(),
-            log_bytes: self.log.bytes() + self.mask.len() * std::mem::size_of::<u64>(),
+            log_bytes: self.log.bytes() + self.mask_pool.retained_bytes(),
             pending_bytes: self.pending.iter().map(|p| p.capacity() * u).sum(),
             cache_bytes: self.model_cache.as_ref().map_or(0, |c| c.len() * f),
             workers: self.prev.len(),
@@ -821,7 +842,6 @@ impl MdtServer {
         };
         let mut log = UpdateLog::new(if model_cache.is_some() { 0 } else { dim });
         log.forget_through(ckpt.t);
-        let mask = if model_cache.is_some() { Vec::new() } else { vec![0u64; dim.div_ceil(64)] };
         let workers = ckpt.prev.len();
         let all: Vec<u32> = (0..dim as u32).collect();
         let pending = ckpt
@@ -849,7 +869,8 @@ impl MdtServer {
             pending,
             model_cache,
             scratch: BufferPool::new(64),
-            mask,
+            mask_pool: BufferPool::new(1),
+            kernel: Kernel::runtime(),
             pending_valid: vec![true; workers],
             retrack: vec![true; workers],
             par_segments: true,
@@ -866,7 +887,7 @@ pub struct ServerMemoryReport {
     pub tracking_bytes: usize,
     /// Bytes retained by the applied-update log (≤ capacity × 4 plus
     /// per-entry headers; capacity defaults to one index per coordinate)
-    /// and its candidate-merge bitmap (`dim/8`).
+    /// and its pooled candidate-merge bitmap (`dim/8` once warm).
     pub log_bytes: usize,
     /// Bytes of the per-worker dirty sets (bounded by the live diff
     /// supports, typically ≪ one model).
@@ -1113,22 +1134,26 @@ mod tests {
 
     #[test]
     fn select_strategies_bitwise_equal_on_the_wire() {
-        // Four servers spanning {LogMerge, DenseScan} × {Comparator, Radix}
-        // through identical secondary-compressed traffic: every reply must
-        // be byte-identical regardless of the selection engine.
+        // Eight servers spanning {LogMerge, DenseScan} × {Comparator,
+        // Radix} × {Scalar, Simd} through identical secondary-compressed
+        // traffic: every reply must be byte-identical regardless of the
+        // selection engine or compute backend.
         let part = Partition::from_layer_sizes([("a", 13), ("b", 7), ("c", 20)]);
         let dim = 40;
         let downlink = Downlink::ModelDifference { secondary_ratio: Some(0.1) };
-        let mut servers: Vec<MdtServer> = (0..4)
+        let mut servers: Vec<MdtServer> = (0..8)
             .map(|i| {
                 let mut s = MdtServer::new(vec![0.0f32; dim], part.clone(), 3, downlink);
-                if i >= 2 {
+                if i % 4 >= 2 {
                     s.set_diff_strategy(DiffStrategy::DenseScan);
                 }
                 let select =
                     if i % 2 == 0 { SelectStrategy::Comparator } else { SelectStrategy::Radix };
                 s.set_select_strategy(select);
                 assert_eq!(s.select_strategy(), select);
+                let kernel = if i < 4 { Kernel::Scalar } else { Kernel::Simd };
+                s.set_kernel(kernel);
+                assert_eq!(s.kernel(), kernel);
                 s
             })
             .collect();

@@ -55,7 +55,7 @@ use crate::protocol::{DownMsg, UpMsg, UpPayload, UpPayloadView};
 use crate::server::{DiffStrategy, Downlink, MdtServer, ServerMemoryReport, StalenessDamping};
 use crate::PAR_THRESHOLD;
 use dgs_psim::StalenessStats;
-use dgs_sparsify::{Partition, SelectStrategy, ShardSpan, SparseUpdate};
+use dgs_sparsify::{Kernel, Partition, SelectStrategy, ShardSpan, SparseUpdate};
 use rayon::prelude::*;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -181,6 +181,14 @@ impl ShardedMdtServer {
     pub fn set_diff_strategy(&mut self, strategy: DiffStrategy) {
         for shard in &mut self.shards {
             shard.get_mut().expect("shard lock poisoned").set_diff_strategy(strategy);
+        }
+    }
+
+    /// Selects the compute backend on every shard (payload-invariant, see
+    /// [`MdtServer::set_kernel`]).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        for shard in &mut self.shards {
+            shard.get_mut().expect("shard lock poisoned").set_kernel(kernel);
         }
     }
 

@@ -14,7 +14,7 @@ use dgs_nn::data::Dataset;
 use dgs_nn::loader::BatchLoader;
 use dgs_nn::model::Network;
 use dgs_psim::StragglerModel;
-use dgs_sparsify::{SelectStrategy, ShardSpan, TernaryUpdate};
+use dgs_sparsify::{Kernel, SelectStrategy, ShardSpan, TernaryUpdate};
 use dgs_tensor::rng::derive_seed;
 use std::sync::Arc;
 
@@ -101,6 +101,13 @@ impl TrainWorker {
     /// bitwise-identical, so this never changes a trajectory.
     pub fn set_select_strategy(&mut self, select: SelectStrategy) {
         self.compressor.set_select_strategy(select);
+    }
+
+    /// Selects the compute backend for the uplink selection kernels (see
+    /// [`Compressor::set_kernel`]). Backends are bitwise-identical, so
+    /// this never changes a trajectory.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.compressor.set_kernel(kernel);
     }
 
     /// Runs one local iteration: minibatch gradient + compression.

@@ -12,11 +12,21 @@
 //! lane-table bugs corrupt *some* lengths/alignments while passing others.
 //!
 //! The streaming form ([`crc32_update`]) lets callers fold large payloads
-//! without concatenating buffers; both kernels share the same state
+//! without concatenating buffers; all kernels share the same state
 //! convention, so they are interchangeable mid-stream.
+//!
+//! [`crc32_update`] is a dispatch seam: under [`Kernel::Simd`] (the
+//! default on capable CPUs, overridable with `DGS_KERNEL=scalar`) buffers
+//! of ≥ 64 bytes take the `PCLMULQDQ` folding kernel in [`crate::crc_simd`],
+//! which is bitwise identical by construction — CRC-32 has one correct
+//! answer. [`crc32_update_with`] pins an explicit backend for differential
+//! tests and benches.
 
-/// Reflected polynomial for CRC-32 (IEEE).
-const POLY: u32 = 0xEDB8_8320;
+pub use dgs_tensor::Kernel;
+
+/// Reflected polynomial for CRC-32 (IEEE). Shared with `crc_simd`, which
+/// derives its folding constants from it at compile time.
+pub(crate) const POLY: u32 = 0xEDB8_8320;
 
 /// Lane tables for slicing-by-8. Lane 0 is the classic byte table
 /// (`T0[b]` = CRC of the single byte `b`, shifted out); lane `k` extends
@@ -52,9 +62,27 @@ const fn make_tables() -> [[u32; 256]; 8] {
 
 static TABLES: [[u32; 256]; 8] = make_tables();
 
-/// Folds `data` into a running CRC state (slicing-by-8 kernel). Start
-/// from [`CRC_INIT`] and finish with [`crc32_finish`].
+/// Folds `data` into a running CRC state on the runtime-selected backend
+/// ([`Kernel::runtime`]). Start from [`CRC_INIT`] and finish with
+/// [`crc32_finish`].
 pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    crc32_update_with(Kernel::runtime(), state, data)
+}
+
+/// Folds `data` into a running CRC state on an explicitly chosen backend.
+/// Both backends produce identical states for identical inputs; this
+/// entry point exists so differential tests and benches can pin one.
+pub fn crc32_update_with(kernel: Kernel, state: u32, data: &[u8]) -> u32 {
+    match kernel {
+        Kernel::Scalar => crc32_update_sliced(state, data),
+        Kernel::Simd => crate::crc_simd::crc32_update_clmul(state, data),
+    }
+}
+
+/// The slicing-by-8 scalar kernel — eight lane-table lookups fold eight
+/// payload bytes per iteration. The `Kernel::Scalar` backend, and the
+/// tail/fallback path of the `PCLMULQDQ` backend.
+pub fn crc32_update_sliced(state: u32, data: &[u8]) -> u32 {
     let mut crc = state;
     let mut chunks = data.chunks_exact(8);
     for d in &mut chunks {
@@ -142,16 +170,29 @@ mod tests {
             for start in 0..8usize {
                 let slice = &data[start..start + len];
                 assert_eq!(
-                    crc32_finish(crc32_update(CRC_INIT, slice)),
+                    crc32_finish(crc32_update_sliced(CRC_INIT, slice)),
                     crc32_finish(crc32_update_bytewise(CRC_INIT, slice)),
                     "len {len} start {start}"
                 );
             }
         }
-        assert_eq!(crc32_update(CRC_INIT, &data), crc32_update_bytewise(CRC_INIT, &data));
+        assert_eq!(crc32_update_sliced(CRC_INIT, &data), crc32_update_bytewise(CRC_INIT, &data));
         // Mid-stream handoff between the two kernels must also agree.
-        let mixed = crc32_update_bytewise(crc32_update(CRC_INIT, &data[..1000]), &data[1000..]);
+        let mixed =
+            crc32_update_bytewise(crc32_update_sliced(CRC_INIT, &data[..1000]), &data[1000..]);
         assert_eq!(crc32_finish(mixed), crc32(&data));
+    }
+
+    #[test]
+    fn backends_agree_on_every_length() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(512).collect();
+        for len in [0, 1, 8, 63, 64, 65, 200, 512] {
+            assert_eq!(
+                crc32_update_with(Kernel::Scalar, CRC_INIT, &data[..len]),
+                crc32_update_with(Kernel::Simd, CRC_INIT, &data[..len]),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod cluster;
 pub mod codec;
 pub(crate) mod conn;
 pub mod crc;
+pub(crate) mod crc_simd;
 pub mod edge;
 pub mod error;
 pub mod event_loop;

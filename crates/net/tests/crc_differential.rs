@@ -1,10 +1,13 @@
-//! Differential coverage for the slicing-by-8 CRC32 kernel: on arbitrary
-//! byte strings, chunkings, and alignments it must agree exactly with the
-//! byte-at-a-time oracle kept in `crc.rs`. Lane-table bugs are insidious —
-//! they corrupt only certain lengths or 8-byte phases — which is exactly
-//! the space proptest explores here.
+//! Differential coverage for the CRC32 kernels: on arbitrary byte
+//! strings, chunkings, and alignments the slicing-by-8 kernel and the
+//! `PCLMULQDQ` folding backend must agree exactly with the byte-at-a-time
+//! oracle kept in `crc.rs`. Lane-table and folding-constant bugs are
+//! insidious — they corrupt only certain lengths or 8-byte phases — which
+//! is exactly the space proptest explores here.
 
-use dgs_net::crc::{crc32, crc32_finish, crc32_update, crc32_update_bytewise, CRC_INIT};
+use dgs_net::crc::{
+    crc32, crc32_finish, crc32_update, crc32_update_bytewise, crc32_update_with, Kernel, CRC_INIT,
+};
 use proptest::prelude::*;
 
 fn oracle(data: &[u8]) -> u32 {
@@ -43,5 +46,27 @@ proptest! {
         whole.extend_from_slice(&b);
         prop_assert_eq!(crc32_finish(mixed_ab), oracle(&whole));
         prop_assert_eq!(crc32_finish(mixed_ba), oracle(&whole));
+    }
+
+    /// The explicitly pinned backends agree with the oracle (and therefore
+    /// with each other) on arbitrary buffers and split points — the
+    /// PCLMULQDQ folding path restarts mid-stream at every phase.
+    #[test]
+    fn pinned_backends_equal_bytewise(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        split in any::<proptest::sample::Index>(),
+    ) {
+        let cut = split.index(data.len() + 1);
+        for kernel in [Kernel::Scalar, Kernel::Simd] {
+            prop_assert_eq!(
+                crc32_finish(crc32_update_with(kernel, CRC_INIT, &data)),
+                oracle(&data)
+            );
+            let state = crc32_update_with(kernel, CRC_INIT, &data[..cut]);
+            prop_assert_eq!(
+                crc32_finish(crc32_update_with(kernel, state, &data[cut..])),
+                oracle(&data)
+            );
+        }
     }
 }

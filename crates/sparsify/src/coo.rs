@@ -17,6 +17,7 @@ use crate::partition::Partition;
 use crate::topk::{gather, scatter_add, topk_indices};
 use crate::{k_for_ratio, CompressionStats};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgs_tensor::Kernel;
 
 /// Sparse content of one partition segment: parallel index/value arrays.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -156,17 +157,36 @@ impl SparseUpdate {
         4 + self.chunks.iter().map(SparseVec::wire_bytes).sum::<usize>()
     }
 
-    /// Encodes to the binary wire format.
+    /// Encodes to the binary wire format. Runtime kernel.
     pub fn encode(&self) -> Bytes {
+        self.encode_with(Kernel::runtime())
+    }
+
+    /// [`SparseUpdate::encode`] on an explicit [`Kernel`]: index and value
+    /// arrays are appended as single bulk little-endian byte copies when
+    /// the backend offers a reinterpret view (x86-64 is little-endian, so
+    /// the in-memory `u32`/`f32` arrays *are* the wire bytes), falling
+    /// back to the per-element `put_u32_le`/`put_f32_le` loops otherwise.
+    /// Both paths emit identical bytes — f32 values are copied bit-for-bit
+    /// either way, so NaN payloads survive unchanged.
+    pub fn encode_with(&self, kernel: Kernel) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_bytes());
         buf.put_u32_le(self.chunks.len() as u32);
         for chunk in &self.chunks {
             buf.put_u32_le(chunk.nnz() as u32);
-            for &i in &chunk.idx {
-                buf.put_u32_le(i);
+            if let Some(le) = kernel.u32s_le(&chunk.idx) {
+                buf.put_slice(le);
+            } else {
+                for &i in &chunk.idx {
+                    buf.put_u32_le(i);
+                }
             }
-            for &v in &chunk.val {
-                buf.put_f32_le(v);
+            if let Some(le) = kernel.f32s_le(&chunk.val) {
+                buf.put_slice(le);
+            } else {
+                for &v in &chunk.val {
+                    buf.put_f32_le(v);
+                }
             }
         }
         buf.freeze()
@@ -385,6 +405,30 @@ mod tests {
         let before = flat.clone();
         assert_eq!(narrow.try_apply_add(&mut flat, &part, 1.0), None);
         assert_eq!(flat, before);
+    }
+
+    #[test]
+    fn encode_backend_invariant_including_nan_payloads() {
+        // Values chosen so the bulk little-endian reinterpret path must
+        // reproduce the per-element path bit-for-bit: a quiet NaN with a
+        // payload, -0.0, infinities, denormals.
+        let weird = SparseVec {
+            idx: vec![0, 3, 5, 9, 11],
+            val: vec![
+                f32::from_bits(0x7FC0_1234),
+                -0.0,
+                f32::NEG_INFINITY,
+                1.0e-42,
+                42.5,
+            ],
+        };
+        let up = SparseUpdate { chunks: vec![weird, SparseVec::default()] };
+        let a = up.encode_with(Kernel::Scalar);
+        let b = up.encode_with(Kernel::Simd);
+        assert_eq!(a, b, "backends must emit identical wire bytes");
+        // Roundtrip preserves the NaN bit pattern.
+        let back = SparseUpdate::decode(b).unwrap();
+        assert_eq!(back.chunks[0].val[0].to_bits(), 0x7FC0_1234);
     }
 
     #[test]

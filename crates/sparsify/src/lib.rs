@@ -28,9 +28,15 @@
 //!   the other compression family the paper names for combination.
 //! * [`stats`] — compression-ratio accounting.
 //!
-//! The crate is deliberately independent of the tensor/NN crates: everything
-//! operates on `&[f32]` segments so the same code path serves worker-side
-//! gradient sparsification, server-side secondary compression, and tests.
+//! Everything operates on `&[f32]` segments so the same code path serves
+//! worker-side gradient sparsification, server-side secondary compression,
+//! and tests. The hot loops dispatch through the
+//! [`dgs_tensor::Kernel`] backend seam: plain entry points
+//! ([`send_topk_dense`], [`SparseUpdate::encode`], …) run on the
+//! runtime-selected backend (`DGS_KERNEL` override honoured), and each has
+//! a `*_with(kernel, …)` twin taking an explicit backend for differential
+//! testing and benchmarking. Backends are bitwise identical by contract —
+//! see the `kernel_equivalence` differential suite.
 
 pub mod coo;
 pub mod merge;
@@ -43,10 +49,12 @@ pub mod stats;
 pub mod topk;
 
 pub use coo::{merge_sparse_updates, try_merge_sparse_updates, SparseUpdate, SparseVec};
+pub use dgs_tensor::Kernel;
 pub use merge::{
-    diff_pairs_at, diff_pairs_dense, mag_idx_order, merge_sum_pairs, retain_dirty, scatter_pairs,
-    scatter_track_dirty, send_all_at, send_all_dense, send_topk_dense, sort_dedup,
-    sort_dedup_bitmap, topk_pairs, topk_pairs_with,
+    diff_pairs_at, diff_pairs_dense, diff_pairs_dense_with, mag_idx_order, merge_sum_pairs,
+    retain_dirty, scatter_pairs, scatter_track_dirty, send_all_at, send_all_dense,
+    send_all_dense_with, send_topk_dense, sort_dedup, sort_dedup_bitmap, sort_dedup_pooled,
+    topk_pairs, topk_pairs_with,
 };
 pub use partition::{Partition, Segment, ShardSpan};
 pub use quant::{TernaryUpdate, TernaryVec};

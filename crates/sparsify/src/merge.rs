@@ -18,20 +18,33 @@
 //! * [`scatter_track_dirty`] — fused scatter + dirty tracking after a
 //!   Top-k send, rescanning only the coordinates actually sent;
 //! * [`sort_dedup_bitmap`]  — O(n + domain/64) candidate dedup that
-//!   exploits the index domain instead of comparison sorting.
+//!   exploits the index domain instead of comparison sorting
+//!   ([`sort_dedup_pooled`] reuses the bitmap through a [`BufferPool`]
+//!   so steady state pays no re-zeroing);
 //!
 //! Every selection uses the single total order [`mag_idx_order`] (magnitude
 //! descending, index ascending), which is NaN-safe via [`f32::total_cmp`]
 //! and makes Top-k deterministic under ties — a prerequisite for the two
 //! diff paths to agree bitwise.
 //!
-//! This module is deliberately free of external dependencies (std only) so
-//! it can be exercised by standalone differential harnesses (its only
-//! intra-crate import, [`crate::radix_select`], is std-only for the same
-//! reason — a harness root includes both files).
+//! The dense-scan kernels run through the [`dgs_tensor::Kernel`] backend
+//! seam (`_with` variants take it explicitly; the plain names use the
+//! runtime-detected backend). Backends are bitwise identical — the SIMD
+//! backend only skips blocks it proves diff-free and vectorises the diff
+//! materialisation and value gather — so every payload, residual, and
+//! dirty set is independent of the backend (pinned by the tests below and
+//! by `tests/kernel_equivalence.rs`). Standalone differential harnesses
+//! compile this module together with the tensor crate's
+//! `kernel.rs`/`simd.rs` (see `.claude/skills/verify/SKILL.md`).
 
 use crate::radix_select::{radix_topk_indices, radix_topk_pairs, SelectScratch, SelectStrategy};
+use dgs_tensor::{BufferPool, Kernel};
 use std::cmp::Ordering;
+
+/// Block width of the SIMD-gated dense scans: small enough that a dirty
+/// block's scalar walk stays cache-hot, large enough that the `>= 8`-wide
+/// vector test amortises (eight AVX2 iterations per block).
+const DIFF_BLOCK: usize = 64;
 
 /// The workspace-wide Top-k total order: larger magnitude first, ties (and
 /// only ties) broken by smaller index. `total_cmp` makes this a total order
@@ -70,6 +83,32 @@ pub fn sort_dedup_bitmap(v: &mut Vec<u32>, mask: &mut [u64]) {
         }
         *word = 0;
     }
+}
+
+/// [`sort_dedup_bitmap`] with the bitmap borrowed from a dedicated
+/// [`BufferPool`] instead of a caller-managed mask. `domain` is the
+/// exclusive upper bound on the values in `v`.
+///
+/// Pool invariant: every buffer parked in `pool` is all-zero over its
+/// full length. [`sort_dedup_bitmap`] re-zeroes each word as it reads it
+/// back, so returning the mask with `release_unchanged` preserves the
+/// invariant — steady state does **zero** re-zeroing work. A
+/// caller-managed mask costs a full `vec![0u64; domain/64]` zero-fill
+/// (128 KiB at dim = 1M) every time its owner is (re)constructed, and
+/// forces every early-return path to reason about mask state; here the
+/// mask's all-zero state is a property of the pool, not of any caller's
+/// control flow.
+pub fn sort_dedup_pooled(v: &mut Vec<u32>, domain: usize, pool: &mut BufferPool<u64>) {
+    let words = domain.div_ceil(64);
+    let mut mask = pool.acquire();
+    debug_assert!(mask.iter().all(|&w| w == 0), "pooled dedup masks must be all-zero");
+    if mask.len() < words {
+        // Zero-fills only the growth region; existing words are already
+        // zero by the pool invariant.
+        mask.resize(words, 0);
+    }
+    sort_dedup_bitmap(v, &mut mask[..words]);
+    pool.release_unchanged(mask);
 }
 
 /// K-way merge of ascending-index (index, value) pair lists with value
@@ -170,17 +209,32 @@ pub fn topk_pairs_with(
 }
 
 /// Full-scan reference: every nonzero of `m − v` as (local index, value)
-/// pairs in ascending index order. O(segment length).
+/// pairs in ascending index order. O(segment length). Runtime kernel.
 pub fn diff_pairs_dense(m: &[f32], v: &[f32]) -> (Vec<u32>, Vec<f32>) {
+    diff_pairs_dense_with(Kernel::runtime(), m, v)
+}
+
+/// [`diff_pairs_dense`] on an explicit [`Kernel`]. The scan walks
+/// [`DIFF_BLOCK`]-sized blocks gated by [`Kernel::may_have_diff`]: a
+/// skipped block is proven free of nonzero differences, so emission is
+/// bitwise identical to the straight-line scalar loop on every backend.
+pub fn diff_pairs_dense_with(kernel: Kernel, m: &[f32], v: &[f32]) -> (Vec<u32>, Vec<f32>) {
     debug_assert_eq!(m.len(), v.len());
     let mut idx = Vec::new();
     let mut val = Vec::new();
-    for (i, (&mi, &vi)) in m.iter().zip(v.iter()).enumerate() {
-        let d = mi - vi;
-        if d != 0.0 {
-            idx.push(i as u32);
-            val.push(d);
+    let mut start = 0usize;
+    while start < m.len() {
+        let end = (start + DIFF_BLOCK).min(m.len());
+        if kernel.may_have_diff(&m[start..end], &v[start..end]) {
+            for i in start..end {
+                let d = m[i] - v[i];
+                if d != 0.0 {
+                    idx.push(i as u32);
+                    val.push(d);
+                }
+            }
         }
+        start = end;
     }
     (idx, val)
 }
@@ -259,21 +313,43 @@ pub fn send_all_at(
 
 /// Fused send-everything over the whole segment — the dense-scan analogue
 /// of [`send_all_at`], equivalent to [`diff_pairs_dense`] →
-/// [`scatter_pairs`] → [`retain_dirty`] over all indices.
+/// [`scatter_pairs`] → [`retain_dirty`] over all indices. Runtime kernel.
 pub fn send_all_dense(m: &[f32], v: &mut [f32], dirty: &mut Vec<u32>) -> (Vec<u32>, Vec<f32>) {
+    send_all_dense_with(Kernel::runtime(), m, v, dirty)
+}
+
+/// [`send_all_dense`] on an explicit [`Kernel`]. Blocks proven diff-free
+/// by [`Kernel::may_have_diff`] are skipped whole — they would emit
+/// nothing and mutate nothing — so payload, `v` advancement, and dirty
+/// set are bitwise identical across backends.
+pub fn send_all_dense_with(
+    kernel: Kernel,
+    m: &[f32],
+    v: &mut [f32],
+    dirty: &mut Vec<u32>,
+) -> (Vec<u32>, Vec<f32>) {
     debug_assert_eq!(m.len(), v.len());
     let mut idx = Vec::new();
     let mut val = Vec::new();
-    for (i, (&mi, vi)) in m.iter().zip(v.iter_mut()).enumerate() {
-        let d = mi - *vi;
-        if d != 0.0 {
-            idx.push(i as u32);
-            val.push(d);
-            *vi += d;
-            if mi - *vi != 0.0 {
-                dirty.push(i as u32);
+    let mut start = 0usize;
+    while start < m.len() {
+        let end = (start + DIFF_BLOCK).min(m.len());
+        if kernel.may_have_diff(&m[start..end], &v[start..end]) {
+            for i in start..end {
+                let mi = m[i];
+                let vi = &mut v[i];
+                let d = mi - *vi;
+                if d != 0.0 {
+                    idx.push(i as u32);
+                    val.push(d);
+                    *vi += d;
+                    if mi - *vi != 0.0 {
+                        dirty.push(i as u32);
+                    }
+                }
             }
         }
+        start = end;
     }
     (idx, val)
 }
@@ -304,8 +380,12 @@ pub fn send_topk_dense(
     scratch: &mut SelectScratch,
 ) -> (Vec<u32>, Vec<f32>, usize) {
     debug_assert_eq!(m.len(), v.len());
-    let diff: Vec<f32> = m.iter().zip(v.iter()).map(|(&a, &b)| a - b).collect();
-    let nnz_all = diff.iter().filter(|&&d| d != 0.0).count();
+    // Diff materialisation + nonzero count on the scratch's backend
+    // (bitwise identical across backends: vector subtract matches scalar
+    // subtract bit for bit, and the NEQ_UQ count matches `d != 0.0`).
+    let kernel = scratch.kernel();
+    let mut diff = Vec::new();
+    let nnz_all = kernel.diff_into(m, v, &mut diff);
     if nnz_all <= k {
         // At or under budget: everything goes (Alg. 2 lines 5-7).
         let mut idx = Vec::with_capacity(nnz_all);
@@ -345,7 +425,8 @@ pub fn send_topk_dense(
         }
         SelectStrategy::Radix => radix_topk_indices(&diff, k, scratch),
     };
-    let val: Vec<f32> = pos.iter().map(|&p| diff[p as usize]).collect();
+    let mut val = Vec::with_capacity(pos.len());
+    kernel.gather_into(&diff, &pos, &mut val);
     scatter_pairs(v, &pos, &val);
     if track_dirty {
         let mut p = 0usize;
@@ -538,6 +619,127 @@ mod tests {
             sort_dedup_bitmap(&mut b, &mut mask);
             assert_eq!(a, b);
             assert!(mask.iter().all(|&w| w == 0), "mask must come back zeroed");
+        }
+    }
+
+    #[test]
+    fn sort_dedup_pooled_matches_and_keeps_masks_zero() {
+        let mut pool: BufferPool<u64> = BufferPool::new(2);
+        let mut v = vec![300u32, 5, 5, 299, 0];
+        sort_dedup_pooled(&mut v, 301, &mut pool);
+        assert_eq!(v, vec![0, 5, 299, 300]);
+        assert_eq!(pool.idle(), 1, "mask went back to the pool");
+        // The parked mask is all-zero at full length — the pool invariant
+        // that makes reuse free.
+        let mask = pool.acquire();
+        assert!(mask.len() >= 301usize.div_ceil(64));
+        assert!(mask.iter().all(|&w| w == 0), "pooled mask must stay zero");
+        pool.release_unchanged(mask);
+        // Reuse with a smaller domain (mask longer than needed), then
+        // grow it again: both stay correct with zero re-zeroing.
+        let mut v2 = vec![7u32, 7, 1];
+        sort_dedup_pooled(&mut v2, 64, &mut pool);
+        assert_eq!(v2, vec![1, 7]);
+        let mut v3 = vec![1023u32, 0, 512, 512];
+        sort_dedup_pooled(&mut v3, 1024, &mut pool);
+        assert_eq!(v3, vec![0, 512, 1023]);
+        // The empty-candidate shape (what server early-return paths feed
+        // after a degenerate-merge bailout): mask untouched, still zero.
+        let mut v4: Vec<u32> = Vec::new();
+        sort_dedup_pooled(&mut v4, 1024, &mut pool);
+        assert!(v4.is_empty());
+        let mask = pool.acquire();
+        assert!(mask.iter().all(|&w| w == 0), "mask stays zero after empty dedup");
+        // Randomised agreement with the comparison-sort reference.
+        pool.release_unchanged(mask);
+        let mut state = 0xC0FF_EE00_D15E_A5E5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (next() % 80) as usize;
+            let mut a: Vec<u32> = (0..n).map(|_| (next() % 512) as u32).collect();
+            let mut b = a.clone();
+            sort_dedup(&mut a);
+            sort_dedup_pooled(&mut b, 512, &mut pool);
+            assert_eq!(a, b);
+        }
+    }
+
+    /// The `_with` dense kernels must be backend-invariant: identical
+    /// pairs, `v` bits, and dirty sets under `Scalar` and `Simd` (on
+    /// non-AVX2 CPUs `Simd` falls back to scalar and this is trivially
+    /// green). Lengths straddle the block width and the vector width.
+    #[test]
+    fn dense_kernels_backend_invariant() {
+        let mut sc = SelectScratch::new().with_kernel(Kernel::Scalar);
+        let mut si = SelectScratch::new().with_kernel(Kernel::Simd);
+        for n in [0usize, 1, 7, 63, 64, 65, 300, 1024] {
+            for seed in 1..8u64 {
+                let (m, v0) = random_state(seed * 50021 + n as u64, n);
+                let (ai, av) = diff_pairs_dense_with(Kernel::Scalar, &m, &v0);
+                let (bi, bv) = diff_pairs_dense_with(Kernel::Simd, &m, &v0);
+                assert_eq!(ai, bi, "diff idx diverged (n {n} seed {seed})");
+                assert_eq!(
+                    av.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    bv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "diff val diverged (n {n} seed {seed})"
+                );
+                let mut va = v0.clone();
+                let mut da = Vec::new();
+                let (ai, av) = send_all_dense_with(Kernel::Scalar, &m, &mut va, &mut da);
+                let mut vb = v0.clone();
+                let mut db = Vec::new();
+                let (bi, bv) = send_all_dense_with(Kernel::Simd, &m, &mut vb, &mut db);
+                assert_eq!(ai, bi, "send-all idx diverged (n {n} seed {seed})");
+                assert_eq!(
+                    av.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    bv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+                assert_eq!(da, db, "dirty diverged (n {n} seed {seed})");
+                assert_eq!(
+                    va.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    vb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+                for k in [0usize, 3, n / 2, n + 7] {
+                    let mut vx = v0.clone();
+                    let mut dx = Vec::new();
+                    let (xi, xv, xn) = send_topk_dense(
+                        &m,
+                        &mut vx,
+                        k,
+                        true,
+                        &mut dx,
+                        SelectStrategy::Radix,
+                        &mut sc,
+                    );
+                    let mut vy = v0.clone();
+                    let mut dy = Vec::new();
+                    let (yi, yv, yn) = send_topk_dense(
+                        &m,
+                        &mut vy,
+                        k,
+                        true,
+                        &mut dy,
+                        SelectStrategy::Radix,
+                        &mut si,
+                    );
+                    assert_eq!(xi, yi, "topk idx diverged (n {n} seed {seed} k {k})");
+                    assert_eq!(xn, yn);
+                    assert_eq!(
+                        xv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        yv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                    assert_eq!(dx, dy);
+                    assert_eq!(
+                        vx.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        vy.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+            }
         }
     }
 

@@ -11,6 +11,7 @@
 
 use crate::coo::SparseVec;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgs_tensor::Kernel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,9 +31,18 @@ impl TernaryVec {
     /// (with its sign, at magnitude `scale`) with probability
     /// `|v_i|/scale`; dropped coordinates vanish from the index list.
     ///
-    /// Deterministic per `(values, seed)`.
+    /// Deterministic per `(values, seed)`. Runtime kernel.
     pub fn quantize(sv: &SparseVec, seed: u64) -> Self {
-        let scale = sv.val.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        TernaryVec::quantize_with(Kernel::runtime(), sv, seed)
+    }
+
+    /// [`TernaryVec::quantize`] on an explicit [`Kernel`]: the scale (max
+    /// magnitude) reduction runs on the backend, bitwise identical to the
+    /// scalar `fold(0.0, f32::max)`; the stochastic rounding loop is
+    /// inherently sequential (one RNG draw per coordinate) and stays
+    /// scalar, so the whole quantization is backend-invariant.
+    pub fn quantize_with(kernel: Kernel, sv: &SparseVec, seed: u64) -> Self {
+        let scale = kernel.max_abs(&sv.val);
         if scale == 0.0 || sv.nnz() == 0 {
             return TernaryVec::default();
         }
@@ -61,21 +71,19 @@ impl TernaryVec {
         self.idx.len()
     }
 
-    /// Reconstructs the quantized values as a [`SparseVec`].
+    /// Reconstructs the quantized values as a [`SparseVec`]. Runtime
+    /// kernel.
     pub fn dequantize(&self) -> SparseVec {
-        let val = self
-            .idx
-            .iter()
-            .enumerate()
-            .map(|(bit, _)| {
-                let positive = self.signs[bit / 8] & (1 << (bit % 8)) != 0;
-                if positive {
-                    self.scale
-                } else {
-                    -self.scale
-                }
-            })
-            .collect();
+        self.dequantize_with(Kernel::runtime())
+    }
+
+    /// [`TernaryVec::dequantize`] on an explicit [`Kernel`]: the sign-bit
+    /// expansion to `±scale` runs on the backend. Negation is a sign-bit
+    /// flip on both backends, so the reconstruction is bitwise invariant
+    /// even for `scale` values like `0.0` or infinities.
+    pub fn dequantize_with(&self, kernel: Kernel) -> SparseVec {
+        let mut val = Vec::new();
+        kernel.sign_expand(self.scale, &self.signs, self.nnz(), &mut val);
         SparseVec { idx: self.idx.clone(), val }
     }
 
@@ -120,15 +128,27 @@ impl TernaryUpdate {
         4 + self.chunks.iter().map(TernaryVec::wire_bytes).sum::<usize>()
     }
 
-    /// Encodes to the binary wire format.
+    /// Encodes to the binary wire format. Runtime kernel.
     pub fn encode(&self) -> Bytes {
+        self.encode_with(Kernel::runtime())
+    }
+
+    /// [`TernaryUpdate::encode`] on an explicit [`Kernel`]: index arrays
+    /// are appended as one bulk little-endian byte copy when the backend
+    /// offers a reinterpret view, falling back to the per-element
+    /// `put_u32_le` loop otherwise. Both paths emit identical bytes.
+    pub fn encode_with(&self, kernel: Kernel) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_bytes());
         buf.put_u32_le(self.chunks.len() as u32);
         for chunk in &self.chunks {
             buf.put_f32_le(chunk.scale);
             buf.put_u32_le(chunk.nnz() as u32);
-            for &i in &chunk.idx {
-                buf.put_u32_le(i);
+            if let Some(le) = kernel.u32s_le(&chunk.idx) {
+                buf.put_slice(le);
+            } else {
+                for &i in &chunk.idx {
+                    buf.put_u32_le(i);
+                }
             }
             buf.put_slice(&chunk.signs);
         }
@@ -249,6 +269,40 @@ mod tests {
         // Per kept coordinate: 8 bytes full-precision vs ~4.1 quantized;
         // stochastic dropping reduces nnz further.
         assert!(q.wire_bytes() < up.wire_bytes());
+    }
+
+    #[test]
+    fn quantize_dequantize_encode_backend_invariant() {
+        // scales covering the sign-expand edge cases: ordinary, zero,
+        // infinity, denormal.
+        let sets: &[&[f32]] = &[
+            &[3.0, -5.0, 0.1, -0.25, 4.9],
+            &[1.0e-40, -1.0e-41, 2.0e-40],
+            &[f32::INFINITY, -1.0, 2.0],
+            &[-0.0, 0.0, 1.0],
+        ];
+        for (s, vals) in sets.iter().enumerate() {
+            let chunk = sv(vals);
+            for seed in 0..20u64 {
+                let a = TernaryVec::quantize_with(Kernel::Scalar, &chunk, seed);
+                let b = TernaryVec::quantize_with(Kernel::Simd, &chunk, seed);
+                assert_eq!(a.scale.to_bits(), b.scale.to_bits(), "set {s} seed {seed}");
+                assert_eq!(a.idx, b.idx, "set {s} seed {seed}");
+                assert_eq!(a.signs, b.signs, "set {s} seed {seed}");
+                let da = a.dequantize_with(Kernel::Scalar);
+                let db = b.dequantize_with(Kernel::Simd);
+                assert_eq!(da.idx, db.idx);
+                let bits =
+                    |v: &SparseVec| v.val.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&da), bits(&db), "set {s} seed {seed}");
+                let up = TernaryUpdate { chunks: vec![a] };
+                assert_eq!(
+                    up.encode_with(Kernel::Scalar),
+                    up.encode_with(Kernel::Simd),
+                    "set {s} seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

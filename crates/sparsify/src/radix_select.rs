@@ -53,9 +53,21 @@
 //! `WIDE_HIST_MIN` (32 Ki) skip the wide histogram entirely for a 256-bucket
 //! stack-resident byte cascade, so small layers never pay the 256 KiB
 //! histogram reset. Scratch is the 65,536-entry histogram plus the
-//! boundary bucket's keys and positions. The module is std-only by design so standalone
-//! differential harnesses can compile it directly (see
+//! boundary bucket's keys and positions.
+//!
+//! The wide path's three hot loops — histogram fill, chunk-skipping fused
+//! scan, and threshold-only gather — run through the
+//! [`dgs_tensor::Kernel`] backend seam carried by [`SelectScratch`]
+//! (runtime-detected by default, overridable per scratch or via
+//! `DGS_KERNEL`). Both backends are bitwise identical on every input, so
+//! the selection result never depends on the backend; the narrow
+//! (< `WIDE_HIST_MIN`) cascade and the candidate refinement stay scalar —
+//! they touch at most a few hundred elements. Standalone differential
+//! harnesses can still compile this module directly together with the
+//! tensor crate's `kernel.rs`/`simd.rs` (see
 //! `.claude/skills/verify/SKILL.md`).
+
+use dgs_tensor::Kernel;
 
 /// Clears the f32 sign bit: `mag_key(v) == (|v|).to_bits()`.
 const MAG_MASK: u32 = 0x7FFF_FFFF;
@@ -89,31 +101,48 @@ pub enum SelectStrategy {
 /// histogram and then as the refinement ping-pong target. Grown once and
 /// reusable across calls; pair it with `dgs_tensor::BufferPool<u32>` on
 /// hot paths to keep the steady state allocation-free.
+///
+/// The scratch also carries the [`Kernel`] compute backend its selections
+/// run on (the runtime-detected one unless overridden with
+/// [`SelectScratch::with_kernel`]) — backends are bitwise identical, so
+/// this only ever changes cost, never a result.
 #[derive(Debug, Default)]
 pub struct SelectScratch {
     keys: Vec<u32>,
     spare: Vec<u32>,
     pos: Vec<u32>,
+    kernel: Kernel,
 }
 
 impl SelectScratch {
-    /// A fresh scratch (no capacity until first use).
+    /// A fresh scratch (no capacity until first use, runtime kernel).
     pub fn new() -> Self {
         SelectScratch::default()
     }
 
     /// Wraps three recycled buffers (e.g. from a `BufferPool<u32>`); they
-    /// are cleared before use, capacity retained.
+    /// are cleared before use, capacity retained. Runtime kernel.
     pub fn from_buffers(mut keys: Vec<u32>, mut spare: Vec<u32>, mut pos: Vec<u32>) -> Self {
         keys.clear();
         spare.clear();
         pos.clear();
-        SelectScratch { keys, spare, pos }
+        SelectScratch { keys, spare, pos, kernel: Kernel::runtime() }
     }
 
     /// Returns the three buffers for release back to their pool.
     pub fn into_buffers(self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
         (self.keys, self.spare, self.pos)
+    }
+
+    /// Overrides the compute backend (builder style).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The compute backend selections through this scratch run on.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 }
 
@@ -126,39 +155,12 @@ struct Cut {
     above: usize,
 }
 
-/// Bucket count of the wide first-pass histogram: the top two key bytes.
-const TOP_BUCKETS: usize = 1 << 16;
-
 /// Segments below this length use a 256-bucket byte histogram on the
 /// stack; at or above it, the 65,536-bucket two-byte histogram (whose
 /// fixed setup cost — zeroing 512 KB of counts and walking 64 Ki buckets —
 /// only pays for itself on large segments). Both paths are exact and
 /// bitwise identical; the cutoff is pure cost tuning.
 const WIDE_HIST_MIN: usize = 1 << 15;
-
-/// 65,536-bucket histogram of the top two key bytes over a whole segment,
-/// written into `counts` (cleared and resized; `u32` counts suffice because
-/// segment coordinates are `u32`). Two partial histograms break the
-/// memory-increment dependency chain that serialises a single-histogram
-/// loop when magnitudes cluster into few buckets (the common shape for
-/// gradients); the partials are merged into `counts[..TOP_BUCKETS]`.
-fn hist_wide(seg: &[f32], counts: &mut Vec<u32>) {
-    counts.clear();
-    counts.resize(2 * TOP_BUCKETS, 0);
-    let (h0, h1) = counts.split_at_mut(TOP_BUCKETS);
-    let mut chunks = seg.chunks_exact(2);
-    for c in &mut chunks {
-        h0[(mag_key(c[0]) >> 16) as usize] += 1;
-        h1[(mag_key(c[1]) >> 16) as usize] += 1;
-    }
-    for &v in chunks.remainder() {
-        h0[(mag_key(v) >> 16) as usize] += 1;
-    }
-    for b in 0..TOP_BUCKETS {
-        h0[b] += h1[b];
-    }
-    counts.truncate(TOP_BUCKETS);
-}
 
 /// 256-bucket histogram of the top key byte, for small segments.
 fn hist_narrow(seg: &[f32]) -> [usize; 256] {
@@ -298,6 +300,7 @@ fn refine(
 /// positions.
 fn find_cut(seg: &[f32], k: usize, scratch: &mut SelectScratch) -> Cut {
     debug_assert!(k >= 1 && k <= seg.len(), "find_cut bounds");
+    let kernel = scratch.kernel;
     let SelectScratch { keys, spare, .. } = scratch;
     if seg.len() < WIDE_HIST_MIN {
         let hist = hist_narrow(seg);
@@ -315,30 +318,14 @@ fn find_cut(seg: &[f32], k: usize, scratch: &mut SelectScratch) -> Cut {
         let cut = refine(keys, spare, k - above_def, top_byte << 24, &[16, 8, 0]);
         Cut { thr_key: cut.thr_key, above: above_def + cut.above }
     } else {
-        let (prefix, shift, above_def, need, cand) = wide_window(seg, k, spare);
+        let (prefix, shift, above_def, need, cand) = wide_window(seg, k, spare, kernel);
         keys.clear();
         keys.reserve(cand);
         let lo = prefix << shift;
-        // Chunk-skip gather: one merged `any key >= lo` test per four
-        // elements dives into the scalar path only for the rare chunks
-        // holding boundary-or-above keys.
-        let mut chunks = seg.chunks_exact(4);
-        for c in &mut chunks {
-            let ks = [mag_key(c[0]), mag_key(c[1]), mag_key(c[2]), mag_key(c[3])];
-            if (ks[0] >= lo) | (ks[1] >= lo) | (ks[2] >= lo) | (ks[3] >= lo) {
-                for key in ks {
-                    if key >> shift == prefix {
-                        keys.push(key);
-                    }
-                }
-            }
-        }
-        for &v in chunks.remainder() {
-            let key = mag_key(v);
-            if key >> shift == prefix {
-                keys.push(key);
-            }
-        }
+        // Chunk-skip gather through the backend seam: one merged `any key
+        // >= lo` test per chunk dives into the emit path only for the
+        // rare chunks holding boundary-or-above keys.
+        kernel.gather_keys(seg, prefix, shift, keys);
         debug_assert_eq!(keys.len(), cand);
         let cut = refine(keys, spare, need, lo, wide_refine_shifts(shift));
         Cut { thr_key: cut.thr_key, above: above_def + cut.above }
@@ -346,15 +333,20 @@ fn find_cut(seg: &[f32], k: usize, scratch: &mut SelectScratch) -> Cut {
 }
 
 /// Resolves the wide path's candidate window: the two-byte boundary bucket
-/// from [`hist_wide`], narrowed by one [`hist_filtered`] pass when the
+/// from [`Kernel::hist16`], narrowed by one [`hist_filtered`] pass when the
 /// bucket holds more than an eighth of the segment (a magnitude plateau —
 /// the extra streaming pass is cheaper than gathering and refining the
 /// whole bucket). Returns `(prefix, shift, above_def, need, cand)`: the
 /// candidates are the `cand` keys with `key >> shift == prefix`,
 /// `above_def` keys rank strictly above them, and the `need`-th largest
 /// candidate is the overall k-th.
-fn wide_window(seg: &[f32], k: usize, spare: &mut Vec<u32>) -> (u32, u32, usize, usize, usize) {
-    hist_wide(seg, spare);
+fn wide_window(
+    seg: &[f32],
+    k: usize,
+    spare: &mut Vec<u32>,
+    kernel: Kernel,
+) -> (u32, u32, usize, usize, usize) {
+    kernel.hist16(seg, spare);
     let (top, mut above_def) = walk_desc_top(spare, k);
     let mut need = k - above_def;
     let mut cand = spare[top] as usize;
@@ -448,7 +440,7 @@ fn fused_select_narrow(
     let hist = hist_narrow(seg);
     let (top, above_def) = walk_desc(&hist, k);
     let need = k - above_def;
-    let SelectScratch { keys, spare, pos } = scratch;
+    let SelectScratch { keys, spare, pos, .. } = scratch;
     keys.clear();
     pos.clear();
     keys.reserve(hist[top]);
@@ -472,45 +464,20 @@ fn fused_select_narrow(
 
 /// [`fused_select`] for large segments: 65,536-bucket two-byte histogram
 /// plus a chunk-skipping fused scan — one merged `any key >= bucket lower
-/// bound` test per four elements, diving into the scalar emit path only
-/// for the rare chunks holding boundary-or-above keys.
+/// bound` test per chunk, diving into the emit path only for the rare
+/// chunks holding boundary-or-above keys. Histogram and scan both run on
+/// the scratch's [`Kernel`] backend.
 fn fused_select_wide(seg: &[f32], k: usize, scratch: &mut SelectScratch) -> (Vec<u32>, Cut, usize) {
-    let SelectScratch { keys, spare, pos } = scratch;
-    let (prefix, shift, above_def, need, cand) = wide_window(seg, k, spare);
+    let kernel = scratch.kernel;
+    let SelectScratch { keys, spare, pos, .. } = scratch;
+    let (prefix, shift, above_def, need, cand) = wide_window(seg, k, spare, kernel);
     keys.clear();
     pos.clear();
     keys.reserve(cand);
     pos.reserve(cand);
     let mut definite = Vec::with_capacity(above_def);
     let lo = prefix << shift;
-    let mut base = 0u32;
-    let mut chunks = seg.chunks_exact(4);
-    for c in &mut chunks {
-        let ks = [mag_key(c[0]), mag_key(c[1]), mag_key(c[2]), mag_key(c[3])];
-        if (ks[0] >= lo) | (ks[1] >= lo) | (ks[2] >= lo) | (ks[3] >= lo) {
-            for (j, key) in ks.into_iter().enumerate() {
-                let b = key >> shift;
-                if b == prefix {
-                    keys.push(key);
-                    pos.push(base + j as u32);
-                } else if b > prefix {
-                    definite.push(base + j as u32);
-                }
-            }
-        }
-        base += 4;
-    }
-    for &v in chunks.remainder() {
-        let key = mag_key(v);
-        let b = key >> shift;
-        if b == prefix {
-            keys.push(key);
-            pos.push(base);
-        } else if b > prefix {
-            definite.push(base);
-        }
-        base += 1;
-    }
+    kernel.select_scan(seg, prefix, shift, keys, pos, &mut definite);
     debug_assert_eq!(definite.len(), above_def);
     debug_assert_eq!(keys.len(), cand);
     let cut = refine(keys, spare, need, lo, wide_refine_shifts(shift));
@@ -737,6 +704,61 @@ mod tests {
     #[test]
     fn select_strategy_default_is_radix() {
         assert_eq!(SelectStrategy::default(), SelectStrategy::Radix);
+    }
+
+    /// The scalar and SIMD kernel backends must be interchangeable:
+    /// identical indices and bitwise-identical thresholds on wide-path
+    /// segments (≥ `WIDE_HIST_MIN`, so the backend loops actually run),
+    /// torture values included. On CPUs without AVX2 the SIMD backend
+    /// falls back to scalar, so this test is trivially green there.
+    #[test]
+    fn kernel_backends_bitwise_identical_selection() {
+        let mut sc = SelectScratch::new().with_kernel(Kernel::Scalar);
+        let mut si = SelectScratch::new().with_kernel(Kernel::Simd);
+        assert_eq!(sc.kernel(), Kernel::Scalar);
+        assert_eq!(si.kernel(), Kernel::Simd);
+        let n = WIDE_HIST_MIN + 1234;
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        let seg: Vec<f32> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                match s % 13 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    3 => 0.0,
+                    4 => -0.0,
+                    5 => 1.0,                                   // plateau mass
+                    6 => 1.0 + f32::EPSILON,                    // one ulp above
+                    7 => f32::from_bits((s >> 40) as u32 & 0x7F_FFFF), // denormal
+                    _ => f32::from_bits((s >> 32) as u32),
+                }
+            })
+            .collect();
+        for k in [1usize, 7, 500, n / 100, n / 8, n - 1] {
+            assert_eq!(
+                radix_topk_indices(&seg, k, &mut sc),
+                radix_topk_indices(&seg, k, &mut si),
+                "indices diverged at k = {k}"
+            );
+            assert_eq!(
+                radix_threshold(&seg, k, &mut sc).to_bits(),
+                radix_threshold(&seg, k, &mut si).to_bits(),
+                "threshold diverged at k = {k}"
+            );
+        }
+        // An all-equal plateau forces the filtered-histogram narrow path;
+        // both backends must agree there too.
+        let plateau = vec![2.5f32; WIDE_HIST_MIN * 2];
+        for k in [1usize, WIDE_HIST_MIN, plateau.len() - 1] {
+            assert_eq!(
+                radix_topk_indices(&plateau, k, &mut sc),
+                radix_topk_indices(&plateau, k, &mut si),
+                "plateau indices diverged at k = {k}"
+            );
+        }
     }
 
     /// Dense tie plateaus spanning bucket boundaries: the histogram cascade

@@ -1,0 +1,281 @@
+//! Differential proof that the SIMD kernel backend is bitwise-identical
+//! to its scalar twin on *every* f32 bit pattern.
+//!
+//! The scalar backend ([`Kernel::Scalar`]) is the specification: plain
+//! straight-line Rust with no intrinsics. The SIMD backend
+//! ([`Kernel::Simd`]) must reproduce its output *exactly* — same indices,
+//! same value bits, same wire bytes — including on NaNs (any payload),
+//! ±Inf, denormals, ±0, and arbitrarily long tie plateaus. Proptest
+//! drives raw `u32` bit patterns through `f32::from_bits` so nothing in
+//! the float space is out of scope; pinned vectors below cover the
+//! torture corpus even if proptest shrinks away from it.
+//!
+//! On machines without AVX2 both backends run the scalar code and the
+//! suite degenerates to a tautology — CI prints a notice in that case but
+//! still runs it (the dispatch seam itself is then what is under test).
+
+use dgs_sparsify::merge::{
+    diff_pairs_dense_with, send_all_dense_with, send_topk_dense, sort_dedup, sort_dedup_pooled,
+};
+use dgs_sparsify::{
+    radix_threshold, radix_topk_indices, Kernel, SelectScratch, SelectStrategy, SparseUpdate,
+    SparseVec, TernaryUpdate, TernaryVec,
+};
+use dgs_tensor::BufferPool;
+use proptest::prelude::*;
+
+/// Arbitrary f32s by raw bit pattern: hits NaN payloads, ±Inf, denormals,
+/// ±0 with the same probability as any other pattern.
+fn bitwise_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+/// Adversarial palette sampled with replacement so ties are common.
+fn special_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(1.0f32),
+        Just(-1.0f32),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(f32::NAN),
+        Just(-f32::NAN),
+        Just(f32::from_bits(0x7FC0_1234)), // NaN with payload
+        Just(f32::from_bits(0xFFC0_5678)), // negative NaN with payload
+        Just(f32::MIN_POSITIVE),
+        Just(f32::MIN_POSITIVE / 2.0), // denormal
+        Just(f32::from_bits(1)),       // smallest denormal
+        Just(f32::MAX),
+    ]
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Asserts every dense merge kernel agrees across backends on (m, v).
+fn assert_merge_equivalent(m: &[f32], v: &[f32], k: usize) {
+    let (ia, va) = diff_pairs_dense_with(Kernel::Scalar, m, v);
+    let (ib, vb) = diff_pairs_dense_with(Kernel::Simd, m, v);
+    assert_eq!(ia, ib, "diff_pairs idx diverged");
+    assert_eq!(bits(&va), bits(&vb), "diff_pairs val bits diverged");
+
+    let run_send_all = |kernel: Kernel| {
+        let mut vv = v.to_vec();
+        let mut dirty = Vec::new();
+        let (i, val) = send_all_dense_with(kernel, m, &mut vv, &mut dirty);
+        (i, bits(&val), bits(&vv), dirty)
+    };
+    assert_eq!(run_send_all(Kernel::Scalar), run_send_all(Kernel::Simd), "send_all diverged");
+
+    let run_topk = |kernel: Kernel, select: SelectStrategy| {
+        let mut vv = v.to_vec();
+        let mut dirty = Vec::new();
+        let mut scratch = SelectScratch::new().with_kernel(kernel);
+        let (i, val, nnz) =
+            send_topk_dense(m, &mut vv, k, true, &mut dirty, select, &mut scratch);
+        (i, bits(&val), nnz, bits(&vv), dirty)
+    };
+    for select in [SelectStrategy::Comparator, SelectStrategy::Radix] {
+        assert_eq!(
+            run_topk(Kernel::Scalar, select),
+            run_topk(Kernel::Simd, select),
+            "send_topk diverged under {select:?}"
+        );
+    }
+}
+
+/// Asserts radix selection agrees when only the scratch's kernel differs.
+fn assert_select_equivalent(seg: &[f32], k: usize) {
+    let mut sa = SelectScratch::new().with_kernel(Kernel::Scalar);
+    let mut sb = SelectScratch::new().with_kernel(Kernel::Simd);
+    let a = radix_topk_indices(seg, k, &mut sa);
+    let b = radix_topk_indices(seg, k, &mut sb);
+    assert_eq!(a, b, "selection indices diverged at k={k}");
+    if (1..=seg.len()).contains(&k) {
+        let ta = radix_threshold(seg, k, &mut sa);
+        let tb = radix_threshold(seg, k, &mut sb);
+        assert_eq!(ta.to_bits(), tb.to_bits(), "threshold bits diverged at k={k}");
+    }
+}
+
+proptest! {
+    /// Dense merge kernels agree on arbitrary bit patterns.
+    #[test]
+    fn merge_kernels_agree_on_raw_bits(
+        m in proptest::collection::vec(bitwise_f32(), 1..200),
+        v_bits in proptest::collection::vec(any::<u32>(), 1..200),
+        k in 0usize..64,
+    ) {
+        let n = m.len().min(v_bits.len());
+        let v: Vec<f32> = v_bits[..n].iter().map(|&b| f32::from_bits(b)).collect();
+        assert_merge_equivalent(&m[..n], &v, k);
+    }
+
+    /// Dense merge kernels agree on tie-heavy adversarial palettes, where
+    /// most diffs are exactly zero (the chunk-skip fast path) or NaN.
+    #[test]
+    fn merge_kernels_agree_on_specials(
+        m in proptest::collection::vec(special_f32(), 1..140),
+        flips in proptest::collection::vec(any::<bool>(), 1..140),
+        k in 0usize..32,
+    ) {
+        let n = m.len().min(flips.len());
+        // v is mostly equal to m (zero diff) with occasional flips.
+        let v: Vec<f32> = m[..n]
+            .iter()
+            .zip(&flips[..n])
+            .map(|(&x, &f)| if f { -x } else { x })
+            .collect();
+        assert_merge_equivalent(&m[..n], &v, k);
+    }
+
+    /// Radix selection (hist fill + chunk scan on the backend) agrees.
+    #[test]
+    fn selection_agrees_on_raw_bits(
+        seg in proptest::collection::vec(bitwise_f32(), 1..160),
+        k_extra in 0usize..160,
+    ) {
+        for k in [0, 1, seg.len() / 2, seg.len()] {
+            assert_select_equivalent(&seg, k);
+        }
+        assert_select_equivalent(&seg, k_extra.min(seg.len()));
+    }
+
+    /// Ternary quantization, dequantization, and both wire encoders emit
+    /// identical bits across backends.
+    #[test]
+    fn quant_and_encode_agree(
+        val in proptest::collection::vec(bitwise_f32(), 0..120),
+        seed in any::<u64>(),
+    ) {
+        // Quantization is only defined on finite values (keep-probability
+        // |v|/scale); filter to the domain without losing denormals/±0.
+        let val: Vec<f32> = val.into_iter().filter(|v| v.is_finite()).collect();
+        let idx: Vec<u32> = (0..val.len() as u32).map(|i| i * 3).collect();
+        let sv = SparseVec { idx, val };
+        let a = TernaryVec::quantize_with(Kernel::Scalar, &sv, seed);
+        let b = TernaryVec::quantize_with(Kernel::Simd, &sv, seed);
+        prop_assert_eq!(a.scale.to_bits(), b.scale.to_bits());
+        prop_assert_eq!(&a.idx, &b.idx);
+        prop_assert_eq!(&a.signs, &b.signs);
+        let da = a.dequantize_with(Kernel::Scalar);
+        let db = b.dequantize_with(Kernel::Simd);
+        prop_assert_eq!(bits(&da.val), bits(&db.val));
+        let tu = TernaryUpdate { chunks: vec![a] };
+        prop_assert_eq!(tu.encode_with(Kernel::Scalar), tu.encode_with(Kernel::Simd));
+        let su = SparseUpdate { chunks: vec![sv] };
+        prop_assert_eq!(su.encode_with(Kernel::Scalar), su.encode_with(Kernel::Simd));
+    }
+
+    /// The pooled dedup wrapper matches plain sort_dedup and returns its
+    /// bitmap to the pool all-zero, whatever the candidate multiset.
+    #[test]
+    fn sort_dedup_pooled_matches_plain(
+        cand in proptest::collection::vec(0u32..500, 0..300),
+    ) {
+        let mut pool: BufferPool<u64> = BufferPool::new(2);
+        let mut a = cand.clone();
+        let mut b = cand;
+        sort_dedup(&mut a);
+        sort_dedup_pooled(&mut b, 500, &mut pool);
+        prop_assert_eq!(a, b);
+        // The invariant release_unchanged depends on: mask back to zero.
+        let mask = pool.acquire();
+        prop_assert!(mask.iter().all(|&w| w == 0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned torture vectors (run even if proptest shrinks away from them)
+// ---------------------------------------------------------------------------
+
+/// The torture corpus named by the kernel contract: NaN payloads, ±Inf,
+/// denormals, one-ulp plateaus, all-equal segments.
+fn torture_segments() -> Vec<Vec<f32>> {
+    let mut segs: Vec<Vec<f32>> = vec![
+        vec![],
+        vec![f32::NAN; 33],
+        vec![0.25; 77],
+        vec![-0.0; 64],
+        vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -f32::NAN,
+            f32::from_bits(0x7FFF_FFFF), // max-payload NaN
+            f32::from_bits(0x7F80_0001), // min-payload NaN
+            f32::MAX,
+            -f32::MAX,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 2.0,
+            f32::from_bits(1),
+            0.0,
+            -0.0,
+            1.0e-42,
+        ],
+        // One-ulp plateau straddling vector-lane boundaries.
+        (0..131).map(|i| f32::from_bits(0x3F80_0000 + (i & 1))).collect(),
+    ];
+    // Deterministic xorshift mixture long enough to cross the wide-path
+    // histogram cutoff (1 << 15) used by the selection engine.
+    let mut state = 0x00C0_FFEEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    segs.push((0..40_000).map(|_| f32::from_bits(next() as u32)).collect());
+    segs
+}
+
+#[test]
+fn pinned_torture_corpus_merge_and_select() {
+    for seg in torture_segments() {
+        let n = seg.len();
+        // v = rotated copy so diffs mix zero and nonzero coordinates.
+        let mut v = seg.clone();
+        if n > 1 {
+            v.rotate_right(n / 3 + 1);
+        }
+        for k in [0, 1, n / 7 + 1, n] {
+            assert_merge_equivalent(&seg, &v, k);
+        }
+        for k in [0, 1, n / 100 + 1, n / 2, n] {
+            assert_select_equivalent(&seg, k.min(n));
+        }
+    }
+}
+
+#[test]
+fn pinned_torture_corpus_quant_roundtrip() {
+    for seg in torture_segments() {
+        let val: Vec<f32> = seg.into_iter().filter(|v| v.is_finite()).collect();
+        let idx: Vec<u32> = (0..val.len() as u32).collect();
+        let sv = SparseVec { idx, val };
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let a = TernaryVec::quantize_with(Kernel::Scalar, &sv, seed);
+            let b = TernaryVec::quantize_with(Kernel::Simd, &sv, seed);
+            assert_eq!(a.scale.to_bits(), b.scale.to_bits());
+            assert_eq!(a.idx, b.idx);
+            assert_eq!(a.signs, b.signs);
+            assert_eq!(
+                bits(&a.dequantize_with(Kernel::Scalar).val),
+                bits(&b.dequantize_with(Kernel::Simd).val)
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_dispatch_names_a_backend() {
+    // Whatever DGS_KERNEL / the CPU say, the runtime choice is one of the
+    // two backends and is stable across calls.
+    let k = Kernel::runtime();
+    assert!(matches!(k, Kernel::Scalar | Kernel::Simd));
+    assert_eq!(k, Kernel::runtime());
+}

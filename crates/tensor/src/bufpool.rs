@@ -41,6 +41,23 @@ impl<T> BufferPool<T> {
         }
     }
 
+    /// Returns `buf` to the pool **without clearing it** (dropped if the
+    /// pool already holds `max_buffers` idle buffers).
+    ///
+    /// For pools dedicated to buffers whose users restore a reusable
+    /// state in place — e.g. the dedup bitmaps of
+    /// `dgs-sparsify::merge::sort_dedup_pooled`, which are all-zero again
+    /// after every use. Keeping length *and* contents lets the next
+    /// `acquire` skip the O(len) re-zero that `release` + `resize` would
+    /// pay (128 KiB per call for a dim=1M bitmap). Only use this on
+    /// pools whose buffers all share such an invariant: `acquire` hands
+    /// the buffer back exactly as released.
+    pub fn release_unchanged(&mut self, buf: Vec<T>) {
+        if self.free.len() < self.max_buffers {
+            self.free.push(buf);
+        }
+    }
+
     /// Number of idle buffers currently pooled.
     pub fn idle(&self) -> usize {
         self.free.len()
@@ -77,6 +94,21 @@ mod tests {
         assert!(b2.is_empty(), "released buffers come back cleared");
         assert_eq!(b2.capacity(), cap, "capacity survives the roundtrip");
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn release_unchanged_preserves_len_and_contents() {
+        let mut pool: BufferPool<u64> = BufferPool::new(4);
+        pool.release_unchanged(vec![0u64; 16]);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire();
+        assert_eq!(b.len(), 16, "length survives release_unchanged");
+        assert!(b.iter().all(|&w| w == 0), "contents survive release_unchanged");
+        // The cap still applies.
+        let mut pool: BufferPool<u64> = BufferPool::new(1);
+        pool.release_unchanged(vec![1; 4]);
+        pool.release_unchanged(vec![2; 4]);
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

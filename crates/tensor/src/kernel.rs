@@ -1,0 +1,580 @@
+//! Runtime-selected compute backend for the workspace's hot scalar loops.
+//!
+//! [`Kernel`] is the dispatch seam between the portable scalar kernels
+//! (always compiled — they are the differential oracle) and the
+//! explicit-SIMD backend in [`crate::simd`] (x86-64 AVX2 intrinsics,
+//! selected at runtime via CPU feature detection). It mirrors the
+//! `SelectStrategy` pattern in `dgs-sparsify`: both backends are required
+//! to be **bitwise identical** on every input — NaN payloads, ±Inf,
+//! denormals, signed zeros, one-ulp tie plateaus included — so backend
+//! choice can never change a payload, only its cost. The differential
+//! suites in `crates/sparsify/tests/kernel_equivalence.rs` and the unit
+//! tests below pin that contract.
+//!
+//! Selection order (cached process-wide on first use):
+//!
+//! 1. `DGS_KERNEL=scalar` forces the scalar backend.
+//! 2. `DGS_KERNEL=simd` forces SIMD; if the CPU lacks AVX2 this falls
+//!    back to scalar with a one-time notice on stderr (the alternative —
+//!    `SIGILL` — is not a useful way to report a missing feature).
+//! 3. Otherwise: SIMD iff the CPU reports AVX2, else scalar.
+//!
+//! Even a hand-constructed `Kernel::Simd` is safe on a non-AVX2 CPU: the
+//! wrappers in [`crate::simd`] re-check the feature and delegate to the
+//! scalar twin, so `Simd` means "use vector kernels where possible", not
+//! "the CPU has AVX2".
+
+use std::sync::OnceLock;
+
+/// Bucket count of the 16-bit magnitude-key histogram filled by
+/// [`Kernel::hist16`] (the top two bytes of a [`mag_key`]).
+pub const HIST16_BUCKETS: usize = 1 << 16;
+
+/// Sign-stripping mask: `f32::to_bits` minus the sign bit.
+pub(crate) const MAG_MASK: u32 = 0x7FFF_FFFF;
+
+/// Magnitude key of a float: its IEEE-754 bits with the sign cleared.
+///
+/// For non-negative bit patterns, `u32` order equals `f32::total_cmp`
+/// order, so comparing keys compares magnitudes with NaN sorting above
+/// +Inf. This is the same key `dgs-sparsify`'s radix engine uses; it is
+/// duplicated there as the crates share no helper module.
+#[inline(always)]
+pub(crate) fn mag_key(v: f32) -> u32 {
+    v.to_bits() & MAG_MASK
+}
+
+/// Compute backend for the hot kernels. See the module docs for the
+/// selection rules and the bitwise-identity contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar loops — the differential oracle. Always available.
+    Scalar,
+    /// Explicit AVX2 kernels from [`crate::simd`]; each wrapper falls
+    /// back to the scalar twin when the CPU lacks AVX2.
+    Simd,
+}
+
+impl Default for Kernel {
+    /// The runtime-detected backend ([`Kernel::runtime`]).
+    fn default() -> Self {
+        Kernel::runtime()
+    }
+}
+
+static RUNTIME: OnceLock<Kernel> = OnceLock::new();
+
+impl Kernel {
+    /// The process-wide backend: `DGS_KERNEL` override if set, else CPU
+    /// feature detection. Cached after the first call.
+    pub fn runtime() -> Kernel {
+        *RUNTIME.get_or_init(|| {
+            let auto = if Kernel::simd_available() {
+                Kernel::Simd
+            } else {
+                Kernel::Scalar
+            };
+            match std::env::var("DGS_KERNEL").as_deref() {
+                Ok("scalar") => Kernel::Scalar,
+                Ok("simd") => {
+                    if Kernel::simd_available() {
+                        Kernel::Simd
+                    } else {
+                        eprintln!(
+                            "dgs: DGS_KERNEL=simd requested but the CPU lacks AVX2; \
+                             using the scalar backend"
+                        );
+                        Kernel::Scalar
+                    }
+                }
+                Ok(other) => {
+                    eprintln!(
+                        "dgs: unknown DGS_KERNEL value {other:?} \
+                         (expected \"scalar\" or \"simd\"); auto-detecting"
+                    );
+                    auto
+                }
+                Err(_) => auto,
+            }
+        })
+    }
+
+    /// Whether the CPU supports the SIMD backend (AVX2 on x86-64).
+    pub fn simd_available() -> bool {
+        crate::simd::avx2_available()
+    }
+
+    /// Stable lowercase name, e.g. for bench provenance records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Simd => "simd",
+        }
+    }
+
+    /// Fill `counts` with the 65,536-bucket histogram of the top two
+    /// bytes of each element's [`mag_key`]. `counts` is cleared and
+    /// resized to [`HIST16_BUCKETS`]; backends may use it as scratch for
+    /// partial histograms but must leave exactly the merged counts.
+    #[inline]
+    pub fn hist16(self, seg: &[f32], counts: &mut Vec<u32>) {
+        match self {
+            Kernel::Scalar => scalar::hist16(seg, counts),
+            Kernel::Simd => crate::simd::hist16(seg, counts),
+        }
+    }
+
+    /// Chunk-skipping selection scan: for each element whose key's
+    /// `>> shift` equals `prefix`, append the key to `keys` and its
+    /// position to `pos`; for each element strictly above the prefix
+    /// window, append the position to `definite`. Positions are relative
+    /// to `seg` and emitted in ascending order — chunks whose elements
+    /// are all below `prefix << shift` are skipped without emitting, so
+    /// the output is independent of the backend's chunk width.
+    #[inline]
+    pub fn select_scan(
+        self,
+        seg: &[f32],
+        prefix: u32,
+        shift: u32,
+        keys: &mut Vec<u32>,
+        pos: &mut Vec<u32>,
+        definite: &mut Vec<u32>,
+    ) {
+        match self {
+            Kernel::Scalar => scalar::select_scan(seg, prefix, shift, keys, pos, definite),
+            Kernel::Simd => crate::simd::select_scan(seg, prefix, shift, keys, pos, definite),
+        }
+    }
+
+    /// Gather variant of [`Kernel::select_scan`]: append only the keys
+    /// (no positions) whose `>> shift` equals `prefix`, in segment order.
+    #[inline]
+    pub fn gather_keys(self, seg: &[f32], prefix: u32, shift: u32, keys: &mut Vec<u32>) {
+        match self {
+            Kernel::Scalar => scalar::gather_keys(seg, prefix, shift, keys),
+            Kernel::Simd => crate::simd::gather_keys(seg, prefix, shift, keys),
+        }
+    }
+
+    /// Materialize `m[i] - v[i]` into `out` (cleared first) and return
+    /// the count of nonzero differences (`d != 0.0`, so NaN counts and
+    /// `-0.0` does not — matching the scalar send paths).
+    #[inline]
+    pub fn diff_into(self, m: &[f32], v: &[f32], out: &mut Vec<f32>) -> usize {
+        match self {
+            Kernel::Scalar => scalar::diff_into(m, v, out),
+            Kernel::Simd => crate::simd::diff_into(m, v, out),
+        }
+    }
+
+    /// Conservative block test for dense diff walks: `false` guarantees
+    /// no index `i` has `m[i] - v[i] != 0.0`; `true` promises nothing.
+    /// The scalar backend always answers `true` without scanning (the
+    /// caller's per-element loop is the scan); the SIMD backend answers
+    /// exactly, letting callers skip clean blocks.
+    #[inline]
+    pub fn may_have_diff(self, m: &[f32], v: &[f32]) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            Kernel::Simd => crate::simd::may_have_diff(m, v),
+        }
+    }
+
+    /// Append `seg[idx[j]]` for each `j` in order. Panics on an
+    /// out-of-bounds index exactly like the scalar indexing loop.
+    #[inline]
+    pub fn gather_into(self, seg: &[f32], idx: &[u32], out: &mut Vec<f32>) {
+        match self {
+            Kernel::Scalar => scalar::gather_into(seg, idx, out),
+            Kernel::Simd => crate::simd::gather_into(seg, idx, out),
+        }
+    }
+
+    /// `vals.iter().fold(0.0, |m, v| m.max(v.abs()))`: the largest
+    /// absolute value, ignoring NaNs (`f32::max` semantics), `0.0` for
+    /// an empty or all-NaN slice. This is the ternary quantizer's scale.
+    #[inline]
+    pub fn max_abs(self, vals: &[f32]) -> f32 {
+        match self {
+            Kernel::Scalar => scalar::max_abs(vals),
+            Kernel::Simd => crate::simd::max_abs(vals),
+        }
+    }
+
+    /// Expand `n` sign bits (LSB-first within each byte, bit set means
+    /// positive) into `±scale` values appended to `out`. Negation is a
+    /// sign-bit flip, bitwise identical across backends even for
+    /// infinite `scale`.
+    #[inline]
+    pub fn sign_expand(self, scale: f32, signs: &[u8], n: usize, out: &mut Vec<f32>) {
+        match self {
+            Kernel::Scalar => scalar::sign_expand(scale, signs, n, out),
+            Kernel::Simd => crate::simd::sign_expand(scale, signs, n, out),
+        }
+    }
+
+    /// The little-endian wire bytes of `xs` as a borrowed slice, if this
+    /// backend bulk-copies encodes. `Scalar` always answers `None` so the
+    /// caller's per-element `put_u32_le` loop stays the oracle; `Simd`
+    /// answers `Some` on little-endian targets (the bytes are identical
+    /// by definition of the wire format).
+    #[inline]
+    pub fn u32s_le(self, xs: &[u32]) -> Option<&[u8]> {
+        match self {
+            Kernel::Scalar => None,
+            Kernel::Simd => crate::simd::u32s_as_le_bytes(xs),
+        }
+    }
+
+    /// [`Kernel::u32s_le`] for `f32` payloads (`put_f32_le` loops).
+    #[inline]
+    pub fn f32s_le(self, xs: &[f32]) -> Option<&[u8]> {
+        match self {
+            Kernel::Scalar => None,
+            Kernel::Simd => crate::simd::f32s_as_le_bytes(xs),
+        }
+    }
+}
+
+/// Portable scalar twins. These are the semantics the SIMD backend must
+/// reproduce bit for bit; `crate::simd` also calls them for tails and as
+/// the non-AVX2 fallback.
+pub(crate) mod scalar {
+    use super::{mag_key, HIST16_BUCKETS};
+
+    pub(crate) fn hist16(seg: &[f32], counts: &mut Vec<u32>) {
+        counts.clear();
+        counts.resize(2 * HIST16_BUCKETS, 0);
+        let (h0, h1) = counts.split_at_mut(HIST16_BUCKETS);
+        let mut chunks = seg.chunks_exact(2);
+        for pair in &mut chunks {
+            h0[(mag_key(pair[0]) >> 16) as usize] += 1;
+            h1[(mag_key(pair[1]) >> 16) as usize] += 1;
+        }
+        for &v in chunks.remainder() {
+            h0[(mag_key(v) >> 16) as usize] += 1;
+        }
+        for (a, &b) in h0.iter_mut().zip(h1.iter()) {
+            *a += b;
+        }
+        counts.truncate(HIST16_BUCKETS);
+    }
+
+    pub(crate) fn select_scan(
+        seg: &[f32],
+        prefix: u32,
+        shift: u32,
+        keys: &mut Vec<u32>,
+        pos: &mut Vec<u32>,
+        definite: &mut Vec<u32>,
+    ) {
+        let lo = prefix << shift;
+        let mut base = 0u32;
+        let mut chunks = seg.chunks_exact(4);
+        for c in &mut chunks {
+            let ks = [mag_key(c[0]), mag_key(c[1]), mag_key(c[2]), mag_key(c[3])];
+            // Branchless "any lane could emit": both emit conditions
+            // below imply key >= lo, so an all-below chunk is skipped.
+            if (ks[0] >= lo) | (ks[1] >= lo) | (ks[2] >= lo) | (ks[3] >= lo) {
+                for (j, &key) in ks.iter().enumerate() {
+                    let b = key >> shift;
+                    if b == prefix {
+                        keys.push(key);
+                        pos.push(base + j as u32);
+                    } else if b > prefix {
+                        definite.push(base + j as u32);
+                    }
+                }
+            }
+            base += 4;
+        }
+        for &v in chunks.remainder() {
+            let key = mag_key(v);
+            let b = key >> shift;
+            if b == prefix {
+                keys.push(key);
+                pos.push(base);
+            } else if b > prefix {
+                definite.push(base);
+            }
+            base += 1;
+        }
+    }
+
+    pub(crate) fn gather_keys(seg: &[f32], prefix: u32, shift: u32, keys: &mut Vec<u32>) {
+        let lo = prefix << shift;
+        let mut chunks = seg.chunks_exact(4);
+        for c in &mut chunks {
+            let ks = [mag_key(c[0]), mag_key(c[1]), mag_key(c[2]), mag_key(c[3])];
+            if (ks[0] >= lo) | (ks[1] >= lo) | (ks[2] >= lo) | (ks[3] >= lo) {
+                for &key in &ks {
+                    if key >> shift == prefix {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+        for &v in chunks.remainder() {
+            let key = mag_key(v);
+            if key >> shift == prefix {
+                keys.push(key);
+            }
+        }
+    }
+
+    pub(crate) fn diff_into(m: &[f32], v: &[f32], out: &mut Vec<f32>) -> usize {
+        assert_eq!(m.len(), v.len());
+        out.clear();
+        out.reserve(m.len());
+        let mut nnz = 0usize;
+        for (&mi, &vi) in m.iter().zip(v.iter()) {
+            let d = mi - vi;
+            nnz += (d != 0.0) as usize;
+            out.push(d);
+        }
+        nnz
+    }
+
+    pub(crate) fn gather_into(seg: &[f32], idx: &[u32], out: &mut Vec<f32>) {
+        out.reserve(idx.len());
+        out.extend(idx.iter().map(|&i| seg[i as usize]));
+    }
+
+    pub(crate) fn max_abs(vals: &[f32]) -> f32 {
+        vals.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    pub(crate) fn sign_expand(scale: f32, signs: &[u8], n: usize, out: &mut Vec<f32>) {
+        assert!(signs.len() * 8 >= n);
+        out.reserve(n);
+        for bit in 0..n {
+            let positive = signs[bit / 8] & (1 << (bit % 8)) != 0;
+            out.push(if positive { scale } else { -scale });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Torture inputs: every special-value class the bitwise-identity
+    /// contract names, plus gradient-shaped noise.
+    pub(crate) fn torture_cases() -> Vec<Vec<f32>> {
+        let mut cases: Vec<Vec<f32>> = vec![
+            vec![],
+            vec![0.0],
+            vec![1.0; 7],
+            vec![-0.0; 33],
+            vec![f32::NAN, -f32::NAN, f32::INFINITY, f32::NEG_INFINITY],
+            vec![f32::MIN_POSITIVE / 2.0; 17], // denormals
+            vec![1.0, 1.0 + f32::EPSILON, 1.0, 1.0 + f32::EPSILON], // one-ulp plateau
+        ];
+        // All-equal large plateau (exercises boundary-bucket handling).
+        cases.push(vec![3.25; 100]);
+        // Deterministic xorshift mix of every class at several lengths
+        // straddling the 4- and 8-wide chunk boundaries.
+        for &n in &[1usize, 3, 4, 5, 8, 9, 15, 16, 17, 63, 64, 65, 255, 1024, 4097] {
+            let mut s = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64);
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let x = match s % 11 {
+                    0 => f32::NAN,
+                    1 => f32::from_bits(0x7FC0_1234), // NaN payload
+                    2 => f32::INFINITY,
+                    3 => f32::NEG_INFINITY,
+                    4 => 0.0,
+                    5 => -0.0,
+                    6 => f32::from_bits((s >> 40) as u32 & 0x007F_FFFF), // denormal
+                    7 => 1.0,
+                    8 => -1.0,
+                    _ => f32::from_bits((s >> 32) as u32),
+                };
+                v.push(x);
+            }
+            cases.push(v);
+        }
+        cases
+    }
+
+    fn shifts_and_prefixes(seg: &[f32]) -> Vec<(u32, u32)> {
+        let mut out = vec![(16u32, 0u32), (16, 0x7FFF), (8, 0), (8, 0x7FFF00 >> 8)];
+        if let Some(&v) = seg.first() {
+            out.push((16, mag_key(v) >> 16));
+            out.push((8, mag_key(v) >> 8));
+        }
+        if let Some(&v) = seg.last() {
+            out.push((16, mag_key(v) >> 16));
+        }
+        out
+    }
+
+    #[test]
+    fn runtime_is_cached_and_named() {
+        let k = Kernel::runtime();
+        assert_eq!(k, Kernel::runtime());
+        assert!(k.name() == "scalar" || k.name() == "simd");
+        assert_eq!(Kernel::Scalar.name(), "scalar");
+        assert_eq!(Kernel::Simd.name(), "simd");
+    }
+
+    #[test]
+    fn hist16_backends_identical() {
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for seg in torture_cases() {
+            Kernel::Scalar.hist16(&seg, &mut a);
+            Kernel::Simd.hist16(&seg, &mut b);
+            assert_eq!(a, b, "hist16 diverged on len {}", seg.len());
+            assert_eq!(a.len(), HIST16_BUCKETS);
+            assert_eq!(a.iter().map(|&c| c as usize).sum::<usize>(), seg.len());
+        }
+    }
+
+    #[test]
+    fn select_scan_backends_identical() {
+        for seg in torture_cases() {
+            for (shift, prefix) in shifts_and_prefixes(&seg) {
+                let (mut k1, mut p1, mut d1) = (Vec::new(), Vec::new(), Vec::new());
+                let (mut k2, mut p2, mut d2) = (Vec::new(), Vec::new(), Vec::new());
+                Kernel::Scalar.select_scan(&seg, prefix, shift, &mut k1, &mut p1, &mut d1);
+                Kernel::Simd.select_scan(&seg, prefix, shift, &mut k2, &mut p2, &mut d2);
+                assert_eq!(k1, k2, "keys diverged (len {}, shift {shift})", seg.len());
+                assert_eq!(p1, p2, "pos diverged (len {}, shift {shift})", seg.len());
+                assert_eq!(d1, d2, "definite diverged (len {}, shift {shift})", seg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_keys_backends_identical() {
+        for seg in torture_cases() {
+            for (shift, prefix) in shifts_and_prefixes(&seg) {
+                let (mut k1, mut k2) = (Vec::new(), Vec::new());
+                Kernel::Scalar.gather_keys(&seg, prefix, shift, &mut k1);
+                Kernel::Simd.gather_keys(&seg, prefix, shift, &mut k2);
+                assert_eq!(k1, k2, "gather diverged (len {}, shift {shift})", seg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn diff_into_backends_identical() {
+        for m in torture_cases() {
+            // Pair each case with a shifted copy of itself and with zeros.
+            let mut v = m.clone();
+            if !v.is_empty() {
+                let r = (v.len() / 3 + 1) % v.len();
+                v.rotate_right(r);
+            }
+            for vv in [v, vec![0.0; m.len()], m.clone()] {
+                let (mut o1, mut o2) = (Vec::new(), Vec::new());
+                let n1 = Kernel::Scalar.diff_into(&m, &vv, &mut o1);
+                let n2 = Kernel::Simd.diff_into(&m, &vv, &mut o2);
+                assert_eq!(n1, n2, "nnz diverged on len {}", m.len());
+                assert_eq!(o1.len(), o2.len());
+                for (a, b) in o1.iter().zip(o2.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "diff bits diverged");
+                }
+                // may_have_diff: false must imply nnz == 0.
+                if !Kernel::Simd.may_have_diff(&m, &vv) {
+                    assert_eq!(n1, 0);
+                }
+                assert!(Kernel::Scalar.may_have_diff(&m, &vv));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_into_backends_identical() {
+        for seg in torture_cases() {
+            if seg.is_empty() {
+                continue;
+            }
+            let mut s = 0xDEAD_BEEFu64 ^ seg.len() as u64;
+            let idx: Vec<u32> = (0..seg.len() * 2)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s % seg.len() as u64) as u32
+                })
+                .collect();
+            let (mut o1, mut o2) = (Vec::new(), Vec::new());
+            Kernel::Scalar.gather_into(&seg, &idx, &mut o1);
+            Kernel::Simd.gather_into(&seg, &idx, &mut o2);
+            assert_eq!(o1.len(), o2.len());
+            for (a, b) in o1.iter().zip(o2.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gather bits diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_into_oob_panics_like_scalar() {
+        let seg = [1.0f32, 2.0];
+        let idx = [0u32, 5];
+        for k in [Kernel::Scalar, Kernel::Simd] {
+            let r = std::panic::catch_unwind(|| {
+                let mut out = Vec::new();
+                k.gather_into(&seg, &idx, &mut out);
+            });
+            assert!(r.is_err(), "{:?} did not panic on OOB gather", k);
+        }
+    }
+
+    #[test]
+    fn max_abs_backends_identical() {
+        for seg in torture_cases() {
+            let a = Kernel::Scalar.max_abs(&seg);
+            let b = Kernel::Simd.max_abs(&seg);
+            assert_eq!(a.to_bits(), b.to_bits(), "max_abs diverged on len {}", seg.len());
+        }
+        // NaN-only input: f32::max ignores NaN, result stays 0.0.
+        let nans = vec![f32::NAN; 9];
+        assert_eq!(Kernel::Simd.max_abs(&nans).to_bits(), 0.0f32.to_bits());
+        // Infinity dominates.
+        let inf = vec![1.0, f32::NEG_INFINITY, 2.0];
+        assert_eq!(Kernel::Simd.max_abs(&inf), f32::INFINITY);
+    }
+
+    #[test]
+    fn sign_expand_backends_identical() {
+        let scales = [1.5f32, 0.0, f32::INFINITY, f32::MIN_POSITIVE / 4.0];
+        for &scale in &scales {
+            for n in [0usize, 1, 7, 8, 9, 16, 31, 64, 129] {
+                let signs: Vec<u8> = (0..n.div_ceil(8)).map(|i| (i as u8) ^ 0xA5).collect();
+                let (mut o1, mut o2) = (Vec::new(), Vec::new());
+                Kernel::Scalar.sign_expand(scale, &signs, n, &mut o1);
+                Kernel::Simd.sign_expand(scale, &signs, n, &mut o2);
+                assert_eq!(o1.len(), n);
+                assert_eq!(o1.len(), o2.len());
+                for (a, b) in o1.iter().zip(o2.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "sign_expand bits diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_when_offered() {
+        let xs = [0u32, 1, 0xDEAD_BEEF, u32::MAX];
+        if let Some(b) = Kernel::Simd.u32s_le(&xs) {
+            assert_eq!(b.len(), 16);
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(&b[4 * i..4 * i + 4], &x.to_le_bytes());
+            }
+        }
+        assert!(Kernel::Scalar.u32s_le(&xs).is_none());
+        let fs = [1.5f32, -0.0, f32::NAN];
+        if let Some(b) = Kernel::Simd.f32s_le(&fs) {
+            for (i, &x) in fs.iter().enumerate() {
+                assert_eq!(&b[4 * i..4 * i + 4], &x.to_le_bytes());
+            }
+        }
+        assert!(Kernel::Scalar.f32s_le(&fs).is_none());
+    }
+}

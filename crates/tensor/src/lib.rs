@@ -23,20 +23,26 @@
 //!   (hand-rolled Box–Muller; `rand_distr` is not in the offline set).
 //! * [`bufpool`] — a free-list [`BufferPool`] for allocation-free scratch
 //!   buffers on hot paths (used by the server's reply construction).
+//! * [`kernel`] / [`simd`] — the runtime-selected [`Kernel`] backend seam:
+//!   portable scalar kernels (the differential oracle) and their bitwise
+//!   identical AVX2 twins, chosen by CPU detection or `DGS_KERNEL`.
 //!
 //! All kernels are deterministic for a fixed input (parallel loops never
 //! change the per-element summation order), which the test-suite relies on.
 
 pub mod bufpool;
 pub mod conv;
+pub mod kernel;
 pub mod matmul;
 pub mod ops;
 pub mod pool;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use bufpool::BufferPool;
+pub use kernel::Kernel;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

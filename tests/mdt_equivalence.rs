@@ -227,6 +227,68 @@ fn run_with_select(select: SelectStrategy) -> (Vec<f32>, Vec<Vec<f32>>) {
     (server.current_model(), workers.iter().map(|w| w.model_params().to_vec()).collect())
 }
 
+fn run_with_kernel(kernel: dgs::sparsify::Kernel) -> (Vec<f32>, Vec<Vec<f32>>, Vec<Vec<u8>>) {
+    use dgs::sparsify::SparseUpdate;
+    let blobs = GaussianBlobs::new(128, 8, 4, 0.3, 9);
+    let train: Arc<dyn Dataset> = Arc::new(blobs);
+    let mut cfg = make_cfg(Method::Dgs);
+    cfg.workers = 3;
+    cfg.sparsity_ratio = 0.1;
+    let build = || mlp(8, &[16], 4, 13);
+    let net0 = build();
+    let theta0 = net0.params().data().to_vec();
+    let partition = net0.params().partition().clone();
+    let mut server = MdtServer::new(
+        theta0,
+        partition,
+        3,
+        Downlink::ModelDifference { secondary_ratio: Some(0.1) },
+    );
+    server.set_kernel(kernel);
+    let mut workers: Vec<TrainWorker> = (0..3)
+        .map(|k| {
+            let mut w = TrainWorker::new(k, build(), Arc::clone(&train), cfg.clone(), 10.0);
+            w.set_kernel(kernel);
+            w
+        })
+        .collect();
+    let mut downlinks = Vec::new();
+    for t in 0..60 {
+        let k = (t * 2) % 3;
+        let up = workers[k].local_step();
+        let reply = server.handle_update(k, &up);
+        if let DownMsg::SparseDiff(d) = &reply {
+            downlinks.push(SparseUpdate::encode_with(d, kernel).to_vec());
+        }
+        workers[k].apply_reply(reply);
+    }
+    (
+        server.current_model(),
+        workers.iter().map(|w| w.model_params().to_vec()).collect(),
+        downlinks,
+    )
+}
+
+#[test]
+fn kernel_backend_swap_leaves_downlinks_bitwise_unchanged() {
+    // End-to-end across the Kernel seam: real models, real gradients, real
+    // server, secondary compression on. Every downlink payload and every
+    // final model must be byte-identical whether the hot kernels run on
+    // the scalar or the SIMD backend (on machines without AVX2 both run
+    // scalar and the test degenerates to a tautology).
+    use dgs::sparsify::Kernel;
+    let (srv_s, wk_s, down_s) = run_with_kernel(Kernel::Scalar);
+    let (srv_v, wk_v, down_v) = run_with_kernel(Kernel::Simd);
+    assert_eq!(down_s.len(), down_v.len(), "downlink count changed under backend swap");
+    for (t, (a, b)) in down_s.iter().zip(down_v.iter()).enumerate() {
+        assert_eq!(a, b, "downlink {t} wire bytes changed under backend swap");
+    }
+    assert_eq!(srv_s, srv_v, "server model changed under backend swap");
+    for (k, (a, b)) in wk_s.iter().zip(wk_v.iter()).enumerate() {
+        assert_eq!(a, b, "worker {k} model changed under backend swap");
+    }
+}
+
 #[test]
 fn select_strategy_swap_leaves_training_bitwise_unchanged() {
     // The radix engine replaces the comparator on every selection site
