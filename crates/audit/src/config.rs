@@ -56,6 +56,10 @@ impl Config {
                         // SIMD twins would desync them from the scalar path.
                         "crates/tensor/src/kernel.rs",
                         "crates/tensor/src/simd.rs",
+                        // Max-pooling's tie-breaking argmax scan: a float
+                        // comparator here silently reorders NaN planes
+                        // between the backends.
+                        "crates/tensor/src/pool.rs",
                     ],
                 },
                 // Bit-exact server determinism (Eq. 5 equivalence proofs).
@@ -90,6 +94,16 @@ impl Config {
                         "crates/tensor/src/kernel.rs",
                         "crates/tensor/src/simd.rs",
                         "crates/net/src/crc_simd.rs",
+                        // The compute tier proper: the blocked GEMM's
+                        // accumulation order, the im2col lowering, the
+                        // pooling planes, and the scratch pools all feed
+                        // the trained-bits-identical contract — clocks,
+                        // entropy, or hash iteration anywhere here would
+                        // break replay across backends and rayon splits.
+                        "crates/tensor/src/gemm.rs",
+                        "crates/tensor/src/conv.rs",
+                        "crates/tensor/src/pool.rs",
+                        "crates/tensor/src/scratch.rs",
                     ],
                 },
                 // "Error, never panic" wire paths (PR 2 contract).
@@ -217,9 +231,15 @@ mod tests {
         assert!(!cfg.unsafe_is_allowed("crates/net/src/conn.rs"));
         assert!(cfg.applies("nan-ordering", "crates/tensor/src/simd.rs"));
         assert!(cfg.applies("nan-ordering", "crates/tensor/src/kernel.rs"));
+        assert!(cfg.applies("nan-ordering", "crates/tensor/src/pool.rs"));
         assert!(!cfg.applies("nan-ordering", "crates/tensor/src/lib.rs"));
         assert!(cfg.applies("determinism", "crates/tensor/src/kernel.rs"));
         assert!(cfg.applies("determinism", "crates/net/src/crc_simd.rs"));
+        assert!(cfg.applies("determinism", "crates/tensor/src/gemm.rs"));
+        assert!(cfg.applies("determinism", "crates/tensor/src/conv.rs"));
+        assert!(cfg.applies("determinism", "crates/tensor/src/pool.rs"));
+        assert!(cfg.applies("determinism", "crates/tensor/src/scratch.rs"));
+        // The thin wrapper stays out of scope: it only forwards to gemm.
         assert!(!cfg.applies("determinism", "crates/tensor/src/matmul.rs"));
     }
 }

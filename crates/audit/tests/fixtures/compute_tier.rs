@@ -1,0 +1,21 @@
+//! Trip/pass fixture for the compute-tier scopes (audited as if in
+//! crates/tensor/src/gemm.rs or pool.rs): the blocked GEMM and pooling
+//! files are inside determinism, and pool.rs also inside nan-ordering.
+use std::collections::HashMap;
+
+pub fn pick_panel_order(costs: &HashMap<usize, u64>) -> Vec<usize> {
+    costs.keys().copied().collect()
+}
+
+pub fn argmax_bad(plane: &[f32]) -> usize {
+    plane
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub fn argmax_good(plane: &[f32]) -> usize {
+    plane.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+}

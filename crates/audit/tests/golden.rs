@@ -153,6 +153,27 @@ fn clean_fixture_passes_under_every_scope_path() {
 }
 
 #[test]
+fn compute_tier_scopes_cover_gemm_and_pool() {
+    let src = include_str!("fixtures/compute_tier.rs");
+    // In the blocked-GEMM file: hash-iteration trips determinism, but the
+    // float comparator stays quiet (gemm is not a nan-ordering scope).
+    let f = audit("crates/tensor/src/gemm.rs", src);
+    assert_eq!(rule_lines(&f), vec![("determinism", 4), ("determinism", 6)], "{f:?}");
+    // In the pooling file both scopes apply: the partial_cmp argmax is the
+    // exact bug the max-pool tie-break contract forbids.
+    let f = audit("crates/tensor/src/pool.rs", src);
+    assert_eq!(
+        rule_lines(&f),
+        vec![("determinism", 4), ("determinism", 6), ("nan-ordering", 14)],
+        "{f:?}"
+    );
+    assert!(f[2].message.contains("total_cmp"), "{}", f[2].message);
+    // The wrapper file stays out of every compute-tier scope.
+    let f = audit("crates/tensor/src/matmul.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn rules_stay_inside_their_scopes() {
     // The nan_ordering fixture trips in sparsify but crates/bench is out
     // of every scope except unsafe-budget (which it does not trip).

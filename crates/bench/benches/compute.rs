@@ -1,0 +1,191 @@
+//! Compute-tier benchmarks: blocked/SIMD/parallel GEMM, im2col
+//! convolution, and whole-model training steps, scalar backend vs the
+//! runtime SIMD tier. Results are recorded in `BENCH_compute.json` at the
+//! repo root (measured by a standalone interleaved timing mirror on the
+//! 1-core container; see its provenance block).
+//!
+//! Every timed pair is preceded by a bitwise equivalence assertion on the
+//! exact bench input: the backends must agree bit for bit before either
+//! one is timed, so a regression in the identity contract fails the bench
+//! run rather than silently timing divergent code.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_nn::models::{resnet_lite, tiny_cnn};
+use dgs_tensor::conv::{conv2d_backward_with, conv2d_forward_with, Conv2dSpec};
+use dgs_tensor::{ComputeScratch, Kernel, Tensor};
+
+/// Gradient-like synthetic values: smooth heavy-tailed mix, no specials
+/// (torture values live in the equivalence suites, not the timing loop).
+fn synth(n: usize, phase: f64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.7391 + phase).sin() * 2.0 + (i as f64 * 0.113).cos();
+            (x * x * x) as f32
+        })
+        .collect()
+}
+
+/// Backends to time: scalar always, SIMD only where the CPU supports it.
+fn backends() -> Vec<(&'static str, Kernel)> {
+    let mut b = vec![("scalar", Kernel::Scalar)];
+    if Kernel::simd_available() {
+        b.push(("simd", Kernel::Simd));
+    } else {
+        eprintln!("compute: no AVX2 on this CPU — timing scalar legs only");
+    }
+    b
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute/gemm");
+    for &dim in &[64usize, 128, 256, 384] {
+        let a = synth(dim * dim, 0.0);
+        let b_mat = synth(dim * dim, 1.0);
+        // Bitwise gate on the exact bench input.
+        let mut c_scalar = vec![0.0f32; dim * dim];
+        let mut c_rt = vec![0.0f32; dim * dim];
+        Kernel::Scalar.gemm(&a, &b_mat, &mut c_scalar, dim, dim, dim);
+        Kernel::runtime().gemm(&a, &b_mat, &mut c_rt, dim, dim, dim);
+        assert!(
+            c_scalar.iter().zip(&c_rt).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "gemm backends disagree at dim {dim}"
+        );
+        let mut out = vec![0.0f32; dim * dim];
+        for (name, kernel) in backends() {
+            group.bench_with_input(BenchmarkId::new(name, dim), &dim, |bch, _| {
+                bch.iter(|| {
+                    kernel.gemm(black_box(&a), black_box(&b_mat), &mut out, dim, dim, dim);
+                    black_box(&out);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute/conv");
+    // (batch, channels, hw, out_channels): a tiny_cnn-like stage and a
+    // resnet_lite-like stage.
+    for &(n, ch, hw, oc) in &[(8usize, 4usize, 16usize, 8usize), (4, 8, 32, 16)] {
+        let spec =
+            Conv2dSpec { in_channels: ch, out_channels: oc, kernel: 3, stride: 1, padding: 1 };
+        let x = Tensor::from_vec([n, ch, hw, hw], synth(n * ch * hw * hw, 0.0)).unwrap();
+        let weight = synth(spec.weight_len(), 1.0);
+        let bias = synth(oc, 2.0);
+        let label = format!("{n}x{ch}x{hw}x{hw}->{oc}");
+
+        // Bitwise gate: forward and backward on the exact bench input.
+        let mut s_scalar = ComputeScratch::new(Kernel::Scalar);
+        let mut s_rt = ComputeScratch::new(Kernel::runtime());
+        let y_scalar = conv2d_forward_with(&mut s_scalar, &x, &weight, &bias, &spec);
+        let y_rt = conv2d_forward_with(&mut s_rt, &x, &weight, &bias, &spec);
+        assert!(
+            y_scalar.data().iter().zip(y_rt.data()).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "conv forward backends disagree at {label}"
+        );
+        let dy = Tensor::from_vec(y_scalar.shape().clone(), synth(y_scalar.numel(), 3.0)).unwrap();
+        let g_scalar = conv2d_backward_with(&mut s_scalar, &x, &weight, &dy, &spec, true);
+        let g_rt = conv2d_backward_with(&mut s_rt, &x, &weight, &dy, &spec, true);
+        assert!(
+            g_scalar.dweight.iter().zip(&g_rt.dweight).all(|(a, b)| a.to_bits() == b.to_bits())
+                && g_scalar
+                    .dx
+                    .data()
+                    .iter()
+                    .zip(g_rt.dx.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "conv backward backends disagree at {label}"
+        );
+
+        for (name, kernel) in backends() {
+            let mut scratch = ComputeScratch::new(kernel);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/forward"), &label),
+                &n,
+                |bch, _| {
+                    bch.iter(|| {
+                        let y = conv2d_forward_with(
+                            &mut scratch,
+                            black_box(&x),
+                            black_box(&weight),
+                            black_box(&bias),
+                            &spec,
+                        );
+                        scratch.put_tensor(black_box(y));
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/backward"), &label),
+                &n,
+                |bch, _| {
+                    bch.iter(|| {
+                        let g = conv2d_backward_with(
+                            &mut scratch,
+                            black_box(&x),
+                            black_box(&weight),
+                            black_box(&dy),
+                            &spec,
+                            true,
+                        );
+                        scratch.put_tensor(g.dx);
+                        scratch.put(g.dweight);
+                        scratch.put(g.dbias);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute/train_step");
+    group.sample_size(10);
+    let cases: Vec<(&str, Box<dyn Fn() -> dgs_nn::Network>, usize)> = vec![
+        ("tiny_cnn", Box::new(|| tiny_cnn(3, 16, 10, 8, 7)), 16),
+        ("resnet_lite", Box::new(|| resnet_lite(3, 16, 10, 8, 7)), 8),
+    ];
+    for (model, build, batch) in cases {
+        let shape = {
+            let probe = build();
+            let mut dims = vec![batch];
+            dims.extend_from_slice(probe.input_shape().dims());
+            dims
+        };
+        let x = Tensor::randn(shape, 1.0, 11);
+        let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+
+        // Bitwise gate: one step on each backend must produce identical
+        // gradient bits before any timing happens.
+        let grads: Vec<Vec<u32>> = [Kernel::Scalar, Kernel::runtime()]
+            .iter()
+            .map(|&k| {
+                let mut net = build();
+                net.set_kernel(k);
+                net.train_step(x.clone(), &labels);
+                net.params().grad().iter().map(|v| v.to_bits()).collect()
+            })
+            .collect();
+        assert_eq!(grads[0], grads[1], "train-step gradients diverge across backends ({model})");
+
+        for (name, kernel) in backends() {
+            let mut net = build();
+            net.set_kernel(kernel);
+            // Warm the scratch pools so the timed loop is the steady state.
+            for _ in 0..2 {
+                net.train_step(x.clone(), &labels);
+            }
+            group.bench_with_input(BenchmarkId::new(name, model), &batch, |bch, _| {
+                bch.iter(|| {
+                    black_box(net.train_step(black_box(x.clone()), black_box(&labels)));
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv, bench_train_step);
+criterion_main!(benches);

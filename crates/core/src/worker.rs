@@ -103,11 +103,13 @@ impl TrainWorker {
         self.compressor.set_select_strategy(select);
     }
 
-    /// Selects the compute backend for the uplink selection kernels (see
-    /// [`Compressor::set_kernel`]). Backends are bitwise-identical, so
-    /// this never changes a trajectory.
+    /// Selects the compute backend for the uplink selection kernels *and*
+    /// the training network's GEMM/conv/pool tier (see
+    /// [`Compressor::set_kernel`] and `Network::set_kernel`). Backends are
+    /// bitwise-identical, so this never changes a trajectory.
     pub fn set_kernel(&mut self, kernel: Kernel) {
         self.compressor.set_kernel(kernel);
+        self.net.set_kernel(kernel);
     }
 
     /// Runs one local iteration: minibatch gradient + compression.

@@ -4,7 +4,7 @@
 //! architectures they need.
 
 use crate::layer::Layer;
-use dgs_tensor::{Shape, Tensor};
+use dgs_tensor::{ComputeScratch, Shape, Tensor};
 
 macro_rules! pointwise_layer {
     ($(#[$doc:meta])* $name:ident, $fwd:expr, $bwd:expr) => {
@@ -36,15 +36,30 @@ macro_rules! pointwise_layer {
                 input.clone()
             }
 
-            fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
-                let mut y = x.clone();
+            fn forward(
+                &mut self,
+                _params: &[f32],
+                x: Tensor,
+                scratch: &mut ComputeScratch,
+            ) -> Tensor {
+                // Pointwise maps stay scalar under every backend (their
+                // transcendental chains have no SIMD twin in the compute
+                // tier); only the output buffer comes from the pool.
+                let mut y = scratch.take(x.numel());
                 let f: fn(f32) -> f32 = $fwd;
-                y.map_inplace(f);
+                y.extend(x.data().iter().map(|&v| f(v)));
+                let shape = x.shape().clone();
                 self.cached_input = Some(x);
-                y
+                Tensor::from_vec(shape, y).unwrap()
             }
 
-            fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+            fn backward(
+                &mut self,
+                _params: &[f32],
+                _grad: &mut [f32],
+                dy: Tensor,
+                scratch: &mut ComputeScratch,
+            ) -> Tensor {
                 let x = self
                     .cached_input
                     .take()
@@ -54,6 +69,7 @@ macro_rules! pointwise_layer {
                 for (d, &xi) in dx.data_mut().iter_mut().zip(x.data().iter()) {
                     *d *= df(xi);
                 }
+                scratch.put_tensor(x);
                 dx
             }
 
@@ -127,65 +143,77 @@ impl Layer for AvgPool2d {
         Shape::from([n, c, h / self.window, w / self.window])
     }
 
-    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+    fn forward(&mut self, _params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         let out_shape = self.output_shape(x.shape());
         let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
-        let mut y = Tensor::zeros(out_shape);
         let win = self.window;
         let inv = 1.0 / (win * win) as f32;
-        {
-            let xd = x.data();
-            let yd = y.data_mut();
-            for i in 0..n {
-                for ch in 0..c {
-                    let in_base = (i * c + ch) * h * w;
-                    let out_base = (i * c + ch) * oh * ow;
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut acc = 0.0f32;
-                            for ky in 0..win {
-                                for kx in 0..win {
-                                    acc += xd[in_base + (oy * win + ky) * w + ox * win + kx];
-                                }
+        let mut y = scratch.take(n * c * oh * ow);
+        let xd = x.data();
+        if win == 2 {
+            // The common window dispatches through the compute tier; its
+            // chain `((((0+x00)+x01)+x10)+x11) * 0.25` is exactly this
+            // loop's (ky, kx) order, so the general path below would
+            // produce the same bits.
+            let kernel = scratch.kernel();
+            for plane in 0..n * c {
+                let base = plane * h * w;
+                kernel.avgpool2_plane(&xd[base..base + h * w], h, w, &mut y);
+            }
+        } else {
+            for plane in 0..n * c {
+                let in_base = plane * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..win {
+                            for kx in 0..win {
+                                acc += xd[in_base + (oy * win + ky) * w + ox * win + kx];
                             }
-                            yd[out_base + oy * ow + ox] = acc * inv;
                         }
+                        y.push(acc * inv);
                     }
                 }
             }
         }
         self.cached_shape = Some(x.shape().clone());
-        y
+        scratch.put_tensor(x);
+        Tensor::from_vec(out_shape, y).unwrap()
     }
 
-    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        _params: &[f32],
+        _grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let shape = self.cached_shape.take().expect("avgpool backward without forward");
         let (n, c, h, w) = shape.as_nchw();
         let win = self.window;
         let (oh, ow) = (h / win, w / win);
         let inv = 1.0 / (win * win) as f32;
-        let mut dx = Tensor::zeros(shape);
+        let mut dxd = scratch.take_zeroed(shape.numel());
         {
-            let dxd = dx.data_mut();
             let dyd = dy.data();
-            for i in 0..n {
-                for ch in 0..c {
-                    let in_base = (i * c + ch) * h * w;
-                    let out_base = (i * c + ch) * oh * ow;
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let g = dyd[out_base + oy * ow + ox] * inv;
-                            for ky in 0..win {
-                                for kx in 0..win {
-                                    dxd[in_base + (oy * win + ky) * w + ox * win + kx] += g;
-                                }
+            for plane in 0..n * c {
+                let in_base = plane * h * w;
+                let out_base = plane * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dyd[out_base + oy * ow + ox] * inv;
+                        for ky in 0..win {
+                            for kx in 0..win {
+                                dxd[in_base + (oy * win + ky) * w + ox * win + kx] += g;
                             }
                         }
                     }
                 }
             }
         }
+        let dx = Tensor::from_vec(shape, dxd).unwrap();
+        scratch.put_tensor(dy);
         dx
     }
 
@@ -198,20 +226,25 @@ impl Layer for AvgPool2d {
 mod tests {
     use super::*;
 
+    fn sc() -> ComputeScratch {
+        ComputeScratch::default()
+    }
+
     fn grad_check_pointwise(layer: &mut dyn Layer, range: (f32, f32)) {
+        let s = &mut sc();
         let x = Tensor::rand_uniform([2, 6], range.0, range.1, 7);
-        let y = layer.forward(&[], x.clone());
-        let dx = layer.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0));
+        let y = layer.forward(&[], x.clone(), s);
+        let dx = layer.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0), s);
         let eps = 1e-3f32;
         for i in 0..x.numel() {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;
-            let lp = layer.forward(&[], xp).sum();
-            layer.backward(&[], &mut [], Tensor::zeros(y.shape().clone()));
+            let lp = layer.forward(&[], xp, s).sum();
+            layer.backward(&[], &mut [], Tensor::zeros(y.shape().clone()), s);
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let lm = layer.forward(&[], xm).sum();
-            layer.backward(&[], &mut [], Tensor::zeros(y.shape().clone()));
+            let lm = layer.forward(&[], xm, s).sum();
+            layer.backward(&[], &mut [], Tensor::zeros(y.shape().clone()), s);
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
             assert!(
                 (num - dx.data()[i]).abs() < 1e-2 * num.abs().max(1.0),
@@ -243,7 +276,7 @@ mod tests {
     fn tanh_bounds() {
         let mut t = Tanh::new("tanh");
         let x = Tensor::from_vec([3], vec![-100.0, 0.0, 100.0]).unwrap();
-        let y = t.forward(&[], x);
+        let y = t.forward(&[], x, &mut sc());
         assert!((y.data()[0] + 1.0).abs() < 1e-6);
         assert_eq!(y.data()[1], 0.0);
         assert!((y.data()[2] - 1.0).abs() < 1e-6);
@@ -252,7 +285,7 @@ mod tests {
     #[test]
     fn sigmoid_midpoint() {
         let mut s = Sigmoid::new("sig");
-        let y = s.forward(&[], Tensor::zeros([4]));
+        let y = s.forward(&[], Tensor::zeros([4]), &mut sc());
         assert!(y.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
     }
 
@@ -260,16 +293,17 @@ mod tests {
     fn avgpool_forward_known() {
         let mut p = AvgPool2d::new("avg", 2);
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
-        let y = p.forward(&[], x);
+        let y = p.forward(&[], x, &mut sc());
         assert_eq!(y.data(), &[3.0]);
     }
 
     #[test]
     fn avgpool_backward_uniform() {
         let mut p = AvgPool2d::new("avg", 2);
+        let s = &mut sc();
         let x = Tensor::randn([2, 3, 4, 4], 1.0, 5);
-        let y = p.forward(&[], x.clone());
-        let dx = p.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0));
+        let y = p.forward(&[], x.clone(), s);
+        let dx = p.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0), s);
         // Every input position receives 1/4 of a unit gradient.
         assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
     }
@@ -277,10 +311,11 @@ mod tests {
     #[test]
     fn avgpool_adjoint_identity() {
         let mut p = AvgPool2d::new("avg", 2);
+        let s = &mut sc();
         let x = Tensor::randn([1, 2, 4, 4], 1.0, 9);
-        let y = p.forward(&[], x.clone());
+        let y = p.forward(&[], x.clone(), s);
         let dy = Tensor::randn(y.shape().clone(), 1.0, 10);
-        let dx = p.backward(&[], &mut [], dy.clone());
+        let dx = p.backward(&[], &mut [], dy.clone(), s);
         let lhs: f64 =
             y.data().iter().zip(dy.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         let rhs: f64 =
@@ -289,9 +324,24 @@ mod tests {
     }
 
     #[test]
+    fn avgpool_window2_backends_identical() {
+        use dgs_tensor::Kernel;
+        let x = Tensor::randn([2, 3, 8, 8], 1.0, 21);
+        let mut ys = Vec::new();
+        for kernel in [Kernel::Scalar, Kernel::Simd] {
+            let mut p = AvgPool2d::new("avg", 2);
+            let mut s = ComputeScratch::new(kernel);
+            ys.push(p.forward(&[], x.clone(), &mut s));
+        }
+        for (a, b) in ys[0].data().iter().zip(ys[1].data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "avgpool2 backends diverged");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "must divide")]
     fn avgpool_rejects_nondivisible() {
         let mut p = AvgPool2d::new("avg", 3);
-        p.forward(&[], Tensor::zeros([1, 1, 4, 4]));
+        p.forward(&[], Tensor::zeros([1, 1, 4, 4]), &mut sc());
     }
 }

@@ -5,16 +5,21 @@
 //! one flat [`ParamSet`](crate::param::ParamSet). During forward/backward a
 //! layer receives only *its own* slice of the flat data and gradient
 //! vectors, so layers are independent of global layout.
+//!
+//! Every forward/backward also receives the network's [`ComputeScratch`]:
+//! it carries the explicit [`Kernel`](dgs_tensor::Kernel) backend every
+//! GEMM/conv/pool/activation dispatches through, plus the buffer pools
+//! that make the steady-state training step allocation-free (outputs,
+//! im2col columns, gradient buffers and cached activations are all
+//! recycled through it).
 
-use dgs_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
-use dgs_tensor::matmul::{matmul_a_bt, matmul_at_b, matmul_slices};
-use dgs_tensor::ops::{relu, relu_backward};
+use dgs_tensor::conv::{conv2d_backward_with, conv2d_forward_with, Conv2dSpec};
 use dgs_tensor::pool::{
-    global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward,
-    MaxPoolSpec,
+    global_avg_pool_backward_with, global_avg_pool_forward_with, maxpool2d_backward_with,
+    maxpool2d_forward_with, MaxPoolSpec,
 };
 use dgs_tensor::rng::{fill_normal, seeded};
-use dgs_tensor::{Shape, Tensor};
+use dgs_tensor::{ComputeScratch, Shape, Tensor};
 
 /// A differentiable network layer with externally owned parameters.
 ///
@@ -36,12 +41,19 @@ pub trait Layer: Send {
     /// Shape of the output for a given input shape (batch included).
     fn output_shape(&self, input: &Shape) -> Shape;
 
-    /// Forward pass; `params` is this layer's slice of the flat vector.
-    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor;
+    /// Forward pass; `params` is this layer's slice of the flat vector and
+    /// `scratch` supplies the compute backend and pooled buffers.
+    fn forward(&mut self, params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor;
 
     /// Backward pass; accumulates into `grad` (this layer's slice) and
     /// returns the gradient w.r.t. the layer input.
-    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor;
+    fn backward(
+        &mut self,
+        params: &[f32],
+        grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor;
 
     /// Estimated multiply-accumulate count for a forward+backward pass at
     /// batch size `batch`; feeds the DES compute-time model.
@@ -95,34 +107,50 @@ impl Layer for Linear {
         Shape::from([n, self.out_features])
     }
 
-    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+    fn forward(&mut self, params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
         let (n, d) = x.shape().as_matrix();
         assert_eq!(d, self.in_features, "linear {} input dim", self.name);
         let w = &params[..self.weight_len()];
         let b = &params[self.weight_len()..];
-        // y = x (n×in) · Wᵀ (in×out); W stored out×in so use A·Bᵀ.
-        let w_t = Tensor::from_vec([self.out_features, self.in_features], w.to_vec()).unwrap();
-        let mut y = matmul_a_bt(&x, &w_t);
-        for row in y.data_mut().chunks_mut(self.out_features) {
+        // y = x (n×in) · Wᵀ (in×out); W is stored out×in row-major, so the
+        // A·Bᵀ kernel reads it straight off the flat parameter slice — no
+        // transpose copy, no `w.to_vec()`.
+        let mut y = scratch.take_zeroed(n * self.out_features);
+        scratch.kernel().gemm_a_bt(x.data(), w, &mut y, n, self.in_features, self.out_features);
+        for row in y.chunks_mut(self.out_features) {
             for (v, &bi) in row.iter_mut().zip(b.iter()) {
                 *v += bi;
             }
         }
-        let _ = n;
         self.cached_input = Some(x);
-        y
+        Tensor::from_vec([n, self.out_features], y).unwrap()
     }
 
-    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        params: &[f32],
+        grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let x = self.cached_input.take().expect("linear backward without forward");
         let w = &params[..self.weight_len()];
+        let (n, _) = dy.shape().as_matrix();
         // dW = dYᵀ·X  (out×n · n×in): use Aᵀ·B with A = dY stored n×out.
-        let dw = matmul_at_b(&dy, &x);
+        let mut dw = scratch.take_zeroed(self.weight_len());
+        scratch.kernel().gemm_at_b(
+            dy.data(),
+            x.data(),
+            &mut dw,
+            self.out_features,
+            n,
+            self.in_features,
+        );
         let (gw, gb) = grad.split_at_mut(self.weight_len());
-        for (g, &v) in gw.iter_mut().zip(dw.data().iter()) {
+        for (g, &v) in gw.iter_mut().zip(dw.iter()) {
             *g += v;
         }
-        let (n, _) = dy.shape().as_matrix();
+        scratch.put(dw);
         for r in 0..n {
             let row = &dy.data()[r * self.out_features..(r + 1) * self.out_features];
             for (g, &v) in gb.iter_mut().zip(row.iter()) {
@@ -130,9 +158,11 @@ impl Layer for Linear {
             }
         }
         // dX = dY (n×out) · W (out×in)
-        let mut dx = Tensor::zeros([n, self.in_features]);
-        matmul_slices(dy.data(), w, dx.data_mut(), n, self.out_features, self.in_features);
-        dx
+        let mut dxd = scratch.take_zeroed(n * self.in_features);
+        scratch.kernel().gemm(dy.data(), w, &mut dxd, n, self.out_features, self.in_features);
+        scratch.put_tensor(x);
+        scratch.put_tensor(dy);
+        Tensor::from_vec([n, self.in_features], dxd).unwrap()
     }
 
     fn flops(&self, input: &Shape) -> u64 {
@@ -205,19 +235,26 @@ impl Layer for Conv2d {
         Shape::from([n, self.spec.out_channels, oh, ow])
     }
 
-    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+    fn forward(&mut self, params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
         let wl = self.spec.weight_len();
         let (w, b) = params.split_at(wl);
-        let y = conv2d_forward(&x, w, if self.with_bias { b } else { &[] }, &self.spec);
+        let y =
+            conv2d_forward_with(scratch, &x, w, if self.with_bias { b } else { &[] }, &self.spec);
         self.cached_input = Some(x);
         y
     }
 
-    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        params: &[f32],
+        grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let x = self.cached_input.take().expect("conv backward without forward");
         let wl = self.spec.weight_len();
         let w = &params[..wl];
-        let grads = conv2d_backward(&x, w, &dy, &self.spec, self.with_bias);
+        let grads = conv2d_backward_with(scratch, &x, w, &dy, &self.spec, self.with_bias);
         let (gw, gb) = grad.split_at_mut(wl);
         for (g, &v) in gw.iter_mut().zip(grads.dweight.iter()) {
             *g += v;
@@ -225,6 +262,10 @@ impl Layer for Conv2d {
         for (g, &v) in gb.iter_mut().zip(grads.dbias.iter()) {
             *g += v;
         }
+        scratch.put(grads.dweight);
+        scratch.put(grads.dbias);
+        scratch.put_tensor(x);
+        scratch.put_tensor(dy);
         grads.dx
     }
 
@@ -266,15 +307,27 @@ impl Layer for ReLU {
         input.clone()
     }
 
-    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
-        let y = relu(&x);
+    fn forward(&mut self, _params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
+        let mut y = scratch.take(x.numel());
+        y.extend_from_slice(x.data());
+        scratch.kernel().relu_inplace(&mut y);
+        let shape = x.shape().clone();
         self.cached_input = Some(x);
-        y
+        Tensor::from_vec(shape, y).unwrap()
     }
 
-    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        _params: &[f32],
+        _grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let x = self.cached_input.take().expect("relu backward without forward");
-        relu_backward(&x, &dy)
+        let mut dx = dy;
+        scratch.kernel().relu_grad_mask(x.data(), dx.data_mut());
+        scratch.put_tensor(x);
+        dx
     }
 
     fn flops(&self, input: &Shape) -> u64 {
@@ -366,7 +419,7 @@ impl Layer for ChannelNorm {
         input.clone()
     }
 
-    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+    fn forward(&mut self, params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
         let c = self.channels;
         let (gamma, beta) = params.split_at(c);
         let count = Self::counts_per_channel(x.shape(), c);
@@ -381,26 +434,32 @@ impl Layer for ChannelNorm {
             var[ch] += d * d;
         });
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / count + self.eps).sqrt()).collect();
-        let mut x_hat = x.clone();
+        // Normalise in place — the input tensor becomes the cached x̂, so
+        // the forward needs only one pooled buffer (for y) and no clones.
         let shape = x.shape().clone();
+        let mut x_hat = x;
         {
             let xh = x_hat.data_mut();
             Self::for_each_channel(&shape, c, |ch, i| {
                 xh[i] = (xh[i] - mean[ch]) * inv_std[ch];
             });
         }
-        let mut y = x_hat.clone();
-        {
-            let yd = y.data_mut();
-            Self::for_each_channel(&shape, c, |ch, i| {
-                yd[i] = yd[i] * gamma[ch] + beta[ch];
-            });
-        }
-        self.cached = Some(NormCache { x_hat, inv_std, input_shape: shape });
-        y
+        let mut yd = scratch.take(shape.numel());
+        yd.extend_from_slice(x_hat.data());
+        Self::for_each_channel(&shape, c, |ch, i| {
+            yd[i] = yd[i] * gamma[ch] + beta[ch];
+        });
+        self.cached = Some(NormCache { x_hat, inv_std, input_shape: shape.clone() });
+        Tensor::from_vec(shape, yd).unwrap()
     }
 
-    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        params: &[f32],
+        grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let cache = self.cached.take().expect("norm backward without forward");
         let c = self.channels;
         let gamma = &params[..c];
@@ -423,15 +482,14 @@ impl Layer for ChannelNorm {
 
         // Input grad (standard batch-norm backward):
         // dx = (γ·inv_std/count) · (count·dy − Σdy − x̂·Σ(dy·x̂))
-        let mut dx = Tensor::zeros(cache.input_shape.clone());
-        {
-            let dxd = dx.data_mut();
-            Self::for_each_channel(&cache.input_shape, c, |ch, i| {
-                let g = gamma[ch] * cache.inv_std[ch] / count;
-                dxd[i] =
-                    g * (count * dy.data()[i] - dbeta[ch] - cache.x_hat.data()[i] * dgamma[ch]);
-            });
-        }
+        let mut dxd = scratch.take_zeroed(cache.input_shape.numel());
+        Self::for_each_channel(&cache.input_shape, c, |ch, i| {
+            let g = gamma[ch] * cache.inv_std[ch] / count;
+            dxd[i] = g * (count * dy.data()[i] - dbeta[ch] - cache.x_hat.data()[i] * dgamma[ch]);
+        });
+        let dx = Tensor::from_vec(cache.input_shape.clone(), dxd).unwrap();
+        scratch.put_tensor(cache.x_hat);
+        scratch.put_tensor(dy);
         dx
     }
 
@@ -475,15 +533,25 @@ impl Layer for MaxPool2d {
         Shape::from([n, c, oh, ow])
     }
 
-    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
-        let out = maxpool2d_forward(&x, &self.spec);
+    fn forward(&mut self, _params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
+        let out = maxpool2d_forward_with(scratch, &x, &self.spec);
         self.cached = Some((x.shape().clone(), out.argmax));
+        scratch.put_tensor(x);
         out.y
     }
 
-    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        _params: &[f32],
+        _grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let (shape, argmax) = self.cached.take().expect("pool backward without forward");
-        maxpool2d_backward(&shape, &argmax, &dy)
+        let dx = maxpool2d_backward_with(scratch, &shape, &argmax, &dy);
+        scratch.put_u32(argmax);
+        scratch.put_tensor(dy);
+        dx
     }
 
     fn flops(&self, input: &Shape) -> u64 {
@@ -520,15 +588,24 @@ impl Layer for GlobalAvgPool {
         Shape::from([n, c])
     }
 
-    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
-        let y = global_avg_pool_forward(&x);
+    fn forward(&mut self, _params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
+        let y = global_avg_pool_forward_with(scratch, &x);
         self.cached_shape = Some(x.shape().clone());
+        scratch.put_tensor(x);
         y
     }
 
-    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        _params: &[f32],
+        _grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let shape = self.cached_shape.take().expect("gap backward without forward");
-        global_avg_pool_backward(&shape, &dy)
+        let dx = global_avg_pool_backward_with(scratch, &shape, &dy);
+        scratch.put_tensor(dy);
+        dx
     }
 
     fn flops(&self, input: &Shape) -> u64 {
@@ -565,7 +642,7 @@ impl Layer for Flatten {
         Shape::from([n, input.numel() / n])
     }
 
-    fn forward(&mut self, _params: &[f32], x: Tensor) -> Tensor {
+    fn forward(&mut self, _params: &[f32], x: Tensor, _scratch: &mut ComputeScratch) -> Tensor {
         let shape = x.shape().clone();
         let n = shape.dim(0);
         let flat = shape.numel() / n;
@@ -573,7 +650,13 @@ impl Layer for Flatten {
         x.reshape([n, flat]).unwrap()
     }
 
-    fn backward(&mut self, _params: &[f32], _grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        _params: &[f32],
+        _grad: &mut [f32],
+        dy: Tensor,
+        _scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let shape = self.cached_shape.take().expect("flatten backward without forward");
         dy.reshape(shape).unwrap()
     }
@@ -595,13 +678,18 @@ mod tests {
         p
     }
 
+    fn sc() -> ComputeScratch {
+        ComputeScratch::default()
+    }
+
     /// Numerical-vs-analytic gradient check driving a layer through a
     /// sum-of-outputs loss.
     fn grad_check(layer: &mut dyn Layer, x: &Tensor, params: &[f32], tol: f32) {
-        let y = layer.forward(params, x.clone());
+        let s = &mut sc();
+        let y = layer.forward(params, x.clone(), s);
         let dy = Tensor::full(y.shape().clone(), 1.0);
         let mut grad = vec![0.0f32; params.len()];
-        let dx = layer.backward(params, &mut grad, dy);
+        let dx = layer.backward(params, &mut grad, dy, s);
         let eps = 1e-2f32;
 
         // Parameter gradients on a sample of coordinates.
@@ -610,12 +698,12 @@ mod tests {
         for &pi in &sample {
             let mut pp = params.to_vec();
             pp[pi] += eps;
-            let lp = layer.forward(&pp, x.clone()).sum();
-            layer.backward(&pp, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let lp = layer.forward(&pp, x.clone(), s).sum();
+            layer.backward(&pp, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()), s);
             let mut pm = params.to_vec();
             pm[pi] -= eps;
-            let lm = layer.forward(&pm, x.clone()).sum();
-            layer.backward(&pm, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let lm = layer.forward(&pm, x.clone(), s).sum();
+            layer.backward(&pm, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()), s);
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
             assert!(
                 (num - grad[pi]).abs() <= tol * num.abs().max(1.0),
@@ -627,12 +715,22 @@ mod tests {
         for &xi in &[0usize, x.numel() / 2, x.numel() - 1] {
             let mut xp = x.clone();
             xp.data_mut()[xi] += eps;
-            let lp = layer.forward(params, xp).sum();
-            layer.backward(params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let lp = layer.forward(params, xp, s).sum();
+            layer.backward(
+                params,
+                &mut vec![0.0; params.len()],
+                Tensor::zeros(y.shape().clone()),
+                s,
+            );
             let mut xm = x.clone();
             xm.data_mut()[xi] -= eps;
-            let lm = layer.forward(params, xm).sum();
-            layer.backward(params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let lm = layer.forward(params, xm, s).sum();
+            layer.backward(
+                params,
+                &mut vec![0.0; params.len()],
+                Tensor::zeros(y.shape().clone()),
+                s,
+            );
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
             assert!(
                 (num - dx.data()[xi]).abs() <= tol * num.abs().max(1.0),
@@ -648,7 +746,7 @@ mod tests {
         // W = [[1,0],[0,1],[1,1]], b = [0.5, -0.5, 0]
         let params = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5, 0.0];
         let x = Tensor::from_vec([1, 2], vec![2.0, 3.0]).unwrap();
-        let y = l.forward(&params, x);
+        let y = l.forward(&params, x, &mut sc());
         assert_slice_approx_eq(y.data(), &[2.5, 2.5, 5.0], 1e-6);
     }
 
@@ -666,11 +764,12 @@ mod tests {
         let params = alloc_params(&l, 1);
         let x = Tensor::randn([2, 2], 1.0, 3);
         let mut grad = vec![0.0f32; params.len()];
-        let y = l.forward(&params, x.clone());
-        l.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0));
+        let s = &mut sc();
+        let y = l.forward(&params, x.clone(), s);
+        l.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0), s);
         let first = grad.clone();
-        let y = l.forward(&params, x);
-        l.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0));
+        let y = l.forward(&params, x, s);
+        l.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0), s);
         for (a, b) in grad.iter().zip(first.iter()) {
             assert!((a - 2.0 * b).abs() < 1e-5, "grad should double: {a} vs {b}");
         }
@@ -687,10 +786,11 @@ mod tests {
     #[test]
     fn relu_layer_roundtrip() {
         let mut l = ReLU::new("relu");
+        let s = &mut sc();
         let x = Tensor::from_vec([1, 4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
-        let y = l.forward(&[], x);
+        let y = l.forward(&[], x, s);
         assert_slice_approx_eq(y.data(), &[0.0, 2.0, 0.0, 4.0], 1e-6);
-        let dx = l.backward(&[], &mut [], Tensor::full([1, 4], 1.0));
+        let dx = l.backward(&[], &mut [], Tensor::full([1, 4], 1.0), s);
         assert_slice_approx_eq(dx.data(), &[0.0, 1.0, 0.0, 1.0], 1e-6);
     }
 
@@ -699,7 +799,7 @@ mod tests {
         let mut l = ChannelNorm::new("norm", 2);
         let params = alloc_params(&l, 0);
         let x = Tensor::randn([8, 2], 3.0, 6);
-        let y = l.forward(&params, x);
+        let y = l.forward(&params, x, &mut sc());
         // Each channel of the output should have ~zero mean, ~unit variance.
         for ch in 0..2 {
             let vals: Vec<f32> = (0..8).map(|i| y.data()[i * 2 + ch]).collect();
@@ -731,11 +831,12 @@ mod tests {
     #[test]
     fn maxpool_layer_shapes() {
         let mut l = MaxPool2d::new("pool", 2);
+        let s = &mut sc();
         let x = Tensor::randn([2, 3, 8, 8], 1.0, 9);
         assert_eq!(l.output_shape(x.shape()).dims(), &[2, 3, 4, 4]);
-        let y = l.forward(&[], x.clone());
+        let y = l.forward(&[], x.clone(), s);
         assert_eq!(y.shape().dims(), &[2, 3, 4, 4]);
-        let dx = l.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0));
+        let dx = l.backward(&[], &mut [], Tensor::full(y.shape().clone(), 1.0), s);
         assert_eq!(dx.shape(), x.shape());
         // Each 2x2 window routes exactly one gradient.
         let total: f64 = dx.sum();
@@ -745,16 +846,17 @@ mod tests {
     #[test]
     fn gap_and_flatten_shapes() {
         let mut g = GlobalAvgPool::new("gap");
+        let s = &mut sc();
         let x = Tensor::randn([2, 5, 4, 4], 1.0, 10);
-        let y = g.forward(&[], x.clone());
+        let y = g.forward(&[], x.clone(), s);
         assert_eq!(y.shape().dims(), &[2, 5]);
-        let dx = g.backward(&[], &mut [], Tensor::full([2, 5], 1.0));
+        let dx = g.backward(&[], &mut [], Tensor::full([2, 5], 1.0), s);
         assert_eq!(dx.shape(), x.shape());
 
         let mut f = Flatten::new("flat");
-        let y = f.forward(&[], x.clone());
+        let y = f.forward(&[], x.clone(), s);
         assert_eq!(y.shape().dims(), &[2, 80]);
-        let dx = f.backward(&[], &mut [], y);
+        let dx = f.backward(&[], &mut [], y, s);
         assert_eq!(dx.shape(), x.shape());
     }
 

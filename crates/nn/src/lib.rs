@@ -39,6 +39,14 @@
 //! the server-side model reconstruction `θ_t = θ_0 + M_t` in DGS requires —
 //! at the cost of eval-time batch-size sensitivity, which the evaluation
 //! loops keep fixed.
+//!
+//! Compute backend: every layer runs on the [`dgs_tensor`] compute tier
+//! through a per-network [`ComputeScratch`] — blocked/SIMD/parallel GEMM,
+//! im2col convolution, and pooled buffers. The backend is runtime-detected
+//! (override with `DGS_KERNEL=scalar|simd` or
+//! [`Network::set_kernel`](model::Network::set_kernel)); all backends are
+//! bitwise identical, so the choice affects throughput only, never a
+//! single trained bit.
 
 pub mod activations;
 pub mod augment;
@@ -60,3 +68,5 @@ pub use loader::BatchLoader;
 pub use loss::{softmax_cross_entropy, top1_accuracy};
 pub use model::Network;
 pub use param::ParamSet;
+
+pub use dgs_tensor::{ComputeScratch, Kernel};

@@ -4,15 +4,23 @@ use crate::layer::Layer;
 use crate::param::ParamSet;
 use dgs_sparsify::Partition;
 use dgs_tensor::rng::derive_seed;
-use dgs_tensor::{Shape, Tensor};
+use dgs_tensor::{ComputeScratch, Kernel, Shape, Tensor};
 
 /// A feed-forward network: layers applied in sequence, parameters stored in
 /// one flat vector partitioned per layer parameter.
+///
+/// The network owns a [`ComputeScratch`]: every layer's GEMM/conv/pool
+/// dispatches through its [`Kernel`] (runtime-detected by default,
+/// overridable via [`Network::set_kernel`]), and intermediate buffers are
+/// recycled through its pools so steady-state training steps allocate
+/// nothing. Backends are bitwise identical, so swapping the kernel never
+/// changes a single trained bit.
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     params: ParamSet,
     input_shape: Shape,
     flops_per_sample: u64,
+    scratch: ComputeScratch,
 }
 
 impl Network {
@@ -60,12 +68,36 @@ impl Network {
             shape = layer.output_shape(&shape);
         }
 
-        Network { layers, params, input_shape, flops_per_sample: flops }
+        Network {
+            layers,
+            params,
+            input_shape,
+            flops_per_sample: flops,
+            scratch: ComputeScratch::default(),
+        }
     }
 
     /// Per-sample input shape (no batch dimension).
     pub fn input_shape(&self) -> &Shape {
         &self.input_shape
+    }
+
+    /// Pins the compute backend every layer dispatches through. All
+    /// backends are bitwise identical, so this changes speed, never bits.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.scratch.set_kernel(kernel);
+    }
+
+    /// The compute backend currently in use.
+    pub fn kernel(&self) -> Kernel {
+        self.scratch.kernel()
+    }
+
+    /// Pool-miss count of the owned scratch: stops growing once the
+    /// training loop reaches its allocation-free steady state (asserted by
+    /// the compute-equivalence suite).
+    pub fn scratch_misses(&self) -> u64 {
+        self.scratch.misses()
     }
 
     /// The flat parameter set.
@@ -112,12 +144,12 @@ impl Network {
     /// Forward pass over a batch. `x` must have shape `[batch, input...]`.
     pub fn forward(&mut self, x: Tensor) -> Tensor {
         let windows = self.layer_windows();
-        // Field-level split borrow: layers mutably, params shared.
-        let Network { layers, params, .. } = self;
+        // Field-level split borrow: layers and scratch mutably, params shared.
+        let Network { layers, params, scratch, .. } = self;
         let data = params.data();
         let mut cur = x;
         for (layer, &(start, len)) in layers.iter_mut().zip(windows.iter()) {
-            cur = layer.forward(&data[start..start + len], cur);
+            cur = layer.forward(&data[start..start + len], cur, scratch);
         }
         cur
     }
@@ -127,12 +159,14 @@ impl Network {
     /// [`ParamSet::zero_grad`] first for a fresh step).
     pub fn backward(&mut self, dy: Tensor) {
         let windows = self.layer_windows();
-        let Network { layers, params, .. } = self;
+        let Network { layers, params, scratch, .. } = self;
         let mut cur = dy;
         for (layer, &(start, len)) in layers.iter_mut().zip(windows.iter()).rev() {
             let (p, g) = params.window_view_mut(start, len);
-            cur = layer.backward(p, g, cur);
+            cur = layer.backward(p, g, cur, scratch);
         }
+        // The input gradient of the first layer has no consumer; recycle it.
+        scratch.put_tensor(cur);
     }
 
     /// Convenience: zero grads, forward, softmax cross-entropy, backward.

@@ -10,7 +10,7 @@
 
 use crate::layer::{ChannelNorm, Conv2d, Layer, ReLU};
 use dgs_tensor::rng::derive_seed;
-use dgs_tensor::{Shape, Tensor};
+use dgs_tensor::{ComputeScratch, Shape, Tensor};
 
 /// A basic pre-activation-free residual block:
 /// `y = relu(norm2(conv2(relu(norm1(conv1(x))))) + proj(x))`
@@ -128,40 +128,50 @@ impl Layer for ResidualBlock {
         self.conv1.output_shape(input)
     }
 
-    fn forward(&mut self, params: &[f32], x: Tensor) -> Tensor {
+    fn forward(&mut self, params: &[f32], x: Tensor, scratch: &mut ComputeScratch) -> Tensor {
         let windows = self.sub_windows();
         let (c1, n1, _, c2, n2) = (windows[0], windows[1], windows[2], windows[3], windows[4]);
-        let h = self.conv1.forward(&params[c1.0..c1.0 + c1.1], x.clone());
-        let h = self.norm1.forward(&params[n1.0..n1.0 + n1.1], h);
-        let h = self.relu1.forward(&[], h);
-        let h = self.conv2.forward(&params[c2.0..c2.0 + c2.1], h);
-        let mut h = self.norm2.forward(&params[n2.0..n2.0 + n2.1], h);
+        let h = self.conv1.forward(&params[c1.0..c1.0 + c1.1], x.clone(), scratch);
+        let h = self.norm1.forward(&params[n1.0..n1.0 + n1.1], h, scratch);
+        let h = self.relu1.forward(&[], h, scratch);
+        let h = self.conv2.forward(&params[c2.0..c2.0 + c2.1], h, scratch);
+        let mut h = self.norm2.forward(&params[n2.0..n2.0 + n2.1], h, scratch);
         let skip = match &mut self.proj {
             Some(p) => {
                 let w = windows[5];
-                p.forward(&params[w.0..w.0 + w.1], x.clone())
+                p.forward(&params[w.0..w.0 + w.1], x.clone(), scratch)
             }
             None => x.clone(),
         };
         h.add_assign(&skip);
-        self.cached_pre_relu = Some(h.clone());
+        scratch.put_tensor(skip);
+        // The pre-activation tensor is cached for the backward gate; the
+        // ReLU output itself lives in a pooled buffer.
+        let mut yd = scratch.take(h.numel());
+        yd.extend_from_slice(h.data());
+        scratch.kernel().relu_inplace(&mut yd);
+        let shape = h.shape().clone();
+        self.cached_pre_relu = Some(h);
         self.cached_input = Some(x);
-        h.map_inplace(|v| v.max(0.0));
-        h
+        Tensor::from_vec(shape, yd).unwrap()
     }
 
-    fn backward(&mut self, params: &[f32], grad: &mut [f32], dy: Tensor) -> Tensor {
+    fn backward(
+        &mut self,
+        params: &[f32],
+        grad: &mut [f32],
+        dy: Tensor,
+        scratch: &mut ComputeScratch,
+    ) -> Tensor {
         let windows = self.sub_windows();
         let pre = self.cached_pre_relu.take().expect("block backward without forward");
-        let _x = self.cached_input.take().expect("block backward without forward");
+        let x = self.cached_input.take().expect("block backward without forward");
+        scratch.put_tensor(x);
 
-        // Final ReLU gate.
+        // Final ReLU gate (the compute tier's mask: zero where pre ≤ 0).
         let mut d = dy;
-        for (g, &p) in d.data_mut().iter_mut().zip(pre.data().iter()) {
-            if p <= 0.0 {
-                *g = 0.0;
-            }
-        }
+        scratch.kernel().relu_grad_mask(pre.data(), d.data_mut());
+        scratch.put_tensor(pre);
 
         // Branch gradients: d flows into both the conv path and the skip.
         let (c1, n1, _, c2, n2) = (windows[0], windows[1], windows[2], windows[3], windows[4]);
@@ -170,23 +180,38 @@ impl Layer for ResidualBlock {
                 &params[n2.0..n2.0 + n2.1],
                 &mut grad[n2.0..n2.0 + n2.1],
                 d.clone(),
+                scratch,
             );
-            let dh =
-                self.conv2.backward(&params[c2.0..c2.0 + c2.1], &mut grad[c2.0..c2.0 + c2.1], dh);
-            let dh = self.relu1.backward(&[], &mut [], dh);
-            let dh =
-                self.norm1.backward(&params[n1.0..n1.0 + n1.1], &mut grad[n1.0..n1.0 + n1.1], dh);
-            self.conv1.backward(&params[c1.0..c1.0 + c1.1], &mut grad[c1.0..c1.0 + c1.1], dh)
+            let dh = self.conv2.backward(
+                &params[c2.0..c2.0 + c2.1],
+                &mut grad[c2.0..c2.0 + c2.1],
+                dh,
+                scratch,
+            );
+            let dh = self.relu1.backward(&[], &mut [], dh, scratch);
+            let dh = self.norm1.backward(
+                &params[n1.0..n1.0 + n1.1],
+                &mut grad[n1.0..n1.0 + n1.1],
+                dh,
+                scratch,
+            );
+            self.conv1.backward(
+                &params[c1.0..c1.0 + c1.1],
+                &mut grad[c1.0..c1.0 + c1.1],
+                dh,
+                scratch,
+            )
         };
         let d_skip = match &mut self.proj {
             Some(p) => {
                 let w = windows[5];
-                p.backward(&params[w.0..w.0 + w.1], &mut grad[w.0..w.0 + w.1], d)
+                p.backward(&params[w.0..w.0 + w.1], &mut grad[w.0..w.0 + w.1], d, scratch)
             }
             None => d,
         };
         let mut dx = d_main;
         dx.add_assign(&d_skip);
+        scratch.put_tensor(d_skip);
         dx
     }
 
@@ -212,6 +237,10 @@ mod tests {
         p
     }
 
+    fn sc() -> ComputeScratch {
+        ComputeScratch::default()
+    }
+
     #[test]
     fn identity_block_shapes() {
         let mut b = ResidualBlock::new("rb", 4, 4, 1);
@@ -219,7 +248,7 @@ mod tests {
         let params = alloc_params(&b, 1);
         let x = Tensor::randn([2, 4, 6, 6], 1.0, 2);
         assert_eq!(b.output_shape(x.shape()).dims(), &[2, 4, 6, 6]);
-        let y = b.forward(&params, x);
+        let y = b.forward(&params, x, &mut sc());
         assert_eq!(y.shape().dims(), &[2, 4, 6, 6]);
         // Output is post-ReLU: non-negative.
         assert!(y.data().iter().all(|&v| v >= 0.0));
@@ -232,7 +261,7 @@ mod tests {
         let params = alloc_params(&b, 1);
         let x = Tensor::randn([2, 4, 8, 8], 1.0, 2);
         assert_eq!(b.output_shape(x.shape()).dims(), &[2, 8, 4, 4]);
-        let y = b.forward(&params, x);
+        let y = b.forward(&params, x, &mut sc());
         assert_eq!(y.shape().dims(), &[2, 8, 4, 4]);
     }
 
@@ -242,15 +271,16 @@ mod tests {
         let params = alloc_params(&b, 3);
         let x = Tensor::randn([2, 2, 4, 4], 1.0, 4);
 
-        let y = b.forward(&params, x.clone());
+        let y = b.forward(&params, x.clone(), &mut sc());
         let mut grad = vec![0.0f32; params.len()];
-        let dx = b.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0));
+        let dx = b.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0), &mut sc());
 
         let eps = 1e-2f32;
         let loss = |b: &mut ResidualBlock, params: &[f32], x: &Tensor| -> f64 {
-            let y = b.forward(params, x.clone());
+            let s = &mut sc();
+            let y = b.forward(params, x.clone(), s);
             // Consume cached state so the next forward is clean.
-            b.backward(params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            b.backward(params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()), s);
             y.sum()
         };
         for &pi in &[0usize, params.len() / 3, params.len() - 1] {
@@ -288,13 +318,14 @@ mod tests {
         let mut b = ResidualBlock::new("rb", 2, 4, 2);
         let params = alloc_params(&b, 5);
         let x = Tensor::randn([1, 2, 4, 4], 1.0, 6);
-        let y = b.forward(&params, x.clone());
+        let y = b.forward(&params, x.clone(), &mut sc());
         let mut grad = vec![0.0f32; params.len()];
-        let dx = b.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0));
+        let dx = b.backward(&params, &mut grad, Tensor::full(y.shape().clone(), 1.0), &mut sc());
         let eps = 1e-2f32;
         let loss = |b: &mut ResidualBlock, x: &Tensor| -> f64 {
-            let y = b.forward(&params, x.clone());
-            b.backward(&params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()));
+            let s = &mut sc();
+            let y = b.forward(&params, x.clone(), s);
+            b.backward(&params, &mut vec![0.0; params.len()], Tensor::zeros(y.shape().clone()), s);
             y.sum()
         };
         for &xi in &[0usize, 7, 15, 31] {

@@ -32,6 +32,24 @@ impl<T> BufferPool<T> {
         self.free.pop().unwrap_or_default()
     }
 
+    /// Best-fit acquire: the pooled buffer with the *smallest* capacity
+    /// that still holds `cap` elements, or `None` if nothing fits. Plain
+    /// LIFO `acquire` can hand a large buffer to a small request and then
+    /// miss on the next large one, so size-mixed pools (the compute
+    /// scratch) would never reach a miss-free steady state; best-fit keeps
+    /// each steady-state buffer paired with its request class. O(idle)
+    /// scan, and idle is bounded by `max_buffers`.
+    pub fn acquire_fit(&mut self, cap: usize) -> Option<Vec<T>> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            let c = b.capacity();
+            if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((i, c));
+            }
+        }
+        best.map(|(i, _)| self.free.swap_remove(i))
+    }
+
     /// Clears `buf` and returns it to the pool (dropped if the pool is
     /// already holding `max_buffers` idle buffers).
     pub fn release(&mut self, mut buf: Vec<T>) {

@@ -1,13 +1,32 @@
-//! 2-D convolution via im2col / col2im.
+//! 2-D convolution via im2col + GEMM, behind the [`Kernel`] seam.
 //!
 //! Layout is NCHW. The forward pass lowers each image to a
 //! `(C·KH·KW) × (OH·OW)` column matrix and multiplies by the
 //! `(OC) × (C·KH·KW)` weight matrix; the backward pass reverses both steps.
 //! This is the standard CPU strategy and keeps all the heavy lifting inside
-//! the rayon-parallel matmul kernels.
+//! the compute tier's blocked GEMM (`crate::gemm`).
+//!
+//! The `_with` entry points are the hot path: they thread a
+//! [`ComputeScratch`] so column/gradient buffers come from pools (no
+//! per-batch allocation once warm) and the GEMMs run on the scratch's
+//! explicit [`Kernel`]. The original signatures remain as convenience
+//! wrappers over a throwaway scratch at [`Kernel::runtime`].
+//!
+//! [`im2col_single`] is append-only: its write order (`ch, ky, kx, oy,
+//! ox`) is exactly the ascending flat order of the column matrix, so the
+//! lowering pushes into a cleared pooled `Vec` — no O(rows·cols)
+//! zero-init and no per-element bounds check on the hot stride-1 interior
+//! (whole valid runs are `extend_from_slice`d; padding is emitted as
+//! explicit zero runs).
+//!
+//! [`conv2d_forward_direct`] keeps the original quadruple-loop
+//! convolution as a *differential oracle*. It is approximate, not
+//! bitwise, against the GEMM path: the direct loop skips padding taps and
+//! seeds the accumulator with the bias, so its per-output chain is a
+//! different (shorter) sum. The bitwise contract holds *across backends
+//! of the GEMM path*, which all share one chain.
 
-use crate::matmul::{matmul_a_bt_slices, matmul_at_b_slices, matmul_slices};
-use crate::{Shape, Tensor};
+use crate::{ComputeScratch, Tensor};
 use rayon::prelude::*;
 
 /// Convolution geometry (square kernels, symmetric stride/padding).
@@ -55,37 +74,47 @@ impl Conv2dSpec {
     }
 }
 
-/// Lowers one `C×H×W` image into a `(C·K·K) × (OH·OW)` column matrix.
-fn im2col_single(img: &[f32], cols: &mut [f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) {
+/// Lowers one `C×H×W` image into a `(C·K·K) × (OH·OW)` column matrix,
+/// appended to `cols` (cleared first). Append-only by construction: the
+/// loop nest visits output offsets in strictly ascending flat order.
+fn im2col_single(img: &[f32], cols: &mut Vec<f32>, c: usize, h: usize, w: usize, spec: &Conv2dSpec) {
     let (oh, ow) = spec.out_hw(h, w);
     let k = spec.kernel;
-    let row_len = oh * ow;
-    let pad = spec.padding as isize;
+    let s = spec.stride;
+    let pad = spec.padding;
+    cols.clear();
+    cols.reserve(c * k * k * oh * ow);
     for ch in 0..c {
         let img_ch = &img[ch * h * w..(ch + 1) * h * w];
         for ky in 0..k {
             for kx in 0..k {
-                let row = (ch * k * k + ky * k + kx) * row_len;
+                // Valid output-column range for this kernel tap:
+                // 0 <= ox*s + kx - pad < w.
+                let ox_lo = if kx < pad { (pad - kx).div_ceil(s) } else { 0 };
+                let ox_hi = if w + pad > kx { ((w + pad - kx - 1) / s + 1).min(ow) } else { 0 };
                 for oy in 0..oh {
-                    let iy = oy as isize * spec.stride as isize + ky as isize - pad;
-                    let out_base = row + oy * ow;
-                    if iy < 0 || iy >= h as isize {
-                        cols[out_base..out_base + ow].fill(0.0);
+                    let iy = (oy * s + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize || ox_lo >= ox_hi {
+                        // Fully padded row: one zero run, no per-pixel work.
+                        cols.resize(cols.len() + ow, 0.0);
                         continue;
                     }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = ox as isize * spec.stride as isize + kx as isize - pad;
-                        cols[out_base + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            img_ch[iy * w + ix as usize]
-                        };
+                    let row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
+                    cols.resize(cols.len() + ox_lo, 0.0);
+                    let ix0 = ox_lo * s + kx - pad;
+                    if s == 1 {
+                        // Stride-1 interior: the taps are one contiguous
+                        // run — a straight memcpy.
+                        cols.extend_from_slice(&row[ix0..ix0 + (ox_hi - ox_lo)]);
+                    } else {
+                        cols.extend(row[ix0..].iter().step_by(s).take(ox_hi - ox_lo));
                     }
+                    cols.resize(cols.len() + (ow - ox_hi), 0.0);
                 }
             }
         }
     }
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
 }
 
 /// Scatters a `(C·K·K) × (OH·OW)` column-gradient matrix back onto an image
@@ -119,7 +148,8 @@ fn col2im_single(cols: &[f32], img: &mut [f32], c: usize, h: usize, w: usize, sp
     }
 }
 
-/// Convolution forward.
+/// Convolution forward (throwaway scratch at the runtime backend; layers
+/// use [`conv2d_forward_with`]).
 ///
 /// * `x`: `N×C×H×W` input.
 /// * `weight`: flat `OC×(C·K·K)` kernel bank.
@@ -127,29 +157,95 @@ fn col2im_single(cols: &[f32], img: &mut [f32], c: usize, h: usize, w: usize, sp
 ///
 /// Returns the `N×OC×OH×OW` output.
 pub fn conv2d_forward(x: &Tensor, weight: &[f32], bias: &[f32], spec: &Conv2dSpec) -> Tensor {
+    conv2d_forward_with(&mut ComputeScratch::default(), x, weight, bias, spec)
+}
+
+/// [`conv2d_forward`] through the compute tier: per-image column buffers
+/// and the output come from `scratch`'s pools, the per-image GEMMs run on
+/// `scratch.kernel()`, and the batch fans out over rayon (images are
+/// disjoint, so the split cannot reorder any accumulation).
+pub fn conv2d_forward_with(
+    scratch: &mut ComputeScratch,
+    x: &Tensor,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+) -> Tensor {
     let (n, c, h, w) = x.shape().as_nchw();
     assert_eq!(c, spec.in_channels, "conv2d input channels");
     assert_eq!(weight.len(), spec.weight_len(), "conv2d weight length");
     let (oh, ow) = spec.out_hw(h, w);
     let col_rows = c * spec.kernel * spec.kernel;
     let col_len = oh * ow;
-    let mut y = Tensor::zeros(Shape::from([n, spec.out_channels, oh, ow]));
     let in_img = c * h * w;
-    let out_img = spec.out_channels * oh * ow;
+    let out_img = spec.out_channels * col_len;
+    let kernel = scratch.kernel();
+    let mut y = scratch.take_zeroed(n * out_img);
+    let mut col_bufs: Vec<Vec<f32>> = (0..n).map(|_| scratch.take(col_rows * col_len)).collect();
     let x_data = x.data();
-    y.data_mut().par_chunks_mut(out_img).enumerate().for_each(|(i, y_img)| {
-        let mut cols = vec![0.0f32; col_rows * col_len];
-        im2col_single(&x_data[i * in_img..(i + 1) * in_img], &mut cols, c, h, w, spec);
-        matmul_slices(weight, &cols, y_img, spec.out_channels, col_rows, col_len);
-        if !bias.is_empty() {
-            for oc in 0..spec.out_channels {
-                let b = bias[oc];
-                for v in &mut y_img[oc * col_len..(oc + 1) * col_len] {
-                    *v += b;
+    {
+        let tasks: Vec<(usize, &mut [f32], &mut Vec<f32>)> = y
+            .chunks_mut(out_img)
+            .zip(col_bufs.iter_mut())
+            .enumerate()
+            .map(|(i, (y_img, cols))| (i, y_img, cols))
+            .collect();
+        tasks.into_par_iter().for_each(|(i, y_img, cols)| {
+            im2col_single(&x_data[i * in_img..(i + 1) * in_img], cols, c, h, w, spec);
+            kernel.gemm(weight, cols, y_img, spec.out_channels, col_rows, col_len);
+            if !bias.is_empty() {
+                for oc in 0..spec.out_channels {
+                    let b = bias[oc];
+                    for v in &mut y_img[oc * col_len..(oc + 1) * col_len] {
+                        *v += b;
+                    }
+                }
+            }
+        });
+    }
+    for buf in col_bufs {
+        scratch.put(buf);
+    }
+    Tensor::from_vec([n, spec.out_channels, oh, ow], y).expect("conv2d output size")
+}
+
+/// Direct (septuple-loop) convolution — the seed implementation, kept as
+/// the differential oracle for the im2col + GEMM path. Approximate, not
+/// bitwise: it skips padding taps and seeds each accumulator with the
+/// bias, so its summation chain differs (see the module docs).
+pub fn conv2d_forward_direct(x: &Tensor, w: &[f32], b: &[f32], sp: &Conv2dSpec) -> Tensor {
+    let (n, c, h, ww) = x.shape().as_nchw();
+    assert_eq!(c, sp.in_channels, "conv2d input channels");
+    assert_eq!(w.len(), sp.weight_len(), "conv2d weight length");
+    let (oh, ow) = sp.out_hw(h, ww);
+    let mut y = Tensor::zeros([n, sp.out_channels, oh, ow]);
+    for i in 0..n {
+        for oc in 0..sp.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if b.is_empty() { 0.0 } else { b[oc] };
+                    for ch in 0..c {
+                        for ky in 0..sp.kernel {
+                            for kx in 0..sp.kernel {
+                                let iy = (oy * sp.stride + ky) as isize - sp.padding as isize;
+                                let ix = (ox * sp.stride + kx) as isize - sp.padding as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= ww as isize {
+                                    continue;
+                                }
+                                let xv = x.at(&[i, ch, iy as usize, ix as usize]);
+                                let wv = w[oc * c * sp.kernel * sp.kernel
+                                    + ch * sp.kernel * sp.kernel
+                                    + ky * sp.kernel
+                                    + kx];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    *y.at_mut(&[i, oc, oy, ox]) = acc;
                 }
             }
         }
-    });
+    }
     y
 }
 
@@ -172,6 +268,21 @@ pub fn conv2d_backward(
     spec: &Conv2dSpec,
     with_bias: bool,
 ) -> Conv2dGrads {
+    conv2d_backward_with(&mut ComputeScratch::default(), x, weight, dy, spec, with_bias)
+}
+
+/// [`conv2d_backward`] through the compute tier (pooled buffers, explicit
+/// kernel, rayon over images). Per-image partial weight grads are reduced
+/// sequentially afterwards so the summation order (and thus the result)
+/// is deterministic regardless of the rayon schedule.
+pub fn conv2d_backward_with(
+    scratch: &mut ComputeScratch,
+    x: &Tensor,
+    weight: &[f32],
+    dy: &Tensor,
+    spec: &Conv2dSpec,
+    with_bias: bool,
+) -> Conv2dGrads {
     let (n, c, h, w) = x.shape().as_nchw();
     let (n2, oc, oh, ow) = dy.shape().as_nchw();
     assert_eq!(n, n2, "conv2d_backward batch");
@@ -180,96 +291,72 @@ pub fn conv2d_backward(
     let col_len = oh * ow;
     let in_img = c * h * w;
     let out_img = oc * col_len;
+    let kernel = scratch.kernel();
     let x_data = x.data();
     let dy_data = dy.data();
 
-    let mut dx = Tensor::zeros(x.shape().clone());
-
-    // Per-image partial weight grads are reduced sequentially afterwards so
-    // the summation order (and thus the result) is deterministic.
-    let per_image: Vec<(Vec<f32>, Vec<f32>)> = {
-        let dx_chunks: Vec<&mut [f32]> = dx.data_mut().chunks_mut(in_img).collect();
-        dx_chunks
-            .into_par_iter()
+    let mut dxd = scratch.take_zeroed(x.numel());
+    // Per-image working set, all pooled: columns, dcols, partial dW, dbias.
+    let mut bufs: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)> = (0..n)
+        .map(|_| {
+            (
+                scratch.take(col_rows * col_len),
+                scratch.take_zeroed(col_rows * col_len),
+                scratch.take_zeroed(oc * col_rows),
+                scratch.take(if with_bias { oc } else { 0 }),
+            )
+        })
+        .collect();
+    {
+        let tasks: Vec<(usize, &mut [f32], &mut (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>))> = dxd
+            .chunks_mut(in_img)
+            .zip(bufs.iter_mut())
             .enumerate()
-            .map(|(i, dx_img)| {
-                let mut cols = vec![0.0f32; col_rows * col_len];
-                im2col_single(&x_data[i * in_img..(i + 1) * in_img], &mut cols, c, h, w, spec);
-                let dy_img = &dy_data[i * out_img..(i + 1) * out_img];
-                // dW += dY (oc x col_len) · colsᵀ (col_len x col_rows)
-                let mut dw = vec![0.0f32; oc * col_rows];
-                matmul_a_bt_slices(dy_img, &cols, &mut dw, oc, col_len, col_rows);
-                // dcols = Wᵀ (col_rows x oc) · dY (oc x col_len)
-                let mut dcols = vec![0.0f32; col_rows * col_len];
-                matmul_at_b_slices(weight, dy_img, &mut dcols, col_rows, oc, col_len);
-                dx_img.fill(0.0);
-                col2im_single(&dcols, dx_img, c, h, w, spec);
-                let db = if with_bias {
-                    (0..oc).map(|o| dy_img[o * col_len..(o + 1) * col_len].iter().sum()).collect()
-                } else {
-                    Vec::new()
-                };
-                (dw, db)
-            })
-            .collect()
-    };
+            .map(|(i, (dx_img, b))| (i, dx_img, b))
+            .collect();
+        tasks.into_par_iter().for_each(|(i, dx_img, (cols, dcols, dw, db))| {
+            im2col_single(&x_data[i * in_img..(i + 1) * in_img], cols, c, h, w, spec);
+            let dy_img = &dy_data[i * out_img..(i + 1) * out_img];
+            // dW += dY (oc x col_len) · colsᵀ (col_len x col_rows)
+            kernel.gemm_a_bt(dy_img, cols, dw, oc, col_len, col_rows);
+            // dcols = Wᵀ (col_rows x oc) · dY (oc x col_len)
+            kernel.gemm_at_b(weight, dy_img, dcols, col_rows, oc, col_len);
+            col2im_single(dcols, dx_img, c, h, w, spec);
+            if with_bias {
+                db.clear();
+                db.extend(
+                    (0..oc).map(|o| dy_img[o * col_len..(o + 1) * col_len].iter().sum::<f32>()),
+                );
+            }
+        });
+    }
 
-    let mut dweight = vec![0.0f32; spec.weight_len()];
-    let mut dbias = vec![0.0f32; if with_bias { oc } else { 0 }];
-    for (dw, db) in &per_image {
+    let mut dweight = scratch.take_zeroed(spec.weight_len());
+    let mut dbias = scratch.take_zeroed(if with_bias { oc } else { 0 });
+    for (cols, dcols, dw, db) in bufs {
         for (a, &b) in dweight.iter_mut().zip(dw.iter()) {
             *a += b;
         }
         for (a, &b) in dbias.iter_mut().zip(db.iter()) {
             *a += b;
         }
+        scratch.put(cols);
+        scratch.put(dcols);
+        scratch.put(dw);
+        scratch.put(db);
     }
 
+    let dx = Tensor::from_vec(x.shape().clone(), dxd).expect("conv2d dx size");
     Conv2dGrads { dx, dweight, dbias }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::assert_slice_approx_eq;
+    use crate::{assert_slice_approx_eq, Kernel};
 
     fn spec(cin: usize, cout: usize, k: usize, s: usize, p: usize) -> Conv2dSpec {
         Conv2dSpec { in_channels: cin, out_channels: cout, kernel: k, stride: s, padding: p }
-    }
-
-    /// Direct (quadruple-loop) convolution for cross-checking.
-    fn naive_conv(x: &Tensor, w: &[f32], b: &[f32], sp: &Conv2dSpec) -> Tensor {
-        let (n, c, h, ww) = x.shape().as_nchw();
-        let (oh, ow) = sp.out_hw(h, ww);
-        let mut y = Tensor::zeros([n, sp.out_channels, oh, ow]);
-        for i in 0..n {
-            for oc in 0..sp.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = if b.is_empty() { 0.0 } else { b[oc] };
-                        for ch in 0..c {
-                            for ky in 0..sp.kernel {
-                                for kx in 0..sp.kernel {
-                                    let iy = (oy * sp.stride + ky) as isize - sp.padding as isize;
-                                    let ix = (ox * sp.stride + kx) as isize - sp.padding as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= ww as isize {
-                                        continue;
-                                    }
-                                    let xv = x.at(&[i, ch, iy as usize, ix as usize]);
-                                    let wv = w[oc * c * sp.kernel * sp.kernel
-                                        + ch * sp.kernel * sp.kernel
-                                        + ky * sp.kernel
-                                        + kx];
-                                    acc += xv * wv;
-                                }
-                            }
-                        }
-                        *y.at_mut(&[i, oc, oy, ox]) = acc;
-                    }
-                }
-            }
-        }
-        y
     }
 
     #[test]
@@ -280,19 +367,20 @@ mod tests {
     }
 
     #[test]
-    fn forward_matches_naive() {
+    fn forward_matches_direct_oracle() {
         for &(cin, cout, k, s, p, h, w) in &[
             (1, 1, 1, 1, 0, 4, 4),
             (2, 3, 3, 1, 1, 6, 5),
             (3, 4, 3, 2, 1, 8, 8),
             (2, 2, 5, 1, 2, 7, 7),
+            (1, 2, 3, 2, 2, 5, 9), // padding wider than the kernel reach
         ] {
             let sp = spec(cin, cout, k, s, p);
             let x = Tensor::randn([2, cin, h, w], 1.0, 42);
             let wt = Tensor::randn([sp.weight_len()], 0.5, 43).into_vec();
             let b = Tensor::randn([cout], 0.1, 44).into_vec();
             let y = conv2d_forward(&x, &wt, &b, &sp);
-            let y_ref = naive_conv(&x, &wt, &b, &sp);
+            let y_ref = conv2d_forward_direct(&x, &wt, &b, &sp);
             assert_slice_approx_eq(y.data(), y_ref.data(), 1e-4);
         }
     }
@@ -303,8 +391,67 @@ mod tests {
         let x = Tensor::randn([1, 1, 5, 5], 1.0, 7);
         let wt = Tensor::randn([sp.weight_len()], 0.5, 8).into_vec();
         let y = conv2d_forward(&x, &wt, &[], &sp);
-        let y_ref = naive_conv(&x, &wt, &[], &sp);
+        let y_ref = conv2d_forward_direct(&x, &wt, &[], &sp);
         assert_slice_approx_eq(y.data(), y_ref.data(), 1e-4);
+    }
+
+    #[test]
+    fn forward_backends_bitwise_identical() {
+        // The GEMM path's cross-backend contract, at the conv level.
+        for &(cin, cout, k, s, p, h, w) in
+            &[(2, 3, 3, 1, 1, 6, 5), (3, 4, 3, 2, 1, 8, 8), (2, 5, 1, 1, 0, 7, 7)]
+        {
+            let sp = spec(cin, cout, k, s, p);
+            let x = Tensor::randn([2, cin, h, w], 1.0, 52);
+            let wt = Tensor::randn([sp.weight_len()], 0.5, 53).into_vec();
+            let b = Tensor::randn([cout], 0.1, 54).into_vec();
+            let mut ss = ComputeScratch::new(Kernel::Scalar);
+            let mut sv = ComputeScratch::new(Kernel::Simd);
+            let ys = conv2d_forward_with(&mut ss, &x, &wt, &b, &sp);
+            let yv = conv2d_forward_with(&mut sv, &x, &wt, &b, &sp);
+            for (a, bb) in ys.data().iter().zip(yv.data().iter()) {
+                assert_eq!(a.to_bits(), bb.to_bits(), "conv forward diverged");
+            }
+            let dy = Tensor::randn(ys.shape().clone(), 1.0, 55);
+            let gs = conv2d_backward_with(&mut ss, &x, &wt, &dy, &sp, true);
+            let gv = conv2d_backward_with(&mut sv, &x, &wt, &dy, &sp, true);
+            for (a, bb) in gs.dx.data().iter().zip(gv.dx.data().iter()) {
+                assert_eq!(a.to_bits(), bb.to_bits(), "conv dx diverged");
+            }
+            for (a, bb) in gs.dweight.iter().zip(gv.dweight.iter()) {
+                assert_eq!(a.to_bits(), bb.to_bits(), "conv dweight diverged");
+            }
+            for (a, bb) in gs.dbias.iter().zip(gv.dbias.iter()) {
+                assert_eq!(a.to_bits(), bb.to_bits(), "conv dbias diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_scratch_runs_allocation_free() {
+        let sp = spec(2, 4, 3, 1, 1);
+        let x = Tensor::randn([3, 2, 8, 8], 1.0, 71);
+        let wt = Tensor::randn([sp.weight_len()], 0.5, 72).into_vec();
+        let b = Tensor::randn([4], 0.1, 73).into_vec();
+        let mut s = ComputeScratch::default();
+        for _ in 0..2 {
+            let y = conv2d_forward_with(&mut s, &x, &wt, &b, &sp);
+            let dy = Tensor::full(y.shape().clone(), 1.0);
+            let g = conv2d_backward_with(&mut s, &x, &wt, &dy, &sp, true);
+            s.put_tensor(y);
+            s.put_tensor(g.dx);
+            s.put(g.dweight);
+            s.put(g.dbias);
+        }
+        let warm = s.misses();
+        let y = conv2d_forward_with(&mut s, &x, &wt, &b, &sp);
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let g = conv2d_backward_with(&mut s, &x, &wt, &dy, &sp, true);
+        s.put_tensor(y);
+        s.put_tensor(g.dx);
+        s.put(g.dweight);
+        s.put(g.dbias);
+        assert_eq!(s.misses(), warm, "warm conv step must not grow buffers");
     }
 
     /// Numerical gradient check of the full backward pass.

@@ -235,6 +235,81 @@ impl Kernel {
             Kernel::Simd => crate::simd::f32s_as_le_bytes(xs),
         }
     }
+
+    // --- compute tier (see crate::gemm and DESIGN.md "Compute tier") ---
+
+    /// `C = A·B`: `a` is `m×k` row-major, `b` is `k×n` row-major, `c` is
+    /// overwritten. Every backend runs each output element's k-chain in
+    /// ascending order with non-fused mul+add, so outputs are bitwise
+    /// identical across backends and rayon splits.
+    #[inline]
+    pub fn gemm(self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        crate::gemm::gemm(self, crate::gemm::Layout::Nn, a, b, c, m, k, n);
+    }
+
+    /// `C = Aᵀ·B` with `a` stored `k×m` row-major (so no transpose copy is
+    /// needed for weight-gradient products). Same bitwise contract as
+    /// [`Kernel::gemm`].
+    #[inline]
+    pub fn gemm_at_b(self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        crate::gemm::gemm(self, crate::gemm::Layout::Tn, a, b, c, m, k, n);
+    }
+
+    /// `C = A·Bᵀ` with `b` stored `n×k` row-major (linear-layer forward
+    /// against row-major weights). Same bitwise contract as
+    /// [`Kernel::gemm`].
+    #[inline]
+    pub fn gemm_a_bt(self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        crate::gemm::gemm(self, crate::gemm::Layout::Nt, a, b, c, m, k, n);
+    }
+
+    /// In-place ReLU: `x = if x > 0.0 { x } else { 0.0 }` per element.
+    /// NaN and `-0.0` both map to `+0.0` in every backend (exactly the
+    /// `vmaxps(x, 0)` lane rule, which the scalar twin mirrors).
+    #[inline]
+    pub fn relu_inplace(self, xs: &mut [f32]) {
+        match self {
+            Kernel::Scalar => scalar::relu_inplace(xs),
+            Kernel::Simd => crate::simd::relu_inplace(xs),
+        }
+    }
+
+    /// ReLU backward gate: zero `d[i]` where `x[i] <= 0.0`, keep it
+    /// otherwise. A NaN `x[i]` fails `<=` and therefore *passes* the
+    /// gradient through — both backends preserve that scalar quirk.
+    #[inline]
+    pub fn relu_grad_mask(self, x: &[f32], d: &mut [f32]) {
+        match self {
+            Kernel::Scalar => scalar::relu_grad_mask(x, d),
+            Kernel::Simd => crate::simd::relu_grad_mask(x, d),
+        }
+    }
+
+    /// 2×2 stride-2 max-pool of one `h×w` plane (`h`, `w` even): appends
+    /// `h/2 * w/2` maxima to `y` and their *absolute* input indices
+    /// (`base + flat index in the plane`) to `argmax`. Ties and NaN follow
+    /// the scalar scan: strict `>` against a running best that starts at
+    /// `-inf` with index 0, window cells visited in `(ky, kx)` order —
+    /// first max wins, an all-NaN window yields index 0.
+    #[inline]
+    pub fn maxpool2_plane(self, x: &[f32], h: usize, w: usize, base: u32, y: &mut Vec<f32>, argmax: &mut Vec<u32>) {
+        match self {
+            Kernel::Scalar => scalar::maxpool2_plane(x, h, w, base, y, argmax),
+            Kernel::Simd => crate::simd::maxpool2_plane(x, h, w, base, y, argmax),
+        }
+    }
+
+    /// 2×2 stride-2 average-pool of one `h×w` plane (`h`, `w` even):
+    /// appends `h/2 * w/2` means to `y`, each computed as the exact chain
+    /// `((((0.0 + x00) + x01) + x10) + x11) * 0.25` so backends agree
+    /// bitwise (including the `0.0 + -0.0 = +0.0` leading-term quirk).
+    #[inline]
+    pub fn avgpool2_plane(self, x: &[f32], h: usize, w: usize, y: &mut Vec<f32>) {
+        match self {
+            Kernel::Scalar => scalar::avgpool2_plane(x, h, w, y),
+            Kernel::Simd => crate::simd::avgpool2_plane(x, h, w, y),
+        }
+    }
 }
 
 /// Portable scalar twins. These are the semantics the SIMD backend must
@@ -351,6 +426,87 @@ pub(crate) mod scalar {
         for bit in 0..n {
             let positive = signs[bit / 8] & (1 << (bit % 8)) != 0;
             out.push(if positive { scale } else { -scale });
+        }
+    }
+
+    // --- compute-tier twins (GEMM's scalar oracle lives in crate::gemm) ---
+
+    pub(crate) fn relu_inplace(xs: &mut [f32]) {
+        for v in xs.iter_mut() {
+            // NOT `v.max(0.0)`: Rust leaves max's signed-zero choice
+            // unspecified, while this explicit compare pins the vmaxps
+            // lane rule (NaN and -0.0 both become +0.0).
+            *v = if *v > 0.0 { *v } else { 0.0 };
+        }
+    }
+
+    pub(crate) fn relu_grad_mask(x: &[f32], d: &mut [f32]) {
+        assert_eq!(x.len(), d.len());
+        for (&xi, di) in x.iter().zip(d.iter_mut()) {
+            if xi <= 0.0 {
+                *di = 0.0;
+            }
+        }
+    }
+
+    pub(crate) fn maxpool2_plane(x: &[f32], h: usize, w: usize, base: u32, y: &mut Vec<f32>, argmax: &mut Vec<u32>) {
+        assert!(h % 2 == 0 && w % 2 == 0 && x.len() == h * w);
+        let (oh, ow) = (h / 2, w / 2);
+        y.reserve(oh * ow);
+        argmax.reserve(oh * ow);
+        for oy in 0..oh {
+            maxpool2_row(x, w, base, oy, 0, ow, y, argmax);
+        }
+    }
+
+    /// One output row of the 2×2 max-pool, columns `[ox0, ox1)` — shared
+    /// by the scalar plane twin and the SIMD backend's row tails.
+    pub(crate) fn maxpool2_row(
+        x: &[f32],
+        w: usize,
+        base: u32,
+        oy: usize,
+        ox0: usize,
+        ox1: usize,
+        y: &mut Vec<f32>,
+        argmax: &mut Vec<u32>,
+    ) {
+        for ox in ox0..ox1 {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_idx = 0u32;
+            for ky in 0..2 {
+                for kx in 0..2 {
+                    let idx = (oy * 2 + ky) * w + ox * 2 + kx;
+                    if x[idx] > best {
+                        best = x[idx];
+                        best_idx = base + idx as u32;
+                    }
+                }
+            }
+            y.push(best);
+            argmax.push(best_idx);
+        }
+    }
+
+    pub(crate) fn avgpool2_plane(x: &[f32], h: usize, w: usize, y: &mut Vec<f32>) {
+        assert!(h % 2 == 0 && w % 2 == 0 && x.len() == h * w);
+        let (oh, ow) = (h / 2, w / 2);
+        y.reserve(oh * ow);
+        for oy in 0..oh {
+            avgpool2_row(x, w, oy, 0, ow, y);
+        }
+    }
+
+    /// One output row of the 2×2 average-pool, columns `[ox0, ox1)`.
+    pub(crate) fn avgpool2_row(x: &[f32], w: usize, oy: usize, ox0: usize, ox1: usize, y: &mut Vec<f32>) {
+        for ox in ox0..ox1 {
+            let mut acc = 0.0f32;
+            for ky in 0..2 {
+                for kx in 0..2 {
+                    acc += x[(oy * 2 + ky) * w + ox * 2 + kx];
+                }
+            }
+            y.push(acc * 0.25);
         }
     }
 }
@@ -555,6 +711,125 @@ mod tests {
                 for (a, b) in o1.iter().zip(o2.iter()) {
                     assert_eq!(a.to_bits(), b.to_bits(), "sign_expand bits diverged");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_backends_identical() {
+        for seg in torture_cases() {
+            let mut a = seg.clone();
+            let mut b = seg.clone();
+            Kernel::Scalar.relu_inplace(&mut a);
+            Kernel::Simd.relu_inplace(&mut b);
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "relu diverged at {i} (len {})", seg.len());
+            }
+            // Contract spot checks: NaN and -0.0 collapse to +0.0.
+            if seg.is_empty() {
+                continue;
+            }
+            for v in &a {
+                assert!(v.to_bits() == 0 || *v > 0.0, "relu output {v} not in contract");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_grad_mask_backends_identical() {
+        for seg in torture_cases() {
+            // Gradient stream: reuse the torture mix shifted by one.
+            let mut grad = seg.clone();
+            grad.rotate_left(seg.len().min(1));
+            let mut g1 = grad.clone();
+            let mut g2 = grad.clone();
+            Kernel::Scalar.relu_grad_mask(&seg, &mut g1);
+            Kernel::Simd.relu_grad_mask(&seg, &mut g2);
+            for (i, (x, y)) in g1.iter().zip(g2.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "relu grad diverged at {i} (len {})", seg.len());
+            }
+            // NaN x passes gradient through (NaN <= 0.0 is false).
+            for (i, &xi) in seg.iter().enumerate() {
+                if xi.is_nan() {
+                    assert_eq!(g1[i].to_bits(), grad[i].to_bits());
+                }
+            }
+        }
+    }
+
+    /// Even-sided torture planes for the pooling kernels, spanning widths
+    /// around the 8-output-lane SIMD boundary (w/2 in {1..=8, 9, 17, 20}).
+    fn torture_planes() -> Vec<(usize, usize, Vec<f32>)> {
+        let mut planes = Vec::new();
+        for &(h, w) in &[
+            (2usize, 2usize),
+            (2, 4),
+            (4, 6),
+            (2, 16),
+            (4, 18),
+            (6, 32),
+            (2, 34),
+            (4, 40),
+            (8, 8),
+        ] {
+            let mut s = 0xC0FF_EE00_D15E_A5E5u64 ^ ((h * 131 + w) as u64);
+            let mut v = Vec::with_capacity(h * w);
+            for _ in 0..h * w {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let x = match s % 9 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    3 => 0.0,
+                    4 => -0.0,
+                    5 => 1.0,
+                    6 => 1.0 + f32::EPSILON, // one-ulp plateau ties
+                    _ => f32::from_bits((s >> 32) as u32),
+                };
+                v.push(x);
+            }
+            planes.push((h, w, v));
+        }
+        // All-NaN plane: argmax must stay at the init index 0.
+        planes.push((2, 18, vec![f32::NAN; 36]));
+        // Flat plateau: every window ties, first cell must win.
+        planes.push((4, 20, vec![3.25; 80]));
+        planes
+    }
+
+    #[test]
+    fn maxpool2_backends_identical() {
+        for (h, w, x) in torture_planes() {
+            let base = 1000u32;
+            let (mut y1, mut a1) = (Vec::new(), Vec::new());
+            let (mut y2, mut a2) = (Vec::new(), Vec::new());
+            Kernel::Scalar.maxpool2_plane(&x, h, w, base, &mut y1, &mut a1);
+            Kernel::Simd.maxpool2_plane(&x, h, w, base, &mut y2, &mut a2);
+            assert_eq!(y1.len(), h / 2 * (w / 2));
+            assert_eq!(a1, a2, "argmax diverged on {h}x{w}");
+            for (i, (p, q)) in y1.iter().zip(y2.iter()).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "maxpool diverged at {i} on {h}x{w}");
+            }
+        }
+        // All-NaN window pins argmax to absolute index 0, not base.
+        let (mut y, mut a) = (Vec::new(), Vec::new());
+        Kernel::Simd.maxpool2_plane(&[f32::NAN; 4], 2, 2, 77, &mut y, &mut a);
+        assert_eq!(a, vec![0]);
+        assert_eq!(y[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn avgpool2_backends_identical() {
+        for (h, w, x) in torture_planes() {
+            let mut y1 = Vec::new();
+            let mut y2 = Vec::new();
+            Kernel::Scalar.avgpool2_plane(&x, h, w, &mut y1);
+            Kernel::Simd.avgpool2_plane(&x, h, w, &mut y2);
+            assert_eq!(y1.len(), h / 2 * (w / 2));
+            for (i, (p, q)) in y1.iter().zip(y2.iter()).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "avgpool diverged at {i} on {h}x{w}");
             }
         }
     }

@@ -13,12 +13,16 @@
 //!
 //! * [`Shape`] / [`Tensor`] — contiguous row-major storage with elementwise
 //!   kernels, BLAS-1 style `axpy`/`scale`, and reductions.
-//! * [`matmul`](matmul::matmul) and transposed variants — blocked,
-//!   rayon-parallel matrix multiplication used by linear layers and im2col
-//!   convolution.
-//! * [`conv`] — im2col/col2im based 2-D convolution forward/backward.
+//! * [`matmul`](matmul::matmul) and transposed variants — thin wrappers
+//!   over the compute tier, used by linear layers and im2col convolution.
+//! * [`gemm`] — the compute tier itself: cache-blocked, register-tiled,
+//!   rayon-parallel GEMM behind the [`Kernel`] seam, bitwise identical
+//!   across backends.
+//! * [`conv`] — im2col + GEMM based 2-D convolution forward/backward.
 //! * [`pool`] — max pooling and global average pooling forward/backward.
 //! * [`ops`] — activation and softmax kernels.
+//! * [`scratch`] — [`ComputeScratch`]: per-network kernel choice plus
+//!   buffer pools that make the training loop allocation-free.
 //! * [`rng`] — deterministic seeded RNG helpers including Gaussian sampling
 //!   (hand-rolled Box–Muller; `rand_distr` is not in the offline set).
 //! * [`bufpool`] — a free-list [`BufferPool`] for allocation-free scratch
@@ -32,17 +36,20 @@
 
 pub mod bufpool;
 pub mod conv;
+pub mod gemm;
 pub mod kernel;
 pub mod matmul;
 pub mod ops;
 pub mod pool;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod simd;
 pub mod tensor;
 
 pub use bufpool::BufferPool;
 pub use kernel::Kernel;
+pub use scratch::ComputeScratch;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,99 +1,42 @@
-//! Blocked, rayon-parallel matrix multiplication.
+//! Matrix-multiply entry points, routed through the compute tier.
 //!
-//! Three entry points cover every backprop need without materialising
+//! Three signatures cover every backprop need without materialising
 //! transposes:
 //!
 //! * [`matmul`]      — `C = A (M×K) · B (K×N)`
 //! * [`matmul_at_b`] — `C = Aᵀ (M×K stored K×M) · B`, used for weight grads
 //! * [`matmul_a_bt`] — `C = A · Bᵀ (N×K stored)`, used for input grads
 //!
-//! The kernels parallelise over row blocks with rayon; within a row the
-//! accumulation order is fixed, so results are deterministic.
+//! Since the compute-tier PR these are thin wrappers over
+//! [`crate::gemm::gemm`] at the process-wide [`Kernel::runtime`] backend:
+//! the blocked/packed AVX2 microkernel, the scalar oracle, and the rayon
+//! row-block split all live there, and all of them are bitwise identical
+//! (the k-accumulation order of every output element is fixed). Callers
+//! that carry an explicit backend (the nn layers, via `ComputeScratch`)
+//! use [`Kernel::gemm`] and friends directly.
 
+use crate::gemm::{self, Layout};
+use crate::Kernel;
 use crate::Tensor;
-use rayon::prelude::*;
-
-/// Minimum number of output elements before the kernels bother with rayon.
-/// Below this the spawn overhead dominates for the small layers in tests.
-const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// `C = A·B` where `a` is `m×k` and `b` is `k×n`, all row-major flat slices.
 pub fn matmul_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k, "matmul: lhs size");
-    assert_eq!(b.len(), k * n, "matmul: rhs size");
-    assert_eq!(c.len(), m * n, "matmul: out size");
-    let body = |(row_idx, c_row): (usize, &mut [f32])| {
-        c_row.fill(0.0);
-        let a_row = &a[row_idx * k..(row_idx + 1) * k];
-        // ikj loop order: stream through b rows, accumulate into the c row.
-        for (p, &a_v) in a_row.iter().enumerate() {
-            if a_v == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_v * b_v;
-            }
-        }
-    };
-    if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
-    }
+    gemm::gemm(Kernel::runtime(), Layout::Nn, a, b, c, m, k, n);
 }
 
 /// `C = Aᵀ·B` where `a` is stored `k×m` (so `Aᵀ` is `m×k`) and `b` is `k×n`.
 ///
 /// This computes, for every output `(i, j)`: `Σ_p a[p, i] * b[p, j]`.
 pub fn matmul_at_b_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), k * m, "matmul_at_b: lhs size");
-    assert_eq!(b.len(), k * n, "matmul_at_b: rhs size");
-    assert_eq!(c.len(), m * n, "matmul_at_b: out size");
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        c_row.fill(0.0);
-        for p in 0..k {
-            let a_v = a[p * m + i];
-            if a_v == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_v * b_v;
-            }
-        }
-    };
-    if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
-    }
+    gemm::gemm(Kernel::runtime(), Layout::Tn, a, b, c, m, k, n);
 }
 
 /// `C = A·Bᵀ` where `a` is `m×k` and `b` is stored `n×k` (so `Bᵀ` is `k×n`).
 ///
 /// This computes, for every output `(i, j)`: `Σ_p a[i, p] * b[j, p]` — a dot
-/// product of two contiguous rows, which vectorises well.
+/// product of two contiguous rows.
 pub fn matmul_a_bt_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k, "matmul_a_bt: lhs size");
-    assert_eq!(b.len(), n * k, "matmul_a_bt: rhs size");
-    assert_eq!(c.len(), m * n, "matmul_a_bt: out size");
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (j, c_v) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *c_v = acc;
-        }
-    };
-    if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
-    }
+    gemm::gemm(Kernel::runtime(), Layout::Nt, a, b, c, m, k, n);
 }
 
 /// `C = A·B` over [`Tensor`]s. Panics on rank/shape mismatch.
@@ -174,7 +117,8 @@ mod tests {
 
     #[test]
     fn matmul_large_uses_parallel_path() {
-        // 160*160 = 25_600 > PAR_THRESHOLD, exercising the rayon branch.
+        // 160*160 = 25_600 > the compute tier's PAR_THRESHOLD, exercising
+        // the rayon branch.
         let (m, k, n) = (160, 40, 160);
         let a = rand_vec(m * k, 3);
         let b = rand_vec(k * n, 4);
@@ -241,5 +185,23 @@ mod tests {
         let mut c: Vec<f32> = vec![];
         matmul_slices(&[], &[1.0, 2.0], &mut c, 0, 1, 2);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn explicit_backends_match_runtime_wrapper() {
+        // The wrapper dispatches at Kernel::runtime(); both explicit
+        // backends must agree with it bit for bit.
+        let (m, k, n) = (13, 21, 19);
+        let a = rand_vec(m * k, 11);
+        let b = rand_vec(k * n, 12);
+        let mut via_wrapper = vec![0.0; m * n];
+        matmul_slices(&a, &b, &mut via_wrapper, m, k, n);
+        for kernel in [Kernel::Scalar, Kernel::Simd] {
+            let mut c = vec![0.0; m * n];
+            kernel.gemm(&a, &b, &mut c, m, k, n);
+            for (x, y) in c.iter().zip(via_wrapper.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{} diverged", kernel.name());
+            }
+        }
     }
 }

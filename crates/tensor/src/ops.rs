@@ -1,11 +1,19 @@
 //! Activation and softmax kernels with their backward passes.
+//!
+//! The ReLU pair dispatches through the [`Kernel`](crate::Kernel) compute
+//! tier (see `crate::gemm`'s module docs for the bitwise contract); the
+//! softmax kernels stay pure scalar — their row max/exp/sum chains are not
+//! reassociation-safe, so a SIMD twin could not be bitwise identical.
 
-use crate::Tensor;
+use crate::{Kernel, Tensor};
 
-/// ReLU forward: `y = max(x, 0)`.
+/// ReLU forward: `y[i] = if x[i] > 0.0 { x[i] } else { 0.0 }`.
+///
+/// NaN and `-0.0` inputs both map to `+0.0` (the `vmaxps(x, 0)` lane
+/// rule, which the scalar backend mirrors exactly).
 pub fn relu(x: &Tensor) -> Tensor {
     let mut y = x.clone();
-    y.map_inplace(|v| v.max(0.0));
+    Kernel::runtime().relu_inplace(y.data_mut());
     y
 }
 
@@ -16,11 +24,7 @@ pub fn relu(x: &Tensor) -> Tensor {
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape(), "relu_backward shape mismatch");
     let mut dx = dy.clone();
-    for (d, &xi) in dx.data_mut().iter_mut().zip(x.data().iter()) {
-        if xi <= 0.0 {
-            *d = 0.0;
-        }
-    }
+    Kernel::runtime().relu_grad_mask(x.data(), dx.data_mut());
     dx
 }
 

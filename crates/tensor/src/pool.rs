@@ -1,6 +1,18 @@
 //! Pooling layers: 2×2-style max pooling and global average pooling.
+//!
+//! The `_with` entry points are the compute-tier path: they take a
+//! [`ComputeScratch`] for an explicit [`Kernel`] choice and pooled output
+//! buffers, and the hot 2×2 window dispatches through
+//! [`Kernel::maxpool2_plane`] / [`Kernel::avgpool2_plane`] (SIMD across
+//! output columns, bitwise identical to the scalar scan). The original
+//! signatures remain as convenience wrappers over a throwaway scratch.
+//!
+//! Global average pooling deliberately stays a sequential scalar sum in
+//! **both** backends: an 8-lane partial-sum reduction would reassociate
+//! the per-channel chain and break the bitwise contract, and the op is a
+//! rounding error of the epoch budget.
 
-use crate::{Shape, Tensor};
+use crate::{ComputeScratch, Shape, Tensor};
 
 /// Max-pool geometry (square window, stride = window).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,94 +44,115 @@ pub struct MaxPoolOut {
     pub argmax: Vec<u32>,
 }
 
-/// Max-pool forward over an NCHW tensor.
+/// Max-pool forward over an NCHW tensor (throwaway scratch at the
+/// runtime backend; layers use [`maxpool2d_forward_with`]).
 pub fn maxpool2d_forward(x: &Tensor, spec: &MaxPoolSpec) -> MaxPoolOut {
+    maxpool2d_forward_with(&mut ComputeScratch::default(), x, spec)
+}
+
+/// Max-pool forward through the compute tier: output and argmax are
+/// carved from `scratch`'s pools and appended plane by plane.
+pub fn maxpool2d_forward_with(scratch: &mut ComputeScratch, x: &Tensor, spec: &MaxPoolSpec) -> MaxPoolOut {
     let (n, c, h, w) = x.shape().as_nchw();
     let (oh, ow) = spec.out_hw(h, w);
-    let mut y = Tensor::zeros(Shape::from([n, c, oh, ow]));
-    let mut argmax = vec![0u32; n * c * oh * ow];
+    let kernel = scratch.kernel();
+    let mut y = scratch.take(n * c * oh * ow);
+    let mut argmax = scratch.take_u32(n * c * oh * ow);
     let xd = x.data();
-    let yd = y.data_mut();
     let win = spec.window;
-    for i in 0..n {
-        for ch in 0..c {
-            let in_base = (i * c + ch) * h * w;
-            let out_base = (i * c + ch) * oh * ow;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ky in 0..win {
-                        for kx in 0..win {
-                            let iy = oy * win + ky;
-                            let ix = ox * win + kx;
-                            let idx = in_base + iy * w + ix;
-                            if xd[idx] > best {
-                                best = xd[idx];
-                                best_idx = idx;
-                            }
+    for plane in 0..n * c {
+        let in_base = plane * h * w;
+        if win == 2 {
+            kernel.maxpool2_plane(&xd[in_base..in_base + h * w], h, w, in_base as u32, &mut y, &mut argmax);
+            continue;
+        }
+        // General windows: the scalar scan, appended in the same order.
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..win {
+                    for kx in 0..win {
+                        let idx = in_base + (oy * win + ky) * w + ox * win + kx;
+                        if xd[idx] > best {
+                            best = xd[idx];
+                            best_idx = idx;
                         }
                     }
-                    yd[out_base + oy * ow + ox] = best;
-                    argmax[out_base + oy * ow + ox] = best_idx as u32;
                 }
+                y.push(best);
+                argmax.push(best_idx as u32);
             }
         }
     }
+    let y = Tensor::from_vec([n, c, oh, ow], y).expect("maxpool output size");
     MaxPoolOut { y, argmax }
 }
 
 /// Max-pool backward: routes each output gradient to its argmax input.
 pub fn maxpool2d_backward(input_shape: &Shape, argmax: &[u32], dy: &Tensor) -> Tensor {
-    let mut dx = Tensor::zeros(input_shape.clone());
-    let dxd = dx.data_mut();
+    maxpool2d_backward_with(&mut ComputeScratch::default(), input_shape, argmax, dy)
+}
+
+/// [`maxpool2d_backward`] with the gradient buffer drawn from `scratch`.
+pub fn maxpool2d_backward_with(
+    scratch: &mut ComputeScratch,
+    input_shape: &Shape,
+    argmax: &[u32],
+    dy: &Tensor,
+) -> Tensor {
+    let mut dxd = scratch.take_zeroed(input_shape.numel());
     for (&idx, &g) in argmax.iter().zip(dy.data().iter()) {
         dxd[idx as usize] += g;
     }
-    dx
+    Tensor::from_vec(input_shape.clone(), dxd).expect("maxpool dx size")
 }
 
 /// Global average pooling: `N×C×H×W → N×C`.
 pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
+    global_avg_pool_forward_with(&mut ComputeScratch::default(), x)
+}
+
+/// [`global_avg_pool_forward`] with the output drawn from `scratch`. The
+/// per-channel sum is sequential scalar under every [`Kernel`] — see the
+/// module docs.
+pub fn global_avg_pool_forward_with(scratch: &mut ComputeScratch, x: &Tensor) -> Tensor {
     let (n, c, h, w) = x.shape().as_nchw();
     let area = (h * w) as f32;
-    let mut y = Tensor::zeros(Shape::from([n, c]));
+    let mut y = scratch.take(n * c);
     let xd = x.data();
-    let yd = y.data_mut();
-    for i in 0..n {
-        for ch in 0..c {
-            let base = (i * c + ch) * h * w;
-            let s: f32 = xd[base..base + h * w].iter().sum();
-            yd[i * c + ch] = s / area;
-        }
+    for plane in 0..n * c {
+        let base = plane * h * w;
+        let s: f32 = xd[base..base + h * w].iter().sum();
+        y.push(s / area);
     }
-    y
+    Tensor::from_vec([n, c], y).expect("gap output size")
 }
 
 /// Global average pooling backward: spreads each `N×C` gradient uniformly
 /// over the `H×W` plane.
 pub fn global_avg_pool_backward(input_shape: &Shape, dy: &Tensor) -> Tensor {
+    global_avg_pool_backward_with(&mut ComputeScratch::default(), input_shape, dy)
+}
+
+/// [`global_avg_pool_backward`] with the gradient buffer drawn from
+/// `scratch` (a broadcast fill — every element written, no zero-init).
+pub fn global_avg_pool_backward_with(scratch: &mut ComputeScratch, input_shape: &Shape, dy: &Tensor) -> Tensor {
     let (n, c, h, w) = input_shape.as_nchw();
     let inv_area = 1.0 / (h * w) as f32;
-    let mut dx = Tensor::zeros(input_shape.clone());
-    let dxd = dx.data_mut();
+    let mut dxd = scratch.take(n * c * h * w);
     let dyd = dy.data();
-    for i in 0..n {
-        for ch in 0..c {
-            let g = dyd[i * c + ch] * inv_area;
-            let base = (i * c + ch) * h * w;
-            for v in &mut dxd[base..base + h * w] {
-                *v = g;
-            }
-        }
+    for plane in 0..n * c {
+        let g = dyd[plane] * inv_area;
+        dxd.resize(dxd.len() + h * w, g);
     }
-    dx
+    Tensor::from_vec(input_shape.clone(), dxd).expect("gap dx size")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::assert_slice_approx_eq;
+    use crate::{assert_slice_approx_eq, Kernel};
 
     #[test]
     fn maxpool_forward_simple() {
@@ -180,6 +213,41 @@ mod tests {
     }
 
     #[test]
+    fn maxpool_general_window_matches_window2_composition() {
+        // A 4x4 window equals two nested 2x2 pools on monotone data; more
+        // usefully here, the window=4 general path must agree with an
+        // explicit scan.
+        let x = Tensor::randn([2, 2, 4, 4], 1.0, 91);
+        let out = maxpool2d_forward(&x, &MaxPoolSpec { window: 4 });
+        for plane in 0..4 {
+            let base = plane * 16;
+            let (mut best, mut bi) = (f32::NEG_INFINITY, 0usize);
+            for (off, &v) in x.data()[base..base + 16].iter().enumerate() {
+                if v > best {
+                    best = v;
+                    bi = base + off;
+                }
+            }
+            assert_eq!(out.y.data()[plane], best);
+            assert_eq!(out.argmax[plane], bi as u32);
+        }
+    }
+
+    #[test]
+    fn maxpool_backends_bitwise_identical_via_scratch() {
+        let x = Tensor::randn([2, 3, 8, 12], 1.0, 17);
+        let mut ss = ComputeScratch::new(Kernel::Scalar);
+        let mut sv = ComputeScratch::new(Kernel::Simd);
+        let spec = MaxPoolSpec { window: 2 };
+        let a = maxpool2d_forward_with(&mut ss, &x, &spec);
+        let b = maxpool2d_forward_with(&mut sv, &x, &spec);
+        assert_eq!(a.argmax, b.argmax);
+        for (p, q) in a.y.data().iter().zip(b.y.data().iter()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
     fn gap_forward_backward() {
         let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0])
             .unwrap();
@@ -202,5 +270,28 @@ mod tests {
         let rhs: f64 =
             x.data().iter().zip(dx.data().iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn pooled_paths_are_allocation_free_when_warm() {
+        let x = Tensor::randn([2, 2, 6, 6], 1.0, 31);
+        let spec = MaxPoolSpec { window: 2 };
+        let mut s = ComputeScratch::default();
+        for _ in 0..2 {
+            let out = maxpool2d_forward_with(&mut s, &x, &spec);
+            let dy = Tensor::full(out.y.shape().clone(), 1.0);
+            let dx = maxpool2d_backward_with(&mut s, x.shape(), &out.argmax, &dy);
+            s.put_u32(out.argmax);
+            s.put_tensor(out.y);
+            s.put_tensor(dx);
+        }
+        let warm = s.misses();
+        let out = maxpool2d_forward_with(&mut s, &x, &spec);
+        let dy = Tensor::full(out.y.shape().clone(), 1.0);
+        let dx = maxpool2d_backward_with(&mut s, x.shape(), &out.argmax, &dy);
+        s.put_u32(out.argmax);
+        s.put_tensor(out.y);
+        s.put_tensor(dx);
+        assert_eq!(s.misses(), warm, "warm pooling must not grow buffers");
     }
 }

@@ -1,0 +1,188 @@
+//! Per-network compute scratch: a [`Kernel`] choice plus [`BufferPool`]s
+//! for the per-batch buffers the nn layers need (im2col columns,
+//! activation outputs, pooling argmax maps, norm statistics).
+//!
+//! `crates/nn` threads one [`ComputeScratch`] through every layer's
+//! forward/backward, so after a warm-up step the training loop runs
+//! allocation-free: outputs are carved from pooled `Vec`s and consumed
+//! inputs are recycled back with [`ComputeScratch::put_tensor`]. The
+//! [`ComputeScratch::misses`] counter makes that property testable — it
+//! increments exactly when an acquire had to grow a buffer, so a
+//! steady-state training step asserts `misses()` stops moving.
+//!
+//! Carrying the [`Kernel`] here (instead of calling [`Kernel::runtime`] at
+//! every site) also makes the backend an explicit, swappable property of a
+//! network: the differential suites train sibling models under `Scalar`
+//! and `Simd` in one process, which the `OnceLock`-cached runtime choice
+//! could not express.
+
+use crate::bufpool::BufferPool;
+use crate::kernel::Kernel;
+use crate::tensor::Tensor;
+
+/// How many idle buffers each pool retains. Conv backward holds several
+/// buffers per in-flight image (columns, per-image dx/dw) across a batch,
+/// so this is sized well above [`BufferPool`]'s default of 8.
+const POOL_RETAIN: usize = 64;
+
+/// Kernel choice + buffer pools for allocation-free layer compute.
+#[derive(Debug)]
+pub struct ComputeScratch {
+    kernel: Kernel,
+    f32s: BufferPool<f32>,
+    u32s: BufferPool<u32>,
+    misses: u64,
+}
+
+impl Default for ComputeScratch {
+    /// Scratch bound to the process-wide [`Kernel::runtime`] backend.
+    fn default() -> Self {
+        ComputeScratch::new(Kernel::runtime())
+    }
+}
+
+impl ComputeScratch {
+    /// Scratch bound to an explicit backend.
+    pub fn new(kernel: Kernel) -> Self {
+        ComputeScratch {
+            kernel,
+            f32s: BufferPool::new(POOL_RETAIN),
+            u32s: BufferPool::new(POOL_RETAIN),
+            misses: 0,
+        }
+    }
+
+    /// The backend every consumer of this scratch must dispatch through.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Rebind to a different backend (pools are kept — backend choice
+    /// never changes buffer shapes).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// An empty `f32` buffer with at least `cap` capacity. Served best-fit
+    /// from the pool (smallest pooled buffer that holds `cap`), so mixed
+    /// request sizes each keep their own steady-state buffer; counts a
+    /// miss only when nothing pooled was big enough and one had to grow.
+    pub fn take(&mut self, cap: usize) -> Vec<f32> {
+        if let Some(v) = self.f32s.acquire_fit(cap) {
+            return v;
+        }
+        let mut v = self.f32s.acquire();
+        if cap > 0 {
+            self.misses += 1;
+            v.reserve(cap);
+        }
+        v
+    }
+
+    /// A zero-filled `f32` buffer of exactly `len` elements.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.take(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns an `f32` buffer to the pool.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        self.f32s.release(buf);
+    }
+
+    /// Recycles a consumed tensor's storage.
+    pub fn put_tensor(&mut self, t: Tensor) {
+        self.f32s.release(t.into_vec());
+    }
+
+    /// An empty `u32` buffer with at least `cap` capacity (argmax maps).
+    /// Best-fit, same policy as [`ComputeScratch::take`].
+    pub fn take_u32(&mut self, cap: usize) -> Vec<u32> {
+        if let Some(v) = self.u32s.acquire_fit(cap) {
+            return v;
+        }
+        let mut v = self.u32s.acquire();
+        if cap > 0 {
+            self.misses += 1;
+            v.reserve(cap);
+        }
+        v
+    }
+
+    /// Returns a `u32` buffer to the pool.
+    pub fn put_u32(&mut self, buf: Vec<u32>) {
+        self.u32s.release(buf);
+    }
+
+    /// Total acquires that had to grow a buffer. Stops increasing once
+    /// the pools reach their steady-state high-water marks — the
+    /// "training loop is allocation-free" assertion.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Bytes of heap capacity parked across both pools.
+    pub fn retained_bytes(&self) -> usize {
+        self.f32s.retained_bytes() + self.u32s.retained_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_is_miss_free_once_warm() {
+        let mut s = ComputeScratch::new(Kernel::Scalar);
+        assert_eq!(s.kernel(), Kernel::Scalar);
+        let b = s.take(100);
+        assert!(b.capacity() >= 100);
+        assert_eq!(s.misses(), 1, "cold acquire grows");
+        s.put(b);
+        let b = s.take(100);
+        assert_eq!(s.misses(), 1, "warm acquire reuses");
+        assert!(b.is_empty());
+        s.put(b);
+        // A bigger request grows again.
+        let b = s.take(200);
+        assert_eq!(s.misses(), 2);
+        s.put(b);
+        let b = s.take(150);
+        assert_eq!(s.misses(), 2, "smaller request served by the grown buffer");
+        s.put(b);
+    }
+
+    #[test]
+    fn take_zeroed_is_zero_even_after_dirty_reuse() {
+        let mut s = ComputeScratch::default();
+        let mut b = s.take(8);
+        b.extend_from_slice(&[f32::NAN; 8]);
+        s.put(b);
+        let z = s.take_zeroed(8);
+        assert_eq!(z.len(), 8);
+        assert!(z.iter().all(|v| v.to_bits() == 0));
+        s.put(z);
+    }
+
+    #[test]
+    fn tensor_storage_recycles() {
+        let mut s = ComputeScratch::default();
+        let t = Tensor::zeros(crate::Shape::new(vec![4, 4]));
+        s.put_tensor(t);
+        let b = s.take(16);
+        assert_eq!(s.misses(), 0, "tensor storage served the acquire");
+        s.put(b);
+        let u = s.take_u32(32);
+        assert_eq!(s.misses(), 1);
+        s.put_u32(u);
+        assert!(s.retained_bytes() >= 16 * 4 + 32 * 4);
+    }
+
+    #[test]
+    fn set_kernel_rebinds() {
+        let mut s = ComputeScratch::default();
+        s.set_kernel(Kernel::Simd);
+        assert_eq!(s.kernel(), Kernel::Simd);
+    }
+}

@@ -162,6 +162,50 @@ pub(crate) fn sign_expand(scale: f32, signs: &[u8], n: usize, out: &mut Vec<f32>
     crate::kernel::scalar::sign_expand(scale, signs, n, out);
 }
 
+pub(crate) fn relu_inplace(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified; the target-feature
+        // function is otherwise safe Rust.
+        unsafe { avx2::relu_inplace(xs) };
+        return;
+    }
+    crate::kernel::scalar::relu_inplace(xs);
+}
+
+pub(crate) fn relu_grad_mask(x: &[f32], d: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified; the target-feature
+        // function is otherwise safe Rust.
+        unsafe { avx2::relu_grad_mask(x, d) };
+        return;
+    }
+    crate::kernel::scalar::relu_grad_mask(x, d);
+}
+
+pub(crate) fn maxpool2_plane(x: &[f32], h: usize, w: usize, base: u32, y: &mut Vec<f32>, argmax: &mut Vec<u32>) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified; the target-feature
+        // function is otherwise safe Rust.
+        unsafe { avx2::maxpool2_plane(x, h, w, base, y, argmax) };
+        return;
+    }
+    crate::kernel::scalar::maxpool2_plane(x, h, w, base, y, argmax);
+}
+
+pub(crate) fn avgpool2_plane(x: &[f32], h: usize, w: usize, y: &mut Vec<f32>) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified; the target-feature
+        // function is otherwise safe Rust.
+        unsafe { avx2::avgpool2_plane(x, h, w, y) };
+        return;
+    }
+    crate::kernel::scalar::avgpool2_plane(x, h, w, y);
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use super::scalar;
@@ -576,5 +620,157 @@ mod avx2 {
         // SAFETY: `n` new elements were initialized above, directly
         // after the `old_len` existing ones.
         unsafe { out.set_len(old_len + n) };
+    }
+
+    // ----- compute tier (relu / pooling; GEMM lives in crate::gemm) -----
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn relu_inplace(xs: &mut [f32]) {
+        let zero = _mm256_setzero_ps();
+        let mut chunks = xs.chunks_exact_mut(8);
+        for c in &mut chunks {
+            // SAFETY: `c` is exactly eight f32s; unaligned load/store.
+            unsafe {
+                let v = _mm256_loadu_ps(c.as_ptr());
+                // vmaxps(x, 0): returns the SECOND operand when x is NaN
+                // and on the -0.0/+0.0 tie — exactly the scalar twin's
+                // `if x > 0.0 { x } else { 0.0 }`.
+                _mm256_storeu_ps(c.as_mut_ptr(), _mm256_max_ps(v, zero));
+            }
+        }
+        scalar::relu_inplace(chunks.into_remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn relu_grad_mask(x: &[f32], d: &mut [f32]) {
+        assert_eq!(x.len(), d.len());
+        let zero = _mm256_setzero_ps();
+        let full = x.len() / 8 * 8;
+        let mut i = 0usize;
+        while i < full {
+            // SAFETY: `i + 8 <= len` of both slices; unaligned loads and
+            // store.
+            unsafe {
+                let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+                let dv = _mm256_loadu_ps(d.as_ptr().add(i));
+                // NLE_UQ = !(x <= 0): true for x > 0 AND for NaN x, so a
+                // NaN activation passes its gradient through exactly like
+                // the scalar `if xi <= 0.0 { 0 }` gate (NaN <= 0 is
+                // false). GT_OQ would wrongly zero the NaN lanes.
+                let keep = _mm256_cmp_ps::<_CMP_NLE_UQ>(xv, zero);
+                _mm256_storeu_ps(d.as_mut_ptr().add(i), _mm256_and_ps(dv, keep));
+            }
+            i += 8;
+        }
+        scalar::relu_grad_mask(&x[full..], &mut d[full..]);
+    }
+
+    /// Deinterleave 16 consecutive floats at `p` into (even, odd) lanes:
+    /// even = elements 0,2,..,14 and odd = 1,3,..,15, each in source order.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee at least 16 readable f32s at `p`.
+    // SAFETY: callers verify AVX2 before taking this path and guarantee
+    // 16 readable f32s at `p`; those are the only obligations.
+    #[target_feature(enable = "avx2")]
+    unsafe fn deinterleave16(p: *const f32) -> (__m256, __m256) {
+        // SAFETY: caller guarantees 16 readable floats; unaligned loads.
+        let (l0, l1) = unsafe { (_mm256_loadu_ps(p), _mm256_loadu_ps(p.add(8))) };
+        // shuffle picks (0,2) of each source per 128-bit half; the 64-bit
+        // permute (0,2,1,3) then stitches the halves into source order.
+        let ev = _mm256_shuffle_ps::<0b10_00_10_00>(l0, l1);
+        let od = _mm256_shuffle_ps::<0b11_01_11_01>(l0, l1);
+        let ev = _mm256_castsi256_ps(_mm256_permute4x64_epi64::<0b11_01_10_00>(_mm256_castps_si256(ev)));
+        let od = _mm256_castsi256_ps(_mm256_permute4x64_epi64::<0b11_01_10_00>(_mm256_castps_si256(od)));
+        (ev, od)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn maxpool2_plane(x: &[f32], h: usize, w: usize, base: u32, y: &mut Vec<f32>, argmax: &mut Vec<u32>) {
+        assert!(h % 2 == 0 && w % 2 == 0 && x.len() == h * w);
+        let (oh, ow) = (h / 2, w / 2);
+        y.reserve(oh * ow);
+        argmax.reserve(oh * ow);
+        // Lane l covers output column ox0 + l, whose window starts at
+        // input column 2*(ox0 + l): index offsets step by 2 per lane.
+        let lane2 = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+        let full = ow / 8 * 8;
+        for oy in 0..oh {
+            let (iy0, iy1) = (oy * 2, oy * 2 + 1);
+            let mut ox0 = 0usize;
+            while ox0 < full {
+                // SAFETY: rows iy0/iy1 are in-plane and the window spans
+                // input columns 2*ox0 .. 2*ox0+16 <= w, so 16 floats are
+                // readable at each row offset.
+                let ((v00, v01), (v10, v11)) = unsafe {
+                    (
+                        deinterleave16(x.as_ptr().add(iy0 * w + 2 * ox0)),
+                        deinterleave16(x.as_ptr().add(iy1 * w + 2 * ox0)),
+                    )
+                };
+                // Running best per lane, visiting the four window cells in
+                // the scalar scan order (ky, kx) with strict-greater
+                // updates: first max wins, NaN candidates never win
+                // (GT_OQ is false on NaN), all-NaN lanes keep index 0.
+                let mut best = _mm256_set1_ps(f32::NEG_INFINITY);
+                let mut bidx = _mm256_setzero_si256();
+                for (v, iy, kx) in [(v00, iy0, 0u32), (v01, iy0, 1), (v10, iy1, 0), (v11, iy1, 1)] {
+                    let start = base + (iy * w) as u32 + 2 * ox0 as u32 + kx;
+                    let idxv = _mm256_add_epi32(_mm256_set1_epi32(start as i32), lane2);
+                    let win = _mm256_cmp_ps::<_CMP_GT_OQ>(v, best);
+                    best = _mm256_blendv_ps(best, v, win);
+                    bidx = _mm256_blendv_epi8(bidx, idxv, _mm256_castps_si256(win));
+                }
+                let mut vals = [0.0f32; 8];
+                let mut idxs = [0u32; 8];
+                // SAFETY: `vals`/`idxs` are exactly eight elements;
+                // unaligned stores.
+                unsafe {
+                    _mm256_storeu_ps(vals.as_mut_ptr(), best);
+                    _mm256_storeu_si256(idxs.as_mut_ptr().cast(), bidx);
+                }
+                y.extend_from_slice(&vals);
+                argmax.extend_from_slice(&idxs);
+                ox0 += 8;
+            }
+            scalar::maxpool2_row(x, w, base, oy, full, ow, y, argmax);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn avgpool2_plane(x: &[f32], h: usize, w: usize, y: &mut Vec<f32>) {
+        assert!(h % 2 == 0 && w % 2 == 0 && x.len() == h * w);
+        let (oh, ow) = (h / 2, w / 2);
+        y.reserve(oh * ow);
+        let quarter = _mm256_set1_ps(0.25);
+        let full = ow / 8 * 8;
+        for oy in 0..oh {
+            let (iy0, iy1) = (oy * 2, oy * 2 + 1);
+            let mut ox0 = 0usize;
+            while ox0 < full {
+                // SAFETY: same bounds argument as maxpool2_plane — the
+                // window spans 16 in-plane floats per row.
+                let ((v00, v01), (v10, v11)) = unsafe {
+                    (
+                        deinterleave16(x.as_ptr().add(iy0 * w + 2 * ox0)),
+                        deinterleave16(x.as_ptr().add(iy1 * w + 2 * ox0)),
+                    )
+                };
+                // The exact scalar chain ((((0 + x00) + x01) + x10) + x11)
+                // * 0.25, lane-wise — the leading zero matters for -0.0.
+                let mut acc = _mm256_add_ps(_mm256_setzero_ps(), v00);
+                acc = _mm256_add_ps(acc, v01);
+                acc = _mm256_add_ps(acc, v10);
+                acc = _mm256_add_ps(acc, v11);
+                let r = _mm256_mul_ps(acc, quarter);
+                let mut vals = [0.0f32; 8];
+                // SAFETY: `vals` is exactly eight floats; unaligned store.
+                unsafe { _mm256_storeu_ps(vals.as_mut_ptr(), r) };
+                y.extend_from_slice(&vals);
+                ox0 += 8;
+            }
+            scalar::avgpool2_row(x, w, oy, full, ow, y);
+        }
     }
 }

@@ -152,6 +152,49 @@ fn weight_decay_shrinks_parameter_norm() {
 }
 
 #[test]
+fn kernel_backend_swap_preserves_trained_bits() {
+    // The compute tier's bitwise contract, end to end: training the same
+    // model on the scalar oracle, the SIMD backend, and the runtime
+    // default must produce byte-identical parameter vectors and logits.
+    use dgs::nn::models::tiny_cnn;
+    use dgs::nn::Kernel;
+    use dgs::tensor::Tensor;
+
+    let x = Tensor::randn([8, 1, 8, 8], 1.0, 3030);
+    let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+
+    let train = |kernel: Option<Kernel>| -> (Vec<u32>, Vec<u32>) {
+        // 1×8×8 input, one conv+pool stage, 3 classes: small but it runs
+        // GEMM, im2col conv, max-pool and ReLU on every step.
+        let mut net = tiny_cnn(1, 8, 3, 4, 99);
+        if let Some(k) = kernel {
+            net.set_kernel(k);
+        }
+        for _ in 0..4 {
+            net.train_step(x.clone(), &labels);
+            let grads = net.params().grad().to_vec();
+            let data = net.params_mut().data_mut();
+            for (p, g) in data.iter_mut().zip(grads.iter()) {
+                *p -= 0.05 * g;
+            }
+        }
+        let logits = net.forward(x.clone());
+        (
+            net.params().data().iter().map(|v| v.to_bits()).collect(),
+            logits.data().iter().map(|v| v.to_bits()).collect(),
+        )
+    };
+
+    let (p_scalar, l_scalar) = train(Some(Kernel::Scalar));
+    let (p_simd, l_simd) = train(Some(Kernel::Simd));
+    let (p_runtime, l_runtime) = train(None);
+    assert_eq!(p_scalar, p_simd, "trained parameter bits diverged across kernel backends");
+    assert_eq!(l_scalar, l_simd, "final logits bits diverged across kernel backends");
+    assert_eq!(p_scalar, p_runtime, "runtime backend diverged from explicit backends");
+    assert_eq!(l_scalar, l_runtime, "runtime logits diverged from explicit backends");
+}
+
+#[test]
 fn run_results_serialise() {
     let (train, val) = datasets();
     let res = train_async(&cfg(Method::Dgs, 2), &build, train, val);
